@@ -1,0 +1,108 @@
+// Command tcfind mines the theme communities of a database network with one
+// of the paper's algorithms (TCFI by default) and prints them.
+//
+// Usage:
+//
+//	tcfind -in bk.dbnet -alpha 0.2
+//	tcfind -in bk.dbnet -alpha 0.2 -method tcs -epsilon 0.1
+//	tcfind -friends brightkite_edges.txt -checkins brightkite_checkins.txt -alpha 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"themecomm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tcfind: ")
+
+	in := flag.String("in", "", "input database network file (themecomm text format)")
+	friends := flag.String("friends", "", "raw SNAP friendship edge list (use together with -checkins)")
+	checkins := flag.String("checkins", "", "raw SNAP check-in log (use together with -friends)")
+	alpha := flag.Float64("alpha", 0, "minimum cohesion threshold α")
+	method := flag.String("method", "tcfi", "mining algorithm: tcfi, tcfa or tcs")
+	epsilon := flag.Float64("epsilon", 0.1, "TCS pre-filter frequency threshold ε (tcs only)")
+	maxLen := flag.Int("maxlen", 0, "maximum pattern length (0 = unbounded)")
+	workers := flag.Int("workers", 0, "parallel candidate evaluation workers (0 or 1 = serial)")
+	top := flag.Int("top", 20, "number of communities to print (0 = all)")
+	flag.Parse()
+
+	var (
+		nw   *themecomm.Network
+		dict *themecomm.Dictionary
+		err  error
+		src  string
+	)
+	switch {
+	case *in != "":
+		src = *in
+		nw, dict, err = themecomm.ReadNetworkFile(*in)
+	case *friends != "" && *checkins != "":
+		src = *checkins
+		nw, dict, err = loadRawCheckIns(*friends, *checkins)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := themecomm.MiningOptions{Alpha: *alpha, Epsilon: *epsilon, MaxPatternLength: *maxLen, Parallelism: *workers}
+	var res *themecomm.MiningResult
+	switch strings.ToLower(*method) {
+	case "tcfi":
+		res = themecomm.MineTCFI(nw, opts)
+	case "tcfa":
+		res = themecomm.MineTCFA(nw, opts)
+	case "tcs":
+		res = themecomm.MineTCS(nw, opts)
+	default:
+		log.Fatalf("unknown method %q (want tcfi, tcfa or tcs)", *method)
+	}
+
+	fmt.Printf("%s on %s (α=%.3g): %d patterns, %d vertices, %d edges in %v (%d MPTD calls)\n",
+		res.Stats.Algorithm, src, *alpha, res.NumPatterns(), res.NumVertices(), res.NumEdges(),
+		res.Stats.Duration, res.Stats.MPTDCalls)
+	fmt.Printf("summary: %s\n", res.Summarize())
+
+	comms := res.Communities()
+	fmt.Printf("%d theme communities\n", len(comms))
+	limit := *top
+	if limit <= 0 || limit > len(comms) {
+		limit = len(comms)
+	}
+	for i := 0; i < limit; i++ {
+		c := comms[i]
+		theme := c.Pattern.String()
+		if dict != nil && dict.Len() > 0 {
+			theme = strings.Join(dict.Names(c.Pattern), ", ")
+		}
+		fmt.Printf("  [%d] theme={%s} vertices=%v\n", i+1, theme, c.Vertices())
+	}
+	if limit < len(comms) {
+		fmt.Printf("  ... %d more (raise -top to see them)\n", len(comms)-limit)
+	}
+}
+
+// loadRawCheckIns builds a database network from raw SNAP check-in dumps (the
+// Brightkite/Gowalla format) using the default 2-day period grouping.
+func loadRawCheckIns(friendsPath, checkinsPath string) (*themecomm.Network, *themecomm.Dictionary, error) {
+	friendsFile, err := os.Open(friendsPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer friendsFile.Close()
+	checkinsFile, err := os.Open(checkinsPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer checkinsFile.Close()
+	return themecomm.LoadCheckIns(friendsFile, checkinsFile, themecomm.CheckInLoadOptions{})
+}

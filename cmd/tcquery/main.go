@@ -1,0 +1,108 @@
+// Command tcquery answers theme-community queries against a TC-Tree built by
+// tcindex: query by cohesion threshold (QBA), by pattern (QBP), or both.
+//
+// Usage:
+//
+//	tcquery -tree bk.dbnet.tctree -alpha 0.5
+//	tcquery -tree bk.dbnet.tctree -net bk.dbnet -pattern "hangout-c3-0,hangout-c3-1" -alpha 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"themecomm"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tcquery: ")
+
+	treePath := flag.String("tree", "", "TC-Tree file built by tcindex (required)")
+	netPath := flag.String("net", "", "database network file; needed to resolve item names in -pattern")
+	alphaQ := flag.Float64("alpha", 0, "query cohesion threshold α_q")
+	pattern := flag.String("pattern", "", "comma-separated query pattern (item names or numeric ids); empty = all items")
+	top := flag.Int("top", 20, "number of communities to print (0 = all)")
+	flag.Parse()
+
+	if *treePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	tree, err := themecomm.ReadTreeFile(*treePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var dict *themecomm.Dictionary
+	if *netPath != "" {
+		_, d, err := themecomm.ReadNetworkFile(*netPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dict = d
+	}
+
+	var qr *themecomm.QueryResult
+	if *pattern == "" {
+		qr = tree.QueryByAlpha(*alphaQ)
+	} else {
+		q, err := parsePattern(*pattern, dict)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qr = tree.Query(q, *alphaQ)
+	}
+
+	fmt.Printf("query answered in %v: %d maximal pattern trusses (visited %d nodes)\n",
+		qr.Duration, qr.RetrievedNodes, qr.VisitedNodes)
+	comms := qr.Communities()
+	fmt.Printf("%d theme communities\n", len(comms))
+	limit := *top
+	if limit <= 0 || limit > len(comms) {
+		limit = len(comms)
+	}
+	for i := 0; i < limit; i++ {
+		c := comms[i]
+		theme := c.Pattern.String()
+		if dict != nil && dict.Len() > 0 {
+			theme = strings.Join(dict.Names(c.Pattern), ", ")
+		}
+		fmt.Printf("  [%d] theme={%s} vertices=%v\n", i+1, theme, c.Vertices())
+	}
+	if limit < len(comms) {
+		fmt.Printf("  ... %d more (raise -top to see them)\n", len(comms)-limit)
+	}
+}
+
+// parsePattern turns a comma-separated list of item names or numeric ids into
+// an itemset, resolving names through the dictionary when one is available.
+func parsePattern(s string, dict *themecomm.Dictionary) (themecomm.Itemset, error) {
+	var items []themecomm.Item
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		if id, err := strconv.Atoi(field); err == nil {
+			items = append(items, themecomm.Item(id))
+			continue
+		}
+		if dict == nil {
+			return nil, fmt.Errorf("item %q is not numeric and no -net file was given to resolve names", field)
+		}
+		id, ok := dict.Lookup(field)
+		if !ok {
+			return nil, fmt.Errorf("unknown item name %q", field)
+		}
+		items = append(items, id)
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("empty query pattern %q", s)
+	}
+	return themecomm.NewItemset(items...), nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+
+	"themecomm"
+)
+
+func TestParsePatternNumeric(t *testing.T) {
+	got, err := parsePattern("3, 1,2", nil)
+	if err != nil {
+		t.Fatalf("parsePattern: %v", err)
+	}
+	if !got.Equal(themecomm.NewItemset(1, 2, 3)) {
+		t.Fatalf("parsePattern = %v", got)
+	}
+}
+
+func TestParsePatternNames(t *testing.T) {
+	dict := themecomm.NewDictionary()
+	a := dict.Intern("data mining")
+	b := dict.Intern("graphs")
+	got, err := parsePattern("data mining,graphs", dict)
+	if err != nil {
+		t.Fatalf("parsePattern: %v", err)
+	}
+	if !got.Equal(themecomm.NewItemset(a, b)) {
+		t.Fatalf("parsePattern = %v", got)
+	}
+	// Mixed numeric and named items.
+	got, err = parsePattern("0,graphs", dict)
+	if err != nil {
+		t.Fatalf("parsePattern: %v", err)
+	}
+	if !got.Equal(themecomm.NewItemset(a, b)) {
+		t.Fatalf("mixed parse = %v", got)
+	}
+}
+
+func TestParsePatternErrors(t *testing.T) {
+	if _, err := parsePattern("", nil); err == nil {
+		t.Fatalf("empty pattern should fail")
+	}
+	if _, err := parsePattern(" , ", nil); err == nil {
+		t.Fatalf("blank pattern should fail")
+	}
+	if _, err := parsePattern("beer", nil); err == nil {
+		t.Fatalf("named item without a dictionary should fail")
+	}
+	dict := themecomm.NewDictionary()
+	if _, err := parsePattern("unknown item", dict); err == nil {
+		t.Fatalf("unknown name should fail")
+	}
+}

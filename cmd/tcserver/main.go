@@ -1,0 +1,68 @@
+// Command tcserver serves theme-community queries over HTTP from a TC-Tree
+// built by tcindex.
+//
+// Usage:
+//
+//	tcserver -tree bk.dbnet.tctree -net bk.dbnet -addr :8080
+//
+// Endpoints:
+//
+//	GET /healthz                           liveness probe
+//	GET /api/v1/stats                      index statistics
+//	GET /api/v1/query?alpha=0.5            query by cohesion threshold
+//	GET /api/v1/query?pattern=a,b&alpha=0  query by pattern
+//	GET /api/v1/patterns?length=2          list indexed patterns of a length
+//	GET /api/v1/vertex?id=7&alpha=0.2      theme communities containing a vertex
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"themecomm"
+	"themecomm/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tcserver: ")
+
+	treePath := flag.String("tree", "", "TC-Tree file built by tcindex (required)")
+	netPath := flag.String("net", "", "database network file; enables item-name resolution")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	if *treePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	tree, err := themecomm.ReadTreeFile(*treePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := server.Options{}
+	if *netPath != "" {
+		_, dict, err := themecomm.ReadNetworkFile(*netPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Dictionary = dict
+	}
+	srv, err := server.New(tree, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("serving %d indexed maximal pattern trusses on %s", tree.NumNodes(), *addr)
+	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+// Social e-commerce example: the motivating scenario of the paper's
+// introduction. Every user of a social shopping platform is a vertex whose
+// transaction database records their purchase baskets; friendships are edges.
+// Theme communities are social circles that share a dominant buying habit —
+// exactly the groups a marketer would target with one campaign.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"themecomm"
+)
+
+func main() {
+	log.SetFlags(0)
+	rng := rand.New(rand.NewSource(7))
+
+	dict := themecomm.NewDictionary()
+	// Product catalogue, grouped into the buying habits we plant.
+	habits := map[string][]themecomm.Item{
+		"new parents":   dict.InternAll([]string{"diapers", "baby formula", "wet wipes"}),
+		"home baristas": dict.InternAll([]string{"espresso beans", "milk frother"}),
+		"pc gamers":     dict.InternAll([]string{"graphics card", "mechanical keyboard", "headset"}),
+	}
+	catalogue := dict.InternAll([]string{
+		"toothpaste", "batteries", "notebook", "umbrella", "socks", "charger", "water bottle",
+	})
+
+	// 60 users in three friend circles of 20, with a few cross-circle ties.
+	const usersPerCircle, circles = 20, 3
+	nw := themecomm.NewNetwork(usersPerCircle * circles)
+	circleOf := func(v themecomm.VertexID) int { return int(v) / usersPerCircle }
+	for c := 0; c < circles; c++ {
+		base := themecomm.VertexID(c * usersPerCircle)
+		// Each circle is a sparse but triangle-rich friend graph.
+		for i := 0; i < usersPerCircle; i++ {
+			for j := i + 1; j < usersPerCircle; j++ {
+				if rng.Float64() < 0.35 {
+					nw.MustAddEdge(base+themecomm.VertexID(i), base+themecomm.VertexID(j))
+				}
+			}
+		}
+	}
+	for i := 0; i < 10; i++ {
+		a := themecomm.VertexID(rng.Intn(usersPerCircle * circles))
+		b := themecomm.VertexID(rng.Intn(usersPerCircle * circles))
+		if a != b && circleOf(a) != circleOf(b) {
+			nw.MustAddEdge(a, b)
+		}
+	}
+
+	habitNames := []string{"new parents", "home baristas", "pc gamers"}
+	for v := themecomm.VertexID(0); int(v) < usersPerCircle*circles; v++ {
+		habit := habits[habitNames[circleOf(v)]]
+		for basket := 0; basket < 12; basket++ {
+			var items []themecomm.Item
+			if rng.Float64() < 0.55 {
+				items = append(items, habit...)
+			}
+			for i := 0; i < 1+rng.Intn(2); i++ {
+				items = append(items, catalogue[rng.Intn(len(catalogue))])
+			}
+			if err := nw.AddTransaction(v, themecomm.NewItemset(items...)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Mine the buying-habit communities. The habit patterns have length up to
+	// three, so we cap the search there.
+	res := themecomm.MineTCFI(nw, themecomm.MiningOptions{Alpha: 0.3, MaxPatternLength: 3})
+	fmt.Printf("mined %d maximal pattern trusses in %v\n", res.NumPatterns(), res.Stats.Duration)
+
+	fmt.Println("campaign-sized theme communities (theme length >= 2, at least 8 members):")
+	for _, c := range res.Communities() {
+		if c.Pattern.Len() < 2 || len(c.Vertices()) < 8 {
+			continue
+		}
+		fmt.Printf("  %-55s %2d members\n", strings.Join(dict.Names(c.Pattern), " + "), len(c.Vertices()))
+	}
+}

@@ -1,0 +1,154 @@
+package themecomm_test
+
+// End-to-end integration tests exercising the full pipeline through the
+// public API: generate → persist → reload → mine → index → persist → reload →
+// query → serve over HTTP. These are the flows the command-line tools compose.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"themecomm"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	dir := t.TempDir()
+	netPath := filepath.Join(dir, "bk.dbnet")
+	treePath := filepath.Join(dir, "bk.tctree")
+
+	// 1. Generate a dataset analogue and persist it.
+	d, err := themecomm.GenerateDataset("BK", 0.1)
+	if err != nil {
+		t.Fatalf("GenerateDataset: %v", err)
+	}
+	if err := themecomm.WriteNetworkFile(netPath, d.Network, d.Dictionary); err != nil {
+		t.Fatalf("WriteNetworkFile: %v", err)
+	}
+
+	// 2. Reload it and check it round-tripped.
+	nw, dict, err := themecomm.ReadNetworkFile(netPath)
+	if err != nil {
+		t.Fatalf("ReadNetworkFile: %v", err)
+	}
+	if nw.Stats() != d.Network.Stats() {
+		t.Fatalf("reloaded network differs: %+v vs %+v", nw.Stats(), d.Network.Stats())
+	}
+
+	// 3. Mine it and index it; the index must agree with the miner at any α.
+	const alpha = 0.2
+	mined := themecomm.MineTCFI(nw, themecomm.MiningOptions{Alpha: alpha, MaxPatternLength: 3})
+	tree := themecomm.BuildTree(nw, themecomm.TreeBuildOptions{MaxDepth: 3})
+	if err := tree.WriteFile(treePath); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	// 4. Reload the index and answer the same query.
+	reloaded, err := themecomm.ReadTreeFile(treePath)
+	if err != nil {
+		t.Fatalf("ReadTreeFile: %v", err)
+	}
+	answer := reloaded.MiningResult(alpha)
+	if !answer.Equal(mined) {
+		t.Fatalf("index answer (NP=%d) differs from mining (NP=%d)", answer.NumPatterns(), mined.NumPatterns())
+	}
+
+	// 5. Serve the index over HTTP and query it.
+	handler, err := themecomm.NewQueryServer(reloaded, themecomm.QueryServerOptions{Dictionary: dict})
+	if err != nil {
+		t.Fatalf("NewQueryServer: %v", err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/v1/stats")
+	if err != nil {
+		t.Fatalf("GET stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Nodes int `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if stats.Nodes != reloaded.NumNodes() {
+		t.Fatalf("served stats report %d nodes, tree has %d", stats.Nodes, reloaded.NumNodes())
+	}
+
+	qresp, err := http.Get(srv.URL + "/api/v1/query?alpha=0.2")
+	if err != nil {
+		t.Fatalf("GET query: %v", err)
+	}
+	defer qresp.Body.Close()
+	var queryAnswer struct {
+		RetrievedNodes int `json:"retrievedNodes"`
+	}
+	if err := json.NewDecoder(qresp.Body).Decode(&queryAnswer); err != nil {
+		t.Fatalf("decode query: %v", err)
+	}
+	if queryAnswer.RetrievedNodes != mined.NumPatterns() {
+		t.Fatalf("served query retrieved %d trusses, miner found %d", queryAnswer.RetrievedNodes, mined.NumPatterns())
+	}
+}
+
+func TestEndToEndRawCheckInLoading(t *testing.T) {
+	// Load a tiny raw check-in dump (the SNAP format) through the public API
+	// and mine it: the pipeline a user of the real Brightkite data follows.
+	edges := strings.NewReader("0\t1\n0\t2\n1\t2\n")
+	checkins := strings.NewReader(strings.Join([]string{
+		"0\t2010-10-17T01:00:00Z\t0\t0\tbar",
+		"0\t2010-10-17T02:00:00Z\t0\t0\tclub",
+		"1\t2010-10-17T01:30:00Z\t0\t0\tbar",
+		"1\t2010-10-17T03:00:00Z\t0\t0\tclub",
+		"2\t2010-10-17T05:00:00Z\t0\t0\tbar",
+		"2\t2010-10-17T06:00:00Z\t0\t0\tclub",
+	}, "\n"))
+	nw, dict, err := themecomm.LoadCheckIns(edges, checkins, themecomm.CheckInLoadOptions{})
+	if err != nil {
+		t.Fatalf("LoadCheckIns: %v", err)
+	}
+	bar, _ := dict.Lookup("bar")
+	club, _ := dict.Lookup("club")
+	comms := themecomm.FindThemeCommunities(nw, 0.5)
+	found := false
+	for _, c := range comms {
+		if c.Pattern.Equal(themecomm.NewItemset(bar, club)) && len(c.Vertices()) == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("the bar+club trio was not recovered: %v", comms)
+	}
+}
+
+func TestEndToEndCitationArchiveLoading(t *testing.T) {
+	archive := strings.NewReader(strings.Join([]string{
+		"#*Graph Mining at Scale",
+		"#@Alice;Bob;Carol",
+		"#!We study scalable graph mining with truss decomposition for community detection.",
+		"",
+		"#*More Graph Mining",
+		"#@Alice;Bob;Carol",
+		"#!Truss decomposition enables scalable community detection in graph mining.",
+		"",
+	}, "\n"))
+	res, err := themecomm.LoadCitationArchive(archive, themecomm.CoAuthorLoadOptions{})
+	if err != nil {
+		t.Fatalf("LoadCitationArchive: %v", err)
+	}
+	if res.Network.NumVertices() != 3 || res.Network.NumEdges() != 3 {
+		t.Fatalf("co-author network wrong: %v", res.Network)
+	}
+	mining, ok := res.Keywords.Lookup("mining")
+	if !ok {
+		t.Fatalf("keyword 'mining' missing")
+	}
+	tr := themecomm.DetectMaximalPatternTruss(res.Network, themecomm.NewItemset(mining), 0.5)
+	if tr.NumVertices() != 3 {
+		t.Fatalf("the three co-authors should form a truss for 'mining': %v", tr)
+	}
+}

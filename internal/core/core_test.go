@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+// randomNetwork builds a small random database network whose vertex databases
+// draw from a small item universe, so that exhaustive baselines stay cheap.
+func randomNetwork(rng *rand.Rand, n, m, items, maxTx int) *dbnet.Network {
+	nw := dbnet.New(n)
+	for i := 0; i < m; i++ {
+		a, b := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		if a != b {
+			nw.MustAddEdge(a, b)
+		}
+	}
+	for v := 0; v < n; v++ {
+		ntx := 1 + rng.Intn(maxTx)
+		for i := 0; i < ntx; i++ {
+			l := 1 + rng.Intn(3)
+			tx := make([]itemset.Item, l)
+			for j := range tx {
+				tx[j] = itemset.Item(rng.Intn(items))
+			}
+			if err := nw.AddTransaction(graph.VertexID(v), itemset.New(tx...)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return nw
+}
+
+func TestPaperExampleMining(t *testing.T) {
+	nw := dbnet.PaperExample()
+	res := TCFI(nw, Options{Alpha: 0.1})
+
+	pTruss := res.Truss(dbnet.PaperExampleP)
+	if pTruss == nil {
+		t.Fatalf("pattern p should be qualified at α=0.1")
+	}
+	comms := pTruss.Communities()
+	if len(comms) != 2 {
+		t.Fatalf("pattern p should form 2 theme communities, got %d", len(comms))
+	}
+	if len(comms[0].Vertices()) != 5 || len(comms[1].Vertices()) != 3 {
+		t.Fatalf("community sizes = %d, %d; want 5, 3", len(comms[0].Vertices()), len(comms[1].Vertices()))
+	}
+
+	// At α = 0.3 pattern p no longer forms any truss.
+	res = TCFI(nw, Options{Alpha: 0.3})
+	if res.Truss(dbnet.PaperExampleP) != nil {
+		t.Fatalf("pattern p should not be qualified at α=0.3")
+	}
+}
+
+func TestAlgorithmsAgreeOnRandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		nw := randomNetwork(rng, 14, 30, 4, 4)
+		for _, alpha := range []float64{0, 0.2, 0.6, 1.2} {
+			exact := TCS(nw, Options{Alpha: alpha, Epsilon: 0})
+			tcfa := TCFA(nw, Options{Alpha: alpha})
+			tcfi := TCFI(nw, Options{Alpha: alpha})
+			if !tcfa.Equal(tcfi) {
+				t.Fatalf("trial %d α=%v: TCFA and TCFI disagree (NP %d vs %d)",
+					trial, alpha, tcfa.NumPatterns(), tcfi.NumPatterns())
+			}
+			if !exact.Equal(tcfa) {
+				t.Fatalf("trial %d α=%v: TCS(ε=0) and TCFA disagree (NP %d vs %d)",
+					trial, alpha, exact.NumPatterns(), tcfa.NumPatterns())
+			}
+			if exact.NumVertices() != tcfi.NumVertices() || exact.NumEdges() != tcfi.NumEdges() {
+				t.Fatalf("trial %d α=%v: NV/NE mismatch", trial, alpha)
+			}
+		}
+	}
+}
+
+func TestTCSWithEpsilonIsSubsetOfExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		nw := randomNetwork(rng, 16, 36, 5, 4)
+		exact := TCFI(nw, Options{Alpha: 0})
+		for _, eps := range []float64{0.1, 0.3, 0.6} {
+			approx := TCS(nw, Options{Alpha: 0, Epsilon: eps})
+			if approx.NumPatterns() > exact.NumPatterns() {
+				t.Fatalf("TCS(ε=%v) found more patterns than the exact algorithms", eps)
+			}
+			// Every truss TCS finds must match the exact one for that pattern.
+			for key, tr := range approx.Trusses {
+				want, ok := exact.Trusses[key]
+				if !ok {
+					t.Fatalf("TCS(ε=%v) found pattern %v that the exact algorithm did not",
+						eps, key.Itemset())
+				}
+				if !tr.Edges.Equal(want.Edges) {
+					t.Fatalf("TCS(ε=%v) truss differs from exact for %v", eps, key.Itemset())
+				}
+			}
+		}
+	}
+}
+
+func TestGraphAntiMonotonicityOfResults(t *testing.T) {
+	// Theorem 5.1 observed on mining output: for qualified p1 ⊆ p2,
+	// C*_{p2}(α) ⊆ C*_{p1}(α).
+	rng := rand.New(rand.NewSource(13))
+	nw := randomNetwork(rng, 18, 40, 4, 5)
+	res := TCFI(nw, Options{Alpha: 0})
+	patterns := res.Patterns()
+	for _, p1 := range patterns {
+		for _, p2 := range patterns {
+			if !p1.ProperSubsetOf(p2) {
+				continue
+			}
+			if !res.Truss(p2).Edges.SubsetOf(res.Truss(p1).Edges) {
+				t.Fatalf("anti-monotonicity violated for %v ⊆ %v", p1, p2)
+			}
+		}
+	}
+	// Pattern anti-monotonicity: every sub-pattern of a qualified pattern is
+	// qualified (Proposition 5.2).
+	for _, p := range patterns {
+		for _, sub := range p.ImmediateSubsets() {
+			if sub.Len() == 0 {
+				continue
+			}
+			if res.Truss(sub) == nil {
+				t.Fatalf("qualified pattern %v has unqualified sub-pattern %v", p, sub)
+			}
+		}
+	}
+}
+
+func TestAlphaMonotonicityOfResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	nw := randomNetwork(rng, 16, 36, 4, 4)
+	prev := TCFI(nw, Options{Alpha: 0})
+	for _, alpha := range []float64{0.2, 0.5, 1.0, 2.0} {
+		cur := TCFI(nw, Options{Alpha: alpha})
+		if cur.NumPatterns() > prev.NumPatterns() || cur.NumEdges() > prev.NumEdges() {
+			t.Fatalf("results must shrink as α grows: α=%v NP=%d>%d or NE=%d>%d",
+				alpha, cur.NumPatterns(), prev.NumPatterns(), cur.NumEdges(), prev.NumEdges())
+		}
+		// Every truss at the larger α is a subset of the truss at the smaller α.
+		for key, tr := range cur.Trusses {
+			p, ok := prev.Trusses[key]
+			if !ok || !tr.Edges.SubsetOf(p.Edges) {
+				t.Fatalf("truss at α=%v not nested in truss at smaller α", alpha)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestTCFIPrunesAtLeastAsMuchAsTCFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	nw := randomNetwork(rng, 20, 50, 5, 5)
+	tcfa := TCFA(nw, Options{Alpha: 0})
+	tcfi := TCFI(nw, Options{Alpha: 0})
+	if tcfi.Stats.MPTDCalls > tcfa.Stats.MPTDCalls {
+		t.Fatalf("TCFI ran MPTD %d times, TCFA %d times; TCFI should never run it more often",
+			tcfi.Stats.MPTDCalls, tcfa.Stats.MPTDCalls)
+	}
+	if tcfi.Stats.CandidatesPruned < tcfa.Stats.CandidatesPruned {
+		t.Fatalf("TCFI pruned %d candidates, TCFA pruned %d",
+			tcfi.Stats.CandidatesPruned, tcfa.Stats.CandidatesPruned)
+	}
+	if tcfa.Stats.Algorithm != "TCFA" || tcfi.Stats.Algorithm != "TCFI" {
+		t.Fatalf("algorithm labels wrong: %q %q", tcfa.Stats.Algorithm, tcfi.Stats.Algorithm)
+	}
+	if tcfa.Stats.Duration <= 0 || tcfi.Stats.Duration <= 0 {
+		t.Fatalf("durations should be recorded")
+	}
+}
+
+func TestMaxPatternLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	nw := randomNetwork(rng, 14, 30, 4, 5)
+	res := TCFI(nw, Options{Alpha: 0, MaxPatternLength: 1})
+	for _, p := range res.Patterns() {
+		if p.Len() > 1 {
+			t.Fatalf("MaxPatternLength=1 returned pattern %v", p)
+		}
+	}
+	resTCS := TCS(nw, Options{Alpha: 0, Epsilon: 0, MaxPatternLength: 1})
+	if !res.Equal(resTCS) {
+		t.Fatalf("bounded TCS and TCFI disagree")
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	nw := dbnet.PaperExample()
+	res := TCFI(nw, Options{Alpha: 0.1})
+	if res.NumPatterns() == 0 {
+		t.Fatalf("paper example should produce at least one truss")
+	}
+	if res.NumVertices() <= 0 || res.NumEdges() <= 0 {
+		t.Fatalf("NV/NE should be positive")
+	}
+	comms := res.Communities()
+	if len(comms) == 0 {
+		t.Fatalf("no communities extracted")
+	}
+	for _, c := range comms {
+		if c.Edges.Len() == 0 {
+			t.Fatalf("community with no edges")
+		}
+		if len(c.Vertices()) < 3 {
+			t.Fatalf("a theme community needs at least one triangle, got %v", c)
+		}
+		if c.String() == "" {
+			t.Fatalf("empty community description")
+		}
+	}
+	if res.String() == "" {
+		t.Fatalf("empty result description")
+	}
+	if res.Truss(itemset.New(424242)) != nil {
+		t.Fatalf("Truss of unknown pattern should be nil")
+	}
+	// Patterns are sorted by length then lexicographically.
+	ps := res.Patterns()
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Len() > ps[i].Len() {
+			t.Fatalf("Patterns not sorted by length: %v", ps)
+		}
+	}
+}
+
+func TestEmptyNetwork(t *testing.T) {
+	nw := dbnet.New(0)
+	for _, run := range []*Result{
+		TCS(nw, Options{}), TCFA(nw, Options{}), TCFI(nw, Options{}),
+	} {
+		if run.NumPatterns() != 0 || run.NumVertices() != 0 || run.NumEdges() != 0 {
+			t.Fatalf("mining an empty network should find nothing: %v", run)
+		}
+	}
+	// A network with vertices but no edges has no trusses either.
+	nw = dbnet.New(3)
+	if err := nw.AddTransaction(0, itemset.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := TCFI(nw, Options{}); got.NumPatterns() != 0 {
+		t.Fatalf("edgeless network should have no theme communities")
+	}
+}
+
+func TestResultEqualDetectsDifferences(t *testing.T) {
+	nw := dbnet.PaperExample()
+	a := TCFI(nw, Options{Alpha: 0.1})
+	b := TCFI(nw, Options{Alpha: 0.25})
+	if a.Equal(b) {
+		t.Fatalf("results at different α should differ")
+	}
+	if !a.Equal(a) {
+		t.Fatalf("a result must equal itself")
+	}
+}

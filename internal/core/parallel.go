@@ -1,0 +1,38 @@
+package core
+
+import "sync"
+
+// parallelMap runs fn(i) for every i in [0, n), spreading the calls over the
+// given number of workers. With workers <= 1 it degenerates to a plain loop.
+// fn must only write to per-index state (e.g. results[i]) — parallelMap adds
+// no synchronization beyond the final barrier.
+func parallelMap(workers, n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

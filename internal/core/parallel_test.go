@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelMap(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8} {
+		var sum int64
+		n := 100
+		parallelMap(workers, n, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+		if want := int64(n * (n - 1) / 2); sum != want {
+			t.Fatalf("workers=%d: sum = %d, want %d", workers, sum, want)
+		}
+	}
+	// n = 0 is a no-op.
+	parallelMap(4, 0, func(int) { t.Fatalf("must not be called") })
+}
+
+func TestParallelMiningMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 4; trial++ {
+		nw := randomNetwork(rng, 18, 45, 5, 4)
+		for _, alpha := range []float64{0, 0.4} {
+			serialFI := TCFI(nw, Options{Alpha: alpha})
+			parallelFI := TCFI(nw, Options{Alpha: alpha, Parallelism: 4})
+			if !serialFI.Equal(parallelFI) {
+				t.Fatalf("trial %d α=%v: parallel TCFI differs from serial", trial, alpha)
+			}
+			serialFA := TCFA(nw, Options{Alpha: alpha})
+			parallelFA := TCFA(nw, Options{Alpha: alpha, Parallelism: 4})
+			if !serialFA.Equal(parallelFA) {
+				t.Fatalf("trial %d α=%v: parallel TCFA differs from serial", trial, alpha)
+			}
+			serialTCS := TCS(nw, Options{Alpha: alpha, Epsilon: 0.2})
+			parallelTCS := TCS(nw, Options{Alpha: alpha, Epsilon: 0.2, Parallelism: 4})
+			if !serialTCS.Equal(parallelTCS) {
+				t.Fatalf("trial %d α=%v: parallel TCS differs from serial", trial, alpha)
+			}
+			// The statistics counters must also agree: parallelism changes
+			// the schedule, not the work.
+			if serialFI.Stats.MPTDCalls != parallelFI.Stats.MPTDCalls ||
+				serialFI.Stats.CandidatesPruned != parallelFI.Stats.CandidatesPruned {
+				t.Fatalf("trial %d α=%v: parallel TCFI counters differ", trial, alpha)
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package core implements the theme-community mining algorithms of the paper:
+// the TCS baseline (Section 4.2), Theme Community Finder Apriori TCFA
+// (Section 5.2, Algorithm 3) and Theme Community Finder Intersection TCFI
+// (Section 5.3), together with the result bookkeeping (NP, NV, NE) used by
+// the experiments of Section 7.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+	"themecomm/internal/truss"
+)
+
+// Options configures a mining run.
+type Options struct {
+	// Alpha is the minimum cohesion threshold α of Definition 3.3.
+	Alpha float64
+	// Epsilon is the minimum pattern-frequency threshold ε of the TCS
+	// pre-filter (Section 4.2). It is ignored by TCFA and TCFI.
+	Epsilon float64
+	// MaxPatternLength, when positive, bounds the length of mined patterns.
+	// Zero means unbounded. The exact algorithms terminate on their own; the
+	// bound exists to cap worst-case work on adversarial inputs.
+	MaxPatternLength int
+	// Parallelism is the number of worker goroutines used to evaluate
+	// candidate patterns concurrently. Values below 2 select the serial
+	// implementation; 0 is serial too, keeping the default deterministic and
+	// allocation-free. The mined result is identical regardless of the value.
+	Parallelism int
+}
+
+// Result is the outcome of a mining run: the set of maximal pattern trusses
+// C(α) = {C*_p(α) ≠ ∅}, keyed by pattern.
+type Result struct {
+	// Alpha is the threshold the run was performed with.
+	Alpha float64
+	// Trusses maps each qualified pattern to its maximal pattern truss.
+	Trusses map[itemset.Key]*truss.Truss
+	// Stats carries counters describing the run.
+	Stats RunStats
+}
+
+// RunStats carries the bookkeeping counters of a mining run.
+type RunStats struct {
+	// Algorithm is the name of the mining algorithm ("TCS", "TCFA", "TCFI").
+	Algorithm string
+	// Duration is the wall-clock duration of the run.
+	Duration time.Duration
+	// MPTDCalls is the number of invocations of the Maximal Pattern Truss
+	// Detector (Algorithm 1).
+	MPTDCalls int
+	// CandidatesGenerated is the number of candidate patterns considered.
+	CandidatesGenerated int
+	// CandidatesPruned is the number of candidate patterns discarded without
+	// running MPTD (by the Apriori check or by the empty-intersection check).
+	CandidatesPruned int
+}
+
+// newResult returns an empty result for the given threshold.
+func newResult(alpha float64, algorithm string) *Result {
+	return &Result{Alpha: alpha, Trusses: make(map[itemset.Key]*truss.Truss), Stats: RunStats{Algorithm: algorithm}}
+}
+
+// add records a non-empty maximal pattern truss.
+func (r *Result) add(t *truss.Truss) {
+	if t.Empty() {
+		return
+	}
+	r.Trusses[t.Pattern.Key()] = t
+}
+
+// NumPatterns returns NP: the number of maximal pattern trusses found, which
+// equals the number of qualified patterns.
+func (r *Result) NumPatterns() int { return len(r.Trusses) }
+
+// NumVertices returns NV: the total number of vertices over all maximal
+// pattern trusses, counting a vertex once per truss containing it.
+func (r *Result) NumVertices() int {
+	n := 0
+	for _, t := range r.Trusses {
+		n += t.NumVertices()
+	}
+	return n
+}
+
+// NumEdges returns NE: the total number of edges over all maximal pattern
+// trusses, counting an edge once per truss containing it.
+func (r *Result) NumEdges() int {
+	n := 0
+	for _, t := range r.Trusses {
+		n += t.NumEdges()
+	}
+	return n
+}
+
+// Patterns returns the qualified patterns sorted by length and then
+// lexicographically.
+func (r *Result) Patterns() []itemset.Itemset {
+	out := make([]itemset.Itemset, 0, len(r.Trusses))
+	for k := range r.Trusses {
+		out = append(out, k.Itemset())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Len() != out[j].Len() {
+			return out[i].Len() < out[j].Len()
+		}
+		return itemset.Compare(out[i], out[j]) < 0
+	})
+	return out
+}
+
+// Truss returns the maximal pattern truss of pattern p, or nil if p is not
+// qualified.
+func (r *Result) Truss(p itemset.Itemset) *truss.Truss { return r.Trusses[p.Key()] }
+
+// Community is one theme community: a maximal connected subgraph of a maximal
+// pattern truss (Definition 3.5), annotated with its theme.
+type Community struct {
+	// Pattern is the theme p of the community.
+	Pattern itemset.Itemset
+	// Edges is the connected edge set of the community.
+	Edges graph.EdgeSet
+}
+
+// Vertices returns the sorted vertices of the community.
+func (c Community) Vertices() []graph.VertexID { return c.Edges.Vertices() }
+
+// String summarises the community.
+func (c Community) String() string {
+	return fmt.Sprintf("core.Community{p=%v, |V|=%d, |E|=%d}", c.Pattern, len(c.Vertices()), c.Edges.Len())
+}
+
+// Communities extracts every theme community of the result: for each maximal
+// pattern truss, its maximal connected subgraphs. Communities are ordered by
+// pattern and then by smallest vertex.
+func (r *Result) Communities() []Community {
+	var out []Community
+	for _, p := range r.Patterns() {
+		t := r.Trusses[p.Key()]
+		for _, comp := range t.Communities() {
+			out = append(out, Community{Pattern: p, Edges: comp})
+		}
+	}
+	return out
+}
+
+// Equal reports whether two results contain exactly the same maximal pattern
+// trusses (same patterns with the same edge sets). Run statistics are ignored.
+func (r *Result) Equal(other *Result) bool {
+	if len(r.Trusses) != len(other.Trusses) {
+		return false
+	}
+	for k, t := range r.Trusses {
+		o, ok := other.Trusses[k]
+		if !ok || !t.Edges.Equal(o.Edges) {
+			return false
+		}
+	}
+	return true
+}
+
+// String summarises the result.
+func (r *Result) String() string {
+	return fmt.Sprintf("core.Result{%s, α=%g, NP=%d, NV=%d, NE=%d}",
+		r.Stats.Algorithm, r.Alpha, r.NumPatterns(), r.NumVertices(), r.NumEdges())
+}

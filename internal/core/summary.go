@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"themecomm/internal/graph"
+)
+
+// Summary describes the theme communities of a mining result in aggregate:
+// how many there are, how large they are, and how strongly they overlap.
+// Overlap matters because, unlike partitioning community detection, theme
+// communities of different themes may share vertices arbitrarily (Section 7.4
+// of the paper).
+type Summary struct {
+	// Patterns is NP: the number of qualified patterns (maximal pattern trusses).
+	Patterns int
+	// Communities is the total number of theme communities (connected
+	// components over all maximal pattern trusses).
+	Communities int
+	// MinSize, MaxSize and MeanSize describe community sizes in vertices.
+	MinSize  int
+	MaxSize  int
+	MeanSize float64
+	// MeanThemeLength is the average pattern length over all communities.
+	MeanThemeLength float64
+	// CoveredVertices is the number of distinct vertices that belong to at
+	// least one theme community.
+	CoveredVertices int
+	// MaxMembership is the largest number of theme communities any single
+	// vertex belongs to.
+	MaxMembership int
+	// MeanMembership is the average number of communities per covered vertex.
+	MeanMembership float64
+}
+
+// Summarize computes the aggregate description of the result's communities.
+func (r *Result) Summarize() Summary {
+	comms := r.Communities()
+	s := Summary{Patterns: r.NumPatterns(), Communities: len(comms)}
+	if len(comms) == 0 {
+		return s
+	}
+	membership := make(map[graph.VertexID]int)
+	totalSize := 0
+	totalTheme := 0
+	s.MinSize = int(^uint(0) >> 1)
+	for _, c := range comms {
+		vs := c.Vertices()
+		size := len(vs)
+		totalSize += size
+		totalTheme += c.Pattern.Len()
+		if size < s.MinSize {
+			s.MinSize = size
+		}
+		if size > s.MaxSize {
+			s.MaxSize = size
+		}
+		for _, v := range vs {
+			membership[v]++
+		}
+	}
+	s.MeanSize = float64(totalSize) / float64(len(comms))
+	s.MeanThemeLength = float64(totalTheme) / float64(len(comms))
+	s.CoveredVertices = len(membership)
+	totalMembership := 0
+	for _, m := range membership {
+		totalMembership += m
+		if m > s.MaxMembership {
+			s.MaxMembership = m
+		}
+	}
+	s.MeanMembership = float64(totalMembership) / float64(len(membership))
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("patterns=%d communities=%d size[min=%d mean=%.1f max=%d] themeLen=%.1f covered=%d membership[mean=%.1f max=%d]",
+		s.Patterns, s.Communities, s.MinSize, s.MeanSize, s.MaxSize, s.MeanThemeLength,
+		s.CoveredVertices, s.MeanMembership, s.MaxMembership)
+}

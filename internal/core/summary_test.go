@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"themecomm/internal/dbnet"
+)
+
+func TestSummarizeEmptyResult(t *testing.T) {
+	res := newResult(0, "TCFI")
+	s := res.Summarize()
+	if s.Patterns != 0 || s.Communities != 0 || s.CoveredVertices != 0 {
+		t.Fatalf("summary of empty result should be zero: %+v", s)
+	}
+	if !strings.Contains(s.String(), "communities=0") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSummarizePaperExample(t *testing.T) {
+	nw := dbnet.PaperExample()
+	res := TCFI(nw, Options{Alpha: 0.1})
+	s := res.Summarize()
+	if s.Patterns != res.NumPatterns() {
+		t.Fatalf("patterns mismatch")
+	}
+	if s.Communities < 2 {
+		t.Fatalf("paper example should have at least the two p-communities, got %d", s.Communities)
+	}
+	if s.MinSize < 3 {
+		t.Fatalf("a theme community needs at least a triangle, min size %d", s.MinSize)
+	}
+	if s.MaxSize < s.MinSize || s.MeanSize < float64(s.MinSize) || s.MeanSize > float64(s.MaxSize) {
+		t.Fatalf("size statistics inconsistent: %+v", s)
+	}
+	if s.CoveredVertices == 0 || s.CoveredVertices > nw.NumVertices() {
+		t.Fatalf("covered vertices out of range: %d", s.CoveredVertices)
+	}
+	if s.MaxMembership < 1 || s.MeanMembership < 1 || s.MeanMembership > float64(s.MaxMembership) {
+		t.Fatalf("membership statistics inconsistent: %+v", s)
+	}
+}
+
+func TestSummarizeConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	for trial := 0; trial < 5; trial++ {
+		nw := randomNetwork(rng, 16, 40, 4, 4)
+		res := TCFI(nw, Options{Alpha: 0})
+		s := res.Summarize()
+		comms := res.Communities()
+		if s.Communities != len(comms) {
+			t.Fatalf("community count mismatch")
+		}
+		// Sum of community sizes equals mean*count within rounding.
+		total := 0
+		for _, c := range comms {
+			total += len(c.Vertices())
+		}
+		if len(comms) > 0 {
+			mean := float64(total) / float64(len(comms))
+			if diff := mean - s.MeanSize; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("mean size mismatch: %v vs %v", mean, s.MeanSize)
+			}
+		}
+		// Overlap is real whenever a vertex appears in two communities.
+		if s.MaxMembership > 1 && s.CoveredVertices == 0 {
+			t.Fatalf("inconsistent membership stats: %+v", s)
+		}
+	}
+}

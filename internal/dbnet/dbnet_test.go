@@ -1,0 +1,384 @@
+package dbnet
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+	"themecomm/internal/txdb"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// smallNetwork builds a 4-vertex network:
+//
+//	0 -- 1 -- 2 -- 3, plus edge 0-2 (triangle 0,1,2)
+//
+// databases: v0 {a,b},{a}; v1 {a,b}; v2 {a}; v3 {c}.
+func smallNetwork(t *testing.T) *Network {
+	t.Helper()
+	nw := New(4)
+	for _, e := range [][2]graph.VertexID{{0, 1}, {1, 2}, {2, 3}, {0, 2}} {
+		nw.MustAddEdge(e[0], e[1])
+	}
+	const a, b, c = 1, 2, 3
+	mustAdd := func(v graph.VertexID, items ...itemset.Item) {
+		if err := nw.AddTransaction(v, itemset.New(items...)); err != nil {
+			t.Fatalf("AddTransaction: %v", err)
+		}
+	}
+	mustAdd(0, a, b)
+	mustAdd(0, a)
+	mustAdd(1, a, b)
+	mustAdd(2, a)
+	mustAdd(3, c)
+	return nw
+}
+
+func TestNetworkBasics(t *testing.T) {
+	nw := smallNetwork(t)
+	if nw.NumVertices() != 4 || nw.NumEdges() != 4 {
+		t.Fatalf("size = (%d,%d)", nw.NumVertices(), nw.NumEdges())
+	}
+	if got := nw.Frequency(0, itemset.New(1)); !approx(got, 1.0) {
+		t.Errorf("f_0({a}) = %v, want 1", got)
+	}
+	if got := nw.Frequency(0, itemset.New(2)); !approx(got, 0.5) {
+		t.Errorf("f_0({b}) = %v, want 0.5", got)
+	}
+	if got := nw.Frequency(99, itemset.New(1)); got != 0 {
+		t.Errorf("frequency of out-of-range vertex = %v", got)
+	}
+	if got := nw.Items(); !got.Equal(itemset.New(1, 2, 3)) {
+		t.Errorf("Items = %v", got)
+	}
+	if nw.Database(99) != nil {
+		t.Errorf("Database(99) should be nil")
+	}
+	if err := nw.AddTransaction(99, itemset.New(1)); err == nil {
+		t.Errorf("AddTransaction on bad vertex should fail")
+	}
+	if err := nw.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestSetDatabase(t *testing.T) {
+	nw := New(2)
+	db := txdb.FromTransactions([]itemset.Item{7})
+	if err := nw.SetDatabase(1, db); err != nil {
+		t.Fatalf("SetDatabase: %v", err)
+	}
+	if got := nw.Frequency(1, itemset.New(7)); !approx(got, 1) {
+		t.Fatalf("frequency after SetDatabase = %v", got)
+	}
+	if err := nw.SetDatabase(0, nil); err != nil {
+		t.Fatalf("SetDatabase(nil): %v", err)
+	}
+	if nw.Database(0) == nil || !nw.Database(0).Empty() {
+		t.Fatalf("nil database should become an empty database")
+	}
+	if err := nw.SetDatabase(5, db); err == nil {
+		t.Fatalf("SetDatabase out of range should fail")
+	}
+}
+
+func TestItemVerticesIndex(t *testing.T) {
+	nw := smallNetwork(t)
+	vs := nw.ItemVertices(1) // item a on vertices 0, 1, 2
+	if len(vs) != 3 {
+		t.Fatalf("ItemVertices(a) = %v", vs)
+	}
+	for i := 1; i < len(vs); i++ {
+		if vs[i-1].Vertex >= vs[i].Vertex {
+			t.Fatalf("ItemVertices not sorted: %v", vs)
+		}
+	}
+	if got := nw.ItemVertices(99); got != nil {
+		t.Fatalf("ItemVertices of unknown item = %v", got)
+	}
+	// Mutation must invalidate the cache.
+	if err := nw.AddTransaction(3, itemset.New(1)); err != nil {
+		t.Fatalf("AddTransaction: %v", err)
+	}
+	if got := len(nw.ItemVertices(1)); got != 4 {
+		t.Fatalf("cache not invalidated: %d vertices", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	nw := smallNetwork(t)
+	s := nw.Stats()
+	if s.Vertices != 4 || s.Edges != 4 || s.Transactions != 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.ItemsTotal != 7 || s.ItemsUnique != 3 {
+		t.Fatalf("item stats = %+v", s)
+	}
+}
+
+func TestThemeNetworkFullInduction(t *testing.T) {
+	nw := smallNetwork(t)
+	// Item a is on vertices 0,1,2 -> theme network has the triangle 0-1-2.
+	tn := nw.ThemeNetwork(itemset.New(1))
+	if tn.NumVertices() != 3 || tn.NumEdges() != 3 {
+		t.Fatalf("theme network of {a}: |V|=%d |E|=%d", tn.NumVertices(), tn.NumEdges())
+	}
+	if !approx(tn.Frequency(0), 1) || !approx(tn.Frequency(1), 1) || !approx(tn.Frequency(2), 1) {
+		t.Fatalf("frequencies = %v", tn.Freq)
+	}
+	if tn.Frequency(3) != 0 {
+		t.Fatalf("vertex 3 should not be in the theme network")
+	}
+	// Item b is only on 0 and 1 -> a single edge.
+	tn = nw.ThemeNetwork(itemset.New(2))
+	if tn.NumVertices() != 2 || tn.NumEdges() != 1 {
+		t.Fatalf("theme network of {b}: |V|=%d |E|=%d", tn.NumVertices(), tn.NumEdges())
+	}
+	// Pattern {a,b}: f>0 on 0 and 1 only.
+	tn = nw.ThemeNetwork(itemset.New(1, 2))
+	if tn.NumVertices() != 2 || tn.NumEdges() != 1 {
+		t.Fatalf("theme network of {a,b}: |V|=%d |E|=%d", tn.NumVertices(), tn.NumEdges())
+	}
+	if !approx(tn.Frequency(0), 0.5) {
+		t.Fatalf("f_0({a,b}) = %v, want 0.5", tn.Frequency(0))
+	}
+	// Unknown item -> empty theme network.
+	tn = nw.ThemeNetwork(itemset.New(42))
+	if tn.NumVertices() != 0 || tn.NumEdges() != 0 {
+		t.Fatalf("theme network of unknown item should be empty")
+	}
+	// Empty pattern -> all non-empty-database vertices with frequency 1.
+	tn = nw.ThemeNetwork(itemset.New())
+	if tn.NumVertices() != 4 || tn.NumEdges() != 4 {
+		t.Fatalf("theme network of empty pattern: |V|=%d |E|=%d", tn.NumVertices(), tn.NumEdges())
+	}
+}
+
+func TestThemeNetworkWithin(t *testing.T) {
+	nw := smallNetwork(t)
+	within := graph.NewEdgeSet(graph.EdgeOf(0, 1), graph.EdgeOf(2, 3))
+	tn := nw.ThemeNetworkWithin(itemset.New(1), within)
+	// Of the restricted edges, only (0,1) has both endpoints containing a.
+	if tn.NumEdges() != 1 || !tn.Edges.Contains(graph.EdgeOf(0, 1)) {
+		t.Fatalf("restricted theme network edges = %v", tn.Edges.Edges())
+	}
+	// nil restriction falls back to full induction.
+	tn = nw.ThemeNetworkWithin(itemset.New(1), nil)
+	if tn.NumEdges() != 3 {
+		t.Fatalf("nil restriction should induce from the full network")
+	}
+	// Restriction with empty pattern keeps both edges (all databases non-empty).
+	tn = nw.ThemeNetworkWithin(itemset.New(), within)
+	if tn.NumEdges() != 2 {
+		t.Fatalf("empty-pattern restricted induction = %d edges", tn.NumEdges())
+	}
+}
+
+// Theme networks induced within a subgraph must agree with the full induction
+// intersected with that subgraph (this is what makes the TCFI optimization
+// exact).
+func TestThemeNetworkWithinConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nw := randomNetwork(rng, 20, 40, 6)
+	full := nw.ThemeNetwork(itemset.New(0, 1))
+	all := nw.ThemeNetwork(itemset.New(0)).Edges
+	restricted := nw.ThemeNetworkWithin(itemset.New(0, 1), all)
+	if !restricted.Edges.Equal(full.Edges.Intersect(all)) {
+		t.Fatalf("restricted induction disagrees with full induction")
+	}
+	for v, f := range restricted.Freq {
+		if !approx(f, nw.Frequency(v, itemset.New(0, 1))) {
+			t.Fatalf("frequency mismatch on vertex %d", v)
+		}
+	}
+}
+
+func TestInducedByEdges(t *testing.T) {
+	nw := smallNetwork(t)
+	edges := []graph.Edge{graph.EdgeOf(1, 2), graph.EdgeOf(2, 3)}
+	sub, orig := nw.InducedByEdges(edges)
+	if sub.NumVertices() != 3 || sub.NumEdges() != 2 {
+		t.Fatalf("induced network size = (%d,%d)", sub.NumVertices(), sub.NumEdges())
+	}
+	if len(orig) != 3 || orig[0] != 1 || orig[2] != 3 {
+		t.Fatalf("orig mapping = %v", orig)
+	}
+	// Databases are shared: frequency of item a on new vertex 0 (orig 1) is 1.
+	if got := sub.Frequency(0, itemset.New(1)); !approx(got, 1) {
+		t.Fatalf("shared database frequency = %v", got)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	nw := smallNetwork(t)
+	dict := itemset.NewDictionary()
+	dict.Intern("zero")
+	dict.Intern("alpha")
+	dict.Intern("beta")
+	dict.Intern("gamma")
+
+	var buf bytes.Buffer
+	if err := Write(&buf, nw, dict); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, gotDict, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.NumVertices() != nw.NumVertices() || got.NumEdges() != nw.NumEdges() {
+		t.Fatalf("round trip size mismatch")
+	}
+	if got.Stats() != nw.Stats() {
+		t.Fatalf("round trip stats mismatch: %+v vs %+v", got.Stats(), nw.Stats())
+	}
+	for v := 0; v < nw.NumVertices(); v++ {
+		for _, p := range []itemset.Itemset{itemset.New(1), itemset.New(2), itemset.New(1, 2)} {
+			if !approx(got.Frequency(graph.VertexID(v), p), nw.Frequency(graph.VertexID(v), p)) {
+				t.Fatalf("frequency mismatch on vertex %d pattern %v", v, p)
+			}
+		}
+	}
+	if gotDict.Len() != 4 || gotDict.MustName(1) != "alpha" {
+		t.Fatalf("dictionary round trip failed: %d items", gotDict.Len())
+	}
+}
+
+func TestWriteWithoutDictionary(t *testing.T) {
+	nw := smallNetwork(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, nw, nil); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, dict, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if dict.Len() != 0 {
+		t.Fatalf("expected empty dictionary, got %d entries", dict.Len())
+	}
+	if got.NumEdges() != nw.NumEdges() {
+		t.Fatalf("edge count mismatch")
+	}
+}
+
+func TestReadRejectsMalformedInput(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"bad header", "NOPE 9\nV 3\n"},
+		{"missing V", "DBNET 1\nE 0 1\n"},
+		{"duplicate V", "DBNET 1\nV 2\nV 2\n"},
+		{"negative V", "DBNET 1\nV -1\n"},
+		{"bad edge arity", "DBNET 1\nV 2\nE 0\n"},
+		{"bad edge vertex", "DBNET 1\nV 2\nE 0 x\n"},
+		{"edge out of range", "DBNET 1\nV 2\nE 0 7\n"},
+		{"self loop", "DBNET 1\nV 2\nE 1 1\n"},
+		{"tx before V", "DBNET 1\nT 0 1\n"},
+		{"tx bad vertex", "DBNET 1\nV 2\nT x 1\n"},
+		{"tx bad item", "DBNET 1\nV 2\nT 0 notanitem\n"},
+		{"tx out of range", "DBNET 1\nV 2\nT 9 1\n"},
+		{"unknown record", "DBNET 1\nV 2\nX 1 2\n"},
+		{"bad item line", "DBNET 1\nV 2\nI 5\n"},
+		{"bad item id", "DBNET 1\nV 2\nI x name\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := Read(strings.NewReader(c.input)); err == nil {
+				t.Fatalf("Read(%q) should fail", c.input)
+			}
+		})
+	}
+}
+
+func TestReadIgnoresCommentsAndBlankLines(t *testing.T) {
+	input := "# comment\n\nDBNET 1\n# another\nV 2\n\nE 0 1\nT 0 5\n"
+	nw, _, err := Read(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if nw.NumVertices() != 2 || nw.NumEdges() != 1 {
+		t.Fatalf("parsed network wrong: %v", nw)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	nw := smallNetwork(t)
+	path := t.TempDir() + "/net.dbnet"
+	if err := WriteFile(path, nw, nil); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.Stats() != nw.Stats() {
+		t.Fatalf("file round trip stats mismatch")
+	}
+	if _, _, err := ReadFile(path + ".missing"); err == nil {
+		t.Fatalf("ReadFile of missing file should fail")
+	}
+}
+
+func TestPaperExampleFrequencies(t *testing.T) {
+	nw := PaperExample()
+	if nw.NumVertices() != 9 {
+		t.Fatalf("paper example should have 9 vertices")
+	}
+	wantP := []float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.0, 0.3, 0.3, 0.3}
+	for v, want := range wantP {
+		if got := nw.Frequency(graph.VertexID(v), PaperExampleP); !approx(got, want) {
+			t.Errorf("f_%d(p) = %v, want %v", v+1, got, want)
+		}
+	}
+	// Example 3.2: edge (v1,v2) is in triangles with v3 and v5.
+	cn := nw.Graph().CommonNeighbors(0, 1)
+	if len(cn) != 2 || cn[0] != 2 || cn[1] != 4 {
+		t.Fatalf("common neighbors of v1,v2 = %v, want [v3 v5]", cn)
+	}
+	// The theme network of p excludes v6 (frequency 0).
+	tn := nw.ThemeNetwork(PaperExampleP)
+	if tn.NumVertices() != 8 {
+		t.Fatalf("theme network of p has %d vertices, want 8", tn.NumVertices())
+	}
+	if _, ok := tn.Freq[5]; ok {
+		t.Fatalf("v6 must not be part of the theme network of p")
+	}
+}
+
+func TestStringSummaries(t *testing.T) {
+	nw := New(3)
+	if got := nw.String(); got != "dbnet.Network{|V|=3, |E|=0}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func randomNetwork(rng *rand.Rand, n, m, items int) *Network {
+	nw := New(n)
+	for i := 0; i < m; i++ {
+		a, b := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		if a != b {
+			nw.MustAddEdge(a, b)
+		}
+	}
+	for v := 0; v < n; v++ {
+		ntx := 1 + rng.Intn(5)
+		for i := 0; i < ntx; i++ {
+			l := 1 + rng.Intn(3)
+			tx := make([]itemset.Item, l)
+			for j := range tx {
+				tx[j] = itemset.Item(rng.Intn(items))
+			}
+			if err := nw.AddTransaction(graph.VertexID(v), itemset.New(tx...)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return nw
+}

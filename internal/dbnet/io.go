@@ -1,0 +1,205 @@
+package dbnet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+// The on-disk format is a simple line-oriented text format:
+//
+//	DBNET 1
+//	V <numVertices>
+//	I <itemID> <item name ...>        (optional, one per named item)
+//	E <u> <v>                         (one per edge)
+//	T <vertex> <itemID> <itemID> ...  (one per transaction)
+//
+// Lines starting with '#' and blank lines are ignored. The format is designed
+// to be diffable, streamable and easy to generate from other tooling.
+
+const formatHeader = "DBNET 1"
+
+// Write serializes the network (and optionally the item dictionary) to w.
+func Write(w io.Writer, nw *Network, dict *itemset.Dictionary) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, formatHeader); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "V %d\n", nw.NumVertices())
+	if dict != nil {
+		for id := 0; id < dict.Len(); id++ {
+			name, err := dict.Name(itemset.Item(id))
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(bw, "I %d %s\n", id, name)
+		}
+	}
+	for _, e := range nw.Graph().Edges() {
+		fmt.Fprintf(bw, "E %d %d\n", e.U, e.V)
+	}
+	for v := 0; v < nw.NumVertices(); v++ {
+		for _, t := range nw.Database(graph.VertexID(v)).Transactions() {
+			sb := make([]string, 0, len(t)+2)
+			sb = append(sb, "T", strconv.Itoa(v))
+			for _, it := range t {
+				sb = append(sb, strconv.Itoa(int(it)))
+			}
+			fmt.Fprintln(bw, strings.Join(sb, " "))
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a network written by Write. The returned dictionary contains
+// only the names present in the file ("I" lines); it may be empty.
+func Read(r io.Reader) (*Network, *itemset.Dictionary, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	readLine := func() (string, bool) {
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, true
+		}
+		return "", false
+	}
+
+	header, ok := readLine()
+	if !ok {
+		return nil, nil, fmt.Errorf("dbnet: empty input")
+	}
+	if header != formatHeader {
+		return nil, nil, fmt.Errorf("dbnet: line %d: unsupported header %q", lineNo, header)
+	}
+
+	var nw *Network
+	dict := itemset.NewDictionary()
+	names := make(map[itemset.Item]string)
+
+	for {
+		line, ok := readLine()
+		if !ok {
+			break
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "V":
+			if nw != nil {
+				return nil, nil, fmt.Errorf("dbnet: line %d: duplicate V line", lineNo)
+			}
+			if len(fields) != 2 {
+				return nil, nil, fmt.Errorf("dbnet: line %d: malformed V line", lineNo)
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 0 {
+				return nil, nil, fmt.Errorf("dbnet: line %d: invalid vertex count %q", lineNo, fields[1])
+			}
+			nw = New(n)
+		case "I":
+			if len(fields) < 3 {
+				return nil, nil, fmt.Errorf("dbnet: line %d: malformed I line", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, nil, fmt.Errorf("dbnet: line %d: invalid item id %q", lineNo, fields[1])
+			}
+			names[itemset.Item(id)] = strings.Join(fields[2:], " ")
+		case "E":
+			if nw == nil {
+				return nil, nil, fmt.Errorf("dbnet: line %d: E line before V line", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, nil, fmt.Errorf("dbnet: line %d: malformed E line", lineNo)
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, nil, fmt.Errorf("dbnet: line %d: invalid edge endpoints", lineNo)
+			}
+			if err := nw.AddEdge(graph.VertexID(u), graph.VertexID(v)); err != nil {
+				return nil, nil, fmt.Errorf("dbnet: line %d: %w", lineNo, err)
+			}
+		case "T":
+			if nw == nil {
+				return nil, nil, fmt.Errorf("dbnet: line %d: T line before V line", lineNo)
+			}
+			if len(fields) < 2 {
+				return nil, nil, fmt.Errorf("dbnet: line %d: malformed T line", lineNo)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, nil, fmt.Errorf("dbnet: line %d: invalid vertex %q", lineNo, fields[1])
+			}
+			items := make([]itemset.Item, 0, len(fields)-2)
+			for _, f := range fields[2:] {
+				id, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, nil, fmt.Errorf("dbnet: line %d: invalid item %q", lineNo, f)
+				}
+				items = append(items, itemset.Item(id))
+			}
+			if err := nw.AddTransaction(graph.VertexID(v), itemset.New(items...)); err != nil {
+				return nil, nil, fmt.Errorf("dbnet: line %d: %w", lineNo, err)
+			}
+		default:
+			return nil, nil, fmt.Errorf("dbnet: line %d: unknown record type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("dbnet: read: %w", err)
+	}
+	if nw == nil {
+		return nil, nil, fmt.Errorf("dbnet: missing V line")
+	}
+	// Rebuild the dictionary with stable identifiers matching the file.
+	if len(names) > 0 {
+		maxID := itemset.Item(0)
+		for id := range names {
+			if id > maxID {
+				maxID = id
+			}
+		}
+		for id := itemset.Item(0); id <= maxID; id++ {
+			name, ok := names[id]
+			if !ok {
+				name = fmt.Sprintf("item-%d", id)
+			}
+			dict.Intern(name)
+		}
+	}
+	return nw, dict, nil
+}
+
+// WriteFile writes the network to the named file, creating or truncating it.
+func WriteFile(path string, nw *Network, dict *itemset.Dictionary) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, nw, dict); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a network from the named file.
+func ReadFile(path string) (*Network, *itemset.Dictionary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

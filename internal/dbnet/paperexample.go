@@ -1,0 +1,72 @@
+package dbnet
+
+import (
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+// PaperExampleItems are the two patterns p = {1} and q = {2} used by
+// PaperExample. They are exported for tests that replay the worked example of
+// Figure 1 of the paper.
+var (
+	PaperExampleP = itemset.New(1)
+	PaperExampleQ = itemset.New(2)
+)
+
+// PaperExample constructs the toy database network of Figure 1 of the paper:
+// 9 vertices v1..v9 (here 0..8) whose databases are synthesized so that the
+// frequencies of pattern p on v1..v9 are 0.1,0.1,0.1,0.1,0.1,0,0.3,0.3,0.3 and
+// the frequencies of pattern q are 0.4,0.5,0.1,0.0,0.7,0.8,0.6,0.1,0.7
+// (Figure 1(c) labels). The edge structure follows Figure 1(a):
+// a 5-vertex cluster {v1..v5}, a triangle {v7,v8,v9}, and v6 bridging the two.
+//
+// The returned network reproduces, for p, the theme communities
+// {v1,...,v5} and {v7,v8,v9} for α ∈ [0, 0.2) (Example 3.6).
+func PaperExample() *Network {
+	nw := New(9)
+	edges := [][2]graph.VertexID{
+		// Dense cluster on v1..v5 (0..4).
+		{0, 1}, {0, 2}, {0, 4}, {1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4},
+		// Bridge through v6 (5).
+		{4, 5}, {5, 6},
+		// Triangle v7, v8, v9 (6, 7, 8).
+		{6, 7}, {6, 8}, {7, 8},
+	}
+	for _, e := range edges {
+		nw.MustAddEdge(e[0], e[1])
+	}
+
+	pFreqs := []float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.0, 0.3, 0.3, 0.3}
+	qFreqs := []float64{0.4, 0.5, 0.1, 0.0, 0.7, 0.8, 0.6, 0.1, 0.7}
+	for v := 0; v < 9; v++ {
+		setVertexFrequencies(nw, graph.VertexID(v), map[itemset.Item]float64{
+			PaperExampleP[0]: pFreqs[v],
+			PaperExampleQ[0]: qFreqs[v],
+		})
+	}
+	return nw
+}
+
+// setVertexFrequencies fills the database of v with 10 transactions realizing
+// the requested single-item frequencies (each frequency must be a multiple of
+// 0.1 in [0,1]).
+func setVertexFrequencies(nw *Network, v graph.VertexID, freqs map[itemset.Item]float64) {
+	const slots = 10
+	for i := 0; i < slots; i++ {
+		var tx []itemset.Item
+		for it, f := range freqs {
+			if float64(i) < f*slots-1e-9 {
+				tx = append(tx, it)
+			}
+		}
+		if len(tx) == 0 {
+			// A filler item (unique per vertex, outside the patterns of
+			// interest) keeps the transaction count at 10 so frequencies are
+			// exact tenths.
+			tx = []itemset.Item{1000 + itemset.Item(v)}
+		}
+		if err := nw.AddTransaction(v, itemset.New(tx...)); err != nil {
+			panic(err)
+		}
+	}
+}

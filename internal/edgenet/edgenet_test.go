@@ -1,0 +1,260 @@
+package edgenet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"themecomm/internal/fpm"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+// messagingNetwork builds a small edge database network: a triangle of close
+// contacts {0,1,2} whose conversations frequently mention {project, deadline},
+// a second triangle {2,3,4} chatting about {dinner}, plus a pendant edge.
+func messagingNetwork(t *testing.T) (*Network, itemset.Item, itemset.Item, itemset.Item) {
+	t.Helper()
+	nw := New(6)
+	const project, deadline, dinner, misc = 1, 2, 3, 4
+	say := func(a, b graph.VertexID, times int, items ...itemset.Item) {
+		for i := 0; i < times; i++ {
+			if err := nw.AddInteraction(a, b, itemset.New(items...)); err != nil {
+				t.Fatalf("AddInteraction: %v", err)
+			}
+		}
+	}
+	for _, e := range [][2]graph.VertexID{{0, 1}, {0, 2}, {1, 2}} {
+		say(e[0], e[1], 4, project, deadline)
+		say(e[0], e[1], 1, misc)
+	}
+	for _, e := range [][2]graph.VertexID{{2, 3}, {2, 4}, {3, 4}} {
+		say(e[0], e[1], 3, dinner)
+		say(e[0], e[1], 1, misc)
+	}
+	say(4, 5, 2, misc)
+	return nw, project, deadline, dinner
+}
+
+func TestNetworkBasics(t *testing.T) {
+	nw, project, deadline, _ := messagingNetwork(t)
+	if nw.NumVertices() != 6 || nw.NumEdges() != 7 {
+		t.Fatalf("size = (%d,%d)", nw.NumVertices(), nw.NumEdges())
+	}
+	if got := nw.Frequency(0, 1, itemset.New(project, deadline)); !approx(got, 0.8) {
+		t.Fatalf("f_(0,1)({project,deadline}) = %v, want 0.8", got)
+	}
+	if got := nw.Frequency(0, 3, itemset.New(project)); got != 0 {
+		t.Fatalf("missing edge should have frequency 0, got %v", got)
+	}
+	if nw.Database(1, 1) != nil {
+		t.Fatalf("self-loop database should be nil")
+	}
+	if got := nw.Items(); got.Len() != 4 {
+		t.Fatalf("Items = %v", got)
+	}
+	st := nw.Stats()
+	if st.Edges != 7 || st.Transactions != 3*5+3*4+2 || st.ItemsUnique != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if len(nw.Edges()) != 7 {
+		t.Fatalf("Edges() returned %d edges", len(nw.Edges()))
+	}
+	if nw.String() == "" {
+		t.Fatalf("empty String")
+	}
+	if err := nw.AddEdge(0, 0); err == nil {
+		t.Fatalf("self-loop should be rejected")
+	}
+	if err := nw.AddInteraction(0, 99, itemset.New(1)); err == nil {
+		t.Fatalf("out-of-range vertex should be rejected")
+	}
+}
+
+func TestThemeNetworkInduction(t *testing.T) {
+	nw, project, deadline, dinner := messagingNetwork(t)
+	tn := nw.ThemeNetwork(itemset.New(project, deadline))
+	if tn.NumEdges() != 3 {
+		t.Fatalf("theme network of {project,deadline} has %d edges, want 3", tn.NumEdges())
+	}
+	for key, f := range tn.Freq {
+		if !approx(f, 0.8) {
+			t.Fatalf("edge %v frequency = %v, want 0.8", graph.EdgeFromKey(key), f)
+		}
+	}
+	tn = nw.ThemeNetwork(itemset.New(dinner))
+	if tn.NumEdges() != 3 {
+		t.Fatalf("theme network of {dinner} has %d edges", tn.NumEdges())
+	}
+	// Restricted induction agrees with intersecting the full induction.
+	within := graph.NewEdgeSet(graph.EdgeOf(0, 1), graph.EdgeOf(2, 3))
+	restricted := nw.ThemeNetworkWithin(itemset.New(project), within)
+	if restricted.NumEdges() != 1 || !restricted.Edges.Contains(graph.EdgeOf(0, 1)) {
+		t.Fatalf("restricted induction wrong: %v", restricted.Edges.Edges())
+	}
+	if got := nw.ThemeNetworkWithin(itemset.New(project), nil); got.NumEdges() != 3 {
+		t.Fatalf("nil restriction should fall back to full induction")
+	}
+}
+
+func TestDetectOnMessagingNetwork(t *testing.T) {
+	nw, project, deadline, dinner := messagingNetwork(t)
+
+	// The {project, deadline} triangle: every edge has cohesion 0.8.
+	tr := Detect(nw.ThemeNetwork(itemset.New(project, deadline)), 0.5)
+	if tr.NumEdges() != 3 || tr.NumVertices() != 3 {
+		t.Fatalf("project triangle truss wrong: %v", tr)
+	}
+	comms := tr.Communities()
+	if len(comms) != 1 || len(comms[0].Vertices()) != 3 {
+		t.Fatalf("expected one 3-vertex community, got %v", comms)
+	}
+	// Strict threshold: at α = 0.8 the triangle is gone.
+	if !Detect(nw.ThemeNetwork(itemset.New(project, deadline)), 0.8).Empty() {
+		t.Fatalf("cohesion is not strictly greater than 0.8, truss must be empty")
+	}
+	// The dinner triangle survives at α < 0.75; the pendant edge never does.
+	tr = Detect(nw.ThemeNetwork(itemset.New(dinner)), 0.5)
+	if tr.NumEdges() != 3 {
+		t.Fatalf("dinner truss = %v", tr)
+	}
+	tr = Detect(nw.ThemeNetwork(itemset.New(4)), 0) // misc appears on all edges
+	for _, e := range tr.Edges.Edges() {
+		if e == graph.EdgeOf(4, 5) {
+			t.Fatalf("the pendant edge is in no triangle and must be removed")
+		}
+	}
+	// Accessors on empty/nil trusses.
+	var nilTruss *Truss
+	if !nilTruss.Empty() || nilTruss.NumEdges() != 0 || nilTruss.NumVertices() != 0 || nilTruss.Communities() != nil {
+		t.Fatalf("nil truss accessors broken")
+	}
+	if nilTruss.String() != "edgenet.Truss(nil)" {
+		t.Fatalf("nil truss String = %q", nilTruss.String())
+	}
+}
+
+func TestTrussAntiMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		nw := randomEdgeNetwork(rng, 10, 25, 4)
+		p1 := itemset.New(0)
+		p2 := itemset.New(0, 1)
+		for _, alpha := range []float64{0, 0.2, 0.5} {
+			t1 := Detect(nw.ThemeNetwork(p1), alpha)
+			t2 := Detect(nw.ThemeNetwork(p2), alpha)
+			if !t2.Edges.SubsetOf(t1.Edges) {
+				t.Fatalf("trial %d α=%v: truss of %v not contained in truss of %v", trial, alpha, p2, p1)
+			}
+		}
+	}
+}
+
+func TestFindMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 8; trial++ {
+		nw := randomEdgeNetwork(rng, 10, 22, 4)
+		for _, alpha := range []float64{0, 0.3} {
+			got := Find(nw, Options{Alpha: alpha})
+			want := bruteForce(nw, alpha)
+			if len(got.Trusses) != len(want) {
+				t.Fatalf("trial %d α=%v: Find found %d patterns, brute force %d",
+					trial, alpha, len(got.Trusses), len(want))
+			}
+			for key, tr := range want {
+				g, ok := got.Trusses[key]
+				if !ok || !g.Edges.Equal(tr.Edges) {
+					t.Fatalf("trial %d α=%v: mismatch on pattern %v", trial, alpha, key.Itemset())
+				}
+			}
+		}
+	}
+}
+
+func TestFindOnMessagingNetwork(t *testing.T) {
+	nw, project, deadline, dinner := messagingNetwork(t)
+	res := Find(nw, Options{Alpha: 0.5})
+	if res.Truss(itemset.New(project, deadline)) == nil {
+		t.Fatalf("{project, deadline} should be qualified")
+	}
+	if res.Truss(itemset.New(dinner)) == nil {
+		t.Fatalf("{dinner} should be qualified")
+	}
+	if res.Truss(itemset.New(project, dinner)) != nil {
+		t.Fatalf("{project, dinner} never co-occurs on an edge")
+	}
+	comms := res.Communities()
+	if len(comms) == 0 {
+		t.Fatalf("no communities")
+	}
+	for _, c := range comms {
+		if len(c.Vertices()) < 3 {
+			t.Fatalf("edge theme community smaller than a triangle: %v", c)
+		}
+	}
+	// Patterns are sorted, durations recorded, bounded length respected.
+	ps := res.Patterns()
+	for i := 1; i < len(ps); i++ {
+		if ps[i-1].Len() > ps[i].Len() {
+			t.Fatalf("patterns not sorted: %v", ps)
+		}
+	}
+	if res.Duration <= 0 {
+		t.Fatalf("duration not recorded")
+	}
+	bounded := Find(nw, Options{Alpha: 0.5, MaxPatternLength: 1})
+	for _, p := range bounded.Patterns() {
+		if p.Len() > 1 {
+			t.Fatalf("MaxPatternLength violated: %v", p)
+		}
+	}
+	if got := Find(New(0), Options{}); got.NumPatterns() != 0 {
+		t.Fatalf("empty network should yield nothing")
+	}
+}
+
+// bruteForce enumerates every pattern appearing in any edge database and runs
+// Detect on its full theme network.
+func bruteForce(nw *Network, alpha float64) map[itemset.Key]*Truss {
+	seen := make(map[itemset.Key]bool)
+	out := make(map[itemset.Key]*Truss)
+	for _, e := range nw.Edges() {
+		db := nw.Database(e.U, e.V)
+		for _, p := range fpm.Enumerate(db, fpm.Options{MinFrequency: 0}) {
+			key := p.Items.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			tr := Detect(nw.ThemeNetwork(p.Items), alpha)
+			if !tr.Empty() {
+				out[key] = tr
+			}
+		}
+	}
+	return out
+}
+
+func randomEdgeNetwork(rng *rand.Rand, n, m, items int) *Network {
+	nw := New(n)
+	for i := 0; i < m; i++ {
+		a, b := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		ntx := 1 + rng.Intn(4)
+		for j := 0; j < ntx; j++ {
+			l := 1 + rng.Intn(3)
+			tx := make([]itemset.Item, l)
+			for k := range tx {
+				tx[k] = itemset.Item(rng.Intn(items))
+			}
+			if err := nw.AddInteraction(a, b, itemset.New(tx...)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return nw
+}

@@ -1,0 +1,151 @@
+package edgenet
+
+import (
+	"sort"
+	"time"
+
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+// Options configures the edge theme-community miner.
+type Options struct {
+	// Alpha is the minimum cohesion threshold.
+	Alpha float64
+	// MaxPatternLength, when positive, bounds the mined pattern length.
+	MaxPatternLength int
+}
+
+// Result is the set of maximal edge-pattern trusses found by Find.
+type Result struct {
+	// Alpha is the threshold the run was performed with.
+	Alpha float64
+	// Trusses maps each qualified pattern to its maximal edge-pattern truss.
+	Trusses map[itemset.Key]*Truss
+	// Duration is the wall-clock mining time.
+	Duration time.Duration
+}
+
+// NumPatterns returns the number of qualified patterns.
+func (r *Result) NumPatterns() int { return len(r.Trusses) }
+
+// Truss returns the maximal edge-pattern truss of p, or nil if p is not
+// qualified.
+func (r *Result) Truss(p itemset.Itemset) *Truss { return r.Trusses[p.Key()] }
+
+// Patterns returns the qualified patterns sorted by length and then
+// lexicographically.
+func (r *Result) Patterns() []itemset.Itemset {
+	out := make([]itemset.Itemset, 0, len(r.Trusses))
+	for k := range r.Trusses {
+		out = append(out, k.Itemset())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Len() != out[j].Len() {
+			return out[i].Len() < out[j].Len()
+		}
+		return itemset.Compare(out[i], out[j]) < 0
+	})
+	return out
+}
+
+// Communities returns every edge theme community of the result, ordered by
+// pattern.
+func (r *Result) Communities() []Community {
+	var out []Community
+	for _, p := range r.Patterns() {
+		for _, comp := range r.Trusses[p.Key()].Communities() {
+			out = append(out, Community{Pattern: p, Edges: comp})
+		}
+	}
+	return out
+}
+
+// Community is one edge theme community: a connected edge set whose edge
+// databases all exhibit the theme.
+type Community struct {
+	Pattern itemset.Itemset
+	Edges   graph.EdgeSet
+}
+
+// Vertices returns the sorted vertices of the community.
+func (c Community) Vertices() []graph.VertexID { return c.Edges.Vertices() }
+
+// Find mines every maximal edge-pattern truss of the network with the
+// TCFI-style level-wise strategy: single items first, then longer candidates
+// generated from qualified patterns sharing a prefix, each evaluated inside
+// the intersection of its parents' trusses. The result is exact because edge
+// frequencies are anti-monotone in the pattern.
+func Find(nw *Network, opts Options) *Result {
+	start := time.Now()
+	res := &Result{Alpha: opts.Alpha, Trusses: make(map[itemset.Key]*Truss)}
+	maxLen := opts.MaxPatternLength
+	if maxLen <= 0 {
+		maxLen = int(^uint(0) >> 1)
+	}
+
+	type qualified struct {
+		pattern itemset.Itemset
+		truss   *Truss
+	}
+	var level []qualified
+	for _, it := range nw.Items() {
+		p := itemset.New(it)
+		t := Detect(nw.ThemeNetwork(p), opts.Alpha)
+		if !t.Empty() {
+			level = append(level, qualified{pattern: p, truss: t})
+			res.Trusses[p.Key()] = t
+		}
+	}
+
+	k := 2
+	for len(level) > 0 && k <= maxLen {
+		qualifiedKeys := make(map[itemset.Key]bool, len(level))
+		for _, q := range level {
+			qualifiedKeys[q.pattern.Key()] = true
+		}
+		sort.Slice(level, func(i, j int) bool { return itemset.Compare(level[i].pattern, level[j].pattern) < 0 })
+
+		var next []qualified
+		seen := make(map[itemset.Key]bool)
+		for i := 0; i < len(level); i++ {
+			for j := i + 1; j < len(level); j++ {
+				a, b := level[i], level[j]
+				if !a.pattern.Prefix(a.pattern.Len() - 1).Equal(b.pattern.Prefix(b.pattern.Len() - 1)) {
+					break
+				}
+				union := a.pattern.Union(b.pattern)
+				if union.Len() != a.pattern.Len()+1 || seen[union.Key()] {
+					continue
+				}
+				seen[union.Key()] = true
+				if !allSubsetsQualified(union, qualifiedKeys) {
+					continue
+				}
+				inter := a.truss.Edges.Intersect(b.truss.Edges)
+				if inter.Len() == 0 {
+					continue
+				}
+				t := Detect(nw.ThemeNetworkWithin(union, inter), opts.Alpha)
+				if t.Empty() {
+					continue
+				}
+				next = append(next, qualified{pattern: union, truss: t})
+				res.Trusses[union.Key()] = t
+			}
+		}
+		level = next
+		k++
+	}
+	res.Duration = time.Since(start)
+	return res
+}
+
+func allSubsetsQualified(cand itemset.Itemset, qualified map[itemset.Key]bool) bool {
+	for _, sub := range cand.ImmediateSubsets() {
+		if !qualified[sub.Key()] {
+			return false
+		}
+	}
+	return true
+}

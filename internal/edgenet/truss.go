@@ -1,0 +1,159 @@
+package edgenet
+
+import (
+	"fmt"
+
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+// cohesionTolerance mirrors the tolerance used by the vertex-network MPTD: it
+// absorbs floating-point drift when comparing cohesion values against α.
+const cohesionTolerance = 1e-9
+
+// Truss is a maximal edge-pattern truss: the largest subgraph of the edge
+// theme network in which every edge has cohesion strictly greater than Alpha,
+// where cohesion sums min(f_ij, f_ik, f_jk) over the triangles of the
+// subgraph.
+type Truss struct {
+	// Pattern is the theme p.
+	Pattern itemset.Itemset
+	// Alpha is the cohesion threshold the truss was computed for.
+	Alpha float64
+	// Edges is the surviving edge set.
+	Edges graph.EdgeSet
+	// Freq maps the key of every surviving edge to f_e(p).
+	Freq map[uint64]float64
+}
+
+// Empty reports whether the truss has no edges.
+func (t *Truss) Empty() bool { return t == nil || t.Edges.Len() == 0 }
+
+// NumEdges returns the number of surviving edges.
+func (t *Truss) NumEdges() int {
+	if t == nil {
+		return 0
+	}
+	return t.Edges.Len()
+}
+
+// NumVertices returns the number of vertices incident to surviving edges.
+func (t *Truss) NumVertices() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.Edges.Vertices())
+}
+
+// Communities returns the maximal connected subgraphs of the truss: the edge
+// theme communities.
+func (t *Truss) Communities() []graph.EdgeSet {
+	if t.Empty() {
+		return nil
+	}
+	return t.Edges.ConnectedComponents()
+}
+
+// String summarises the truss.
+func (t *Truss) String() string {
+	if t == nil {
+		return "edgenet.Truss(nil)"
+	}
+	return fmt.Sprintf("edgenet.Truss{p=%v, α=%g, |V|=%d, |E|=%d}", t.Pattern, t.Alpha, t.NumVertices(), t.NumEdges())
+}
+
+// Detect computes the maximal edge-pattern truss of the theme network with
+// respect to alpha by the same peeling strategy as Algorithm 1: compute every
+// edge's cohesion, repeatedly remove an edge whose cohesion is at most alpha,
+// and update the cohesion of the other two edges of every triangle the
+// removal breaks.
+func Detect(tn *ThemeNetwork, alpha float64) *Truss {
+	adj := make(map[graph.VertexID]map[graph.VertexID]bool)
+	link := func(u, v graph.VertexID) {
+		if adj[u] == nil {
+			adj[u] = make(map[graph.VertexID]bool)
+		}
+		adj[u][v] = true
+	}
+	for _, e := range tn.Edges {
+		link(e.U, e.V)
+		link(e.V, e.U)
+	}
+	commonNeighbors := func(u, v graph.VertexID) []graph.VertexID {
+		a, b := adj[u], adj[v]
+		if len(b) < len(a) {
+			a, b = b, a
+		}
+		var out []graph.VertexID
+		for w := range a {
+			if b[w] {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	freqOf := func(u, v graph.VertexID) float64 { return tn.Freq[graph.EdgeOf(u, v).Key()] }
+
+	cohesion := make(map[uint64]float64, tn.Edges.Len())
+	for key, e := range tn.Edges {
+		total := 0.0
+		for _, w := range commonNeighbors(e.U, e.V) {
+			total += min3(tn.Freq[key], freqOf(e.U, w), freqOf(e.V, w))
+		}
+		cohesion[key] = total
+	}
+
+	removed := make(map[uint64]bool)
+	queued := make(map[uint64]bool)
+	var queue []graph.Edge
+	for key, eco := range cohesion {
+		if eco <= alpha+cohesionTolerance {
+			queue = append(queue, graph.EdgeFromKey(key))
+			queued[key] = true
+		}
+	}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		key := e.Key()
+		if removed[key] {
+			continue
+		}
+		for _, w := range commonNeighbors(e.U, e.V) {
+			m := min3(tn.Freq[key], freqOf(e.U, w), freqOf(e.V, w))
+			for _, other := range []graph.Edge{graph.EdgeOf(e.U, w), graph.EdgeOf(e.V, w)} {
+				ok := other.Key()
+				if removed[ok] {
+					continue
+				}
+				cohesion[ok] -= m
+				if cohesion[ok] <= alpha+cohesionTolerance && !queued[ok] {
+					queue = append(queue, other)
+					queued[ok] = true
+				}
+			}
+		}
+		removed[key] = true
+		delete(cohesion, key)
+		delete(adj[e.U], e.V)
+		delete(adj[e.V], e.U)
+	}
+
+	t := &Truss{Pattern: tn.Pattern.Clone(), Alpha: alpha, Edges: make(graph.EdgeSet, len(cohesion)), Freq: make(map[uint64]float64, len(cohesion))}
+	for key := range cohesion {
+		t.Edges.Add(graph.EdgeFromKey(key))
+		t.Freq[key] = tn.Freq[key]
+	}
+	return t
+}
+
+func min3(a, b, c float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"math/rand"
+	"time"
+
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+)
+
+// Table3Row is one row of Table 3: the TC-Tree indexing performance on one
+// dataset.
+type Table3Row struct {
+	Dataset         string
+	IndexingSeconds float64
+	MemoryMB        float64
+	Nodes           int
+}
+
+// Table3 regenerates Table 3: TC-Tree indexing time, memory footprint and node
+// count on every dataset analogue. Building the tree also warms the suite's
+// tree cache used by Figure 5.
+func (s *Suite) Table3() ([]Table3Row, error) {
+	var out []Table3Row
+	for _, name := range AllDatasets() {
+		d, err := s.Dataset(name)
+		if err != nil {
+			return nil, err
+		}
+		before := heapAllocMB()
+		start := time.Now()
+		tree := tctree.Build(d.Network, tctree.BuildOptions{
+			Parallelism: s.Config.TreeParallelism,
+			MaxDepth:    s.Config.MaxPatternLength,
+		})
+		elapsed := time.Since(start)
+		after := heapAllocMB()
+		s.trees[name] = tree
+		mem := after - before
+		if mem < 0 {
+			mem = after
+		}
+		out = append(out, Table3Row{
+			Dataset:         name,
+			IndexingSeconds: elapsed.Seconds(),
+			MemoryMB:        mem,
+			Nodes:           tree.NumNodes(),
+		})
+	}
+	return out, nil
+}
+
+// Figure5Row is one data point of Figure 5: the average query time and number
+// of retrieved nodes for one query setting on one dataset.
+type Figure5Row struct {
+	Dataset        string
+	Workload       string // "QBA" or "QBP"
+	AlphaQ         float64
+	PatternLength  int
+	QuerySeconds   float64
+	RetrievedNodes int
+}
+
+// Figure5QBA regenerates Figures 5(a)-(d): query-by-alpha performance. The
+// query pattern is the full item universe and α_q sweeps from 0 to the
+// largest non-trivial threshold of the tree.
+func (s *Suite) Figure5QBA() ([]Figure5Row, error) {
+	var out []Figure5Row
+	for _, name := range AllDatasets() {
+		tree, err := s.Tree(name)
+		if err != nil {
+			return nil, err
+		}
+		maxAlpha := tree.MaxAlpha()
+		steps := s.Config.QueryAlphaSteps
+		if steps < 2 {
+			steps = 2
+		}
+		for i := 0; i < steps; i++ {
+			alphaQ := maxAlpha * float64(i) / float64(steps-1)
+			var total time.Duration
+			retrieved := 0
+			reps := s.Config.QueriesPerPoint
+			if reps < 1 {
+				reps = 1
+			}
+			for r := 0; r < reps; r++ {
+				qr := tree.QueryByAlpha(alphaQ)
+				total += qr.Duration
+				retrieved = qr.RetrievedNodes
+			}
+			out = append(out, Figure5Row{
+				Dataset:        name,
+				Workload:       "QBA",
+				AlphaQ:         alphaQ,
+				QuerySeconds:   total.Seconds() / float64(reps),
+				RetrievedNodes: retrieved,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Figure5QBP regenerates Figures 5(e)-(h): query-by-pattern performance. For
+// every indexed pattern length, query patterns are sampled from the tree's
+// nodes of that length and queried with α_q = 0.
+func (s *Suite) Figure5QBP() ([]Figure5Row, error) {
+	rng := rand.New(rand.NewSource(s.Config.Seed + 1))
+	var out []Figure5Row
+	for _, name := range AllDatasets() {
+		tree, err := s.Tree(name)
+		if err != nil {
+			return nil, err
+		}
+		depth := tree.Depth()
+		for length := 1; length <= depth; length++ {
+			patterns := tree.PatternsAtDepth(length)
+			if len(patterns) == 0 {
+				continue
+			}
+			reps := s.Config.QueriesPerPoint
+			if reps < 1 {
+				reps = 1
+			}
+			var total time.Duration
+			totalRetrieved := 0
+			for r := 0; r < reps; r++ {
+				q := patterns[rng.Intn(len(patterns))]
+				qr := tree.QueryByPattern(q)
+				total += qr.Duration
+				totalRetrieved += qr.RetrievedNodes
+			}
+			out = append(out, Figure5Row{
+				Dataset:        name,
+				Workload:       "QBP",
+				PatternLength:  length,
+				QuerySeconds:   total.Seconds() / float64(reps),
+				RetrievedNodes: totalRetrieved / reps,
+			})
+		}
+	}
+	return out, nil
+}
+
+// CaseStudyCommunity is one named theme community of the case study
+// (Table 4 / Figure 6): a set of collaborating authors and the keyword theme
+// they share.
+type CaseStudyCommunity struct {
+	Theme   []string
+	Authors []string
+}
+
+// CaseStudy regenerates the case study of Section 7.4 on the co-author
+// analogue: it queries the AMINER TC-Tree at the configured α, keeps the
+// communities whose themes contain at least two keywords, and reports the
+// author names and keyword themes of the largest ones.
+func (s *Suite) CaseStudy(maxCommunities int) ([]CaseStudyCommunity, error) {
+	d, err := s.Dataset("AMINER")
+	if err != nil {
+		return nil, err
+	}
+	tree, err := s.Tree("AMINER")
+	if err != nil {
+		return nil, err
+	}
+	qr := tree.QueryByAlpha(s.Config.CaseStudyAlpha)
+	comms := qr.Communities()
+
+	var out []CaseStudyCommunity
+	for _, c := range comms {
+		if c.Pattern.Len() < 2 {
+			continue
+		}
+		theme := d.Dictionary.Names(c.Pattern)
+		var authors []string
+		for _, v := range c.Vertices() {
+			if int(v) < len(d.AuthorNames) {
+				authors = append(authors, d.AuthorNames[v])
+			}
+		}
+		out = append(out, CaseStudyCommunity{Theme: theme, Authors: authors})
+	}
+	// Largest communities first, to mirror the presentation of Figure 6.
+	sortCaseStudy(out)
+	if maxCommunities > 0 && len(out) > maxCommunities {
+		out = out[:maxCommunities]
+	}
+	return out, nil
+}
+
+func sortCaseStudy(cs []CaseStudyCommunity) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && score(cs[j]) > score(cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+// score ranks case-study communities: longer themes first, then more authors.
+func score(c CaseStudyCommunity) int { return 1000*len(c.Theme) + len(c.Authors) }
+
+// QueryPatternOfLength samples one indexed pattern of the given length from a
+// tree; it is exported for the query benchmarks.
+func QueryPatternOfLength(tree *tctree.Tree, length int, rng *rand.Rand) (itemset.Itemset, bool) {
+	patterns := tree.PatternsAtDepth(length)
+	if len(patterns) == 0 {
+		return nil, false
+	}
+	return patterns[rng.Intn(len(patterns))], true
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"themecomm/internal/core"
+	"themecomm/internal/dbnet"
+	"themecomm/internal/sampling"
+)
+
+// Table2Row is one row of Table 2: the statistics of one dataset.
+type Table2Row struct {
+	Dataset      string
+	Vertices     int
+	Edges        int
+	Transactions int
+	ItemsTotal   int
+	ItemsUnique  int
+}
+
+// Table2 regenerates Table 2 of the paper: the statistics of the four dataset
+// analogues.
+func (s *Suite) Table2() ([]Table2Row, error) {
+	var out []Table2Row
+	for _, name := range AllDatasets() {
+		nw, err := s.network(name)
+		if err != nil {
+			return nil, err
+		}
+		st := nw.Stats()
+		out = append(out, Table2Row{
+			Dataset:      name,
+			Vertices:     st.Vertices,
+			Edges:        st.Edges,
+			Transactions: st.Transactions,
+			ItemsTotal:   st.ItemsTotal,
+			ItemsUnique:  st.ItemsUnique,
+		})
+	}
+	return out, nil
+}
+
+// MiningMethod identifies one mining configuration of Figures 3 and 4.
+type MiningMethod struct {
+	// Name is the display label, e.g. "TCFI" or "TCS(ε=0.1)".
+	Name string
+	// Epsilon is the TCS pre-filter threshold; it is meaningful only when
+	// Kind is MethodTCS.
+	Epsilon float64
+	// Kind selects the algorithm.
+	Kind MethodKind
+}
+
+// MethodKind enumerates the mining algorithms.
+type MethodKind int
+
+// The mining algorithms compared in the paper's experiments.
+const (
+	MethodTCS MethodKind = iota
+	MethodTCFA
+	MethodTCFI
+)
+
+// Methods returns the method list of Figures 3 and 4: TCFI, TCFA and TCS for
+// each configured ε.
+func (s *Suite) Methods() []MiningMethod {
+	out := []MiningMethod{
+		{Name: "TCFI", Kind: MethodTCFI},
+		{Name: "TCFA", Kind: MethodTCFA},
+	}
+	for _, eps := range s.Config.Epsilons {
+		out = append(out, MiningMethod{Name: fmt.Sprintf("TCS(ε=%.1f)", eps), Kind: MethodTCS, Epsilon: eps})
+	}
+	return out
+}
+
+// run executes one mining configuration on a network.
+func (s *Suite) run(nw *dbnet.Network, m MiningMethod, alpha float64) *core.Result {
+	opts := core.Options{Alpha: alpha, MaxPatternLength: s.Config.MaxPatternLength}
+	switch m.Kind {
+	case MethodTCS:
+		opts.Epsilon = m.Epsilon
+		return core.TCS(nw, opts)
+	case MethodTCFA:
+		return core.TCFA(nw, opts)
+	default:
+		return core.TCFI(nw, opts)
+	}
+}
+
+// Figure3Row is one data point of Figure 3: one (dataset, method, α) cell with
+// the four reported metrics.
+type Figure3Row struct {
+	Dataset     string
+	Method      string
+	Alpha       float64
+	TimeSeconds float64
+	NP          int
+	NV          int
+	NE          int
+	MPTDCalls   int
+}
+
+// Figure3 regenerates Figure 3: the effect of α (and of ε for TCS) on the
+// running time and on the number of detected patterns, vertices and edges,
+// measured on BFS samples of the BK, GW and AMINER analogues.
+func (s *Suite) Figure3() ([]Figure3Row, error) {
+	var out []Figure3Row
+	for _, name := range MiningDatasets() {
+		sample, err := s.MiningSample(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, method := range s.Methods() {
+			for _, alpha := range s.Config.Alphas {
+				res := s.run(sample.Network, method, alpha)
+				out = append(out, Figure3Row{
+					Dataset:     name,
+					Method:      method.Name,
+					Alpha:       alpha,
+					TimeSeconds: res.Stats.Duration.Seconds(),
+					NP:          res.NumPatterns(),
+					NV:          res.NumVertices(),
+					NE:          res.NumEdges(),
+					MPTDCalls:   res.Stats.MPTDCalls,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Figure4Row is one data point of Figure 4: one (dataset, method, sample
+// size) cell with time, NP and the average truss sizes NV/NP and NE/NP.
+type Figure4Row struct {
+	Dataset      string
+	Method       string
+	SampledEdges int
+	TimeSeconds  float64
+	NP           int
+	NVPerNP      float64
+	NEPerNP      float64
+}
+
+// Figure4 regenerates Figure 4: the scalability of the mining algorithms as
+// the number of BFS-sampled edges grows, with α = 0 (the worst case).
+func (s *Suite) Figure4() ([]Figure4Row, error) {
+	var out []Figure4Row
+	for _, name := range MiningDatasets() {
+		nw, err := s.network(name)
+		if err != nil {
+			return nil, err
+		}
+		samples, err := sampling.Series(nw, s.Config.EdgeBudgets, s.rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, sample := range samples {
+			for _, method := range s.Methods() {
+				start := time.Now()
+				res := s.run(sample.Network, method, 0)
+				elapsed := time.Since(start)
+				row := Figure4Row{
+					Dataset:      name,
+					Method:       method.Name,
+					SampledEdges: sample.Network.NumEdges(),
+					TimeSeconds:  elapsed.Seconds(),
+					NP:           res.NumPatterns(),
+				}
+				if res.NumPatterns() > 0 {
+					row.NVPerNP = float64(res.NumVertices()) / float64(res.NumPatterns())
+					row.NEPerNP = float64(res.NumEdges()) / float64(res.NumPatterns())
+				}
+				out = append(out, row)
+			}
+		}
+	}
+	return out, nil
+}

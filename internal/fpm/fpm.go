@@ -1,0 +1,213 @@
+// Package fpm provides frequent pattern mining over a single transaction
+// database. It is the substrate used by the TCS baseline (Section 4.2 of the
+// paper) to enumerate the candidate patterns whose frequency exceeds the
+// pre-filter threshold ε, and by the tests of the #P-hardness reduction
+// (Appendix A.1), which relates theme-community counting to frequent-pattern
+// counting.
+//
+// Two equivalent miners are provided: a level-wise Apriori miner and a
+// depth-first enumeration miner. Both return exactly the set of patterns whose
+// frequency is strictly greater than the threshold, matching the strict
+// inequality f(p) > ε used in the paper.
+package fpm
+
+import (
+	"sort"
+
+	"themecomm/internal/itemset"
+	"themecomm/internal/txdb"
+)
+
+// Pattern couples an itemset with its frequency in the mined database.
+type Pattern struct {
+	Items     itemset.Itemset
+	Frequency float64
+}
+
+// Options configures a mining run.
+type Options struct {
+	// MinFrequency is the exclusive lower bound ε: only patterns with
+	// frequency strictly greater than MinFrequency are returned.
+	MinFrequency float64
+	// MaxLength, when positive, bounds the length of returned patterns.
+	// Zero means unbounded.
+	MaxLength int
+}
+
+// Apriori mines all patterns p with frequency(p) > opts.MinFrequency using the
+// classic level-wise algorithm of Agrawal and Srikant. The empty pattern is
+// never returned.
+func Apriori(db *txdb.Database, opts Options) []Pattern {
+	if db.Len() == 0 {
+		return nil
+	}
+	maxLen := opts.MaxLength
+	if maxLen <= 0 {
+		maxLen = int(^uint(0) >> 1)
+	}
+
+	var result []Pattern
+
+	// Level 1: frequent single items.
+	var level []itemset.Itemset
+	itemFreqs := db.ItemFrequencies()
+	items := make([]itemset.Item, 0, len(itemFreqs))
+	for it := range itemFreqs {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, it := range items {
+		if itemFreqs[it] > opts.MinFrequency {
+			p := itemset.New(it)
+			level = append(level, p)
+			result = append(result, Pattern{Items: p, Frequency: itemFreqs[it]})
+		}
+	}
+
+	k := 2
+	for len(level) > 0 && k <= maxLen {
+		candidates := JoinCandidates(level)
+		var next []itemset.Itemset
+		for _, c := range candidates {
+			f := db.Frequency(c)
+			if f > opts.MinFrequency {
+				next = append(next, c)
+				result = append(result, Pattern{Items: c, Frequency: f})
+			}
+		}
+		level = next
+		k++
+	}
+	sortPatterns(result)
+	return result
+}
+
+// JoinCandidates implements the Apriori candidate generation step
+// (Algorithm 2 of the paper): it joins pairs of length-(k-1) qualified
+// patterns whose union has length k and keeps only the unions all of whose
+// length-(k-1) subsets are qualified. The input patterns must all have the
+// same length and be canonical itemsets.
+func JoinCandidates(qualified []itemset.Itemset) []itemset.Itemset {
+	if len(qualified) < 2 {
+		return nil
+	}
+	k := qualified[0].Len() + 1
+	qualifiedKeys := make(map[itemset.Key]bool, len(qualified))
+	for _, q := range qualified {
+		qualifiedKeys[q.Key()] = true
+	}
+
+	seen := make(map[itemset.Key]bool)
+	var out []itemset.Itemset
+	// Classic prefix join: sort and join pairs sharing the first k-2 items.
+	sorted := make([]itemset.Itemset, len(qualified))
+	copy(sorted, qualified)
+	itemset.Sort(sorted)
+	for i := 0; i < len(sorted); i++ {
+		for j := i + 1; j < len(sorted); j++ {
+			a, b := sorted[i], sorted[j]
+			if !a.Prefix(a.Len() - 1).Equal(b.Prefix(b.Len() - 1)) {
+				break // sorted order: no further j shares the prefix
+			}
+			cand := a.Union(b)
+			if cand.Len() != k {
+				continue
+			}
+			key := cand.Key()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if allSubsetsQualified(cand, qualifiedKeys) {
+				out = append(out, cand)
+			}
+		}
+	}
+	itemset.Sort(out)
+	return out
+}
+
+func allSubsetsQualified(cand itemset.Itemset, qualified map[itemset.Key]bool) bool {
+	for _, sub := range cand.ImmediateSubsets() {
+		if !qualified[sub.Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// Enumerate mines all patterns p with frequency(p) > opts.MinFrequency using
+// depth-first enumeration with anti-monotone pruning. It returns the same set
+// of patterns as Apriori and exists both as a cross-check and because the
+// depth-first order is cheaper on dense vertex databases.
+func Enumerate(db *txdb.Database, opts Options) []Pattern {
+	if db.Len() == 0 {
+		return nil
+	}
+	maxLen := opts.MaxLength
+	if maxLen <= 0 {
+		maxLen = int(^uint(0) >> 1)
+	}
+	itemFreqs := db.ItemFrequencies()
+	items := make([]itemset.Item, 0, len(itemFreqs))
+	for it := range itemFreqs {
+		if itemFreqs[it] > opts.MinFrequency {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+
+	var result []Pattern
+	var dfs func(prefix itemset.Itemset, start int)
+	dfs = func(prefix itemset.Itemset, start int) {
+		for i := start; i < len(items); i++ {
+			cand := prefix.Add(items[i])
+			f := db.Frequency(cand)
+			if f <= opts.MinFrequency {
+				continue
+			}
+			result = append(result, Pattern{Items: cand, Frequency: f})
+			if cand.Len() < maxLen {
+				dfs(cand, i+1)
+			}
+		}
+	}
+	dfs(nil, 0)
+	sortPatterns(result)
+	return result
+}
+
+// CountFrequent returns the number of patterns with frequency strictly greater
+// than minFrequency. This is the Frequent Pattern Counting problem used in the
+// #P-hardness reduction of Appendix A.1.
+func CountFrequent(db *txdb.Database, minFrequency float64) int {
+	return len(Enumerate(db, Options{MinFrequency: minFrequency}))
+}
+
+// MaximalOnly filters a mined pattern set down to the maximal patterns: those
+// with no proper superset in the set.
+func MaximalOnly(patterns []Pattern) []Pattern {
+	var out []Pattern
+	for i, p := range patterns {
+		maximal := true
+		for j, q := range patterns {
+			if i != j && p.Items.ProperSubsetOf(q.Items) {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sortPatterns(ps []Pattern) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Items.Len() != ps[j].Items.Len() {
+			return ps[i].Items.Len() < ps[j].Items.Len()
+		}
+		return itemset.Compare(ps[i].Items, ps[j].Items) < 0
+	})
+}

@@ -1,0 +1,244 @@
+package fpm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"themecomm/internal/itemset"
+	"themecomm/internal/txdb"
+)
+
+func sampleDB() *txdb.Database {
+	return txdb.FromTransactions(
+		[]itemset.Item{1, 2, 3},
+		[]itemset.Item{1, 2},
+		[]itemset.Item{1, 3},
+		[]itemset.Item{2, 3},
+		[]itemset.Item{1, 2, 3, 4},
+	)
+}
+
+func patternKeys(ps []Pattern) map[itemset.Key]float64 {
+	m := make(map[itemset.Key]float64, len(ps))
+	for _, p := range ps {
+		m[p.Items.Key()] = p.Frequency
+	}
+	return m
+}
+
+func TestAprioriKnownResult(t *testing.T) {
+	db := sampleDB()
+	// Threshold 0.5: only patterns with frequency > 0.5 (strict).
+	got := Apriori(db, Options{MinFrequency: 0.5})
+	keys := patternKeys(got)
+	want := map[string]float64{
+		itemset.New(1).String():    0.8,
+		itemset.New(2).String():    0.8,
+		itemset.New(3).String():    0.8,
+		itemset.New(1, 2).String(): 0.6,
+		itemset.New(1, 3).String(): 0.6,
+		itemset.New(2, 3).String(): 0.6,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d patterns, want %d: %v", len(got), len(want), got)
+	}
+	for _, p := range got {
+		wantFreq, ok := want[p.Items.String()]
+		if !ok {
+			t.Errorf("unexpected pattern %v", p.Items)
+			continue
+		}
+		if diff := p.Frequency - wantFreq; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("pattern %v frequency = %v, want %v", p.Items, p.Frequency, wantFreq)
+		}
+	}
+	_ = keys
+}
+
+func TestStrictInequality(t *testing.T) {
+	// {1,2,3} has frequency exactly 0.4; with ε=0.4 it must be excluded.
+	db := sampleDB()
+	got := Apriori(db, Options{MinFrequency: 0.4})
+	for _, p := range got {
+		if p.Items.Equal(itemset.New(1, 2, 3)) {
+			t.Fatalf("pattern with frequency exactly ε must be excluded")
+		}
+	}
+	// With ε slightly below 0.4 it must be included.
+	got = Apriori(db, Options{MinFrequency: 0.399})
+	found := false
+	for _, p := range got {
+		if p.Items.Equal(itemset.New(1, 2, 3)) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pattern {1,2,3} with frequency 0.4 should pass ε=0.399")
+	}
+}
+
+func TestMaxLength(t *testing.T) {
+	db := sampleDB()
+	got := Apriori(db, Options{MinFrequency: 0, MaxLength: 1})
+	for _, p := range got {
+		if p.Items.Len() > 1 {
+			t.Fatalf("MaxLength=1 returned %v", p.Items)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("expected 4 single-item patterns, got %d", len(got))
+	}
+}
+
+func TestEnumerateEqualsApriori(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		db := randomDB(rng, 6, 15, 4)
+		for _, eps := range []float64{0, 0.1, 0.25, 0.5} {
+			a := patternKeys(Apriori(db, Options{MinFrequency: eps}))
+			e := patternKeys(Enumerate(db, Options{MinFrequency: eps}))
+			if len(a) != len(e) {
+				t.Fatalf("trial %d eps %v: Apriori %d patterns, Enumerate %d", trial, eps, len(a), len(e))
+			}
+			for k, f := range a {
+				if ef, ok := e[k]; !ok || ef != f {
+					t.Fatalf("trial %d eps %v: mismatch on %v", trial, eps, itemset.Key(k).Itemset())
+				}
+			}
+		}
+	}
+}
+
+func TestJoinCandidates(t *testing.T) {
+	qualified := []itemset.Itemset{
+		itemset.New(1, 2), itemset.New(1, 3), itemset.New(2, 3), itemset.New(2, 4),
+	}
+	got := JoinCandidates(qualified)
+	// {1,2,3} has all subsets qualified; {1,2,4} is missing {1,4}; {2,3,4} is missing {3,4}.
+	if len(got) != 1 || !got[0].Equal(itemset.New(1, 2, 3)) {
+		t.Fatalf("JoinCandidates = %v, want [{1,2,3}]", got)
+	}
+	if got := JoinCandidates(nil); got != nil {
+		t.Fatalf("JoinCandidates(nil) = %v", got)
+	}
+	if got := JoinCandidates([]itemset.Itemset{itemset.New(1)}); got != nil {
+		t.Fatalf("JoinCandidates of a single pattern = %v", got)
+	}
+}
+
+func TestJoinCandidatesLevel1(t *testing.T) {
+	qualified := []itemset.Itemset{itemset.New(1), itemset.New(2), itemset.New(3)}
+	got := JoinCandidates(qualified)
+	if len(got) != 3 {
+		t.Fatalf("expected all 3 pairs, got %v", got)
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	db := txdb.New()
+	if got := Apriori(db, Options{}); got != nil {
+		t.Fatalf("Apriori on empty db = %v", got)
+	}
+	if got := Enumerate(db, Options{}); got != nil {
+		t.Fatalf("Enumerate on empty db = %v", got)
+	}
+	if got := CountFrequent(db, 0); got != 0 {
+		t.Fatalf("CountFrequent on empty db = %d", got)
+	}
+}
+
+func TestCountFrequent(t *testing.T) {
+	db := txdb.FromTransactions([]itemset.Item{1, 2}, []itemset.Item{1, 2})
+	// Patterns with f > 0.5: {1}, {2}, {1,2} (all have f=1).
+	if got := CountFrequent(db, 0.5); got != 3 {
+		t.Fatalf("CountFrequent = %d, want 3", got)
+	}
+	if got := CountFrequent(db, 1.0); got != 0 {
+		t.Fatalf("CountFrequent with ε=1 = %d, want 0", got)
+	}
+}
+
+func TestMaximalOnly(t *testing.T) {
+	db := sampleDB()
+	all := Apriori(db, Options{MinFrequency: 0.5})
+	maximal := MaximalOnly(all)
+	// The maximal patterns above 0.5 are the three pairs.
+	if len(maximal) != 3 {
+		t.Fatalf("MaximalOnly = %v, want 3 pairs", maximal)
+	}
+	for _, p := range maximal {
+		if p.Items.Len() != 2 {
+			t.Errorf("unexpected maximal pattern %v", p.Items)
+		}
+	}
+}
+
+// Property: every returned pattern really has frequency above the threshold,
+// and every frequent single item is returned (completeness at level 1).
+func TestQuickMinedPatternsValid(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60, Values: func(vals []reflect.Value, rng *rand.Rand) {
+		vals[0] = reflect.ValueOf(randomDB(rng, 6, 12, 4))
+		vals[1] = reflect.ValueOf(rng.Float64() * 0.6)
+	}}
+	f := func(db *txdb.Database, eps float64) bool {
+		mined := Apriori(db, Options{MinFrequency: eps})
+		seen := make(map[itemset.Key]bool)
+		for _, p := range mined {
+			if db.Frequency(p.Items) <= eps {
+				return false
+			}
+			seen[p.Items.Key()] = true
+		}
+		for it, f := range db.ItemFrequencies() {
+			if f > eps && !seen[itemset.New(it).Key()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the mined set is downward closed — every non-empty subset of a
+// mined pattern is also mined (anti-monotonicity of frequency).
+func TestQuickDownwardClosure(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Values: func(vals []reflect.Value, rng *rand.Rand) {
+		vals[0] = reflect.ValueOf(randomDB(rng, 5, 10, 4))
+	}}
+	f := func(db *txdb.Database) bool {
+		mined := Apriori(db, Options{MinFrequency: 0.2})
+		keys := make(map[itemset.Key]bool)
+		for _, p := range mined {
+			keys[p.Items.Key()] = true
+		}
+		for _, p := range mined {
+			for _, sub := range p.Items.ImmediateSubsets() {
+				if sub.Len() > 0 && !keys[sub.Key()] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomDB(rng *rand.Rand, maxItem, maxTx, maxLen int) *txdb.Database {
+	db := txdb.New()
+	n := 1 + rng.Intn(maxTx)
+	for i := 0; i < n; i++ {
+		l := 1 + rng.Intn(maxLen)
+		items := make([]itemset.Item, l)
+		for j := range items {
+			items[j] = itemset.Item(rng.Intn(maxItem))
+		}
+		db.Add(itemset.New(items...))
+	}
+	return db
+}

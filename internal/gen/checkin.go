@@ -1,0 +1,143 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+// CheckInConfig configures the location-based check-in generator, the
+// analogue of the Brightkite (BK) and Gowalla (GW) datasets of Section 7.
+//
+// The generator plants friend communities whose members frequently check in
+// at a shared set of "hangout" locations; these are the groups of friends who
+// frequently visit the same set of places that theme-community mining is
+// expected to recover. Every user also checks in at globally popular
+// locations and at random noise locations, reproducing the long-tailed
+// location popularity of real check-in data.
+type CheckInConfig struct {
+	// Users is the number of users (vertices).
+	Users int
+	// Communities is the number of planted friend groups.
+	Communities int
+	// IntraDegree and InterDegree shape the friendship graph
+	// (see CommunityGraphConfig).
+	IntraDegree float64
+	InterDegree float64
+	// HangoutsPerCommunity is the number of locations each friend group
+	// habitually visits together.
+	HangoutsPerCommunity int
+	// GlobalLocations is the number of globally popular locations (airports,
+	// malls, ...) anyone may visit.
+	GlobalLocations int
+	// NoiseLocations is the number of rarely visited long-tail locations.
+	NoiseLocations int
+	// PeriodsPerUser is the number of check-in periods (transactions) each
+	// user produces; the paper cuts check-in histories into 2-day periods.
+	PeriodsPerUser int
+	// HangoutProbability is the probability that a period of a community
+	// member includes the community's hangout locations.
+	HangoutProbability float64
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+// DefaultCheckInConfig returns a laptop-scale configuration emulating the
+// structure of the Brightkite dataset.
+func DefaultCheckInConfig() CheckInConfig {
+	return CheckInConfig{
+		Users:                600,
+		Communities:          40,
+		IntraDegree:          6,
+		InterDegree:          1.5,
+		HangoutsPerCommunity: 3,
+		GlobalLocations:      25,
+		NoiseLocations:       400,
+		PeriodsPerUser:       20,
+		HangoutProbability:   0.45,
+		Seed:                 1,
+	}
+}
+
+// CheckIn generates a check-in database network. It returns the network and a
+// dictionary naming every location item ("hangout-c3-1", "global-7",
+// "place-42", ...).
+func CheckIn(cfg CheckInConfig) (*dbnet.Network, *itemset.Dictionary, error) {
+	if cfg.Users <= 0 || cfg.Communities <= 0 || cfg.PeriodsPerUser <= 0 {
+		return nil, nil, fmt.Errorf("gen: invalid check-in config %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g, assign, err := CommunityGraph(rng, CommunityGraphConfig{
+		Vertices:    cfg.Users,
+		Communities: cfg.Communities,
+		IntraDegree: cfg.IntraDegree,
+		InterDegree: cfg.InterDegree,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	dict := itemset.NewDictionary()
+	hangouts := make([][]itemset.Item, cfg.Communities)
+	for c := 0; c < cfg.Communities; c++ {
+		for h := 0; h < cfg.HangoutsPerCommunity; h++ {
+			hangouts[c] = append(hangouts[c], dict.Intern(fmt.Sprintf("hangout-c%d-%d", c, h)))
+		}
+	}
+	globals := make([]itemset.Item, cfg.GlobalLocations)
+	for i := range globals {
+		globals[i] = dict.Intern(fmt.Sprintf("global-%d", i))
+	}
+	noise := make([]itemset.Item, cfg.NoiseLocations)
+	for i := range noise {
+		noise[i] = dict.Intern(fmt.Sprintf("place-%d", i))
+	}
+
+	nw := dbnet.New(cfg.Users)
+	for _, e := range g.Edges() {
+		nw.MustAddEdge(e.U, e.V)
+	}
+
+	for u := 0; u < cfg.Users; u++ {
+		c := assign[u]
+		for period := 0; period < cfg.PeriodsPerUser; period++ {
+			var visit []itemset.Item
+			// The community hangout set is visited together with probability
+			// HangoutProbability, which makes it a frequent pattern on every
+			// member of the group.
+			if rng.Float64() < cfg.HangoutProbability {
+				visit = append(visit, hangouts[c]...)
+			}
+			// A couple of globally popular locations.
+			nGlobal := rng.Intn(3)
+			for i := 0; i < nGlobal && len(globals) > 0; i++ {
+				visit = append(visit, globals[rng.Intn(len(globals))])
+			}
+			// Long-tail noise.
+			nNoise := rng.Intn(3)
+			for i := 0; i < nNoise && len(noise) > 0; i++ {
+				visit = append(visit, noise[rng.Intn(len(noise))])
+			}
+			if len(visit) == 0 {
+				// Every period records at least one check-in.
+				switch {
+				case len(noise) > 0:
+					visit = append(visit, noise[rng.Intn(len(noise))])
+				case len(globals) > 0:
+					visit = append(visit, globals[rng.Intn(len(globals))])
+				case len(hangouts[c]) > 0:
+					visit = append(visit, hangouts[c][0])
+				default:
+					visit = append(visit, dict.Intern(fmt.Sprintf("home-%d", u)))
+				}
+			}
+			if err := nw.AddTransaction(graph.VertexID(u), itemset.New(visit...)); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return nw, dict, nil
+}

@@ -1,0 +1,131 @@
+package gen
+
+import (
+	"fmt"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/itemset"
+)
+
+// Dataset couples a generated database network with its metadata. It is the
+// unit the experiment harness iterates over when regenerating the paper's
+// tables and figures.
+type Dataset struct {
+	// Name is the short dataset identifier used in the paper ("BK", "GW",
+	// "AMINER", "SYN").
+	Name string
+	// Network is the generated database network.
+	Network *dbnet.Network
+	// Dictionary names the items of the network; it may be empty for SYN.
+	Dictionary *itemset.Dictionary
+	// AuthorNames maps vertices to author names for the co-author dataset;
+	// nil for the other datasets.
+	AuthorNames []string
+}
+
+// Scale adjusts the size of the generated dataset analogues. Scale 1 is the
+// laptop-friendly default used by tests and CI; the command-line tools accept
+// larger scales to stress the implementations.
+type Scale float64
+
+func scaleInt(base int, s Scale) int {
+	v := int(float64(base) * float64(s))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// BK generates the Brightkite analogue: a mid-density check-in network.
+func BK(s Scale) (Dataset, error) {
+	cfg := DefaultCheckInConfig()
+	cfg.Users = scaleInt(cfg.Users, s)
+	cfg.Communities = scaleInt(cfg.Communities, s)
+	cfg.NoiseLocations = scaleInt(cfg.NoiseLocations, s)
+	cfg.Seed = 11
+	nw, dict, err := CheckIn(cfg)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("gen: BK: %w", err)
+	}
+	return Dataset{Name: "BK", Network: nw, Dictionary: dict}, nil
+}
+
+// GW generates the Gowalla analogue: a larger, sparser check-in network with
+// more users and locations than BK.
+func GW(s Scale) (Dataset, error) {
+	cfg := DefaultCheckInConfig()
+	cfg.Users = scaleInt(2*cfg.Users, s)
+	cfg.Communities = scaleInt(2*cfg.Communities, s)
+	cfg.NoiseLocations = scaleInt(3*cfg.NoiseLocations, s)
+	cfg.GlobalLocations = 2 * cfg.GlobalLocations
+	cfg.IntraDegree = 8
+	cfg.PeriodsPerUser = 18
+	cfg.HangoutProbability = 0.4
+	cfg.Seed = 12
+	nw, dict, err := CheckIn(cfg)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("gen: GW: %w", err)
+	}
+	return Dataset{Name: "GW", Network: nw, Dictionary: dict}, nil
+}
+
+// AMiner generates the AMINER analogue: a co-author network with keyword
+// vertex databases.
+func AMiner(s Scale) (Dataset, error) {
+	cfg := DefaultCoAuthorConfig()
+	cfg.Authors = scaleInt(cfg.Authors, s)
+	cfg.Groups = scaleInt(cfg.Groups, s)
+	cfg.PapersPerGroup = scaleInt(cfg.PapersPerGroup, s)
+	cfg.Seed = 13
+	nw, dict, names, err := CoAuthor(cfg)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("gen: AMINER: %w", err)
+	}
+	return Dataset{Name: "AMINER", Network: nw, Dictionary: dict, AuthorNames: names}, nil
+}
+
+// SYN generates the synthetic dataset following the paper's construction.
+func SYN(s Scale) (Dataset, error) {
+	cfg := DefaultSynConfig()
+	cfg.Vertices = scaleInt(cfg.Vertices, s)
+	cfg.Edges = scaleInt(cfg.Edges, s)
+	cfg.Items = scaleInt(cfg.Items, s)
+	cfg.SeedVertices = scaleInt(cfg.SeedVertices, s)
+	cfg.Seed = 14
+	nw, err := Syn(cfg)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("gen: SYN: %w", err)
+	}
+	return Dataset{Name: "SYN", Network: nw, Dictionary: itemset.NewDictionary()}, nil
+}
+
+// AllDatasets generates the four dataset analogues of Table 2 at the given
+// scale, in the paper's order.
+func AllDatasets(s Scale) ([]Dataset, error) {
+	var out []Dataset
+	for _, f := range []func(Scale) (Dataset, error){BK, GW, AMiner, SYN} {
+		d, err := f(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// ByName generates a single dataset analogue by its paper name (case
+// sensitive: "BK", "GW", "AMINER", "SYN").
+func ByName(name string, s Scale) (Dataset, error) {
+	switch name {
+	case "BK":
+		return BK(s)
+	case "GW":
+		return GW(s)
+	case "AMINER":
+		return AMiner(s)
+	case "SYN":
+		return SYN(s)
+	default:
+		return Dataset{}, fmt.Errorf("gen: unknown dataset %q (want BK, GW, AMINER or SYN)", name)
+	}
+}

@@ -1,0 +1,340 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"themecomm/internal/core"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+func TestErdosRenyi(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := ErdosRenyi(rng, 50, 120)
+	if g.NumVertices() != 50 || g.NumEdges() != 120 {
+		t.Fatalf("size = (%d,%d)", g.NumVertices(), g.NumEdges())
+	}
+	// Requesting more edges than possible clamps to the complete graph.
+	g = ErdosRenyi(rng, 5, 100)
+	if g.NumEdges() != 10 {
+		t.Fatalf("clamped edge count = %d, want 10", g.NumEdges())
+	}
+	if got := ErdosRenyi(rng, 1, 5); got.NumEdges() != 0 {
+		t.Fatalf("single-vertex graph cannot have edges")
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := BarabasiAlbert(rng, 200, 3)
+	if g.NumVertices() != 200 {
+		t.Fatalf("vertices = %d", g.NumVertices())
+	}
+	// Expected edges: clique on 4 + 3 per additional vertex.
+	wantMin := 3 * (200 - 4)
+	if g.NumEdges() < wantMin {
+		t.Fatalf("edges = %d, want at least %d", g.NumEdges(), wantMin)
+	}
+	// The graph should have hubs: max degree well above the attachment count.
+	maxDeg := 0
+	for v := 0; v < 200; v++ {
+		if d := g.Degree(graph.VertexID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 10 {
+		t.Fatalf("expected hub vertices, max degree = %d", maxDeg)
+	}
+	// Tiny n degenerates to a clique.
+	if got := BarabasiAlbert(rng, 3, 5); got.NumEdges() != 3 {
+		t.Fatalf("tiny BA graph should be a triangle, got %d edges", got.NumEdges())
+	}
+}
+
+func TestCommunityGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, assign, err := CommunityGraph(rng, CommunityGraphConfig{
+		Vertices: 120, Communities: 6, IntraDegree: 6, InterDegree: 1,
+	})
+	if err != nil {
+		t.Fatalf("CommunityGraph: %v", err)
+	}
+	if g.NumVertices() != 120 || len(assign) != 120 {
+		t.Fatalf("sizes wrong")
+	}
+	intra, inter := 0, 0
+	for _, e := range g.Edges() {
+		if assign[e.U] == assign[e.V] {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= inter {
+		t.Fatalf("expected more intra-community than inter-community edges (intra=%d inter=%d)", intra, inter)
+	}
+	if _, _, err := CommunityGraph(rng, CommunityGraphConfig{Vertices: 0, Communities: 2}); err == nil {
+		t.Fatalf("invalid config should be rejected")
+	}
+	if _, _, err := CommunityGraph(rng, CommunityGraphConfig{Vertices: 10, Communities: 0}); err == nil {
+		t.Fatalf("invalid config should be rejected")
+	}
+}
+
+func TestCheckInGenerator(t *testing.T) {
+	cfg := DefaultCheckInConfig()
+	cfg.Users = 120
+	cfg.Communities = 8
+	cfg.PeriodsPerUser = 12
+	cfg.NoiseLocations = 60
+	nw, dict, err := CheckIn(cfg)
+	if err != nil {
+		t.Fatalf("CheckIn: %v", err)
+	}
+	if nw.NumVertices() != 120 {
+		t.Fatalf("vertices = %d", nw.NumVertices())
+	}
+	if nw.NumEdges() == 0 {
+		t.Fatalf("friendship graph has no edges")
+	}
+	stats := nw.Stats()
+	if stats.Transactions != 120*12 {
+		t.Fatalf("transactions = %d, want %d", stats.Transactions, 120*12)
+	}
+	if stats.ItemsUnique == 0 || dict.Len() < stats.ItemsUnique {
+		t.Fatalf("dictionary (%d) smaller than unique items (%d)", dict.Len(), stats.ItemsUnique)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Determinism: the same config yields the same network.
+	nw2, _, err := CheckIn(cfg)
+	if err != nil {
+		t.Fatalf("CheckIn: %v", err)
+	}
+	if nw.Stats() != nw2.Stats() {
+		t.Fatalf("generator is not deterministic: %+v vs %+v", nw.Stats(), nw2.Stats())
+	}
+	// Invalid config.
+	if _, _, err := CheckIn(CheckInConfig{}); err == nil {
+		t.Fatalf("zero config should be rejected")
+	}
+}
+
+func TestCheckInProducesThemeCommunities(t *testing.T) {
+	cfg := DefaultCheckInConfig()
+	cfg.Users = 90
+	cfg.Communities = 6
+	cfg.HangoutProbability = 0.6
+	cfg.PeriodsPerUser = 15
+	cfg.NoiseLocations = 50
+	nw, dict, err := CheckIn(cfg)
+	if err != nil {
+		t.Fatalf("CheckIn: %v", err)
+	}
+	res := core.TCFI(nw, core.Options{Alpha: 0.1, MaxPatternLength: 3})
+	if res.NumPatterns() == 0 {
+		t.Fatalf("the planted hangout patterns should produce theme communities")
+	}
+	// At least one mined theme should be a planted hangout location.
+	found := false
+	for _, p := range res.Patterns() {
+		for _, name := range dict.Names(p) {
+			if len(name) > 8 && name[:8] == "hangout-" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no mined theme mentions a hangout location: %v", res.Patterns())
+	}
+}
+
+func TestCoAuthorGenerator(t *testing.T) {
+	cfg := DefaultCoAuthorConfig()
+	cfg.Authors = 150
+	cfg.Groups = 12
+	cfg.PapersPerGroup = 10
+	nw, dict, names, err := CoAuthor(cfg)
+	if err != nil {
+		t.Fatalf("CoAuthor: %v", err)
+	}
+	if nw.NumVertices() != 150 || len(names) != 150 {
+		t.Fatalf("sizes wrong: %d vertices, %d names", nw.NumVertices(), len(names))
+	}
+	if nw.NumEdges() == 0 {
+		t.Fatalf("co-author graph has no edges")
+	}
+	if dict.Len() == 0 {
+		t.Fatalf("keyword dictionary is empty")
+	}
+	// The human-readable topics must be interned.
+	if _, ok := dict.Lookup("data mining"); !ok {
+		t.Fatalf("expected the 'data mining' keyword to exist")
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Determinism.
+	nw2, _, _, err := CoAuthor(cfg)
+	if err != nil {
+		t.Fatalf("CoAuthor: %v", err)
+	}
+	if nw.Stats() != nw2.Stats() {
+		t.Fatalf("generator is not deterministic")
+	}
+	// The super paper produces at least one vertex with a very high degree.
+	maxDeg := 0
+	for v := 0; v < nw.NumVertices(); v++ {
+		if d := nw.Graph().Degree(graph.VertexID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < cfg.SuperPaperAuthors/2 {
+		t.Fatalf("expected a high-degree author from the super paper, max degree %d", maxDeg)
+	}
+	if _, _, _, err := CoAuthor(CoAuthorConfig{}); err == nil {
+		t.Fatalf("zero config should be rejected")
+	}
+}
+
+func TestCoAuthorProducesTopicCommunities(t *testing.T) {
+	cfg := DefaultCoAuthorConfig()
+	cfg.Authors = 120
+	cfg.Groups = 10
+	cfg.PapersPerGroup = 12
+	cfg.SuperPaperAuthors = 0
+	nw, dict, _, err := CoAuthor(cfg)
+	if err != nil {
+		t.Fatalf("CoAuthor: %v", err)
+	}
+	res := core.TCFI(nw, core.Options{Alpha: 0.2, MaxPatternLength: 2})
+	if res.NumPatterns() == 0 {
+		t.Fatalf("expected topic theme communities")
+	}
+	dm, ok := dict.Lookup("data mining")
+	if !ok {
+		t.Fatalf("missing keyword")
+	}
+	if res.Truss(itemset.New(dm)) == nil {
+		t.Fatalf("the 'data mining' groups should form a theme community")
+	}
+}
+
+func TestSynGenerator(t *testing.T) {
+	cfg := DefaultSynConfig()
+	cfg.Vertices = 300
+	cfg.Edges = 1500
+	cfg.Items = 80
+	cfg.SeedVertices = 10
+	nw, err := Syn(cfg)
+	if err != nil {
+		t.Fatalf("Syn: %v", err)
+	}
+	if nw.NumVertices() != 300 {
+		t.Fatalf("vertices = %d", nw.NumVertices())
+	}
+	if nw.NumEdges() != 1500 {
+		t.Fatalf("edges = %d", nw.NumEdges())
+	}
+	stats := nw.Stats()
+	if stats.Transactions < 300 {
+		t.Fatalf("every vertex needs at least one transaction, got %d total", stats.Transactions)
+	}
+	if stats.ItemsUnique > cfg.Items {
+		t.Fatalf("more unique items (%d) than the configured universe (%d)", stats.ItemsUnique, cfg.Items)
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Every vertex database is non-empty, including vertices unreachable from
+	// the seeds.
+	for v := 0; v < nw.NumVertices(); v++ {
+		if nw.Database(graph.VertexID(v)).Empty() {
+			t.Fatalf("vertex %d has an empty database", v)
+		}
+	}
+	// Determinism.
+	nw2, err := Syn(cfg)
+	if err != nil {
+		t.Fatalf("Syn: %v", err)
+	}
+	if nw.Stats() != nw2.Stats() {
+		t.Fatalf("generator is not deterministic")
+	}
+	// Invalid configs.
+	if _, err := Syn(SynConfig{}); err == nil {
+		t.Fatalf("zero config should be rejected")
+	}
+	if _, err := Syn(SynConfig{Vertices: 10, Items: 5, MutationRate: 2}); err == nil {
+		t.Fatalf("mutation rate > 1 should be rejected")
+	}
+}
+
+func TestSynNeighboursSharePatterns(t *testing.T) {
+	// The BFS propagation with low mutation should make neighbouring
+	// databases share items far more often than random pairs would.
+	cfg := DefaultSynConfig()
+	cfg.Vertices = 200
+	cfg.Edges = 800
+	cfg.Items = 200
+	cfg.SeedVertices = 5
+	cfg.MutationRate = 0.1
+	nw, err := Syn(cfg)
+	if err != nil {
+		t.Fatalf("Syn: %v", err)
+	}
+	shared := 0
+	pairs := 0
+	for _, e := range nw.Graph().Edges() {
+		pairs++
+		if nw.Database(e.U).Items().Intersect(nw.Database(e.V).Items()).Len() > 0 {
+			shared++
+		}
+	}
+	if pairs == 0 || float64(shared)/float64(pairs) < 0.5 {
+		t.Fatalf("only %d/%d neighbouring pairs share items", shared, pairs)
+	}
+}
+
+func TestDatasetConstructors(t *testing.T) {
+	const s = Scale(0.05)
+	ds, err := AllDatasets(s)
+	if err != nil {
+		t.Fatalf("AllDatasets: %v", err)
+	}
+	if len(ds) != 4 {
+		t.Fatalf("expected 4 datasets, got %d", len(ds))
+	}
+	names := map[string]bool{}
+	for _, d := range ds {
+		names[d.Name] = true
+		if d.Network == nil || d.Network.NumVertices() == 0 {
+			t.Fatalf("dataset %s has no network", d.Name)
+		}
+		if d.Network.NumEdges() == 0 {
+			t.Fatalf("dataset %s has no edges", d.Name)
+		}
+	}
+	for _, want := range []string{"BK", "GW", "AMINER", "SYN"} {
+		if !names[want] {
+			t.Fatalf("missing dataset %s", want)
+		}
+		d, err := ByName(want, s)
+		if err != nil || d.Name != want {
+			t.Fatalf("ByName(%s) failed: %v", want, err)
+		}
+	}
+	if _, err := ByName("nope", s); err == nil {
+		t.Fatalf("unknown dataset name should be rejected")
+	}
+	// AMINER carries author names.
+	am, err := ByName("AMINER", s)
+	if err != nil {
+		t.Fatalf("AMINER: %v", err)
+	}
+	if len(am.AuthorNames) != am.Network.NumVertices() {
+		t.Fatalf("author names (%d) do not cover the vertices (%d)", len(am.AuthorNames), am.Network.NumVertices())
+	}
+}

@@ -1,0 +1,206 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+// SynConfig configures the SYN generator, which follows the construction of
+// the synthetic dataset in Section 7 of the paper:
+//
+//  1. generate a random network;
+//  2. pick seed vertices and fill their databases with itemsets sampled from
+//     the item universe S;
+//  3. visit the remaining vertices breadth first; each vertex samples
+//     transactions from its already-populated neighbours and randomly rewrites
+//     MutationRate of the items, so that neighbouring databases share common
+//     patterns;
+//  4. vertex v receives ⌈e^{0.1·d(v)}⌉ transactions of length ⌈e^{0.13·d(v)}⌉.
+type SynConfig struct {
+	// Vertices and Edges size the random network.
+	Vertices int
+	Edges    int
+	// Items is |S|, the number of distinct items.
+	Items int
+	// SeedVertices is the number of randomly selected seed vertices whose
+	// databases are sampled directly from S.
+	SeedVertices int
+	// MutationRate is the fraction of items rewritten when a transaction is
+	// copied from a neighbour (0.1 in the paper).
+	MutationRate float64
+	// TransactionsExponent and LengthExponent are the degree exponents of the
+	// per-vertex transaction count and transaction length (0.1 and 0.13 in
+	// the paper).
+	TransactionsExponent float64
+	LengthExponent       float64
+	// MaxTransactions and MaxTransactionLength cap the exponential growth so
+	// that a handful of hub vertices cannot blow up memory. Zero means the
+	// paper's formula is applied unchanged.
+	MaxTransactions      int
+	MaxTransactionLength int
+	// Seed makes the generator deterministic.
+	Seed int64
+}
+
+// DefaultSynConfig returns a laptop-scale configuration of the SYN dataset.
+func DefaultSynConfig() SynConfig {
+	return SynConfig{
+		Vertices:             2000,
+		Edges:                20000,
+		Items:                500,
+		SeedVertices:         50,
+		MutationRate:         0.1,
+		TransactionsExponent: 0.1,
+		LengthExponent:       0.13,
+		MaxTransactions:      60,
+		MaxTransactionLength: 12,
+		Seed:                 3,
+	}
+}
+
+// Syn generates a SYN database network following the paper's construction.
+func Syn(cfg SynConfig) (*dbnet.Network, error) {
+	if cfg.Vertices <= 0 || cfg.Items <= 0 {
+		return nil, fmt.Errorf("gen: invalid SYN config %+v", cfg)
+	}
+	if cfg.SeedVertices <= 0 {
+		cfg.SeedVertices = 1
+	}
+	if cfg.SeedVertices > cfg.Vertices {
+		cfg.SeedVertices = cfg.Vertices
+	}
+	if cfg.MutationRate < 0 || cfg.MutationRate > 1 {
+		return nil, fmt.Errorf("gen: mutation rate %v out of [0,1]", cfg.MutationRate)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := ErdosRenyi(rng, cfg.Vertices, cfg.Edges)
+	nw := dbnet.New(cfg.Vertices)
+	for _, e := range g.Edges() {
+		nw.MustAddEdge(e.U, e.V)
+	}
+
+	txCount := func(v graph.VertexID) int {
+		n := int(math.Ceil(math.Exp(cfg.TransactionsExponent * float64(g.Degree(v)))))
+		if cfg.MaxTransactions > 0 && n > cfg.MaxTransactions {
+			n = cfg.MaxTransactions
+		}
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	txLen := func(v graph.VertexID) int {
+		n := int(math.Ceil(math.Exp(cfg.LengthExponent * float64(g.Degree(v)))))
+		if cfg.MaxTransactionLength > 0 && n > cfg.MaxTransactionLength {
+			n = cfg.MaxTransactionLength
+		}
+		if n < 1 {
+			n = 1
+		}
+		if n > cfg.Items {
+			n = cfg.Items
+		}
+		return n
+	}
+	randomItem := func() itemset.Item { return itemset.Item(rng.Intn(cfg.Items)) }
+	randomTransaction := func(length int) itemset.Itemset {
+		items := make([]itemset.Item, length)
+		for i := range items {
+			items[i] = randomItem()
+		}
+		return itemset.New(items...)
+	}
+
+	// Step 1: seed vertices sample itemsets directly from S.
+	populated := make([]bool, cfg.Vertices)
+	seeds := rng.Perm(cfg.Vertices)[:cfg.SeedVertices]
+	for _, s := range seeds {
+		v := graph.VertexID(s)
+		for i := 0; i < txCount(v); i++ {
+			if err := nw.AddTransaction(v, randomTransaction(txLen(v))); err != nil {
+				return nil, err
+			}
+		}
+		populated[s] = true
+	}
+
+	// Step 2: BFS from the seeds; each newly reached vertex copies mutated
+	// transactions from already-populated neighbours.
+	queue := make([]graph.VertexID, 0, cfg.Vertices)
+	for _, s := range seeds {
+		queue = append(queue, graph.VertexID(s))
+	}
+	visited := make([]bool, cfg.Vertices)
+	for _, s := range seeds {
+		visited[s] = true
+	}
+	fill := func(v graph.VertexID) error {
+		donors := make([]graph.VertexID, 0, g.Degree(v))
+		for _, w := range g.Neighbors(v) {
+			if populated[w] {
+				donors = append(donors, w)
+			}
+		}
+		count, length := txCount(v), txLen(v)
+		for i := 0; i < count; i++ {
+			var tx itemset.Itemset
+			if len(donors) > 0 {
+				donor := donors[rng.Intn(len(donors))]
+				src := nw.Database(donor).Transactions()
+				if len(src) > 0 {
+					tx = mutate(rng, src[rng.Intn(len(src))], cfg.MutationRate, cfg.Items)
+				}
+			}
+			if tx.Len() == 0 {
+				tx = randomTransaction(length)
+			}
+			if err := nw.AddTransaction(v, tx); err != nil {
+				return err
+			}
+		}
+		populated[v] = true
+		return nil
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(u) {
+			if visited[w] {
+				continue
+			}
+			visited[w] = true
+			if err := fill(w); err != nil {
+				return nil, err
+			}
+			queue = append(queue, w)
+		}
+	}
+	// Vertices unreachable from any seed still need databases.
+	for v := 0; v < cfg.Vertices; v++ {
+		if !populated[v] {
+			if err := fill(graph.VertexID(v)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return nw, nil
+}
+
+// mutate copies the transaction, rewriting each item with probability rate to
+// a random item of S.
+func mutate(rng *rand.Rand, tx itemset.Itemset, rate float64, items int) itemset.Itemset {
+	out := make([]itemset.Item, 0, tx.Len())
+	for _, it := range tx {
+		if rng.Float64() < rate {
+			out = append(out, itemset.Item(rng.Intn(items)))
+			continue
+		}
+		out = append(out, it)
+	}
+	return itemset.New(out...)
+}

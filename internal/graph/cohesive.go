@@ -1,0 +1,148 @@
+package graph
+
+// This file implements the classic cohesive-subgraph baselines that the
+// pattern truss of the paper generalizes: k-truss (Cohen) and k-core
+// (Seidman). Section 3.2 notes that a pattern truss with all frequencies
+// equal to 1 and α = k-3 is exactly a k-truss, and a maximal connected
+// pattern truss is then a (k-1)-core. The tests of internal/truss verify
+// these equivalences against the implementations here.
+
+// KTruss returns the maximal k-truss of g: the maximal set of edges such that
+// every edge is contained in at least k-2 triangles whose edges all belong to
+// the set. For k <= 2 the result is all edges of g.
+func KTruss(g *Graph, k int) EdgeSet {
+	edges := NewEdgeSet(g.Edges()...)
+	if k <= 2 {
+		return edges
+	}
+	need := k - 2
+	adj := edges.Adjacency()
+
+	support := make(map[uint64]int, edges.Len())
+	for key, e := range edges {
+		support[key] = len(IntersectSorted(adj[e.U], adj[e.V]))
+	}
+
+	queue := make([]Edge, 0)
+	inQueue := make(map[uint64]bool)
+	for key, e := range edges {
+		if support[key] < need {
+			queue = append(queue, e)
+			inQueue[key] = true
+		}
+	}
+
+	removeNeighbor := func(u, v VertexID) {
+		l := adj[u]
+		for i, x := range l {
+			if x == v {
+				adj[u] = append(l[:i:i], l[i+1:]...)
+				return
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		key := e.Key()
+		if !edges.Contains(e) {
+			continue
+		}
+		// Every common neighbor w loses a triangle on edges (U,w) and (V,w).
+		for _, w := range IntersectSorted(adj[e.U], adj[e.V]) {
+			for _, other := range []Edge{EdgeOf(e.U, w), EdgeOf(e.V, w)} {
+				ok := other.Key()
+				if !edges.Contains(other) {
+					continue
+				}
+				support[ok]--
+				if support[ok] < need && !inQueue[ok] {
+					queue = append(queue, other)
+					inQueue[ok] = true
+				}
+			}
+		}
+		edges.Remove(e)
+		delete(support, key)
+		removeNeighbor(e.U, e.V)
+		removeNeighbor(e.V, e.U)
+	}
+	return edges
+}
+
+// TrussDecomposition returns, for every edge of g, its trussness: the largest
+// k such that the edge belongs to the k-truss of g. Edges in no triangle have
+// trussness 2.
+func TrussDecomposition(g *Graph) map[uint64]int {
+	out := make(map[uint64]int, g.NumEdges())
+	for _, e := range g.Edges() {
+		out[e.Key()] = 2
+	}
+	for k := 3; ; k++ {
+		t := KTruss(g, k)
+		if t.Len() == 0 {
+			break
+		}
+		for key := range t {
+			out[key] = k
+		}
+	}
+	return out
+}
+
+// KCore returns the vertices of the maximal k-core of g: the maximal vertex
+// set in which every vertex has at least k neighbors within the set.
+func KCore(g *Graph, k int) []VertexID {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(VertexID(v))
+	}
+	queue := make([]VertexID, 0)
+	for v := 0; v < n; v++ {
+		if deg[v] < k {
+			queue = append(queue, VertexID(v))
+			removed[v] = true
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(u) {
+			if removed[w] {
+				continue
+			}
+			deg[w]--
+			if deg[w] < k {
+				removed[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	var out []VertexID
+	for v := 0; v < n; v++ {
+		if !removed[v] {
+			out = append(out, VertexID(v))
+		}
+	}
+	return out
+}
+
+// CoreNumbers returns, for every vertex of g, its core number: the largest k
+// such that the vertex belongs to the k-core.
+func CoreNumbers(g *Graph) []int {
+	n := g.NumVertices()
+	out := make([]int, n)
+	for k := 1; ; k++ {
+		core := KCore(g, k)
+		if len(core) == 0 {
+			break
+		}
+		for _, v := range core {
+			out[v] = k
+		}
+	}
+	return out
+}

@@ -1,0 +1,335 @@
+// Package graph provides the undirected-graph substrate of the database
+// network: adjacency storage, triangle enumeration, connected components,
+// BFS traversal, and the classic k-truss and k-core baselines that the
+// pattern truss of the paper generalizes (Section 3.2).
+//
+// Vertices are dense integer identifiers in [0, NumVertices). Edges are
+// undirected, simple (no self-loops, no parallel edges).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex of a graph or database network.
+type VertexID int32
+
+// Edge is an undirected edge stored in canonical orientation U < V.
+type Edge struct {
+	U, V VertexID
+}
+
+// EdgeOf returns the canonical edge between a and b. It panics on self-loops
+// because the data model forbids them.
+func EdgeOf(a, b VertexID) Edge {
+	if a == b {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", a))
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{U: a, V: b}
+}
+
+// Key packs the edge into a single comparable 64-bit key.
+func (e Edge) Key() uint64 { return uint64(uint32(e.U))<<32 | uint64(uint32(e.V)) }
+
+// EdgeFromKey is the inverse of Edge.Key.
+func EdgeFromKey(k uint64) Edge {
+	return Edge{U: VertexID(uint32(k >> 32)), V: VertexID(uint32(k))}
+}
+
+// Other returns the endpoint of e that is not v. It panics if v is not an
+// endpoint of e.
+func (e Edge) Other(v VertexID) VertexID {
+	switch v {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	default:
+		panic(fmt.Sprintf("graph: vertex %d is not an endpoint of edge %v", v, e))
+	}
+}
+
+// String renders the edge as "(u,v)".
+func (e Edge) String() string { return fmt.Sprintf("(%d,%d)", e.U, e.V) }
+
+// Graph is a static simple undirected graph with a fixed vertex count.
+// Build one with NewBuilder or directly with New plus AddEdge.
+type Graph struct {
+	adj [][]VertexID // sorted neighbor lists
+	m   int          // number of edges
+	// sorted reports whether adjacency lists are currently sorted; AddEdge
+	// appends and defers sorting until the next read that needs it.
+	sorted bool
+}
+
+// New returns a graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{adj: make([][]VertexID, n), sorted: true}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int { return g.m }
+
+// AddEdge inserts the undirected edge (a, b). Self-loops are rejected with an
+// error; adding an edge that already exists is a harmless no-op.
+func (g *Graph) AddEdge(a, b VertexID) error {
+	if a == b {
+		return fmt.Errorf("graph: self-loop on vertex %d rejected", a)
+	}
+	if err := g.checkVertex(a); err != nil {
+		return err
+	}
+	if err := g.checkVertex(b); err != nil {
+		return err
+	}
+	if g.hasEdgeSlow(a, b) {
+		return nil
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	g.m++
+	g.sorted = false
+	return nil
+}
+
+// MustAddEdge is AddEdge but panics on error. Useful in tests and generators
+// where the inputs are known valid.
+func (g *Graph) MustAddEdge(a, b VertexID) {
+	if err := g.AddEdge(a, b); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) checkVertex(v VertexID) error {
+	if v < 0 || int(v) >= len(g.adj) {
+		return fmt.Errorf("graph: vertex %d out of range [0,%d)", v, len(g.adj))
+	}
+	return nil
+}
+
+func (g *Graph) hasEdgeSlow(a, b VertexID) bool {
+	// Scan the smaller adjacency list.
+	la, lb := g.adj[a], g.adj[b]
+	if len(lb) < len(la) {
+		la, b = lb, a
+	}
+	for _, x := range la {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Sort sorts every adjacency list. Read accessors call it lazily; callers
+// that are about to read the graph from multiple goroutines must call it (or
+// any read accessor) once beforehand, because the lazy sort is not
+// synchronized.
+func (g *Graph) Sort() { g.ensureSorted() }
+
+// ensureSorted sorts all adjacency lists; reads that rely on sorted order call
+// it first.
+func (g *Graph) ensureSorted() {
+	if g.sorted {
+		return
+	}
+	for _, l := range g.adj {
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+	}
+	g.sorted = true
+}
+
+// HasEdge reports whether the edge (a, b) exists.
+func (g *Graph) HasEdge(a, b VertexID) bool {
+	if a == b || g.checkVertex(a) != nil || g.checkVertex(b) != nil {
+		return false
+	}
+	g.ensureSorted()
+	l := g.adj[a]
+	i := sort.Search(len(l), func(i int) bool { return l[i] >= b })
+	return i < len(l) && l[i] == b
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v VertexID) int {
+	if g.checkVertex(v) != nil {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// Neighbors returns the sorted neighbor list of v. The returned slice must not
+// be modified.
+func (g *Graph) Neighbors(v VertexID) []VertexID {
+	if g.checkVertex(v) != nil {
+		return nil
+	}
+	g.ensureSorted()
+	return g.adj[v]
+}
+
+// Edges returns every edge of the graph in canonical orientation, sorted by
+// (U, V).
+func (g *Graph) Edges() []Edge {
+	g.ensureSorted()
+	out := make([]Edge, 0, g.m)
+	for u := range g.adj {
+		for _, v := range g.adj[u] {
+			if VertexID(u) < v {
+				out = append(out, Edge{U: VertexID(u), V: v})
+			}
+		}
+	}
+	return out
+}
+
+// CommonNeighbors returns the sorted common neighbors of a and b. Each common
+// neighbor corresponds to a triangle containing edge (a, b).
+func (g *Graph) CommonNeighbors(a, b VertexID) []VertexID {
+	if g.checkVertex(a) != nil || g.checkVertex(b) != nil {
+		return nil
+	}
+	g.ensureSorted()
+	return IntersectSorted(g.adj[a], g.adj[b])
+}
+
+// CountTriangles returns the total number of triangles in the graph.
+func (g *Graph) CountTriangles() int {
+	total := 0
+	for _, e := range g.Edges() {
+		for _, w := range g.CommonNeighbors(e.U, e.V) {
+			if w > e.V { // count each triangle once: u < v < w
+				total++
+			}
+		}
+	}
+	return total
+}
+
+// ConnectedComponents returns the vertex sets of the connected components,
+// each sorted, with components ordered by their smallest vertex. Isolated
+// vertices form singleton components.
+func (g *Graph) ConnectedComponents() [][]VertexID {
+	n := len(g.adj)
+	visited := make([]bool, n)
+	var comps [][]VertexID
+	queue := make([]VertexID, 0, n)
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		queue = queue[:0]
+		queue = append(queue, VertexID(s))
+		comp := []VertexID{VertexID(s)}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[u] {
+				if !visited[w] {
+					visited[w] = true
+					comp = append(comp, w)
+					queue = append(queue, w)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// BFSEdges traverses the graph breadth-first from seed and returns up to
+// maxEdges edges in the order they are discovered (tree and cross edges of the
+// already-visited frontier). It is the sampling primitive of Section 7.1 of
+// the paper. If maxEdges <= 0 all reachable edges are returned.
+func (g *Graph) BFSEdges(seed VertexID, maxEdges int) []Edge {
+	if g.checkVertex(seed) != nil {
+		return nil
+	}
+	if maxEdges <= 0 {
+		maxEdges = g.m
+	}
+	g.ensureSorted()
+	visited := make(map[VertexID]bool, maxEdges)
+	seenEdge := make(map[uint64]bool, maxEdges)
+	var out []Edge
+	queue := []VertexID{seed}
+	visited[seed] = true
+	for len(queue) > 0 && len(out) < maxEdges {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[u] {
+			e := EdgeOf(u, w)
+			if !seenEdge[e.Key()] {
+				seenEdge[e.Key()] = true
+				out = append(out, e)
+				if len(out) >= maxEdges {
+					break
+				}
+			}
+			if !visited[w] {
+				visited[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	cp := New(len(g.adj))
+	cp.m = g.m
+	cp.sorted = g.sorted
+	for i, l := range g.adj {
+		cp.adj[i] = append([]VertexID(nil), l...)
+	}
+	return cp
+}
+
+// FromEdges builds a graph with n vertices from the given edge list.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	g := New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e.U, e.V); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// IntersectSorted returns the intersection of two ascending sorted vertex
+// slices.
+func IntersectSorted(a, b []VertexID) []VertexID {
+	var out []VertexID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// SortVertices sorts a vertex slice in place in ascending order.
+func SortVertices(vs []VertexID) {
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+}

@@ -1,0 +1,97 @@
+package itemset
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dictionary maps human-readable item names (keywords, locations, product
+// names, ...) to compact Item identifiers and back. The zero value is not
+// usable; construct one with NewDictionary.
+type Dictionary struct {
+	byName map[string]Item
+	byID   []string
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{byName: make(map[string]Item)}
+}
+
+// Intern returns the Item assigned to name, assigning a fresh identifier if
+// the name has not been seen before. Identifiers are assigned densely starting
+// at 0 in interning order.
+func (d *Dictionary) Intern(name string) Item {
+	if id, ok := d.byName[name]; ok {
+		return id
+	}
+	id := Item(len(d.byID))
+	d.byName[name] = id
+	d.byID = append(d.byID, name)
+	return id
+}
+
+// InternAll interns every name and returns the resulting itemset.
+func (d *Dictionary) InternAll(names []string) Itemset {
+	items := make([]Item, 0, len(names))
+	for _, n := range names {
+		items = append(items, d.Intern(n))
+	}
+	return New(items...)
+}
+
+// Lookup returns the Item for name and whether it is present, without
+// interning it.
+func (d *Dictionary) Lookup(name string) (Item, bool) {
+	id, ok := d.byName[name]
+	return id, ok
+}
+
+// Name returns the name of item id. It returns an error if the identifier was
+// never interned.
+func (d *Dictionary) Name(id Item) (string, error) {
+	if int(id) < 0 || int(id) >= len(d.byID) {
+		return "", fmt.Errorf("itemset: unknown item id %d", id)
+	}
+	return d.byID[id], nil
+}
+
+// MustName is like Name but panics on unknown identifiers. It is intended for
+// rendering results whose items are known to come from this dictionary.
+func (d *Dictionary) MustName(id Item) string {
+	name, err := d.Name(id)
+	if err != nil {
+		panic(err)
+	}
+	return name
+}
+
+// Names renders every item of the set through the dictionary, in item order.
+func (d *Dictionary) Names(s Itemset) []string {
+	out := make([]string, 0, len(s))
+	for _, it := range s {
+		out = append(out, d.MustName(it))
+	}
+	return out
+}
+
+// Len returns the number of distinct interned names.
+func (d *Dictionary) Len() int { return len(d.byID) }
+
+// Universe returns the itemset containing every interned item.
+func (d *Dictionary) Universe() Itemset {
+	out := make(Itemset, d.Len())
+	for i := range out {
+		out[i] = Item(i)
+	}
+	return out
+}
+
+// SortedNames returns all interned names in lexicographic order. It is mainly
+// useful for deterministic serialization and tests.
+func (d *Dictionary) SortedNames() []string {
+	out := make([]string, len(d.byID))
+	copy(out, d.byID)
+	sort.Strings(out)
+	return out
+}

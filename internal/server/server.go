@@ -1,0 +1,298 @@
+// Package server exposes a built TC-Tree over HTTP, turning the index into a
+// small query-answering service: the "data warehouse of maximal pattern
+// trusses" the paper advocates in Section 6, reachable by any client that can
+// issue GET requests. Only the standard library is used.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+)
+
+// Server answers theme-community queries from a TC-Tree. It is safe for
+// concurrent use: the underlying tree is read-only after construction.
+type Server struct {
+	tree *tctree.Tree
+	dict *itemset.Dictionary
+	// vertexNames optionally maps vertex identifiers to display names
+	// (e.g. author names); it may be nil.
+	vertexNames []string
+	mux         *http.ServeMux
+}
+
+// Options configures a Server.
+type Options struct {
+	// Dictionary names the items of the indexed network; when nil, items are
+	// rendered by their numeric identifiers and pattern queries must use
+	// numeric identifiers.
+	Dictionary *itemset.Dictionary
+	// VertexNames maps vertices to display names; when nil, vertices are
+	// rendered by their numeric identifiers.
+	VertexNames []string
+}
+
+// New returns a Server for the given tree.
+func New(tree *tctree.Tree, opts Options) (*Server, error) {
+	if tree == nil {
+		return nil, fmt.Errorf("server: nil tree")
+	}
+	s := &Server{tree: tree, dict: opts.Dictionary, vertexNames: opts.VertexNames, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/api/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/api/v1/patterns", s.handlePatterns)
+	s.mux.HandleFunc("/api/v1/vertex", s.handleVertex)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// StatsResponse is the payload of GET /api/v1/stats.
+type StatsResponse struct {
+	Nodes    int     `json:"nodes"`
+	Depth    int     `json:"depth"`
+	MaxAlpha float64 `json:"maxAlpha"`
+}
+
+// QueryResponse is the payload of GET /api/v1/query.
+type QueryResponse struct {
+	Alpha          float64             `json:"alpha"`
+	Pattern        []string            `json:"pattern,omitempty"`
+	RetrievedNodes int                 `json:"retrievedNodes"`
+	VisitedNodes   int                 `json:"visitedNodes"`
+	QueryMicros    int64               `json:"queryMicros"`
+	Communities    []CommunityResponse `json:"communities"`
+}
+
+// CommunityResponse describes one theme community in a query answer.
+type CommunityResponse struct {
+	Theme    []string `json:"theme"`
+	Vertices []string `json:"vertices"`
+	Edges    int      `json:"edges"`
+}
+
+// PatternsResponse is the payload of GET /api/v1/patterns.
+type PatternsResponse struct {
+	Length   int        `json:"length"`
+	Count    int        `json:"count"`
+	Patterns [][]string `json:"patterns"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Nodes:    s.tree.NumNodes(),
+		Depth:    s.tree.Depth(),
+		MaxAlpha: s.tree.MaxAlpha(),
+	})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	alpha := 0.0
+	if v := r.URL.Query().Get("alpha"); v != "" {
+		parsed, err := strconv.ParseFloat(v, 64)
+		if err != nil || parsed < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid alpha %q", v))
+			return
+		}
+		alpha = parsed
+	}
+
+	var qr *tctree.QueryResult
+	var patternNames []string
+	if raw := r.URL.Query().Get("pattern"); raw != "" {
+		q, err := s.parsePattern(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		patternNames = s.itemNames(q)
+		qr = s.tree.Query(q, alpha)
+	} else {
+		qr = s.tree.QueryByAlpha(alpha)
+	}
+
+	resp := QueryResponse{
+		Alpha:          alpha,
+		Pattern:        patternNames,
+		RetrievedNodes: qr.RetrievedNodes,
+		VisitedNodes:   qr.VisitedNodes,
+		QueryMicros:    qr.Duration.Microseconds(),
+	}
+	for _, c := range qr.Communities() {
+		resp.Communities = append(resp.Communities, CommunityResponse{
+			Theme:    s.itemNames(c.Pattern),
+			Vertices: s.names(c.Vertices()),
+			Edges:    c.Edges.Len(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	length := 1
+	if v := r.URL.Query().Get("length"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid length %q", v))
+			return
+		}
+		length = parsed
+	}
+	limit := 100
+	if v := r.URL.Query().Get("limit"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid limit %q", v))
+			return
+		}
+		limit = parsed
+	}
+	patterns := s.tree.PatternsAtDepth(length)
+	resp := PatternsResponse{Length: length, Count: len(patterns)}
+	sort.Slice(patterns, func(i, j int) bool { return itemset.Compare(patterns[i], patterns[j]) < 0 })
+	for i, p := range patterns {
+		if i >= limit {
+			break
+		}
+		resp.Patterns = append(resp.Patterns, s.itemNames(p))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// VertexResponse is the payload of GET /api/v1/vertex: the theme-community
+// memberships of one vertex.
+type VertexResponse struct {
+	Vertex      string              `json:"vertex"`
+	Alpha       float64             `json:"alpha"`
+	Communities []CommunityResponse `json:"communities"`
+}
+
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	rawID := r.URL.Query().Get("id")
+	id, err := strconv.Atoi(rawID)
+	if err != nil || id < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid vertex id %q", rawID))
+		return
+	}
+	alpha := 0.0
+	if v := r.URL.Query().Get("alpha"); v != "" {
+		parsed, err := strconv.ParseFloat(v, 64)
+		if err != nil || parsed < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid alpha %q", v))
+			return
+		}
+		alpha = parsed
+	}
+	resp := VertexResponse{Vertex: s.names([]graph.VertexID{graph.VertexID(id)})[0], Alpha: alpha}
+	for _, c := range s.tree.SearchVertex(graph.VertexID(id), nil, alpha) {
+		resp.Communities = append(resp.Communities, CommunityResponse{
+			Theme:    s.itemNames(c.Pattern),
+			Vertices: s.names(c.Vertices()),
+			Edges:    c.Edges.Len(),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parsePattern resolves a comma-separated list of item names or numeric ids.
+func (s *Server) parsePattern(raw string) (itemset.Itemset, error) {
+	var items []itemset.Item
+	for _, field := range strings.Split(raw, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		if id, err := strconv.Atoi(field); err == nil {
+			items = append(items, itemset.Item(id))
+			continue
+		}
+		if s.dict == nil {
+			return nil, fmt.Errorf("item %q is not numeric and the server has no dictionary", field)
+		}
+		id, ok := s.dict.Lookup(field)
+		if !ok {
+			return nil, fmt.Errorf("unknown item %q", field)
+		}
+		items = append(items, id)
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("empty pattern")
+	}
+	return itemset.New(items...), nil
+}
+
+// itemNames renders an itemset through the dictionary, falling back to
+// numeric identifiers.
+func (s *Server) itemNames(p itemset.Itemset) []string {
+	out := make([]string, 0, p.Len())
+	for _, it := range p {
+		if s.dict != nil {
+			if name, err := s.dict.Name(it); err == nil {
+				out = append(out, name)
+				continue
+			}
+		}
+		out = append(out, strconv.Itoa(int(it)))
+	}
+	return out
+}
+
+// names renders vertices through the optional display-name table.
+func (s *Server) names(vs []graph.VertexID) []string {
+	out := make([]string, 0, len(vs))
+	for _, v := range vs {
+		if int(v) < len(s.vertexNames) {
+			out = append(out, s.vertexNames[v])
+			continue
+		}
+		out = append(out, strconv.Itoa(int(v)))
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(payload)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

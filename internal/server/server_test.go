@@ -1,0 +1,257 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/gen"
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+)
+
+// newTestServer builds a server over the co-author analogue so that both item
+// names and vertex names are exercised.
+func newTestServer(t *testing.T) (*Server, gen.Dataset) {
+	t.Helper()
+	d, err := gen.AMiner(0.08)
+	if err != nil {
+		t.Fatalf("AMiner: %v", err)
+	}
+	tree := tctree.Build(d.Network, tctree.BuildOptions{MaxDepth: 3})
+	s, err := New(tree, Options{Dictionary: d.Dictionary, VertexNames: d.AuthorNames})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s, d
+}
+
+func get(t *testing.T, s *Server, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestNewRejectsNilTree(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatalf("nil tree should be rejected")
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz status = %d", rec.Code)
+	}
+	rec = get(t, s, "/api/v1/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status = %d", rec.Code)
+	}
+	var stats StatsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if stats.Nodes <= 0 || stats.Depth <= 0 || stats.MaxAlpha <= 0 {
+		t.Fatalf("degenerate stats %+v", stats)
+	}
+}
+
+func TestQueryByAlphaEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := get(t, s, "/api/v1/query?alpha=0.2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.RetrievedNodes <= 0 || len(resp.Communities) == 0 {
+		t.Fatalf("query returned nothing: %+v", resp)
+	}
+	for _, c := range resp.Communities {
+		if len(c.Theme) == 0 || len(c.Vertices) < 3 || c.Edges < 3 {
+			t.Fatalf("degenerate community %+v", c)
+		}
+	}
+}
+
+func TestQueryByPatternEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := get(t, s, "/api/v1/query?pattern=data+mining,sequential+pattern&alpha=0.1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(resp.Pattern) != 2 {
+		t.Fatalf("echoed pattern = %v", resp.Pattern)
+	}
+	// Every returned theme must be a subset of the query pattern.
+	allowed := map[string]bool{"data mining": true, "sequential pattern": true}
+	for _, c := range resp.Communities {
+		for _, kw := range c.Theme {
+			if !allowed[kw] {
+				t.Fatalf("theme %v is not a sub-pattern of the query", c.Theme)
+			}
+		}
+		// Vertex names resolve to author names.
+		if len(c.Vertices) > 0 && c.Vertices[0][:6] != "Author" {
+			t.Fatalf("vertex names not resolved: %v", c.Vertices[:1])
+		}
+	}
+}
+
+func TestQueryNumericPatternWithoutDictionary(t *testing.T) {
+	nw := dbnet.PaperExample()
+	tree := tctree.Build(nw, tctree.BuildOptions{})
+	s, err := New(tree, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rec := get(t, s, "/api/v1/query?pattern=1&alpha=0.1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.RetrievedNodes != 1 || len(resp.Communities) != 2 {
+		t.Fatalf("paper example query answer wrong: %+v", resp)
+	}
+	// Named pattern without a dictionary is a client error.
+	rec = get(t, s, "/api/v1/query?pattern=beer")
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("named pattern without dictionary should be a 400, got %d", rec.Code)
+	}
+}
+
+func TestPatternsEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := get(t, s, "/api/v1/patterns?length=2&limit=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp PatternsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.Length != 2 || resp.Count <= 0 {
+		t.Fatalf("patterns response %+v", resp)
+	}
+	if len(resp.Patterns) > 5 {
+		t.Fatalf("limit not honoured: %d", len(resp.Patterns))
+	}
+	for _, p := range resp.Patterns {
+		if len(p) != 2 {
+			t.Fatalf("pattern of wrong length: %v", p)
+		}
+	}
+}
+
+func TestVertexEndpoint(t *testing.T) {
+	s, d := newTestServer(t)
+	// Find a vertex that belongs to at least one community at α=0.2.
+	qrec := get(t, s, "/api/v1/query?alpha=0.2")
+	var q QueryResponse
+	if err := json.Unmarshal(qrec.Body.Bytes(), &q); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(q.Communities) == 0 {
+		t.Skipf("no communities at this α")
+	}
+	member := q.Communities[0].Vertices[0]
+	// Resolve the author name back to the vertex id.
+	id := -1
+	for i, name := range d.AuthorNames {
+		if name == member {
+			id = i
+			break
+		}
+	}
+	if id < 0 {
+		t.Fatalf("could not resolve author %q", member)
+	}
+	rec := get(t, s, "/api/v1/vertex?id="+strconv.Itoa(id)+"&alpha=0.2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("vertex status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var resp VertexResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.Vertex != member {
+		t.Fatalf("vertex name = %q, want %q", resp.Vertex, member)
+	}
+	if len(resp.Communities) == 0 {
+		t.Fatalf("member of a community should have a non-empty profile")
+	}
+	// Bad requests.
+	for _, url := range []string{"/api/v1/vertex", "/api/v1/vertex?id=x", "/api/v1/vertex?id=-1", "/api/v1/vertex?id=0&alpha=bad"} {
+		if rec := get(t, s, url); rec.Code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", url, rec.Code)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s, _ := newTestServer(t)
+	cases := []struct {
+		url  string
+		want int
+	}{
+		{"/api/v1/query?alpha=-1", http.StatusBadRequest},
+		{"/api/v1/query?alpha=abc", http.StatusBadRequest},
+		{"/api/v1/query?pattern=no-such-keyword-anywhere", http.StatusBadRequest},
+		{"/api/v1/query?pattern=,", http.StatusBadRequest},
+		{"/api/v1/patterns?length=0", http.StatusBadRequest},
+		{"/api/v1/patterns?length=x", http.StatusBadRequest},
+		{"/api/v1/patterns?limit=0", http.StatusBadRequest},
+		{"/no/such/route", http.StatusNotFound},
+	}
+	for _, c := range cases {
+		if rec := get(t, s, c.url); rec.Code != c.want {
+			t.Errorf("GET %s = %d, want %d", c.url, rec.Code, c.want)
+		}
+	}
+	// Non-GET methods are rejected.
+	for _, path := range []string{"/healthz", "/api/v1/stats", "/api/v1/query", "/api/v1/patterns"} {
+		req := httptest.NewRequest(http.MethodPost, path, nil)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %d, want 405", path, rec.Code)
+		}
+	}
+}
+
+func TestItemNamesFallback(t *testing.T) {
+	nw := dbnet.PaperExample()
+	tree := tctree.Build(nw, tctree.BuildOptions{})
+	// A dictionary that does not cover the network's items falls back to ids.
+	dict := itemset.NewDictionary()
+	s, err := New(tree, Options{Dictionary: dict})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rec := get(t, s, "/api/v1/patterns?length=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var resp PatternsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.Count == 0 {
+		t.Fatalf("no patterns returned")
+	}
+}

@@ -1,0 +1,102 @@
+package tctree
+
+import (
+	"math/rand"
+	"testing"
+
+	"themecomm/internal/core"
+	"themecomm/internal/dbnet"
+	"themecomm/internal/graph"
+)
+
+func TestSearchVertexOnPaperExample(t *testing.T) {
+	nw := dbnet.PaperExample()
+	tree := Build(nw, BuildOptions{})
+
+	// Vertex v1 (0) belongs to the 5-vertex community of pattern p at α=0.1.
+	comms := tree.SearchVertex(0, dbnet.PaperExampleP, 0.1)
+	if len(comms) != 1 {
+		t.Fatalf("expected exactly one community for v1 and pattern p, got %d", len(comms))
+	}
+	if len(comms[0].Vertices()) != 5 {
+		t.Fatalf("community of v1 has %d vertices, want 5", len(comms[0].Vertices()))
+	}
+	// Vertex v6 (5) has frequency 0 for p: no community.
+	if got := tree.SearchVertex(5, dbnet.PaperExampleP, 0.1); len(got) != 0 {
+		t.Fatalf("v6 should belong to no p-community, got %d", len(got))
+	}
+	// Vertex v7 (6) belongs to the triangle community.
+	comms = tree.SearchVertex(6, dbnet.PaperExampleP, 0.1)
+	if len(comms) != 1 || len(comms[0].Vertices()) != 3 {
+		t.Fatalf("community of v7 wrong: %v", comms)
+	}
+	// A nil query pattern searches every theme.
+	all := tree.SearchVertex(0, nil, 0.1)
+	if len(all) < 1 {
+		t.Fatalf("nil query should still find the p-community of v1")
+	}
+	// An unknown vertex belongs to nothing.
+	if got := tree.SearchVertex(99, nil, 0); len(got) != 0 {
+		t.Fatalf("unknown vertex should belong to no community")
+	}
+}
+
+func TestSearchVertexAgreesWithMining(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	nw := randomNetwork(rng, 16, 36, 4, 4)
+	tree := Build(nw, BuildOptions{})
+	const alpha = 0.2
+	mined := core.TCFI(nw, core.Options{Alpha: alpha})
+
+	for v := graph.VertexID(0); int(v) < nw.NumVertices(); v++ {
+		// Reference: communities containing v, computed from the miner.
+		want := 0
+		for _, c := range mined.Communities() {
+			for _, u := range c.Vertices() {
+				if u == v {
+					want++
+					break
+				}
+			}
+		}
+		got := tree.SearchVertex(v, nil, alpha)
+		if len(got) != want {
+			t.Fatalf("vertex %d: search found %d communities, mining found %d", v, len(got), want)
+		}
+		// The results are sorted by theme length then lexicographically.
+		for i := 1; i < len(got); i++ {
+			if lessCommunity(got[i], got[i-1]) {
+				t.Fatalf("vertex %d: communities not sorted", v)
+			}
+		}
+	}
+}
+
+func TestProfileVertex(t *testing.T) {
+	nw := dbnet.PaperExample()
+	tree := Build(nw, BuildOptions{})
+	profile := tree.ProfileVertex(0, 0.1)
+	if profile.Vertex != 0 {
+		t.Fatalf("profile vertex = %d", profile.Vertex)
+	}
+	if len(profile.Themes) == 0 || len(profile.Themes) != len(profile.CommunitySizes) {
+		t.Fatalf("profile inconsistent: %+v", profile)
+	}
+	foundP := false
+	for i, theme := range profile.Themes {
+		if theme.Equal(dbnet.PaperExampleP) {
+			foundP = true
+			if profile.CommunitySizes[i] != 5 {
+				t.Fatalf("p-community size = %d, want 5", profile.CommunitySizes[i])
+			}
+		}
+	}
+	if !foundP {
+		t.Fatalf("profile of v1 misses pattern p: %+v", profile)
+	}
+	// A vertex outside every community has an empty profile.
+	empty := tree.ProfileVertex(99, 0)
+	if len(empty.Themes) != 0 {
+		t.Fatalf("unknown vertex should have an empty profile")
+	}
+}

@@ -1,0 +1,150 @@
+package tctree
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+	"themecomm/internal/truss"
+)
+
+// The on-disk representation flattens the tree into records in breadth-first
+// order, each referring to its parent by index. This keeps the format free of
+// recursion, deterministic, and easy to stream with encoding/gob.
+
+type treeFile struct {
+	Version int
+	Nodes   []nodeRecord
+}
+
+type nodeRecord struct {
+	Parent int // index into Nodes; -1 for children of the root
+	Item   int32
+	Freq   []vertexFreqRecord
+	Levels []levelRecord
+}
+
+type vertexFreqRecord struct {
+	Vertex int32
+	Freq   float64
+}
+
+type levelRecord struct {
+	Alpha float64
+	Edges []uint64
+}
+
+const fileVersion = 1
+
+// Write serializes the tree to w.
+func (t *Tree) Write(w io.Writer) error {
+	if t == nil || t.root == nil {
+		return fmt.Errorf("tctree: cannot serialize a nil tree")
+	}
+	var file treeFile
+	file.Version = fileVersion
+
+	index := make(map[*Node]int)
+	queue := []*Node{t.root}
+	index[t.root] = -1
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range n.Children {
+			rec := nodeRecord{Parent: index[n], Item: int32(c.Item)}
+			for v, f := range c.Decomp.Freq {
+				rec.Freq = append(rec.Freq, vertexFreqRecord{Vertex: int32(v), Freq: f})
+			}
+			for _, l := range c.Decomp.Levels {
+				lr := levelRecord{Alpha: l.Alpha}
+				for _, e := range l.Removed {
+					lr.Edges = append(lr.Edges, e.Key())
+				}
+				rec.Levels = append(rec.Levels, lr)
+			}
+			index[c] = len(file.Nodes)
+			file.Nodes = append(file.Nodes, rec)
+			queue = append(queue, c)
+		}
+	}
+	return gob.NewEncoder(w).Encode(&file)
+}
+
+// ReadFrom deserializes a tree written by Write.
+func ReadFrom(r io.Reader) (*Tree, error) {
+	var file treeFile
+	if err := gob.NewDecoder(r).Decode(&file); err != nil {
+		return nil, fmt.Errorf("tctree: decode: %w", err)
+	}
+	if file.Version != fileVersion {
+		return nil, fmt.Errorf("tctree: unsupported file version %d", file.Version)
+	}
+	tree := &Tree{root: &Node{Pattern: itemset.New()}}
+	nodes := make([]*Node, len(file.Nodes))
+	for i, rec := range file.Nodes {
+		var parent *Node
+		switch {
+		case rec.Parent == -1:
+			parent = tree.root
+		case rec.Parent >= 0 && rec.Parent < i:
+			parent = nodes[rec.Parent]
+		default:
+			return nil, fmt.Errorf("tctree: node %d has invalid parent %d", i, rec.Parent)
+		}
+		item := itemset.Item(rec.Item)
+		decomp := &truss.Decomposition{
+			Pattern: parent.Pattern.Add(item),
+			Freq:    make(map[graph.VertexID]float64, len(rec.Freq)),
+		}
+		for _, vf := range rec.Freq {
+			decomp.Freq[graph.VertexID(vf.Vertex)] = vf.Freq
+		}
+		for _, lr := range rec.Levels {
+			level := truss.Level{Alpha: lr.Alpha}
+			for _, k := range lr.Edges {
+				level.Removed = append(level.Removed, graph.EdgeFromKey(k))
+			}
+			decomp.Levels = append(decomp.Levels, level)
+		}
+		if err := decomp.Validate(); err != nil {
+			return nil, fmt.Errorf("tctree: node %d: %w", i, err)
+		}
+		if decomp.Empty() {
+			return nil, fmt.Errorf("tctree: node %d has an empty decomposition", i)
+		}
+		n := &Node{Item: item, Pattern: decomp.Pattern, Decomp: decomp}
+		parent.addChild(n)
+		nodes[i] = n
+		tree.numNodes++
+	}
+	if err := tree.Validate(); err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+// WriteFile writes the tree to the named file, creating or truncating it.
+func (t *Tree) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a tree from the named file.
+func ReadFile(path string) (*Tree, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}

@@ -1,0 +1,190 @@
+package truss
+
+import (
+	"fmt"
+	"sort"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+// Level is one node of the linked list L_p of Section 6.1: the edges removed
+// when the maximal pattern truss shrinks at threshold Alpha. An edge stored in
+// a level with threshold α_k belongs to C*_p(α) exactly when α < α_k.
+type Level struct {
+	// Alpha is the threshold α_k at which the edges of this level drop out of
+	// the maximal pattern truss.
+	Alpha float64
+	// Removed is R_p(α_k) = E*_p(α_{k-1}) \ E*_p(α_k).
+	Removed []graph.Edge
+}
+
+// Decomposition is the linked list L_p: the full decomposition of the maximal
+// pattern truss C*_p(0) into disjoint removal levels with ascending
+// thresholds. It supports reconstructing C*_p(α) for any α (Equation 1) and
+// reports the non-trivial range of α for the theme network.
+type Decomposition struct {
+	// Pattern is the theme p.
+	Pattern itemset.Itemset
+	// Freq maps every vertex of C*_p(0) to f_i(p).
+	Freq map[graph.VertexID]float64
+	// Levels are the removal levels in ascending threshold order.
+	Levels []Level
+}
+
+// Decompose computes C*_p(0) of the theme network with MPTD and decomposes it
+// into removal levels following Theorem 6.1: starting from α_0 = 0, the next
+// threshold is the minimum surviving edge cohesion, and the edges removed by
+// peeling at that threshold form the next level.
+func Decompose(tn *dbnet.ThemeNetwork) *Decomposition {
+	p := newPeeler(tn)
+	p.peel(0)
+
+	d := &Decomposition{Pattern: tn.Pattern.Clone(), Freq: make(map[graph.VertexID]float64)}
+	base := p.truss(0)
+	for v, f := range base.Freq {
+		d.Freq[v] = f
+	}
+
+	for {
+		beta, ok := p.minCohesion()
+		if !ok {
+			break
+		}
+		before := p.survivingEdges()
+		p.peel(beta)
+		afterKeys := make(map[uint64]bool, len(p.cohesion))
+		for key := range p.cohesion {
+			afterKeys[key] = true
+		}
+		removed := make([]graph.Edge, 0, len(before)-len(afterKeys))
+		for _, e := range before {
+			if !afterKeys[e.Key()] {
+				removed = append(removed, e)
+			}
+		}
+		sortEdges(removed)
+		d.Levels = append(d.Levels, Level{Alpha: beta, Removed: removed})
+	}
+	return d
+}
+
+// Empty reports whether the decomposition holds no edges, i.e. C*_p(0) = ∅.
+func (d *Decomposition) Empty() bool { return d == nil || len(d.Levels) == 0 }
+
+// NumEdges returns the number of edges of C*_p(0) stored across all levels.
+func (d *Decomposition) NumEdges() int {
+	if d == nil {
+		return 0
+	}
+	n := 0
+	for _, l := range d.Levels {
+		n += len(l.Removed)
+	}
+	return n
+}
+
+// MaxAlpha returns α*_p, the exclusive upper bound of the non-trivial range of
+// α for the theme network: C*_p(α) = ∅ for every α ≥ MaxAlpha. It returns 0
+// for an empty decomposition.
+func (d *Decomposition) MaxAlpha() float64 {
+	if d.Empty() {
+		return 0
+	}
+	return d.Levels[len(d.Levels)-1].Alpha
+}
+
+// EdgesAt reconstructs E*_p(α) using Equation 1: the union of the removal sets
+// of every level with threshold strictly greater than α.
+func (d *Decomposition) EdgesAt(alpha float64) graph.EdgeSet {
+	out := make(graph.EdgeSet)
+	if d == nil {
+		return out
+	}
+	for _, l := range d.Levels {
+		if l.Alpha > alpha+cohesionTolerance {
+			for _, e := range l.Removed {
+				out.Add(e)
+			}
+		}
+	}
+	return out
+}
+
+// TrussAt reconstructs the maximal pattern truss C*_p(α) from the
+// decomposition. The returned truss may be empty but is never nil.
+func (d *Decomposition) TrussAt(alpha float64) *Truss {
+	edges := d.EdgesAt(alpha)
+	t := &Truss{Pattern: d.patternClone(), Alpha: alpha, Edges: edges, Freq: make(map[graph.VertexID]float64)}
+	for _, v := range edges.Vertices() {
+		t.Freq[v] = d.Freq[v]
+	}
+	return t
+}
+
+// Thresholds returns the ascending removal thresholds α_1 < α_2 < … < α_h.
+func (d *Decomposition) Thresholds() []float64 {
+	if d == nil {
+		return nil
+	}
+	out := make([]float64, len(d.Levels))
+	for i, l := range d.Levels {
+		out[i] = l.Alpha
+	}
+	return out
+}
+
+func (d *Decomposition) patternClone() itemset.Itemset {
+	if d == nil {
+		return nil
+	}
+	return d.Pattern.Clone()
+}
+
+// String summarises the decomposition.
+func (d *Decomposition) String() string {
+	if d == nil {
+		return "truss.Decomposition(nil)"
+	}
+	return fmt.Sprintf("truss.Decomposition{p=%v, levels=%d, edges=%d, α*=%g}",
+		d.Pattern, len(d.Levels), d.NumEdges(), d.MaxAlpha())
+}
+
+// Validate checks structural invariants of the decomposition: levels have
+// strictly ascending thresholds, non-empty removal sets, and no edge appears
+// twice. It is used by tests and by the TC-Tree loader.
+func (d *Decomposition) Validate() error {
+	if d == nil {
+		return nil
+	}
+	seen := make(map[uint64]bool)
+	prev := 0.0
+	for i, l := range d.Levels {
+		if len(l.Removed) == 0 {
+			return fmt.Errorf("truss: level %d has no removed edges", i)
+		}
+		if i > 0 && l.Alpha <= prev {
+			return fmt.Errorf("truss: level %d threshold %g not greater than previous %g", i, l.Alpha, prev)
+		}
+		prev = l.Alpha
+		for _, e := range l.Removed {
+			if seen[e.Key()] {
+				return fmt.Errorf("truss: edge %v appears in more than one level", e)
+			}
+			seen[e.Key()] = true
+		}
+	}
+	return nil
+}
+
+// sortEdges sorts an edge slice canonically; exposed to keep serialized
+// decompositions deterministic.
+func sortEdges(edges []graph.Edge) {
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	})
+}

@@ -1,0 +1,159 @@
+package truss
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+// property_test.go checks the paper's central theorems with testing/quick on
+// randomly generated database networks (not just hand-built theme networks):
+// Theorem 5.1 (graph anti-monotonicity), Proposition 5.2 (pattern
+// anti-monotonicity), Proposition 5.3 (graph intersection), and Theorem 6.1
+// (nested decomposition thresholds).
+
+// networkCase bundles one random database network with a nested pattern pair
+// p1 ⊆ p2 and a threshold α.
+type networkCase struct {
+	nw     *dbnet.Network
+	p1, p2 itemset.Itemset
+	alpha  float64
+}
+
+func generateCase(rng *rand.Rand) networkCase {
+	n := 8 + rng.Intn(10)
+	m := 2 * n
+	items := 4
+	nw := dbnet.New(n)
+	for i := 0; i < m; i++ {
+		a, b := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		if a != b {
+			nw.MustAddEdge(a, b)
+		}
+	}
+	for v := 0; v < n; v++ {
+		ntx := 1 + rng.Intn(4)
+		for i := 0; i < ntx; i++ {
+			l := 1 + rng.Intn(3)
+			tx := make([]itemset.Item, l)
+			for j := range tx {
+				tx[j] = itemset.Item(rng.Intn(items))
+			}
+			if err := nw.AddTransaction(graph.VertexID(v), itemset.New(tx...)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	// p2 is a random pattern of length 2-3; p1 a random non-empty subset.
+	p2 := itemset.New(itemset.Item(rng.Intn(items)), itemset.Item(rng.Intn(items)), itemset.Item(rng.Intn(items)))
+	var p1 itemset.Itemset
+	for _, it := range p2 {
+		if rng.Intn(2) == 0 {
+			p1 = p1.Add(it)
+		}
+	}
+	if p1.Len() == 0 {
+		p1 = itemset.New(p2[0])
+	}
+	return networkCase{nw: nw, p1: p1, p2: p2, alpha: float64(rng.Intn(8)) / 10}
+}
+
+func quickConfig(maxCount int) *quick.Config {
+	return &quick.Config{
+		MaxCount: maxCount,
+		Values: func(vals []reflect.Value, rng *rand.Rand) {
+			vals[0] = reflect.ValueOf(generateCase(rng))
+		},
+	}
+}
+
+// Theorem 5.1: C*_{p2}(α) ⊆ C*_{p1}(α) whenever p1 ⊆ p2.
+func TestQuickGraphAntiMonotonicity(t *testing.T) {
+	f := func(c networkCase) bool {
+		t1 := Detect(c.nw.ThemeNetwork(c.p1), c.alpha)
+		t2 := Detect(c.nw.ThemeNetwork(c.p2), c.alpha)
+		return t2.Edges.SubsetOf(t1.Edges)
+	}
+	if err := quick.Check(f, quickConfig(60)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Proposition 5.2: if the truss of a super-pattern is non-empty, the truss of
+// every sub-pattern is non-empty.
+func TestQuickPatternAntiMonotonicity(t *testing.T) {
+	f := func(c networkCase) bool {
+		t1 := Detect(c.nw.ThemeNetwork(c.p1), c.alpha)
+		t2 := Detect(c.nw.ThemeNetwork(c.p2), c.alpha)
+		if !t2.Empty() && t1.Empty() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConfig(60)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Proposition 5.3: C*_{p1∪p2}(α) ⊆ C*_{p1}(α) ∩ C*_{p2}(α).
+func TestQuickGraphIntersectionProperty(t *testing.T) {
+	f := func(c networkCase) bool {
+		union := c.p1.Union(c.p2)
+		tu := Detect(c.nw.ThemeNetwork(union), c.alpha)
+		t1 := Detect(c.nw.ThemeNetwork(c.p1), c.alpha)
+		t2 := Detect(c.nw.ThemeNetwork(c.p2), c.alpha)
+		return tu.Edges.SubsetOf(t1.Edges.Intersect(t2.Edges))
+	}
+	if err := quick.Check(f, quickConfig(60)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Detecting inside the parents' intersection gives exactly the same truss as
+// detecting from the full theme network — the exactness claim behind TCFI.
+func TestQuickIntersectionRestrictedDetectionIsExact(t *testing.T) {
+	f := func(c networkCase) bool {
+		union := c.p1.Union(c.p2)
+		full := Detect(c.nw.ThemeNetwork(union), c.alpha)
+		t1 := Detect(c.nw.ThemeNetwork(c.p1), c.alpha)
+		t2 := Detect(c.nw.ThemeNetwork(c.p2), c.alpha)
+		inter := t1.Edges.Intersect(t2.Edges)
+		restricted := Detect(c.nw.ThemeNetworkWithin(union, inter), c.alpha)
+		return restricted.Edges.Equal(full.Edges)
+	}
+	if err := quick.Check(f, quickConfig(40)); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 6.1: the decomposition thresholds are strictly ascending, and the
+// truss reconstructed just below each threshold strictly contains the truss
+// reconstructed at the threshold.
+func TestQuickDecompositionNesting(t *testing.T) {
+	f := func(c networkCase) bool {
+		d := Decompose(c.nw.ThemeNetwork(c.p1))
+		if err := d.Validate(); err != nil {
+			return false
+		}
+		thresholds := d.Thresholds()
+		for i, a := range thresholds {
+			if i > 0 && thresholds[i-1] >= a {
+				return false
+			}
+			below := d.EdgesAt(a - 1e-6)
+			at := d.EdgesAt(a)
+			if !at.SubsetOf(below) || at.Len() >= below.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConfig(40)); err != nil {
+		t.Error(err)
+	}
+}

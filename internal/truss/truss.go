@@ -1,0 +1,269 @@
+// Package truss implements the pattern-truss machinery of the paper: edge
+// cohesion (Definition 3.1), the Maximal Pattern Truss Detector MPTD
+// (Algorithm 1), and the decomposition of a maximal pattern truss into the
+// threshold-ordered linked list L_p used by the TC-Tree (Section 6.1,
+// Theorem 6.1).
+package truss
+
+import (
+	"fmt"
+	"sort"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+// cohesionTolerance absorbs floating-point drift when comparing edge cohesion
+// values against a threshold. Two cohesion values that are mathematically
+// equal but computed along different peeling orders may differ by a few ULPs;
+// the tolerance makes the "eco ≤ α" test of Algorithm 1 stable.
+const cohesionTolerance = 1e-9
+
+// Truss is a maximal pattern truss C*_p(α): the union of all pattern trusses
+// of the theme network G_p with respect to the cohesion threshold Alpha.
+// A Truss is not necessarily connected; its maximal connected subgraphs are
+// the theme communities of Definition 3.5.
+type Truss struct {
+	// Pattern is the theme p.
+	Pattern itemset.Itemset
+	// Alpha is the minimum cohesion threshold the truss was computed for.
+	Alpha float64
+	// Edges is the edge set E*_p(α).
+	Edges graph.EdgeSet
+	// Freq maps every vertex of the truss to f_i(p).
+	Freq map[graph.VertexID]float64
+}
+
+// Empty reports whether the truss has no edges.
+func (t *Truss) Empty() bool { return t == nil || t.Edges.Len() == 0 }
+
+// NumEdges returns |E*_p(α)|.
+func (t *Truss) NumEdges() int {
+	if t == nil {
+		return 0
+	}
+	return t.Edges.Len()
+}
+
+// NumVertices returns |V*_p(α)|.
+func (t *Truss) NumVertices() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.Freq)
+}
+
+// Vertices returns the sorted vertices of the truss.
+func (t *Truss) Vertices() []graph.VertexID {
+	if t == nil {
+		return nil
+	}
+	return t.Edges.Vertices()
+}
+
+// Communities returns the theme communities of the truss: its maximal
+// connected subgraphs, as edge sets over the original vertex identifiers.
+func (t *Truss) Communities() []graph.EdgeSet {
+	if t.Empty() {
+		return nil
+	}
+	return t.Edges.ConnectedComponents()
+}
+
+// String summarises the truss.
+func (t *Truss) String() string {
+	if t == nil {
+		return "truss.Truss(nil)"
+	}
+	return fmt.Sprintf("truss.Truss{p=%v, α=%g, |V|=%d, |E|=%d}", t.Pattern, t.Alpha, t.NumVertices(), t.NumEdges())
+}
+
+// Detect runs MPTD (Algorithm 1) on the theme network and returns the maximal
+// pattern truss with respect to alpha. The returned truss may be empty but is
+// never nil.
+func Detect(tn *dbnet.ThemeNetwork, alpha float64) *Truss {
+	p := newPeeler(tn)
+	p.peel(alpha)
+	return p.truss(alpha)
+}
+
+// Cohesions computes the edge cohesion of every edge of the theme network in
+// the subgraph formed by the whole theme network (no peeling). It is exposed
+// for diagnostics and tests.
+func Cohesions(tn *dbnet.ThemeNetwork) map[uint64]float64 {
+	p := newPeeler(tn)
+	out := make(map[uint64]float64, len(p.cohesion))
+	for k, v := range p.cohesion {
+		out[k] = v
+	}
+	return out
+}
+
+// peeler is the mutable working state of MPTD: the surviving adjacency
+// structure, the current cohesion of every surviving edge, and the vertex
+// frequencies of the theme network.
+type peeler struct {
+	pattern  itemset.Itemset
+	freq     map[graph.VertexID]float64
+	adj      map[graph.VertexID]map[graph.VertexID]bool
+	cohesion map[uint64]float64
+	removed  map[uint64]bool
+}
+
+func newPeeler(tn *dbnet.ThemeNetwork) *peeler {
+	p := &peeler{
+		pattern:  tn.Pattern,
+		freq:     tn.Freq,
+		adj:      make(map[graph.VertexID]map[graph.VertexID]bool),
+		cohesion: make(map[uint64]float64, tn.Edges.Len()),
+		removed:  make(map[uint64]bool),
+	}
+	for _, e := range tn.Edges {
+		p.link(e.U, e.V)
+	}
+	// Phase 1 of Algorithm 1: initial cohesion of every edge.
+	for _, e := range tn.Edges {
+		p.cohesion[e.Key()] = p.initialCohesion(e)
+	}
+	return p
+}
+
+func (p *peeler) link(u, v graph.VertexID) {
+	if p.adj[u] == nil {
+		p.adj[u] = make(map[graph.VertexID]bool)
+	}
+	if p.adj[v] == nil {
+		p.adj[v] = make(map[graph.VertexID]bool)
+	}
+	p.adj[u][v] = true
+	p.adj[v][u] = true
+}
+
+func (p *peeler) unlink(u, v graph.VertexID) {
+	delete(p.adj[u], v)
+	delete(p.adj[v], u)
+}
+
+// commonNeighbors returns the surviving common neighbors of u and v.
+func (p *peeler) commonNeighbors(u, v graph.VertexID) []graph.VertexID {
+	a, b := p.adj[u], p.adj[v]
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var out []graph.VertexID
+	for w := range a {
+		if b[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func (p *peeler) initialCohesion(e graph.Edge) float64 {
+	fu, fv := p.freq[e.U], p.freq[e.V]
+	total := 0.0
+	for _, w := range p.commonNeighbors(e.U, e.V) {
+		total += min3(fu, fv, p.freq[w])
+	}
+	return total
+}
+
+// peel removes every edge whose cohesion is at most alpha, cascading the
+// cohesion updates of Algorithm 1 lines 9-18, until all surviving edges have
+// cohesion strictly greater than alpha.
+func (p *peeler) peel(alpha float64) {
+	var queue []graph.Edge
+	queued := make(map[uint64]bool)
+	for key, eco := range p.cohesion {
+		if eco <= alpha+cohesionTolerance {
+			e := graph.EdgeFromKey(key)
+			queue = append(queue, e)
+			queued[key] = true
+		}
+	}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		key := e.Key()
+		if p.removed[key] {
+			continue
+		}
+		fu, fv := p.freq[e.U], p.freq[e.V]
+		for _, w := range p.commonNeighbors(e.U, e.V) {
+			m := min3(fu, fv, p.freq[w])
+			for _, other := range []graph.Edge{graph.EdgeOf(e.U, w), graph.EdgeOf(e.V, w)} {
+				ok := other.Key()
+				if p.removed[ok] {
+					continue
+				}
+				p.cohesion[ok] -= m
+				if p.cohesion[ok] <= alpha+cohesionTolerance && !queued[ok] {
+					queue = append(queue, other)
+					queued[ok] = true
+				}
+			}
+		}
+		p.removed[key] = true
+		delete(p.cohesion, key)
+		p.unlink(e.U, e.V)
+	}
+}
+
+// minCohesion returns the minimum cohesion among the surviving edges and
+// whether any edge survives.
+func (p *peeler) minCohesion() (float64, bool) {
+	first := true
+	minVal := 0.0
+	for _, eco := range p.cohesion {
+		if first || eco < minVal {
+			minVal = eco
+			first = false
+		}
+	}
+	return minVal, !first
+}
+
+// truss snapshots the surviving edges into a Truss value.
+func (p *peeler) truss(alpha float64) *Truss {
+	t := &Truss{
+		Pattern: p.pattern.Clone(),
+		Alpha:   alpha,
+		Edges:   make(graph.EdgeSet, len(p.cohesion)),
+		Freq:    make(map[graph.VertexID]float64),
+	}
+	for key := range p.cohesion {
+		e := graph.EdgeFromKey(key)
+		t.Edges.Add(e)
+	}
+	for _, v := range t.Edges.Vertices() {
+		t.Freq[v] = p.freq[v]
+	}
+	return t
+}
+
+// survivingEdges returns the surviving edges sorted canonically.
+func (p *peeler) survivingEdges() []graph.Edge {
+	out := make([]graph.Edge, 0, len(p.cohesion))
+	for key := range p.cohesion {
+		out = append(out, graph.EdgeFromKey(key))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+func min3(a, b, c float64) float64 {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}

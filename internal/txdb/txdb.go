@@ -1,0 +1,165 @@
+// Package txdb implements the transaction databases attached to the vertices
+// of a database network (Section 3.1 of the paper).
+//
+// A transaction is an itemset; a Database is a multiset of transactions. The
+// central operation is Frequency, which computes f_i(p): the proportion of
+// transactions of a vertex database that contain a given pattern p.
+package txdb
+
+import (
+	"fmt"
+
+	"themecomm/internal/itemset"
+)
+
+// Transaction is a single transaction: a canonical itemset.
+type Transaction = itemset.Itemset
+
+// Database is a multiset of transactions associated with one vertex of a
+// database network. The zero value is an empty database ready to use.
+type Database struct {
+	transactions []Transaction
+	// itemTxCount caches, per item, in how many transactions it appears.
+	// It is built lazily by singleItemCounts and invalidated on Add.
+	itemTxCount map[itemset.Item]int
+}
+
+// New returns an empty database.
+func New() *Database { return &Database{} }
+
+// FromTransactions builds a database from the given transactions. The
+// transactions are canonicalized (sorted, deduplicated items) but kept as a
+// multiset: identical transactions stay distinct entries.
+func FromTransactions(txs ...[]itemset.Item) *Database {
+	db := New()
+	for _, t := range txs {
+		db.Add(itemset.New(t...))
+	}
+	return db
+}
+
+// Add appends a transaction to the database.
+func (d *Database) Add(t Transaction) {
+	d.transactions = append(d.transactions, t)
+	d.itemTxCount = nil
+}
+
+// Len returns the number of transactions in the database.
+func (d *Database) Len() int { return len(d.transactions) }
+
+// Empty reports whether the database has no transactions.
+func (d *Database) Empty() bool { return len(d.transactions) == 0 }
+
+// Transactions returns the underlying transactions. The returned slice must
+// not be modified.
+func (d *Database) Transactions() []Transaction { return d.transactions }
+
+// TotalItems returns the total number of items stored across all
+// transactions (counting duplicates across transactions), as reported by
+// "#Items (total)" in Table 2 of the paper.
+func (d *Database) TotalItems() int {
+	n := 0
+	for _, t := range d.transactions {
+		n += t.Len()
+	}
+	return n
+}
+
+// Items returns the set of distinct items appearing in the database.
+func (d *Database) Items() itemset.Itemset {
+	var out itemset.Itemset
+	for _, t := range d.transactions {
+		out = out.Union(t)
+	}
+	return out
+}
+
+// Support returns the number of transactions that contain pattern p.
+func (d *Database) Support(p itemset.Itemset) int {
+	if p.Len() == 0 {
+		return len(d.transactions)
+	}
+	if p.Len() == 1 {
+		return d.singleItemCounts()[p[0]]
+	}
+	n := 0
+	for _, t := range d.transactions {
+		if p.SubsetOf(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Frequency returns f(p): the proportion of transactions containing p.
+// The frequency of any pattern in an empty database is 0, and the frequency
+// of the empty pattern in a non-empty database is 1.
+func (d *Database) Frequency(p itemset.Itemset) float64 {
+	if len(d.transactions) == 0 {
+		return 0
+	}
+	return float64(d.Support(p)) / float64(len(d.transactions))
+}
+
+// ContainsItem reports whether the item appears in at least one transaction.
+func (d *Database) ContainsItem(it itemset.Item) bool {
+	return d.singleItemCounts()[it] > 0
+}
+
+// singleItemCounts lazily builds the per-item transaction counts.
+func (d *Database) singleItemCounts() map[itemset.Item]int {
+	if d.itemTxCount == nil {
+		m := make(map[itemset.Item]int)
+		for _, t := range d.transactions {
+			for _, it := range t {
+				m[it]++
+			}
+		}
+		d.itemTxCount = m
+	}
+	return d.itemTxCount
+}
+
+// ItemFrequencies returns, for every distinct item in the database, the
+// proportion of transactions containing it. The result is a fresh map the
+// caller may modify.
+func (d *Database) ItemFrequencies() map[itemset.Item]float64 {
+	out := make(map[itemset.Item]float64, len(d.singleItemCounts()))
+	if len(d.transactions) == 0 {
+		return out
+	}
+	n := float64(len(d.transactions))
+	for it, c := range d.singleItemCounts() {
+		out[it] = float64(c) / n
+	}
+	return out
+}
+
+// Clone returns a deep copy of the database.
+func (d *Database) Clone() *Database {
+	cp := New()
+	cp.transactions = make([]Transaction, len(d.transactions))
+	for i, t := range d.transactions {
+		cp.transactions[i] = t.Clone()
+	}
+	return cp
+}
+
+// String renders a short summary, e.g. "txdb.Database{5 transactions}".
+func (d *Database) String() string {
+	return fmt.Sprintf("txdb.Database{%d transactions}", len(d.transactions))
+}
+
+// Validate checks structural invariants of the database: transactions must be
+// canonical itemsets (strictly increasing). It returns a descriptive error on
+// the first violation.
+func (d *Database) Validate() error {
+	for i, t := range d.transactions {
+		for j := 1; j < len(t); j++ {
+			if t[j] <= t[j-1] {
+				return fmt.Errorf("txdb: transaction %d is not a canonical itemset: %v", i, t)
+			}
+		}
+	}
+	return nil
+}

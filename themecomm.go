@@ -1,0 +1,262 @@
+// Package themecomm finds theme communities in database networks.
+//
+// It is a from-scratch Go implementation of "Finding Theme Communities from
+// Database Networks: from Mining to Indexing and Query Answering"
+// (Chu et al., VLDB 2019). A database network is an undirected graph whose
+// every vertex carries a transaction database; a theme community is a
+// cohesive (triangle-rich) connected subgraph whose vertices all exhibit a
+// common frequent pattern — the community's theme.
+//
+// The package exposes:
+//
+//   - the database-network data model (Network, ThemeNetwork) with a simple
+//     text serialization;
+//   - the pattern-truss machinery: maximal pattern truss detection (MPTD) and
+//     decomposition;
+//   - the three mining algorithms of the paper: the TCS baseline, TCFA
+//     (Apriori pruning) and TCFI (graph-intersection pruning, the paper's
+//     fastest exact method);
+//   - the TC-Tree index with query answering by pattern and by cohesion
+//     threshold;
+//   - synthetic dataset generators emulating the paper's evaluation datasets.
+//
+// The cmd/ directory contains command-line tools, examples/ contains runnable
+// examples, and DESIGN.md / EXPERIMENTS.md document how the paper's
+// experiments are reproduced.
+package themecomm
+
+import (
+	"io"
+	"net/http"
+
+	"themecomm/internal/core"
+	"themecomm/internal/dbnet"
+	"themecomm/internal/edgenet"
+	"themecomm/internal/gen"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+	"themecomm/internal/loaders"
+	"themecomm/internal/server"
+	"themecomm/internal/tctree"
+	"themecomm/internal/truss"
+	"themecomm/internal/txdb"
+)
+
+// Core data-model types.
+type (
+	// Item identifies a single item of the item universe S.
+	Item = itemset.Item
+	// Itemset is a canonical (sorted, duplicate-free) set of items; patterns
+	// and themes are itemsets.
+	Itemset = itemset.Itemset
+	// Dictionary maps human-readable item names to Items and back.
+	Dictionary = itemset.Dictionary
+	// Transaction is one transaction of a vertex database.
+	Transaction = txdb.Transaction
+	// Database is the transaction database attached to one vertex.
+	Database = txdb.Database
+	// VertexID identifies a vertex of the database network.
+	VertexID = graph.VertexID
+	// Edge is an undirected edge in canonical (U < V) orientation.
+	Edge = graph.Edge
+	// EdgeSet is a set of edges; theme communities are connected edge sets.
+	EdgeSet = graph.EdgeSet
+	// Network is a database network: a graph whose vertices carry databases.
+	Network = dbnet.Network
+	// NetworkStats summarises a network (Table 2 of the paper).
+	NetworkStats = dbnet.Stats
+	// ThemeNetwork is the subgraph induced by the vertices on which a pattern
+	// has positive frequency.
+	ThemeNetwork = dbnet.ThemeNetwork
+)
+
+// Mining and indexing types.
+type (
+	// Truss is a maximal pattern truss C*_p(α).
+	Truss = truss.Truss
+	// Decomposition is the threshold-ordered decomposition L_p of a maximal
+	// pattern truss, supporting reconstruction at any α.
+	Decomposition = truss.Decomposition
+	// MiningOptions configures the mining algorithms.
+	MiningOptions = core.Options
+	// MiningResult is the set of maximal pattern trusses found by a miner.
+	MiningResult = core.Result
+	// Community is one theme community: a connected subgraph annotated with
+	// its theme.
+	Community = core.Community
+	// Tree is the TC-Tree index over all maximal pattern trusses.
+	Tree = tctree.Tree
+	// TreeNode is one node of the TC-Tree.
+	TreeNode = tctree.Node
+	// TreeBuildOptions configures TC-Tree construction.
+	TreeBuildOptions = tctree.BuildOptions
+	// QueryResult is the answer to a TC-Tree query.
+	QueryResult = tctree.QueryResult
+	// Dataset is a generated dataset analogue (network plus item dictionary).
+	Dataset = gen.Dataset
+)
+
+// NewNetwork returns a database network with n vertices, no edges and empty
+// vertex databases.
+func NewNetwork(n int) *Network { return dbnet.New(n) }
+
+// NewDictionary returns an empty item dictionary.
+func NewDictionary() *Dictionary { return itemset.NewDictionary() }
+
+// NewItemset returns the canonical itemset of the given items.
+func NewItemset(items ...Item) Itemset { return itemset.New(items...) }
+
+// NewDatabase returns an empty transaction database.
+func NewDatabase() *Database { return txdb.New() }
+
+// EdgeBetween returns the canonical edge between two vertices.
+func EdgeBetween(a, b VertexID) Edge { return graph.EdgeOf(a, b) }
+
+// ReadNetwork parses a database network from its text serialization.
+func ReadNetwork(r io.Reader) (*Network, *Dictionary, error) { return dbnet.Read(r) }
+
+// ReadNetworkFile reads a database network from a file.
+func ReadNetworkFile(path string) (*Network, *Dictionary, error) { return dbnet.ReadFile(path) }
+
+// WriteNetwork serializes a database network (and optional dictionary) to w.
+func WriteNetwork(w io.Writer, nw *Network, dict *Dictionary) error { return dbnet.Write(w, nw, dict) }
+
+// WriteNetworkFile writes a database network to a file.
+func WriteNetworkFile(path string, nw *Network, dict *Dictionary) error {
+	return dbnet.WriteFile(path, nw, dict)
+}
+
+// MineTCS runs the Theme Community Scanner baseline: it pre-filters candidate
+// patterns by the per-vertex frequency threshold opts.Epsilon and detects a
+// maximal pattern truss for each survivor. Exact only when Epsilon is 0.
+func MineTCS(nw *Network, opts MiningOptions) *MiningResult { return core.TCS(nw, opts) }
+
+// MineTCFA runs the exact Theme Community Finder Apriori algorithm.
+func MineTCFA(nw *Network, opts MiningOptions) *MiningResult { return core.TCFA(nw, opts) }
+
+// MineTCFI runs the exact Theme Community Finder Intersection algorithm — the
+// paper's recommended miner and the fastest of the three.
+func MineTCFI(nw *Network, opts MiningOptions) *MiningResult { return core.TCFI(nw, opts) }
+
+// FindThemeCommunities mines the network with TCFI at the given cohesion
+// threshold and returns every theme community (maximal connected subgraph of a
+// maximal pattern truss).
+func FindThemeCommunities(nw *Network, alpha float64) []Community {
+	return core.TCFI(nw, core.Options{Alpha: alpha}).Communities()
+}
+
+// InduceThemeNetwork induces the theme network G_p of pattern p from the
+// database network.
+func InduceThemeNetwork(nw *Network, p Itemset) *ThemeNetwork { return nw.ThemeNetwork(p) }
+
+// DetectMaximalPatternTruss runs MPTD on the theme network of p and returns
+// the maximal pattern truss C*_p(alpha).
+func DetectMaximalPatternTruss(nw *Network, p Itemset, alpha float64) *Truss {
+	return truss.Detect(nw.ThemeNetwork(p), alpha)
+}
+
+// DecomposePattern decomposes the maximal pattern truss C*_p(0) of pattern p
+// into the threshold-ordered levels that allow reconstructing C*_p(α) for any
+// α without re-running MPTD.
+func DecomposePattern(nw *Network, p Itemset) *Decomposition {
+	return truss.Decompose(nw.ThemeNetwork(p))
+}
+
+// BuildTree builds the TC-Tree index of the network.
+func BuildTree(nw *Network, opts TreeBuildOptions) *Tree { return tctree.Build(nw, opts) }
+
+// ReadTree reads a TC-Tree previously written with (*Tree).Write.
+func ReadTree(r io.Reader) (*Tree, error) { return tctree.ReadFrom(r) }
+
+// VertexProfile summarises the theme-community memberships of one vertex.
+type VertexProfile = tctree.VertexProfile
+
+// SearchCommunitiesByVertex returns every theme community of the indexed
+// network that contains the query vertex, restricted to sub-patterns of q
+// (nil means every theme) and to the cohesion threshold alpha. This is the
+// community-search counterpart of the k-truss search discussed in the paper's
+// related work, answered from the TC-Tree.
+func SearchCommunitiesByVertex(tree *Tree, v VertexID, q Itemset, alpha float64) []Community {
+	return tree.SearchVertex(v, q, alpha)
+}
+
+// ReadTreeFile reads a TC-Tree from a file.
+func ReadTreeFile(path string) (*Tree, error) { return tctree.ReadFile(path) }
+
+// GenerateDataset generates one of the paper's dataset analogues by name
+// ("BK", "GW", "AMINER" or "SYN") at the given scale factor (1.0 is the
+// generator default; smaller is faster).
+func GenerateDataset(name string, scale float64) (Dataset, error) {
+	return gen.ByName(name, gen.Scale(scale))
+}
+
+// Loader types for building database networks from the raw formats of the
+// paper's real datasets.
+type (
+	// CheckInLoadOptions configures LoadCheckIns.
+	CheckInLoadOptions = loaders.CheckInOptions
+	// CoAuthorLoadOptions configures LoadCitationArchive.
+	CoAuthorLoadOptions = loaders.CoAuthorOptions
+	// CoAuthorNetwork is a co-author database network loaded from a citation
+	// archive, with its keyword dictionary and author names.
+	CoAuthorNetwork = loaders.CoAuthorResult
+	// PaperRecord is one publication record of a citation archive.
+	PaperRecord = loaders.Paper
+)
+
+// LoadCheckIns builds a database network from the SNAP check-in format used
+// by the Brightkite and Gowalla datasets: a friendship edge list and a
+// check-in log, with each user's check-ins grouped into fixed-length periods
+// (2 days by default) whose location sets become transactions.
+func LoadCheckIns(edges, checkins io.Reader, opts CheckInLoadOptions) (*Network, *Dictionary, error) {
+	return loaders.CheckIns(edges, checkins, opts)
+}
+
+// LoadCitationArchive builds a co-author database network from an AMINER-style
+// citation archive: authors become vertices, co-authorship becomes edges, and
+// each paper's abstract keywords become a transaction on every author.
+func LoadCitationArchive(r io.Reader, opts CoAuthorLoadOptions) (*CoAuthorNetwork, error) {
+	return loaders.LoadAMiner(r, opts)
+}
+
+// QueryServerOptions configures NewQueryServer.
+type QueryServerOptions = server.Options
+
+// NewQueryServer wraps a built TC-Tree in an http.Handler exposing the
+// query-answering API (see cmd/tcserver for the endpoints).
+func NewQueryServer(tree *Tree, opts QueryServerOptions) (http.Handler, error) {
+	return server.New(tree, opts)
+}
+
+// Edge database networks — the extension the paper proposes as future work
+// (Section 8), in which every edge carries a transaction database describing
+// the interactions between its endpoints.
+type (
+	// EdgeNetwork is a network whose edges carry transaction databases.
+	EdgeNetwork = edgenet.Network
+	// EdgeThemeNetwork is the edge-induced theme network of a pattern.
+	EdgeThemeNetwork = edgenet.ThemeNetwork
+	// EdgeTruss is a maximal edge-pattern truss.
+	EdgeTruss = edgenet.Truss
+	// EdgeMiningOptions configures MineEdgeThemeCommunities.
+	EdgeMiningOptions = edgenet.Options
+	// EdgeMiningResult is the set of maximal edge-pattern trusses of a run.
+	EdgeMiningResult = edgenet.Result
+	// EdgeCommunity is one edge theme community.
+	EdgeCommunity = edgenet.Community
+)
+
+// NewEdgeNetwork returns an edge database network with n vertices.
+func NewEdgeNetwork(n int) *EdgeNetwork { return edgenet.New(n) }
+
+// MineEdgeThemeCommunities mines every maximal edge-pattern truss of an edge
+// database network.
+func MineEdgeThemeCommunities(nw *EdgeNetwork, opts EdgeMiningOptions) *EdgeMiningResult {
+	return edgenet.Find(nw, opts)
+}
+
+// DetectEdgePatternTruss computes the maximal edge-pattern truss of pattern p
+// at the given cohesion threshold.
+func DetectEdgePatternTruss(nw *EdgeNetwork, p Itemset, alpha float64) *EdgeTruss {
+	return edgenet.Detect(nw.ThemeNetwork(p), alpha)
+}
