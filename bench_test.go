@@ -15,6 +15,7 @@ import (
 	"themecomm"
 	"themecomm/internal/core"
 	"themecomm/internal/dbnet"
+	"themecomm/internal/engine"
 	"themecomm/internal/experiments"
 	"themecomm/internal/gen"
 	"themecomm/internal/sampling"
@@ -305,6 +306,140 @@ func BenchmarkTreeQueryByPattern(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		benchTree.QueryByPattern(q)
 	}
+}
+
+// fullPattern returns the query pattern containing every indexed top-level
+// item of a tree — the heaviest query the index can answer, and the one that
+// touches every shard of the engine.
+func fullPattern(b *testing.B, tree *tctree.Tree) themecomm.Itemset {
+	b.Helper()
+	var items []themecomm.Item
+	for _, c := range tree.Root().Children {
+		items = append(items, c.Item)
+	}
+	if len(items) < 2 {
+		b.Skip("tree has fewer than 2 shards")
+	}
+	return themecomm.NewItemset(items...)
+}
+
+var (
+	benchShardOnce sync.Once
+	benchShardTree *tctree.Tree
+)
+
+// benchShardSetup builds a synthetic multi-item network designed for the
+// sharding benchmarks: independent dense blocks of vertices, one item per
+// block, so the TC-Tree partitions into balanced shards of equal work.
+func benchShardSetup(b *testing.B) {
+	b.Helper()
+	benchShardOnce.Do(func() {
+		rng := rand.New(rand.NewSource(11))
+		const blocks, blockSize = 16, 64
+		nw := dbnet.New(blocks * blockSize)
+		for blk := 0; blk < blocks; blk++ {
+			base := blk * blockSize
+			for u := 0; u < blockSize; u++ {
+				for v := u + 1; v < blockSize; v++ {
+					if rng.Float64() < 0.5 {
+						nw.MustAddEdge(themecomm.VertexID(base+u), themecomm.VertexID(base+v))
+					}
+				}
+				if err := nw.AddTransaction(themecomm.VertexID(base+u), themecomm.NewItemset(themecomm.Item(blk))); err != nil {
+					panic(err)
+				}
+			}
+		}
+		benchShardTree = tctree.Build(nw, tctree.BuildOptions{})
+	})
+}
+
+// BenchmarkEngineShardedVsSequential compares the single-threaded
+// tctree.Query walk with the engine's sharded parallel execution (cache
+// disabled, so every iteration traverses the index) on the balanced
+// multi-item synthetic network. The "sequential" and "workers=1" rows
+// quantify the sharding overhead; the multi-worker rows the parallel
+// speedup.
+func BenchmarkEngineShardedVsSequential(b *testing.B) {
+	benchShardSetup(b)
+	q := fullPattern(b, benchShardTree)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			benchShardTree.Query(q, 0)
+		}
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		eng, err := engine.New(benchShardTree, engine.Options{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(benchName("sharded-workers", float64(workers)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng.Query(q, 0)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineCacheColdVsWarm measures the repeated-workload speedup of
+// the LRU result cache: "cold" executes the sharded traversal every
+// iteration (cache disabled), "warm" serves every iteration from the cache
+// after one warming query.
+func BenchmarkEngineCacheColdVsWarm(b *testing.B) {
+	benchSetup(b)
+	q := fullPattern(b, benchTree)
+	cold, err := engine.New(benchTree, engine.Options{Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cold.Query(q, 0.1)
+		}
+	})
+	warm, err := engine.New(benchTree, engine.Options{Workers: 4, CacheSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm.Query(q, 0.1)
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			warm.Query(q, 0.1)
+		}
+	})
+}
+
+// BenchmarkEngineBatch compares answering a mixed workload one query at a
+// time against a single QueryBatch call (cache disabled, so the benchmark
+// measures execution, not caching).
+func BenchmarkEngineBatch(b *testing.B) {
+	benchShardSetup(b)
+	full := fullPattern(b, benchShardTree)
+	var reqs []engine.Request
+	for _, it := range full {
+		reqs = append(reqs, engine.Request{Pattern: themecomm.NewItemset(it), Alpha: 0})
+	}
+	reqs = append(reqs,
+		engine.Request{Pattern: full, Alpha: 0},
+		engine.Request{Alpha: 0.2},
+		engine.Request{Alpha: 0.5},
+	)
+	eng, err := engine.New(benchShardTree, engine.Options{Workers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("one-by-one", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range reqs {
+				eng.Query(r.Pattern, r.Alpha)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.QueryBatch(reqs)
+		}
+	})
 }
 
 func benchName(prefix string, v float64) string {

@@ -1,10 +1,12 @@
 // Command tcquery answers theme-community queries against a TC-Tree built by
 // tcindex: query by cohesion threshold (QBA), by pattern (QBP), or both.
+// Queries run through the sharded engine; -topk ranks the answer by cohesion.
 //
 // Usage:
 //
 //	tcquery -tree bk.dbnet.tctree -alpha 0.5
 //	tcquery -tree bk.dbnet.tctree -net bk.dbnet -pattern "hangout-c3-0,hangout-c3-1" -alpha 0.2
+//	tcquery -tree bk.dbnet.tctree -alpha 0.2 -topk 10 -workers 8
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"strings"
 
 	"themecomm"
+	"themecomm/internal/engine"
 )
 
 func main() {
@@ -27,6 +30,9 @@ func main() {
 	alphaQ := flag.Float64("alpha", 0, "query cohesion threshold α_q")
 	pattern := flag.String("pattern", "", "comma-separated query pattern (item names or numeric ids); empty = all items")
 	top := flag.Int("top", 20, "number of communities to print (0 = all)")
+	topK := flag.Int("topk", 0, "rank communities by cohesion then size and keep the k best (0 = plain query)")
+	workers := flag.Int("workers", 0, "shard-traversal parallelism (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 0, "result-cache entries (0 disables caching)")
 	flag.Parse()
 
 	if *treePath == "" {
@@ -34,6 +40,10 @@ func main() {
 		os.Exit(2)
 	}
 	tree, err := themecomm.ReadTreeFile(*treePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng, err := engine.New(tree, engine.Options{Workers: *workers, CacheSize: *cacheSize})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,17 +57,35 @@ func main() {
 		dict = d
 	}
 
-	var qr *themecomm.QueryResult
-	if *pattern == "" {
-		qr = tree.QueryByAlpha(*alphaQ)
-	} else {
-		q, err := parsePattern(*pattern, dict)
+	// nil query pattern = every item (query by alpha).
+	var q themecomm.Itemset
+	if *pattern != "" {
+		q, err = parsePattern(*pattern, dict)
 		if err != nil {
 			log.Fatal(err)
 		}
-		qr = tree.Query(q, *alphaQ)
 	}
 
+	themeOf := func(p themecomm.Itemset) string {
+		if dict != nil && dict.Len() > 0 {
+			return strings.Join(dict.Names(p), ", ")
+		}
+		return p.String()
+	}
+
+	if *topK > 0 {
+		qr, ranked := eng.TopKWithResult(q, *alphaQ, *topK)
+		fmt.Printf("query answered in %v: %d maximal pattern trusses (visited %d nodes)\n",
+			qr.Duration, qr.RetrievedNodes, qr.VisitedNodes)
+		fmt.Printf("top %d theme communities by cohesion\n", len(ranked))
+		for i, rc := range ranked {
+			fmt.Printf("  [%d] cohesion=%.4g theme={%s} vertices=%v\n",
+				i+1, rc.Cohesion, themeOf(rc.Community.Pattern), rc.Community.Vertices())
+		}
+		return
+	}
+
+	qr := eng.Query(q, *alphaQ)
 	fmt.Printf("query answered in %v: %d maximal pattern trusses (visited %d nodes)\n",
 		qr.Duration, qr.RetrievedNodes, qr.VisitedNodes)
 	comms := qr.Communities()
@@ -68,11 +96,7 @@ func main() {
 	}
 	for i := 0; i < limit; i++ {
 		c := comms[i]
-		theme := c.Pattern.String()
-		if dict != nil && dict.Len() > 0 {
-			theme = strings.Join(dict.Names(c.Pattern), ", ")
-		}
-		fmt.Printf("  [%d] theme={%s} vertices=%v\n", i+1, theme, c.Vertices())
+		fmt.Printf("  [%d] theme={%s} vertices=%v\n", i+1, themeOf(c.Pattern), c.Vertices())
 	}
 	if limit < len(comms) {
 		fmt.Printf("  ... %d more (raise -top to see them)\n", len(comms)-limit)

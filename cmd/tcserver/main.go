@@ -3,16 +3,19 @@
 //
 // Usage:
 //
-//	tcserver -tree bk.dbnet.tctree -net bk.dbnet -addr :8080
+//	tcserver -tree bk.dbnet.tctree -net bk.dbnet -addr :8080 -workers 8 -cache 1024
 //
 // Endpoints:
 //
-//	GET /healthz                           liveness probe
-//	GET /api/v1/stats                      index statistics
-//	GET /api/v1/query?alpha=0.5            query by cohesion threshold
-//	GET /api/v1/query?pattern=a,b&alpha=0  query by pattern
-//	GET /api/v1/patterns?length=2          list indexed patterns of a length
-//	GET /api/v1/vertex?id=7&alpha=0.2      theme communities containing a vertex
+//	GET  /healthz                           liveness probe
+//	GET  /api/v1/stats                      index statistics
+//	GET  /api/v1/query?alpha=0.5            query by cohesion threshold
+//	GET  /api/v1/query?pattern=a,b&alpha=0  query by pattern
+//	GET  /api/v1/query?alpha=0.2&k=10       top-k communities by cohesion
+//	POST /api/v1/batch                      many queries in one request
+//	GET  /api/v1/enginestats                engine counters (shards, cache)
+//	GET  /api/v1/patterns?length=2          list indexed patterns of a length
+//	GET  /api/v1/vertex?id=7&alpha=0.2      theme communities containing a vertex
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"time"
 
 	"themecomm"
+	"themecomm/internal/engine"
 	"themecomm/internal/server"
 )
 
@@ -33,6 +37,8 @@ func main() {
 	treePath := flag.String("tree", "", "TC-Tree file built by tcindex (required)")
 	netPath := flag.String("net", "", "database network file; enables item-name resolution")
 	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "shard-traversal parallelism (0 = GOMAXPROCS)")
+	cacheSize := flag.Int("cache", 1024, "result-cache entries (0 disables caching)")
 	flag.Parse()
 
 	if *treePath == "" {
@@ -43,7 +49,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := server.Options{}
+	eng, err := engine.New(tree, engine.Options{Workers: *workers, CacheSize: *cacheSize})
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := server.Options{Engine: eng}
 	if *netPath != "" {
 		_, dict, err := themecomm.ReadNetworkFile(*netPath)
 		if err != nil {
@@ -61,7 +71,8 @@ func main() {
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("serving %d indexed maximal pattern trusses on %s", tree.NumNodes(), *addr)
+	log.Printf("serving %d indexed maximal pattern trusses on %s (%d shards, %d workers, cache %d)",
+		tree.NumNodes(), *addr, eng.NumShards(), eng.Workers(), *cacheSize)
 	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

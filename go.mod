@@ -1,0 +1,3 @@
+module themecomm
+
+go 1.22

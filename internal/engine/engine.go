@@ -1,0 +1,226 @@
+// Package engine is the concurrent query-serving layer between the TC-Tree
+// index (internal/tctree) and the HTTP front end (internal/server). It turns
+// the single-threaded breadth-first walk of tctree.Query into a serving
+// engine fit for the "data warehouse of maximal pattern trusses" of
+// Section 6 of the paper:
+//
+//   - sharding: the TC-Tree is partitioned by top-level item into independent
+//     shards (subtrees). A query (q, α_q) only touches shards whose root item
+//     is in q — every other shard provably cannot contribute an answer,
+//     because each node's pattern starts with its shard's root item — and a
+//     bounded worker pool traverses the relevant shards in parallel, merging
+//     the per-shard answers in deterministic shard order;
+//   - caching: a bounded, concurrency-safe LRU result cache keyed by the
+//     canonicalized query (q ∩ indexed items, α_q), with hit, miss and
+//     eviction counters;
+//   - batch and top-k execution: QueryBatch answers many queries in one call
+//     and TopK ranks the retrieved theme communities by cohesion then size.
+//
+// An Engine is safe for concurrent use; the underlying tree is read-only.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds the number of shard traversals running concurrently.
+	// Zero or negative means GOMAXPROCS.
+	Workers int
+	// CacheSize is the maximum number of query results kept in the LRU
+	// result cache. Zero or negative disables caching.
+	CacheSize int
+}
+
+// Engine answers theme-community queries from a sharded TC-Tree.
+type Engine struct {
+	tree *tctree.Tree
+	// shards are the per-top-level-item partitions, ordered by ascending
+	// root item.
+	shards []*shard
+	// shardIndex maps a top-level item to its position in shards.
+	shardIndex map[itemset.Item]int
+	// items is the sorted set of all indexed top-level items; because the
+	// TC-Tree is a set-enumeration tree, every item of every indexed pattern
+	// appears at level 1, so q ∩ items is a lossless canonicalization of any
+	// query pattern.
+	items itemset.Itemset
+
+	workers int
+	// sem bounds concurrent shard traversals across all in-flight queries.
+	sem chan struct{}
+	// batchSem bounds the per-query coordinators of QueryBatch. It is
+	// distinct from sem: coordinators never hold a traversal slot, so the
+	// two pools cannot deadlock each other.
+	batchSem chan struct{}
+
+	cache *lruCache // nil when caching is disabled
+
+	queries atomic.Uint64
+	batches atomic.Uint64
+	topKs   atomic.Uint64
+}
+
+// New returns an Engine over the given tree.
+func New(tree *tctree.Tree, opts Options) (*Engine, error) {
+	if tree == nil || tree.Root() == nil {
+		return nil, fmt.Errorf("engine: nil tree")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		tree:       tree,
+		shardIndex: make(map[itemset.Item]int),
+		workers:    workers,
+		sem:        make(chan struct{}, workers),
+		batchSem:   make(chan struct{}, workers),
+	}
+	for _, c := range tree.Root().Children {
+		e.shardIndex[c.Item] = len(e.shards)
+		e.shards = append(e.shards, &shard{root: c})
+		e.items = append(e.items, c.Item)
+	}
+	if opts.CacheSize > 0 {
+		e.cache = newLRUCache(opts.CacheSize)
+	}
+	return e, nil
+}
+
+// NumShards returns the number of shards (indexed top-level items).
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// Workers returns the shard-traversal parallelism.
+func (e *Engine) Workers() int { return e.workers }
+
+// Tree returns the underlying TC-Tree.
+func (e *Engine) Tree() *tctree.Tree { return e.tree }
+
+// canonical clamps a query pattern to the indexed top-level items. A nil
+// pattern means "every item" (query by alpha). The result is the smallest
+// pattern with the same answer as q, so it doubles as the cache key pattern.
+func (e *Engine) canonical(q itemset.Itemset) itemset.Itemset {
+	if q == nil {
+		return e.items
+	}
+	return q.Intersect(e.items)
+}
+
+// cacheKey renders the canonicalized query as a map key. The alpha is encoded
+// exactly ('b' format is lossless for float64), so distinct thresholds never
+// collide.
+func cacheKey(q itemset.Itemset, alphaQ float64) string {
+	return string(q.Key()) + "\x00" + strconv.FormatFloat(alphaQ, 'b', -1, 64)
+}
+
+// Query answers (q, α_q) like tctree.Query, but traverses only the shards
+// whose root item is in q, in parallel across the worker pool. A nil q means
+// "every item" (the query-by-alpha workload). The answer lists the retrieved
+// trusses grouped by shard in ascending root-item order, each shard in
+// breadth-first order; the set of trusses equals tctree.Query's.
+func (e *Engine) Query(q itemset.Itemset, alphaQ float64) *tctree.QueryResult {
+	e.queries.Add(1)
+	start := time.Now()
+	eff := e.canonical(q)
+	key := cacheKey(eff, alphaQ)
+	if e.cache != nil {
+		if cached, ok := e.cache.get(key); ok {
+			// Share the immutable payload, stamp the observed latency.
+			res := *cached
+			res.Duration = time.Since(start)
+			return &res
+		}
+	}
+	res := e.execute(eff, alphaQ)
+	res.Duration = time.Since(start)
+	if e.cache != nil {
+		e.cache.put(key, res)
+	}
+	return res
+}
+
+// QueryByAlpha answers the query-by-alpha workload (q = every item).
+func (e *Engine) QueryByAlpha(alphaQ float64) *tctree.QueryResult {
+	return e.Query(nil, alphaQ)
+}
+
+// execute runs the sharded traversal for an already-canonicalized pattern.
+func (e *Engine) execute(q itemset.Itemset, alphaQ float64) *tctree.QueryResult {
+	// q is sorted, so relevant is in ascending root-item (shard) order and
+	// the merge below is deterministic.
+	relevant := make([]*shard, 0, len(q))
+	for _, it := range q {
+		if i, ok := e.shardIndex[it]; ok {
+			relevant = append(relevant, e.shards[i])
+		}
+	}
+	results := make([]shardResult, len(relevant))
+	traverse := func(i int, s *shard) {
+		e.sem <- struct{}{}
+		defer func() { <-e.sem }()
+		results[i] = s.query(q, alphaQ)
+	}
+	if e.workers == 1 || len(relevant) == 1 {
+		// Inline traversal still takes a slot, so the worker bound holds
+		// across concurrent queries, not just within one.
+		for i, s := range relevant {
+			traverse(i, s)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, s := range relevant {
+			wg.Add(1)
+			go func(i int, s *shard) {
+				defer wg.Done()
+				traverse(i, s)
+			}(i, s)
+		}
+		wg.Wait()
+	}
+	res := &tctree.QueryResult{}
+	for _, sr := range results {
+		res.Trusses = append(res.Trusses, sr.trusses...)
+		res.VisitedNodes += sr.visited
+	}
+	res.RetrievedNodes = len(res.Trusses)
+	return res
+}
+
+// Request is one query of a batch.
+type Request struct {
+	// Pattern is the query pattern q; nil means every item.
+	Pattern itemset.Itemset
+	// Alpha is the cohesion threshold α_q.
+	Alpha float64
+}
+
+// QueryBatch answers many queries in one call. Queries run concurrently,
+// bounded by the worker pool; answers are returned in request order.
+// Repeated queries within a batch are served from the cache once the first
+// execution completes (concurrent duplicates may each execute).
+func (e *Engine) QueryBatch(reqs []Request) []*tctree.QueryResult {
+	e.batches.Add(1)
+	out := make([]*tctree.QueryResult, len(reqs))
+	var wg sync.WaitGroup
+	for i, r := range reqs {
+		wg.Add(1)
+		go func(i int, r Request) {
+			defer wg.Done()
+			e.batchSem <- struct{}{}
+			defer func() { <-e.batchSem }()
+			out[i] = e.Query(r.Pattern, r.Alpha)
+		}(i, r)
+	}
+	wg.Wait()
+	return out
+}

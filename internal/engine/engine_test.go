@@ -1,0 +1,270 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+	"themecomm/internal/truss"
+)
+
+// randomNetwork generates a dense random database network, the same
+// construction the tctree tests use to cross-check the index against the
+// miners.
+func randomNetwork(rng *rand.Rand, n, m, items, maxTx int) *dbnet.Network {
+	nw := dbnet.New(n)
+	for i := 0; i < m; i++ {
+		a, b := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		if a != b {
+			nw.MustAddEdge(a, b)
+		}
+	}
+	for v := 0; v < n; v++ {
+		ntx := 1 + rng.Intn(maxTx)
+		for i := 0; i < ntx; i++ {
+			l := 1 + rng.Intn(3)
+			tx := make([]itemset.Item, l)
+			for j := range tx {
+				tx[j] = itemset.Item(rng.Intn(items))
+			}
+			if err := nw.AddTransaction(graph.VertexID(v), itemset.New(tx...)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return nw
+}
+
+func buildTestTree(t *testing.T, seed int64) *tctree.Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nw := randomNetwork(rng, 16, 40, 5, 4)
+	tree := tctree.Build(nw, tctree.BuildOptions{})
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if tree.NumNodes() == 0 {
+		t.Fatalf("generated tree is empty; pick another seed")
+	}
+	return tree
+}
+
+// trussSet renders a query answer as a map pattern → edge set, the
+// order-independent form the correctness tests compare.
+func trussSet(t *testing.T, trusses []*truss.Truss) map[itemset.Key]graph.EdgeSet {
+	t.Helper()
+	out := make(map[itemset.Key]graph.EdgeSet, len(trusses))
+	for _, tr := range trusses {
+		key := tr.Pattern.Key()
+		if _, dup := out[key]; dup {
+			t.Fatalf("pattern %v retrieved twice", tr.Pattern)
+		}
+		out[key] = tr.Edges
+	}
+	return out
+}
+
+func assertSameAnswer(t *testing.T, got, want *tctree.QueryResult) {
+	t.Helper()
+	if got.RetrievedNodes != want.RetrievedNodes {
+		t.Fatalf("RetrievedNodes = %d, want %d", got.RetrievedNodes, want.RetrievedNodes)
+	}
+	if got.VisitedNodes != want.VisitedNodes {
+		t.Fatalf("VisitedNodes = %d, want %d", got.VisitedNodes, want.VisitedNodes)
+	}
+	gotSet, wantSet := trussSet(t, got.Trusses), trussSet(t, want.Trusses)
+	if len(gotSet) != len(wantSet) {
+		t.Fatalf("retrieved %d distinct patterns, want %d", len(gotSet), len(wantSet))
+	}
+	for key, wantEdges := range wantSet {
+		gotEdges, ok := gotSet[key]
+		if !ok {
+			t.Fatalf("pattern %v missing from sharded answer", key.Itemset())
+		}
+		if !gotEdges.Equal(wantEdges) {
+			t.Fatalf("pattern %v: sharded truss has %d edges, sequential has %d",
+				key.Itemset(), gotEdges.Len(), wantEdges.Len())
+		}
+	}
+}
+
+func TestNewRejectsNilTree(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatalf("nil tree should be rejected")
+	}
+}
+
+// TestShardedMatchesSequential is the central correctness test: on a
+// generated network, the sharded parallel answer must equal the
+// single-threaded tctree.Query answer for every combination of worker count,
+// cache configuration, query pattern and threshold.
+func TestShardedMatchesSequential(t *testing.T) {
+	tree := buildTestTree(t, 11)
+	items := tree.Root().Children
+	full := make(itemset.Itemset, 0, len(items))
+	for _, c := range items {
+		full = append(full, c.Item)
+	}
+	rng := rand.New(rand.NewSource(23))
+	queries := []itemset.Itemset{nil, full, itemset.New(full[0]), itemset.New(full[0], 999)}
+	for trial := 0; trial < 6; trial++ {
+		var q itemset.Itemset
+		for _, it := range full {
+			if rng.Intn(2) == 0 {
+				q = q.Add(it)
+			}
+		}
+		queries = append(queries, q)
+	}
+	alphas := []float64{0, 0.1, 0.3, 1.0, tree.MaxAlpha(), tree.MaxAlpha() + 1}
+
+	for _, workers := range []int{1, 4} {
+		for _, cacheSize := range []int{0, 16} {
+			eng, err := New(tree, Options{Workers: workers, CacheSize: cacheSize})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			for _, q := range queries {
+				for _, alpha := range alphas {
+					var want *tctree.QueryResult
+					if q == nil {
+						want = tree.QueryByAlpha(alpha)
+					} else {
+						want = tree.Query(q, alpha)
+					}
+					// Twice: the second run exercises the cache-hit path
+					// when caching is enabled.
+					for rep := 0; rep < 2; rep++ {
+						got := eng.Query(q, alpha)
+						assertSameAnswer(t, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeterministicMerge checks that repeated executions (cache disabled, so
+// every run re-traverses the shards in parallel) produce the same truss
+// order, not just the same truss set.
+func TestDeterministicMerge(t *testing.T) {
+	tree := buildTestTree(t, 5)
+	eng, err := New(tree, Options{Workers: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	first := eng.QueryByAlpha(0)
+	for rep := 0; rep < 10; rep++ {
+		again := eng.QueryByAlpha(0)
+		if len(again.Trusses) != len(first.Trusses) {
+			t.Fatalf("run %d retrieved %d trusses, first run %d", rep, len(again.Trusses), len(first.Trusses))
+		}
+		for i := range again.Trusses {
+			if !again.Trusses[i].Pattern.Equal(first.Trusses[i].Pattern) {
+				t.Fatalf("run %d: truss %d is %v, first run had %v",
+					rep, i, again.Trusses[i].Pattern, first.Trusses[i].Pattern)
+			}
+		}
+	}
+}
+
+// TestQueryBatch checks that a batch answer equals the per-query answers, in
+// request order.
+func TestQueryBatch(t *testing.T) {
+	tree := buildTestTree(t, 7)
+	eng, err := New(tree, Options{Workers: 4, CacheSize: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	var reqs []Request
+	for _, c := range tree.Root().Children {
+		reqs = append(reqs,
+			Request{Pattern: itemset.New(c.Item), Alpha: 0},
+			Request{Pattern: nil, Alpha: 0.2},
+			Request{Pattern: itemset.New(c.Item), Alpha: 0}, // repeat: cache fodder
+		)
+	}
+	answers := eng.QueryBatch(reqs)
+	if len(answers) != len(reqs) {
+		t.Fatalf("got %d answers for %d requests", len(answers), len(reqs))
+	}
+	for i, r := range reqs {
+		var want *tctree.QueryResult
+		if r.Pattern == nil {
+			want = tree.QueryByAlpha(r.Alpha)
+		} else {
+			want = tree.Query(r.Pattern, r.Alpha)
+		}
+		assertSameAnswer(t, answers[i], want)
+	}
+	if got := eng.Stats().Batches; got != 1 {
+		t.Fatalf("Batches = %d, want 1", got)
+	}
+}
+
+// TestCanonicalization checks that queries differing only in items the index
+// does not know about share one cache entry.
+func TestCanonicalization(t *testing.T) {
+	tree := buildTestTree(t, 7)
+	eng, err := New(tree, Options{CacheSize: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	first := tree.Root().Children[0].Item
+	eng.Query(itemset.New(first), 0.1)
+	eng.Query(itemset.New(first, 4096), 0.1) // 4096 is not an indexed item
+	stats := eng.Stats()
+	if stats.Cache.Hits != 1 || stats.Cache.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1 hit and 1 miss", stats.Cache.Hits, stats.Cache.Misses)
+	}
+	if stats.Cache.Length != 1 {
+		t.Fatalf("cache holds %d entries, want 1", stats.Cache.Length)
+	}
+}
+
+// TestStats checks the counter plumbing end to end.
+func TestStats(t *testing.T) {
+	tree := buildTestTree(t, 7)
+	eng, err := New(tree, Options{Workers: 3, CacheSize: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	stats := eng.Stats()
+	if stats.Shards != eng.NumShards() || stats.Shards != len(tree.Root().Children) {
+		t.Fatalf("Shards = %d, want %d", stats.Shards, len(tree.Root().Children))
+	}
+	if stats.Workers != 3 {
+		t.Fatalf("Workers = %d, want 3", stats.Workers)
+	}
+	if !stats.Cache.Enabled || stats.Cache.Capacity != 2 {
+		t.Fatalf("cache stats = %+v, want enabled with capacity 2", stats.Cache)
+	}
+
+	eng.QueryByAlpha(0)   // miss
+	eng.QueryByAlpha(0)   // hit
+	eng.QueryByAlpha(0.1) // miss
+	eng.QueryByAlpha(0.2) // miss, evicts the α=0 entry
+	eng.QueryByAlpha(0)   // miss again
+	stats = eng.Stats()
+	if stats.Queries != 5 {
+		t.Fatalf("Queries = %d, want 5", stats.Queries)
+	}
+	if stats.Cache.Hits != 1 || stats.Cache.Misses != 4 || stats.Cache.Evictions < 1 {
+		t.Fatalf("cache counters = %+v, want 1 hit, 4 misses, ≥1 eviction", stats.Cache)
+	}
+
+	// Disabled cache: every repeat re-executes, counters stay zero.
+	uncached, err := New(tree, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	uncached.QueryByAlpha(0)
+	uncached.QueryByAlpha(0)
+	stats = uncached.Stats()
+	if stats.Cache.Enabled || stats.Cache.Hits != 0 || stats.Cache.Misses != 0 {
+		t.Fatalf("disabled cache has stats %+v", stats.Cache)
+	}
+}

@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+	"themecomm/internal/truss"
+)
+
+// shard is one partition of the TC-Tree: the subtree rooted at a first-level
+// node. Every pattern indexed inside the shard contains the shard's root
+// item, so a query (q, α_q) with root item ∉ q can skip the whole shard
+// without visiting a single node.
+type shard struct {
+	root *tctree.Node
+}
+
+// shardResult is the answer of one shard to one query.
+type shardResult struct {
+	// trusses are the non-empty reconstructed trusses in breadth-first
+	// order within the shard.
+	trusses []*truss.Truss
+	// visited counts the shard nodes inspected, including nodes whose truss
+	// was empty at α_q (the shard's share of QueryResult.VisitedNodes).
+	visited int
+}
+
+// query runs Algorithm 5 restricted to the shard: breadth-first traversal,
+// skipping children whose item is not in q and pruning subtrees whose
+// reconstructed truss is empty at α_q (Proposition 5.2). The shard root
+// itself is only inspected when its item is in q, which the engine
+// guarantees by shard selection.
+func (s *shard) query(q itemset.Itemset, alphaQ float64) shardResult {
+	var res shardResult
+	res.visited++
+	tr := s.root.Decomp.TrussAt(alphaQ)
+	if tr.Empty() {
+		return res
+	}
+	res.trusses = append(res.trusses, tr)
+	queue := []*tctree.Node{s.root}
+	for len(queue) > 0 {
+		nf := queue[0]
+		queue = queue[1:]
+		for _, nc := range nf.Children {
+			if !q.Contains(nc.Item) {
+				continue
+			}
+			res.visited++
+			tr := nc.Decomp.TrussAt(alphaQ)
+			if tr.Empty() {
+				continue
+			}
+			res.trusses = append(res.trusses, tr)
+			queue = append(queue, nc)
+		}
+	}
+	return res
+}

@@ -1,0 +1,49 @@
+package engine
+
+// CacheStats reports the state of the result cache.
+type CacheStats struct {
+	// Enabled reports whether the engine was built with a result cache.
+	Enabled bool `json:"enabled"`
+	// Capacity and Length are the bound and current size of the cache.
+	Capacity int `json:"capacity"`
+	Length   int `json:"length"`
+	// Hits, Misses and Evictions count cache lookups that were served,
+	// lookups that fell through to execution, and entries displaced by the
+	// LRU policy.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	// Shards is the number of TC-Tree partitions (indexed top-level items).
+	Shards int `json:"shards"`
+	// Workers is the shard-traversal parallelism.
+	Workers int `json:"workers"`
+	// Queries counts Query calls (including those issued by QueryBatch and
+	// TopK); Batches and TopKQueries count QueryBatch and TopK calls.
+	Queries     uint64 `json:"queries"`
+	Batches     uint64 `json:"batches"`
+	TopKQueries uint64 `json:"topKQueries"`
+	// Cache reports the result-cache state.
+	Cache CacheStats `json:"cache"`
+}
+
+// Stats returns a consistent snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Shards:      len(e.shards),
+		Workers:     e.workers,
+		Queries:     e.queries.Load(),
+		Batches:     e.batches.Load(),
+		TopKQueries: e.topKs.Load(),
+	}
+	if e.cache != nil {
+		s.Cache.Enabled = true
+		s.Cache.Capacity = e.cache.cap
+		s.Cache.Length = e.cache.len()
+		s.Cache.Hits, s.Cache.Misses, s.Cache.Evictions = e.cache.counters()
+	}
+	return s
+}

@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"sort"
+
+	"themecomm/internal/core"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+)
+
+// RankedCommunity is one theme community of a top-k answer, annotated with
+// its ranking statistics.
+type RankedCommunity struct {
+	// Community is the theme community (pattern plus connected edge set).
+	Community core.Community
+	// Cohesion is the largest cohesion threshold at which the community
+	// survives intact: the minimum removal threshold over its edges in the
+	// pattern's decomposition L_p. Raising α_q past this value removes at
+	// least one of the community's edges.
+	Cohesion float64
+	// Vertices and Edges size the community.
+	Vertices int
+	Edges    int
+}
+
+// TopK answers (q, α_q) and returns the k best theme communities, ranked by
+// descending cohesion, then descending size (vertices, then edges), with a
+// deterministic pattern/vertex tiebreak. k <= 0 means every community.
+// Because TopK ranks the answer of Query, repeated top-k workloads benefit
+// from the result cache.
+func (e *Engine) TopK(q itemset.Itemset, alphaQ float64, k int) []RankedCommunity {
+	_, ranked := e.TopKWithResult(q, alphaQ, k)
+	return ranked
+}
+
+// TopKWithResult is TopK exposing the underlying query answer as well, so
+// callers (the HTTP server) can report retrieval statistics without running
+// the query twice.
+func (e *Engine) TopKWithResult(q itemset.Itemset, alphaQ float64, k int) (*tctree.QueryResult, []RankedCommunity) {
+	e.topKs.Add(1)
+	res := e.Query(q, alphaQ)
+	ranked := make([]RankedCommunity, 0, len(res.Trusses))
+	for _, tr := range res.Trusses {
+		node := e.tree.Node(tr.Pattern)
+		if node == nil {
+			// Cannot happen on a consistent tree; skip rather than panic.
+			continue
+		}
+		// Map each edge of C*_p(0) to the threshold α_k at which it drops
+		// out of the maximal pattern truss (Section 6.1).
+		removalAlpha := make(map[uint64]float64, node.Decomp.NumEdges())
+		for _, level := range node.Decomp.Levels {
+			for _, edge := range level.Removed {
+				removalAlpha[edge.Key()] = level.Alpha
+			}
+		}
+		for _, comp := range tr.Communities() {
+			cohesion := 0.0
+			first := true
+			for key := range comp {
+				if a := removalAlpha[key]; first || a < cohesion {
+					cohesion = a
+					first = false
+				}
+			}
+			ranked = append(ranked, RankedCommunity{
+				Community: core.Community{Pattern: tr.Pattern, Edges: comp},
+				Cohesion:  cohesion,
+				Vertices:  len(comp.Vertices()),
+				Edges:     comp.Len(),
+			})
+		}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return lessRanked(&ranked[i], &ranked[j]) })
+	if k > 0 && k < len(ranked) {
+		ranked = ranked[:k]
+	}
+	return res, ranked
+}
+
+// lessRanked orders communities best-first: cohesion desc, vertices desc,
+// edges desc, then pattern and smallest vertex ascending for determinism.
+func lessRanked(a, b *RankedCommunity) bool {
+	if a.Cohesion != b.Cohesion {
+		return a.Cohesion > b.Cohesion
+	}
+	if a.Vertices != b.Vertices {
+		return a.Vertices > b.Vertices
+	}
+	if a.Edges != b.Edges {
+		return a.Edges > b.Edges
+	}
+	if c := itemset.Compare(a.Community.Pattern, b.Community.Pattern); c != 0 {
+		return c < 0
+	}
+	return minVertex(a.Community.Edges) < minVertex(b.Community.Edges)
+}
+
+func minVertex(es graph.EdgeSet) graph.VertexID {
+	first := true
+	var m graph.VertexID
+	for _, e := range es {
+		if first || e.U < m {
+			m = e.U
+			first = false
+		}
+	}
+	return m
+}

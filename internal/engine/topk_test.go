@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"testing"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/tctree"
+)
+
+// TestTopKRanking checks the ranking invariants on a generated network: the
+// answer is sorted best-first, truncation returns a prefix, and every
+// reported cohesion is consistent with the decomposition it was derived from.
+func TestTopKRanking(t *testing.T) {
+	tree := buildTestTree(t, 11)
+	eng, err := New(tree, Options{Workers: 4, CacheSize: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	alphaQ := 0.0
+	all := eng.TopK(nil, alphaQ, 0)
+	if len(all) == 0 {
+		t.Fatalf("expected at least one community")
+	}
+	for i := 1; i < len(all); i++ {
+		if lessRanked(&all[i], &all[i-1]) {
+			t.Fatalf("communities %d and %d are out of order", i-1, i)
+		}
+	}
+	for i, rc := range all {
+		if rc.Cohesion <= alphaQ {
+			t.Fatalf("community %d has cohesion %g ≤ α_q = %g", i, rc.Cohesion, alphaQ)
+		}
+		if rc.Edges != rc.Community.Edges.Len() || rc.Vertices != len(rc.Community.Edges.Vertices()) {
+			t.Fatalf("community %d has inconsistent size fields", i)
+		}
+		// Raising the threshold to the reported cohesion must remove at
+		// least one of the community's edges from the pattern's truss.
+		node := tree.Node(rc.Community.Pattern)
+		if node == nil {
+			t.Fatalf("community %d has unindexed pattern %v", i, rc.Community.Pattern)
+		}
+		shrunk := node.Decomp.EdgesAt(rc.Cohesion)
+		if rc.Community.Edges.SubsetOf(shrunk) {
+			t.Fatalf("community %d survives intact at its own cohesion %g", i, rc.Cohesion)
+		}
+		if !rc.Community.Edges.SubsetOf(node.Decomp.EdgesAt(alphaQ)) {
+			t.Fatalf("community %d is not part of the truss at α_q", i)
+		}
+	}
+
+	for _, k := range []int{1, 2, len(all), len(all) + 5} {
+		topK := eng.TopK(nil, alphaQ, k)
+		wantLen := k
+		if k > len(all) {
+			wantLen = len(all)
+		}
+		if len(topK) != wantLen {
+			t.Fatalf("TopK(k=%d) returned %d communities, want %d", k, len(topK), wantLen)
+		}
+		for i := range topK {
+			if !topK[i].Community.Pattern.Equal(all[i].Community.Pattern) ||
+				!topK[i].Community.Edges.Equal(all[i].Community.Edges) {
+				t.Fatalf("TopK(k=%d) is not a prefix of the full ranking at %d", k, i)
+			}
+		}
+	}
+	if got := eng.Stats().TopKQueries; got == 0 {
+		t.Fatalf("TopKQueries counter not incremented")
+	}
+}
+
+// TestTopKPaperExample sanity-checks top-k on the worked example of the
+// paper: querying pattern p at α_q = 0.1 yields exactly the two theme
+// communities of Figure 2, and k = 1 keeps the more cohesive one.
+func TestTopKPaperExample(t *testing.T) {
+	tree := buildPaperTree(t)
+	eng, err := New(tree, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	all := eng.TopK(dbnet.PaperExampleP, 0.1, 0)
+	count := 0
+	for _, rc := range all {
+		if rc.Community.Pattern.Equal(dbnet.PaperExampleP) {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Fatalf("pattern p contributes %d communities at α=0.1, want 2", count)
+	}
+	best := eng.TopK(dbnet.PaperExampleP, 0.1, 1)
+	if len(best) != 1 {
+		t.Fatalf("TopK(1) returned %d communities", len(best))
+	}
+	if best[0].Cohesion < all[len(all)-1].Cohesion {
+		t.Fatalf("TopK(1) did not keep the most cohesive community")
+	}
+}
+
+func buildPaperTree(t *testing.T) *tctree.Tree {
+	t.Helper()
+	tree := tctree.Build(dbnet.PaperExample(), tctree.BuildOptions{})
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	return tree
+}

@@ -1,7 +1,9 @@
 // Package server exposes a built TC-Tree over HTTP, turning the index into a
 // small query-answering service: the "data warehouse of maximal pattern
 // trusses" the paper advocates in Section 6, reachable by any client that can
-// issue GET requests. Only the standard library is used.
+// issue GET requests. Query execution is delegated to internal/engine, which
+// shards the tree, caches results and answers batch and top-k requests. Only
+// the standard library is used.
 package server
 
 import (
@@ -12,16 +14,25 @@ import (
 	"strconv"
 	"strings"
 
+	"themecomm/internal/engine"
 	"themecomm/internal/graph"
 	"themecomm/internal/itemset"
 	"themecomm/internal/tctree"
 )
 
+// defaultCacheSize is the result-cache bound of the engine the server builds
+// when the caller does not supply one.
+const defaultCacheSize = 256
+
+// maxBatchQueries bounds one /api/v1/batch request.
+const maxBatchQueries = 1024
+
 // Server answers theme-community queries from a TC-Tree. It is safe for
 // concurrent use: the underlying tree is read-only after construction.
 type Server struct {
-	tree *tctree.Tree
-	dict *itemset.Dictionary
+	tree   *tctree.Tree
+	engine *engine.Engine
+	dict   *itemset.Dictionary
 	// vertexNames optionally maps vertex identifiers to display names
 	// (e.g. author names); it may be nil.
 	vertexNames []string
@@ -37,6 +48,9 @@ type Options struct {
 	// VertexNames maps vertices to display names; when nil, vertices are
 	// rendered by their numeric identifiers.
 	VertexNames []string
+	// Engine executes the queries. When nil, the server builds one over the
+	// tree with default parallelism and a small result cache.
+	Engine *engine.Engine
 }
 
 // New returns a Server for the given tree.
@@ -44,10 +58,20 @@ func New(tree *tctree.Tree, opts Options) (*Server, error) {
 	if tree == nil {
 		return nil, fmt.Errorf("server: nil tree")
 	}
-	s := &Server{tree: tree, dict: opts.Dictionary, vertexNames: opts.VertexNames, mux: http.NewServeMux()}
+	eng := opts.Engine
+	if eng == nil {
+		var err error
+		eng, err = engine.New(tree, engine.Options{CacheSize: defaultCacheSize})
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &Server{tree: tree, engine: eng, dict: opts.Dictionary, vertexNames: opts.VertexNames, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/api/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/api/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/api/v1/enginestats", s.handleEngineStats)
 	s.mux.HandleFunc("/api/v1/patterns", s.handlePatterns)
 	s.mux.HandleFunc("/api/v1/vertex", s.handleVertex)
 	return s, nil
@@ -63,10 +87,11 @@ type StatsResponse struct {
 	MaxAlpha float64 `json:"maxAlpha"`
 }
 
-// QueryResponse is the payload of GET /api/v1/query.
+// QueryResponse is the payload of GET /api/v1/query and of each batch answer.
 type QueryResponse struct {
 	Alpha          float64             `json:"alpha"`
 	Pattern        []string            `json:"pattern,omitempty"`
+	TopK           int                 `json:"topK,omitempty"`
 	RetrievedNodes int                 `json:"retrievedNodes"`
 	VisitedNodes   int                 `json:"visitedNodes"`
 	QueryMicros    int64               `json:"queryMicros"`
@@ -74,10 +99,13 @@ type QueryResponse struct {
 }
 
 // CommunityResponse describes one theme community in a query answer.
+// Cohesion is only set on top-k answers: the largest cohesion threshold at
+// which the community survives intact.
 type CommunityResponse struct {
 	Theme    []string `json:"theme"`
 	Vertices []string `json:"vertices"`
 	Edges    int      `json:"edges"`
+	Cohesion float64  `json:"cohesion,omitempty"`
 }
 
 // PatternsResponse is the payload of GET /api/v1/patterns.
@@ -126,20 +154,57 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		alpha = parsed
 	}
 
-	var qr *tctree.QueryResult
+	k := 0
+	if v := r.URL.Query().Get("k"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid k %q", v))
+			return
+		}
+		k = parsed
+	}
+
+	// A nil query pattern means "every item" to the engine (query by alpha).
+	var q itemset.Itemset
 	var patternNames []string
 	if raw := r.URL.Query().Get("pattern"); raw != "" {
-		q, err := s.parsePattern(raw)
+		parsed, err := s.parsePattern(raw)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
+		q = parsed
 		patternNames = s.itemNames(q)
-		qr = s.tree.Query(q, alpha)
-	} else {
-		qr = s.tree.QueryByAlpha(alpha)
 	}
 
+	if k > 0 {
+		qr, ranked := s.engine.TopKWithResult(q, alpha, k)
+		resp := QueryResponse{
+			Alpha:          alpha,
+			Pattern:        patternNames,
+			TopK:           k,
+			RetrievedNodes: qr.RetrievedNodes,
+			VisitedNodes:   qr.VisitedNodes,
+			QueryMicros:    qr.Duration.Microseconds(),
+		}
+		for _, rc := range ranked {
+			resp.Communities = append(resp.Communities, CommunityResponse{
+				Theme:    s.itemNames(rc.Community.Pattern),
+				Vertices: s.names(rc.Community.Vertices()),
+				Edges:    rc.Edges,
+				Cohesion: rc.Cohesion,
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	qr := s.engine.Query(q, alpha)
+	writeJSON(w, http.StatusOK, s.queryResponse(q, patternNames, alpha, qr))
+}
+
+// queryResponse renders one engine answer.
+func (s *Server) queryResponse(q itemset.Itemset, patternNames []string, alpha float64, qr *tctree.QueryResult) QueryResponse {
 	resp := QueryResponse{
 		Alpha:          alpha,
 		Pattern:        patternNames,
@@ -154,7 +219,79 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Edges:    c.Edges.Len(),
 		})
 	}
+	return resp
+}
+
+// BatchQuery is one query of a POST /api/v1/batch request. An empty pattern
+// means "every item" (query by alpha).
+type BatchQuery struct {
+	Pattern []string `json:"pattern,omitempty"`
+	Alpha   float64  `json:"alpha"`
+}
+
+// BatchRequest is the payload of POST /api/v1/batch.
+type BatchRequest struct {
+	Queries []BatchQuery `json:"queries"`
+}
+
+// BatchResponse is the answer to POST /api/v1/batch, one entry per query in
+// request order.
+type BatchResponse struct {
+	Results []QueryResponse `json:"results"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req BatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid batch request: %v", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d queries exceeds the limit of %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+	reqs := make([]engine.Request, len(req.Queries))
+	names := make([][]string, len(req.Queries))
+	for i, bq := range req.Queries {
+		if bq.Alpha < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: negative alpha", i))
+			return
+		}
+		if len(bq.Pattern) > 0 {
+			q, err := s.parsePatternList(bq.Pattern)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+				return
+			}
+			reqs[i] = engine.Request{Pattern: q, Alpha: bq.Alpha}
+			names[i] = s.itemNames(q)
+		} else {
+			reqs[i] = engine.Request{Alpha: bq.Alpha}
+		}
+	}
+	answers := s.engine.QueryBatch(reqs)
+	resp := BatchResponse{Results: make([]QueryResponse, len(answers))}
+	for i, qr := range answers {
+		resp.Results[i] = s.queryResponse(reqs[i].Pattern, names[i], reqs[i].Alpha, qr)
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEngineStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.engine.Stats())
 }
 
 func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
@@ -233,8 +370,15 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 
 // parsePattern resolves a comma-separated list of item names or numeric ids.
 func (s *Server) parsePattern(raw string) (itemset.Itemset, error) {
+	return s.parsePatternList(strings.Split(raw, ","))
+}
+
+// parsePatternList resolves item names or numeric ids given as separate
+// fields (a JSON array keeps names containing commas intact, so fields are
+// not split any further).
+func (s *Server) parsePatternList(fields []string) (itemset.Itemset, error) {
 	var items []itemset.Item
-	for _, field := range strings.Split(raw, ",") {
+	for _, field := range fields {
 		field = strings.TrimSpace(field)
 		if field == "" {
 			continue

@@ -5,9 +5,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"testing"
 
 	"themecomm/internal/dbnet"
+	"themecomm/internal/engine"
 	"themecomm/internal/gen"
 	"themecomm/internal/itemset"
 	"themecomm/internal/tctree"
@@ -253,5 +255,140 @@ func TestItemNamesFallback(t *testing.T) {
 	}
 	if resp.Count == 0 {
 		t.Fatalf("no patterns returned")
+	}
+}
+
+func post(t *testing.T, s *Server, url, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestQueryMatchesDirectTree checks that routing /api/v1/query through the
+// engine returns the same answer the tree computes directly.
+func TestQueryMatchesDirectTree(t *testing.T) {
+	nw := dbnet.PaperExample()
+	tree := tctree.Build(nw, tctree.BuildOptions{})
+	s, err := New(tree, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	want := tree.QueryByAlpha(0.1)
+	rec := get(t, s, "/api/v1/query?alpha=0.1")
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.RetrievedNodes != want.RetrievedNodes || resp.VisitedNodes != want.VisitedNodes {
+		t.Fatalf("engine answer (%d/%d nodes) differs from tree (%d/%d)",
+			resp.RetrievedNodes, resp.VisitedNodes, want.RetrievedNodes, want.VisitedNodes)
+	}
+	if len(resp.Communities) != len(want.Communities()) {
+		t.Fatalf("engine found %d communities, tree %d", len(resp.Communities), len(want.Communities()))
+	}
+}
+
+func TestTopKQueryEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := get(t, s, "/api/v1/query?alpha=0.1&k=3")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.TopK != 3 {
+		t.Fatalf("topK = %d, want 3", resp.TopK)
+	}
+	if len(resp.Communities) == 0 || len(resp.Communities) > 3 {
+		t.Fatalf("top-k answer has %d communities", len(resp.Communities))
+	}
+	prev := resp.Communities[0].Cohesion
+	for i, c := range resp.Communities {
+		if c.Cohesion <= 0.1 {
+			t.Fatalf("community %d has cohesion %g ≤ α_q", i, c.Cohesion)
+		}
+		if c.Cohesion > prev {
+			t.Fatalf("communities not ranked by descending cohesion at %d", i)
+		}
+		prev = c.Cohesion
+	}
+	if rec := get(t, s, "/api/v1/query?k=0"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("k=0 should be rejected, got %d", rec.Code)
+	}
+	if rec := get(t, s, "/api/v1/query?k=x"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("k=x should be rejected, got %d", rec.Code)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	body := `{"queries":[
+		{"alpha":0.2},
+		{"pattern":["data mining","sequential pattern"],"alpha":0.1},
+		{"alpha":0.2}
+	]}`
+	rec := post(t, s, "/api/v1/batch", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	// The batch answers must match the single-query endpoint.
+	single := get(t, s, "/api/v1/query?alpha=0.2")
+	var want QueryResponse
+	if err := json.Unmarshal(single.Body.Bytes(), &want); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for _, i := range []int{0, 2} {
+		got := resp.Results[i]
+		if got.RetrievedNodes != want.RetrievedNodes || len(got.Communities) != len(want.Communities) {
+			t.Fatalf("batch result %d (%d nodes, %d communities) differs from single query (%d, %d)",
+				i, got.RetrievedNodes, len(got.Communities), want.RetrievedNodes, len(want.Communities))
+		}
+	}
+	if len(resp.Results[1].Pattern) != 2 {
+		t.Fatalf("pattern not echoed: %+v", resp.Results[1].Pattern)
+	}
+
+	// Bad requests.
+	for _, body := range []string{"", "{}", `{"queries":[]}`, "not json", `{"queries":[{"alpha":-1}]}`, `{"queries":[{"pattern":["no-such-keyword"],"alpha":0}]}`} {
+		if rec := post(t, s, "/api/v1/batch", body); rec.Code != http.StatusBadRequest {
+			t.Errorf("batch %q = %d, want 400", body, rec.Code)
+		}
+	}
+	if rec := get(t, s, "/api/v1/batch"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/v1/batch = %d, want 405", rec.Code)
+	}
+}
+
+func TestEngineStatsEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	get(t, s, "/api/v1/query?alpha=0.2") // miss
+	get(t, s, "/api/v1/query?alpha=0.2") // hit
+	rec := get(t, s, "/api/v1/enginestats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var stats engine.Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if stats.Shards == 0 || stats.Workers == 0 {
+		t.Fatalf("degenerate engine stats %+v", stats)
+	}
+	if stats.Queries < 2 || !stats.Cache.Enabled || stats.Cache.Hits < 1 {
+		t.Fatalf("engine stats did not record the cached repeat: %+v", stats)
+	}
+	if rec := post(t, s, "/api/v1/enginestats", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /api/v1/enginestats = %d, want 405", rec.Code)
 	}
 }

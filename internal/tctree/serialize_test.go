@@ -1,0 +1,83 @@
+package tctree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"themecomm/internal/itemset"
+)
+
+// TestRoundTripAnswersQueriesIdentically is the dedicated serialize → load →
+// query test: after a Write/ReadFrom round trip, the reloaded tree must
+// answer every query pattern and threshold exactly like the original —
+// same visit counts, same retrieval order, and truss-for-truss identical
+// edges and vertex frequencies.
+func TestRoundTripAnswersQueriesIdentically(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	nw := randomNetwork(rng, 16, 40, 5, 4)
+	tree := Build(nw, BuildOptions{})
+	if tree.NumNodes() == 0 {
+		t.Fatalf("generated tree is empty; pick another seed")
+	}
+
+	var buf bytes.Buffer
+	if err := tree.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	reloaded, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+
+	// Query patterns: every indexed pattern, a few random supersets, an
+	// unindexed pattern, and the full-universe pattern.
+	queries := tree.Patterns()
+	var full itemset.Itemset
+	for _, c := range tree.Root().Children {
+		full = full.Add(c.Item)
+	}
+	queries = append(queries, full, itemset.New(997, 998), full.Add(999))
+
+	alphas := []float64{0, 0.1, 0.4, tree.MaxAlpha() / 2, tree.MaxAlpha(), tree.MaxAlpha() + 1}
+	for _, q := range queries {
+		for _, alpha := range alphas {
+			want := tree.Query(q, alpha)
+			got := reloaded.Query(q, alpha)
+			assertIdenticalAnswer(t, got, want)
+		}
+	}
+	for _, alpha := range alphas {
+		assertIdenticalAnswer(t, reloaded.QueryByAlpha(alpha), tree.QueryByAlpha(alpha))
+	}
+}
+
+// assertIdenticalAnswer requires got and want to agree on everything except
+// wall-clock duration.
+func assertIdenticalAnswer(t *testing.T, got, want *QueryResult) {
+	t.Helper()
+	if got.RetrievedNodes != want.RetrievedNodes || got.VisitedNodes != want.VisitedNodes {
+		t.Fatalf("reloaded tree retrieved/visited %d/%d nodes, original %d/%d",
+			got.RetrievedNodes, got.VisitedNodes, want.RetrievedNodes, want.VisitedNodes)
+	}
+	if len(got.Trusses) != len(want.Trusses) {
+		t.Fatalf("reloaded tree returned %d trusses, original %d", len(got.Trusses), len(want.Trusses))
+	}
+	for i := range want.Trusses {
+		g, w := got.Trusses[i], want.Trusses[i]
+		if !g.Pattern.Equal(w.Pattern) {
+			t.Fatalf("truss %d: pattern %v, want %v (retrieval order changed)", i, g.Pattern, w.Pattern)
+		}
+		if !g.Edges.Equal(w.Edges) {
+			t.Fatalf("truss %d (%v): edge sets differ after round trip", i, w.Pattern)
+		}
+		if len(g.Freq) != len(w.Freq) {
+			t.Fatalf("truss %d (%v): %d vertices, want %d", i, w.Pattern, len(g.Freq), len(w.Freq))
+		}
+		for v, f := range w.Freq {
+			if gf, ok := g.Freq[v]; !ok || !approx(gf, f) {
+				t.Fatalf("truss %d (%v): vertex %d frequency %v, want %v", i, w.Pattern, v, gf, f)
+			}
+		}
+	}
+}

@@ -18,11 +18,13 @@
 //     fastest exact method);
 //   - the TC-Tree index with query answering by pattern and by cohesion
 //     threshold;
+//   - the concurrent query-serving engine: sharded parallel TC-Tree
+//     execution with an LRU result cache, batch queries and top-k ranking;
 //   - synthetic dataset generators emulating the paper's evaluation datasets.
 //
 // The cmd/ directory contains command-line tools, examples/ contains runnable
-// examples, and DESIGN.md / EXPERIMENTS.md document how the paper's
-// experiments are reproduced.
+// examples, and README.md documents the architecture (mining → index →
+// engine → server) and how the paper's experiments are reproduced.
 package themecomm
 
 import (
@@ -32,6 +34,7 @@ import (
 	"themecomm/internal/core"
 	"themecomm/internal/dbnet"
 	"themecomm/internal/edgenet"
+	"themecomm/internal/engine"
 	"themecomm/internal/gen"
 	"themecomm/internal/graph"
 	"themecomm/internal/itemset"
@@ -95,6 +98,25 @@ type (
 	// Dataset is a generated dataset analogue (network plus item dictionary).
 	Dataset = gen.Dataset
 )
+
+// Query-serving engine types.
+type (
+	// Engine is the concurrent query-serving layer over a TC-Tree: sharded
+	// parallel execution, an LRU result cache, batch and top-k queries.
+	Engine = engine.Engine
+	// EngineOptions configures an Engine (workers, cache size).
+	EngineOptions = engine.Options
+	// EngineStats is a snapshot of the engine's execution and cache counters.
+	EngineStats = engine.Stats
+	// EngineRequest is one query of an Engine.QueryBatch call.
+	EngineRequest = engine.Request
+	// RankedCommunity is one community of an Engine.TopK answer, annotated
+	// with the cohesion it was ranked by.
+	RankedCommunity = engine.RankedCommunity
+)
+
+// NewEngine returns a query-serving engine over a built TC-Tree.
+func NewEngine(tree *Tree, opts EngineOptions) (*Engine, error) { return engine.New(tree, opts) }
 
 // NewNetwork returns a database network with n vertices, no edges and empty
 // vertex databases.
