@@ -9,6 +9,7 @@ package themecomm_test
 import (
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -438,6 +439,56 @@ func BenchmarkEngineBatch(b *testing.B) {
 	b.Run("batch", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			eng.QueryBatch(reqs)
+		}
+	})
+}
+
+// BenchmarkEngineColdStartFullVsLazy measures time-to-first-answer from a
+// cold process: reading the index from disk and answering one single-item
+// query. "full-load" reads the whole monolithic file before the first answer;
+// "lazy-load" opens only the sharded manifest and reads the one shard the
+// query touches, so its cold start is proportional to the hot set, not the
+// index size.
+func BenchmarkEngineColdStartFullVsLazy(b *testing.B) {
+	benchShardSetup(b)
+	dir := b.TempDir()
+	monoPath := filepath.Join(dir, "bench.tctree")
+	if err := benchShardTree.WriteFile(monoPath); err != nil {
+		b.Fatal(err)
+	}
+	shardDir := filepath.Join(dir, "bench.index")
+	if _, err := benchShardTree.WriteSharded(shardDir); err != nil {
+		b.Fatal(err)
+	}
+	q := themecomm.NewItemset(benchShardTree.Root().Children[0].Item)
+	b.Run("full-load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tree, err := tctree.ReadFile(monoPath)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := engine.New(tree, engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Query(q, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lazy-load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			idx, err := tctree.OpenSharded(shardDir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := engine.NewLazy(idx, engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.Query(q, 0); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -1,9 +1,15 @@
 // Command tcindex builds the TC-Tree index of a database network and writes
 // it to disk, reporting the Table 3 metrics (indexing time, memory, #nodes).
 //
+// The index is written in one (or both) of two formats: a single monolithic
+// gob file (-out), or a sharded directory (-sharded) holding one gob file per
+// top-level item plus an index.manifest, which tcserver and tcquery can serve
+// lazily — loading only the shards a workload touches.
+//
 // Usage:
 //
 //	tcindex -in bk.dbnet -out bk.tctree
+//	tcindex -in bk.dbnet -sharded bk.index
 package main
 
 import (
@@ -22,7 +28,8 @@ func main() {
 	log.SetPrefix("tcindex: ")
 
 	in := flag.String("in", "", "input database network file (required)")
-	out := flag.String("out", "", "output TC-Tree file (defaults to <in>.tctree)")
+	out := flag.String("out", "", "output TC-Tree file (defaults to <in>.tctree when -sharded is not given)")
+	sharded := flag.String("sharded", "", "output directory for the sharded index format (per-shard files + manifest)")
 	workers := flag.Int("workers", 0, "parallelism of the first tree level (0 = GOMAXPROCS)")
 	maxDepth := flag.Int("maxdepth", 0, "maximum indexed pattern length (0 = unbounded)")
 	flag.Parse()
@@ -32,7 +39,7 @@ func main() {
 		os.Exit(2)
 	}
 	path := *out
-	if path == "" {
+	if path == "" && *sharded == "" {
 		path = *in + ".tctree"
 	}
 	nw, _, err := themecomm.ReadNetworkFile(*in)
@@ -46,10 +53,19 @@ func main() {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 
-	if err := tree.WriteFile(path); err != nil {
-		log.Fatal(err)
+	if path != "" {
+		if err := tree.WriteFile(path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("indexed %s -> %s\n", *in, path)
 	}
-	fmt.Printf("indexed %s -> %s\n", *in, path)
+	if *sharded != "" {
+		manifest, err := themecomm.WriteShardedTree(tree, *sharded)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("indexed %s -> %s (sharded: %d shards + manifest)\n", *in, *sharded, len(manifest.Shards))
+	}
 	fmt.Printf("  indexing time: %v\n", elapsed)
 	fmt.Printf("  heap in use:   %.1f MB\n", float64(ms.HeapAlloc)/(1<<20))
 	fmt.Printf("  #nodes:        %d (depth %d, max α %.4g)\n", tree.NumNodes(), tree.Depth(), tree.MaxAlpha())

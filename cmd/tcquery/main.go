@@ -1,11 +1,14 @@
 // Command tcquery answers theme-community queries against a TC-Tree built by
 // tcindex: query by cohesion threshold (QBA), by pattern (QBP), or both.
 // Queries run through the sharded engine; -topk ranks the answer by cohesion.
+// Both index formats load transparently; against a sharded index directory
+// (tcindex -sharded) only the shards the query pattern touches are read from
+// disk, so single-pattern queries skip most of the index.
 //
 // Usage:
 //
 //	tcquery -tree bk.dbnet.tctree -alpha 0.5
-//	tcquery -tree bk.dbnet.tctree -net bk.dbnet -pattern "hangout-c3-0,hangout-c3-1" -alpha 0.2
+//	tcquery -tree bk.index -net bk.dbnet -pattern "hangout-c3-0,hangout-c3-1" -alpha 0.2
 //	tcquery -tree bk.dbnet.tctree -alpha 0.2 -topk 10 -workers 8
 package main
 
@@ -18,14 +21,13 @@ import (
 	"strings"
 
 	"themecomm"
-	"themecomm/internal/engine"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tcquery: ")
 
-	treePath := flag.String("tree", "", "TC-Tree file built by tcindex (required)")
+	treePath := flag.String("tree", "", "TC-Tree file or sharded index directory built by tcindex (required)")
 	netPath := flag.String("net", "", "database network file; needed to resolve item names in -pattern")
 	alphaQ := flag.Float64("alpha", 0, "query cohesion threshold α_q")
 	pattern := flag.String("pattern", "", "comma-separated query pattern (item names or numeric ids); empty = all items")
@@ -39,11 +41,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	tree, err := themecomm.ReadTreeFile(*treePath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	eng, err := engine.New(tree, engine.Options{Workers: *workers, CacheSize: *cacheSize})
+	eng, err := themecomm.OpenEngine(*treePath, themecomm.EngineOptions{Workers: *workers, CacheSize: *cacheSize})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +72,10 @@ func main() {
 	}
 
 	if *topK > 0 {
-		qr, ranked := eng.TopKWithResult(q, *alphaQ, *topK)
+		qr, ranked, err := eng.TopKWithResult(q, *alphaQ, *topK)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("query answered in %v: %d maximal pattern trusses (visited %d nodes)\n",
 			qr.Duration, qr.RetrievedNodes, qr.VisitedNodes)
 		fmt.Printf("top %d theme communities by cohesion\n", len(ranked))
@@ -85,7 +86,10 @@ func main() {
 		return
 	}
 
-	qr := eng.Query(q, *alphaQ)
+	qr, err := eng.Query(q, *alphaQ)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("query answered in %v: %d maximal pattern trusses (visited %d nodes)\n",
 		qr.Duration, qr.RetrievedNodes, qr.VisitedNodes)
 	comms := qr.Communities()

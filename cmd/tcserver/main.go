@@ -1,11 +1,15 @@
 // Command tcserver serves theme-community queries over HTTP from a TC-Tree
-// built by tcindex.
+// built by tcindex. Both index formats load transparently: a monolithic
+// .tctree file is read whole, while a sharded index directory (tcindex
+// -sharded) is served lazily — a shard's file is only read on the first query
+// that touches it, and -maxresident bounds how many shards stay in memory.
 //
 // Usage:
 //
 //	tcserver -tree bk.dbnet.tctree -net bk.dbnet -addr :8080 -workers 8 -cache 1024
+//	tcserver -tree bk.index -maxresident 16        # lazy, sharded index dir
 //
-// Endpoints:
+// Endpoints (see docs/API.md for request/response schemas):
 //
 //	GET  /healthz                           liveness probe
 //	GET  /api/v1/stats                      index statistics
@@ -13,7 +17,7 @@
 //	GET  /api/v1/query?pattern=a,b&alpha=0  query by pattern
 //	GET  /api/v1/query?alpha=0.2&k=10       top-k communities by cohesion
 //	POST /api/v1/batch                      many queries in one request
-//	GET  /api/v1/enginestats                engine counters (shards, cache)
+//	GET  /api/v1/enginestats                engine counters (shards, residency, cache)
 //	GET  /api/v1/patterns?length=2          list indexed patterns of a length
 //	GET  /api/v1/vertex?id=7&alpha=0.2      theme communities containing a vertex
 package main
@@ -26,7 +30,6 @@ import (
 	"time"
 
 	"themecomm"
-	"themecomm/internal/engine"
 	"themecomm/internal/server"
 )
 
@@ -34,22 +37,23 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tcserver: ")
 
-	treePath := flag.String("tree", "", "TC-Tree file built by tcindex (required)")
+	treePath := flag.String("tree", "", "TC-Tree file or sharded index directory built by tcindex (required)")
 	netPath := flag.String("net", "", "database network file; enables item-name resolution")
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "shard-traversal parallelism (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 1024, "result-cache entries (0 disables caching)")
+	maxResident := flag.Int("maxresident", 0, "sharded index only: max shards kept in memory (0 = unlimited)")
 	flag.Parse()
 
 	if *treePath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	tree, err := themecomm.ReadTreeFile(*treePath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	eng, err := engine.New(tree, engine.Options{Workers: *workers, CacheSize: *cacheSize})
+	eng, err := themecomm.OpenEngine(*treePath, themecomm.EngineOptions{
+		Workers:           *workers,
+		CacheSize:         *cacheSize,
+		MaxResidentShards: *maxResident,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +65,7 @@ func main() {
 		}
 		opts.Dictionary = dict
 	}
-	srv, err := server.New(tree, opts)
+	srv, err := server.New(eng.Tree(), opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,8 +75,12 @@ func main() {
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("serving %d indexed maximal pattern trusses on %s (%d shards, %d workers, cache %d)",
-		tree.NumNodes(), *addr, eng.NumShards(), eng.Workers(), *cacheSize)
+	mode := "eager"
+	if eng.Lazy() {
+		mode = "lazy"
+	}
+	log.Printf("serving %d indexed maximal pattern trusses on %s (%s, %d shards, %d workers, cache %d)",
+		eng.NumNodes(), *addr, mode, eng.NumShards(), eng.Workers(), *cacheSize)
 	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

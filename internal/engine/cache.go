@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"themecomm/internal/itemset"
 	"themecomm/internal/tctree"
 )
 
@@ -17,6 +18,11 @@ type lruCache struct {
 	ll      *list.List // front = most recently used
 	entries map[string]*list.Element
 
+	// gen counts invalidations. A put carries the generation observed before
+	// its query executed; if an invalidation ran in between, the result may
+	// predate a shard swap and is dropped instead of inserted.
+	gen uint64
+
 	hits      uint64
 	misses    uint64
 	evictions uint64
@@ -24,7 +30,10 @@ type lruCache struct {
 
 type cacheEntry struct {
 	key string
-	res *tctree.QueryResult
+	// pattern is the canonicalized query pattern of the entry, kept so that
+	// invalidate can match entries by the items their answers depend on.
+	pattern itemset.Itemset
+	res     *tctree.QueryResult
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -49,23 +58,59 @@ func (c *lruCache) get(key string) (*tctree.QueryResult, bool) {
 	return el.Value.(*cacheEntry).res, true
 }
 
-// put inserts or refreshes key, evicting the least recently used entry when
-// the cache is full.
-func (c *lruCache) put(key string, res *tctree.QueryResult) {
+// generation returns the current invalidation generation, to be captured
+// before executing a query whose result will be offered to put.
+func (c *lruCache) generation() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.gen
+}
+
+// put inserts or refreshes key, evicting the least recently used entry when
+// the cache is full. pattern is the canonicalized query pattern the result
+// answers, recorded for invalidate. gen is the generation observed before
+// the query executed: a stale generation means an invalidation ran while
+// the query was in flight, so the result may have been computed against a
+// since-replaced shard and is discarded.
+func (c *lruCache) put(key string, pattern itemset.Itemset, res *tctree.QueryResult, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		return
+	}
 	if el, ok := c.entries[key]; ok {
 		el.Value.(*cacheEntry).res = res
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, pattern: pattern, res: res})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 		c.evictions++
 	}
+}
+
+// invalidate removes every entry whose canonicalized query pattern matches,
+// returning how many were dropped. Dropped entries do not count as LRU
+// evictions.
+func (c *lruCache) invalidate(match func(itemset.Itemset) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	dropped := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		entry := el.Value.(*cacheEntry)
+		if match(entry.pattern) {
+			c.ll.Remove(el)
+			delete(c.entries, entry.key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
 }
 
 // len returns the number of cached entries.

@@ -10,16 +10,23 @@
 //     because each node's pattern starts with its shard's root item — and a
 //     bounded worker pool traverses the relevant shards in parallel, merging
 //     the per-shard answers in deterministic shard order;
+//   - lazy loading: NewLazy serves straight from a sharded on-disk index
+//     (tctree.ShardedIndex). A shard's file is read, checksum-verified and
+//     decoded on the first query that touches it; resident shards are
+//     evictable under a configurable budget and individually reloadable
+//     after an on-disk swap (ReloadShard), which also invalidates exactly
+//     the cached answers the swap could have changed;
 //   - caching: a bounded, concurrency-safe LRU result cache keyed by the
 //     canonicalized query (q ∩ indexed items, α_q), with hit, miss and
 //     eviction counters;
 //   - batch and top-k execution: QueryBatch answers many queries in one call
 //     and TopK ranks the retrieved theme communities by cohesion then size.
 //
-// An Engine is safe for concurrent use; the underlying tree is read-only.
+// An Engine is safe for concurrent use; resident tree data is read-only.
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -39,11 +46,21 @@ type Options struct {
 	// CacheSize is the maximum number of query results kept in the LRU
 	// result cache. Zero or negative disables caching.
 	CacheSize int
+	// MaxResidentShards is the memory budget of a lazy engine: the number of
+	// lazily loaded shards kept in memory at once. When a load pushes the
+	// resident count past the budget, the least recently used resident
+	// shards are evicted (queries still holding an evicted subtree finish on
+	// their snapshot; the next touch reloads it from disk). Zero or negative
+	// means unlimited. Eager engines ignore it.
+	MaxResidentShards int
 }
 
 // Engine answers theme-community queries from a sharded TC-Tree.
 type Engine struct {
+	// tree is the fully resident TC-Tree of an eager engine; nil in lazy
+	// mode, where idx is the on-disk index shards are loaded from instead.
 	tree *tctree.Tree
+	idx  *tctree.ShardedIndex
 	// shards are the per-top-level-item partitions, ordered by ascending
 	// root item.
 	shards []*shard
@@ -65,36 +82,95 @@ type Engine struct {
 
 	cache *lruCache // nil when caching is disabled
 
-	queries atomic.Uint64
-	batches atomic.Uint64
-	topKs   atomic.Uint64
+	// maxResident is the lazy-mode residency budget (0 = unlimited); clock
+	// is the logical clock stamping shard use for LRU eviction; evictMu
+	// serializes eviction scans; resident counts resident lazy shards.
+	maxResident int
+	clock       atomic.Int64
+	evictMu     sync.Mutex
+	resident    atomic.Int64
+
+	queries   atomic.Uint64
+	batches   atomic.Uint64
+	topKs     atomic.Uint64
+	lazyLoads atomic.Uint64
+	evictions atomic.Uint64
 }
 
-// New returns an Engine over the given tree.
+// New returns an eager Engine over a fully resident tree.
 func New(tree *tctree.Tree, opts Options) (*Engine, error) {
 	if tree == nil || tree.Root() == nil {
 		return nil, fmt.Errorf("engine: nil tree")
 	}
+	e := newEngine(opts)
+	e.tree = tree
+	for _, c := range tree.Root().Children {
+		s := &shard{item: c.Item, root: c, once: new(sync.Once)}
+		c.Walk(func(n *tctree.Node) {
+			s.nodes++
+			if l := n.Pattern.Len(); l > s.depth {
+				s.depth = l
+			}
+			if a := n.Decomp.MaxAlpha(); a > s.maxAlpha {
+				s.maxAlpha = a
+			}
+		})
+		e.addShard(s)
+	}
+	return e, nil
+}
+
+// NewLazy returns a lazy Engine serving straight from a sharded on-disk
+// index. No shard data is read until a query touches the shard: the first
+// touch loads, checksum-verifies and decodes the shard file (concurrent
+// first touches share one load), and resident shards are evicted least
+// recently used first whenever the count exceeds opts.MaxResidentShards.
+func NewLazy(idx *tctree.ShardedIndex, opts Options) (*Engine, error) {
+	if idx == nil {
+		return nil, fmt.Errorf("engine: nil sharded index")
+	}
+	e := newEngine(opts)
+	e.idx = idx
+	e.maxResident = opts.MaxResidentShards
+	if e.maxResident < 0 {
+		e.maxResident = 0
+	}
+	m := idx.Manifest()
+	for _, entry := range m.Shards {
+		item := itemset.Item(entry.Item)
+		e.addShard(&shard{
+			item:     item,
+			load:     func() (*tctree.Node, error) { return idx.LoadShard(item) },
+			once:     new(sync.Once),
+			nodes:    entry.Nodes,
+			depth:    entry.Depth,
+			maxAlpha: entry.MaxAlpha,
+		})
+	}
+	return e, nil
+}
+
+func newEngine(opts Options) *Engine {
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		tree:       tree,
 		shardIndex: make(map[itemset.Item]int),
 		workers:    workers,
 		sem:        make(chan struct{}, workers),
 		batchSem:   make(chan struct{}, workers),
 	}
-	for _, c := range tree.Root().Children {
-		e.shardIndex[c.Item] = len(e.shards)
-		e.shards = append(e.shards, &shard{root: c})
-		e.items = append(e.items, c.Item)
-	}
 	if opts.CacheSize > 0 {
 		e.cache = newLRUCache(opts.CacheSize)
 	}
-	return e, nil
+	return e
+}
+
+func (e *Engine) addShard(s *shard) {
+	e.shardIndex[s.item] = len(e.shards)
+	e.shards = append(e.shards, s)
+	e.items = append(e.items, s.item)
 }
 
 // NumShards returns the number of shards (indexed top-level items).
@@ -103,8 +179,137 @@ func (e *Engine) NumShards() int { return len(e.shards) }
 // Workers returns the shard-traversal parallelism.
 func (e *Engine) Workers() int { return e.workers }
 
-// Tree returns the underlying TC-Tree.
+// Lazy reports whether the engine loads shards from disk on demand.
+func (e *Engine) Lazy() bool { return e.idx != nil }
+
+// Tree returns the underlying TC-Tree of an eager engine; it is nil for lazy
+// engines, which never hold the whole tree.
 func (e *Engine) Tree() *tctree.Tree { return e.tree }
+
+// acquire returns the shard's subtree, stamping its recency, and loading it
+// from disk first when the engine is lazy and the shard is not resident.
+// Concurrent first touches share a single load through the shard's
+// sync.Once; a load failure is sticky until ReloadShard. The loop handles
+// the race with eviction: if the subtree vanishes between the load and the
+// re-check, the fresh sync.Once installed by the evictor triggers another
+// load. The identity check on s.once before installing the loaded subtree
+// handles the race with ReloadShard: a load that was in flight when the
+// shard was reset would otherwise re-install pre-swap data (or a pre-swap
+// error) after the reset; such stale results are discarded and the loop
+// loads again from the current file.
+func (e *Engine) acquire(s *shard) (*tctree.Node, error) {
+	if s.load == nil {
+		return s.root, nil
+	}
+	for {
+		s.mu.Lock()
+		if s.root != nil {
+			root := s.root
+			s.lastUsed.Store(e.clock.Add(1))
+			s.mu.Unlock()
+			return root, nil
+		}
+		if s.err != nil {
+			err := s.err
+			s.mu.Unlock()
+			return nil, err
+		}
+		once := s.once
+		s.mu.Unlock()
+		once.Do(func() {
+			root, err := s.load()
+			s.mu.Lock()
+			if s.once != once {
+				// ReloadShard reset the shard while this load was in
+				// flight; discard the stale result.
+				s.mu.Unlock()
+				return
+			}
+			if err != nil {
+				s.err = err
+			} else {
+				s.root = root
+				s.lastUsed.Store(e.clock.Add(1))
+				s.loads.Add(1)
+				e.lazyLoads.Add(1)
+				e.resident.Add(1)
+			}
+			s.mu.Unlock()
+			if err == nil {
+				e.enforceBudget(s)
+			}
+		})
+	}
+}
+
+// enforceBudget evicts least-recently-used resident shards until the
+// residency budget holds again. just, when non-nil, is exempt: evicting the
+// shard that was loaded for the in-flight query would only thrash.
+// Evicting a shard that a concurrent query is still traversing is safe — the
+// query keeps its immutable subtree snapshot; only the engine's reference is
+// dropped.
+func (e *Engine) enforceBudget(just *shard) {
+	if e.maxResident <= 0 {
+		return
+	}
+	e.evictMu.Lock()
+	defer e.evictMu.Unlock()
+	for int(e.resident.Load()) > e.maxResident {
+		var victim *shard
+		var oldest int64
+		for _, s := range e.shards {
+			if s == just || s.load == nil || !s.resident() {
+				continue
+			}
+			if lu := s.lastUsed.Load(); victim == nil || lu < oldest {
+				victim, oldest = s, lu
+			}
+		}
+		if victim == nil {
+			return
+		}
+		victim.mu.Lock()
+		if victim.root != nil {
+			victim.root = nil
+			victim.once = new(sync.Once)
+			e.resident.Add(-1)
+			e.evictions.Add(1)
+		}
+		victim.mu.Unlock()
+	}
+}
+
+// ReloadShard drops the resident copy (and any sticky load error) of the
+// shard for item and purges every cached answer whose canonicalized query
+// contains the item — answers of other queries provably never touched the
+// shard and stay valid. Call it after swapping the shard on disk with
+// tctree.ShardedIndex.ReplaceShard; the next query touching the shard loads
+// the new file. Only lazy engines can reload.
+func (e *Engine) ReloadShard(item itemset.Item) error {
+	i, ok := e.shardIndex[item]
+	if !ok {
+		return fmt.Errorf("engine: no shard for item %d", item)
+	}
+	s := e.shards[i]
+	if s.load == nil {
+		return fmt.Errorf("engine: shard %d is not lazily loaded; rebuild the engine instead", item)
+	}
+	entry, haveEntry := e.idx.Entry(item)
+	s.mu.Lock()
+	if s.root != nil {
+		e.resident.Add(-1)
+	}
+	s.root, s.err = nil, nil
+	s.once = new(sync.Once)
+	if haveEntry {
+		s.nodes, s.depth, s.maxAlpha = entry.Nodes, entry.Depth, entry.MaxAlpha
+	}
+	s.mu.Unlock()
+	if e.cache != nil {
+		e.cache.invalidate(func(q itemset.Itemset) bool { return q.Contains(item) })
+	}
+	return nil
+}
 
 // canonical clamps a query pattern to the indexed top-level items. A nil
 // pattern means "every item" (query by alpha). The result is the smallest
@@ -127,35 +332,45 @@ func cacheKey(q itemset.Itemset, alphaQ float64) string {
 // whose root item is in q, in parallel across the worker pool. A nil q means
 // "every item" (the query-by-alpha workload). The answer lists the retrieved
 // trusses grouped by shard in ascending root-item order, each shard in
-// breadth-first order; the set of trusses equals tctree.Query's.
-func (e *Engine) Query(q itemset.Itemset, alphaQ float64) *tctree.QueryResult {
+// breadth-first order; the set of trusses equals tctree.Query's. The error
+// is always nil on eager engines; on lazy engines it surfaces shard-load
+// failures (missing file, checksum mismatch, corrupt payload).
+func (e *Engine) Query(q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, error) {
 	e.queries.Add(1)
 	start := time.Now()
 	eff := e.canonical(q)
 	key := cacheKey(eff, alphaQ)
+	var gen uint64
 	if e.cache != nil {
 		if cached, ok := e.cache.get(key); ok {
 			// Share the immutable payload, stamp the observed latency.
 			res := *cached
 			res.Duration = time.Since(start)
-			return &res
+			return &res, nil
 		}
+		// Capture the invalidation generation before executing: if a
+		// ReloadShard invalidation runs while this query is in flight, the
+		// result may predate the swap and put will discard it.
+		gen = e.cache.generation()
 	}
-	res := e.execute(eff, alphaQ)
+	res, err := e.execute(eff, alphaQ)
+	if err != nil {
+		return nil, err
+	}
 	res.Duration = time.Since(start)
 	if e.cache != nil {
-		e.cache.put(key, res)
+		e.cache.put(key, eff, res, gen)
 	}
-	return res
+	return res, nil
 }
 
 // QueryByAlpha answers the query-by-alpha workload (q = every item).
-func (e *Engine) QueryByAlpha(alphaQ float64) *tctree.QueryResult {
+func (e *Engine) QueryByAlpha(alphaQ float64) (*tctree.QueryResult, error) {
 	return e.Query(nil, alphaQ)
 }
 
 // execute runs the sharded traversal for an already-canonicalized pattern.
-func (e *Engine) execute(q itemset.Itemset, alphaQ float64) *tctree.QueryResult {
+func (e *Engine) execute(q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, error) {
 	// q is sorted, so relevant is in ascending root-item (shard) order and
 	// the merge below is deterministic.
 	relevant := make([]*shard, 0, len(q))
@@ -168,7 +383,12 @@ func (e *Engine) execute(q itemset.Itemset, alphaQ float64) *tctree.QueryResult 
 	traverse := func(i int, s *shard) {
 		e.sem <- struct{}{}
 		defer func() { <-e.sem }()
-		results[i] = s.query(q, alphaQ)
+		root, err := e.acquire(s)
+		if err != nil {
+			results[i] = shardResult{err: fmt.Errorf("engine: shard %d: %w", s.item, err)}
+			return
+		}
+		results[i] = querySubtree(root, q, alphaQ)
 	}
 	if e.workers == 1 || len(relevant) == 1 {
 		// Inline traversal still takes a slot, so the worker bound holds
@@ -188,12 +408,20 @@ func (e *Engine) execute(q itemset.Itemset, alphaQ float64) *tctree.QueryResult 
 		wg.Wait()
 	}
 	res := &tctree.QueryResult{}
+	var errs []error
 	for _, sr := range results {
+		if sr.err != nil {
+			errs = append(errs, sr.err)
+			continue
+		}
 		res.Trusses = append(res.Trusses, sr.trusses...)
 		res.VisitedNodes += sr.visited
 	}
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
 	res.RetrievedNodes = len(res.Trusses)
-	return res
+	return res, nil
 }
 
 // Request is one query of a batch.
@@ -207,10 +435,13 @@ type Request struct {
 // QueryBatch answers many queries in one call. Queries run concurrently,
 // bounded by the worker pool; answers are returned in request order.
 // Repeated queries within a batch are served from the cache once the first
-// execution completes (concurrent duplicates may each execute).
-func (e *Engine) QueryBatch(reqs []Request) []*tctree.QueryResult {
+// execution completes (concurrent duplicates may each execute). A query that
+// fails (lazy shard-load error) leaves a nil slot in the answers; the error
+// joins every per-query failure, annotated with its request index.
+func (e *Engine) QueryBatch(reqs []Request) ([]*tctree.QueryResult, error) {
 	e.batches.Add(1)
 	out := make([]*tctree.QueryResult, len(reqs))
+	errs := make([]error, len(reqs))
 	var wg sync.WaitGroup
 	for i, r := range reqs {
 		wg.Add(1)
@@ -218,9 +449,14 @@ func (e *Engine) QueryBatch(reqs []Request) []*tctree.QueryResult {
 			defer wg.Done()
 			e.batchSem <- struct{}{}
 			defer func() { <-e.batchSem }()
-			out[i] = e.Query(r.Pattern, r.Alpha)
+			res, err := e.Query(r.Pattern, r.Alpha)
+			if err != nil {
+				errs[i] = fmt.Errorf("query %d: %w", i, err)
+				return
+			}
+			out[i] = res
 		}(i, r)
 	}
 	wg.Wait()
-	return out
+	return out, errors.Join(errs...)
 }

@@ -97,6 +97,26 @@ func TestNewRejectsNilTree(t *testing.T) {
 	}
 }
 
+// mustQuery runs a query that is not expected to fail (eager engines never
+// do; lazy engines only on shard-load errors).
+func mustQuery(t *testing.T, eng *Engine, q itemset.Itemset, alpha float64) *tctree.QueryResult {
+	t.Helper()
+	res, err := eng.Query(q, alpha)
+	if err != nil {
+		t.Fatalf("Query(%v, %v): %v", q, alpha, err)
+	}
+	return res
+}
+
+func mustQueryByAlpha(t *testing.T, eng *Engine, alpha float64) *tctree.QueryResult {
+	t.Helper()
+	res, err := eng.QueryByAlpha(alpha)
+	if err != nil {
+		t.Fatalf("QueryByAlpha(%v): %v", alpha, err)
+	}
+	return res
+}
+
 // TestShardedMatchesSequential is the central correctness test: on a
 // generated network, the sharded parallel answer must equal the
 // single-threaded tctree.Query answer for every combination of worker count,
@@ -138,7 +158,7 @@ func TestShardedMatchesSequential(t *testing.T) {
 					// Twice: the second run exercises the cache-hit path
 					// when caching is enabled.
 					for rep := 0; rep < 2; rep++ {
-						got := eng.Query(q, alpha)
+						got := mustQuery(t, eng, q, alpha)
 						assertSameAnswer(t, got, want)
 					}
 				}
@@ -156,9 +176,9 @@ func TestDeterministicMerge(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	first := eng.QueryByAlpha(0)
+	first := mustQueryByAlpha(t, eng, 0)
 	for rep := 0; rep < 10; rep++ {
-		again := eng.QueryByAlpha(0)
+		again := mustQueryByAlpha(t, eng, 0)
 		if len(again.Trusses) != len(first.Trusses) {
 			t.Fatalf("run %d retrieved %d trusses, first run %d", rep, len(again.Trusses), len(first.Trusses))
 		}
@@ -187,7 +207,10 @@ func TestQueryBatch(t *testing.T) {
 			Request{Pattern: itemset.New(c.Item), Alpha: 0}, // repeat: cache fodder
 		)
 	}
-	answers := eng.QueryBatch(reqs)
+	answers, err := eng.QueryBatch(reqs)
+	if err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
 	if len(answers) != len(reqs) {
 		t.Fatalf("got %d answers for %d requests", len(answers), len(reqs))
 	}
@@ -214,8 +237,8 @@ func TestCanonicalization(t *testing.T) {
 		t.Fatalf("New: %v", err)
 	}
 	first := tree.Root().Children[0].Item
-	eng.Query(itemset.New(first), 0.1)
-	eng.Query(itemset.New(first, 4096), 0.1) // 4096 is not an indexed item
+	mustQuery(t, eng, itemset.New(first), 0.1)
+	mustQuery(t, eng, itemset.New(first, 4096), 0.1) // 4096 is not an indexed item
 	stats := eng.Stats()
 	if stats.Cache.Hits != 1 || stats.Cache.Misses != 1 {
 		t.Fatalf("hits=%d misses=%d, want 1 hit and 1 miss", stats.Cache.Hits, stats.Cache.Misses)
@@ -243,11 +266,11 @@ func TestStats(t *testing.T) {
 		t.Fatalf("cache stats = %+v, want enabled with capacity 2", stats.Cache)
 	}
 
-	eng.QueryByAlpha(0)   // miss
-	eng.QueryByAlpha(0)   // hit
-	eng.QueryByAlpha(0.1) // miss
-	eng.QueryByAlpha(0.2) // miss, evicts the α=0 entry
-	eng.QueryByAlpha(0)   // miss again
+	mustQueryByAlpha(t, eng, 0)   // miss
+	mustQueryByAlpha(t, eng, 0)   // hit
+	mustQueryByAlpha(t, eng, 0.1) // miss
+	mustQueryByAlpha(t, eng, 0.2) // miss, evicts the α=0 entry
+	mustQueryByAlpha(t, eng, 0)   // miss again
 	stats = eng.Stats()
 	if stats.Queries != 5 {
 		t.Fatalf("Queries = %d, want 5", stats.Queries)
@@ -261,8 +284,8 @@ func TestStats(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	uncached.QueryByAlpha(0)
-	uncached.QueryByAlpha(0)
+	mustQueryByAlpha(t, uncached, 0)
+	mustQueryByAlpha(t, uncached, 0)
 	stats = uncached.Stats()
 	if stats.Cache.Enabled || stats.Cache.Hits != 0 || stats.Cache.Misses != 0 {
 		t.Fatalf("disabled cache has stats %+v", stats.Cache)

@@ -1,0 +1,426 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+)
+
+// writeShardedTestTree persists the tree in the sharded format and opens it.
+func writeShardedTestTree(t *testing.T, tree *tctree.Tree) (*tctree.ShardedIndex, string) {
+	t.Helper()
+	dir := t.TempDir()
+	if _, err := tree.WriteSharded(dir); err != nil {
+		t.Fatalf("WriteSharded: %v", err)
+	}
+	idx, err := tctree.OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	return idx, dir
+}
+
+func TestNewLazyRejectsNilIndex(t *testing.T) {
+	if _, err := NewLazy(nil, Options{}); err == nil {
+		t.Fatalf("nil index should be rejected")
+	}
+}
+
+// TestLazyMatchesEager is the lazy-mode correctness test: for every
+// combination of worker count, cache configuration and residency budget, the
+// lazily loaded answer must equal the in-memory tctree.Query answer — same
+// trusses, same visit counts.
+func TestLazyMatchesEager(t *testing.T) {
+	tree := buildTestTree(t, 11)
+	idx, _ := writeShardedTestTree(t, tree)
+	items := tree.Root().Children
+	full := make(itemset.Itemset, 0, len(items))
+	for _, c := range items {
+		full = append(full, c.Item)
+	}
+	rng := rand.New(rand.NewSource(29))
+	queries := []itemset.Itemset{nil, full, itemset.New(full[0]), itemset.New(full[0], 999)}
+	for trial := 0; trial < 4; trial++ {
+		var q itemset.Itemset
+		for _, it := range full {
+			if rng.Intn(2) == 0 {
+				q = q.Add(it)
+			}
+		}
+		queries = append(queries, q)
+	}
+	alphas := []float64{0, 0.1, 0.3, tree.MaxAlpha(), tree.MaxAlpha() + 1}
+
+	for _, workers := range []int{1, 4} {
+		for _, cacheSize := range []int{0, 16} {
+			for _, budget := range []int{0, 1, 2} {
+				eng, err := NewLazy(idx, Options{Workers: workers, CacheSize: cacheSize, MaxResidentShards: budget})
+				if err != nil {
+					t.Fatalf("NewLazy: %v", err)
+				}
+				for _, q := range queries {
+					for _, alpha := range alphas {
+						var want *tctree.QueryResult
+						if q == nil {
+							want = tree.QueryByAlpha(alpha)
+						} else {
+							want = tree.Query(q, alpha)
+						}
+						for rep := 0; rep < 2; rep++ {
+							assertSameAnswer(t, mustQuery(t, eng, q, alpha), want)
+						}
+					}
+				}
+				stats := eng.Stats()
+				if !stats.Lazy || stats.LazyLoads == 0 {
+					t.Fatalf("lazy engine reports lazy=%v loads=%d", stats.Lazy, stats.LazyLoads)
+				}
+				if budget > 0 {
+					if stats.ResidentShards > budget {
+						t.Fatalf("budget %d exceeded: %d resident", budget, stats.ResidentShards)
+					}
+					if len(eng.shards) > budget && stats.ShardEvictions == 0 {
+						t.Fatalf("budget %d with %d shards saw no evictions", budget, len(eng.shards))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLazyResidency is the cold-start acceptance check: before any query
+// nothing is resident; after one single-item query exactly that shard is.
+func TestLazyResidency(t *testing.T) {
+	tree := buildTestTree(t, 11)
+	idx, _ := writeShardedTestTree(t, tree)
+	eng, err := NewLazy(idx, Options{})
+	if err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+	if got := eng.Stats().ResidentShards; got != 0 {
+		t.Fatalf("cold engine has %d resident shards, want 0", got)
+	}
+	if eng.NumNodes() != tree.NumNodes() || eng.Depth() != tree.Depth() {
+		t.Fatalf("metadata (%d nodes, depth %d) should come from the manifest without loading; tree has (%d, %d)",
+			eng.NumNodes(), eng.Depth(), tree.NumNodes(), tree.Depth())
+	}
+	if got := eng.Stats().ResidentShards; got != 0 {
+		t.Fatalf("metadata reads loaded %d shards", got)
+	}
+
+	first := tree.Root().Children[0].Item
+	mustQuery(t, eng, itemset.New(first), 0)
+	stats := eng.Stats()
+	if stats.ResidentShards != 1 {
+		t.Fatalf("after one single-item query %d shards are resident, want 1", stats.ResidentShards)
+	}
+	if stats.ResidentShards >= stats.Shards {
+		t.Fatalf("expected fewer-than-all shards resident (%d of %d)", stats.ResidentShards, stats.Shards)
+	}
+	for _, ss := range stats.ShardResidency {
+		wantResident := itemset.Item(ss.Item) == first
+		if ss.Resident != wantResident {
+			t.Fatalf("shard %d residency = %v, want %v", ss.Item, ss.Resident, wantResident)
+		}
+	}
+
+	// A full query loads everything (unlimited budget).
+	mustQueryByAlpha(t, eng, 0)
+	if got := eng.Stats().ResidentShards; got != eng.NumShards() {
+		t.Fatalf("after a full query %d of %d shards resident", got, eng.NumShards())
+	}
+}
+
+// TestLazyEvictionBudget holds the engine to one resident shard and checks
+// that the budget is enforced, answers stay correct, and reloads happen on
+// re-touch.
+func TestLazyEvictionBudget(t *testing.T) {
+	tree := buildTestTree(t, 11)
+	idx, _ := writeShardedTestTree(t, tree)
+	eng, err := NewLazy(idx, Options{MaxResidentShards: 1})
+	if err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+	children := tree.Root().Children
+	if len(children) < 2 {
+		t.Fatalf("need at least 2 shards")
+	}
+	a, b := children[0].Item, children[1].Item
+	for rep := 0; rep < 3; rep++ {
+		for _, it := range []itemset.Item{a, b} {
+			q := itemset.New(it)
+			assertSameAnswer(t, mustQuery(t, eng, q, 0), tree.Query(q, 0))
+			if got := eng.Stats().ResidentShards; got > 1 {
+				t.Fatalf("budget 1 exceeded: %d resident", got)
+			}
+		}
+	}
+	stats := eng.Stats()
+	if stats.ShardEvictions == 0 {
+		t.Fatalf("alternating queries under budget 1 produced no evictions")
+	}
+	if stats.LazyLoads < 2 {
+		t.Fatalf("expected repeated loads, got %d", stats.LazyLoads)
+	}
+}
+
+// TestLazyLoadErrorIsStickyUntilReload corrupts a shard file: queries
+// touching it fail (repeatedly, without re-reading the file), other shards
+// keep answering, and restoring the file + ReloadShard recovers.
+func TestLazyLoadErrorIsStickyUntilReload(t *testing.T) {
+	tree := buildTestTree(t, 11)
+	idx, dir := writeShardedTestTree(t, tree)
+	children := tree.Root().Children
+	victim := children[0].Item
+	entry, ok := idx.Entry(victim)
+	if !ok {
+		t.Fatalf("no manifest entry for %d", victim)
+	}
+	path := filepath.Join(dir, entry.File)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	bad := append([]byte(nil), good...)
+	bad[len(bad)/2] ^= 0xff
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	eng, err := NewLazy(idx, Options{})
+	if err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+	q := itemset.New(victim)
+	if _, err := eng.Query(q, 0); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("query over a corrupted shard returned %v, want checksum error", err)
+	}
+	if _, err := eng.Query(q, 0); err == nil {
+		t.Fatalf("load error should be sticky")
+	}
+	// A full query also fails, but a query avoiding the shard succeeds.
+	if _, err := eng.QueryByAlpha(0); err == nil {
+		t.Fatalf("full query over a corrupted shard should fail")
+	}
+	if len(children) > 1 {
+		other := itemset.New(children[1].Item)
+		assertSameAnswer(t, mustQuery(t, eng, other, 0), tree.Query(other, 0))
+	}
+
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if err := eng.ReloadShard(victim); err != nil {
+		t.Fatalf("ReloadShard: %v", err)
+	}
+	assertSameAnswer(t, mustQuery(t, eng, q, 0), tree.Query(q, 0))
+}
+
+// TestReplaceShardAndReload is the single-shard replacement test: after
+// swapping one shard on disk, ReloadShard must invalidate exactly the cached
+// answers that depend on it, and subsequent queries must reflect the new
+// subtree while untouched shards keep their answers (and their cache
+// entries).
+func TestReplaceShardAndReload(t *testing.T) {
+	tree := buildTestTree(t, 11)
+	other := buildTestTree(t, 13)
+	idx, _ := writeShardedTestTree(t, tree)
+
+	var item itemset.Item
+	var replacement *tctree.Node
+	found := false
+	for _, c := range other.Root().Children {
+		if tree.Root().Descendant(c.Pattern) != nil {
+			item, replacement, found = c.Item, c, true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("trees share no root item; pick other seeds")
+	}
+	var avoiding itemset.Itemset
+	for _, c := range tree.Root().Children {
+		if c.Item != item {
+			avoiding = avoiding.Add(c.Item)
+		}
+	}
+
+	eng, err := NewLazy(idx, Options{CacheSize: 16})
+	if err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+	q := itemset.New(item)
+	assertSameAnswer(t, mustQuery(t, eng, q, 0), tree.Query(q, 0))
+	assertSameAnswer(t, mustQuery(t, eng, avoiding, 0), tree.Query(avoiding, 0))
+	if got := eng.Stats().Cache.Length; got != 2 {
+		t.Fatalf("cache holds %d entries, want 2", got)
+	}
+
+	if err := idx.ReplaceShard(replacement); err != nil {
+		t.Fatalf("ReplaceShard: %v", err)
+	}
+	// Until the engine reloads, the stale cached answer is still served —
+	// that is the contract: invalidation is explicit.
+	assertSameAnswer(t, mustQuery(t, eng, q, 0), tree.Query(q, 0))
+
+	if err := eng.ReloadShard(item); err != nil {
+		t.Fatalf("ReloadShard: %v", err)
+	}
+	stats := eng.Stats()
+	if stats.Cache.Length != 1 {
+		t.Fatalf("after ReloadShard the cache holds %d entries, want 1 (only the avoiding query)", stats.Cache.Length)
+	}
+	// The shard now answers from the replacement subtree...
+	assertSameAnswer(t, mustQuery(t, eng, q, 0), other.Query(q, 0))
+	// ...and the untouched query still matches the original tree, served
+	// from its surviving cache entry.
+	before := stats.Cache.Hits
+	assertSameAnswer(t, mustQuery(t, eng, avoiding, 0), tree.Query(avoiding, 0))
+	if got := eng.Stats().Cache.Hits; got != before+1 {
+		t.Fatalf("untouched query was not served from cache (hits %d -> %d)", before, got)
+	}
+
+	// ReloadShard is lazy-only and rejects unknown items.
+	if err := eng.ReloadShard(4096); err == nil {
+		t.Fatalf("ReloadShard of an unknown item should fail")
+	}
+	eager, err := New(tree, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := eager.ReloadShard(tree.Root().Children[0].Item); err == nil {
+		t.Fatalf("ReloadShard on an eager engine should fail")
+	}
+}
+
+// TestLazyTopKAndSearchVertex exercises the engine paths that need node
+// lookups beyond plain queries on a lazy engine.
+func TestLazyTopKAndSearchVertex(t *testing.T) {
+	tree := buildTestTree(t, 7)
+	idx, _ := writeShardedTestTree(t, tree)
+	eng, err := NewLazy(idx, Options{MaxResidentShards: 2})
+	if err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+	eager, err := New(tree, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	wantRanked, err := eager.TopK(nil, 0, 10)
+	if err != nil {
+		t.Fatalf("eager TopK: %v", err)
+	}
+	gotRanked, err := eng.TopK(nil, 0, 10)
+	if err != nil {
+		t.Fatalf("lazy TopK: %v", err)
+	}
+	if len(gotRanked) != len(wantRanked) {
+		t.Fatalf("lazy TopK returned %d communities, eager %d", len(gotRanked), len(wantRanked))
+	}
+	for i := range wantRanked {
+		if !gotRanked[i].Community.Pattern.Equal(wantRanked[i].Community.Pattern) ||
+			!approxEqual(gotRanked[i].Cohesion, wantRanked[i].Cohesion) {
+			t.Fatalf("lazy TopK[%d] = %v@%g, eager %v@%g", i,
+				gotRanked[i].Community.Pattern, gotRanked[i].Cohesion,
+				wantRanked[i].Community.Pattern, wantRanked[i].Cohesion)
+		}
+	}
+
+	// Vertex search parity over every vertex of the first truss found.
+	full := tree.QueryByAlpha(0)
+	if len(full.Trusses) == 0 {
+		t.Fatalf("tree answers nothing at alpha 0")
+	}
+	for v := range full.Trusses[0].Freq {
+		want := tree.SearchVertex(v, nil, 0.1)
+		got, err := eng.SearchVertex(v, nil, 0.1)
+		if err != nil {
+			t.Fatalf("lazy SearchVertex: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("vertex %d: lazy found %d communities, eager %d", v, len(got), len(want))
+		}
+		for i := range want {
+			if !got[i].Pattern.Equal(want[i].Pattern) || !got[i].Edges.Equal(want[i].Edges) {
+				t.Fatalf("vertex %d community %d differs", v, i)
+			}
+		}
+		break
+	}
+
+	// Pattern listings: depth 1 needs no loads; deeper depths match the tree.
+	for depth := 1; depth <= tree.Depth(); depth++ {
+		want := tree.PatternsAtDepth(depth)
+		got, err := eng.PatternsAtDepth(depth)
+		if err != nil {
+			t.Fatalf("PatternsAtDepth(%d): %v", depth, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("depth %d: lazy listed %d patterns, tree has %d", depth, len(got), len(want))
+		}
+	}
+	if got := eng.Stats().ResidentShards; got > 2 {
+		t.Fatalf("budget 2 exceeded after metadata traversals: %d resident", got)
+	}
+}
+
+// TestLazyConcurrent hammers a tightly budgeted lazy engine from many
+// goroutines so loads, evictions and traversals race; run with -race it
+// verifies the locking discipline, and every answer must still be correct.
+func TestLazyConcurrent(t *testing.T) {
+	tree := buildTestTree(t, 11)
+	idx, _ := writeShardedTestTree(t, tree)
+	eng, err := NewLazy(idx, Options{Workers: 4, CacheSize: 4, MaxResidentShards: 1})
+	if err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+	children := tree.Root().Children
+	type job struct {
+		q    itemset.Itemset
+		want *tctree.QueryResult
+	}
+	jobs := make([]job, 0, len(children)+1)
+	for _, c := range children {
+		q := itemset.New(c.Item)
+		jobs = append(jobs, job{q: q, want: tree.Query(q, 0)})
+	}
+	jobs = append(jobs, job{q: nil, want: tree.QueryByAlpha(0)})
+
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 20; i++ {
+				j := jobs[(g+i)%len(jobs)]
+				got, err := eng.Query(j.q, 0)
+				if err != nil {
+					done <- err
+					return
+				}
+				if got.RetrievedNodes != j.want.RetrievedNodes {
+					done <- fmt.Errorf("query %v retrieved %d nodes, want %d", j.q, got.RetrievedNodes, j.want.RetrievedNodes)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.Stats().ResidentShards; got > 1 {
+		t.Fatalf("budget 1 exceeded after concurrent load: %d resident", got)
+	}
+}
+
+func approxEqual(a, b float64) bool {
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"themecomm/internal/core"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+)
+
+// This file gives the engine the index-metadata surface the HTTP server used
+// to read straight off the tree, so a server can run on a lazy engine that
+// never holds the whole tree: totals come from the manifest, and traversals
+// (patterns listing, vertex search) load only the shards they need.
+
+// NumNodes returns the number of indexed nodes across all shards. On lazy
+// engines it comes from the manifest, without loading any shard.
+func (e *Engine) NumNodes() int {
+	if e.tree != nil {
+		return e.tree.NumNodes()
+	}
+	total := 0
+	for _, s := range e.shards {
+		n, _, _ := s.meta()
+		total += n
+	}
+	return total
+}
+
+// Depth returns the longest indexed pattern length across all shards.
+func (e *Engine) Depth() int {
+	if e.tree != nil {
+		return e.tree.Depth()
+	}
+	depth := 0
+	for _, s := range e.shards {
+		_, d, _ := s.meta()
+		if d > depth {
+			depth = d
+		}
+	}
+	return depth
+}
+
+// MaxAlpha returns the largest non-trivial cohesion threshold over every
+// indexed theme network (the largest per-shard α* bound). Queries with a
+// larger α_q return nothing.
+func (e *Engine) MaxAlpha() float64 {
+	maxAlpha := 0.0
+	for _, s := range e.shards {
+		_, _, a := s.meta()
+		if a > maxAlpha {
+			maxAlpha = a
+		}
+	}
+	return maxAlpha
+}
+
+// PatternsAtDepth returns the indexed patterns of the given length, sorted.
+// Depth 1 is answered from the shard catalogue alone; deeper listings load
+// (and keep within the residency budget) only the shards whose manifest
+// depth reaches the requested length.
+func (e *Engine) PatternsAtDepth(depth int) ([]itemset.Itemset, error) {
+	if depth < 1 {
+		return nil, nil
+	}
+	if depth == 1 {
+		out := make([]itemset.Itemset, 0, len(e.shards))
+		for _, s := range e.shards {
+			out = append(out, itemset.New(s.item))
+		}
+		return out, nil
+	}
+	var out []itemset.Itemset
+	for _, s := range e.shards {
+		_, shardDepth, _ := s.meta()
+		if shardDepth < depth {
+			continue
+		}
+		root, err := e.acquire(s)
+		if err != nil {
+			return nil, err
+		}
+		root.Walk(func(n *tctree.Node) {
+			if n.Pattern.Len() == depth {
+				out = append(out, n.Pattern)
+			}
+		})
+	}
+	e.enforceBudget(nil)
+	return out, nil
+}
+
+// SearchVertex returns every theme community that contains the query vertex,
+// restricted to themes that are sub-patterns of q (nil or empty means every
+// indexed theme) and to the cohesion threshold alphaQ, like
+// tctree.SearchVertex but loading only the shards q touches.
+func (e *Engine) SearchVertex(v graph.VertexID, q itemset.Itemset, alphaQ float64) ([]core.Community, error) {
+	if q.Len() == 0 {
+		q = nil
+	}
+	qr, err := e.Query(q, alphaQ)
+	if err != nil {
+		return nil, err
+	}
+	return tctree.CommunitiesOfVertex(qr, v), nil
+}
+
+// nodeOf resolves the TC-Tree node of an indexed pattern, loading the
+// pattern's shard when necessary. A nil node (pattern not indexed) is not an
+// error.
+func (e *Engine) nodeOf(p itemset.Itemset) (*tctree.Node, error) {
+	if e.tree != nil {
+		return e.tree.Node(p), nil
+	}
+	if p.Len() == 0 {
+		return nil, nil
+	}
+	i, ok := e.shardIndex[p[0]]
+	if !ok {
+		return nil, nil
+	}
+	root, err := e.acquire(e.shards[i])
+	if err != nil {
+		return nil, err
+	}
+	return root.Descendant(p), nil
+}

@@ -1,6 +1,9 @@
 package engine
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"themecomm/internal/itemset"
 	"themecomm/internal/tctree"
 	"themecomm/internal/truss"
@@ -9,9 +12,56 @@ import (
 // shard is one partition of the TC-Tree: the subtree rooted at a first-level
 // node. Every pattern indexed inside the shard contains the shard's root
 // item, so a query (q, α_q) with root item ∉ q can skip the whole shard
-// without visiting a single node.
+// without visiting a single node — and, in lazy mode, without even reading
+// the shard file from disk.
 type shard struct {
+	// item is the shard's root item.
+	item itemset.Item
+
+	// load reads the shard subtree from its file, nil for eager shards
+	// (whose root is fixed at engine construction and never evicted).
+	load func() (*tctree.Node, error)
+
+	// mu guards root, err, once and the catalogue statistics below. root is
+	// the resident subtree (nil while not loaded); err is the sticky load
+	// error, cleared by Engine.ReloadShard; once serializes the in-flight
+	// load and is replaced on every evict/reload so the shard can be loaded
+	// again later.
+	mu   sync.Mutex
 	root *tctree.Node
+	err  error
+	once *sync.Once
+
+	// nodes, depth and maxAlpha are the shard's catalogue statistics: node
+	// count, longest indexed pattern, and α* bound. Lazy shards take them
+	// from the manifest (so they are known without loading the shard); eager
+	// shards compute them at engine construction.
+	nodes    int
+	depth    int
+	maxAlpha float64
+
+	// lastUsed is the engine's logical clock value at the shard's most
+	// recent traversal; the eviction policy drops the resident shard with
+	// the smallest value. loads counts completed disk loads.
+	lastUsed atomic.Int64
+	loads    atomic.Uint64
+}
+
+// resident reports whether the shard's subtree is in memory.
+func (s *shard) resident() bool {
+	if s.load == nil {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.root != nil
+}
+
+// meta returns the shard's catalogue statistics.
+func (s *shard) meta() (nodes, depth int, maxAlpha float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nodes, s.depth, s.maxAlpha
 }
 
 // shardResult is the answer of one shard to one query.
@@ -22,22 +72,25 @@ type shardResult struct {
 	// visited counts the shard nodes inspected, including nodes whose truss
 	// was empty at α_q (the shard's share of QueryResult.VisitedNodes).
 	visited int
+	// err is the shard's lazy-load failure, if any; the traversal itself
+	// cannot fail.
+	err error
 }
 
-// query runs Algorithm 5 restricted to the shard: breadth-first traversal,
-// skipping children whose item is not in q and pruning subtrees whose
-// reconstructed truss is empty at α_q (Proposition 5.2). The shard root
-// itself is only inspected when its item is in q, which the engine
-// guarantees by shard selection.
-func (s *shard) query(q itemset.Itemset, alphaQ float64) shardResult {
+// querySubtree runs Algorithm 5 restricted to the subtree rooted at root:
+// breadth-first traversal, skipping children whose item is not in q and
+// pruning subtrees whose reconstructed truss is empty at α_q
+// (Proposition 5.2). The root itself is only inspected when its item is in q,
+// which the engine guarantees by shard selection.
+func querySubtree(root *tctree.Node, q itemset.Itemset, alphaQ float64) shardResult {
 	var res shardResult
 	res.visited++
-	tr := s.root.Decomp.TrussAt(alphaQ)
+	tr := root.Decomp.TrussAt(alphaQ)
 	if tr.Empty() {
 		return res
 	}
 	res.trusses = append(res.trusses, tr)
-	queue := []*tctree.Node{s.root}
+	queue := []*tctree.Node{root}
 	for len(queue) > 0 {
 		nf := queue[0]
 		queue = queue[1:]

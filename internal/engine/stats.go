@@ -15,12 +15,38 @@ type CacheStats struct {
 	Evictions uint64 `json:"evictions"`
 }
 
+// ShardStat is the catalogue and residency state of one shard.
+type ShardStat struct {
+	// Item is the shard's root item.
+	Item int32 `json:"item"`
+	// Nodes and MaxAlpha are the shard's node count and α* bound.
+	Nodes    int     `json:"nodes"`
+	MaxAlpha float64 `json:"maxAlpha"`
+	// Resident reports whether the shard subtree is in memory. Eager
+	// engines keep every shard resident; lazy engines load on first touch
+	// and may evict under the residency budget.
+	Resident bool `json:"resident"`
+	// Loads counts the shard's completed disk loads (lazy engines only).
+	Loads uint64 `json:"loads,omitempty"`
+}
+
 // Stats is a snapshot of the engine's counters.
 type Stats struct {
 	// Shards is the number of TC-Tree partitions (indexed top-level items).
 	Shards int `json:"shards"`
 	// Workers is the shard-traversal parallelism.
 	Workers int `json:"workers"`
+	// Lazy reports whether shards are loaded from disk on demand.
+	Lazy bool `json:"lazy"`
+	// ResidentShards is the number of shards currently in memory; for eager
+	// engines it always equals Shards.
+	ResidentShards int `json:"residentShards"`
+	// MaxResidentShards is the lazy residency budget (0 = unlimited).
+	MaxResidentShards int `json:"maxResidentShards,omitempty"`
+	// LazyLoads and ShardEvictions count completed disk loads and
+	// budget-driven evictions across all shards (lazy engines only).
+	LazyLoads      uint64 `json:"lazyLoads,omitempty"`
+	ShardEvictions uint64 `json:"shardEvictions,omitempty"`
 	// Queries counts Query calls (including those issued by QueryBatch and
 	// TopK); Batches and TopKQueries count QueryBatch and TopK calls.
 	Queries     uint64 `json:"queries"`
@@ -28,16 +54,37 @@ type Stats struct {
 	TopKQueries uint64 `json:"topKQueries"`
 	// Cache reports the result-cache state.
 	Cache CacheStats `json:"cache"`
+	// ShardResidency lists every shard in ascending root-item order with its
+	// catalogue statistics and residency state.
+	ShardResidency []ShardStat `json:"shardResidency,omitempty"`
 }
 
 // Stats returns a consistent snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
 	s := Stats{
-		Shards:      len(e.shards),
-		Workers:     e.workers,
-		Queries:     e.queries.Load(),
-		Batches:     e.batches.Load(),
-		TopKQueries: e.topKs.Load(),
+		Shards:            len(e.shards),
+		Workers:           e.workers,
+		Lazy:              e.Lazy(),
+		MaxResidentShards: e.maxResident,
+		LazyLoads:         e.lazyLoads.Load(),
+		ShardEvictions:    e.evictions.Load(),
+		Queries:           e.queries.Load(),
+		Batches:           e.batches.Load(),
+		TopKQueries:       e.topKs.Load(),
+	}
+	for _, sh := range e.shards {
+		nodes, _, maxAlpha := sh.meta()
+		stat := ShardStat{
+			Item:     int32(sh.item),
+			Nodes:    nodes,
+			MaxAlpha: maxAlpha,
+			Resident: sh.resident(),
+			Loads:    sh.loads.Load(),
+		}
+		if stat.Resident {
+			s.ResidentShards++
+		}
+		s.ShardResidency = append(s.ShardResidency, stat)
 	}
 	if e.cache != nil {
 		s.Cache.Enabled = true

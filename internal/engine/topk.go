@@ -29,20 +29,26 @@ type RankedCommunity struct {
 // deterministic pattern/vertex tiebreak. k <= 0 means every community.
 // Because TopK ranks the answer of Query, repeated top-k workloads benefit
 // from the result cache.
-func (e *Engine) TopK(q itemset.Itemset, alphaQ float64, k int) []RankedCommunity {
-	_, ranked := e.TopKWithResult(q, alphaQ, k)
-	return ranked
+func (e *Engine) TopK(q itemset.Itemset, alphaQ float64, k int) ([]RankedCommunity, error) {
+	_, ranked, err := e.TopKWithResult(q, alphaQ, k)
+	return ranked, err
 }
 
 // TopKWithResult is TopK exposing the underlying query answer as well, so
 // callers (the HTTP server) can report retrieval statistics without running
 // the query twice.
-func (e *Engine) TopKWithResult(q itemset.Itemset, alphaQ float64, k int) (*tctree.QueryResult, []RankedCommunity) {
+func (e *Engine) TopKWithResult(q itemset.Itemset, alphaQ float64, k int) (*tctree.QueryResult, []RankedCommunity, error) {
 	e.topKs.Add(1)
-	res := e.Query(q, alphaQ)
+	res, err := e.Query(q, alphaQ)
+	if err != nil {
+		return nil, nil, err
+	}
 	ranked := make([]RankedCommunity, 0, len(res.Trusses))
 	for _, tr := range res.Trusses {
-		node := e.tree.Node(tr.Pattern)
+		node, err := e.nodeOf(tr.Pattern)
+		if err != nil {
+			return nil, nil, err
+		}
 		if node == nil {
 			// Cannot happen on a consistent tree; skip rather than panic.
 			continue
@@ -76,7 +82,7 @@ func (e *Engine) TopKWithResult(q itemset.Itemset, alphaQ float64, k int) (*tctr
 	if k > 0 && k < len(ranked) {
 		ranked = ranked[:k]
 	}
-	return res, ranked
+	return res, ranked, nil
 }
 
 // lessRanked orders communities best-first: cohesion desc, vertices desc,

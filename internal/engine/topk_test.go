@@ -17,7 +17,10 @@ func TestTopKRanking(t *testing.T) {
 		t.Fatalf("New: %v", err)
 	}
 	alphaQ := 0.0
-	all := eng.TopK(nil, alphaQ, 0)
+	all, err := eng.TopK(nil, alphaQ, 0)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
 	if len(all) == 0 {
 		t.Fatalf("expected at least one community")
 	}
@@ -49,7 +52,10 @@ func TestTopKRanking(t *testing.T) {
 	}
 
 	for _, k := range []int{1, 2, len(all), len(all) + 5} {
-		topK := eng.TopK(nil, alphaQ, k)
+		topK, err := eng.TopK(nil, alphaQ, k)
+		if err != nil {
+			t.Fatalf("TopK(k=%d): %v", k, err)
+		}
 		wantLen := k
 		if k > len(all) {
 			wantLen = len(all)
@@ -78,7 +84,10 @@ func TestTopKPaperExample(t *testing.T) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	all := eng.TopK(dbnet.PaperExampleP, 0.1, 0)
+	all, err := eng.TopK(dbnet.PaperExampleP, 0.1, 0)
+	if err != nil {
+		t.Fatalf("TopK: %v", err)
+	}
 	count := 0
 	for _, rc := range all {
 		if rc.Community.Pattern.Equal(dbnet.PaperExampleP) {
@@ -88,7 +97,10 @@ func TestTopKPaperExample(t *testing.T) {
 	if count != 2 {
 		t.Fatalf("pattern p contributes %d communities at α=0.1, want 2", count)
 	}
-	best := eng.TopK(dbnet.PaperExampleP, 0.1, 1)
+	best, err := eng.TopK(dbnet.PaperExampleP, 0.1, 1)
+	if err != nil {
+		t.Fatalf("TopK(1): %v", err)
+	}
 	if len(best) != 1 {
 		t.Fatalf("TopK(1) returned %d communities", len(best))
 	}

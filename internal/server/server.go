@@ -1,8 +1,10 @@
 // Package server exposes a built TC-Tree over HTTP, turning the index into a
 // small query-answering service: the "data warehouse of maximal pattern
 // trusses" the paper advocates in Section 6, reachable by any client that can
-// issue GET requests. Query execution is delegated to internal/engine, which
-// shards the tree, caches results and answers batch and top-k requests. Only
+// issue GET requests. Query execution and index metadata are delegated to
+// internal/engine, so the server runs equally over an eager engine (whole
+// tree resident) and a lazy one (shards loaded from a sharded index
+// directory on first touch); lazy shard-load failures surface as 500s. Only
 // the standard library is used.
 package server
 
@@ -28,9 +30,8 @@ const defaultCacheSize = 256
 const maxBatchQueries = 1024
 
 // Server answers theme-community queries from a TC-Tree. It is safe for
-// concurrent use: the underlying tree is read-only after construction.
+// concurrent use: resident index data is read-only.
 type Server struct {
-	tree   *tctree.Tree
 	engine *engine.Engine
 	dict   *itemset.Dictionary
 	// vertexNames optionally maps vertex identifiers to display names
@@ -53,20 +54,22 @@ type Options struct {
 	Engine *engine.Engine
 }
 
-// New returns a Server for the given tree.
+// New returns a Server for the given tree. tree may be nil when opts.Engine
+// is set — a lazy engine has no resident tree, and every handler reads
+// through the engine.
 func New(tree *tctree.Tree, opts Options) (*Server, error) {
-	if tree == nil {
-		return nil, fmt.Errorf("server: nil tree")
-	}
 	eng := opts.Engine
 	if eng == nil {
+		if tree == nil {
+			return nil, fmt.Errorf("server: nil tree and no engine")
+		}
 		var err error
 		eng, err = engine.New(tree, engine.Options{CacheSize: defaultCacheSize})
 		if err != nil {
 			return nil, err
 		}
 	}
-	s := &Server{tree: tree, engine: eng, dict: opts.Dictionary, vertexNames: opts.VertexNames, mux: http.NewServeMux()}
+	s := &Server{engine: eng, dict: opts.Dictionary, vertexNames: opts.VertexNames, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/api/v1/query", s.handleQuery)
@@ -133,9 +136,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Nodes:    s.tree.NumNodes(),
-		Depth:    s.tree.Depth(),
-		MaxAlpha: s.tree.MaxAlpha(),
+		Nodes:    s.engine.NumNodes(),
+		Depth:    s.engine.Depth(),
+		MaxAlpha: s.engine.MaxAlpha(),
 	})
 }
 
@@ -178,7 +181,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if k > 0 {
-		qr, ranked := s.engine.TopKWithResult(q, alpha, k)
+		qr, ranked, err := s.engine.TopKWithResult(q, alpha, k)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
 		resp := QueryResponse{
 			Alpha:          alpha,
 			Pattern:        patternNames,
@@ -199,7 +206,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	qr := s.engine.Query(q, alpha)
+	qr, err := s.engine.Query(q, alpha)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	writeJSON(w, http.StatusOK, s.queryResponse(q, patternNames, alpha, qr))
 }
 
@@ -278,7 +289,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			reqs[i] = engine.Request{Alpha: bq.Alpha}
 		}
 	}
-	answers := s.engine.QueryBatch(reqs)
+	answers, err := s.engine.QueryBatch(reqs)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	resp := BatchResponse{Results: make([]QueryResponse, len(answers))}
 	for i, qr := range answers {
 		resp.Results[i] = s.queryResponse(reqs[i].Pattern, names[i], reqs[i].Alpha, qr)
@@ -317,7 +332,11 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = parsed
 	}
-	patterns := s.tree.PatternsAtDepth(length)
+	patterns, err := s.engine.PatternsAtDepth(length)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	resp := PatternsResponse{Length: length, Count: len(patterns)}
 	sort.Slice(patterns, func(i, j int) bool { return itemset.Compare(patterns[i], patterns[j]) < 0 })
 	for i, p := range patterns {
@@ -357,8 +376,13 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		}
 		alpha = parsed
 	}
+	communities, err := s.engine.SearchVertex(graph.VertexID(id), nil, alpha)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
 	resp := VertexResponse{Vertex: s.names([]graph.VertexID{graph.VertexID(id)})[0], Alpha: alpha}
-	for _, c := range s.tree.SearchVertex(graph.VertexID(id), nil, alpha) {
+	for _, c := range communities {
 		resp.Communities = append(resp.Communities, CommunityResponse{
 			Theme:    s.itemNames(c.Pattern),
 			Vertices: s.names(c.Vertices()),

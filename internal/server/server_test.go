@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
 	"strconv"
 	"strings"
 	"testing"
@@ -390,5 +393,146 @@ func TestEngineStatsEndpoint(t *testing.T) {
 	}
 	if rec := post(t, s, "/api/v1/enginestats", ""); rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("POST /api/v1/enginestats = %d, want 405", rec.Code)
+	}
+}
+
+// canonicalBody re-renders a JSON response with every volatile field
+// (queryMicros, the only wall-clock value) zeroed, so lazy and eager
+// responses can be compared byte for byte.
+func canonicalBody(t *testing.T, body []byte) string {
+	t.Helper()
+	return regexp.MustCompile(`"queryMicros":\d+`).ReplaceAllString(string(body), `"queryMicros":0`)
+}
+
+// TestLazyServerMatchesEager is the acceptance check for sharded serving: a
+// server over a lazily loaded sharded index must return byte-identical
+// responses (modulo wall-clock latency) to a server over the in-memory tree,
+// and after a cold-start single-item query /api/v1/enginestats must report
+// fewer-than-all shards resident.
+func TestLazyServerMatchesEager(t *testing.T) {
+	d, err := gen.AMiner(0.08)
+	if err != nil {
+		t.Fatalf("AMiner: %v", err)
+	}
+	tree := tctree.Build(d.Network, tctree.BuildOptions{MaxDepth: 3})
+	opts := Options{Dictionary: d.Dictionary, VertexNames: d.AuthorNames}
+	eager, err := New(tree, opts)
+	if err != nil {
+		t.Fatalf("New(eager): %v", err)
+	}
+
+	dir := t.TempDir()
+	if _, err := tree.WriteSharded(dir); err != nil {
+		t.Fatalf("WriteSharded: %v", err)
+	}
+	idx, err := tctree.OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	lazyEngine, err := engine.NewLazy(idx, engine.Options{CacheSize: 16})
+	if err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+	lazyOpts := opts
+	lazyOpts.Engine = lazyEngine
+	lazy, err := New(nil, lazyOpts)
+	if err != nil {
+		t.Fatalf("New(lazy): %v", err)
+	}
+
+	// Cold start: one single-item query must leave most shards unloaded.
+	item := tree.Root().Children[0].Item
+	rec := get(t, lazy, "/api/v1/query?pattern="+strconv.Itoa(int(item))+"&alpha=0")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cold single-item query = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var stats engine.Stats
+	if err := json.Unmarshal(get(t, lazy, "/api/v1/enginestats").Body.Bytes(), &stats); err != nil {
+		t.Fatalf("decode enginestats: %v", err)
+	}
+	if !stats.Lazy {
+		t.Fatalf("enginestats does not report lazy mode: %+v", stats)
+	}
+	if stats.ResidentShards != 1 || stats.ResidentShards >= stats.Shards {
+		t.Fatalf("after a cold single-item query %d of %d shards are resident, want exactly 1 (fewer than all)",
+			stats.ResidentShards, stats.Shards)
+	}
+	if len(stats.ShardResidency) != stats.Shards {
+		t.Fatalf("enginestats lists %d shards, want %d", len(stats.ShardResidency), stats.Shards)
+	}
+
+	// Byte-identical responses across every endpoint.
+	urls := []string{
+		"/api/v1/stats",
+		"/api/v1/query?alpha=0.2",
+		"/api/v1/query?pattern=" + strconv.Itoa(int(item)) + "&alpha=0",
+		"/api/v1/query?alpha=0.1&k=5",
+		"/api/v1/patterns?length=1",
+		"/api/v1/patterns?length=2&limit=10",
+		"/api/v1/vertex?id=3&alpha=0.1",
+	}
+	for _, url := range urls {
+		want := get(t, eager, url)
+		got := get(t, lazy, url)
+		if got.Code != want.Code {
+			t.Fatalf("GET %s: lazy = %d, eager = %d", url, got.Code, want.Code)
+		}
+		if canonicalBody(t, got.Body.Bytes()) != canonicalBody(t, want.Body.Bytes()) {
+			t.Fatalf("GET %s: lazy response differs from eager\nlazy:  %s\neager: %s",
+				url, got.Body.String(), want.Body.String())
+		}
+	}
+	batch := `{"queries":[{"alpha":0.2},{"pattern":["` + strconv.Itoa(int(item)) + `"],"alpha":0}]}`
+	want := post(t, eager, "/api/v1/batch", batch)
+	got := post(t, lazy, "/api/v1/batch", batch)
+	if got.Code != want.Code || canonicalBody(t, got.Body.Bytes()) != canonicalBody(t, want.Body.Bytes()) {
+		t.Fatalf("batch: lazy response differs from eager\nlazy:  %s\neager: %s", got.Body.String(), want.Body.String())
+	}
+}
+
+// TestLazyServerShardLoadFailure corrupts a shard file and expects the
+// queries that touch it to surface a 500 with the checksum error, while
+// queries avoiding the shard keep working.
+func TestLazyServerShardLoadFailure(t *testing.T) {
+	d, err := gen.AMiner(0.08)
+	if err != nil {
+		t.Fatalf("AMiner: %v", err)
+	}
+	tree := tctree.Build(d.Network, tctree.BuildOptions{MaxDepth: 2})
+	dir := t.TempDir()
+	m, err := tree.WriteSharded(dir)
+	if err != nil {
+		t.Fatalf("WriteSharded: %v", err)
+	}
+	victim := m.Shards[0]
+	path := filepath.Join(dir, victim.File)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	idx, err := tctree.OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	eng, err := engine.NewLazy(idx, engine.Options{})
+	if err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+	s, err := New(nil, Options{Engine: eng})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rec := get(t, s, "/api/v1/query?pattern="+strconv.Itoa(int(victim.Item))+"&alpha=0")
+	if rec.Code != http.StatusInternalServerError || !strings.Contains(rec.Body.String(), "checksum") {
+		t.Fatalf("query over corrupted shard = %d, body %s; want 500 with checksum error", rec.Code, rec.Body.String())
+	}
+	other := m.Shards[1]
+	rec = get(t, s, "/api/v1/query?pattern="+strconv.Itoa(int(other.Item))+"&alpha=0")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("query avoiding the corrupted shard = %d, body %s", rec.Code, rec.Body.String())
 	}
 }

@@ -13,7 +13,10 @@ import (
 
 // The on-disk representation flattens the tree into records in breadth-first
 // order, each referring to its parent by index. This keeps the format free of
-// recursion, deterministic, and easy to stream with encoding/gob.
+// recursion, deterministic, and easy to stream with encoding/gob. The same
+// record encoding is shared by the monolithic format (Write/ReadFrom, the
+// whole tree in one file) and the sharded format (sharded.go, one file per
+// first-level subtree plus a manifest).
 
 type treeFile struct {
 	Version int
@@ -39,6 +42,50 @@ type levelRecord struct {
 
 const fileVersion = 1
 
+// recordOf renders one node as its on-disk record, referring to its parent by
+// the given index.
+func recordOf(c *Node, parent int) nodeRecord {
+	rec := nodeRecord{Parent: parent, Item: int32(c.Item)}
+	for v, f := range c.Decomp.Freq {
+		rec.Freq = append(rec.Freq, vertexFreqRecord{Vertex: int32(v), Freq: f})
+	}
+	for _, l := range c.Decomp.Levels {
+		lr := levelRecord{Alpha: l.Alpha}
+		for _, e := range l.Removed {
+			lr.Edges = append(lr.Edges, e.Key())
+		}
+		rec.Levels = append(rec.Levels, lr)
+	}
+	return rec
+}
+
+// nodeOf rebuilds a node from its record, given the pattern of its parent.
+// The decomposition is validated and must be non-empty.
+func nodeOf(rec nodeRecord, parentPattern itemset.Itemset) (*Node, error) {
+	item := itemset.Item(rec.Item)
+	decomp := &truss.Decomposition{
+		Pattern: parentPattern.Add(item),
+		Freq:    make(map[graph.VertexID]float64, len(rec.Freq)),
+	}
+	for _, vf := range rec.Freq {
+		decomp.Freq[graph.VertexID(vf.Vertex)] = vf.Freq
+	}
+	for _, lr := range rec.Levels {
+		level := truss.Level{Alpha: lr.Alpha}
+		for _, k := range lr.Edges {
+			level.Removed = append(level.Removed, graph.EdgeFromKey(k))
+		}
+		decomp.Levels = append(decomp.Levels, level)
+	}
+	if err := decomp.Validate(); err != nil {
+		return nil, err
+	}
+	if decomp.Empty() {
+		return nil, fmt.Errorf("empty decomposition")
+	}
+	return &Node{Item: item, Pattern: decomp.Pattern, Decomp: decomp}, nil
+}
+
 // Write serializes the tree to w.
 func (t *Tree) Write(w io.Writer) error {
 	if t == nil || t.root == nil {
@@ -54,19 +101,8 @@ func (t *Tree) Write(w io.Writer) error {
 		n := queue[0]
 		queue = queue[1:]
 		for _, c := range n.Children {
-			rec := nodeRecord{Parent: index[n], Item: int32(c.Item)}
-			for v, f := range c.Decomp.Freq {
-				rec.Freq = append(rec.Freq, vertexFreqRecord{Vertex: int32(v), Freq: f})
-			}
-			for _, l := range c.Decomp.Levels {
-				lr := levelRecord{Alpha: l.Alpha}
-				for _, e := range l.Removed {
-					lr.Edges = append(lr.Edges, e.Key())
-				}
-				rec.Levels = append(rec.Levels, lr)
-			}
 			index[c] = len(file.Nodes)
-			file.Nodes = append(file.Nodes, rec)
+			file.Nodes = append(file.Nodes, recordOf(c, index[n]))
 			queue = append(queue, c)
 		}
 	}
@@ -94,28 +130,10 @@ func ReadFrom(r io.Reader) (*Tree, error) {
 		default:
 			return nil, fmt.Errorf("tctree: node %d has invalid parent %d", i, rec.Parent)
 		}
-		item := itemset.Item(rec.Item)
-		decomp := &truss.Decomposition{
-			Pattern: parent.Pattern.Add(item),
-			Freq:    make(map[graph.VertexID]float64, len(rec.Freq)),
-		}
-		for _, vf := range rec.Freq {
-			decomp.Freq[graph.VertexID(vf.Vertex)] = vf.Freq
-		}
-		for _, lr := range rec.Levels {
-			level := truss.Level{Alpha: lr.Alpha}
-			for _, k := range lr.Edges {
-				level.Removed = append(level.Removed, graph.EdgeFromKey(k))
-			}
-			decomp.Levels = append(decomp.Levels, level)
-		}
-		if err := decomp.Validate(); err != nil {
+		n, err := nodeOf(rec, parent.Pattern)
+		if err != nil {
 			return nil, fmt.Errorf("tctree: node %d: %w", i, err)
 		}
-		if decomp.Empty() {
-			return nil, fmt.Errorf("tctree: node %d has an empty decomposition", i)
-		}
-		n := &Node{Item: item, Pattern: decomp.Pattern, Decomp: decomp}
 		parent.addChild(n)
 		nodes[i] = n
 		tree.numNodes++

@@ -1,0 +1,438 @@
+package tctree
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"themecomm/internal/itemset"
+)
+
+// This file implements the sharded on-disk index format: instead of one gob
+// file holding the whole TC-Tree, the index is a directory containing one gob
+// file per first-level subtree (shard) plus a JSON manifest, index.manifest,
+// recording per-shard metadata. Because every pattern indexed inside a shard
+// contains the shard's root item, a server can answer a query (q, α_q) after
+// loading only the shards whose root item is in q — the storage layout is
+// partitioned along the same axis queries filter on. Shards are individually
+// verifiable (per-file CRC-32C checksum) and individually replaceable
+// (ReplaceShard swaps one shard file and its manifest entry without touching
+// the others).
+
+const (
+	// ManifestName is the name of the manifest file inside a sharded index
+	// directory.
+	ManifestName = "index.manifest"
+
+	manifestVersion  = 1
+	shardFileVersion = 1
+)
+
+// castagnoli is the CRC-32C polynomial table used for shard checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// shardFile is the gob payload of one shard file: the records of the shard's
+// subtree in breadth-first order. Record 0 is the shard root (Parent == -1);
+// every later record refers to its parent by index.
+type shardFile struct {
+	Version int
+	Item    int32
+	Nodes   []nodeRecord
+}
+
+// ShardEntry is the manifest metadata of one shard.
+type ShardEntry struct {
+	// Item is the shard's root item; every pattern indexed in the shard
+	// contains it, and it is the smallest item of each such pattern.
+	Item int32 `json:"item"`
+	// File is the shard file name, relative to the index directory.
+	File string `json:"file"`
+	// Nodes is the number of TC-Tree nodes stored in the shard.
+	Nodes int `json:"nodes"`
+	// Depth is the longest pattern indexed in the shard.
+	Depth int `json:"depth"`
+	// MaxAlpha is the shard's α* bound: the largest MaxAlpha of any stored
+	// decomposition. Queries with α_q ≥ MaxAlpha retrieve nothing from the
+	// shard, so a serving layer may skip loading it entirely.
+	MaxAlpha float64 `json:"maxAlpha"`
+	// Checksum is the CRC-32C of the shard file, "crc32c:" followed by eight
+	// lowercase hex digits. It is verified on every load.
+	Checksum string `json:"checksum"`
+}
+
+// Manifest is the content of index.manifest: the shard catalogue of a sharded
+// index directory, ordered by ascending root item.
+type Manifest struct {
+	Version int          `json:"version"`
+	Shards  []ShardEntry `json:"shards"`
+}
+
+// TotalNodes returns the number of indexed nodes across all shards.
+func (m *Manifest) TotalNodes() int {
+	total := 0
+	for _, e := range m.Shards {
+		total += e.Nodes
+	}
+	return total
+}
+
+// Depth returns the longest indexed pattern length across all shards.
+func (m *Manifest) Depth() int {
+	depth := 0
+	for _, e := range m.Shards {
+		if e.Depth > depth {
+			depth = e.Depth
+		}
+	}
+	return depth
+}
+
+// MaxAlpha returns the largest α* bound across all shards.
+func (m *Manifest) MaxAlpha() float64 {
+	maxAlpha := 0.0
+	for _, e := range m.Shards {
+		if e.MaxAlpha > maxAlpha {
+			maxAlpha = e.MaxAlpha
+		}
+	}
+	return maxAlpha
+}
+
+// Items returns the shard root items in ascending order.
+func (m *Manifest) Items() itemset.Itemset {
+	items := make([]itemset.Item, 0, len(m.Shards))
+	for _, e := range m.Shards {
+		items = append(items, itemset.Item(e.Item))
+	}
+	return itemset.New(items...)
+}
+
+// shardFileName is the canonical file name for the shard of an item.
+func shardFileName(item itemset.Item) string {
+	return fmt.Sprintf("shard-%d.gob", item)
+}
+
+func checksumOf(data []byte) string {
+	return fmt.Sprintf("crc32c:%08x", crc32.Checksum(data, castagnoli))
+}
+
+// encodeShard flattens and gob-encodes the subtree rooted at root, returning
+// the file payload and its manifest entry (File set to the canonical name).
+func encodeShard(root *Node) ([]byte, ShardEntry, error) {
+	if root == nil || root.Decomp == nil {
+		return nil, ShardEntry{}, fmt.Errorf("tctree: cannot encode a nil shard")
+	}
+	if root.Pattern.Len() != 1 || root.Pattern[0] != root.Item {
+		return nil, ShardEntry{}, fmt.Errorf("tctree: shard root pattern %v is not the single item %d", root.Pattern, root.Item)
+	}
+	index := make(map[*Node]int)
+	recs := []nodeRecord{recordOf(root, -1)}
+	index[root] = 0
+	queue := []*Node{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, c := range n.Children {
+			index[c] = len(recs)
+			recs = append(recs, recordOf(c, index[n]))
+			queue = append(queue, c)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&shardFile{Version: shardFileVersion, Item: int32(root.Item), Nodes: recs}); err != nil {
+		return nil, ShardEntry{}, fmt.Errorf("tctree: encode shard %d: %w", root.Item, err)
+	}
+	entry := ShardEntry{
+		Item:     int32(root.Item),
+		File:     shardFileName(root.Item),
+		Nodes:    len(recs),
+		Checksum: checksumOf(buf.Bytes()),
+	}
+	root.Walk(func(n *Node) {
+		if l := n.Pattern.Len(); l > entry.Depth {
+			entry.Depth = l
+		}
+		if a := n.Decomp.MaxAlpha(); a > entry.MaxAlpha {
+			entry.MaxAlpha = a
+		}
+	})
+	return buf.Bytes(), entry, nil
+}
+
+// decodeShard rebuilds a shard subtree from a file payload, verifying it
+// against the manifest entry (checksum, version, root item, node count).
+func decodeShard(data []byte, entry ShardEntry) (*Node, error) {
+	if sum := checksumOf(data); sum != entry.Checksum {
+		return nil, fmt.Errorf("tctree: shard %s: checksum mismatch: file has %s, manifest records %s", entry.File, sum, entry.Checksum)
+	}
+	var file shardFile
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&file); err != nil {
+		return nil, fmt.Errorf("tctree: shard %s: decode: %w", entry.File, err)
+	}
+	if file.Version != shardFileVersion {
+		return nil, fmt.Errorf("tctree: shard %s: unsupported file version %d", entry.File, file.Version)
+	}
+	if file.Item != entry.Item {
+		return nil, fmt.Errorf("tctree: shard %s: stores item %d, manifest records item %d", entry.File, file.Item, entry.Item)
+	}
+	if len(file.Nodes) != entry.Nodes {
+		return nil, fmt.Errorf("tctree: shard %s: stores %d nodes, manifest records %d", entry.File, len(file.Nodes), entry.Nodes)
+	}
+	if len(file.Nodes) == 0 {
+		return nil, fmt.Errorf("tctree: shard %s: empty shard", entry.File)
+	}
+	nodes := make([]*Node, len(file.Nodes))
+	for i, rec := range file.Nodes {
+		var parent *Node
+		if i == 0 {
+			if rec.Parent != -1 {
+				return nil, fmt.Errorf("tctree: shard %s: record 0 is not the shard root", entry.File)
+			}
+		} else {
+			if rec.Parent < 0 || rec.Parent >= i {
+				return nil, fmt.Errorf("tctree: shard %s: node %d has invalid parent %d", entry.File, i, rec.Parent)
+			}
+			parent = nodes[rec.Parent]
+			if itemset.Item(rec.Item) <= parent.Item {
+				return nil, fmt.Errorf("tctree: shard %s: node %d breaks set-enumeration order", entry.File, i)
+			}
+		}
+		parentPattern := itemset.New()
+		if parent != nil {
+			parentPattern = parent.Pattern
+		}
+		n, err := nodeOf(rec, parentPattern)
+		if err != nil {
+			return nil, fmt.Errorf("tctree: shard %s: node %d: %w", entry.File, i, err)
+		}
+		if parent != nil {
+			parent.addChild(n)
+		}
+		nodes[i] = n
+	}
+	if nodes[0].Item != itemset.Item(entry.Item) {
+		return nil, fmt.Errorf("tctree: shard %s: root item %d does not match manifest item %d", entry.File, nodes[0].Item, entry.Item)
+	}
+	return nodes[0], nil
+}
+
+// WriteSharded writes the tree in the sharded on-disk format: one gob file
+// per first-level subtree plus index.manifest, all inside dir (created if
+// missing). It returns the written manifest. A tree saved this way is read
+// back with OpenSharded — either eagerly via LoadTree or shard by shard via
+// LoadShard.
+func (t *Tree) WriteSharded(dir string) (*Manifest, error) {
+	if t == nil || t.root == nil {
+		return nil, fmt.Errorf("tctree: cannot serialize a nil tree")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manifest{Version: manifestVersion}
+	for _, c := range t.root.Children {
+		data, entry, err := encodeShard(c)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(dir, entry.File), data, 0o644); err != nil {
+			return nil, err
+		}
+		m.Shards = append(m.Shards, entry)
+	}
+	if err := writeManifest(dir, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// writeManifest atomically replaces dir's manifest (write-to-temp + rename),
+// so a reader never observes a torn manifest.
+func writeManifest(dir string, m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, ManifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, ManifestName))
+}
+
+// ReadManifest reads and validates dir's index.manifest. Entries are returned
+// sorted by ascending root item.
+func ReadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("tctree: %s: %w", ManifestName, err)
+	}
+	if m.Version != manifestVersion {
+		return nil, fmt.Errorf("tctree: %s: unsupported manifest version %d", ManifestName, m.Version)
+	}
+	seen := make(map[int32]bool, len(m.Shards))
+	for _, e := range m.Shards {
+		if e.File == "" || e.File != filepath.Base(e.File) || e.File == ManifestName {
+			return nil, fmt.Errorf("tctree: %s: invalid shard file name %q", ManifestName, e.File)
+		}
+		if e.Nodes < 1 {
+			return nil, fmt.Errorf("tctree: %s: shard %d records %d nodes", ManifestName, e.Item, e.Nodes)
+		}
+		if seen[e.Item] {
+			return nil, fmt.Errorf("tctree: %s: duplicate shard for item %d", ManifestName, e.Item)
+		}
+		seen[e.Item] = true
+	}
+	sort.Slice(m.Shards, func(i, j int) bool { return m.Shards[i].Item < m.Shards[j].Item })
+	return &m, nil
+}
+
+// IsSharded reports whether path is a sharded index directory (it contains an
+// index.manifest file).
+func IsSharded(path string) bool {
+	st, err := os.Stat(filepath.Join(path, ManifestName))
+	return err == nil && st.Mode().IsRegular()
+}
+
+// ShardedIndex is a handle on a sharded index directory. It holds the
+// manifest in memory but no shard data: callers load shards on demand with
+// LoadShard (or all at once with LoadTree) and may swap a single shard with
+// ReplaceShard. It is safe for concurrent use.
+type ShardedIndex struct {
+	dir string
+
+	mu       sync.RWMutex
+	manifest *Manifest
+	byItem   map[itemset.Item]int
+}
+
+// OpenSharded opens a sharded index directory written by WriteSharded. Only
+// the manifest is read; shard files are opened on demand.
+func OpenSharded(dir string) (*ShardedIndex, error) {
+	m, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	x := &ShardedIndex{dir: dir, manifest: m, byItem: make(map[itemset.Item]int, len(m.Shards))}
+	for i, e := range m.Shards {
+		x.byItem[itemset.Item(e.Item)] = i
+	}
+	return x, nil
+}
+
+// Dir returns the index directory.
+func (x *ShardedIndex) Dir() string { return x.dir }
+
+// NumShards returns the number of shards in the manifest.
+func (x *ShardedIndex) NumShards() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.manifest.Shards)
+}
+
+// Manifest returns a snapshot of the current manifest.
+func (x *ShardedIndex) Manifest() Manifest {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	m := Manifest{Version: x.manifest.Version, Shards: make([]ShardEntry, len(x.manifest.Shards))}
+	copy(m.Shards, x.manifest.Shards)
+	return m
+}
+
+// Items returns the shard root items in ascending order.
+func (x *ShardedIndex) Items() itemset.Itemset {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.manifest.Items()
+}
+
+// Entry returns the manifest entry of the shard rooted at item.
+func (x *ShardedIndex) Entry(item itemset.Item) (ShardEntry, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	i, ok := x.byItem[item]
+	if !ok {
+		return ShardEntry{}, false
+	}
+	return x.manifest.Shards[i], true
+}
+
+// LoadShard reads, checksum-verifies and decodes the shard rooted at item,
+// returning its subtree. The returned subtree shares no state with the index
+// and is immutable as far as the index is concerned.
+func (x *ShardedIndex) LoadShard(item itemset.Item) (*Node, error) {
+	entry, ok := x.Entry(item)
+	if !ok {
+		return nil, fmt.Errorf("tctree: no shard for item %d", item)
+	}
+	data, err := os.ReadFile(filepath.Join(x.dir, entry.File))
+	if err != nil {
+		return nil, fmt.Errorf("tctree: shard %d: %w", item, err)
+	}
+	return decodeShard(data, entry)
+}
+
+// LoadTree loads every shard and assembles the full in-memory tree, the eager
+// counterpart of per-shard lazy loading.
+func (x *ShardedIndex) LoadTree() (*Tree, error) {
+	m := x.Manifest()
+	tree := &Tree{root: &Node{Pattern: itemset.New()}}
+	for _, e := range m.Shards {
+		root, err := x.LoadShard(itemset.Item(e.Item))
+		if err != nil {
+			return nil, err
+		}
+		tree.root.addChild(root)
+		tree.numNodes += e.Nodes
+	}
+	return tree, nil
+}
+
+// ReplaceShard atomically swaps the shard of subtree's root item: the new
+// payload is written under a checksum-versioned file name, and the manifest
+// rename is the single switch point — a crash at any moment leaves the index
+// consistent (either the old manifest pointing at the untouched old file, or
+// the new manifest pointing at the fully written new file). No other shard
+// is touched; the superseded file is removed best-effort afterwards. The
+// subtree must be rooted at a single-item pattern already present in the
+// manifest — typically a first-level node of a freshly rebuilt tree for the
+// same network. Serving layers holding the old shard in memory must be told
+// to reload it (e.g. engine.ReloadShard), which also invalidates their
+// cached answers for queries containing the item.
+func (x *ShardedIndex) ReplaceShard(subtree *Node) error {
+	data, entry, err := encodeShard(subtree)
+	if err != nil {
+		return err
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	i, ok := x.byItem[subtree.Item]
+	if !ok {
+		return fmt.Errorf("tctree: no shard for item %d: ReplaceShard only swaps existing shards", subtree.Item)
+	}
+	old := x.manifest.Shards[i]
+	entry.File = fmt.Sprintf("shard-%d-%s.gob", subtree.Item, strings.TrimPrefix(entry.Checksum, "crc32c:"))
+	if err := os.WriteFile(filepath.Join(x.dir, entry.File), data, 0o644); err != nil {
+		return err
+	}
+	x.manifest.Shards[i] = entry
+	if err := writeManifest(x.dir, x.manifest); err != nil {
+		x.manifest.Shards[i] = old
+		return err
+	}
+	if old.File != entry.File {
+		// Best-effort cleanup; a leftover superseded file is harmless.
+		os.Remove(filepath.Join(x.dir, old.File))
+	}
+	return nil
+}

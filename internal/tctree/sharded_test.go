@@ -1,0 +1,264 @@
+package tctree
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"themecomm/internal/itemset"
+)
+
+func buildShardedTestTree(t *testing.T, seed int64) *Tree {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nw := randomNetwork(rng, 16, 40, 5, 4)
+	tree := Build(nw, BuildOptions{})
+	if tree.NumNodes() == 0 || len(tree.Root().Children) < 2 {
+		t.Fatalf("generated tree has %d nodes and %d shards; pick another seed",
+			tree.NumNodes(), len(tree.Root().Children))
+	}
+	return tree
+}
+
+// TestShardedRoundTrip is the manifest + shards round-trip test: a tree
+// written with WriteSharded and reassembled with LoadTree must answer every
+// query exactly like the original, and the manifest totals must match the
+// tree's own statistics.
+func TestShardedRoundTrip(t *testing.T) {
+	tree := buildShardedTestTree(t, 19)
+	dir := t.TempDir()
+	written, err := tree.WriteSharded(dir)
+	if err != nil {
+		t.Fatalf("WriteSharded: %v", err)
+	}
+	if len(written.Shards) != len(tree.Root().Children) {
+		t.Fatalf("manifest has %d shards, tree has %d first-level subtrees",
+			len(written.Shards), len(tree.Root().Children))
+	}
+	if !IsSharded(dir) {
+		t.Fatalf("IsSharded(%s) = false after WriteSharded", dir)
+	}
+
+	// The manifest read back from disk must equal the one returned.
+	m, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	if len(m.Shards) != len(written.Shards) {
+		t.Fatalf("reloaded manifest has %d shards, want %d", len(m.Shards), len(written.Shards))
+	}
+	for i, e := range m.Shards {
+		if e != written.Shards[i] {
+			t.Fatalf("manifest entry %d = %+v, want %+v", i, e, written.Shards[i])
+		}
+	}
+	if m.TotalNodes() != tree.NumNodes() {
+		t.Fatalf("manifest TotalNodes = %d, tree has %d", m.TotalNodes(), tree.NumNodes())
+	}
+	if m.Depth() != tree.Depth() {
+		t.Fatalf("manifest Depth = %d, tree has %d", m.Depth(), tree.Depth())
+	}
+	if !approx(m.MaxAlpha(), tree.MaxAlpha()) {
+		t.Fatalf("manifest MaxAlpha = %v, tree has %v", m.MaxAlpha(), tree.MaxAlpha())
+	}
+
+	idx, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	reloaded, err := idx.LoadTree()
+	if err != nil {
+		t.Fatalf("LoadTree: %v", err)
+	}
+	if err := reloaded.Validate(); err != nil {
+		t.Fatalf("Validate after LoadTree: %v", err)
+	}
+	if reloaded.NumNodes() != tree.NumNodes() {
+		t.Fatalf("reloaded tree has %d nodes, want %d", reloaded.NumNodes(), tree.NumNodes())
+	}
+
+	queries := tree.Patterns()
+	var full itemset.Itemset
+	for _, c := range tree.Root().Children {
+		full = full.Add(c.Item)
+	}
+	queries = append(queries, full, itemset.New(997, 998), full.Add(999))
+	alphas := []float64{0, 0.1, 0.4, tree.MaxAlpha() / 2, tree.MaxAlpha(), tree.MaxAlpha() + 1}
+	for _, q := range queries {
+		for _, alpha := range alphas {
+			assertIdenticalAnswer(t, reloaded.Query(q, alpha), tree.Query(q, alpha))
+		}
+	}
+	for _, alpha := range alphas {
+		assertIdenticalAnswer(t, reloaded.QueryByAlpha(alpha), tree.QueryByAlpha(alpha))
+	}
+}
+
+// TestLoadShardVerifiesChecksum flips one byte of a shard file and expects
+// the next load to fail with a checksum mismatch instead of decoding garbage.
+func TestLoadShardVerifiesChecksum(t *testing.T) {
+	tree := buildShardedTestTree(t, 19)
+	dir := t.TempDir()
+	m, err := tree.WriteSharded(dir)
+	if err != nil {
+		t.Fatalf("WriteSharded: %v", err)
+	}
+	entry := m.Shards[0]
+	path := filepath.Join(dir, entry.File)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	idx, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	if _, err := idx.LoadShard(itemset.Item(entry.Item)); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("LoadShard on a corrupted file returned %v, want checksum mismatch", err)
+	}
+	// The other shards stay loadable.
+	if len(m.Shards) > 1 {
+		if _, err := idx.LoadShard(itemset.Item(m.Shards[1].Item)); err != nil {
+			t.Fatalf("LoadShard of an intact shard: %v", err)
+		}
+	}
+}
+
+// TestLoadShardMissingFile removes a shard file: opening the index still
+// works (only the manifest is read), but loading the shard — and therefore
+// LoadTree — must fail.
+func TestLoadShardMissingFile(t *testing.T) {
+	tree := buildShardedTestTree(t, 19)
+	dir := t.TempDir()
+	m, err := tree.WriteSharded(dir)
+	if err != nil {
+		t.Fatalf("WriteSharded: %v", err)
+	}
+	entry := m.Shards[len(m.Shards)-1]
+	if err := os.Remove(filepath.Join(dir, entry.File)); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	idx, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded after removing a shard file: %v", err)
+	}
+	if _, err := idx.LoadShard(itemset.Item(entry.Item)); err == nil {
+		t.Fatalf("LoadShard of a missing file should fail")
+	}
+	if _, err := idx.LoadTree(); err == nil {
+		t.Fatalf("LoadTree with a missing shard file should fail")
+	}
+	if _, err := idx.LoadShard(itemset.Item(m.Shards[0].Item)); err != nil {
+		t.Fatalf("LoadShard of an intact shard: %v", err)
+	}
+	if _, err := idx.LoadShard(9999); err == nil {
+		t.Fatalf("LoadShard of an unknown item should fail")
+	}
+}
+
+// TestReadManifestRejectsBadFileNames guards the path-traversal surface: a
+// manifest entry may only name a file directly inside the index directory.
+func TestReadManifestRejectsBadFileNames(t *testing.T) {
+	dir := t.TempDir()
+	manifest := `{"version":1,"shards":[{"item":1,"file":"../evil.gob","nodes":1,"depth":1,"maxAlpha":1,"checksum":"crc32c:00000000"}]}`
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(manifest), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Fatalf("manifest naming ../evil.gob should be rejected")
+	}
+}
+
+// TestReplaceShard swaps one shard for the same item taken from a tree built
+// on a different network, and checks that (a) only that shard's file and
+// manifest entry changed, and (b) the reassembled tree answers queries as if
+// the subtree had been spliced in memory.
+func TestReplaceShard(t *testing.T) {
+	tree := buildShardedTestTree(t, 19)
+	other := buildShardedTestTree(t, 31)
+
+	// Find a root item present in both trees whose subtrees differ.
+	var item itemset.Item
+	var replacement *Node
+	found := false
+	for _, c := range other.Root().Children {
+		if orig := tree.Root().Descendant(c.Pattern); orig != nil {
+			item, replacement, found = c.Item, c, true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("trees share no root item; pick other seeds")
+	}
+
+	dir := t.TempDir()
+	before, err := tree.WriteSharded(dir)
+	if err != nil {
+		t.Fatalf("WriteSharded: %v", err)
+	}
+	idx, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	if err := idx.ReplaceShard(replacement); err != nil {
+		t.Fatalf("ReplaceShard: %v", err)
+	}
+
+	// Only the replaced entry may differ, and the on-disk manifest must
+	// match the in-memory one.
+	after, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatalf("ReadManifest: %v", err)
+	}
+	snapshot := idx.Manifest()
+	for i, e := range after.Shards {
+		if e != snapshot.Shards[i] {
+			t.Fatalf("on-disk manifest entry %d = %+v, in-memory %+v", i, e, snapshot.Shards[i])
+		}
+		if itemset.Item(e.Item) == item {
+			if e == before.Shards[i] {
+				t.Fatalf("replaced shard's manifest entry did not change")
+			}
+			continue
+		}
+		if e != before.Shards[i] {
+			t.Fatalf("untouched shard %d changed: %+v -> %+v", e.Item, before.Shards[i], e)
+		}
+	}
+
+	// The reassembled tree must equal the original tree with the subtree
+	// spliced in: queries inside the replaced shard answer like `other`,
+	// queries avoiding it answer like the original.
+	spliced, err := idx.LoadTree()
+	if err != nil {
+		t.Fatalf("LoadTree after ReplaceShard: %v", err)
+	}
+	if err := spliced.Validate(); err != nil {
+		t.Fatalf("Validate after ReplaceShard: %v", err)
+	}
+	alphas := []float64{0, 0.2, tree.MaxAlpha()}
+	for _, alpha := range alphas {
+		assertIdenticalAnswer(t, spliced.Query(itemset.New(item), alpha), other.Query(itemset.New(item), alpha))
+	}
+	var avoiding itemset.Itemset
+	for _, c := range tree.Root().Children {
+		if c.Item != item {
+			avoiding = avoiding.Add(c.Item)
+		}
+	}
+	for _, alpha := range alphas {
+		assertIdenticalAnswer(t, spliced.Query(avoiding, alpha), tree.Query(avoiding, alpha))
+	}
+
+	// Replacement is swap-only: an unknown root item is rejected.
+	foreign := &Node{Item: 4096, Pattern: itemset.New(4096), Decomp: replacement.Decomp}
+	if err := idx.ReplaceShard(foreign); err == nil {
+		t.Fatalf("ReplaceShard with an unknown item should fail")
+	}
+}

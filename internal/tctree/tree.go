@@ -93,11 +93,39 @@ func (t *Tree) Walk(visit func(*Node)) {
 // Node returns the node representing pattern p, or nil if p is not indexed
 // (its maximal pattern truss at α = 0 is empty).
 func (t *Tree) Node(p itemset.Itemset) *Node {
-	cur := t.root
-	if cur == nil {
+	if t.root == nil || p.Len() == 0 {
 		return nil
 	}
-	for _, it := range p {
+	return t.root.Descendant(p)
+}
+
+// Walk visits n and every node of its subtree in depth-first order. It is the
+// subtree counterpart of Tree.Walk, used to traverse a single shard.
+func (n *Node) Walk(visit func(*Node)) {
+	if n == nil {
+		return
+	}
+	visit(n)
+	for _, c := range n.Children {
+		c.Walk(visit)
+	}
+}
+
+// Descendant returns the node of pattern p within n's subtree (possibly n
+// itself), or nil when p does not extend n's pattern or is not indexed below
+// n. Because the TC-Tree is a set-enumeration tree, the path from n to the
+// node of p appends the items of p beyond n's pattern in ascending order.
+func (n *Node) Descendant(p itemset.Itemset) *Node {
+	if n == nil || p.Len() < n.Pattern.Len() {
+		return nil
+	}
+	for i, it := range n.Pattern {
+		if p[i] != it {
+			return nil
+		}
+	}
+	cur := n
+	for _, it := range p[n.Pattern.Len():] {
 		var next *Node
 		for _, c := range cur.Children {
 			if c.Item == it {
@@ -109,9 +137,6 @@ func (t *Tree) Node(p itemset.Itemset) *Node {
 			return nil
 		}
 		cur = next
-	}
-	if cur == t.root {
-		return nil
 	}
 	return cur
 }

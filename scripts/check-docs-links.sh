@@ -1,0 +1,29 @@
+#!/bin/sh
+# check-docs-links.sh verifies that every relative markdown link in README.md
+# and docs/*.md resolves to an existing file (anchors are stripped; absolute
+# http(s) URLs are skipped). Exits non-zero listing the broken links.
+set -eu
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+for f in README.md docs/*.md; do
+	dir=$(dirname "$f")
+	grep -oE '\]\([^)]+\)' "$f" | sed 's/^](//; s/)$//' | while IFS= read -r link; do
+		case "$link" in
+		http://* | https://* | mailto:* | "#"*) continue ;;
+		esac
+		target=${link%%#*}
+		[ -z "$target" ] && continue
+		if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+			echo "$f: broken link: $link" >&2
+			echo "$f: $link" >>"$tmp"
+		fi
+	done
+done
+
+if [ -s "$tmp" ]; then
+	echo "broken documentation links found" >&2
+	exit 1
+fi
+echo "all documentation links resolve"

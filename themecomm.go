@@ -17,9 +17,12 @@
 //     (Apriori pruning) and TCFI (graph-intersection pruning, the paper's
 //     fastest exact method);
 //   - the TC-Tree index with query answering by pattern and by cohesion
-//     threshold;
+//     threshold, persisted either as one file or as a sharded index (one
+//     file per top-level item plus a manifest) that can be served lazily;
 //   - the concurrent query-serving engine: sharded parallel TC-Tree
-//     execution with an LRU result cache, batch queries and top-k ranking;
+//     execution with an LRU result cache, batch queries, top-k ranking, and
+//     a lazy mode that loads shards from disk on first touch under a
+//     configurable residency budget;
 //   - synthetic dataset generators emulating the paper's evaluation datasets.
 //
 // The cmd/ directory contains command-line tools, examples/ contains runnable
@@ -117,6 +120,53 @@ type (
 
 // NewEngine returns a query-serving engine over a built TC-Tree.
 func NewEngine(tree *Tree, opts EngineOptions) (*Engine, error) { return engine.New(tree, opts) }
+
+// Sharded index persistence types.
+type (
+	// ShardedIndex is a handle on a sharded on-disk index directory: one gob
+	// file per first-level subtree plus an index.manifest catalogue.
+	ShardedIndex = tctree.ShardedIndex
+	// IndexManifest is the content of a sharded index's manifest file.
+	IndexManifest = tctree.Manifest
+	// IndexShardEntry is the manifest metadata of one shard.
+	IndexShardEntry = tctree.ShardEntry
+)
+
+// WriteShardedTree writes a built TC-Tree in the sharded on-disk format: one
+// shard file per top-level item plus an index.manifest, all inside dir.
+func WriteShardedTree(tree *Tree, dir string) (*IndexManifest, error) { return tree.WriteSharded(dir) }
+
+// OpenShardedIndex opens a sharded index directory written by
+// WriteShardedTree (or tcindex -sharded). Only the manifest is read; shards
+// load on demand.
+func OpenShardedIndex(dir string) (*ShardedIndex, error) { return tctree.OpenSharded(dir) }
+
+// IsShardedIndex reports whether path is a sharded index directory.
+func IsShardedIndex(path string) bool { return tctree.IsSharded(path) }
+
+// NewLazyEngine returns a query-serving engine that loads shards from a
+// sharded index on first touch, keeping at most opts.MaxResidentShards of
+// them resident (0 = unlimited).
+func NewLazyEngine(idx *ShardedIndex, opts EngineOptions) (*Engine, error) {
+	return engine.NewLazy(idx, opts)
+}
+
+// OpenEngine opens either index format transparently: a sharded index
+// directory becomes a lazy engine, a monolithic tree file an eager one.
+func OpenEngine(path string, opts EngineOptions) (*Engine, error) {
+	if IsShardedIndex(path) {
+		idx, err := OpenShardedIndex(path)
+		if err != nil {
+			return nil, err
+		}
+		return NewLazyEngine(idx, opts)
+	}
+	tree, err := ReadTreeFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(tree, opts)
+}
 
 // NewNetwork returns a database network with n vertices, no edges and empty
 // vertex databases.
