@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 
@@ -491,6 +492,86 @@ func BenchmarkEngineColdStartFullVsLazy(b *testing.B) {
 			}
 		}
 	})
+}
+
+var (
+	benchSkewOnce sync.Once
+	benchSkewTree *tctree.Tree
+)
+
+// benchSkewSetup builds a synthetic multi-item network whose blocks have
+// decreasing edge density, so the per-shard α* bounds spread out and a
+// selective (high-α_q) query can skip the sparse shards from the manifest
+// alone — the workload BenchmarkPlannerSkip measures.
+func benchSkewSetup(b *testing.B) {
+	b.Helper()
+	benchSkewOnce.Do(func() {
+		rng := rand.New(rand.NewSource(17))
+		const blocks, blockSize = 8, 48
+		nw := dbnet.New(blocks * blockSize)
+		for blk := 0; blk < blocks; blk++ {
+			base := blk * blockSize
+			density := 0.9 - 0.8*float64(blk)/float64(blocks-1)
+			for u := 0; u < blockSize; u++ {
+				for v := u + 1; v < blockSize; v++ {
+					if rng.Float64() < density {
+						nw.MustAddEdge(themecomm.VertexID(base+u), themecomm.VertexID(base+v))
+					}
+				}
+				if err := nw.AddTransaction(themecomm.VertexID(base+u), themecomm.NewItemset(themecomm.Item(blk))); err != nil {
+					panic(err)
+				}
+			}
+		}
+		benchSkewTree = tctree.Build(nw, tctree.BuildOptions{})
+	})
+}
+
+// BenchmarkPlannerSkip measures the planner's data-skipping win on a lazy
+// engine: a selective query (α_q at the median per-shard α* bound) over a
+// sharded on-disk index, cold each iteration, with the planner on versus
+// off. Besides ns/op the benchmark reports shardloads/op — the number of
+// shard files read from disk per query — which the planner must keep
+// strictly below the planner-off engine's (it answers the skipped shards
+// from the manifest alone).
+func BenchmarkPlannerSkip(b *testing.B) {
+	benchSkewSetup(b)
+	dir := filepath.Join(b.TempDir(), "skew.index")
+	manifest, err := benchSkewTree.WriteSharded(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alphas := make([]float64, 0, len(manifest.Shards))
+	for _, e := range manifest.Shards {
+		alphas = append(alphas, e.MaxAlpha)
+	}
+	sort.Float64s(alphas)
+	alphaQ := alphas[len(alphas)/2] // α* skew: roughly half the shards are skippable
+	q := fullPattern(b, benchSkewTree)
+	for _, planner := range []bool{true, false} {
+		name := "planner=on"
+		if !planner {
+			name = "planner=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			loads := uint64(0)
+			for i := 0; i < b.N; i++ {
+				idx, err := tctree.OpenSharded(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				eng, err := engine.NewLazy(idx, engine.Options{Workers: 4, DisablePlanner: !planner})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Query(q, alphaQ); err != nil {
+					b.Fatal(err)
+				}
+				loads += eng.Stats().LazyLoads
+			}
+			b.ReportMetric(float64(loads)/float64(b.N), "shardloads/op")
+		})
+	}
 }
 
 func benchName(prefix string, v float64) string {

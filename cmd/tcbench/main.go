@@ -1,7 +1,12 @@
 // Command tcbench regenerates the tables and figures of the paper's
 // evaluation (Section 7) on the generated dataset analogues and prints their
-// rows. See DESIGN.md for the experiment index and EXPERIMENTS.md for a
-// discussion of the measured shapes.
+// rows. The query workloads (Figure 5 QBA/QBP and the case study) run
+// through the serving engine's plan→execute path — the same code that
+// answers tcserver and tcquery traffic — rather than a raw tree traversal,
+// so the reported numbers reflect the served configuration (result cache
+// disabled so repetitions measure execution, not cache hits). See DESIGN.md
+// for the experiment index and EXPERIMENTS.md for a discussion of the
+// measured shapes.
 //
 // Usage:
 //

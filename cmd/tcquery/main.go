@@ -1,15 +1,20 @@
 // Command tcquery answers theme-community queries against a TC-Tree built by
 // tcindex: query by cohesion threshold (QBA), by pattern (QBP), or both.
-// Queries run through the sharded engine; -topk ranks the answer by cohesion.
-// Both index formats load transparently; against a sharded index directory
-// (tcindex -sharded) only the shards the query pattern touches are read from
-// disk, so single-pattern queries skip most of the index.
+// Queries run through the engine's cost-based planner: shards whose α* bound
+// proves an empty answer at α_q are skipped from catalogue metadata alone,
+// and -topk ranks the answer by cohesion. Both index formats load
+// transparently; against a sharded index directory (tcindex -sharded) only
+// the shards the query touches — and the planner cannot skip — are read from
+// disk. -explain prints the per-shard plan (skip/resident/load decisions,
+// cost-ordered schedule) and the observed execution counters instead of the
+// communities; -noplanner disables the planner for comparison.
 //
 // Usage:
 //
 //	tcquery -tree bk.dbnet.tctree -alpha 0.5
 //	tcquery -tree bk.index -net bk.dbnet -pattern "hangout-c3-0,hangout-c3-1" -alpha 0.2
 //	tcquery -tree bk.dbnet.tctree -alpha 0.2 -topk 10 -workers 8
+//	tcquery -tree bk.index -alpha 0.4 -explain
 package main
 
 import (
@@ -35,13 +40,19 @@ func main() {
 	topK := flag.Int("topk", 0, "rank communities by cohesion then size and keep the k best (0 = plain query)")
 	workers := flag.Int("workers", 0, "shard-traversal parallelism (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 0, "result-cache entries (0 disables caching)")
+	explain := flag.Bool("explain", false, "print the query plan and execution counters instead of the communities")
+	noPlanner := flag.Bool("noplanner", false, "disable the cost-based planner (no α* shard skipping, no cost ordering, no prefetch)")
 	flag.Parse()
 
 	if *treePath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	eng, err := themecomm.OpenEngine(*treePath, themecomm.EngineOptions{Workers: *workers, CacheSize: *cacheSize})
+	eng, err := themecomm.OpenEngine(*treePath, themecomm.EngineOptions{
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		DisablePlanner: *noPlanner,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,6 +80,11 @@ func main() {
 			return strings.Join(dict.Names(p), ", ")
 		}
 		return p.String()
+	}
+
+	if *explain {
+		printExplain(eng, q, *alphaQ)
+		return
 	}
 
 	if *topK > 0 {
@@ -105,6 +121,51 @@ func main() {
 	if limit < len(comms) {
 		fmt.Printf("  ... %d more (raise -top to see them)\n", len(comms)-limit)
 	}
+}
+
+// printExplain runs the query through Engine.Explain and prints the
+// per-shard decisions, the cost-ordered schedule and the post-execution
+// counters.
+func printExplain(eng *themecomm.Engine, q themecomm.Itemset, alphaQ float64) {
+	rep, err := eng.Explain(q, alphaQ)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pattern := "every item (query by alpha)"
+	if !rep.Full {
+		pattern = rep.Pattern.String()
+	}
+	mode := "planner on"
+	if !rep.Planner {
+		mode = "planner off"
+	}
+	fmt.Printf("plan for pattern %s at α_q=%g (%s, %d workers, lazy=%v)\n",
+		pattern, rep.Alpha, mode, rep.Workers, rep.Lazy)
+	fmt.Printf("%d shards: %d load, %d resident, %d skipped by α*, %d not in query; est. cost %.0f\n",
+		rep.Shards, rep.LoadTasks, rep.ResidentTasks, rep.SkippedAlpha, rep.SkippedAbsent, rep.TotalCost)
+	if len(rep.ScheduleOrder) > 0 {
+		order := make([]string, len(rep.ScheduleOrder))
+		for i, it := range rep.ScheduleOrder {
+			order[i] = strconv.Itoa(int(it))
+		}
+		label := "most expensive first"
+		if !rep.Planner {
+			label = "ascending root item"
+		}
+		fmt.Printf("schedule (%s): %s\n", label, strings.Join(order, ", "))
+	}
+	for _, task := range rep.Tasks {
+		line := fmt.Sprintf("  shard %-6d %-11s nodes=%-6d α*=%-8.4g cost=%-8.0f", task.Item, task.Decision, task.Nodes, task.MaxAlpha, task.Cost)
+		if !task.Decision.Skipped() {
+			line += fmt.Sprintf(" %4dµs visited=%d trusses=%d", task.Micros, task.Visited, task.Trusses)
+			if task.Loaded {
+				line += " (loaded)"
+			}
+		}
+		fmt.Println(line)
+	}
+	fmt.Printf("executed in %dµs: %d trusses retrieved, %d nodes visited; loads=%d prefetched=%d\n",
+		rep.Micros, rep.RetrievedNodes, rep.VisitedNodes, rep.Loaded, rep.Prefetched)
 }
 
 // parsePattern turns a comma-separated list of item names or numeric ids into

@@ -3,6 +3,10 @@
 // .tctree file is read whole, while a sharded index directory (tcindex
 // -sharded) is served lazily — a shard's file is only read on the first query
 // that touches it, and -maxresident bounds how many shards stay in memory.
+// Queries go through the engine's cost-based planner: shards whose α* bound
+// proves an empty answer are skipped without a load, expensive shards are
+// scheduled first, and a bounded background prefetcher (-prefetch) warms the
+// schedule tail.
 //
 // Usage:
 //
@@ -16,8 +20,9 @@
 //	GET  /api/v1/query?alpha=0.5            query by cohesion threshold
 //	GET  /api/v1/query?pattern=a,b&alpha=0  query by pattern
 //	GET  /api/v1/query?alpha=0.2&k=10       top-k communities by cohesion
+//	GET  /api/v1/explain?pattern=a,b&alpha=0  per-shard query plan + execution counters
 //	POST /api/v1/batch                      many queries in one request
-//	GET  /api/v1/enginestats                engine counters (shards, residency, cache)
+//	GET  /api/v1/enginestats                engine counters (shards, residency, cache, planner)
 //	GET  /api/v1/patterns?length=2          list indexed patterns of a length
 //	GET  /api/v1/vertex?id=7&alpha=0.2      theme communities containing a vertex
 package main
@@ -43,6 +48,8 @@ func main() {
 	workers := flag.Int("workers", 0, "shard-traversal parallelism (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 1024, "result-cache entries (0 disables caching)")
 	maxResident := flag.Int("maxresident", 0, "sharded index only: max shards kept in memory (0 = unlimited)")
+	prefetch := flag.Int("prefetch", 0, "sharded index only: background shard-prefetch workers (0 = default, negative disables)")
+	noPlanner := flag.Bool("noplanner", false, "disable the cost-based planner (no α* shard skipping, no cost ordering, no prefetch)")
 	flag.Parse()
 
 	if *treePath == "" {
@@ -53,6 +60,8 @@ func main() {
 		Workers:           *workers,
 		CacheSize:         *cacheSize,
 		MaxResidentShards: *maxResident,
+		PrefetchWorkers:   *prefetch,
+		DisablePlanner:    *noPlanner,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -31,8 +31,11 @@ type lruCache struct {
 type cacheEntry struct {
 	key string
 	// pattern is the canonicalized query pattern of the entry, kept so that
-	// invalidate can match entries by the items their answers depend on.
+	// invalidate can match entries by the items their answers depend on;
+	// full marks an entry whose pattern covers every indexed item (query by
+	// alpha), which depends on every shard.
 	pattern itemset.Itemset
+	full    bool
 	res     *tctree.QueryResult
 }
 
@@ -68,11 +71,12 @@ func (c *lruCache) generation() uint64 {
 
 // put inserts or refreshes key, evicting the least recently used entry when
 // the cache is full. pattern is the canonicalized query pattern the result
-// answers, recorded for invalidate. gen is the generation observed before
-// the query executed: a stale generation means an invalidation ran while
-// the query was in flight, so the result may have been computed against a
+// answers and full marks a pattern covering every indexed item; both are
+// recorded for invalidate. gen is the generation observed before the query
+// executed: a stale generation means an invalidation ran while the query
+// was in flight, so the result may have been computed against a
 // since-replaced shard and is discarded.
-func (c *lruCache) put(key string, pattern itemset.Itemset, res *tctree.QueryResult, gen uint64) {
+func (c *lruCache) put(key string, pattern itemset.Itemset, full bool, res *tctree.QueryResult, gen uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if gen != c.gen {
@@ -83,7 +87,7 @@ func (c *lruCache) put(key string, pattern itemset.Itemset, res *tctree.QueryRes
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, pattern: pattern, res: res})
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, pattern: pattern, full: full, res: res})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -92,10 +96,10 @@ func (c *lruCache) put(key string, pattern itemset.Itemset, res *tctree.QueryRes
 	}
 }
 
-// invalidate removes every entry whose canonicalized query pattern matches,
-// returning how many were dropped. Dropped entries do not count as LRU
-// evictions.
-func (c *lruCache) invalidate(match func(itemset.Itemset) bool) int {
+// invalidate removes every entry whose canonicalized query pattern (and
+// full-pattern flag) matches, returning how many were dropped. Dropped
+// entries do not count as LRU evictions.
+func (c *lruCache) invalidate(match func(pattern itemset.Itemset, full bool) bool) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gen++
@@ -103,7 +107,7 @@ func (c *lruCache) invalidate(match func(itemset.Itemset) bool) int {
 	for el := c.ll.Front(); el != nil; {
 		next := el.Next()
 		entry := el.Value.(*cacheEntry)
-		if match(entry.pattern) {
+		if match(entry.pattern, entry.full) {
 			c.ll.Remove(el)
 			delete(c.entries, entry.key)
 			dropped++

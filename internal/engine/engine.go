@@ -53,7 +53,23 @@ type Options struct {
 	// their snapshot; the next touch reloads it from disk). Zero or negative
 	// means unlimited. Eager engines ignore it.
 	MaxResidentShards int
+	// DisablePlanner turns the cost-based planner off: every relevant shard
+	// is traversed in ascending root-item order with no α* skipping, no
+	// cost ordering and no prefetch — the behaviour of the pre-planner
+	// engine. Answers are byte-identical either way; only the work differs.
+	DisablePlanner bool
+	// PrefetchWorkers bounds the background shard prefetcher of a lazy
+	// planning engine: while a plan's early tasks run, up to this many
+	// goroutines warm the top-cost not-yet-resident shards of the schedule
+	// tail, so disk I/O overlaps with traversal instead of serializing
+	// behind the worker pool. Zero means a small default; negative disables
+	// prefetching. Eager engines have nothing to prefetch.
+	PrefetchWorkers int
 }
+
+// defaultPrefetchWorkers is the prefetch-pool bound when Options leaves
+// PrefetchWorkers at zero.
+const defaultPrefetchWorkers = 2
 
 // Engine answers theme-community queries from a sharded TC-Tree.
 type Engine struct {
@@ -82,6 +98,12 @@ type Engine struct {
 
 	cache *lruCache // nil when caching is disabled
 
+	// planCfg is the planner configuration (zero value = planning off).
+	planCfg PlanConfig
+	// prefetchSem bounds concurrent background prefetch loads; nil when
+	// prefetching is disabled or the engine is eager.
+	prefetchSem chan struct{}
+
 	// maxResident is the lazy-mode residency budget (0 = unlimited); clock
 	// is the logical clock stamping shard use for LRU eviction; evictMu
 	// serializes eviction scans; resident counts resident lazy shards.
@@ -90,11 +112,14 @@ type Engine struct {
 	evictMu     sync.Mutex
 	resident    atomic.Int64
 
-	queries   atomic.Uint64
-	batches   atomic.Uint64
-	topKs     atomic.Uint64
-	lazyLoads atomic.Uint64
-	evictions atomic.Uint64
+	queries    atomic.Uint64
+	batches    atomic.Uint64
+	topKs      atomic.Uint64
+	explains   atomic.Uint64
+	lazyLoads  atomic.Uint64
+	evictions  atomic.Uint64
+	skipped    atomic.Uint64
+	prefetched atomic.Uint64
 }
 
 // New returns an eager Engine over a fully resident tree.
@@ -104,18 +129,16 @@ func New(tree *tctree.Tree, opts Options) (*Engine, error) {
 	}
 	e := newEngine(opts)
 	e.tree = tree
-	for _, c := range tree.Root().Children {
-		s := &shard{item: c.Item, root: c, once: new(sync.Once)}
-		c.Walk(func(n *tctree.Node) {
-			s.nodes++
-			if l := n.Pattern.Len(); l > s.depth {
-				s.depth = l
-			}
-			if a := n.Decomp.MaxAlpha(); a > s.maxAlpha {
-				s.maxAlpha = a
-			}
+	stats := tree.ShardStats()
+	for i, c := range tree.Root().Children {
+		e.addShard(&shard{
+			item:     c.Item,
+			root:     c,
+			once:     new(sync.Once),
+			nodes:    stats[i].Nodes,
+			depth:    stats[i].Depth,
+			maxAlpha: stats[i].MaxAlpha,
 		})
-		e.addShard(s)
 	}
 	return e, nil
 }
@@ -135,16 +158,24 @@ func NewLazy(idx *tctree.ShardedIndex, opts Options) (*Engine, error) {
 	if e.maxResident < 0 {
 		e.maxResident = 0
 	}
+	if !opts.DisablePlanner && opts.PrefetchWorkers >= 0 {
+		workers := opts.PrefetchWorkers
+		if workers == 0 {
+			workers = defaultPrefetchWorkers
+		}
+		e.prefetchSem = make(chan struct{}, workers)
+	}
 	m := idx.Manifest()
 	for _, entry := range m.Shards {
-		item := itemset.Item(entry.Item)
+		st := entry.Stats()
+		item := st.Item
 		e.addShard(&shard{
 			item:     item,
 			load:     func() (*tctree.Node, error) { return idx.LoadShard(item) },
 			once:     new(sync.Once),
-			nodes:    entry.Nodes,
-			depth:    entry.Depth,
-			maxAlpha: entry.MaxAlpha,
+			nodes:    st.Nodes,
+			depth:    st.Depth,
+			maxAlpha: st.MaxAlpha,
 		})
 	}
 	return e, nil
@@ -160,6 +191,9 @@ func newEngine(opts Options) *Engine {
 		workers:    workers,
 		sem:        make(chan struct{}, workers),
 		batchSem:   make(chan struct{}, workers),
+	}
+	if !opts.DisablePlanner {
+		e.planCfg = DefaultPlanConfig()
 	}
 	if opts.CacheSize > 0 {
 		e.cache = newLRUCache(opts.CacheSize)
@@ -182,24 +216,30 @@ func (e *Engine) Workers() int { return e.workers }
 // Lazy reports whether the engine loads shards from disk on demand.
 func (e *Engine) Lazy() bool { return e.idx != nil }
 
+// Planner reports whether cost-based planning (α* shard skipping, cost
+// ordering and background prefetch) is enabled.
+func (e *Engine) Planner() bool { return e.planCfg.AlphaSkip || e.planCfg.CostOrder }
+
 // Tree returns the underlying TC-Tree of an eager engine; it is nil for lazy
 // engines, which never hold the whole tree.
 func (e *Engine) Tree() *tctree.Tree { return e.tree }
 
 // acquire returns the shard's subtree, stamping its recency, and loading it
 // from disk first when the engine is lazy and the shard is not resident.
-// Concurrent first touches share a single load through the shard's
-// sync.Once; a load failure is sticky until ReloadShard. The loop handles
-// the race with eviction: if the subtree vanishes between the load and the
-// re-check, the fresh sync.Once installed by the evictor triggers another
-// load. The identity check on s.once before installing the loaded subtree
-// handles the race with ReloadShard: a load that was in flight when the
-// shard was reset would otherwise re-install pre-swap data (or a pre-swap
-// error) after the reset; such stale results are discarded and the loop
-// loads again from the current file.
-func (e *Engine) acquire(s *shard) (*tctree.Node, error) {
+// loaded reports whether this call performed the disk load — the executor
+// and the prefetcher use it to attribute loads. Concurrent first touches
+// share a single load through the shard's sync.Once; a load failure is
+// sticky until ReloadShard. The loop handles the race with eviction: if the
+// subtree vanishes between the load and the re-check, the fresh sync.Once
+// installed by the evictor triggers another load. The identity check on
+// s.once before installing the loaded subtree handles the race with
+// ReloadShard: a load that was in flight when the shard was reset would
+// otherwise re-install pre-swap data (or a pre-swap error) after the reset;
+// such stale results are discarded and the loop loads again from the
+// current file.
+func (e *Engine) acquire(s *shard) (root *tctree.Node, loaded bool, err error) {
 	if s.load == nil {
-		return s.root, nil
+		return s.root, false, nil
 	}
 	for {
 		s.mu.Lock()
@@ -207,12 +247,12 @@ func (e *Engine) acquire(s *shard) (*tctree.Node, error) {
 			root := s.root
 			s.lastUsed.Store(e.clock.Add(1))
 			s.mu.Unlock()
-			return root, nil
+			return root, loaded, nil
 		}
 		if s.err != nil {
 			err := s.err
 			s.mu.Unlock()
-			return nil, err
+			return nil, loaded, err
 		}
 		once := s.once
 		s.mu.Unlock()
@@ -233,6 +273,7 @@ func (e *Engine) acquire(s *shard) (*tctree.Node, error) {
 				s.loads.Add(1)
 				e.lazyLoads.Add(1)
 				e.resident.Add(1)
+				loaded = true
 			}
 			s.mu.Unlock()
 			if err == nil {
@@ -302,30 +343,44 @@ func (e *Engine) ReloadShard(item itemset.Item) error {
 	s.root, s.err = nil, nil
 	s.once = new(sync.Once)
 	if haveEntry {
-		s.nodes, s.depth, s.maxAlpha = entry.Nodes, entry.Depth, entry.MaxAlpha
+		st := entry.Stats()
+		s.nodes, s.depth, s.maxAlpha = st.Nodes, st.Depth, st.MaxAlpha
 	}
 	s.mu.Unlock()
 	if e.cache != nil {
-		e.cache.invalidate(func(q itemset.Itemset) bool { return q.Contains(item) })
+		// Full-pattern entries (query by alpha) depend on every shard, so
+		// they always go.
+		e.cache.invalidate(func(q itemset.Itemset, full bool) bool { return full || q.Contains(item) })
 	}
 	return nil
 }
 
 // canonical clamps a query pattern to the indexed top-level items. A nil
 // pattern means "every item" (query by alpha). The result is the smallest
-// pattern with the same answer as q, so it doubles as the cache key pattern.
-func (e *Engine) canonical(q itemset.Itemset) itemset.Itemset {
+// pattern with the same answer as q, so it doubles as the cache key pattern;
+// full reports whether it covers every indexed item, in which case the cache
+// key degenerates to the empty-pattern sentinel so that QueryByAlpha and any
+// pattern spanning the whole item universe share one cache entry.
+func (e *Engine) canonical(q itemset.Itemset) (eff itemset.Itemset, full bool) {
 	if q == nil {
-		return e.items
+		return e.items, true
 	}
-	return q.Intersect(e.items)
+	eff = q.Intersect(e.items)
+	return eff, len(eff) == len(e.items)
 }
 
-// cacheKey renders the canonicalized query as a map key. The alpha is encoded
-// exactly ('b' format is lossless for float64), so distinct thresholds never
-// collide.
-func cacheKey(q itemset.Itemset, alphaQ float64) string {
-	return string(q.Key()) + "\x00" + strconv.FormatFloat(alphaQ, 'b', -1, 64)
+// cacheKey renders the canonicalized query as a map key. A full query (every
+// indexed item) is keyed by the "*" sentinel instead of the whole item list —
+// it cannot collide with a real pattern key (those are 4-byte aligned) or
+// with the empty pattern of a query matching no indexed item. The alpha is
+// encoded exactly ('b' format is lossless for float64), so distinct
+// thresholds never collide.
+func cacheKey(q itemset.Itemset, full bool, alphaQ float64) string {
+	p := string(q.Key())
+	if full {
+		p = "*"
+	}
+	return p + "\x00" + strconv.FormatFloat(alphaQ, 'b', -1, 64)
 }
 
 // Query answers (q, α_q) like tctree.Query, but traverses only the shards
@@ -338,8 +393,8 @@ func cacheKey(q itemset.Itemset, alphaQ float64) string {
 func (e *Engine) Query(q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, error) {
 	e.queries.Add(1)
 	start := time.Now()
-	eff := e.canonical(q)
-	key := cacheKey(eff, alphaQ)
+	eff, full := e.canonical(q)
+	key := cacheKey(eff, full, alphaQ)
 	var gen uint64
 	if e.cache != nil {
 		if cached, ok := e.cache.get(key); ok {
@@ -353,57 +408,103 @@ func (e *Engine) Query(q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, 
 		// result may predate the swap and put will discard it.
 		gen = e.cache.generation()
 	}
-	res, err := e.execute(eff, alphaQ)
+	res, _, _, err := e.executePlan(e.planRelevant(eff, alphaQ))
 	if err != nil {
 		return nil, err
 	}
 	res.Duration = time.Since(start)
 	if e.cache != nil {
-		e.cache.put(key, eff, res, gen)
+		e.cache.put(key, eff, full, res, gen)
 	}
 	return res, nil
 }
 
-// QueryByAlpha answers the query-by-alpha workload (q = every item).
+// QueryByAlpha answers the query-by-alpha workload (q = every item). Its
+// answer is cached like any other query, under the empty-pattern sentinel
+// key shared with explicit patterns that cover every indexed item.
 func (e *Engine) QueryByAlpha(alphaQ float64) (*tctree.QueryResult, error) {
 	return e.Query(nil, alphaQ)
 }
 
-// execute runs the sharded traversal for an already-canonicalized pattern.
-func (e *Engine) execute(q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, error) {
-	// q is sorted, so relevant is in ascending root-item (shard) order and
-	// the merge below is deterministic.
-	relevant := make([]*shard, 0, len(q))
-	for _, it := range q {
+// planRelevant plans an already-canonicalized query over the shards its
+// pattern touches. eff is sorted, so the plan's tasks are in ascending
+// root-item (shard) order and the merge stays deterministic.
+func (e *Engine) planRelevant(eff itemset.Itemset, alphaQ float64) *QueryPlan {
+	infos := make([]ShardInfo, 0, len(eff))
+	for _, it := range eff {
 		if i, ok := e.shardIndex[it]; ok {
-			relevant = append(relevant, e.shards[i])
+			infos = append(infos, e.shards[i].info())
 		}
 	}
-	results := make([]shardResult, len(relevant))
-	traverse := func(i int, s *shard) {
+	return PlanQuery(infos, eff, alphaQ, e.planCfg)
+}
+
+// taskExec is the execution record of one plan task, reported by Explain.
+type taskExec struct {
+	micros  int64
+	loaded  bool
+	visited int
+	trusses int
+}
+
+// executePlan is the execution half of the plan→execute split: it runs the
+// plan's schedule on the worker pool (most expensive task first, so a
+// straggler overlaps the cheap tail), hands the schedule tail to the
+// background prefetcher, synthesizes the answers of α*-skipped shards, and
+// merges the per-shard results in ascending root-item order. The merged
+// answer is byte-identical to a planner-off execution: an α*-skipped shard
+// contributes exactly the one root visit the traversal would have made
+// before finding the root truss empty.
+func (e *Engine) executePlan(plan *QueryPlan) (*tctree.QueryResult, []taskExec, uint64, error) {
+	pattern := plan.Pattern
+	if pattern == nil {
+		pattern = e.items
+	}
+	results := make([]shardResult, len(plan.Tasks))
+	execs := make([]taskExec, len(plan.Tasks))
+	for i, t := range plan.Tasks {
+		if t.Decision == DecisionSkipAlpha {
+			results[i] = shardResult{visited: 1}
+			execs[i].visited = 1
+			e.skipped.Add(1)
+		}
+	}
+	var prefetched atomic.Uint64
+	e.prefetchPlan(plan, &prefetched)
+	traverse := func(i int) {
+		s := e.shards[e.shardIndex[plan.Tasks[i].Item]]
 		e.sem <- struct{}{}
 		defer func() { <-e.sem }()
-		root, err := e.acquire(s)
+		start := time.Now()
+		root, loaded, err := e.acquire(s)
 		if err != nil {
 			results[i] = shardResult{err: fmt.Errorf("engine: shard %d: %w", s.item, err)}
+			execs[i] = taskExec{micros: time.Since(start).Microseconds()}
 			return
 		}
-		results[i] = querySubtree(root, q, alphaQ)
+		sr := querySubtree(root, pattern, plan.Alpha)
+		results[i] = sr
+		execs[i] = taskExec{
+			micros:  time.Since(start).Microseconds(),
+			loaded:  loaded,
+			visited: sr.visited,
+			trusses: len(sr.trusses),
+		}
 	}
-	if e.workers == 1 || len(relevant) == 1 {
+	if e.workers == 1 || len(plan.Order) == 1 {
 		// Inline traversal still takes a slot, so the worker bound holds
 		// across concurrent queries, not just within one.
-		for i, s := range relevant {
-			traverse(i, s)
+		for _, i := range plan.Order {
+			traverse(i)
 		}
 	} else {
 		var wg sync.WaitGroup
-		for i, s := range relevant {
+		for _, i := range plan.Order {
 			wg.Add(1)
-			go func(i int, s *shard) {
+			go func(i int) {
 				defer wg.Done()
-				traverse(i, s)
-			}(i, s)
+				traverse(i)
+			}(i)
 		}
 		wg.Wait()
 	}
@@ -418,10 +519,68 @@ func (e *Engine) execute(q itemset.Itemset, alphaQ float64) (*tctree.QueryResult
 		res.VisitedNodes += sr.visited
 	}
 	if len(errs) > 0 {
-		return nil, errors.Join(errs...)
+		return nil, nil, 0, errors.Join(errs...)
 	}
 	res.RetrievedNodes = len(res.Trusses)
-	return res, nil
+	return res, execs, prefetched.Load(), nil
+}
+
+// prefetchPlan warms the top-cost non-resident shards of the plan's schedule
+// tail in the background. The first Workers scheduled tasks are about to be
+// picked up by traversal slots anyway, so only tasks beyond them are offered
+// to the prefetch pool; each prefetch load goes through acquire, so the
+// residency budget (and LRU eviction) applies as usual, and a traversal that
+// reaches the shard meanwhile shares the same load. The prefetched counter
+// is best-effort: a prefetch still in flight when the plan finishes may be
+// counted against the engine but not the plan.
+func (e *Engine) prefetchPlan(plan *QueryPlan, prefetched *atomic.Uint64) {
+	if e.prefetchSem == nil || len(plan.Order) <= e.workers {
+		return
+	}
+	// Cap per-plan prefetch at the residency headroom left after the
+	// shards already in memory and the Workers head-of-schedule tasks
+	// loading concurrently: past that, eviction would drop a prefetched
+	// shard (or a resident shard the plan still needs) before traversal
+	// reaches it, and its disk read would just be repeated. The resident
+	// count is a snapshot — the cap is a heuristic, correctness is
+	// acquire's job.
+	budget := len(plan.Order) - e.workers
+	if e.maxResident > 0 {
+		headroom := e.maxResident - int(e.resident.Load()) - e.workers
+		if headroom < 1 {
+			return
+		}
+		if budget > headroom {
+			budget = headroom
+		}
+	}
+	for _, i := range plan.Order[e.workers:] {
+		if budget == 0 {
+			return
+		}
+		t := plan.Tasks[i]
+		if t.Decision != DecisionLoad {
+			continue
+		}
+		s := e.shards[e.shardIndex[t.Item]]
+		select {
+		case e.prefetchSem <- struct{}{}:
+		default:
+			// The pool is saturated; the remaining tasks are cheaper, so
+			// let traversal pick them up instead of queueing.
+			return
+		}
+		budget--
+		go func(s *shard) {
+			defer func() { <-e.prefetchSem }()
+			// A load error is not the prefetcher's to report: it is sticky
+			// on the shard and surfaces on the query that traverses it.
+			if _, loaded, err := e.acquire(s); err == nil && loaded {
+				e.prefetched.Add(1)
+				prefetched.Add(1)
+			}
+		}(s)
+	}
 }
 
 // Request is one query of a batch.

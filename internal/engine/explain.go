@@ -1,0 +1,124 @@
+package engine
+
+import (
+	"time"
+
+	"themecomm/internal/itemset"
+)
+
+// TaskReport is one shard of an Explain answer: the planned task annotated
+// with what actually happened when the plan ran.
+type TaskReport struct {
+	ShardTask
+	// Micros is the task's wall time (acquire + traversal); zero for
+	// skipped tasks, which do no work.
+	Micros int64 `json:"micros,omitempty"`
+	// Loaded reports whether this execution read the shard from disk (the
+	// shard was not resident and no concurrent query or prefetch got there
+	// first).
+	Loaded bool `json:"loaded,omitempty"`
+	// Visited and Trusses are the task's share of the answer: nodes
+	// inspected and trusses retrieved.
+	Visited int `json:"visited"`
+	Trusses int `json:"trusses"`
+}
+
+// ExplainReport is the answer of Engine.Explain: the full query plan —
+// every shard with its decision, including the shards the query pattern
+// excludes — plus the observed execution counters.
+type ExplainReport struct {
+	// Pattern is the canonicalized query pattern; Full marks a pattern
+	// covering every indexed item (the query-by-alpha workload).
+	Pattern itemset.Itemset `json:"pattern"`
+	Full    bool            `json:"full"`
+	// Alpha is the cohesion threshold α_q.
+	Alpha float64 `json:"alpha"`
+	// Planner, Lazy and Workers describe the engine the plan ran on.
+	Planner bool `json:"planner"`
+	Lazy    bool `json:"lazy"`
+	Workers int  `json:"workers"`
+	// Shards is the total shard count; the fields below tally the per-shard
+	// decisions.
+	Shards        int `json:"shards"`
+	SkippedAlpha  int `json:"skippedAlpha"`
+	SkippedAbsent int `json:"skippedAbsent"`
+	ResidentTasks int `json:"residentTasks"`
+	LoadTasks     int `json:"loadTasks"`
+	// Loaded counts the disk loads this execution performed itself;
+	// Prefetched counts loads the background prefetcher completed for this
+	// plan (best-effort: a prefetch still in flight when the plan finishes
+	// is not attributed).
+	Loaded     int `json:"loaded"`
+	Prefetched int `json:"prefetched"`
+	// TotalCost is the planner's summed cost estimate of the scheduled
+	// tasks.
+	TotalCost float64 `json:"totalCost"`
+	// ScheduleOrder lists the scheduled shards' root items in execution
+	// order (most expensive first on a planning engine). It is a plain
+	// slice, not a canonical itemset: cost order is not item order.
+	ScheduleOrder []itemset.Item `json:"scheduleOrder"`
+	// Tasks lists every shard in ascending root-item order with its
+	// decision and execution record.
+	Tasks []TaskReport `json:"tasks"`
+	// RetrievedNodes, VisitedNodes and Micros summarise the executed
+	// answer, matching what Query would have returned.
+	RetrievedNodes int   `json:"retrievedNodes"`
+	VisitedNodes   int   `json:"visitedNodes"`
+	Micros         int64 `json:"micros"`
+}
+
+// Explain plans (q, alphaQ), executes the plan, and returns the per-shard
+// decisions and post-execution counters. Unlike Query it considers every
+// shard — so the report shows which shards the pattern excluded — and it
+// bypasses the result cache in both directions: Explain measures the
+// execution a cold query would pay, and its answer is discarded rather than
+// cached. A nil q means every item (query by alpha).
+func (e *Engine) Explain(q itemset.Itemset, alphaQ float64) (*ExplainReport, error) {
+	e.explains.Add(1)
+	start := time.Now()
+	eff, full := e.canonical(q)
+	infos := make([]ShardInfo, len(e.shards))
+	for i, s := range e.shards {
+		infos[i] = s.info()
+	}
+	plan := PlanQuery(infos, eff, alphaQ, e.planCfg)
+	res, execs, prefetched, err := e.executePlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	report := &ExplainReport{
+		Pattern:        eff,
+		Full:           full,
+		Alpha:          alphaQ,
+		Planner:        e.Planner(),
+		Lazy:           e.Lazy(),
+		Workers:        e.workers,
+		Shards:         len(plan.Tasks),
+		SkippedAlpha:   plan.SkippedAlpha,
+		SkippedAbsent:  plan.SkippedAbsent,
+		ResidentTasks:  plan.Resident,
+		LoadTasks:      plan.Loads,
+		Prefetched:     int(prefetched),
+		TotalCost:      plan.TotalCost,
+		RetrievedNodes: res.RetrievedNodes,
+		VisitedNodes:   res.VisitedNodes,
+	}
+	for _, i := range plan.Order {
+		report.ScheduleOrder = append(report.ScheduleOrder, plan.Tasks[i].Item)
+	}
+	report.Tasks = make([]TaskReport, len(plan.Tasks))
+	for i, t := range plan.Tasks {
+		report.Tasks[i] = TaskReport{
+			ShardTask: t,
+			Micros:    execs[i].micros,
+			Loaded:    execs[i].loaded,
+			Visited:   execs[i].visited,
+			Trusses:   execs[i].trusses,
+		}
+		if execs[i].loaded {
+			report.Loaded++
+		}
+	}
+	report.Micros = time.Since(start).Microseconds()
+	return report, nil
+}

@@ -76,7 +76,7 @@ func (e *Engine) PatternsAtDepth(depth int) ([]itemset.Itemset, error) {
 		if shardDepth < depth {
 			continue
 		}
-		root, err := e.acquire(s)
+		root, _, err := e.acquire(s)
 		if err != nil {
 			return nil, err
 		}
@@ -119,7 +119,7 @@ func (e *Engine) nodeOf(p itemset.Itemset) (*tctree.Node, error) {
 	if !ok {
 		return nil, nil
 	}
-	root, err := e.acquire(e.shards[i])
+	root, _, err := e.acquire(e.shards[i])
 	if err != nil {
 		return nil, err
 	}

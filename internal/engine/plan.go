@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"sort"
+
+	"themecomm/internal/itemset"
+)
+
+// This file is the planning half of the engine's plan→execute split. The
+// planner is pure: it consumes the query, α_q and a snapshot of per-shard
+// statistics (manifest stats in lazy mode, live shard metadata in eager
+// mode) and emits a QueryPlan — the per-shard decisions plus a cost-ordered
+// schedule — without touching the tree, the disk or any engine state. The
+// executor (engine.executePlan) then owns acquisition, eviction, traversal
+// and the deterministic merge. Keeping the planner side-effect free makes
+// every decision unit-testable from synthetic statistics alone.
+
+// ShardInfo is the planner's view of one shard: the catalogue statistics
+// plus residency, everything a decision needs and nothing it doesn't.
+type ShardInfo struct {
+	// Item is the shard's root item.
+	Item itemset.Item
+	// Nodes, Depth and MaxAlpha are the shard's catalogue statistics: node
+	// count, longest indexed pattern, and α* bound (C*_p(α) = ∅ for every
+	// α ≥ MaxAlpha, for every pattern p of the shard).
+	Nodes    int
+	Depth    int
+	MaxAlpha float64
+	// Resident reports whether the shard subtree is already in memory.
+	Resident bool
+}
+
+// Decision is the planner's verdict on one shard.
+type Decision string
+
+const (
+	// DecisionLoad schedules the shard for traversal after a disk load (the
+	// shard is relevant but not resident — lazy engines only).
+	DecisionLoad Decision = "load"
+	// DecisionResident schedules the shard for traversal from memory.
+	DecisionResident Decision = "resident"
+	// DecisionSkipAlpha prunes the shard from metadata alone: α_q ≥ α*, so
+	// every truss of the shard is provably empty at α_q. The executor
+	// synthesizes the one root visit the traversal would have made, so
+	// answers stay byte-identical with planning off — but the shard is
+	// never traversed and, on a lazy engine, never read from disk.
+	DecisionSkipAlpha Decision = "skip-alpha"
+	// DecisionSkipAbsent prunes the shard because its root item is not in
+	// the query pattern: no indexed pattern of the shard can be a subset of
+	// q. Such shards contribute nothing, not even a visit.
+	DecisionSkipAbsent Decision = "skip-absent"
+)
+
+// Skipped reports whether the decision avoids executing the shard.
+func (d Decision) Skipped() bool { return d == DecisionSkipAlpha || d == DecisionSkipAbsent }
+
+// ShardTask is one planned shard of a QueryPlan.
+type ShardTask struct {
+	// Item is the shard's root item.
+	Item itemset.Item `json:"item"`
+	// Decision is the planner's verdict for this query.
+	Decision Decision `json:"decision"`
+	// Nodes and MaxAlpha echo the statistics the decision was made from.
+	Nodes    int     `json:"nodes"`
+	MaxAlpha float64 `json:"maxAlpha"`
+	// Cost is the task's execution cost estimate: the node count, weighted
+	// up when the shard must be loaded from disk first. Skipped tasks cost
+	// nothing.
+	Cost float64 `json:"cost"`
+}
+
+// PlanConfig selects which planner optimizations apply. The zero value
+// disables them all, reproducing the pre-planner engine: every relevant
+// shard is traversed in ascending root-item order.
+type PlanConfig struct {
+	// AlphaSkip prunes shards whose α* bound proves an empty answer at α_q.
+	AlphaSkip bool
+	// CostOrder schedules the most expensive tasks first so a straggler
+	// runs concurrently with the cheap tail instead of serializing it.
+	CostOrder bool
+	// LoadCost is the cost multiplier of a non-resident shard (disk read +
+	// checksum + decode on top of the traversal). Zero means
+	// DefaultLoadCost.
+	LoadCost float64
+}
+
+// DefaultPlanConfig returns the configuration of a planning engine: α*
+// skipping and cost ordering on, default load weight.
+func DefaultPlanConfig() PlanConfig { return PlanConfig{AlphaSkip: true, CostOrder: true} }
+
+// DefaultLoadCost is the default cost multiplier of a shard that must be
+// loaded before traversal.
+const DefaultLoadCost = 4.0
+
+// QueryPlan is the planner's output: one task per considered shard in
+// ascending root-item order (the deterministic merge order), an execution
+// schedule, and the decision tallies.
+type QueryPlan struct {
+	// Alpha is the query's cohesion threshold α_q.
+	Alpha float64
+	// Pattern is the canonicalized query pattern the tasks were planned
+	// for; nil means every indexed item (query by alpha).
+	Pattern itemset.Itemset
+	// Tasks lists the considered shards in ascending root-item order.
+	Tasks []ShardTask
+	// Order is the execution schedule: indices into Tasks of every
+	// non-skipped task, most expensive first when cost ordering is on.
+	Order []int
+	// SkippedAlpha, SkippedAbsent, Resident and Loads tally the decisions.
+	SkippedAlpha  int
+	SkippedAbsent int
+	Resident      int
+	Loads         int
+	// TotalCost is the summed cost of the scheduled tasks.
+	TotalCost float64
+}
+
+// PlanQuery plans (q, alphaQ) over the given shard statistics, which must be
+// in ascending root-item order. A nil q means every listed shard is relevant
+// (the query-by-alpha workload). PlanQuery is pure: same inputs, same plan.
+func PlanQuery(shards []ShardInfo, q itemset.Itemset, alphaQ float64, cfg PlanConfig) *QueryPlan {
+	loadCost := cfg.LoadCost
+	if loadCost <= 0 {
+		loadCost = DefaultLoadCost
+	}
+	plan := &QueryPlan{Alpha: alphaQ, Pattern: q, Tasks: make([]ShardTask, 0, len(shards))}
+	for _, s := range shards {
+		task := ShardTask{Item: s.Item, Nodes: s.Nodes, MaxAlpha: s.MaxAlpha}
+		switch {
+		case q != nil && !q.Contains(s.Item):
+			task.Decision = DecisionSkipAbsent
+			plan.SkippedAbsent++
+		case cfg.AlphaSkip && alphaQ >= s.MaxAlpha:
+			task.Decision = DecisionSkipAlpha
+			plan.SkippedAlpha++
+		case s.Resident:
+			task.Decision = DecisionResident
+			task.Cost = float64(s.Nodes)
+			plan.Resident++
+		default:
+			task.Decision = DecisionLoad
+			task.Cost = float64(s.Nodes) * loadCost
+			plan.Loads++
+		}
+		if !task.Decision.Skipped() {
+			plan.Order = append(plan.Order, len(plan.Tasks))
+			plan.TotalCost += task.Cost
+		}
+		plan.Tasks = append(plan.Tasks, task)
+	}
+	if cfg.CostOrder {
+		sort.SliceStable(plan.Order, func(a, b int) bool {
+			ta, tb := plan.Tasks[plan.Order[a]], plan.Tasks[plan.Order[b]]
+			if ta.Cost != tb.Cost {
+				return ta.Cost > tb.Cost
+			}
+			return ta.Item < tb.Item
+		})
+	}
+	return plan
+}

@@ -64,6 +64,20 @@ func (s *shard) meta() (nodes, depth int, maxAlpha float64) {
 	return s.nodes, s.depth, s.maxAlpha
 }
 
+// info snapshots the shard for the planner: catalogue statistics plus
+// residency, taken under one lock acquisition.
+func (s *shard) info() ShardInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ShardInfo{
+		Item:     s.item,
+		Nodes:    s.nodes,
+		Depth:    s.depth,
+		MaxAlpha: s.maxAlpha,
+		Resident: s.load == nil || s.root != nil,
+	}
+}
+
 // shardResult is the answer of one shard to one query.
 type shardResult struct {
 	// trusses are the non-empty reconstructed trusses in breadth-first

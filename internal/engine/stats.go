@@ -43,15 +43,29 @@ type Stats struct {
 	ResidentShards int `json:"residentShards"`
 	// MaxResidentShards is the lazy residency budget (0 = unlimited).
 	MaxResidentShards int `json:"maxResidentShards,omitempty"`
+	// Planner reports whether cost-based planning (α* shard skipping, cost
+	// ordering, prefetch) is enabled; PrefetchWorkers is the background
+	// prefetch-pool bound (0 = prefetch disabled).
+	Planner         bool `json:"planner"`
+	PrefetchWorkers int  `json:"prefetchWorkers,omitempty"`
 	// LazyLoads and ShardEvictions count completed disk loads and
 	// budget-driven evictions across all shards (lazy engines only).
 	LazyLoads      uint64 `json:"lazyLoads,omitempty"`
 	ShardEvictions uint64 `json:"shardEvictions,omitempty"`
+	// ShardsSkipped counts shard tasks the planner answered from the α*
+	// bound alone — relevant shards that were neither traversed nor (on a
+	// lazy engine) read from disk. ShardsPrefetched counts disk loads
+	// performed by the background prefetcher rather than by a traversal
+	// (also included in LazyLoads).
+	ShardsSkipped    uint64 `json:"shardsSkipped"`
+	ShardsPrefetched uint64 `json:"shardsPrefetched,omitempty"`
 	// Queries counts Query calls (including those issued by QueryBatch and
-	// TopK); Batches and TopKQueries count QueryBatch and TopK calls.
+	// TopK); Batches, TopKQueries and Explains count QueryBatch, TopK and
+	// Explain calls.
 	Queries     uint64 `json:"queries"`
 	Batches     uint64 `json:"batches"`
 	TopKQueries uint64 `json:"topKQueries"`
+	Explains    uint64 `json:"explains,omitempty"`
 	// Cache reports the result-cache state.
 	Cache CacheStats `json:"cache"`
 	// ShardResidency lists every shard in ascending root-item order with its
@@ -66,11 +80,16 @@ func (e *Engine) Stats() Stats {
 		Workers:           e.workers,
 		Lazy:              e.Lazy(),
 		MaxResidentShards: e.maxResident,
+		Planner:           e.Planner(),
+		PrefetchWorkers:   cap(e.prefetchSem),
 		LazyLoads:         e.lazyLoads.Load(),
 		ShardEvictions:    e.evictions.Load(),
+		ShardsSkipped:     e.skipped.Load(),
+		ShardsPrefetched:  e.prefetched.Load(),
 		Queries:           e.queries.Load(),
 		Batches:           e.batches.Load(),
 		TopKQueries:       e.topKs.Load(),
+		Explains:          e.explains.Load(),
 	}
 	for _, sh := range e.shards {
 		nodes, _, maxAlpha := sh.meta()

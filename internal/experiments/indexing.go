@@ -61,17 +61,18 @@ type Figure5Row struct {
 	RetrievedNodes int
 }
 
-// Figure5QBA regenerates Figures 5(a)-(d): query-by-alpha performance. The
-// query pattern is the full item universe and α_q sweeps from 0 to the
-// largest non-trivial threshold of the tree.
+// Figure5QBA regenerates Figures 5(a)-(d): query-by-alpha performance on the
+// served plan→execute path (Suite.Engine). The query pattern is the full
+// item universe and α_q sweeps from 0 to the largest non-trivial threshold
+// of the tree.
 func (s *Suite) Figure5QBA() ([]Figure5Row, error) {
 	var out []Figure5Row
 	for _, name := range AllDatasets() {
-		tree, err := s.Tree(name)
+		eng, err := s.Engine(name)
 		if err != nil {
 			return nil, err
 		}
-		maxAlpha := tree.MaxAlpha()
+		maxAlpha := eng.MaxAlpha()
 		steps := s.Config.QueryAlphaSteps
 		if steps < 2 {
 			steps = 2
@@ -85,7 +86,10 @@ func (s *Suite) Figure5QBA() ([]Figure5Row, error) {
 				reps = 1
 			}
 			for r := 0; r < reps; r++ {
-				qr := tree.QueryByAlpha(alphaQ)
+				qr, err := eng.QueryByAlpha(alphaQ)
+				if err != nil {
+					return nil, err
+				}
 				total += qr.Duration
 				retrieved = qr.RetrievedNodes
 			}
@@ -101,14 +105,19 @@ func (s *Suite) Figure5QBA() ([]Figure5Row, error) {
 	return out, nil
 }
 
-// Figure5QBP regenerates Figures 5(e)-(h): query-by-pattern performance. For
-// every indexed pattern length, query patterns are sampled from the tree's
-// nodes of that length and queried with α_q = 0.
+// Figure5QBP regenerates Figures 5(e)-(h): query-by-pattern performance on
+// the served plan→execute path (Suite.Engine). For every indexed pattern
+// length, query patterns are sampled from the tree's nodes of that length
+// and queried with α_q = 0.
 func (s *Suite) Figure5QBP() ([]Figure5Row, error) {
 	rng := rand.New(rand.NewSource(s.Config.Seed + 1))
 	var out []Figure5Row
 	for _, name := range AllDatasets() {
 		tree, err := s.Tree(name)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := s.Engine(name)
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +135,10 @@ func (s *Suite) Figure5QBP() ([]Figure5Row, error) {
 			totalRetrieved := 0
 			for r := 0; r < reps; r++ {
 				q := patterns[rng.Intn(len(patterns))]
-				qr := tree.QueryByPattern(q)
+				qr, err := eng.Query(q, 0)
+				if err != nil {
+					return nil, err
+				}
 				total += qr.Duration
 				totalRetrieved += qr.RetrievedNodes
 			}
@@ -151,19 +163,23 @@ type CaseStudyCommunity struct {
 }
 
 // CaseStudy regenerates the case study of Section 7.4 on the co-author
-// analogue: it queries the AMINER TC-Tree at the configured α, keeps the
-// communities whose themes contain at least two keywords, and reports the
-// author names and keyword themes of the largest ones.
+// analogue: it queries the AMINER TC-Tree (through the serving engine) at
+// the configured α, keeps the communities whose themes contain at least two
+// keywords, and reports the author names and keyword themes of the largest
+// ones.
 func (s *Suite) CaseStudy(maxCommunities int) ([]CaseStudyCommunity, error) {
 	d, err := s.Dataset("AMINER")
 	if err != nil {
 		return nil, err
 	}
-	tree, err := s.Tree("AMINER")
+	eng, err := s.Engine("AMINER")
 	if err != nil {
 		return nil, err
 	}
-	qr := tree.QueryByAlpha(s.Config.CaseStudyAlpha)
+	qr, err := eng.QueryByAlpha(s.Config.CaseStudyAlpha)
+	if err != nil {
+		return nil, err
+	}
 	comms := qr.Communities()
 
 	var out []CaseStudyCommunity

@@ -23,6 +23,7 @@ import (
 	"runtime"
 
 	"themecomm/internal/dbnet"
+	"themecomm/internal/engine"
 	"themecomm/internal/gen"
 	"themecomm/internal/sampling"
 	"themecomm/internal/tctree"
@@ -89,6 +90,7 @@ type Suite struct {
 	datasets map[string]gen.Dataset
 	samples  map[string]*sampling.Sample
 	trees    map[string]*tctree.Tree
+	engines  map[string]*engine.Engine
 }
 
 // NewSuite returns a suite with the given configuration.
@@ -99,6 +101,7 @@ func NewSuite(cfg Config) *Suite {
 		datasets: make(map[string]gen.Dataset),
 		samples:  make(map[string]*sampling.Sample),
 		trees:    make(map[string]*tctree.Tree),
+		engines:  make(map[string]*engine.Engine),
 	}
 }
 
@@ -159,6 +162,27 @@ func (s *Suite) Tree(name string) (*tctree.Tree, error) {
 	})
 	s.trees[name] = t
 	return t, nil
+}
+
+// Engine returns the query-serving engine over the dataset's TC-Tree,
+// building both on first use. The query experiments (Figure 5, case study)
+// run through it so the reported numbers reflect the served plan→execute
+// path rather than a raw tree traversal. The result cache is disabled:
+// repetitions must measure execution, not cache hits.
+func (s *Suite) Engine(name string) (*engine.Engine, error) {
+	if e, ok := s.engines[name]; ok {
+		return e, nil
+	}
+	t, err := s.Tree(name)
+	if err != nil {
+		return nil, err
+	}
+	e, err := engine.New(t, engine.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: engine for %s: %w", name, err)
+	}
+	s.engines[name] = e
+	return e, nil
 }
 
 // network is a small helper for experiments that only need the network.

@@ -73,6 +73,7 @@ func New(tree *tctree.Tree, opts Options) (*Server, error) {
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/api/v1/query", s.handleQuery)
+	s.mux.HandleFunc("/api/v1/explain", s.handleExplain)
 	s.mux.HandleFunc("/api/v1/batch", s.handleBatch)
 	s.mux.HandleFunc("/api/v1/enginestats", s.handleEngineStats)
 	s.mux.HandleFunc("/api/v1/patterns", s.handlePatterns)
@@ -142,19 +143,38 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// parseQueryParams parses the alpha and pattern query parameters shared by
+// /api/v1/query and /api/v1/explain. A missing pattern yields a nil itemset
+// ("every item" — the query-by-alpha workload). ok is false when an error
+// response has already been written.
+func (s *Server) parseQueryParams(w http.ResponseWriter, r *http.Request) (alpha float64, q itemset.Itemset, ok bool) {
+	if v := r.URL.Query().Get("alpha"); v != "" {
+		parsed, err := strconv.ParseFloat(v, 64)
+		if err != nil || parsed < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid alpha %q", v))
+			return 0, nil, false
+		}
+		alpha = parsed
+	}
+	if raw := r.URL.Query().Get("pattern"); raw != "" {
+		parsed, err := s.parsePattern(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return 0, nil, false
+		}
+		q = parsed
+	}
+	return alpha, q, true
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	alpha := 0.0
-	if v := r.URL.Query().Get("alpha"); v != "" {
-		parsed, err := strconv.ParseFloat(v, 64)
-		if err != nil || parsed < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid alpha %q", v))
-			return
-		}
-		alpha = parsed
+	alpha, q, ok := s.parseQueryParams(w, r)
+	if !ok {
+		return
 	}
 
 	k := 0
@@ -167,16 +187,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		k = parsed
 	}
 
-	// A nil query pattern means "every item" to the engine (query by alpha).
-	var q itemset.Itemset
 	var patternNames []string
-	if raw := r.URL.Query().Get("pattern"); raw != "" {
-		parsed, err := s.parsePattern(raw)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		q = parsed
+	if q != nil {
 		patternNames = s.itemNames(q)
 	}
 
@@ -212,6 +224,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.queryResponse(q, patternNames, alpha, qr))
+}
+
+// ExplainResponse is the payload of GET /api/v1/explain: the engine's plan
+// and execution report, with the canonical query pattern rendered through
+// the dictionary. Task items stay numeric (they are shard identifiers).
+type ExplainResponse struct {
+	Pattern []string `json:"pattern,omitempty"`
+	*engine.ExplainReport
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	alpha, q, ok := s.parseQueryParams(w, r)
+	if !ok {
+		return
+	}
+	report, err := s.engine.Explain(q, alpha)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{Pattern: s.itemNames(report.Pattern), ExplainReport: report})
 }
 
 // queryResponse renders one engine answer.

@@ -396,6 +396,61 @@ func TestEngineStatsEndpoint(t *testing.T) {
 	}
 }
 
+// TestExplainEndpoint checks /api/v1/explain: per-shard decisions for a
+// named single-item pattern (one shard relevant, the rest skip-absent), the
+// execution summary, and the query-by-alpha form.
+func TestExplainEndpoint(t *testing.T) {
+	s, d := newTestServer(t)
+	name, err := d.Dictionary.Name(0)
+	if err != nil {
+		t.Fatalf("Name(0): %v", err)
+	}
+	rec := get(t, s, "/api/v1/explain?pattern="+strings.ReplaceAll(name, " ", "+")+"&alpha=0")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp ExplainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(resp.Pattern) != 1 || resp.Pattern[0] != name {
+		t.Fatalf("pattern = %v, want [%s]", resp.Pattern, name)
+	}
+	if resp.Shards == 0 || len(resp.Tasks) != resp.Shards {
+		t.Fatalf("report covers %d tasks of %d shards", len(resp.Tasks), resp.Shards)
+	}
+	if resp.SkippedAbsent != resp.Shards-1 {
+		t.Fatalf("SkippedAbsent = %d, want %d", resp.SkippedAbsent, resp.Shards-1)
+	}
+	// The engine is eager, so the one relevant shard is resident (or
+	// α*-skipped) and never loaded.
+	if resp.LoadTasks != 0 || resp.Loaded != 0 {
+		t.Fatalf("eager explain reports loads: %+v", resp)
+	}
+	// Query-by-alpha form: every shard considered, none absent.
+	rec = get(t, s, "/api/v1/explain?alpha=0.2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var qba ExplainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &qba); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !qba.Full || qba.SkippedAbsent != 0 {
+		t.Fatalf("query-by-alpha explain: full=%v skippedAbsent=%d", qba.Full, qba.SkippedAbsent)
+	}
+
+	if rec := get(t, s, "/api/v1/explain?alpha=-1"); rec.Code != http.StatusBadRequest {
+		t.Errorf("negative alpha = %d, want 400", rec.Code)
+	}
+	if rec := get(t, s, "/api/v1/explain?pattern=no-such-item"); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown pattern = %d, want 400", rec.Code)
+	}
+	if rec := post(t, s, "/api/v1/explain", ""); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /api/v1/explain = %d, want 405", rec.Code)
+	}
+}
+
 // canonicalBody re-renders a JSON response with every volatile field
 // (queryMicros, the only wall-clock value) zeroed, so lazy and eager
 // responses can be compared byte for byte.

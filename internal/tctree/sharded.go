@@ -105,6 +105,12 @@ func (m *Manifest) MaxAlpha() float64 {
 	return maxAlpha
 }
 
+// Stats converts the manifest entry to the shard-statistics form of
+// Tree.ShardStats, the planner-facing view of the catalogue.
+func (e ShardEntry) Stats() ShardStats {
+	return ShardStats{Item: itemset.Item(e.Item), Nodes: e.Nodes, Depth: e.Depth, MaxAlpha: e.MaxAlpha}
+}
+
 // Items returns the shard root items in ascending order.
 func (m *Manifest) Items() itemset.Itemset {
 	items := make([]itemset.Item, 0, len(m.Shards))
@@ -149,20 +155,15 @@ func encodeShard(root *Node) ([]byte, ShardEntry, error) {
 	if err := gob.NewEncoder(&buf).Encode(&shardFile{Version: shardFileVersion, Item: int32(root.Item), Nodes: recs}); err != nil {
 		return nil, ShardEntry{}, fmt.Errorf("tctree: encode shard %d: %w", root.Item, err)
 	}
+	stats := statsOf(root)
 	entry := ShardEntry{
 		Item:     int32(root.Item),
 		File:     shardFileName(root.Item),
 		Nodes:    len(recs),
+		Depth:    stats.Depth,
+		MaxAlpha: stats.MaxAlpha,
 		Checksum: checksumOf(buf.Bytes()),
 	}
-	root.Walk(func(n *Node) {
-		if l := n.Pattern.Len(); l > entry.Depth {
-			entry.Depth = l
-		}
-		if a := n.Decomp.MaxAlpha(); a > entry.MaxAlpha {
-			entry.MaxAlpha = a
-		}
-	})
 	return buf.Bytes(), entry, nil
 }
 

@@ -75,6 +75,52 @@ func (t *Tree) MaxAlpha() float64 {
 	return maxAlpha
 }
 
+// ShardStats summarises one first-level subtree (shard): its root item, node
+// count, longest indexed pattern and α* bound. These are the statistics the
+// sharded manifest persists per shard and the serving layer's planner
+// consults before paying for a traversal or a disk load.
+type ShardStats struct {
+	// Item is the shard's root item; every pattern indexed in the shard
+	// contains it.
+	Item itemset.Item
+	// Nodes is the number of nodes of the subtree.
+	Nodes int
+	// Depth is the longest pattern indexed in the subtree.
+	Depth int
+	// MaxAlpha is the shard's α* bound: C*_p(α) = ∅ for every indexed p and
+	// every α ≥ MaxAlpha, so a query with α_q ≥ MaxAlpha retrieves nothing
+	// from the shard.
+	MaxAlpha float64
+}
+
+// statsOf computes the shard statistics of the subtree rooted at root.
+func statsOf(root *Node) ShardStats {
+	s := ShardStats{Item: root.Item}
+	root.Walk(func(n *Node) {
+		s.Nodes++
+		if l := n.Pattern.Len(); l > s.Depth {
+			s.Depth = l
+		}
+		if a := n.Decomp.MaxAlpha(); a > s.MaxAlpha {
+			s.MaxAlpha = a
+		}
+	})
+	return s
+}
+
+// ShardStats returns the per-shard statistics of the tree in first-level
+// child order (ascending root item), aligned with Root().Children.
+func (t *Tree) ShardStats() []ShardStats {
+	if t == nil || t.root == nil {
+		return nil
+	}
+	out := make([]ShardStats, 0, len(t.root.Children))
+	for _, c := range t.root.Children {
+		out = append(out, statsOf(c))
+	}
+	return out
+}
+
 // Walk visits every non-root node of the tree in depth-first order.
 func (t *Tree) Walk(visit func(*Node)) {
 	if t == nil || t.root == nil {

@@ -19,10 +19,12 @@
 //   - the TC-Tree index with query answering by pattern and by cohesion
 //     threshold, persisted either as one file or as a sharded index (one
 //     file per top-level item plus a manifest) that can be served lazily;
-//   - the concurrent query-serving engine: sharded parallel TC-Tree
-//     execution with an LRU result cache, batch queries, top-k ranking, and
-//     a lazy mode that loads shards from disk on first touch under a
-//     configurable residency budget;
+//   - the concurrent query-serving engine: a cost-based planner that skips
+//     shards from catalogue statistics alone (α* bounds) and schedules the
+//     expensive ones first, sharded parallel execution with background shard
+//     prefetch, an LRU result cache, batch queries, top-k ranking, an
+//     Explain API, and a lazy mode that loads shards from disk on first
+//     touch under a configurable residency budget;
 //   - synthetic dataset generators emulating the paper's evaluation datasets.
 //
 // The cmd/ directory contains command-line tools, examples/ contains runnable
@@ -104,10 +106,13 @@ type (
 
 // Query-serving engine types.
 type (
-	// Engine is the concurrent query-serving layer over a TC-Tree: sharded
-	// parallel execution, an LRU result cache, batch and top-k queries.
+	// Engine is the concurrent query-serving layer over a TC-Tree: cost-based
+	// plan→execute query answering (α* shard skipping, cost-ordered
+	// scheduling, background prefetch), an LRU result cache, batch and top-k
+	// queries.
 	Engine = engine.Engine
-	// EngineOptions configures an Engine (workers, cache size).
+	// EngineOptions configures an Engine (workers, cache size, residency
+	// budget, planner and prefetch settings).
 	EngineOptions = engine.Options
 	// EngineStats is a snapshot of the engine's execution and cache counters.
 	EngineStats = engine.Stats
@@ -116,6 +121,12 @@ type (
 	// RankedCommunity is one community of an Engine.TopK answer, annotated
 	// with the cohesion it was ranked by.
 	RankedCommunity = engine.RankedCommunity
+	// QueryPlan is the cost-based planner's output: per-shard
+	// skip/resident/load decisions plus a cost-ordered schedule.
+	QueryPlan = engine.QueryPlan
+	// EngineExplain is the annotated plan + execution report of
+	// Engine.Explain (and GET /api/v1/explain).
+	EngineExplain = engine.ExplainReport
 )
 
 // NewEngine returns a query-serving engine over a built TC-Tree.
