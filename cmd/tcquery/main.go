@@ -9,12 +9,18 @@
 // cost-ordered schedule) and the observed execution counters instead of the
 // communities; -noplanner disables the planner for comparison.
 //
+// Against a networks directory (the layout tcserver -networks serves:
+// several indexes side by side), -network selects which indexed network to
+// query; the network's sibling <name>.dbnet file, when present, resolves
+// item names automatically.
+//
 // Usage:
 //
 //	tcquery -tree bk.dbnet.tctree -alpha 0.5
 //	tcquery -tree bk.index -net bk.dbnet -pattern "hangout-c3-0,hangout-c3-1" -alpha 0.2
 //	tcquery -tree bk.dbnet.tctree -alpha 0.2 -topk 10 -workers 8
 //	tcquery -tree bk.index -alpha 0.4 -explain
+//	tcquery -tree warehouse/ -network bk -alpha 0.2
 package main
 
 import (
@@ -32,7 +38,8 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tcquery: ")
 
-	treePath := flag.String("tree", "", "TC-Tree file or sharded index directory built by tcindex (required)")
+	treePath := flag.String("tree", "", "TC-Tree file, sharded index directory, or networks directory (required)")
+	network := flag.String("network", "", "network to query when -tree is a networks directory holding several indexes")
 	netPath := flag.String("net", "", "database network file; needed to resolve item names in -pattern")
 	alphaQ := flag.Float64("alpha", 0, "query cohesion threshold α_q")
 	pattern := flag.String("pattern", "", "comma-separated query pattern (item names or numeric ids); empty = all items")
@@ -48,7 +55,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	eng, err := themecomm.OpenEngine(*treePath, themecomm.EngineOptions{
+	indexPath := resolveNetwork(*treePath, *network, netPath)
+	eng, err := themecomm.OpenEngine(indexPath, themecomm.EngineOptions{
 		Workers:        *workers,
 		CacheSize:      *cacheSize,
 		DisablePlanner: *noPlanner,
@@ -121,6 +129,51 @@ func main() {
 	if limit < len(comms) {
 		fmt.Printf("  ... %d more (raise -top to see them)\n", len(comms)-limit)
 	}
+}
+
+// resolveNetwork maps -tree/-network onto one index path. A .tctree file or
+// sharded index directory passes through untouched; a networks directory
+// (several indexes side by side, as served by tcserver -networks) resolves
+// through -network — required unless the directory holds exactly one
+// network — and supplies the network's sibling .dbnet dictionary when -net
+// was not given.
+func resolveNetwork(treePath, network string, netPath *string) string {
+	st, err := os.Stat(treePath)
+	if err != nil || !st.IsDir() || themecomm.IsShardedIndex(treePath) {
+		if network != "" {
+			log.Fatalf("-network %s needs -tree to be a networks directory, not an index", network)
+		}
+		return treePath
+	}
+	nets, err := themecomm.DiscoverNetworks(treePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, len(nets))
+	for i, d := range nets {
+		names[i] = d.Name
+	}
+	var pick *themecomm.DiscoveredNetwork
+	switch {
+	case network != "":
+		for i := range nets {
+			if nets[i].Name == network {
+				pick = &nets[i]
+				break
+			}
+		}
+		if pick == nil {
+			log.Fatalf("no network %q in %s (available: %s)", network, treePath, strings.Join(names, ", "))
+		}
+	case len(nets) == 1:
+		pick = &nets[0]
+	default:
+		log.Fatalf("%s holds %d networks; pick one with -network (available: %s)", treePath, len(nets), strings.Join(names, ", "))
+	}
+	if *netPath == "" {
+		*netPath = pick.NetworkPath
+	}
+	return pick.IndexPath
 }
 
 // printExplain runs the query through Engine.Explain and prints the

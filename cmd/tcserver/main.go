@@ -1,17 +1,26 @@
-// Command tcserver serves theme-community queries over HTTP from a TC-Tree
-// built by tcindex. Both index formats load transparently: a monolithic
-// .tctree file is read whole, while a sharded index directory (tcindex
-// -sharded) is served lazily — a shard's file is only read on the first query
-// that touches it, and -maxresident bounds how many shards stay in memory.
-// Queries go through the engine's cost-based planner: shards whose α* bound
-// proves an empty answer are skipped without a load, expensive shards are
-// scheduled first, and a bounded background prefetcher (-prefetch) warms the
-// schedule tail.
+// Command tcserver serves theme-community queries over HTTP from TC-Tree
+// indexes built by tcindex. Both index formats load transparently: a
+// monolithic .tctree file is read whole, while a sharded index directory
+// (tcindex -sharded) is served lazily — a shard's file is only read on the
+// first query that touches it, and -maxresident bounds how many shards stay
+// in memory. Queries go through the engine's cost-based planner: shards
+// whose α* bound proves an empty answer are skipped without a load,
+// expensive shards are scheduled first, and a bounded background prefetcher
+// (-prefetch) warms the schedule tail.
+//
+// With -networks the server fronts a whole federation of indexed networks:
+// every sharded index directory and .tctree file inside the given directory
+// becomes a named network (a sibling <name>.dbnet file provides its item
+// dictionary), all sharing one result cache and one residency budget
+// (-maxresident then bounds resident shards across ALL networks), queryable
+// individually under /api/v1/{network}/... or together via /api/v1/queryall.
 //
 // Usage:
 //
 //	tcserver -tree bk.dbnet.tctree -net bk.dbnet -addr :8080 -workers 8 -cache 1024
 //	tcserver -tree bk.index -maxresident 16        # lazy, sharded index dir
+//	tcserver -networks warehouse/ -maxresident 64  # federation: every index in warehouse/
+//	tcserver -networks warehouse/ -default bk      # single-network routes serve "bk"
 //
 // Endpoints (see docs/API.md for request/response schemas):
 //
@@ -25,6 +34,10 @@
 //	GET  /api/v1/enginestats                engine counters (shards, residency, cache, planner)
 //	GET  /api/v1/patterns?length=2          list indexed patterns of a length
 //	GET  /api/v1/vertex?id=7&alpha=0.2      theme communities containing a vertex
+//	GET  /api/v1/networks                   list the federation's networks (-networks)
+//	GET  /api/v1/{network}/query|explain|batch|enginestats|stats|patterns|vertex
+//	GET  /api/v1/queryall?alpha=0.2&k=10    one query across every network, merged by cohesion
+//	GET  /api/v1/federationstats            shared cache/budget state + per-network counters
 package main
 
 import (
@@ -32,6 +45,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"themecomm"
@@ -42,39 +56,70 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tcserver: ")
 
-	treePath := flag.String("tree", "", "TC-Tree file or sharded index directory built by tcindex (required)")
-	netPath := flag.String("net", "", "database network file; enables item-name resolution")
+	treePath := flag.String("tree", "", "TC-Tree file or sharded index directory built by tcindex")
+	networksDir := flag.String("networks", "", "serve every indexed network found in this directory as a federation")
+	defaultNetwork := flag.String("default", "", "federation network behind the single-network routes (default: lexically first)")
+	netPath := flag.String("net", "", "database network file; enables item-name resolution (-tree only)")
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "shard-traversal parallelism (0 = GOMAXPROCS)")
-	cacheSize := flag.Int("cache", 1024, "result-cache entries (0 disables caching)")
-	maxResident := flag.Int("maxresident", 0, "sharded index only: max shards kept in memory (0 = unlimited)")
-	prefetch := flag.Int("prefetch", 0, "sharded index only: background shard-prefetch workers (0 = default, negative disables)")
+	cacheSize := flag.Int("cache", 1024, "result-cache entries, shared across networks with -networks (0 disables caching)")
+	maxResident := flag.Int("maxresident", 0, "sharded indexes only: max shards kept in memory, across all networks with -networks (0 = unlimited)")
+	prefetch := flag.Int("prefetch", 0, "sharded indexes only: background shard-prefetch workers (0 = default, negative disables)")
 	noPlanner := flag.Bool("noplanner", false, "disable the cost-based planner (no α* shard skipping, no cost ordering, no prefetch)")
 	flag.Parse()
 
-	if *treePath == "" {
+	if *treePath == "" && *networksDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	eng, err := themecomm.OpenEngine(*treePath, themecomm.EngineOptions{
-		Workers:           *workers,
-		CacheSize:         *cacheSize,
-		MaxResidentShards: *maxResident,
-		PrefetchWorkers:   *prefetch,
-		DisablePlanner:    *noPlanner,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	opts := server.Options{Engine: eng}
-	if *netPath != "" {
-		_, dict, err := themecomm.ReadNetworkFile(*netPath)
+
+	opts := server.Options{DefaultNetwork: *defaultNetwork}
+	if *networksDir != "" {
+		fed, err := themecomm.OpenFederation(*networksDir, themecomm.FederationOptions{
+			Workers:           *workers,
+			CacheSize:         *cacheSize,
+			MaxResidentShards: *maxResident,
+			PrefetchWorkers:   *prefetch,
+			DisablePlanner:    *noPlanner,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		opts.Dictionary = dict
+		opts.Federation = fed
 	}
-	srv, err := server.New(eng.Tree(), opts)
+	if *treePath != "" {
+		eng, err := themecomm.OpenEngine(*treePath, themecomm.EngineOptions{
+			Workers:           *workers,
+			CacheSize:         *cacheSize,
+			MaxResidentShards: *maxResident,
+			PrefetchWorkers:   *prefetch,
+			DisablePlanner:    *noPlanner,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Engine = eng
+		if *netPath != "" {
+			_, dict, err := themecomm.ReadNetworkFile(*netPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts.Dictionary = dict
+		}
+		mode := "eager"
+		if eng.Lazy() {
+			mode = "lazy"
+		}
+		log.Printf("serving %d indexed maximal pattern trusses (%s, %d shards, %d workers, cache %d)",
+			eng.NumNodes(), mode, eng.NumShards(), eng.Workers(), *cacheSize)
+	}
+	if opts.Federation != nil {
+		names := opts.Federation.Names()
+		log.Printf("federation of %d networks from %s: %s (shared cache %d, shared residency budget %d)",
+			len(names), *networksDir, strings.Join(names, ", "), *cacheSize, *maxResident)
+	}
+
+	srv, err := server.New(nil, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -84,12 +129,7 @@ func main() {
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	mode := "eager"
-	if eng.Lazy() {
-		mode = "lazy"
-	}
-	log.Printf("serving %d indexed maximal pattern trusses on %s (%s, %d shards, %d workers, cache %d)",
-		eng.NumNodes(), *addr, mode, eng.NumShards(), eng.Workers(), *cacheSize)
+	log.Printf("listening on %s", *addr)
 	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

@@ -13,12 +13,12 @@ func result(n int) *tctree.QueryResult { return &tctree.QueryResult{RetrievedNod
 
 func TestLRUEvictionOrder(t *testing.T) {
 	c := newLRUCache(2)
-	c.put("a", nil, false, result(1), 0)
-	c.put("b", nil, false, result(2), 0)
+	c.put("a", "", nil, false, result(1), 0)
+	c.put("b", "", nil, false, result(2), 0)
 	if _, ok := c.get("a"); !ok { // refresh a: b is now least recently used
 		t.Fatalf("a should be cached")
 	}
-	c.put("c", nil, false, result(3), 0)
+	c.put("c", "", nil, false, result(3), 0)
 	if _, ok := c.get("b"); ok {
 		t.Fatalf("b should have been evicted as least recently used")
 	}
@@ -39,10 +39,10 @@ func TestLRUEvictionOrder(t *testing.T) {
 
 func TestLRUPutExistingRefreshes(t *testing.T) {
 	c := newLRUCache(2)
-	c.put("a", nil, false, result(1), 0)
-	c.put("b", nil, false, result(2), 0)
-	c.put("a", nil, false, result(10), 0) // refresh value and recency
-	c.put("c", nil, false, result(3), 0)  // evicts b, not a
+	c.put("a", "", nil, false, result(1), 0)
+	c.put("b", "", nil, false, result(2), 0)
+	c.put("a", "", nil, false, result(10), 0) // refresh value and recency
+	c.put("c", "", nil, false, result(3), 0)  // evicts b, not a
 	if res, ok := c.get("a"); !ok || res.RetrievedNodes != 10 {
 		t.Fatalf("a = %v, want refreshed value 10", res)
 	}
@@ -66,7 +66,7 @@ func TestLRUConcurrent(t *testing.T) {
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("k%d", (g*7+i)%32)
 				if _, ok := c.get(key); !ok {
-					c.put(key, nil, false, result(i), 0)
+					c.put(key, "", nil, false, result(i), 0)
 				}
 			}
 		}(g)
@@ -85,13 +85,13 @@ func TestLRUConcurrent(t *testing.T) {
 // computed before an invalidation ran must not be inserted afterwards.
 func TestLRUPutDropsStaleGeneration(t *testing.T) {
 	c := newLRUCache(4)
-	gen := c.generation()
-	c.invalidate(func(itemset.Itemset, bool) bool { return false }) // bumps the generation
-	c.put("a", nil, false, result(1), gen)
+	gen := c.generation("")
+	c.invalidate("", func(itemset.Itemset, bool) bool { return false }) // bumps the generation
+	c.put("a", "", nil, false, result(1), gen)
 	if _, ok := c.get("a"); ok {
 		t.Fatalf("stale-generation put must be discarded")
 	}
-	c.put("a", nil, false, result(1), c.generation())
+	c.put("a", "", nil, false, result(1), c.generation(""))
 	if _, ok := c.get("a"); !ok {
 		t.Fatalf("current-generation put must be inserted")
 	}

@@ -65,6 +65,21 @@ type Options struct {
 	// behind the worker pool. Zero means a small default; negative disables
 	// prefetching. Eager engines have nothing to prefetch.
 	PrefetchWorkers int
+	// SharedCache, when non-nil, replaces the engine's private result cache
+	// with a cache shared between engines (a federation of networks): keys
+	// are prefixed with CacheNamespace so tenants never collide, while
+	// capacity, LRU order and counters are global. CacheSize is ignored.
+	SharedCache *ResultCache
+	// CacheNamespace is the engine's key prefix in a shared cache; it must be
+	// unique per engine sharing the cache (a federation uses the network
+	// name). Ignored without SharedCache.
+	CacheNamespace string
+	// SharedResidency, when non-nil, enrolls a lazy engine in a residency
+	// group shared between engines: the group's budget bounds the resident
+	// shards of every member together, and eviction is globally
+	// least-recently-used. MaxResidentShards is ignored. Eager engines
+	// ignore it.
+	SharedResidency *ResidencyGroup
 }
 
 // defaultPrefetchWorkers is the prefetch-pool bound when Options leaves
@@ -96,7 +111,13 @@ type Engine struct {
 	// two pools cannot deadlock each other.
 	batchSem chan struct{}
 
-	cache *lruCache // nil when caching is disabled
+	// cache is the result cache (nil when caching is disabled); cacheNS is
+	// the engine's key namespace, non-empty only when the cache is shared
+	// between engines; sharedCache marks a cache owned by a federation
+	// rather than this engine.
+	cache       *lruCache
+	cacheNS     string
+	sharedCache bool
 
 	// planCfg is the planner configuration (zero value = planning off).
 	planCfg PlanConfig
@@ -104,13 +125,11 @@ type Engine struct {
 	// prefetching is disabled or the engine is eager.
 	prefetchSem chan struct{}
 
-	// maxResident is the lazy-mode residency budget (0 = unlimited); clock
-	// is the logical clock stamping shard use for LRU eviction; evictMu
-	// serializes eviction scans; resident counts resident lazy shards.
-	maxResident int
-	clock       atomic.Int64
-	evictMu     sync.Mutex
-	resident    atomic.Int64
+	// res is the engine's residency accounting — budget, LRU clock and
+	// eviction — either private to this engine or shared with other engines
+	// of a federation; sharedRes marks the shared case.
+	res       *ResidencyGroup
+	sharedRes bool
 
 	queries    atomic.Uint64
 	batches    atomic.Uint64
@@ -154,10 +173,13 @@ func NewLazy(idx *tctree.ShardedIndex, opts Options) (*Engine, error) {
 	}
 	e := newEngine(opts)
 	e.idx = idx
-	e.maxResident = opts.MaxResidentShards
-	if e.maxResident < 0 {
-		e.maxResident = 0
+	if opts.SharedResidency != nil {
+		e.res = opts.SharedResidency
+		e.sharedRes = true
+	} else {
+		e.res = NewResidencyGroup(opts.MaxResidentShards)
 	}
+	e.res.add(e)
 	if !opts.DisablePlanner && opts.PrefetchWorkers >= 0 {
 		workers := opts.PrefetchWorkers
 		if workers == 0 {
@@ -191,11 +213,20 @@ func newEngine(opts Options) *Engine {
 		workers:    workers,
 		sem:        make(chan struct{}, workers),
 		batchSem:   make(chan struct{}, workers),
+		// res is the private default; NewLazy swaps in a shared group when
+		// Options.SharedResidency is set. Eager engines never evict, so the
+		// zero budget is inert for them.
+		res: NewResidencyGroup(0),
 	}
 	if !opts.DisablePlanner {
 		e.planCfg = DefaultPlanConfig()
 	}
-	if opts.CacheSize > 0 {
+	switch {
+	case opts.SharedCache != nil:
+		e.cache = opts.SharedCache.c
+		e.cacheNS = opts.CacheNamespace
+		e.sharedCache = true
+	case opts.CacheSize > 0:
 		e.cache = newLRUCache(opts.CacheSize)
 	}
 	return e
@@ -245,7 +276,7 @@ func (e *Engine) acquire(s *shard) (root *tctree.Node, loaded bool, err error) {
 		s.mu.Lock()
 		if s.root != nil {
 			root := s.root
-			s.lastUsed.Store(e.clock.Add(1))
+			s.lastUsed.Store(e.res.clock.Add(1))
 			s.mu.Unlock()
 			return root, loaded, nil
 		}
@@ -269,54 +300,17 @@ func (e *Engine) acquire(s *shard) (root *tctree.Node, loaded bool, err error) {
 				s.err = err
 			} else {
 				s.root = root
-				s.lastUsed.Store(e.clock.Add(1))
+				s.lastUsed.Store(e.res.clock.Add(1))
 				s.loads.Add(1)
 				e.lazyLoads.Add(1)
-				e.resident.Add(1)
+				e.res.resident.Add(1)
 				loaded = true
 			}
 			s.mu.Unlock()
 			if err == nil {
-				e.enforceBudget(s)
+				e.res.enforce(s)
 			}
 		})
-	}
-}
-
-// enforceBudget evicts least-recently-used resident shards until the
-// residency budget holds again. just, when non-nil, is exempt: evicting the
-// shard that was loaded for the in-flight query would only thrash.
-// Evicting a shard that a concurrent query is still traversing is safe — the
-// query keeps its immutable subtree snapshot; only the engine's reference is
-// dropped.
-func (e *Engine) enforceBudget(just *shard) {
-	if e.maxResident <= 0 {
-		return
-	}
-	e.evictMu.Lock()
-	defer e.evictMu.Unlock()
-	for int(e.resident.Load()) > e.maxResident {
-		var victim *shard
-		var oldest int64
-		for _, s := range e.shards {
-			if s == just || s.load == nil || !s.resident() {
-				continue
-			}
-			if lu := s.lastUsed.Load(); victim == nil || lu < oldest {
-				victim, oldest = s, lu
-			}
-		}
-		if victim == nil {
-			return
-		}
-		victim.mu.Lock()
-		if victim.root != nil {
-			victim.root = nil
-			victim.once = new(sync.Once)
-			e.resident.Add(-1)
-			e.evictions.Add(1)
-		}
-		victim.mu.Unlock()
 	}
 }
 
@@ -338,7 +332,7 @@ func (e *Engine) ReloadShard(item itemset.Item) error {
 	entry, haveEntry := e.idx.Entry(item)
 	s.mu.Lock()
 	if s.root != nil {
-		e.resident.Add(-1)
+		e.res.resident.Add(-1)
 	}
 	s.root, s.err = nil, nil
 	s.once = new(sync.Once)
@@ -349,10 +343,41 @@ func (e *Engine) ReloadShard(item itemset.Item) error {
 	s.mu.Unlock()
 	if e.cache != nil {
 		// Full-pattern entries (query by alpha) depend on every shard, so
-		// they always go.
-		e.cache.invalidate(func(q itemset.Itemset, full bool) bool { return full || q.Contains(item) })
+		// they always go. Only this engine's namespace is touched — in a
+		// shared cache, other tenants' answers provably never read the shard.
+		e.cache.invalidate(e.cacheNS, func(q itemset.Itemset, full bool) bool { return full || q.Contains(item) })
 	}
 	return nil
+}
+
+// Release withdraws the engine from the federation resources it shares:
+// every resident lazy shard is evicted (returning its budget share to the
+// residency group) and every cached answer of the engine's namespace is
+// purged from the shared cache. The engine then stands alone: it keeps
+// answering queries, but over a private residency group of the same budget
+// and without the shared cache, so a handle that outlives a detach can
+// neither consume the federation's budget unchecked (a non-member's shards
+// are invisible to the group's evictor) nor repopulate its old namespace in
+// the shared cache. Release must not race with queries on the same engine —
+// a load in flight across the switch may leave the old group's resident
+// count one high. Solo engines may call it too; it simply empties their
+// cache and resident set.
+func (e *Engine) Release() {
+	e.res.remove(e)
+	if e.cache != nil {
+		e.cache.invalidate(e.cacheNS, func(itemset.Itemset, bool) bool { return true })
+	}
+	if e.sharedRes {
+		g := NewResidencyGroup(e.res.max)
+		g.add(e)
+		e.res = g
+		e.sharedRes = false
+	}
+	if e.sharedCache {
+		e.cache = nil
+		e.cacheNS = ""
+		e.sharedCache = false
+	}
 }
 
 // canonical clamps a query pattern to the indexed top-level items. A nil
@@ -383,6 +408,14 @@ func cacheKey(q itemset.Itemset, full bool, alphaQ float64) string {
 	return p + "\x00" + strconv.FormatFloat(alphaQ, 'b', -1, 64)
 }
 
+// key is cacheKey under the engine's cache namespace. Namespaces are network
+// names and never contain the \x1f separator, so tenants of a shared cache
+// cannot collide; a solo engine's empty namespace degenerates to a plain
+// prefix.
+func (e *Engine) key(q itemset.Itemset, full bool, alphaQ float64) string {
+	return e.cacheNS + "\x1f" + cacheKey(q, full, alphaQ)
+}
+
 // Query answers (q, α_q) like tctree.Query, but traverses only the shards
 // whose root item is in q, in parallel across the worker pool. A nil q means
 // "every item" (the query-by-alpha workload). The answer lists the retrieved
@@ -394,7 +427,7 @@ func (e *Engine) Query(q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, 
 	e.queries.Add(1)
 	start := time.Now()
 	eff, full := e.canonical(q)
-	key := cacheKey(eff, full, alphaQ)
+	key := e.key(eff, full, alphaQ)
 	var gen uint64
 	if e.cache != nil {
 		if cached, ok := e.cache.get(key); ok {
@@ -406,7 +439,7 @@ func (e *Engine) Query(q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, 
 		// Capture the invalidation generation before executing: if a
 		// ReloadShard invalidation runs while this query is in flight, the
 		// result may predate the swap and put will discard it.
-		gen = e.cache.generation()
+		gen = e.cache.generation(e.cacheNS)
 	}
 	res, _, _, err := e.executePlan(e.planRelevant(eff, alphaQ))
 	if err != nil {
@@ -414,7 +447,7 @@ func (e *Engine) Query(q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, 
 	}
 	res.Duration = time.Since(start)
 	if e.cache != nil {
-		e.cache.put(key, eff, full, res, gen)
+		e.cache.put(key, e.cacheNS, eff, full, res, gen)
 	}
 	return res, nil
 }
@@ -437,6 +470,15 @@ func (e *Engine) planRelevant(eff itemset.Itemset, alphaQ float64) *QueryPlan {
 		}
 	}
 	return PlanQuery(infos, eff, alphaQ, e.planCfg)
+}
+
+// EstimateCost returns the planner's total cost estimate of answering
+// (q, alphaQ) right now — the summed per-shard costs of the plan's schedule,
+// reflecting current residency. It plans without executing, so it is cheap;
+// a federation uses it to order cross-network batches most-expensive-first.
+func (e *Engine) EstimateCost(q itemset.Itemset, alphaQ float64) float64 {
+	eff, _ := e.canonical(q)
+	return e.planRelevant(eff, alphaQ).TotalCost
 }
 
 // taskExec is the execution record of one plan task, reported by Explain.
@@ -545,8 +587,8 @@ func (e *Engine) prefetchPlan(plan *QueryPlan, prefetched *atomic.Uint64) {
 	// count is a snapshot — the cap is a heuristic, correctness is
 	// acquire's job.
 	budget := len(plan.Order) - e.workers
-	if e.maxResident > 0 {
-		headroom := e.maxResident - int(e.resident.Load()) - e.workers
+	if e.res.max > 0 {
+		headroom := e.res.max - int(e.res.resident.Load()) - e.workers
 		if headroom < 1 {
 			return
 		}

@@ -86,7 +86,7 @@ func (e *Engine) PatternsAtDepth(depth int) ([]itemset.Itemset, error) {
 			}
 		})
 	}
-	e.enforceBudget(nil)
+	e.res.enforce(nil)
 	return out, nil
 }
 

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ResidencyGroup is the residency accounting of one or more lazy engines: a
+// global budget of resident shards, the logical clock that stamps shard use
+// for LRU eviction, and the membership list the evictor scans. Every engine
+// owns a private group by default; a federation passes one group to many
+// engines (Options.SharedResidency) so the budget is enforced across every
+// member's shards — a hot tenant loading shard after shard evicts the
+// globally least-recently-used shard, whichever engine it belongs to, and can
+// never hold more than the shared budget by itself.
+type ResidencyGroup struct {
+	// max is the budget: the number of lazily loaded shards the group's
+	// members may keep resident at once. Zero or negative means unlimited.
+	max int
+
+	// clock stamps shard use; because every member shares it, recency is
+	// comparable across engines and eviction is globally least-recent-first.
+	clock atomic.Int64
+	// resident counts resident lazy shards across all members.
+	resident atomic.Int64
+
+	// evictMu serializes eviction scans; mu guards members.
+	evictMu sync.Mutex
+	mu      sync.RWMutex
+	members []*Engine
+}
+
+// NewResidencyGroup returns a residency group with the given budget of
+// resident shards across every member engine (0 or negative = unlimited).
+// Pass it to many engines via Options.SharedResidency to share the budget.
+func NewResidencyGroup(maxResident int) *ResidencyGroup {
+	if maxResident < 0 {
+		maxResident = 0
+	}
+	return &ResidencyGroup{max: maxResident}
+}
+
+// MaxResident returns the group's budget (0 = unlimited).
+func (g *ResidencyGroup) MaxResident() int { return g.max }
+
+// Resident returns the number of resident lazy shards across all members.
+func (g *ResidencyGroup) Resident() int { return int(g.resident.Load()) }
+
+// add enrolls an engine; its shards become candidates for eviction.
+func (g *ResidencyGroup) add(e *Engine) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.members = append(g.members, e)
+}
+
+// remove withdraws an engine from the group, evicting every resident lazy
+// shard it holds so the budget it consumed returns to the remaining members.
+func (g *ResidencyGroup) remove(e *Engine) {
+	g.mu.Lock()
+	for i, m := range g.members {
+		if m == e {
+			g.members = append(g.members[:i], g.members[i+1:]...)
+			break
+		}
+	}
+	g.mu.Unlock()
+	for _, s := range e.shards {
+		if evictShard(s) {
+			g.resident.Add(-1)
+			e.evictions.Add(1)
+		}
+	}
+}
+
+// enforce evicts globally least-recently-used resident shards until the
+// budget holds again. just, when non-nil, is exempt: evicting the shard that
+// was loaded for the in-flight query would only thrash. Evicting a shard a
+// concurrent query is still traversing is safe — the query keeps its
+// immutable subtree snapshot; only the engine's reference is dropped.
+func (g *ResidencyGroup) enforce(just *shard) {
+	if g.max <= 0 {
+		return
+	}
+	g.evictMu.Lock()
+	defer g.evictMu.Unlock()
+	for int(g.resident.Load()) > g.max {
+		var victim *shard
+		var owner *Engine
+		var oldest int64
+		g.mu.RLock()
+		for _, m := range g.members {
+			for _, s := range m.shards {
+				if s == just || s.load == nil || !s.resident() {
+					continue
+				}
+				if lu := s.lastUsed.Load(); victim == nil || lu < oldest {
+					victim, owner, oldest = s, m, lu
+				}
+			}
+		}
+		g.mu.RUnlock()
+		if victim == nil {
+			return
+		}
+		if evictShard(victim) {
+			g.resident.Add(-1)
+			owner.evictions.Add(1)
+		}
+	}
+}
+
+// evictShard drops the shard's resident subtree, reporting whether anything
+// was dropped. A fresh sync.Once is installed so the next touch reloads.
+func evictShard(s *shard) bool {
+	if s.load == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.root == nil {
+		return false
+	}
+	s.root = nil
+	s.once = new(sync.Once)
+	return true
+}

@@ -13,6 +13,9 @@ type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
+	// Shared marks a cache owned by a federation rather than this engine;
+	// capacity, length and counters are then global across every tenant.
+	Shared bool `json:"shared,omitempty"`
 }
 
 // ShardStat is the catalogue and residency state of one shard.
@@ -41,8 +44,13 @@ type Stats struct {
 	// ResidentShards is the number of shards currently in memory; for eager
 	// engines it always equals Shards.
 	ResidentShards int `json:"residentShards"`
-	// MaxResidentShards is the lazy residency budget (0 = unlimited).
-	MaxResidentShards int `json:"maxResidentShards,omitempty"`
+	// MaxResidentShards is the lazy residency budget (0 = unlimited). When
+	// SharedResidency is set the budget is a federation-wide bound across
+	// every member engine's shards, and GroupResidentShards reports the
+	// group-wide resident total this engine contributes to.
+	MaxResidentShards   int  `json:"maxResidentShards,omitempty"`
+	SharedResidency     bool `json:"sharedResidency,omitempty"`
+	GroupResidentShards int  `json:"groupResidentShards,omitempty"`
 	// Planner reports whether cost-based planning (α* shard skipping, cost
 	// ordering, prefetch) is enabled; PrefetchWorkers is the background
 	// prefetch-pool bound (0 = prefetch disabled).
@@ -79,7 +87,8 @@ func (e *Engine) Stats() Stats {
 		Shards:            len(e.shards),
 		Workers:           e.workers,
 		Lazy:              e.Lazy(),
-		MaxResidentShards: e.maxResident,
+		MaxResidentShards: e.res.max,
+		SharedResidency:   e.sharedRes,
 		Planner:           e.Planner(),
 		PrefetchWorkers:   cap(e.prefetchSem),
 		LazyLoads:         e.lazyLoads.Load(),
@@ -105,8 +114,12 @@ func (e *Engine) Stats() Stats {
 		}
 		s.ShardResidency = append(s.ShardResidency, stat)
 	}
+	if e.sharedRes {
+		s.GroupResidentShards = e.res.Resident()
+	}
 	if e.cache != nil {
 		s.Cache.Enabled = true
+		s.Cache.Shared = e.sharedCache
 		s.Cache.Capacity = e.cache.cap
 		s.Cache.Length = e.cache.len()
 		s.Cache.Hits, s.Cache.Misses, s.Cache.Evictions = e.cache.counters()

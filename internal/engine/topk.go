@@ -85,6 +85,13 @@ func (e *Engine) TopKWithResult(q itemset.Itemset, alphaQ float64, k int) (*tctr
 	return res, ranked, nil
 }
 
+// LessRanked reports whether a orders strictly before b in the top-k order:
+// cohesion descending, then size (vertices, then edges) descending, then a
+// deterministic pattern/vertex tiebreak. It is exported so that a federation
+// can merge per-network top-k answers into one globally ordered list with
+// exactly the ranking TopK used per network.
+func LessRanked(a, b *RankedCommunity) bool { return lessRanked(a, b) }
+
 // lessRanked orders communities best-first: cohesion desc, vertices desc,
 // edges desc, then pattern and smallest vertex ascending for determinism.
 func lessRanked(a, b *RankedCommunity) bool {

@@ -1,0 +1,123 @@
+package federation
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/tctree"
+)
+
+// DiscoveredNetwork is one indexed network found inside a networks
+// directory.
+type DiscoveredNetwork struct {
+	// Name is the network name derived from the index file or directory
+	// name: "bk.index/" and "bk.tctree" both yield "bk".
+	Name string
+	// IndexPath is the index to serve: a sharded index directory (served
+	// lazily) or a monolithic .tctree file (served eagerly).
+	IndexPath string
+	// NetworkPath is the optional sibling "<name>.dbnet" database-network
+	// file; when present its dictionary resolves item names for the network.
+	// Empty when there is none.
+	NetworkPath string
+	// Sharded reports whether IndexPath is a sharded index directory.
+	Sharded bool
+}
+
+// DiscoverNetworks scans dir for indexed networks: every sharded index
+// directory (containing an index.manifest) and every *.tctree file directly
+// inside dir becomes one network, named after its base name with the
+// ".index" / ".tctree" suffix stripped. A sibling "<name>.dbnet" file, when
+// present, is recorded as the network's dictionary source. Networks are
+// returned in ascending name order; two entries resolving to the same name
+// (e.g. "bk.index/" next to "bk.tctree") is an error.
+func DiscoverNetworks(dir string) ([]DiscoveredNetwork, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]DiscoveredNetwork)
+	for _, entry := range entries {
+		path := filepath.Join(dir, entry.Name())
+		var d DiscoveredNetwork
+		switch {
+		case entry.IsDir() && tctree.IsSharded(path):
+			d = DiscoveredNetwork{
+				Name:      strings.TrimSuffix(entry.Name(), ".index"),
+				IndexPath: path,
+				Sharded:   true,
+			}
+		case !entry.IsDir() && strings.HasSuffix(entry.Name(), ".tctree"):
+			d = DiscoveredNetwork{
+				Name:      strings.TrimSuffix(entry.Name(), ".tctree"),
+				IndexPath: path,
+			}
+		default:
+			continue
+		}
+		if prev, dup := byName[d.Name]; dup {
+			return nil, fmt.Errorf("federation: %s and %s both resolve to network %q", prev.IndexPath, d.IndexPath, d.Name)
+		}
+		if netPath := filepath.Join(dir, d.Name+".dbnet"); fileExists(netPath) {
+			d.NetworkPath = netPath
+		}
+		byName[d.Name] = d
+	}
+	if len(byName) == 0 {
+		return nil, fmt.Errorf("federation: no indexed networks in %s (expected sharded index directories or .tctree files)", dir)
+	}
+	out := make([]DiscoveredNetwork, 0, len(byName))
+	for _, d := range byName {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func fileExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.Mode().IsRegular()
+}
+
+// Discover builds a Federation from every network DiscoverNetworks finds in
+// dir: sharded indexes attach lazily, .tctree files eagerly, and each
+// network with a sibling .dbnet file gains its item dictionary.
+func Discover(dir string, opts Options) (*Federation, error) {
+	discovered, err := DiscoverNetworks(dir)
+	if err != nil {
+		return nil, err
+	}
+	f := New(opts)
+	for _, d := range discovered {
+		var nopts NetworkOptions
+		if d.NetworkPath != "" {
+			_, dict, err := dbnet.ReadFile(d.NetworkPath)
+			if err != nil {
+				return nil, fmt.Errorf("federation: network %q: %w", d.Name, err)
+			}
+			nopts.Dictionary = dict
+		}
+		if d.Sharded {
+			idx, err := tctree.OpenSharded(d.IndexPath)
+			if err != nil {
+				return nil, fmt.Errorf("federation: network %q: %w", d.Name, err)
+			}
+			if err := f.AttachIndex(d.Name, idx, nopts); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		tree, err := tctree.ReadFile(d.IndexPath)
+		if err != nil {
+			return nil, fmt.Errorf("federation: network %q: %w", d.Name, err)
+		}
+		if err := f.AttachTree(d.Name, tree, nopts); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}

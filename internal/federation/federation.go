@@ -1,0 +1,441 @@
+// Package federation turns the single-network query engine into a
+// multi-tenant serving layer: one Federation fronts many named networks —
+// the "data warehouse of maximal pattern trusses" of the paper's Section 6,
+// scaled from one indexed network per process to a whole warehouse of them.
+//
+// Each attached network is backed by its own engine.Engine (eager over a
+// resident tree, or lazy over a sharded index directory) with its own shard
+// pool, planner and counters, but every member shares two global resources:
+//
+//   - one result cache (engine.ResultCache) with namespaced keys, so a hot
+//     tenant's working set competes with every other tenant's under a single
+//     capacity bound, while lookups and invalidation stay tenant-scoped;
+//   - one residency budget (engine.ResidencyGroup), so the number of lazily
+//     loaded shards resident in memory is bounded across ALL networks and a
+//     hot tenant cannot evict-starve the rest — eviction is globally
+//     least-recently-used, whichever engine the victim shard belongs to.
+//
+// Networks attach and detach at runtime; detaching releases the network's
+// share of both global resources (its cached answers are purged, its
+// resident shards evicted) without disturbing any other tenant — the
+// network-granularity analogue of the engine's targeted ReloadShard
+// invalidation.
+//
+// Cross-network batch queries (QueryAll, TopKAll) run one query against
+// every attached network, scheduling the networks most-expensive-first from
+// the per-network planner's cost estimates, and TopKAll merges the ranked
+// answers into one deterministic cohesion-ordered list.
+//
+// A Federation is safe for concurrent use.
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"themecomm/internal/engine"
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+)
+
+// Options configures a Federation and the engines it builds for attached
+// networks.
+type Options struct {
+	// Workers bounds each member engine's concurrent shard traversals.
+	// Zero or negative means GOMAXPROCS.
+	Workers int
+	// CacheSize is the capacity of the shared result cache, global across
+	// every network. Zero or negative disables caching for all members.
+	CacheSize int
+	// MaxResidentShards is the shared residency budget: the number of lazily
+	// loaded shards kept in memory across ALL networks at once. Zero or
+	// negative means unlimited. Eager (fully resident) networks are outside
+	// the budget.
+	MaxResidentShards int
+	// NetworkWorkers bounds how many networks a cross-network call
+	// (QueryAll, TopKAll) queries concurrently. Zero or negative means
+	// GOMAXPROCS. Per-network traversal parallelism is bounded separately by
+	// Workers inside each engine.
+	NetworkWorkers int
+	// PrefetchWorkers and DisablePlanner are passed through to every member
+	// engine (see engine.Options).
+	PrefetchWorkers int
+	DisablePlanner  bool
+}
+
+// NetworkOptions carries the per-network presentation metadata a serving
+// layer needs alongside the engine.
+type NetworkOptions struct {
+	// Dictionary names the items of the network's item universe; nil means
+	// queries must use numeric item identifiers.
+	Dictionary *itemset.Dictionary
+	// VertexNames maps vertex identifiers to display names; may be nil.
+	VertexNames []string
+}
+
+// Network is one attached tenant: a named engine plus its presentation
+// metadata. Accessors are safe for concurrent use; the fields never change
+// after attach.
+type Network struct {
+	name string
+	eng  *engine.Engine
+	opts NetworkOptions
+}
+
+// Name returns the network's federation-unique name.
+func (n *Network) Name() string { return n.name }
+
+// Engine returns the network's query engine.
+func (n *Network) Engine() *engine.Engine { return n.eng }
+
+// Dictionary returns the network's item dictionary; it may be nil.
+func (n *Network) Dictionary() *itemset.Dictionary { return n.opts.Dictionary }
+
+// VertexNames returns the network's vertex display names; it may be nil.
+func (n *Network) VertexNames() []string { return n.opts.VertexNames }
+
+// Federation manages many named networks sharing one result cache and one
+// residency budget.
+type Federation struct {
+	opts  Options
+	cache *engine.ResultCache // nil when caching is disabled
+	res   *engine.ResidencyGroup
+	// netSem bounds concurrent per-network queries of cross-network calls.
+	netSem chan struct{}
+
+	mu       sync.RWMutex
+	networks map[string]*Network
+
+	queryAlls atomic.Uint64
+	topKAlls  atomic.Uint64
+}
+
+// New returns an empty Federation. Attach networks with AttachTree /
+// AttachIndex (or build one from a directory with Discover).
+func New(opts Options) *Federation {
+	f := &Federation{
+		opts:     opts,
+		res:      engine.NewResidencyGroup(opts.MaxResidentShards),
+		networks: make(map[string]*Network),
+	}
+	if opts.CacheSize > 0 {
+		f.cache = engine.NewResultCache(opts.CacheSize)
+	}
+	netWorkers := opts.NetworkWorkers
+	if netWorkers <= 0 {
+		netWorkers = runtime.GOMAXPROCS(0)
+	}
+	f.netSem = make(chan struct{}, netWorkers)
+	return f
+}
+
+// Cache returns the shared result cache; nil when caching is disabled.
+func (f *Federation) Cache() *engine.ResultCache { return f.cache }
+
+// ResidencyGroup returns the shared residency group enforcing the global
+// budget.
+func (f *Federation) ResidencyGroup() *engine.ResidencyGroup { return f.res }
+
+// validateName rejects names that cannot serve as a cache namespace or a URL
+// path segment.
+func validateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("federation: empty network name")
+	}
+	if name == "." || name == ".." {
+		return fmt.Errorf("federation: invalid network name %q", name)
+	}
+	if strings.ContainsAny(name, "/\\ \t\n\r") {
+		return fmt.Errorf("federation: network name %q contains a separator or whitespace", name)
+	}
+	for _, r := range name {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("federation: network name %q contains a control character", name)
+		}
+	}
+	return nil
+}
+
+// engineOptions is the engine configuration of a member network: the
+// federation's per-engine knobs plus the shared cache (namespaced by the
+// network name) and the shared residency group.
+func (f *Federation) engineOptions(name string) engine.Options {
+	return engine.Options{
+		Workers:         f.opts.Workers,
+		PrefetchWorkers: f.opts.PrefetchWorkers,
+		DisablePlanner:  f.opts.DisablePlanner,
+		SharedCache:     f.cache,
+		CacheNamespace:  name,
+		SharedResidency: f.res,
+	}
+}
+
+// attach registers a built engine under name.
+func (f *Federation) attach(name string, eng *engine.Engine, opts NetworkOptions) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.networks[name]; dup {
+		return fmt.Errorf("federation: network %q is already attached", name)
+	}
+	f.networks[name] = &Network{name: name, eng: eng, opts: opts}
+	return nil
+}
+
+// AttachTree attaches an eager network serving a fully resident TC-Tree. The
+// network shares the federation's result cache; having no lazy shards, it
+// consumes none of the residency budget.
+func (f *Federation) AttachTree(name string, tree *tctree.Tree, opts NetworkOptions) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	eng, err := engine.New(tree, f.engineOptions(name))
+	if err != nil {
+		return fmt.Errorf("federation: network %q: %w", name, err)
+	}
+	return f.attach(name, eng, opts)
+}
+
+// AttachIndex attaches a lazy network serving a sharded on-disk index: its
+// shards load on first touch and stay resident only within the federation's
+// shared budget.
+func (f *Federation) AttachIndex(name string, idx *tctree.ShardedIndex, opts NetworkOptions) error {
+	if err := validateName(name); err != nil {
+		return err
+	}
+	eng, err := engine.NewLazy(idx, f.engineOptions(name))
+	if err != nil {
+		return fmt.Errorf("federation: network %q: %w", name, err)
+	}
+	return f.attach(name, eng, opts)
+}
+
+// Detach removes the network and releases its share of the global resources:
+// its cached answers are purged from the shared cache and its resident
+// shards are evicted, returning their budget to the remaining tenants. Other
+// networks' cache entries and resident shards are untouched — detaching is
+// the network-granularity analogue of ReloadShard's targeted invalidation.
+func (f *Federation) Detach(name string) error {
+	f.mu.Lock()
+	n, ok := f.networks[name]
+	if ok {
+		delete(f.networks, name)
+	}
+	f.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("federation: no network %q", name)
+	}
+	n.eng.Release()
+	return nil
+}
+
+// Network returns the named network.
+func (f *Federation) Network(name string) (*Network, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n, ok := f.networks[name]
+	return n, ok
+}
+
+// Names returns the attached network names in ascending order.
+func (f *Federation) Names() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	names := make([]string, 0, len(f.networks))
+	for name := range f.networks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumNetworks returns the number of attached networks.
+func (f *Federation) NumNetworks() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.networks)
+}
+
+// PatternResolver maps a cross-network query pattern onto one network's item
+// space. Item identifiers are per-network (each dictionary interns its own
+// names), so a federated pattern query resolves the pattern once per tenant:
+// return nil for "every item" (query by alpha) and an empty non-nil itemset
+// for "nothing resolves here" (the network answers nothing).
+type PatternResolver func(*Network) itemset.Itemset
+
+// constant returns a resolver handing every network the same pattern — the
+// shared-item-space case.
+func constant(q itemset.Itemset) PatternResolver {
+	return func(*Network) itemset.Itemset { return q }
+}
+
+// networkTask is one network of a cross-network schedule with its resolved
+// per-network pattern.
+type networkTask struct {
+	net *Network
+	// q is resolve(net), computed once: it serves the cost estimate, the
+	// query execution and the caller's response rendering.
+	q itemset.Itemset
+}
+
+// snapshot returns the attached networks, each with its resolved pattern,
+// ordered by descending planner cost estimate for (task.q, alphaQ) — the
+// cross-network schedule. Ties break on the name so the schedule is
+// deterministic.
+func (f *Federation) snapshot(resolve PatternResolver, alphaQ float64) []networkTask {
+	f.mu.RLock()
+	tasks := make([]networkTask, 0, len(f.networks))
+	for _, n := range f.networks {
+		tasks = append(tasks, networkTask{net: n, q: resolve(n)})
+	}
+	f.mu.RUnlock()
+	costs := make(map[*Network]float64, len(tasks))
+	for _, t := range tasks {
+		costs[t.net] = t.net.eng.EstimateCost(t.q, alphaQ)
+	}
+	sort.Slice(tasks, func(i, j int) bool {
+		if costs[tasks[i].net] != costs[tasks[j].net] {
+			return costs[tasks[i].net] > costs[tasks[j].net]
+		}
+		return tasks[i].net.name < tasks[j].net.name
+	})
+	return tasks
+}
+
+// forEach runs fn once per attached network on the bounded network pool,
+// admitting networks in the cost-ordered schedule (most expensive first, so
+// the straggler tenant overlaps the cheap tail instead of serializing
+// behind it). The pool slot is acquired before the goroutine is spawned —
+// goroutine start order is otherwise unspecified, which would let a cheap
+// tail task be admitted ahead of the straggler. It returns the tasks in
+// schedule order after every fn returned.
+func (f *Federation) forEach(resolve PatternResolver, alphaQ float64, fn func(t networkTask)) []networkTask {
+	tasks := f.snapshot(resolve, alphaQ)
+	var wg sync.WaitGroup
+	for _, t := range tasks {
+		f.netSem <- struct{}{}
+		wg.Add(1)
+		go func(t networkTask) {
+			defer wg.Done()
+			defer func() { <-f.netSem }()
+			fn(t)
+		}(t)
+	}
+	wg.Wait()
+	return tasks
+}
+
+// NetworkResult is one network's answer to a cross-network query.
+type NetworkResult struct {
+	// Network is the tenant's name.
+	Network string
+	// Pattern is the query pattern as resolved into this network's item
+	// space (nil = every item), so callers can render the answer without
+	// re-resolving.
+	Pattern itemset.Itemset
+	// Result is the network's answer; nil when Err is set.
+	Result *tctree.QueryResult
+	// Err is the network's failure (lazy shard-load error), if any.
+	Err error
+}
+
+// QueryAll answers (q, alphaQ) against every attached network. Networks are
+// queried concurrently (bounded by Options.NetworkWorkers), scheduled
+// most-expensive-first by the per-network planner estimates; each network's
+// own planner, cache namespace and worker pool serve its share exactly as a
+// direct Engine.Query would, so per-network answers match standalone
+// engines. Results are returned in ascending network-name order; the error
+// joins every per-network failure, annotated with its network.
+func (f *Federation) QueryAll(q itemset.Itemset, alphaQ float64) ([]NetworkResult, error) {
+	return f.QueryAllFunc(constant(q), alphaQ)
+}
+
+// QueryAllFunc is QueryAll with a per-network pattern: resolve maps the
+// query pattern into each tenant's item space (dictionaries intern
+// independently, so the same theme has different item identifiers per
+// network).
+func (f *Federation) QueryAllFunc(resolve PatternResolver, alphaQ float64) ([]NetworkResult, error) {
+	f.queryAlls.Add(1)
+	out := make([]NetworkResult, 0, f.NumNetworks())
+	results := make(map[*Network]NetworkResult)
+	var mu sync.Mutex
+	tasks := f.forEach(resolve, alphaQ, func(t networkTask) {
+		res, err := t.net.eng.Query(t.q, alphaQ)
+		mu.Lock()
+		results[t.net] = NetworkResult{Network: t.net.name, Pattern: t.q, Result: res, Err: err}
+		mu.Unlock()
+	})
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].net.name < tasks[j].net.name })
+	var errs []error
+	for _, t := range tasks {
+		r := results[t.net]
+		if r.Err != nil {
+			r.Err = fmt.Errorf("network %q: %w", t.net.name, r.Err)
+			errs = append(errs, r.Err)
+		}
+		out = append(out, r)
+	}
+	return out, errors.Join(errs...)
+}
+
+// NetworkRanked is one community of a cross-network top-k answer: the
+// engine's ranked community annotated with the network it came from.
+type NetworkRanked struct {
+	// Network is the name of the network the community belongs to.
+	Network string
+	engine.RankedCommunity
+}
+
+// TopKAll answers (q, alphaQ) against every attached network and merges the
+// per-network rankings into one list ordered exactly like Engine.TopK —
+// cohesion descending, then size, then the deterministic pattern/vertex
+// tiebreak — with the network name as the final tiebreak, so the merge is
+// deterministic across runs. k <= 0 means every community. The global top k
+// is exact: it can only contain communities from some network's own top k,
+// which is what each tenant computes. Networks that fail contribute nothing;
+// the error joins their failures.
+func (f *Federation) TopKAll(q itemset.Itemset, alphaQ float64, k int) ([]NetworkRanked, error) {
+	return f.TopKAllFunc(constant(q), alphaQ, k)
+}
+
+// TopKAllFunc is TopKAll with a per-network pattern resolver, like
+// QueryAllFunc.
+func (f *Federation) TopKAllFunc(resolve PatternResolver, alphaQ float64, k int) ([]NetworkRanked, error) {
+	f.topKAlls.Add(1)
+	var mu sync.Mutex
+	var merged []NetworkRanked
+	var errs []error
+	f.forEach(resolve, alphaQ, func(t networkTask) {
+		ranked, err := t.net.eng.TopK(t.q, alphaQ, k)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("network %q: %w", t.net.name, err))
+			return
+		}
+		for _, rc := range ranked {
+			merged = append(merged, NetworkRanked{Network: t.net.name, RankedCommunity: rc})
+		}
+	})
+	sort.Slice(merged, func(i, j int) bool {
+		a, b := &merged[i], &merged[j]
+		if engine.LessRanked(&a.RankedCommunity, &b.RankedCommunity) {
+			return true
+		}
+		if engine.LessRanked(&b.RankedCommunity, &a.RankedCommunity) {
+			return false
+		}
+		return a.Network < b.Network
+	})
+	if k > 0 && k < len(merged) {
+		merged = merged[:k]
+	}
+	return merged, errors.Join(errs...)
+}

@@ -1,0 +1,275 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"themecomm/internal/federation"
+	"themecomm/internal/itemset"
+)
+
+// This file holds the multi-network routes a federated server adds alongside
+// the single-network API:
+//
+//	GET /api/v1/networks                     list attached networks
+//	GET /api/v1/federationstats              shared-resource + aggregate counters
+//	GET /api/v1/queryall                     one query against every network
+//	GET /api/v1/{network}/query | explain | enginestats | stats | patterns | vertex
+//	POST /api/v1/{network}/batch
+//
+// The {network} routes reuse the single-network handlers verbatim on the
+// resolved tenant, so a per-network answer is identical to what a standalone
+// server over the same index would return. On a server without a federation
+// every route here answers 404.
+
+// registerFederationRoutes wires the multi-network routes. They are always
+// registered — route resolution reports the missing federation — so the API
+// surface (and its 404s) is uniform across deployments.
+func (s *Server) registerFederationRoutes() {
+	s.mux.HandleFunc("/api/v1/networks", s.handleNetworks)
+	s.mux.HandleFunc("/api/v1/federationstats", s.handleFederationStats)
+	s.mux.HandleFunc("/api/v1/queryall", s.handleQueryAll)
+	s.mux.HandleFunc("/api/v1/{network}/query", s.forNetwork(s.serveQuery))
+	s.mux.HandleFunc("/api/v1/{network}/explain", s.forNetwork(s.serveExplain))
+	s.mux.HandleFunc("/api/v1/{network}/batch", s.forNetwork(s.serveBatch))
+	s.mux.HandleFunc("/api/v1/{network}/enginestats", s.forNetwork(s.serveEngineStats))
+	s.mux.HandleFunc("/api/v1/{network}/stats", s.forNetwork(s.serveStats))
+	s.mux.HandleFunc("/api/v1/{network}/patterns", s.forNetwork(s.servePatterns))
+	s.mux.HandleFunc("/api/v1/{network}/vertex", s.forNetwork(s.serveVertex))
+}
+
+// forNetwork adapts a tenant-scoped handler to the /api/v1/{network}/...
+// routes: the path segment resolves the tenant, and an unknown network (or a
+// server without a federation) answers 404.
+func (s *Server) forNetwork(h func(*tenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.fed == nil {
+			writeError(w, http.StatusNotFound, "this server does not serve a federation of networks")
+			return
+		}
+		name := r.PathValue("network")
+		n, ok := s.fed.Network(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown network %q", name))
+			return
+		}
+		h(tenantOf(n), w, r)
+	}
+}
+
+// NetworkSummary is one network of a GET /api/v1/networks listing.
+type NetworkSummary struct {
+	Name string `json:"name"`
+	// Nodes, Shards, Depth and MaxAlpha are the network's index statistics.
+	Nodes    int     `json:"nodes"`
+	Shards   int     `json:"shards"`
+	Depth    int     `json:"depth"`
+	MaxAlpha float64 `json:"maxAlpha"`
+	// Lazy reports whether the network loads shards on demand;
+	// ResidentShards is how many of its shards are in memory right now.
+	Lazy           bool `json:"lazy"`
+	ResidentShards int  `json:"residentShards"`
+}
+
+// NetworksResponse is the payload of GET /api/v1/networks.
+type NetworksResponse struct {
+	// Default is the network behind the single-network routes.
+	Default  string           `json:"default,omitempty"`
+	Networks []NetworkSummary `json:"networks"`
+}
+
+func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if s.fed == nil {
+		writeError(w, http.StatusNotFound, "this server does not serve a federation of networks")
+		return
+	}
+	resp := NetworksResponse{Networks: []NetworkSummary{}}
+	if t, _ := s.defaultTenant(); t != nil {
+		resp.Default = t.name
+	}
+	for _, name := range s.fed.Names() {
+		n, ok := s.fed.Network(name)
+		if !ok {
+			continue
+		}
+		eng := n.Engine()
+		resp.Networks = append(resp.Networks, NetworkSummary{
+			Name:           name,
+			Nodes:          eng.NumNodes(),
+			Shards:         eng.NumShards(),
+			Depth:          eng.Depth(),
+			MaxAlpha:       eng.MaxAlpha(),
+			Lazy:           eng.Lazy(),
+			ResidentShards: eng.Stats().ResidentShards,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFederationStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if s.fed == nil {
+		writeError(w, http.StatusNotFound, "this server does not serve a federation of networks")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.fed.Stats())
+}
+
+// NetworkQueryResponse is one network's answer within GET /api/v1/queryall.
+type NetworkQueryResponse struct {
+	Network string `json:"network"`
+	QueryResponse
+}
+
+// NetworkCommunityResponse is one community of a merged cross-network top-k
+// answer.
+type NetworkCommunityResponse struct {
+	Network string `json:"network"`
+	CommunityResponse
+}
+
+// QueryAllResponse is the payload of GET /api/v1/queryall: per-network
+// answers, or — when k is given — the cross-network top-k merge ordered by
+// cohesion, then size, with the network name as final tiebreak.
+type QueryAllResponse struct {
+	Alpha   float64  `json:"alpha"`
+	Pattern []string `json:"pattern,omitempty"`
+	TopK    int      `json:"topK,omitempty"`
+	// Results holds the per-network answers (k absent).
+	Results []NetworkQueryResponse `json:"results,omitempty"`
+	// Communities holds the merged cross-network top-k (k given).
+	Communities []NetworkCommunityResponse `json:"communities,omitempty"`
+}
+
+// resolverFor builds the per-network pattern resolver of a cross-network
+// query: each field is either a numeric item identifier (taken as-is) or an
+// item name resolved through the network's own dictionary. Names a network
+// does not know are dropped for that network — a query pattern is the set of
+// allowed items, and an item the network has never seen allows nothing
+// extra — and a network resolving no field at all answers nothing (the empty
+// non-nil pattern), rather than everything.
+func resolverFor(fields []string) federation.PatternResolver {
+	return func(n *federation.Network) itemset.Itemset {
+		if len(fields) == 0 {
+			return nil // every item: the query-by-alpha workload
+		}
+		items := itemset.Itemset{}
+		for _, field := range fields {
+			if id, err := strconv.Atoi(field); err == nil {
+				items = items.Add(itemset.Item(id))
+				continue
+			}
+			if dict := n.Dictionary(); dict != nil {
+				if id, ok := dict.Lookup(field); ok {
+					items = items.Add(id)
+				}
+			}
+		}
+		return items
+	}
+}
+
+// patternFields splits the raw pattern parameter into trimmed non-empty
+// fields.
+func patternFields(raw string) []string {
+	var fields []string
+	for _, field := range strings.Split(raw, ",") {
+		if field = strings.TrimSpace(field); field != "" {
+			fields = append(fields, field)
+		}
+	}
+	return fields
+}
+
+func (s *Server) handleQueryAll(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if s.fed == nil {
+		writeError(w, http.StatusNotFound, "this server does not serve a federation of networks")
+		return
+	}
+	alpha, ok := parseAlpha(w, r)
+	if !ok {
+		return
+	}
+	fields := patternFields(r.URL.Query().Get("pattern"))
+	resolve := resolverFor(fields)
+	k := 0
+	if v := r.URL.Query().Get("k"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid k %q", v))
+			return
+		}
+		k = parsed
+	}
+	resp := QueryAllResponse{Alpha: alpha, Pattern: fields, TopK: k}
+
+	// One tenant per network, not per community: the merge below may carry
+	// hundreds of communities from a handful of networks.
+	tenants := make(map[string]*tenant)
+	tenantFor := func(name string) *tenant {
+		if t, ok := tenants[name]; ok {
+			return t
+		}
+		n, ok := s.fed.Network(name)
+		if !ok {
+			return nil // detached mid-flight; its communities are gone anyway
+		}
+		t := tenantOf(n)
+		tenants[name] = t
+		return t
+	}
+
+	if k > 0 {
+		merged, err := s.fed.TopKAllFunc(resolve, alpha, k)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		for _, rc := range merged {
+			t := tenantFor(rc.Network)
+			if t == nil {
+				continue
+			}
+			resp.Communities = append(resp.Communities, NetworkCommunityResponse{
+				Network:           rc.Network,
+				CommunityResponse: t.rankedResponse(rc.RankedCommunity),
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	results, err := s.fed.QueryAllFunc(resolve, alpha)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	for _, nr := range results {
+		t := tenantFor(nr.Network)
+		if t == nil {
+			continue
+		}
+		var patternNames []string
+		if nr.Pattern != nil {
+			patternNames = t.itemNames(nr.Pattern)
+		}
+		resp.Results = append(resp.Results, NetworkQueryResponse{
+			Network:       nr.Network,
+			QueryResponse: t.queryResponse(nr.Pattern, patternNames, alpha, nr.Result),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,11 +1,18 @@
-// Package server exposes a built TC-Tree over HTTP, turning the index into a
-// small query-answering service: the "data warehouse of maximal pattern
-// trusses" the paper advocates in Section 6, reachable by any client that can
-// issue GET requests. Query execution and index metadata are delegated to
+// Package server exposes TC-Tree indexes over HTTP, turning them into a
+// query-answering service: the "data warehouse of maximal pattern trusses"
+// the paper advocates in Section 6, reachable by any client that can issue
+// GET requests. Query execution and index metadata are delegated to
 // internal/engine, so the server runs equally over an eager engine (whole
 // tree resident) and a lazy one (shards loaded from a sharded index
-// directory on first touch); lazy shard-load failures surface as 500s. Only
-// the standard library is used.
+// directory on first touch); lazy shard-load failures surface as 500s.
+//
+// A server fronts either one network (Options.Engine, the original
+// single-network mode) or a whole federation of them (Options.Federation):
+// the single-network routes (/api/v1/query, …) keep answering against the
+// default network byte-for-byte as before, while /api/v1/networks lists the
+// tenants, /api/v1/{network}/... scopes every route to one tenant, and
+// /api/v1/queryall fans one query out across every network, merging top-k
+// answers by cohesion. Only the standard library is used.
 package server
 
 import (
@@ -17,6 +24,7 @@ import (
 	"strings"
 
 	"themecomm/internal/engine"
+	"themecomm/internal/federation"
 	"themecomm/internal/graph"
 	"themecomm/internal/itemset"
 	"themecomm/internal/tctree"
@@ -29,15 +37,31 @@ const defaultCacheSize = 256
 // maxBatchQueries bounds one /api/v1/batch request.
 const maxBatchQueries = 1024
 
-// Server answers theme-community queries from a TC-Tree. It is safe for
-// concurrent use: resident index data is read-only.
-type Server struct {
+// tenant is one served network: an engine plus the presentation metadata
+// that renders its answers. The single-network server has exactly one;
+// federation routes resolve one per request.
+type tenant struct {
+	// name is the network name; empty for the anonymous single-network
+	// tenant.
+	name   string
 	engine *engine.Engine
-	dict   *itemset.Dictionary
+	// dict optionally names the items of the indexed network.
+	dict *itemset.Dictionary
 	// vertexNames optionally maps vertex identifiers to display names
 	// (e.g. author names); it may be nil.
 	vertexNames []string
-	mux         *http.ServeMux
+}
+
+// Server answers theme-community queries from one TC-Tree or a federation
+// of them. It is safe for concurrent use: resident index data is read-only.
+type Server struct {
+	// def is the tenant behind the single-network routes; nil when the
+	// server is federation-only, in which case the default network resolves
+	// per request (DefaultNetwork, or the lexically first attached network).
+	def     *tenant
+	defName string
+	fed     *federation.Federation
+	mux     *http.ServeMux
 }
 
 // Options configures a Server.
@@ -49,40 +73,99 @@ type Options struct {
 	// VertexNames maps vertices to display names; when nil, vertices are
 	// rendered by their numeric identifiers.
 	VertexNames []string
-	// Engine executes the queries. When nil, the server builds one over the
-	// tree with default parallelism and a small result cache.
+	// Engine executes the queries. When nil and a tree is given, the server
+	// builds one over the tree with default parallelism and a small result
+	// cache.
 	Engine *engine.Engine
+	// Federation, when non-nil, enables the multi-network routes
+	// (/api/v1/networks, /api/v1/{network}/..., /api/v1/queryall,
+	// /api/v1/federationstats). When no Engine or tree is given, the
+	// single-network routes answer against the federation's default network.
+	Federation *federation.Federation
+	// DefaultNetwork names the federation network behind the single-network
+	// routes; empty means the lexically first attached network. Ignored when
+	// an Engine or tree is given (those take the single-network routes).
+	DefaultNetwork string
 }
 
 // New returns a Server for the given tree. tree may be nil when opts.Engine
 // is set — a lazy engine has no resident tree, and every handler reads
-// through the engine.
+// through the engine — or when opts.Federation serves the default network.
 func New(tree *tctree.Tree, opts Options) (*Server, error) {
 	eng := opts.Engine
-	if eng == nil {
-		if tree == nil {
-			return nil, fmt.Errorf("server: nil tree and no engine")
-		}
+	if eng == nil && tree != nil {
 		var err error
 		eng, err = engine.New(tree, engine.Options{CacheSize: defaultCacheSize})
 		if err != nil {
 			return nil, err
 		}
 	}
-	s := &Server{engine: eng, dict: opts.Dictionary, vertexNames: opts.VertexNames, mux: http.NewServeMux()}
+	if eng == nil && opts.Federation == nil {
+		return nil, fmt.Errorf("server: nil tree and no engine or federation")
+	}
+	s := &Server{defName: opts.DefaultNetwork, fed: opts.Federation, mux: http.NewServeMux()}
+	if eng != nil {
+		s.def = &tenant{engine: eng, dict: opts.Dictionary, vertexNames: opts.VertexNames}
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/api/v1/stats", s.handleStats)
-	s.mux.HandleFunc("/api/v1/query", s.handleQuery)
-	s.mux.HandleFunc("/api/v1/explain", s.handleExplain)
-	s.mux.HandleFunc("/api/v1/batch", s.handleBatch)
-	s.mux.HandleFunc("/api/v1/enginestats", s.handleEngineStats)
-	s.mux.HandleFunc("/api/v1/patterns", s.handlePatterns)
-	s.mux.HandleFunc("/api/v1/vertex", s.handleVertex)
+	s.mux.HandleFunc("/api/v1/stats", s.forDefault(s.serveStats))
+	s.mux.HandleFunc("/api/v1/query", s.forDefault(s.serveQuery))
+	s.mux.HandleFunc("/api/v1/explain", s.forDefault(s.serveExplain))
+	s.mux.HandleFunc("/api/v1/batch", s.forDefault(s.serveBatch))
+	s.mux.HandleFunc("/api/v1/enginestats", s.forDefault(s.serveEngineStats))
+	s.mux.HandleFunc("/api/v1/patterns", s.forDefault(s.servePatterns))
+	s.mux.HandleFunc("/api/v1/vertex", s.forDefault(s.serveVertex))
+	s.registerFederationRoutes()
 	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// defaultTenant resolves the network behind the single-network routes: the
+// configured engine when there is one, otherwise the federation's default
+// network (DefaultNetwork, or the lexically first attached one). Resolution
+// is per request, so networks attached after start become servable. On
+// failure the second return value says why — an empty federation and a
+// default name that does not resolve are different operator errors.
+func (s *Server) defaultTenant() (*tenant, string) {
+	if s.def != nil {
+		return s.def, ""
+	}
+	if s.fed == nil {
+		return nil, "no default network: this server has no engine and no federation"
+	}
+	name := s.defName
+	if name == "" {
+		names := s.fed.Names()
+		if len(names) == 0 {
+			return nil, "no default network: the federation has no attached networks"
+		}
+		name = names[0]
+	}
+	n, ok := s.fed.Network(name)
+	if !ok {
+		return nil, fmt.Sprintf("no default network: %q is not attached", name)
+	}
+	return tenantOf(n), ""
+}
+
+// tenantOf adapts a federation network to the handler-facing tenant.
+func tenantOf(n *federation.Network) *tenant {
+	return &tenant{name: n.Name(), engine: n.Engine(), dict: n.Dictionary(), vertexNames: n.VertexNames()}
+}
+
+// forDefault adapts a tenant-scoped handler to the single-network routes.
+func (s *Server) forDefault(h func(*tenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, why := s.defaultTenant()
+		if t == nil {
+			writeError(w, http.StatusNotFound, why)
+			return
+		}
+		h(t, w, r)
+	}
+}
 
 // StatsResponse is the payload of GET /api/v1/stats.
 type StatsResponse struct {
@@ -131,33 +214,43 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) serveStats(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Nodes:    s.engine.NumNodes(),
-		Depth:    s.engine.Depth(),
-		MaxAlpha: s.engine.MaxAlpha(),
+		Nodes:    t.engine.NumNodes(),
+		Depth:    t.engine.Depth(),
+		MaxAlpha: t.engine.MaxAlpha(),
 	})
+}
+
+// parseAlpha parses the alpha query parameter shared by most routes. ok is
+// false when an error response has already been written.
+func parseAlpha(w http.ResponseWriter, r *http.Request) (alpha float64, ok bool) {
+	if v := r.URL.Query().Get("alpha"); v != "" {
+		parsed, err := strconv.ParseFloat(v, 64)
+		if err != nil || parsed < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid alpha %q", v))
+			return 0, false
+		}
+		alpha = parsed
+	}
+	return alpha, true
 }
 
 // parseQueryParams parses the alpha and pattern query parameters shared by
 // /api/v1/query and /api/v1/explain. A missing pattern yields a nil itemset
 // ("every item" — the query-by-alpha workload). ok is false when an error
 // response has already been written.
-func (s *Server) parseQueryParams(w http.ResponseWriter, r *http.Request) (alpha float64, q itemset.Itemset, ok bool) {
-	if v := r.URL.Query().Get("alpha"); v != "" {
-		parsed, err := strconv.ParseFloat(v, 64)
-		if err != nil || parsed < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid alpha %q", v))
-			return 0, nil, false
-		}
-		alpha = parsed
+func (t *tenant) parseQueryParams(w http.ResponseWriter, r *http.Request) (alpha float64, q itemset.Itemset, ok bool) {
+	alpha, ok = parseAlpha(w, r)
+	if !ok {
+		return 0, nil, false
 	}
 	if raw := r.URL.Query().Get("pattern"); raw != "" {
-		parsed, err := s.parsePattern(raw)
+		parsed, err := t.parsePattern(raw)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err.Error())
 			return 0, nil, false
@@ -167,12 +260,12 @@ func (s *Server) parseQueryParams(w http.ResponseWriter, r *http.Request) (alpha
 	return alpha, q, true
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+func (s *Server) serveQuery(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	alpha, q, ok := s.parseQueryParams(w, r)
+	alpha, q, ok := t.parseQueryParams(w, r)
 	if !ok {
 		return
 	}
@@ -189,11 +282,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	var patternNames []string
 	if q != nil {
-		patternNames = s.itemNames(q)
+		patternNames = t.itemNames(q)
 	}
 
 	if k > 0 {
-		qr, ranked, err := s.engine.TopKWithResult(q, alpha, k)
+		qr, ranked, err := t.engine.TopKWithResult(q, alpha, k)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -207,52 +300,59 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			QueryMicros:    qr.Duration.Microseconds(),
 		}
 		for _, rc := range ranked {
-			resp.Communities = append(resp.Communities, CommunityResponse{
-				Theme:    s.itemNames(rc.Community.Pattern),
-				Vertices: s.names(rc.Community.Vertices()),
-				Edges:    rc.Edges,
-				Cohesion: rc.Cohesion,
-			})
+			resp.Communities = append(resp.Communities, t.rankedResponse(rc))
 		}
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 
-	qr, err := s.engine.Query(q, alpha)
+	qr, err := t.engine.Query(q, alpha)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, s.queryResponse(q, patternNames, alpha, qr))
+	writeJSON(w, http.StatusOK, t.queryResponse(q, patternNames, alpha, qr))
+}
+
+// rankedResponse renders one top-k community.
+func (t *tenant) rankedResponse(rc engine.RankedCommunity) CommunityResponse {
+	return CommunityResponse{
+		Theme:    t.itemNames(rc.Community.Pattern),
+		Vertices: t.names(rc.Community.Vertices()),
+		Edges:    rc.Edges,
+		Cohesion: rc.Cohesion,
+	}
 }
 
 // ExplainResponse is the payload of GET /api/v1/explain: the engine's plan
 // and execution report, with the canonical query pattern rendered through
 // the dictionary. Task items stay numeric (they are shard identifiers).
 type ExplainResponse struct {
+	// Network is the serving network; empty on the single-network routes.
+	Network string   `json:"network,omitempty"`
 	Pattern []string `json:"pattern,omitempty"`
 	*engine.ExplainReport
 }
 
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+func (s *Server) serveExplain(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	alpha, q, ok := s.parseQueryParams(w, r)
+	alpha, q, ok := t.parseQueryParams(w, r)
 	if !ok {
 		return
 	}
-	report, err := s.engine.Explain(q, alpha)
+	report, err := t.engine.Explain(q, alpha)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, ExplainResponse{Pattern: s.itemNames(report.Pattern), ExplainReport: report})
+	writeJSON(w, http.StatusOK, ExplainResponse{Network: t.name, Pattern: t.itemNames(report.Pattern), ExplainReport: report})
 }
 
 // queryResponse renders one engine answer.
-func (s *Server) queryResponse(q itemset.Itemset, patternNames []string, alpha float64, qr *tctree.QueryResult) QueryResponse {
+func (t *tenant) queryResponse(q itemset.Itemset, patternNames []string, alpha float64, qr *tctree.QueryResult) QueryResponse {
 	resp := QueryResponse{
 		Alpha:          alpha,
 		Pattern:        patternNames,
@@ -262,8 +362,8 @@ func (s *Server) queryResponse(q itemset.Itemset, patternNames []string, alpha f
 	}
 	for _, c := range qr.Communities() {
 		resp.Communities = append(resp.Communities, CommunityResponse{
-			Theme:    s.itemNames(c.Pattern),
-			Vertices: s.names(c.Vertices()),
+			Theme:    t.itemNames(c.Pattern),
+			Vertices: t.names(c.Vertices()),
 			Edges:    c.Edges.Len(),
 		})
 	}
@@ -288,7 +388,7 @@ type BatchResponse struct {
 	Results []QueryResponse `json:"results"`
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) serveBatch(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "use POST")
 		return
@@ -315,38 +415,38 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if len(bq.Pattern) > 0 {
-			q, err := s.parsePatternList(bq.Pattern)
+			q, err := t.parsePatternList(bq.Pattern)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
 				return
 			}
 			reqs[i] = engine.Request{Pattern: q, Alpha: bq.Alpha}
-			names[i] = s.itemNames(q)
+			names[i] = t.itemNames(q)
 		} else {
 			reqs[i] = engine.Request{Alpha: bq.Alpha}
 		}
 	}
-	answers, err := s.engine.QueryBatch(reqs)
+	answers, err := t.engine.QueryBatch(reqs)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	resp := BatchResponse{Results: make([]QueryResponse, len(answers))}
 	for i, qr := range answers {
-		resp.Results[i] = s.queryResponse(reqs[i].Pattern, names[i], reqs[i].Alpha, qr)
+		resp.Results[i] = t.queryResponse(reqs[i].Pattern, names[i], reqs[i].Alpha, qr)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *Server) handleEngineStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) serveEngineStats(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.engine.Stats())
+	writeJSON(w, http.StatusOK, t.engine.Stats())
 }
 
-func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+func (s *Server) servePatterns(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
@@ -369,7 +469,7 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = parsed
 	}
-	patterns, err := s.engine.PatternsAtDepth(length)
+	patterns, err := t.engine.PatternsAtDepth(length)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -380,7 +480,7 @@ func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
 		if i >= limit {
 			break
 		}
-		resp.Patterns = append(resp.Patterns, s.itemNames(p))
+		resp.Patterns = append(resp.Patterns, t.itemNames(p))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -393,7 +493,7 @@ type VertexResponse struct {
 	Communities []CommunityResponse `json:"communities"`
 }
 
-func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+func (s *Server) serveVertex(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
@@ -404,25 +504,20 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid vertex id %q", rawID))
 		return
 	}
-	alpha := 0.0
-	if v := r.URL.Query().Get("alpha"); v != "" {
-		parsed, err := strconv.ParseFloat(v, 64)
-		if err != nil || parsed < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid alpha %q", v))
-			return
-		}
-		alpha = parsed
+	alpha, ok := parseAlpha(w, r)
+	if !ok {
+		return
 	}
-	communities, err := s.engine.SearchVertex(graph.VertexID(id), nil, alpha)
+	communities, err := t.engine.SearchVertex(graph.VertexID(id), nil, alpha)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	resp := VertexResponse{Vertex: s.names([]graph.VertexID{graph.VertexID(id)})[0], Alpha: alpha}
+	resp := VertexResponse{Vertex: t.names([]graph.VertexID{graph.VertexID(id)})[0], Alpha: alpha}
 	for _, c := range communities {
 		resp.Communities = append(resp.Communities, CommunityResponse{
-			Theme:    s.itemNames(c.Pattern),
-			Vertices: s.names(c.Vertices()),
+			Theme:    t.itemNames(c.Pattern),
+			Vertices: t.names(c.Vertices()),
 			Edges:    c.Edges.Len(),
 		})
 	}
@@ -430,14 +525,14 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 }
 
 // parsePattern resolves a comma-separated list of item names or numeric ids.
-func (s *Server) parsePattern(raw string) (itemset.Itemset, error) {
-	return s.parsePatternList(strings.Split(raw, ","))
+func (t *tenant) parsePattern(raw string) (itemset.Itemset, error) {
+	return t.parsePatternList(strings.Split(raw, ","))
 }
 
 // parsePatternList resolves item names or numeric ids given as separate
 // fields (a JSON array keeps names containing commas intact, so fields are
 // not split any further).
-func (s *Server) parsePatternList(fields []string) (itemset.Itemset, error) {
+func (t *tenant) parsePatternList(fields []string) (itemset.Itemset, error) {
 	var items []itemset.Item
 	for _, field := range fields {
 		field = strings.TrimSpace(field)
@@ -448,10 +543,10 @@ func (s *Server) parsePatternList(fields []string) (itemset.Itemset, error) {
 			items = append(items, itemset.Item(id))
 			continue
 		}
-		if s.dict == nil {
+		if t.dict == nil {
 			return nil, fmt.Errorf("item %q is not numeric and the server has no dictionary", field)
 		}
-		id, ok := s.dict.Lookup(field)
+		id, ok := t.dict.Lookup(field)
 		if !ok {
 			return nil, fmt.Errorf("unknown item %q", field)
 		}
@@ -465,11 +560,11 @@ func (s *Server) parsePatternList(fields []string) (itemset.Itemset, error) {
 
 // itemNames renders an itemset through the dictionary, falling back to
 // numeric identifiers.
-func (s *Server) itemNames(p itemset.Itemset) []string {
+func (t *tenant) itemNames(p itemset.Itemset) []string {
 	out := make([]string, 0, p.Len())
 	for _, it := range p {
-		if s.dict != nil {
-			if name, err := s.dict.Name(it); err == nil {
+		if t.dict != nil {
+			if name, err := t.dict.Name(it); err == nil {
 				out = append(out, name)
 				continue
 			}
@@ -480,11 +575,11 @@ func (s *Server) itemNames(p itemset.Itemset) []string {
 }
 
 // names renders vertices through the optional display-name table.
-func (s *Server) names(vs []graph.VertexID) []string {
+func (t *tenant) names(vs []graph.VertexID) []string {
 	out := make([]string, 0, len(vs))
 	for _, v := range vs {
-		if int(v) < len(s.vertexNames) {
-			out = append(out, s.vertexNames[v])
+		if int(v) < len(t.vertexNames) {
+			out = append(out, t.vertexNames[v])
 			continue
 		}
 		out = append(out, strconv.Itoa(int(v)))

@@ -1,0 +1,28 @@
+#!/bin/sh
+# check-coverage.sh runs the internal packages with -coverprofile, prints the
+# per-package coverage table, and fails if themecomm/internal/engine — the
+# concurrency-critical serving layer — drops below the pinned floor.
+# Override the floor with ENGINE_COVERAGE_FLOOR=NN.N (a bare percentage).
+set -eu
+
+FLOOR="${ENGINE_COVERAGE_FLOOR:-85.0}"
+PROFILE="${COVERAGE_PROFILE:-coverage.out}"
+
+out=$(go test -coverprofile="$PROFILE" ./internal/...)
+echo "$out"
+echo
+echo "per-package coverage:"
+echo "$out" | awk '/coverage:/ { for (i = 1; i <= NF; i++) if ($i ~ /%/) printf "  %-40s %s\n", $2, $i }'
+
+engine=$(echo "$out" | awk '$2 == "themecomm/internal/engine" { for (i = 1; i <= NF; i++) if ($i ~ /%/) { gsub("%", "", $i); print $i } }')
+if [ -z "$engine" ]; then
+	echo "error: no coverage reported for themecomm/internal/engine" >&2
+	exit 1
+fi
+
+echo
+if awk -v got="$engine" -v floor="$FLOOR" 'BEGIN { exit !(got + 0 < floor + 0) }'; then
+	echo "FAIL: internal/engine coverage ${engine}% is below the ${FLOOR}% floor" >&2
+	exit 1
+fi
+echo "internal/engine coverage ${engine}% meets the ${FLOOR}% floor"

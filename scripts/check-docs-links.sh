@@ -1,23 +1,66 @@
 #!/bin/sh
 # check-docs-links.sh verifies that every relative markdown link in README.md
-# and docs/*.md resolves to an existing file (anchors are stripped; absolute
-# http(s) URLs are skipped). Exits non-zero listing the broken links.
+# and docs/*.md (every markdown file in docs/, including ones added by new
+# PRs) resolves to an existing file, and that every intra-doc anchor —
+# "#section" within a file or "other.md#section" across files — names a real
+# heading in its target. Absolute http(s) URLs are skipped. Exits non-zero
+# listing the broken links.
 set -eu
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
+# anchors_of prints the GitHub-style anchor slug of every heading in a
+# markdown file: lowercase, punctuation stripped, spaces to hyphens.
+anchors_of() {
+	grep -E '^#{1,6} ' "$1" | sed -E 's/^#+ +//; s/[[:space:]]+$//' |
+		tr '[:upper:]' '[:lower:]' |
+		sed -E 's/[^a-z0-9 _-]//g; s/ /-/g'
+}
+
+# has_anchor target frag: does the markdown file contain the anchor? A
+# trailing -N disambiguates duplicate headings on GitHub, so the bare slug is
+# accepted for it too.
+has_anchor() {
+	base=$(printf '%s' "$2" | sed -E 's/-[0-9]+$//')
+	anchors_of "$1" | grep -qx -e "$2" -e "$base"
+}
+
 for f in README.md docs/*.md; do
 	dir=$(dirname "$f")
 	grep -oE '\]\([^)]+\)' "$f" | sed 's/^](//; s/)$//' | while IFS= read -r link; do
 		case "$link" in
-		http://* | https://* | mailto:* | "#"*) continue ;;
+		http://* | https://* | mailto:*) continue ;;
 		esac
 		target=${link%%#*}
-		[ -z "$target" ] && continue
-		if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+		frag=""
+		case "$link" in
+		*"#"*) frag=${link#*#} ;;
+		esac
+		# Resolve the link target: same file for pure-anchor links, else
+		# relative to the linking file (with a repo-root fallback).
+		resolved=""
+		if [ -z "$target" ]; then
+			resolved=$f
+		elif [ -e "$dir/$target" ]; then
+			resolved="$dir/$target"
+		elif [ -e "$target" ]; then
+			resolved=$target
+		else
 			echo "$f: broken link: $link" >&2
 			echo "$f: $link" >>"$tmp"
+			continue
+		fi
+		# Anchor check, for anchors into markdown files only.
+		if [ -n "$frag" ]; then
+			case "$resolved" in
+			*.md)
+				if ! has_anchor "$resolved" "$frag"; then
+					echo "$f: broken anchor: $link (no heading #$frag in $resolved)" >&2
+					echo "$f: $link" >>"$tmp"
+				fi
+				;;
+			esac
 		fi
 	done
 done
@@ -26,4 +69,4 @@ if [ -s "$tmp" ]; then
 	echo "broken documentation links found" >&2
 	exit 1
 fi
-echo "all documentation links resolve"
+echo "all documentation links and anchors resolve"

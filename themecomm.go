@@ -40,6 +40,7 @@ import (
 	"themecomm/internal/dbnet"
 	"themecomm/internal/edgenet"
 	"themecomm/internal/engine"
+	"themecomm/internal/federation"
 	"themecomm/internal/gen"
 	"themecomm/internal/graph"
 	"themecomm/internal/itemset"
@@ -131,6 +132,47 @@ type (
 
 // NewEngine returns a query-serving engine over a built TC-Tree.
 func NewEngine(tree *Tree, opts EngineOptions) (*Engine, error) { return engine.New(tree, opts) }
+
+// Federation types: one serving process fronting many named indexed
+// networks — the multi-tenant "data warehouse of maximal pattern trusses" —
+// with per-network engines and shard pools behind one shared result cache
+// and one shared residency budget.
+type (
+	// Federation manages many named networks sharing a result cache and a
+	// residency budget, with cross-network batch queries.
+	Federation = federation.Federation
+	// FederationOptions configures a Federation and its member engines.
+	FederationOptions = federation.Options
+	// FederationNetworkOptions carries one network's presentation metadata
+	// (item dictionary, vertex display names).
+	FederationNetworkOptions = federation.NetworkOptions
+	// FederationNetwork is one attached tenant: a named engine plus its
+	// metadata.
+	FederationNetwork = federation.Network
+	// FederationStats is a snapshot of the federation's shared resources,
+	// aggregates and per-network engine counters.
+	FederationStats = federation.Stats
+	// DiscoveredNetwork is one indexed network found in a networks
+	// directory.
+	DiscoveredNetwork = federation.DiscoveredNetwork
+)
+
+// NewFederation returns an empty federation; attach networks with
+// AttachTree / AttachIndex.
+func NewFederation(opts FederationOptions) *Federation { return federation.New(opts) }
+
+// OpenFederation builds a federation from every indexed network found in
+// dir: sharded index directories attach lazily, .tctree files eagerly, and a
+// sibling <name>.dbnet file provides a network's item dictionary.
+func OpenFederation(dir string, opts FederationOptions) (*Federation, error) {
+	return federation.Discover(dir, opts)
+}
+
+// DiscoverNetworks lists the indexed networks inside dir without opening
+// them, in ascending name order.
+func DiscoverNetworks(dir string) ([]DiscoveredNetwork, error) {
+	return federation.DiscoverNetworks(dir)
+}
 
 // Sharded index persistence types.
 type (
