@@ -34,8 +34,10 @@
 //	GET  /api/v1/enginestats                engine counters (shards, residency, cache, planner)
 //	GET  /api/v1/patterns?length=2          list indexed patterns of a length
 //	GET  /api/v1/vertex?id=7&alpha=0.2      theme communities containing a vertex
+//	POST /api/v1/update                     apply a network delta in place (needs -net,
+//	                                        or a sibling <name>.dbnet with -networks)
 //	GET  /api/v1/networks                   list the federation's networks (-networks)
-//	GET  /api/v1/{network}/query|explain|batch|enginestats|stats|patterns|vertex
+//	GET  /api/v1/{network}/query|explain|batch|enginestats|stats|patterns|vertex|update
 //	GET  /api/v1/queryall?alpha=0.2&k=10    one query across every network, merged by cohesion
 //	GET  /api/v1/federationstats            shared cache/budget state + per-network counters
 package main
@@ -100,11 +102,23 @@ func main() {
 		}
 		opts.Engine = eng
 		if *netPath != "" {
-			_, dict, err := themecomm.ReadNetworkFile(*netPath)
+			nw, dict, err := themecomm.ReadNetworkFile(*netPath)
 			if err != nil {
 				log.Fatal(err)
 			}
 			opts.Dictionary = dict
+			if eng.Lazy() {
+				// Holding the network enables POST /api/v1/update
+				// (incremental index maintenance); the updated network is
+				// written back so a restart reloads consistent state.
+				opts.Network = nw
+				opts.NetworkPath = *netPath
+			} else {
+				// A monolithic .tctree cannot be updated in place on disk;
+				// applying deltas in memory while writing the network back
+				// would desynchronize the two across a restart.
+				log.Printf("monolithic index: POST /api/v1/update disabled (use the sharded format, tcindex -sharded)")
+			}
 		}
 		mode := "eager"
 		if eng.Lazy() {

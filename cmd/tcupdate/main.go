@@ -1,0 +1,172 @@
+// Command tcupdate incrementally maintains a sharded TC-Tree index after its
+// database network changes: it applies a network delta (added/removed edges,
+// added transactions, new vertices) to the network file, rebuilds only the
+// index shards the delta can affect, commits them with a single durable
+// manifest write, and writes the updated network back — no full re-index.
+//
+// The delta comes from a delta file (see internal/delta for the TCDELTA text
+// format), from the command-line flags, or both:
+//
+//	tcupdate -net bk.dbnet -index bk.index -delta changes.tcdelta
+//	tcupdate -net bk.dbnet -index bk.index -addedges 3-17,4-17 -addtx "17:coffee,tea"
+//	tcupdate -net bk.dbnet -index bk.index -rmedges 3-4 -outnet bk-next.dbnet
+//
+// Flags -addedges and -rmedges take comma-separated u-v vertex pairs;
+// -addtx takes semicolon-separated vertex:item,item,... transactions whose
+// items are names (resolved — and, for new items, interned — through the
+// network's dictionary) or numeric identifiers. A server holding the same
+// index must be told to reload (or run its own update via POST
+// /api/v1/update, which does all of this in one step).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"themecomm"
+	"themecomm/internal/delta"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tcupdate: ")
+
+	netPath := flag.String("net", "", "database network file the index was built from (required)")
+	indexPath := flag.String("index", "", "sharded index directory built by tcindex -sharded (required)")
+	deltaPath := flag.String("delta", "", "delta file in the TCDELTA text format")
+	addVertices := flag.Int("addvertices", 0, "number of new vertices to add")
+	addEdges := flag.String("addedges", "", "edges to add, comma-separated u-v pairs (e.g. 3-17,4-17)")
+	rmEdges := flag.String("rmedges", "", "edges to remove, comma-separated u-v pairs")
+	addTx := flag.String("addtx", "", "transactions to add, semicolon-separated vertex:item,item,... entries")
+	outNet := flag.String("outnet", "", "write the updated network here (default: overwrite -net)")
+	flag.Parse()
+
+	if *netPath == "" || *indexPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	nw, dict, err := themecomm.ReadNetworkFile(*netPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if dict != nil {
+		// Cover the whole item universe before interning delta item names,
+		// so a new name can never alias an existing unnamed item.
+		if items := nw.Items(); items.Len() > 0 {
+			dict.PadTo(int(items.Last()) + 1)
+		}
+	}
+	d := &delta.Delta{AddVertices: *addVertices}
+	if *deltaPath != "" {
+		fromFile, err := delta.ReadFile(*deltaPath, dict)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d.AddVertices += fromFile.AddVertices
+		d.AddEdges = append(d.AddEdges, fromFile.AddEdges...)
+		d.RemoveEdges = append(d.RemoveEdges, fromFile.RemoveEdges...)
+		d.AddTransactions = append(d.AddTransactions, fromFile.AddTransactions...)
+	}
+	if d.AddEdges, err = appendEdges(d.AddEdges, *addEdges); err != nil {
+		log.Fatalf("-addedges: %v", err)
+	}
+	if d.RemoveEdges, err = appendEdges(d.RemoveEdges, *rmEdges); err != nil {
+		log.Fatalf("-rmedges: %v", err)
+	}
+	if d.AddTransactions, err = appendTransactions(d.AddTransactions, *addTx, dict); err != nil {
+		log.Fatalf("-addtx: %v", err)
+	}
+	if d.Empty() {
+		log.Fatal("empty delta: give -delta, -addvertices, -addedges, -rmedges or -addtx")
+	}
+
+	idx, err := themecomm.OpenShardedIndex(*indexPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	affected := delta.AffectedItems(nw, d)
+	start := time.Now()
+	if err := delta.Apply(nw, d); err != nil {
+		log.Fatal(err)
+	}
+	report, err := idx.ApplyDelta(nw, affected)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := *outNet
+	if out == "" {
+		out = *netPath
+	}
+	if err := themecomm.WriteNetworkFileAtomic(out, nw, dict); err != nil {
+		log.Fatalf("index updated but network write-back failed: %v", err)
+	}
+	fmt.Printf("applied %s to %s in %v\n", d, *indexPath, time.Since(start).Round(time.Microsecond))
+	fmt.Printf("  affected items:  %d of %d shards (%d replaced, %d added, %d removed)\n",
+		affected.Len(), idx.NumShards(), len(report.Replaced), len(report.Added), len(report.Removed))
+	fmt.Printf("  network:         %s (|V|=%d, |E|=%d)\n", out, nw.NumVertices(), nw.NumEdges())
+}
+
+// appendEdges parses a comma-separated list of u-v pairs.
+func appendEdges(edges []graph.Edge, raw string) ([]graph.Edge, error) {
+	for _, field := range strings.Split(raw, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		u, v, ok := strings.Cut(field, "-")
+		if !ok {
+			return nil, fmt.Errorf("edge %q is not a u-v pair", field)
+		}
+		a, err1 := strconv.Atoi(strings.TrimSpace(u))
+		b, err2 := strconv.Atoi(strings.TrimSpace(v))
+		if err1 != nil || err2 != nil || a == b ||
+			a < 0 || a > math.MaxInt32 || b < 0 || b > math.MaxInt32 {
+			return nil, fmt.Errorf("invalid edge %q", field)
+		}
+		edges = append(edges, graph.EdgeOf(graph.VertexID(a), graph.VertexID(b)))
+	}
+	return edges, nil
+}
+
+// appendTransactions parses semicolon-separated vertex:item,item,... entries.
+func appendTransactions(txs []delta.VertexTransaction, raw string, dict *itemset.Dictionary) ([]delta.VertexTransaction, error) {
+	for _, field := range strings.Split(raw, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		vs, rest, ok := strings.Cut(field, ":")
+		if !ok {
+			return nil, fmt.Errorf("transaction %q is not a vertex:items entry", field)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(vs))
+		if err != nil || v < 0 || v > math.MaxInt32 {
+			return nil, fmt.Errorf("invalid vertex in %q", field)
+		}
+		var items []itemset.Item
+		for _, name := range strings.Split(rest, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			it, err := delta.ResolveItem(name, dict)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, it)
+		}
+		if len(items) == 0 {
+			return nil, fmt.Errorf("transaction %q has no items", field)
+		}
+		txs = append(txs, delta.VertexTransaction{Vertex: graph.VertexID(v), Tx: itemset.New(items...)})
+	}
+	return txs, nil
+}

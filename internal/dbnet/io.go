@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -192,6 +193,42 @@ func WriteFile(path string, nw *Network, dict *itemset.Dictionary) error {
 		return err
 	}
 	return f.Close()
+}
+
+// WriteFileAtomic durably replaces the network file: write-to-temp, fsync,
+// rename, fsync the directory. Incremental maintenance uses it for the
+// network write-back after an index update — the network file is the only
+// source for future rebuilds, so it must never be torn or roll back behind
+// a durably committed index. (internal/tctree keeps its own variant of this
+// recipe for index shard files, with crash-injection test hooks; change the
+// discipline in both places or neither.)
+func WriteFileAtomic(path string, nw *Network, dict *itemset.Dictionary) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	err = Write(f, nw, dict)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Directory fsync errors are ignored: unsupported on some platforms,
+	// and the rename already made the change visible and consistent.
+	if d, derr := os.Open(filepath.Dir(path)); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // ReadFile reads a network from the named file.

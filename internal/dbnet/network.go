@@ -63,6 +63,22 @@ func (nw *Network) MustAddEdge(a, b graph.VertexID) {
 	}
 }
 
+// RemoveEdge deletes the undirected edge (a, b), reporting whether it was
+// present. Removing an absent edge is a harmless no-op.
+func (nw *Network) RemoveEdge(a, b graph.VertexID) bool {
+	return nw.g.RemoveEdge(a, b)
+}
+
+// AddVertices grows the network by n vertices with empty transaction
+// databases, returning the new vertex count. New vertices carry no items, so
+// they change no theme network until they gain transactions or edges.
+func (nw *Network) AddVertices(n int) int {
+	for i := 0; i < n; i++ {
+		nw.dbs = append(nw.dbs, txdb.New())
+	}
+	return nw.g.AddVertices(n)
+}
+
 // Database returns the transaction database of vertex v.
 func (nw *Network) Database(v graph.VertexID) *txdb.Database {
 	if int(v) < 0 || int(v) >= len(nw.dbs) {

@@ -1,0 +1,328 @@
+package delta
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+)
+
+// randomNetwork mirrors the generator the tctree and engine tests use.
+func randomNetwork(rng *rand.Rand, n, m, items, maxTx int) *dbnet.Network {
+	nw := dbnet.New(n)
+	for i := 0; i < m; i++ {
+		a, b := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		if a != b {
+			nw.MustAddEdge(a, b)
+		}
+	}
+	for v := 0; v < n; v++ {
+		ntx := 1 + rng.Intn(maxTx)
+		for i := 0; i < ntx; i++ {
+			l := 1 + rng.Intn(3)
+			tx := make([]itemset.Item, l)
+			for j := range tx {
+				tx[j] = itemset.Item(rng.Intn(items))
+			}
+			if err := nw.AddTransaction(graph.VertexID(v), itemset.New(tx...)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return nw
+}
+
+// randomDelta builds a random but valid delta against nw: a few new edges, a
+// few removed existing edges, a few transactions (sometimes with a brand-new
+// item), sometimes a new vertex that immediately gets connected.
+func randomDelta(rng *rand.Rand, nw *dbnet.Network, items int) *Delta {
+	d := &Delta{}
+	n := nw.NumVertices()
+	if rng.Intn(3) == 0 {
+		d.AddVertices = 1
+		v := graph.VertexID(n) // connect and populate the new vertex
+		u := graph.VertexID(rng.Intn(n))
+		d.AddEdges = append(d.AddEdges, graph.EdgeOf(u, v))
+		d.AddTransactions = append(d.AddTransactions, VertexTransaction{
+			Vertex: v,
+			Tx:     itemset.New(itemset.Item(rng.Intn(items))),
+		})
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		a, b := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		if a != b {
+			d.AddEdges = append(d.AddEdges, graph.EdgeOf(a, b))
+		}
+	}
+	if edges := nw.Graph().Edges(); len(edges) > 0 {
+		for i := 0; i < 1+rng.Intn(2); i++ {
+			d.RemoveEdges = append(d.RemoveEdges, edges[rng.Intn(len(edges))])
+		}
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		it := itemset.Item(rng.Intn(items))
+		if rng.Intn(4) == 0 {
+			it = itemset.Item(items + rng.Intn(3)) // new item
+		}
+		d.AddTransactions = append(d.AddTransactions, VertexTransaction{
+			Vertex: graph.VertexID(rng.Intn(n)),
+			Tx:     itemset.New(it, itemset.Item(rng.Intn(items))),
+		})
+	}
+	return d
+}
+
+func TestAffectedItemsBounds(t *testing.T) {
+	nw := dbnet.New(4)
+	nw.MustAddEdge(0, 1)
+	nw.MustAddEdge(1, 2)
+	mustTx := func(v graph.VertexID, items ...itemset.Item) {
+		if err := nw.AddTransaction(v, itemset.New(items...)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustTx(0, 1, 2)
+	mustTx(1, 2)
+	mustTx(2, 3)
+	mustTx(3, 4)
+
+	cases := []struct {
+		name string
+		d    *Delta
+		want itemset.Itemset
+	}{
+		{
+			name: "added edge touches both endpoints' items",
+			d:    &Delta{AddEdges: []graph.Edge{graph.EdgeOf(0, 2)}},
+			want: itemset.New(1, 2, 3),
+		},
+		{
+			name: "removed edge touches both endpoints' items",
+			d:    &Delta{RemoveEdges: []graph.Edge{graph.EdgeOf(1, 2)}},
+			want: itemset.New(2, 3),
+		},
+		{
+			name: "added transaction dilutes every item its vertex carries",
+			d: &Delta{AddTransactions: []VertexTransaction{
+				{Vertex: 2, Tx: itemset.New(9)},
+			}},
+			// item 9 from the new transaction, item 3 because vertex 2's
+			// frequencies all change denominator.
+			want: itemset.New(3, 9),
+		},
+		{
+			name: "isolated vertex addition affects nothing",
+			d:    &Delta{AddVertices: 2},
+			want: itemset.New(),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := AffectedItems(nw, tc.d); !got.Equal(tc.want) {
+				t.Fatalf("AffectedItems = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateRejectsBadDeltas(t *testing.T) {
+	nw := dbnet.New(3)
+	cases := []struct {
+		name string
+		d    *Delta
+	}{
+		{"nil delta", nil},
+		{"negative vertex count", &Delta{AddVertices: -1}},
+		{"self-loop", &Delta{AddEdges: []graph.Edge{{U: 1, V: 1}}}},
+		{"edge out of range", &Delta{AddEdges: []graph.Edge{graph.EdgeOf(0, 7)}}},
+		{"removed edge out of range", &Delta{RemoveEdges: []graph.Edge{graph.EdgeOf(0, 7)}}},
+		{"transaction out of range", &Delta{AddTransactions: []VertexTransaction{{Vertex: 9, Tx: itemset.New(1)}}}},
+		{"empty transaction", &Delta{AddTransactions: []VertexTransaction{{Vertex: 0}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.d.Validate(nw); err == nil {
+				t.Fatalf("Validate accepted %v", tc.d)
+			}
+			if err := Apply(nw, tc.d); err == nil {
+				t.Fatalf("Apply accepted %v", tc.d)
+			}
+		})
+	}
+	// A delta may reference the vertices it adds.
+	ok := &Delta{AddVertices: 1, AddEdges: []graph.Edge{graph.EdgeOf(0, 3)}}
+	if err := ok.Validate(nw); err != nil {
+		t.Fatalf("Validate rejected a self-consistent delta: %v", err)
+	}
+}
+
+func TestApplyMutatesNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nw := randomNetwork(rng, 10, 20, 4, 3)
+	edges := nw.NumEdges()
+	d := &Delta{
+		AddVertices: 1,
+		AddEdges:    []graph.Edge{graph.EdgeOf(0, 10)},
+		RemoveEdges: nw.Graph().Edges()[:1],
+		AddTransactions: []VertexTransaction{
+			{Vertex: 10, Tx: itemset.New(99)},
+		},
+	}
+	if err := Apply(nw, d); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if nw.NumVertices() != 11 {
+		t.Fatalf("vertices = %d, want 11", nw.NumVertices())
+	}
+	if nw.NumEdges() != edges { // one added, one removed
+		t.Fatalf("edges = %d, want %d", nw.NumEdges(), edges)
+	}
+	if !nw.Items().Contains(99) {
+		t.Fatalf("item 99 missing after Apply")
+	}
+}
+
+func TestDeltaIORoundTrip(t *testing.T) {
+	dict := itemset.NewDictionary()
+	dict.Intern("coffee")
+	d := &Delta{
+		AddVertices: 2,
+		AddEdges:    []graph.Edge{graph.EdgeOf(0, 5), graph.EdgeOf(1, 2)},
+		RemoveEdges: []graph.Edge{graph.EdgeOf(3, 4)},
+		AddTransactions: []VertexTransaction{
+			{Vertex: 5, Tx: itemset.New(0, 7)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()), nil)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.AddVertices != d.AddVertices || len(got.AddEdges) != len(d.AddEdges) ||
+		len(got.RemoveEdges) != len(d.RemoveEdges) || len(got.AddTransactions) != len(d.AddTransactions) {
+		t.Fatalf("round trip mismatch: %s != %s", got, d)
+	}
+	for i, e := range d.AddEdges {
+		if got.AddEdges[i] != e {
+			t.Fatalf("edge %d: %v != %v", i, got.AddEdges[i], e)
+		}
+	}
+	if !got.AddTransactions[0].Tx.Equal(d.AddTransactions[0].Tx) {
+		t.Fatalf("transaction mismatch")
+	}
+
+	// Named items intern through the dictionary, including unseen names.
+	named, err := Read(bytes.NewReader([]byte("TCDELTA 1\nT 0 coffee tea\n")), dict)
+	if err != nil {
+		t.Fatalf("Read named: %v", err)
+	}
+	tea, ok := dict.Lookup("tea")
+	if !ok {
+		t.Fatalf("new item name was not interned")
+	}
+	want := itemset.New(0, tea)
+	if !named.AddTransactions[0].Tx.Equal(want) {
+		t.Fatalf("named transaction = %v, want %v", named.AddTransactions[0].Tx, want)
+	}
+	// Without a dictionary, names are rejected.
+	if _, err := Read(bytes.NewReader([]byte("TCDELTA 1\nT 0 coffee\n")), nil); err == nil {
+		t.Fatalf("Read without dictionary accepted a named item")
+	}
+}
+
+// TestShardedApplyDeltaParity is the on-disk half of the acceptance
+// criterion: for generated deltas, applying the delta to a sharded index and
+// re-reading it answers every query exactly like an index rebuilt from
+// scratch on the updated network — while only the affected shard files
+// change.
+func TestShardedApplyDeltaParity(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nw := randomNetwork(rng, 14, 34, 5, 3)
+		tree := tctree.Build(nw, tctree.BuildOptions{})
+		if tree.NumNodes() == 0 {
+			continue
+		}
+		dir := t.TempDir()
+		if _, err := tree.WriteSharded(dir); err != nil {
+			t.Fatalf("seed %d: WriteSharded: %v", seed, err)
+		}
+		idx, err := tctree.OpenSharded(dir)
+		if err != nil {
+			t.Fatalf("seed %d: OpenSharded: %v", seed, err)
+		}
+
+		d := randomDelta(rng, nw, 5)
+		affected := AffectedItems(nw, d)
+		before := idx.Manifest()
+		if err := Apply(nw, d); err != nil {
+			t.Fatalf("seed %d: Apply: %v", seed, err)
+		}
+		if _, err := idx.ApplyDelta(nw, affected); err != nil {
+			t.Fatalf("seed %d: ApplyDelta: %v", seed, err)
+		}
+
+		// Unaffected shard entries are bit-identical in the manifest.
+		after := idx.Manifest()
+		beforeByItem := make(map[int32]tctree.ShardEntry, len(before.Shards))
+		for _, e := range before.Shards {
+			beforeByItem[e.Item] = e
+		}
+		for _, e := range after.Shards {
+			if affected.Contains(itemset.Item(e.Item)) {
+				continue
+			}
+			if prev, ok := beforeByItem[e.Item]; !ok || prev != e {
+				t.Fatalf("seed %d: unaffected shard %d changed across ApplyDelta", seed, e.Item)
+			}
+		}
+
+		fresh := tctree.Build(nw, tctree.BuildOptions{})
+		updated, err := idx.LoadTree()
+		if err != nil {
+			t.Fatalf("seed %d: LoadTree: %v", seed, err)
+		}
+		if err := updated.Validate(); err != nil {
+			t.Fatalf("seed %d: Validate after ApplyDelta: %v", seed, err)
+		}
+		if updated.NumNodes() != fresh.NumNodes() {
+			t.Fatalf("seed %d: updated index has %d nodes, fresh rebuild %d", seed, updated.NumNodes(), fresh.NumNodes())
+		}
+		alphas := []float64{0, 0.1, 0.25, fresh.MaxAlpha()}
+		patterns := []itemset.Itemset{nil, affected, itemset.New(0), itemset.New(1, 2)}
+		for _, alpha := range alphas {
+			for _, q := range patterns {
+				assertSameAnswer(t, seed, updated.Query(q, alpha), fresh.Query(q, alpha))
+			}
+		}
+	}
+}
+
+// assertSameAnswer compares two tree answers node by node.
+func assertSameAnswer(t *testing.T, seed int64, got, want *tctree.QueryResult) {
+	t.Helper()
+	if len(got.Trusses) != len(want.Trusses) {
+		t.Fatalf("seed %d: %d trusses, want %d", seed, len(got.Trusses), len(want.Trusses))
+	}
+	for i := range want.Trusses {
+		g, w := got.Trusses[i], want.Trusses[i]
+		if !g.Pattern.Equal(w.Pattern) {
+			t.Fatalf("seed %d: truss %d pattern %v, want %v", seed, i, g.Pattern, w.Pattern)
+		}
+		if g.Edges.Len() != w.Edges.Len() {
+			t.Fatalf("seed %d: truss %v has %d edges, want %d", seed, g.Pattern, g.Edges.Len(), w.Edges.Len())
+		}
+		for _, e := range w.Edges {
+			if !g.Edges.Contains(e) {
+				t.Fatalf("seed %d: truss %v misses edge %v", seed, g.Pattern, e)
+			}
+		}
+	}
+}

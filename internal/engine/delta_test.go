@@ -1,0 +1,541 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/delta"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+)
+
+// randomDeltaFor builds a random valid delta against nw: new edges, removed
+// existing edges, new transactions (sometimes introducing a new item),
+// sometimes a new connected vertex.
+func randomDeltaFor(rng *rand.Rand, nw *dbnet.Network, items int) *delta.Delta {
+	d := &delta.Delta{}
+	n := nw.NumVertices()
+	if rng.Intn(3) == 0 {
+		d.AddVertices = 1
+		d.AddEdges = append(d.AddEdges, graph.EdgeOf(graph.VertexID(rng.Intn(n)), graph.VertexID(n)))
+		d.AddTransactions = append(d.AddTransactions, delta.VertexTransaction{
+			Vertex: graph.VertexID(n), Tx: itemset.New(itemset.Item(rng.Intn(items))),
+		})
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		a, b := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		if a != b {
+			d.AddEdges = append(d.AddEdges, graph.EdgeOf(a, b))
+		}
+	}
+	if edges := nw.Graph().Edges(); len(edges) > 0 {
+		d.RemoveEdges = append(d.RemoveEdges, edges[rng.Intn(len(edges))])
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		it := itemset.Item(rng.Intn(items))
+		if rng.Intn(4) == 0 {
+			it = itemset.Item(items + rng.Intn(2))
+		}
+		d.AddTransactions = append(d.AddTransactions, delta.VertexTransaction{
+			Vertex: graph.VertexID(rng.Intn(n)), Tx: itemset.New(it, itemset.Item(rng.Intn(items))),
+		})
+	}
+	return d
+}
+
+// deltaTestQueries is the query mix the parity tests compare: query-by-alpha,
+// narrow patterns, wide patterns, across several thresholds.
+func deltaTestQueries() []Request {
+	return []Request{
+		{Pattern: nil, Alpha: 0},
+		{Pattern: nil, Alpha: 0.15},
+		{Pattern: itemset.New(0), Alpha: 0},
+		{Pattern: itemset.New(1, 2), Alpha: 0.1},
+		{Pattern: itemset.New(0, 1, 2, 3, 4, 5, 6), Alpha: 0},
+		{Pattern: itemset.New(3), Alpha: 0.3},
+	}
+}
+
+// TestApplyDeltaParity is the serving-layer half of the acceptance
+// criterion, as a table over eager and lazy engines and several generated
+// networks/deltas: ApplyDelta then query must match a from-scratch rebuild
+// then query, answer for answer.
+func TestApplyDeltaParity(t *testing.T) {
+	const items = 5
+	for _, mode := range []string{"eager", "lazy"} {
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(mode, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				nw := randomNetwork(rng, 14, 34, items, 3)
+				// An identically generated twin for the from-scratch rebuild.
+				twin := randomNetwork(rand.New(rand.NewSource(seed)), 14, 34, items, 3)
+				tree := tctree.Build(nw, tctree.BuildOptions{})
+				if tree.NumNodes() == 0 {
+					t.Skip("empty tree for this seed")
+				}
+
+				var eng *Engine
+				var err error
+				if mode == "eager" {
+					eng, err = New(tree, Options{CacheSize: 64})
+				} else {
+					dir := t.TempDir()
+					if _, werr := tree.WriteSharded(dir); werr != nil {
+						t.Fatalf("WriteSharded: %v", werr)
+					}
+					idx, oerr := tctree.OpenSharded(dir)
+					if oerr != nil {
+						t.Fatalf("OpenSharded: %v", oerr)
+					}
+					eng, err = NewLazy(idx, Options{CacheSize: 64, MaxResidentShards: 3})
+				}
+				if err != nil {
+					t.Fatalf("engine: %v", err)
+				}
+
+				// Warm the cache so the delta's invalidation is exercised.
+				for _, q := range deltaTestQueries() {
+					if _, err := eng.Query(q.Pattern, q.Alpha); err != nil {
+						t.Fatalf("pre-delta query: %v", err)
+					}
+				}
+
+				d := randomDeltaFor(rng, nw, items)
+				res, err := eng.ApplyDelta(nw, d)
+				if err != nil {
+					t.Fatalf("ApplyDelta: %v", err)
+				}
+				if res.Epoch == 0 || eng.IndexEpoch() != res.Epoch {
+					t.Fatalf("epoch not bumped: result %d, engine %d", res.Epoch, eng.IndexEpoch())
+				}
+
+				if err := delta.Apply(twin, d); err != nil {
+					t.Fatalf("Apply on twin: %v", err)
+				}
+				freshTree := tctree.Build(twin, tctree.BuildOptions{})
+				fresh, err := New(freshTree, Options{})
+				if err != nil {
+					t.Fatalf("fresh engine: %v", err)
+				}
+				if got, want := eng.NumShards(), fresh.NumShards(); got != want {
+					t.Fatalf("NumShards = %d, fresh rebuild %d", got, want)
+				}
+				if got, want := eng.NumNodes(), fresh.NumNodes(); got != want {
+					t.Fatalf("NumNodes = %d, fresh rebuild %d", got, want)
+				}
+				for _, q := range deltaTestQueries() {
+					got, err := eng.Query(q.Pattern, q.Alpha)
+					if err != nil {
+						t.Fatalf("post-delta query: %v", err)
+					}
+					want, err := fresh.Query(q.Pattern, q.Alpha)
+					if err != nil {
+						t.Fatalf("fresh query: %v", err)
+					}
+					assertSameTrusses(t, got, want)
+
+					gotK, err := eng.TopK(q.Pattern, q.Alpha, 5)
+					if err != nil {
+						t.Fatalf("post-delta TopK: %v", err)
+					}
+					wantK, err := fresh.TopK(q.Pattern, q.Alpha, 5)
+					if err != nil {
+						t.Fatalf("fresh TopK: %v", err)
+					}
+					if !reflect.DeepEqual(gotK, wantK) {
+						t.Fatalf("TopK diverges after ApplyDelta:\n got %v\nwant %v", gotK, wantK)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestApplyDeltaSelective pins the efficiency claim: a delta touching one
+// vertex rebuilds strictly fewer shards than the index holds.
+func TestApplyDeltaSelective(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	nw := randomNetwork(rng, 40, 260, 20, 3)
+	tree := tctree.Build(nw, tctree.BuildOptions{})
+	dir := t.TempDir()
+	if _, err := tree.WriteSharded(dir); err != nil {
+		t.Fatalf("WriteSharded: %v", err)
+	}
+	idx, err := tctree.OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	eng, err := NewLazy(idx, Options{})
+	if err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+	total := eng.NumShards()
+	d := &delta.Delta{AddTransactions: []delta.VertexTransaction{
+		{Vertex: 0, Tx: itemset.New(nw.Items()[0])},
+	}}
+	res, err := eng.ApplyDelta(nw, d)
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if res.Affected.Len() == 0 || res.Affected.Len() >= total {
+		t.Fatalf("one-vertex delta affected %d of %d shards; want a strict subset", res.Affected.Len(), total)
+	}
+	touched := res.Report.Touched()
+	if touched.Len() > res.Affected.Len() {
+		t.Fatalf("commit touched %d shards, more than the %d affected", touched.Len(), res.Affected.Len())
+	}
+}
+
+// TestApplyDeltaRejectsDepthBoundedIndex pins the MaxDepth guard: an index
+// built with a depth bound cannot be incrementally maintained (the rebuild
+// is unbounded and would make rebuilt shards deeper than untouched ones).
+func TestApplyDeltaRejectsDepthBoundedIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	nw := randomNetwork(rng, 16, 40, 5, 4)
+	tree := tctree.Build(nw, tctree.BuildOptions{MaxDepth: 2})
+	d := &delta.Delta{AddTransactions: []delta.VertexTransaction{{Vertex: 0, Tx: itemset.New(0)}}}
+
+	eager, err := New(tree, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eager.ApplyDelta(nw, d); err == nil {
+		t.Fatalf("eager ApplyDelta accepted a depth-bounded index")
+	}
+
+	dir := t.TempDir()
+	if _, err := tree.WriteSharded(dir); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := tctree.OpenSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := idx.Manifest().BuiltMaxDepth; got != 2 {
+		t.Fatalf("manifest BuiltMaxDepth = %d, want 2", got)
+	}
+	lazy, err := NewLazy(idx, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lazy.ApplyDelta(nw, d); err == nil {
+		t.Fatalf("lazy ApplyDelta accepted a depth-bounded index")
+	}
+	if _, err := idx.ApplyDelta(nw, itemset.New(0)); err == nil {
+		t.Fatalf("ShardedIndex.ApplyDelta accepted a depth-bounded index")
+	}
+}
+
+// TestApplyDeltaConcurrentQueries runs queries and top-k rankings while a
+// delta lands mid-flight and asserts every answer is entirely pre-delta or
+// entirely post-delta — never a mix of old and new shards. Run it with
+// -race: it is also the data-race proof for the swap path.
+func TestApplyDeltaConcurrentQueries(t *testing.T) {
+	const items = 5
+	rng := rand.New(rand.NewSource(11))
+	nw := randomNetwork(rng, 14, 34, items, 3)
+	twinPre := randomNetwork(rand.New(rand.NewSource(11)), 14, 34, items, 3)
+	twinPost := randomNetwork(rand.New(rand.NewSource(11)), 14, 34, items, 3)
+	d := randomDeltaFor(rng, nw, items)
+
+	// Reference answers from independent engines on the pre- and post-delta
+	// networks.
+	preEng, err := New(tctree.Build(twinPre, tctree.BuildOptions{}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := delta.Apply(twinPost, d); err != nil {
+		t.Fatal(err)
+	}
+	postEng, err := New(tctree.Build(twinPost, tctree.BuildOptions{}), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := deltaTestQueries()
+	type refAnswer struct {
+		pre, post   map[itemset.Key]int // pattern -> edge count, an order-free fingerprint
+		preK, postK []RankedCommunity
+	}
+	refs := make([]refAnswer, len(queries))
+	fingerprint := func(e *Engine, q Request) map[itemset.Key]int {
+		res, err := e.Query(q.Pattern, q.Alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[itemset.Key]int, len(res.Trusses))
+		for _, tr := range res.Trusses {
+			out[tr.Pattern.Key()] += tr.Edges.Len()
+		}
+		return out
+	}
+	for i, q := range queries {
+		refs[i].pre = fingerprint(preEng, q)
+		refs[i].post = fingerprint(postEng, q)
+		if refs[i].preK, err = preEng.TopK(q.Pattern, q.Alpha, 4); err != nil {
+			t.Fatal(err)
+		}
+		if refs[i].postK, err = postEng.TopK(q.Pattern, q.Alpha, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, mode := range []string{"eager", "lazy"} {
+		t.Run(mode, func(t *testing.T) {
+			// Fresh engine and fresh mutable network per mode: ApplyDelta
+			// mutates both.
+			liveNw := randomNetwork(rand.New(rand.NewSource(11)), 14, 34, items, 3)
+			liveTree := tctree.Build(liveNw, tctree.BuildOptions{})
+			var eng *Engine
+			var err error
+			if mode == "eager" {
+				eng, err = New(liveTree, Options{CacheSize: 128})
+			} else {
+				dir := t.TempDir()
+				if _, werr := liveTree.WriteSharded(dir); werr != nil {
+					t.Fatal(werr)
+				}
+				idx, oerr := tctree.OpenSharded(dir)
+				if oerr != nil {
+					t.Fatal(oerr)
+				}
+				eng, err = NewLazy(idx, Options{CacheSize: 128, MaxResidentShards: 3})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var stop atomic.Bool
+			var wg sync.WaitGroup
+			errs := make(chan error, 64)
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; !stop.Load(); i++ {
+						q := queries[(i+w)%len(queries)]
+						ref := refs[(i+w)%len(queries)]
+						if i%3 == 0 {
+							ranked, err := eng.TopK(q.Pattern, q.Alpha, 4)
+							if err != nil {
+								errs <- err
+								return
+							}
+							if !reflect.DeepEqual(ranked, ref.preK) && !reflect.DeepEqual(ranked, ref.postK) {
+								t.Errorf("TopK answer is neither pre- nor post-delta: %v", ranked)
+								return
+							}
+							continue
+						}
+						res, err := eng.Query(q.Pattern, q.Alpha)
+						if err != nil {
+							errs <- err
+							return
+						}
+						got := make(map[itemset.Key]int, len(res.Trusses))
+						for _, tr := range res.Trusses {
+							got[tr.Pattern.Key()] += tr.Edges.Len()
+						}
+						if !reflect.DeepEqual(got, ref.pre) && !reflect.DeepEqual(got, ref.post) {
+							t.Errorf("query answer is neither pre- nor post-delta: %v", got)
+							return
+						}
+					}
+				}(w)
+			}
+			if _, err := eng.ApplyDelta(liveNw, d); err != nil {
+				t.Fatalf("ApplyDelta: %v", err)
+			}
+			stop.Store(true)
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatalf("concurrent query: %v", err)
+			}
+			// After the delta every answer must be post-delta.
+			for i, q := range queries {
+				got := fingerprint(eng, q)
+				if !reflect.DeepEqual(got, refs[i].post) {
+					t.Fatalf("post-delta answer diverges for query %d: %v, want %v", i, got, refs[i].post)
+				}
+			}
+			if eng.Stats().DeltasApplied != 1 {
+				t.Fatalf("DeltasApplied = %d, want 1", eng.Stats().DeltasApplied)
+			}
+		})
+	}
+}
+
+// TestReloadShardCacheRace provokes the reload/query interleaving the epoch
+// gate closes: queries against one shard run full tilt while the shard is
+// swapped on disk and reloaded. After every reload, the next cached answer
+// must reflect the new shard — a query that computed against the old shard
+// must never park its stale result in the cache past the purge.
+func TestReloadShardCacheRace(t *testing.T) {
+	tree := buildTestTree(t, 13)
+	other := buildTestTree(t, 19)
+	var item itemset.Item
+	var replacement *tctree.Node
+	for _, c := range other.Root().Children {
+		if tree.Root().Descendant(c.Pattern) != nil {
+			item, replacement = c.Item, c
+			break
+		}
+	}
+	if replacement == nil {
+		t.Fatalf("trees share no root item; pick other seeds")
+	}
+	orig := tree.Root().Descendant(itemset.New(item))
+
+	dir := t.TempDir()
+	if _, err := tree.WriteSharded(dir); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := tctree.OpenSharded(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewLazy(idx, Options{CacheSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q := itemset.New(item)
+	subtrees := []*tctree.Node{orig, replacement}
+	wantEdges := []int{
+		querySubtree(orig, q, 0).trusses[0].Edges.Len(),
+		querySubtree(replacement, q, 0).trusses[0].Edges.Len(),
+	}
+	if wantEdges[0] == wantEdges[1] {
+		t.Fatalf("old and new shard answers coincide; pick other seeds")
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if _, err := eng.Query(q, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 40; i++ {
+		next := subtrees[(i+1)%2]
+		if err := idx.ReplaceShard(next); err != nil {
+			t.Fatalf("ReplaceShard: %v", err)
+		}
+		if err := eng.ReloadShard(item); err != nil {
+			t.Fatalf("ReloadShard: %v", err)
+		}
+		// The very next answer — cached or executed — must be the new shard's.
+		res, err := eng.Query(q, 0)
+		if err != nil {
+			t.Fatalf("post-reload query: %v", err)
+		}
+		if got, want := res.Trusses[0].Edges.Len(), wantEdges[(i+1)%2]; got != want {
+			t.Fatalf("iteration %d: post-reload answer has %d edges, want %d (stale cache entry served)", i, got, want)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if eng.IndexEpoch() != 40 {
+		t.Fatalf("IndexEpoch = %d, want 40", eng.IndexEpoch())
+	}
+}
+
+// assertSameTrusses compares two engine answers content-wise (the engines may
+// legitimately group shards identically, so order is compared too).
+func assertSameTrusses(t *testing.T, got, want *tctree.QueryResult) {
+	t.Helper()
+	if len(got.Trusses) != len(want.Trusses) {
+		t.Fatalf("%d trusses, want %d", len(got.Trusses), len(want.Trusses))
+	}
+	for i := range want.Trusses {
+		g, w := got.Trusses[i], want.Trusses[i]
+		if !g.Pattern.Equal(w.Pattern) {
+			t.Fatalf("truss %d pattern %v, want %v", i, g.Pattern, w.Pattern)
+		}
+		if g.Edges.Len() != w.Edges.Len() {
+			t.Fatalf("truss %v: %d edges, want %d", g.Pattern, g.Edges.Len(), w.Edges.Len())
+		}
+		for _, e := range w.Edges {
+			if !g.Edges.Contains(e) {
+				t.Fatalf("truss %v misses edge %v", g.Pattern, e)
+			}
+		}
+	}
+}
+
+// BenchmarkApplyDelta measures incremental maintenance on a lazy engine: a
+// small one-vertex delta per iteration. The shardrebuilds/op metric counts
+// shards re-decomposed per update — compare with BenchmarkDeltaFullRebuild,
+// which pays every shard every time.
+func BenchmarkApplyDelta(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	nw := randomNetwork(rng, 40, 260, 20, 3)
+	tree := tctree.Build(nw, tctree.BuildOptions{})
+	dir := b.TempDir()
+	if _, err := tree.WriteSharded(dir); err != nil {
+		b.Fatal(err)
+	}
+	idx, err := tctree.OpenSharded(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewLazy(idx, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := nw.Items()
+	b.ResetTimer()
+	var rebuilt int
+	for i := 0; i < b.N; i++ {
+		d := &delta.Delta{AddTransactions: []delta.VertexTransaction{
+			{Vertex: graph.VertexID(i % nw.NumVertices()), Tx: itemset.New(items[i%items.Len()])},
+		}}
+		res, err := eng.ApplyDelta(nw, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rebuilt += res.Affected.Len()
+	}
+	b.ReportMetric(float64(rebuilt)/float64(b.N), "shardrebuilds/op")
+}
+
+// BenchmarkDeltaFullRebuild is the baseline ApplyDelta replaces: apply the
+// same small delta, then rebuild and rewrite the whole index from scratch.
+func BenchmarkDeltaFullRebuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	nw := randomNetwork(rng, 40, 260, 20, 3)
+	tree := tctree.Build(nw, tctree.BuildOptions{})
+	dir := b.TempDir()
+	if _, err := tree.WriteSharded(dir); err != nil {
+		b.Fatal(err)
+	}
+	items := nw.Items()
+	b.ResetTimer()
+	var rebuilt int
+	for i := 0; i < b.N; i++ {
+		d := &delta.Delta{AddTransactions: []delta.VertexTransaction{
+			{Vertex: graph.VertexID(i % nw.NumVertices()), Tx: itemset.New(items[i%items.Len()])},
+		}}
+		if err := delta.Apply(nw, d); err != nil {
+			b.Fatal(err)
+		}
+		fresh := tctree.Build(nw, tctree.BuildOptions{})
+		if _, err := fresh.WriteSharded(dir); err != nil {
+			b.Fatal(err)
+		}
+		rebuilt += len(fresh.Root().Children)
+	}
+	b.ReportMetric(float64(rebuilt)/float64(b.N), "shardrebuilds/op")
+}

@@ -29,11 +29,14 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"themecomm/internal/dbnet"
+	"themecomm/internal/delta"
 	"themecomm/internal/itemset"
 	"themecomm/internal/tctree"
 )
@@ -86,22 +89,68 @@ type Options struct {
 // PrefetchWorkers at zero.
 const defaultPrefetchWorkers = 2
 
+// errShardRemoved poisons a shard struct a delta removed from the table, so
+// stragglers holding the old pointer (in-flight prefetches) cannot load it
+// back into memory.
+var errShardRemoved = errors.New("engine: shard removed by an applied delta")
+
+// shardTable is an immutable snapshot of the engine's shard set. The engine
+// publishes it through an atomic pointer so that readers (queries, stats, the
+// residency evictor) see a consistent table without locking, while index
+// updates (ApplyDelta) install a new table in one store — the in-memory
+// analogue of the sharded format's single manifest swap.
+type shardTable struct {
+	// shards are the per-top-level-item partitions, ordered by ascending
+	// root item.
+	shards []*shard
+	// index maps a top-level item to its position in shards.
+	index map[itemset.Item]int
+	// items is the sorted set of all indexed top-level items; because the
+	// TC-Tree is a set-enumeration tree, every item of every indexed pattern
+	// appears at level 1, so q ∩ items is a lossless canonicalization of any
+	// query pattern.
+	items itemset.Itemset
+}
+
+// lookup returns the shard of a top-level item.
+func (t *shardTable) lookup(item itemset.Item) (*shard, bool) {
+	i, ok := t.index[item]
+	if !ok {
+		return nil, false
+	}
+	return t.shards[i], true
+}
+
 // Engine answers theme-community queries from a sharded TC-Tree.
 type Engine struct {
 	// tree is the fully resident TC-Tree of an eager engine; nil in lazy
 	// mode, where idx is the on-disk index shards are loaded from instead.
 	tree *tctree.Tree
 	idx  *tctree.ShardedIndex
-	// shards are the per-top-level-item partitions, ordered by ascending
-	// root item.
-	shards []*shard
-	// shardIndex maps a top-level item to its position in shards.
-	shardIndex map[itemset.Item]int
-	// items is the sorted set of all indexed top-level items; because the
-	// TC-Tree is a set-enumeration tree, every item of every indexed pattern
-	// appears at level 1, so q ∩ items is a lossless canonicalization of any
-	// query pattern.
-	items itemset.Itemset
+	// table is the current shard set (copy-on-write; see shardTable).
+	table atomic.Pointer[shardTable]
+
+	// updateMu serializes index swaps against in-flight queries: every query
+	// holds the read side for its whole execution, and ReloadShard /
+	// ApplyDelta hold the write side across the disk commit, the in-memory
+	// swap and the cache invalidation — so a query's answer is always
+	// entirely pre-swap or entirely post-swap, never a mix of shards from
+	// both sides.
+	updateMu sync.RWMutex
+	// applyMu serializes whole ApplyDelta invocations: the network mutation
+	// and the subtree rebuilds happen outside updateMu (queries keep
+	// flowing), so concurrent deltas must queue here.
+	applyMu sync.Mutex
+	// pendingAffected (guarded by applyMu) carries the affected set of a
+	// delta whose disk commit failed: the network is already mutated, so the
+	// next ApplyDelta must rebuild those shards too or the index would
+	// silently diverge from the network forever.
+	pendingAffected itemset.Itemset
+	// epoch counts index swaps (ReloadShard, ApplyDelta). Queries capture it
+	// before executing and the result cache refuses inserts whose epoch is
+	// stale, so an answer computed against a replaced shard can never be
+	// cached after the invalidation purge ran.
+	epoch atomic.Uint64
 
 	workers int
 	// sem bounds concurrent shard traversals across all in-flight queries.
@@ -135,6 +184,7 @@ type Engine struct {
 	batches    atomic.Uint64
 	topKs      atomic.Uint64
 	explains   atomic.Uint64
+	deltas     atomic.Uint64
 	lazyLoads  atomic.Uint64
 	evictions  atomic.Uint64
 	skipped    atomic.Uint64
@@ -148,18 +198,26 @@ func New(tree *tctree.Tree, opts Options) (*Engine, error) {
 	}
 	e := newEngine(opts)
 	e.tree = tree
-	stats := tree.ShardStats()
-	for i, c := range tree.Root().Children {
-		e.addShard(&shard{
-			item:     c.Item,
-			root:     c,
-			once:     new(sync.Once),
-			nodes:    stats[i].Nodes,
-			depth:    stats[i].Depth,
-			maxAlpha: stats[i].MaxAlpha,
-		})
+	for _, c := range tree.Root().Children {
+		e.addShard(eagerShardOf(c))
 	}
 	return e, nil
+}
+
+// eagerShardOf builds the shard of a resident first-level subtree, computing
+// its catalogue statistics with one walk.
+func eagerShardOf(c *tctree.Node) *shard {
+	s := &shard{item: c.Item, root: c, once: new(sync.Once)}
+	c.Walk(func(n *tctree.Node) {
+		s.nodes++
+		if l := n.Pattern.Len(); l > s.depth {
+			s.depth = l
+		}
+		if a := n.Decomp.MaxAlpha(); a > s.maxAlpha {
+			s.maxAlpha = a
+		}
+	})
+	return s
 }
 
 // NewLazy returns a lazy Engine serving straight from a sharded on-disk
@@ -179,7 +237,6 @@ func NewLazy(idx *tctree.ShardedIndex, opts Options) (*Engine, error) {
 	} else {
 		e.res = NewResidencyGroup(opts.MaxResidentShards)
 	}
-	e.res.add(e)
 	if !opts.DisablePlanner && opts.PrefetchWorkers >= 0 {
 		workers := opts.PrefetchWorkers
 		if workers == 0 {
@@ -189,18 +246,27 @@ func NewLazy(idx *tctree.ShardedIndex, opts Options) (*Engine, error) {
 	}
 	m := idx.Manifest()
 	for _, entry := range m.Shards {
-		st := entry.Stats()
-		item := st.Item
-		e.addShard(&shard{
-			item:     item,
-			load:     func() (*tctree.Node, error) { return idx.LoadShard(item) },
-			once:     new(sync.Once),
-			nodes:    st.Nodes,
-			depth:    st.Depth,
-			maxAlpha: st.MaxAlpha,
-		})
+		e.addShard(e.lazyShard(entry.Stats()))
 	}
+	// Enroll in the residency group only once the shard table is fully
+	// built: a shared group's evictor may scan members from other tenants'
+	// goroutines the moment the engine is added.
+	e.res.add(e)
 	return e, nil
+}
+
+// lazyShard builds a shard that loads its subtree from the engine's on-disk
+// index on first touch, carrying the given catalogue statistics.
+func (e *Engine) lazyShard(st tctree.ShardStats) *shard {
+	idx, item := e.idx, st.Item
+	return &shard{
+		item:     item,
+		load:     func() (*tctree.Node, error) { return idx.LoadShard(item) },
+		once:     new(sync.Once),
+		nodes:    st.Nodes,
+		depth:    st.Depth,
+		maxAlpha: st.MaxAlpha,
+	}
 }
 
 func newEngine(opts Options) *Engine {
@@ -209,15 +275,15 @@ func newEngine(opts Options) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{
-		shardIndex: make(map[itemset.Item]int),
-		workers:    workers,
-		sem:        make(chan struct{}, workers),
-		batchSem:   make(chan struct{}, workers),
+		workers:  workers,
+		sem:      make(chan struct{}, workers),
+		batchSem: make(chan struct{}, workers),
 		// res is the private default; NewLazy swaps in a shared group when
 		// Options.SharedResidency is set. Eager engines never evict, so the
 		// zero budget is inert for them.
 		res: NewResidencyGroup(0),
 	}
+	e.table.Store(&shardTable{index: make(map[itemset.Item]int)})
 	if !opts.DisablePlanner {
 		e.planCfg = DefaultPlanConfig()
 	}
@@ -232,14 +298,25 @@ func newEngine(opts Options) *Engine {
 	return e
 }
 
+// addShard appends a shard during construction, before the engine is shared;
+// shards arrive in ascending root-item order. Later membership changes go
+// through ApplyDelta, which installs a whole new table instead.
 func (e *Engine) addShard(s *shard) {
-	e.shardIndex[s.item] = len(e.shards)
-	e.shards = append(e.shards, s)
-	e.items = append(e.items, s.item)
+	t := e.table.Load()
+	t.index[s.item] = len(t.shards)
+	t.shards = append(t.shards, s)
+	t.items = append(t.items, s.item)
+	e.table.Store(t)
 }
 
 // NumShards returns the number of shards (indexed top-level items).
-func (e *Engine) NumShards() int { return len(e.shards) }
+func (e *Engine) NumShards() int { return len(e.table.Load().shards) }
+
+// IndexEpoch returns the number of index swaps (ReloadShard calls and
+// applied deltas) the engine has performed. Cache inserts are gated on it:
+// a query that executed against a since-swapped shard can never insert its
+// stale answer.
+func (e *Engine) IndexEpoch() uint64 { return e.epoch.Load() }
 
 // Workers returns the shard-traversal parallelism.
 func (e *Engine) Workers() int { return e.workers }
@@ -319,28 +396,22 @@ func (e *Engine) acquire(s *shard) (root *tctree.Node, loaded bool, err error) {
 // contains the item — answers of other queries provably never touched the
 // shard and stay valid. Call it after swapping the shard on disk with
 // tctree.ShardedIndex.ReplaceShard; the next query touching the shard loads
-// the new file. Only lazy engines can reload.
+// the new file. Only lazy engines can reload. The swap excludes in-flight
+// queries (updateMu) and bumps the index epoch, so a query that executed
+// against the old shard can neither be mid-merge during the swap nor insert
+// its stale answer into the cache afterwards.
 func (e *Engine) ReloadShard(item itemset.Item) error {
-	i, ok := e.shardIndex[item]
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+	s, ok := e.table.Load().lookup(item)
 	if !ok {
 		return fmt.Errorf("engine: no shard for item %d", item)
 	}
-	s := e.shards[i]
 	if s.load == nil {
 		return fmt.Errorf("engine: shard %d is not lazily loaded; rebuild the engine instead", item)
 	}
-	entry, haveEntry := e.idx.Entry(item)
-	s.mu.Lock()
-	if s.root != nil {
-		e.res.resident.Add(-1)
-	}
-	s.root, s.err = nil, nil
-	s.once = new(sync.Once)
-	if haveEntry {
-		st := entry.Stats()
-		s.nodes, s.depth, s.maxAlpha = st.Nodes, st.Depth, st.MaxAlpha
-	}
-	s.mu.Unlock()
+	e.resetShard(s)
+	e.epoch.Add(1)
 	if e.cache != nil {
 		// Full-pattern entries (query by alpha) depend on every shard, so
 		// they always go. Only this engine's namespace is touched — in a
@@ -386,12 +457,12 @@ func (e *Engine) Release() {
 // full reports whether it covers every indexed item, in which case the cache
 // key degenerates to the empty-pattern sentinel so that QueryByAlpha and any
 // pattern spanning the whole item universe share one cache entry.
-func (e *Engine) canonical(q itemset.Itemset) (eff itemset.Itemset, full bool) {
+func canonical(t *shardTable, q itemset.Itemset) (eff itemset.Itemset, full bool) {
 	if q == nil {
-		return e.items, true
+		return t.items, true
 	}
-	eff = q.Intersect(e.items)
-	return eff, len(eff) == len(e.items)
+	eff = q.Intersect(t.items)
+	return eff, len(eff) == len(t.items)
 }
 
 // cacheKey renders the canonicalized query as a map key. A full query (every
@@ -424,11 +495,21 @@ func (e *Engine) key(q itemset.Itemset, full bool, alphaQ float64) string {
 // is always nil on eager engines; on lazy engines it surfaces shard-load
 // failures (missing file, checksum mismatch, corrupt payload).
 func (e *Engine) Query(q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, error) {
+	e.updateMu.RLock()
+	defer e.updateMu.RUnlock()
+	return e.queryLocked(q, alphaQ)
+}
+
+// queryLocked is Query's body; callers hold updateMu for reading, so the
+// shard table and the index epoch are stable for the whole execution.
+func (e *Engine) queryLocked(q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, error) {
 	e.queries.Add(1)
 	start := time.Now()
-	eff, full := e.canonical(q)
+	t := e.table.Load()
+	eff, full := canonical(t, q)
 	key := e.key(eff, full, alphaQ)
 	var gen uint64
+	epoch := e.epoch.Load()
 	if e.cache != nil {
 		if cached, ok := e.cache.get(key); ok {
 			// Share the immutable payload, stamp the observed latency.
@@ -441,12 +522,15 @@ func (e *Engine) Query(q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, 
 		// result may predate the swap and put will discard it.
 		gen = e.cache.generation(e.cacheNS)
 	}
-	res, _, _, err := e.executePlan(e.planRelevant(eff, alphaQ))
+	res, _, _, err := e.executePlan(t, e.planRelevant(t, eff, alphaQ))
 	if err != nil {
 		return nil, err
 	}
 	res.Duration = time.Since(start)
-	if e.cache != nil {
+	// Insert only if no index swap happened since the epoch was captured
+	// (it cannot while updateMu is held for reading; the gate is the
+	// second line of defense) and no invalidation of this namespace ran.
+	if e.cache != nil && e.epoch.Load() == epoch {
 		e.cache.put(key, e.cacheNS, eff, full, res, gen)
 	}
 	return res, nil
@@ -462,11 +546,11 @@ func (e *Engine) QueryByAlpha(alphaQ float64) (*tctree.QueryResult, error) {
 // planRelevant plans an already-canonicalized query over the shards its
 // pattern touches. eff is sorted, so the plan's tasks are in ascending
 // root-item (shard) order and the merge stays deterministic.
-func (e *Engine) planRelevant(eff itemset.Itemset, alphaQ float64) *QueryPlan {
+func (e *Engine) planRelevant(t *shardTable, eff itemset.Itemset, alphaQ float64) *QueryPlan {
 	infos := make([]ShardInfo, 0, len(eff))
 	for _, it := range eff {
-		if i, ok := e.shardIndex[it]; ok {
-			infos = append(infos, e.shards[i].info())
+		if s, ok := t.lookup(it); ok {
+			infos = append(infos, s.info())
 		}
 	}
 	return PlanQuery(infos, eff, alphaQ, e.planCfg)
@@ -477,8 +561,9 @@ func (e *Engine) planRelevant(eff itemset.Itemset, alphaQ float64) *QueryPlan {
 // reflecting current residency. It plans without executing, so it is cheap;
 // a federation uses it to order cross-network batches most-expensive-first.
 func (e *Engine) EstimateCost(q itemset.Itemset, alphaQ float64) float64 {
-	eff, _ := e.canonical(q)
-	return e.planRelevant(eff, alphaQ).TotalCost
+	t := e.table.Load()
+	eff, _ := canonical(t, q)
+	return e.planRelevant(t, eff, alphaQ).TotalCost
 }
 
 // taskExec is the execution record of one plan task, reported by Explain.
@@ -497,24 +582,24 @@ type taskExec struct {
 // answer is byte-identical to a planner-off execution: an α*-skipped shard
 // contributes exactly the one root visit the traversal would have made
 // before finding the root truss empty.
-func (e *Engine) executePlan(plan *QueryPlan) (*tctree.QueryResult, []taskExec, uint64, error) {
+func (e *Engine) executePlan(t *shardTable, plan *QueryPlan) (*tctree.QueryResult, []taskExec, uint64, error) {
 	pattern := plan.Pattern
 	if pattern == nil {
-		pattern = e.items
+		pattern = t.items
 	}
 	results := make([]shardResult, len(plan.Tasks))
 	execs := make([]taskExec, len(plan.Tasks))
-	for i, t := range plan.Tasks {
-		if t.Decision == DecisionSkipAlpha {
+	for i, task := range plan.Tasks {
+		if task.Decision == DecisionSkipAlpha {
 			results[i] = shardResult{visited: 1}
 			execs[i].visited = 1
 			e.skipped.Add(1)
 		}
 	}
 	var prefetched atomic.Uint64
-	e.prefetchPlan(plan, &prefetched)
+	e.prefetchPlan(t, plan, &prefetched)
 	traverse := func(i int) {
-		s := e.shards[e.shardIndex[plan.Tasks[i].Item]]
+		s, _ := t.lookup(plan.Tasks[i].Item)
 		e.sem <- struct{}{}
 		defer func() { <-e.sem }()
 		start := time.Now()
@@ -575,7 +660,7 @@ func (e *Engine) executePlan(plan *QueryPlan) (*tctree.QueryResult, []taskExec, 
 // reaches the shard meanwhile shares the same load. The prefetched counter
 // is best-effort: a prefetch still in flight when the plan finishes may be
 // counted against the engine but not the plan.
-func (e *Engine) prefetchPlan(plan *QueryPlan, prefetched *atomic.Uint64) {
+func (e *Engine) prefetchPlan(tbl *shardTable, plan *QueryPlan, prefetched *atomic.Uint64) {
 	if e.prefetchSem == nil || len(plan.Order) <= e.workers {
 		return
 	}
@@ -600,11 +685,11 @@ func (e *Engine) prefetchPlan(plan *QueryPlan, prefetched *atomic.Uint64) {
 		if budget == 0 {
 			return
 		}
-		t := plan.Tasks[i]
-		if t.Decision != DecisionLoad {
+		task := plan.Tasks[i]
+		if task.Decision != DecisionLoad {
 			continue
 		}
-		s := e.shards[e.shardIndex[t.Item]]
+		s, _ := tbl.lookup(task.Item)
 		select {
 		case e.prefetchSem <- struct{}{}:
 		default:
@@ -623,6 +708,242 @@ func (e *Engine) prefetchPlan(plan *QueryPlan, prefetched *atomic.Uint64) {
 			}
 		}(s)
 	}
+}
+
+// DeltaResult summarises one Engine.ApplyDelta call.
+type DeltaResult struct {
+	// Affected is the set of top-level items the delta could change — the
+	// shards that were rebuilt. Unaffected shards were neither rebuilt nor
+	// reloaded nor purged from the cache.
+	Affected itemset.Itemset `json:"affected"`
+	// Report details what happened to each affected shard.
+	Report *tctree.CommitReport `json:"report"`
+	// Epoch is the index epoch after the swap.
+	Epoch uint64 `json:"epoch"`
+	// Duration is the wall time of the whole update (rebuild + commit +
+	// swap).
+	Duration time.Duration `json:"-"`
+}
+
+// ApplyDelta incrementally maintains the engine's index after a network
+// delta: the delta is applied to nw (which must be the network the index was
+// built from), the shard of every affected top-level item is re-decomposed
+// from the updated network, and the rebuilt shards are swapped in — on disk
+// first for a lazy engine (one durable manifest write via
+// tctree.ShardedIndex.CommitShards), then in memory — while unaffected
+// shards are left untouched, resident and cached.
+//
+// The swap is serialized against in-flight queries (updateMu): a query
+// observes either the whole pre-delta index or the whole post-delta index,
+// never a mix. Cached answers that could depend on an affected shard (their
+// pattern intersects the affected set, or they cover every item) are purged,
+// the index epoch is bumped, and concurrent deltas queue on applyMu. After
+// ApplyDelta returns, querying the engine is byte-identical to querying an
+// index rebuilt from scratch on the updated network.
+func (e *Engine) ApplyDelta(nw *dbnet.Network, d *delta.Delta) (*DeltaResult, error) {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	start := time.Now()
+	if depth := e.builtMaxDepth(); depth > 0 {
+		return nil, fmt.Errorf("engine: index was built with MaxDepth %d; incremental maintenance needs an unbounded index", depth)
+	}
+	// Union in the affected set of any previously failed commit: its delta
+	// already mutated the network, so those shards still await their
+	// rebuild. A transient failure is therefore healed by the next
+	// successful ApplyDelta (an empty delta suffices).
+	affected := delta.AffectedItems(nw, d).Union(e.pendingAffected)
+	if err := delta.Apply(nw, d); err != nil {
+		// Apply validates first and mutates nothing on failure, so there is
+		// no pending rebuild to remember.
+		return nil, err
+	}
+	// Rebuild and stage outside updateMu: re-decomposition, encoding and
+	// the fsync'd file writes are the expensive parts, and none of them is
+	// visible to queries — staged files are invisible until the manifest
+	// swap. Only the swap itself excludes queries.
+	subtrees := tctree.RebuildSubtrees(nw, affected)
+	var staged *tctree.StagedShards
+	if e.idx != nil {
+		var err error
+		staged, err = e.idx.StageShards(subtrees)
+		if err != nil {
+			e.pendingAffected = affected
+			return nil, err
+		}
+	}
+
+	e.updateMu.Lock()
+	var report *tctree.CommitReport
+	if e.idx != nil {
+		var err error
+		report, err = staged.Commit()
+		if err != nil {
+			// The commit never moved the manifest, so disk and memory still
+			// agree on the old index; the engine keeps serving it. The
+			// network, however, already carries the delta — remember the
+			// affected set so a retry rebuilds these shards.
+			e.updateMu.Unlock()
+			e.pendingAffected = affected
+			return nil, err
+		}
+		e.swapLazyLocked(report)
+	} else {
+		report = e.swapEagerLocked(subtrees)
+	}
+	e.pendingAffected = nil
+	e.deltas.Add(1)
+	e.epoch.Add(1)
+	epoch := e.epoch.Load()
+	if e.cache != nil {
+		// An answer can only depend on an affected shard when its pattern
+		// contains an affected item; full-pattern entries depend on every
+		// shard. Only this engine's namespace is touched.
+		e.cache.invalidate(e.cacheNS, func(q itemset.Itemset, full bool) bool {
+			return full || q.Intersect(affected).Len() > 0
+		})
+	}
+	e.updateMu.Unlock()
+	return &DeltaResult{Affected: affected, Report: report, Epoch: epoch, Duration: time.Since(start)}, nil
+}
+
+// swapLazyLocked brings the shard table of a lazy engine in line with a
+// committed on-disk delta: replaced shards are reset so the next touch loads
+// the new file, removed shards leave the table (returning their residency),
+// and added shards join it. Callers hold updateMu for writing.
+func (e *Engine) swapLazyLocked(report *tctree.CommitReport) {
+	t := e.table.Load()
+	for _, it := range report.Replaced {
+		if s, ok := t.lookup(it); ok {
+			e.resetShard(s)
+		}
+	}
+	if len(report.Added) == 0 && len(report.Removed) == 0 {
+		return
+	}
+	removed := make(map[itemset.Item]bool, len(report.Removed))
+	for _, it := range report.Removed {
+		removed[it] = true
+	}
+	shards := make([]*shard, 0, len(t.shards)+len(report.Added))
+	for _, s := range t.shards {
+		if removed[s.item] {
+			if evictShard(s) {
+				e.res.resident.Add(-1)
+				e.evictions.Add(1)
+			}
+			// Poison the detached struct: a prefetch load still in flight
+			// would otherwise re-install a subtree (and a residency count)
+			// on a shard no evictor can ever see again. The fresh once makes
+			// the in-flight install discard itself; the sticky error stops
+			// acquire's retry loop from loading anew.
+			s.mu.Lock()
+			s.err = errShardRemoved
+			s.once = new(sync.Once)
+			s.mu.Unlock()
+			continue
+		}
+		shards = append(shards, s)
+	}
+	for _, it := range report.Added {
+		if entry, ok := e.idx.Entry(it); ok {
+			shards = append(shards, e.lazyShard(entry.Stats()))
+		}
+	}
+	e.table.Store(newShardTable(shards))
+}
+
+// swapEagerLocked installs the rebuilt subtrees on an eager engine's
+// resident tree and updates the shard table, recomputing statistics only
+// for the touched shards — untouched shard structs are carried over, so the
+// work under the write lock is proportional to the delta, not the index.
+// Callers hold updateMu for writing.
+func (e *Engine) swapEagerLocked(subtrees map[itemset.Item]*tctree.Node) *tctree.CommitReport {
+	report := &tctree.CommitReport{}
+	items := make([]itemset.Item, 0, len(subtrees))
+	for it := range subtrees {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	t := e.table.Load()
+	touched := make(map[itemset.Item]*shard, len(items))
+	for _, it := range items {
+		sub := subtrees[it]
+		_, exists := t.lookup(it)
+		switch {
+		case sub == nil && !exists:
+			continue
+		case sub == nil:
+			report.Removed = append(report.Removed, it)
+			touched[it] = nil
+		case exists:
+			report.Replaced = append(report.Replaced, it)
+			touched[it] = eagerShardOf(sub)
+		default:
+			report.Added = append(report.Added, it)
+			touched[it] = eagerShardOf(sub)
+		}
+		e.tree.SetSubtree(it, sub)
+	}
+	shards := make([]*shard, 0, len(t.shards)+len(report.Added))
+	for _, s := range t.shards {
+		if repl, ok := touched[s.item]; ok {
+			if repl != nil {
+				shards = append(shards, repl)
+			}
+			delete(touched, s.item)
+			continue
+		}
+		shards = append(shards, s)
+	}
+	for _, s := range touched { // the added shards
+		if s != nil {
+			shards = append(shards, s)
+		}
+	}
+	e.table.Store(newShardTable(shards))
+	return report
+}
+
+// builtMaxDepth returns the MaxDepth bound the served index was built with
+// (0 = unbounded): from the manifest on lazy engines, from the tree on
+// eager ones.
+func (e *Engine) builtMaxDepth() int {
+	if e.idx != nil {
+		return e.idx.Manifest().BuiltMaxDepth
+	}
+	if e.tree != nil {
+		return e.tree.BuiltMaxDepth()
+	}
+	return 0
+}
+
+// newShardTable assembles a table from shards, sorting them by root item.
+func newShardTable(shards []*shard) *shardTable {
+	sort.Slice(shards, func(i, j int) bool { return shards[i].item < shards[j].item })
+	t := &shardTable{shards: shards, index: make(map[itemset.Item]int, len(shards))}
+	for i, s := range shards {
+		t.index[s.item] = i
+		t.items = append(t.items, s.item)
+	}
+	return t
+}
+
+// resetShard drops a lazy shard's resident subtree and sticky error and
+// refreshes its catalogue statistics from the manifest, so the next touch
+// loads the current file.
+func (e *Engine) resetShard(s *shard) {
+	entry, haveEntry := e.idx.Entry(s.item)
+	s.mu.Lock()
+	if s.root != nil {
+		e.res.resident.Add(-1)
+	}
+	s.root, s.err = nil, nil
+	s.once = new(sync.Once)
+	if haveEntry {
+		st := entry.Stats()
+		s.nodes, s.depth, s.maxAlpha = st.Nodes, st.Depth, st.MaxAlpha
+	}
+	s.mu.Unlock()
 }
 
 // Request is one query of a batch.

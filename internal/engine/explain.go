@@ -76,13 +76,16 @@ type ExplainReport struct {
 func (e *Engine) Explain(q itemset.Itemset, alphaQ float64) (*ExplainReport, error) {
 	e.explains.Add(1)
 	start := time.Now()
-	eff, full := e.canonical(q)
-	infos := make([]ShardInfo, len(e.shards))
-	for i, s := range e.shards {
+	e.updateMu.RLock()
+	defer e.updateMu.RUnlock()
+	t := e.table.Load()
+	eff, full := canonical(t, q)
+	infos := make([]ShardInfo, len(t.shards))
+	for i, s := range t.shards {
 		infos[i] = s.info()
 	}
 	plan := PlanQuery(infos, eff, alphaQ, e.planCfg)
-	res, execs, prefetched, err := e.executePlan(plan)
+	res, execs, prefetched, err := e.executePlan(t, plan)
 	if err != nil {
 		return nil, err
 	}

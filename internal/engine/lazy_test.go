@@ -85,8 +85,8 @@ func TestLazyMatchesEager(t *testing.T) {
 					if stats.ResidentShards > budget {
 						t.Fatalf("budget %d exceeded: %d resident", budget, stats.ResidentShards)
 					}
-					if len(eng.shards) > budget && stats.ShardEvictions == 0 {
-						t.Fatalf("budget %d with %d shards saw no evictions", budget, len(eng.shards))
+					if len(eng.table.Load().shards) > budget && stats.ShardEvictions == 0 {
+						t.Fatalf("budget %d with %d shards saw no evictions", budget, len(eng.table.Load().shards))
 					}
 				}
 			}

@@ -15,11 +15,8 @@ import (
 // NumNodes returns the number of indexed nodes across all shards. On lazy
 // engines it comes from the manifest, without loading any shard.
 func (e *Engine) NumNodes() int {
-	if e.tree != nil {
-		return e.tree.NumNodes()
-	}
 	total := 0
-	for _, s := range e.shards {
+	for _, s := range e.table.Load().shards {
 		n, _, _ := s.meta()
 		total += n
 	}
@@ -28,11 +25,8 @@ func (e *Engine) NumNodes() int {
 
 // Depth returns the longest indexed pattern length across all shards.
 func (e *Engine) Depth() int {
-	if e.tree != nil {
-		return e.tree.Depth()
-	}
 	depth := 0
-	for _, s := range e.shards {
+	for _, s := range e.table.Load().shards {
 		_, d, _ := s.meta()
 		if d > depth {
 			depth = d
@@ -46,7 +40,7 @@ func (e *Engine) Depth() int {
 // larger α_q return nothing.
 func (e *Engine) MaxAlpha() float64 {
 	maxAlpha := 0.0
-	for _, s := range e.shards {
+	for _, s := range e.table.Load().shards {
 		_, _, a := s.meta()
 		if a > maxAlpha {
 			maxAlpha = a
@@ -63,15 +57,18 @@ func (e *Engine) PatternsAtDepth(depth int) ([]itemset.Itemset, error) {
 	if depth < 1 {
 		return nil, nil
 	}
+	e.updateMu.RLock()
+	defer e.updateMu.RUnlock()
+	t := e.table.Load()
 	if depth == 1 {
-		out := make([]itemset.Itemset, 0, len(e.shards))
-		for _, s := range e.shards {
+		out := make([]itemset.Itemset, 0, len(t.shards))
+		for _, s := range t.shards {
 			out = append(out, itemset.New(s.item))
 		}
 		return out, nil
 	}
 	var out []itemset.Itemset
-	for _, s := range e.shards {
+	for _, s := range t.shards {
 		_, shardDepth, _ := s.meta()
 		if shardDepth < depth {
 			continue
@@ -107,19 +104,16 @@ func (e *Engine) SearchVertex(v graph.VertexID, q itemset.Itemset, alphaQ float6
 
 // nodeOf resolves the TC-Tree node of an indexed pattern, loading the
 // pattern's shard when necessary. A nil node (pattern not indexed) is not an
-// error.
-func (e *Engine) nodeOf(p itemset.Itemset) (*tctree.Node, error) {
-	if e.tree != nil {
-		return e.tree.Node(p), nil
-	}
+// error. Callers hold updateMu for reading.
+func (e *Engine) nodeOf(t *shardTable, p itemset.Itemset) (*tctree.Node, error) {
 	if p.Len() == 0 {
 		return nil, nil
 	}
-	i, ok := e.shardIndex[p[0]]
+	s, ok := t.lookup(p[0])
 	if !ok {
 		return nil, nil
 	}
-	root, _, err := e.acquire(e.shards[i])
+	root, _, err := e.acquire(s)
 	if err != nil {
 		return nil, err
 	}

@@ -258,10 +258,10 @@ func TestPrefetch(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewLazy: %v", err)
 	}
-	if len(eng.shards) < 3 {
-		t.Fatalf("need at least 3 shards, have %d", len(eng.shards))
+	if len(eng.table.Load().shards) < 3 {
+		t.Fatalf("need at least 3 shards, have %d", len(eng.table.Load().shards))
 	}
-	for _, s := range eng.shards {
+	for _, s := range eng.table.Load().shards {
 		load := s.load
 		s.load = func() (*tctree.Node, error) {
 			time.Sleep(2 * time.Millisecond)
@@ -273,9 +273,9 @@ func TestPrefetch(t *testing.T) {
 	if st.PrefetchWorkers != 2 {
 		t.Fatalf("PrefetchWorkers = %d, want 2", st.PrefetchWorkers)
 	}
-	if st.LazyLoads != uint64(len(eng.shards)) {
+	if st.LazyLoads != uint64(len(eng.table.Load().shards)) {
 		t.Fatalf("LazyLoads = %d, want one per shard (%d) — prefetch must share loads, not duplicate them",
-			st.LazyLoads, len(eng.shards))
+			st.LazyLoads, len(eng.table.Load().shards))
 	}
 	if st.ShardsPrefetched == 0 {
 		t.Fatalf("no loads were performed by the prefetcher")
@@ -400,8 +400,8 @@ func TestExplain(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Explain: %v", err)
 	}
-	if rep.Shards != len(eng.shards) || len(rep.Tasks) != rep.Shards {
-		t.Fatalf("report covers %d tasks of %d shards, want all %d", len(rep.Tasks), rep.Shards, len(eng.shards))
+	if rep.Shards != len(eng.table.Load().shards) || len(rep.Tasks) != rep.Shards {
+		t.Fatalf("report covers %d tasks of %d shards, want all %d", len(rep.Tasks), rep.Shards, len(eng.table.Load().shards))
 	}
 	if rep.SkippedAbsent != rep.Shards-1 {
 		t.Fatalf("SkippedAbsent = %d, want %d", rep.SkippedAbsent, rep.Shards-1)

@@ -64,7 +64,7 @@ func (g *ResidencyGroup) remove(e *Engine) {
 		}
 	}
 	g.mu.Unlock()
-	for _, s := range e.shards {
+	for _, s := range e.table.Load().shards {
 		if evictShard(s) {
 			g.resident.Add(-1)
 			e.evictions.Add(1)
@@ -89,7 +89,7 @@ func (g *ResidencyGroup) enforce(just *shard) {
 		var oldest int64
 		g.mu.RLock()
 		for _, m := range g.members {
-			for _, s := range m.shards {
+			for _, s := range m.table.Load().shards {
 				if s == just || s.load == nil || !s.resident() {
 					continue
 				}

@@ -74,6 +74,11 @@ type Stats struct {
 	Batches     uint64 `json:"batches"`
 	TopKQueries uint64 `json:"topKQueries"`
 	Explains    uint64 `json:"explains,omitempty"`
+	// IndexEpoch counts index swaps (shard reloads and applied deltas);
+	// DeltasApplied counts ApplyDelta calls. A query result always reflects
+	// one single epoch.
+	IndexEpoch    uint64 `json:"indexEpoch"`
+	DeltasApplied uint64 `json:"deltasApplied,omitempty"`
 	// Cache reports the result-cache state.
 	Cache CacheStats `json:"cache"`
 	// ShardResidency lists every shard in ascending root-item order with its
@@ -83,8 +88,9 @@ type Stats struct {
 
 // Stats returns a consistent snapshot of the engine counters.
 func (e *Engine) Stats() Stats {
+	t := e.table.Load()
 	s := Stats{
-		Shards:            len(e.shards),
+		Shards:            len(t.shards),
 		Workers:           e.workers,
 		Lazy:              e.Lazy(),
 		MaxResidentShards: e.res.max,
@@ -99,8 +105,10 @@ func (e *Engine) Stats() Stats {
 		Batches:           e.batches.Load(),
 		TopKQueries:       e.topKs.Load(),
 		Explains:          e.explains.Load(),
+		IndexEpoch:        e.epoch.Load(),
+		DeltasApplied:     e.deltas.Load(),
 	}
-	for _, sh := range e.shards {
+	for _, sh := range t.shards {
 		nodes, _, maxAlpha := sh.meta()
 		stat := ShardStat{
 			Item:     int32(sh.item),

@@ -39,13 +39,19 @@ func (e *Engine) TopK(q itemset.Itemset, alphaQ float64, k int) ([]RankedCommuni
 // the query twice.
 func (e *Engine) TopKWithResult(q itemset.Itemset, alphaQ float64, k int) (*tctree.QueryResult, []RankedCommunity, error) {
 	e.topKs.Add(1)
-	res, err := e.Query(q, alphaQ)
+	// Hold the update lock across both the query and the per-pattern node
+	// resolution, so the cohesion annotations always come from the same
+	// index state the trusses were retrieved from.
+	e.updateMu.RLock()
+	defer e.updateMu.RUnlock()
+	res, err := e.queryLocked(q, alphaQ)
 	if err != nil {
 		return nil, nil, err
 	}
+	t := e.table.Load()
 	ranked := make([]RankedCommunity, 0, len(res.Trusses))
 	for _, tr := range res.Trusses {
-		node, err := e.nodeOf(tr.Pattern)
+		node, err := e.nodeOf(t, tr.Pattern)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -95,11 +95,22 @@ func Discover(dir string, opts Options) (*Federation, error) {
 	for _, d := range discovered {
 		var nopts NetworkOptions
 		if d.NetworkPath != "" {
-			_, dict, err := dbnet.ReadFile(d.NetworkPath)
+			nw, dict, err := dbnet.ReadFile(d.NetworkPath)
 			if err != nil {
 				return nil, fmt.Errorf("federation: network %q: %w", d.Name, err)
 			}
 			nopts.Dictionary = dict
+			if d.Sharded {
+				// Keep the parsed network: it is what incremental
+				// maintenance (ApplyDelta) rebuilds shards from, and
+				// NetworkPath is where the updated network is written back.
+				// Eager .tctree tenants stay read-only — their index file
+				// cannot be updated in place, so applying deltas in memory
+				// while rewriting the .dbnet would desynchronize the two
+				// across a restart.
+				nopts.Network = nw
+				nopts.NetworkPath = d.NetworkPath
+			}
 		}
 		if d.Sharded {
 			idx, err := tctree.OpenSharded(d.IndexPath)

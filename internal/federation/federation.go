@@ -38,6 +38,8 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"themecomm/internal/dbnet"
+	"themecomm/internal/delta"
 	"themecomm/internal/engine"
 	"themecomm/internal/itemset"
 	"themecomm/internal/tctree"
@@ -76,15 +78,51 @@ type NetworkOptions struct {
 	Dictionary *itemset.Dictionary
 	// VertexNames maps vertex identifiers to display names; may be nil.
 	VertexNames []string
+	// Network is the database network the index was built from. It is
+	// required for incremental maintenance (ApplyDelta) and unused
+	// otherwise; a network attached without it serves queries but rejects
+	// deltas.
+	Network *dbnet.Network
+	// NetworkPath, when non-empty, is the file the updated network is
+	// written back to after every applied delta, so a restart reloads the
+	// state the index was maintained against.
+	NetworkPath string
 }
 
 // Network is one attached tenant: a named engine plus its presentation
 // metadata. Accessors are safe for concurrent use; the fields never change
-// after attach.
+// after attach (deltas mutate the database network's contents, serialized by
+// the tenant's update lock).
 type Network struct {
 	name string
 	eng  *engine.Engine
 	opts NetworkOptions
+	// updMu serializes this tenant's deltas: the engine's own lock covers
+	// the index swap, this one additionally covers the network-file
+	// write-back.
+	updMu sync.Mutex
+}
+
+// Standalone wraps an engine and its metadata as an unattached Network, so
+// a single-network serving layer reuses the tenant update path (per-tenant
+// serialization, engine.ApplyDelta, atomic network write-back) without a
+// federation. The name may be empty; it is only used in error messages.
+func Standalone(name string, eng *engine.Engine, opts NetworkOptions) *Network {
+	padDictionary(opts)
+	return &Network{name: name, eng: eng, opts: opts}
+}
+
+// padDictionary extends an updatable tenant's dictionary to cover the
+// network's whole item universe, so a delta introducing a new item name can
+// never be assigned the identifier of an existing unnamed item (a network
+// file may carry fewer "I" name lines than it has items).
+func padDictionary(opts NetworkOptions) {
+	if opts.Network == nil || opts.Dictionary == nil {
+		return
+	}
+	if items := opts.Network.Items(); items.Len() > 0 {
+		opts.Dictionary.PadTo(int(items.Last()) + 1)
+	}
 }
 
 // Name returns the network's federation-unique name.
@@ -98,6 +136,45 @@ func (n *Network) Dictionary() *itemset.Dictionary { return n.opts.Dictionary }
 
 // VertexNames returns the network's vertex display names; it may be nil.
 func (n *Network) VertexNames() []string { return n.opts.VertexNames }
+
+// DatabaseNetwork returns the database network the tenant's index is
+// maintained against; nil when the tenant was attached without one (it then
+// rejects deltas).
+func (n *Network) DatabaseNetwork() *dbnet.Network { return n.opts.Network }
+
+// ApplyDelta incrementally updates the tenant: the delta is applied to its
+// database network and the affected index shards are rebuilt and swapped
+// (engine.ApplyDelta), purging only this tenant's cache namespace — every
+// other tenant's cached answers, resident shards and counters are untouched.
+// When the tenant was attached with a NetworkPath, the updated network is
+// written back so a restart reloads consistent state.
+func (n *Network) ApplyDelta(d *delta.Delta) (*engine.DeltaResult, error) {
+	nw := n.opts.Network
+	if nw == nil {
+		return nil, n.wrapErr(fmt.Errorf("no database network attached; deltas need one (attach with NetworkOptions.Network)"))
+	}
+	n.updMu.Lock()
+	defer n.updMu.Unlock()
+	res, err := n.eng.ApplyDelta(nw, d)
+	if err != nil {
+		return nil, n.wrapErr(err)
+	}
+	if n.opts.NetworkPath != "" {
+		if err := dbnet.WriteFileAtomic(n.opts.NetworkPath, nw, n.opts.Dictionary); err != nil {
+			return res, n.wrapErr(fmt.Errorf("index updated but network write-back failed: %w", err))
+		}
+	}
+	return res, nil
+}
+
+// wrapErr annotates an error with the network name; standalone (unnamed)
+// networks pass errors through.
+func (n *Network) wrapErr(err error) error {
+	if n.name == "" {
+		return err
+	}
+	return fmt.Errorf("federation: network %q: %w", n.name, err)
+}
 
 // Federation manages many named networks sharing one result cache and one
 // residency budget.
@@ -180,6 +257,7 @@ func (f *Federation) attach(name string, eng *engine.Engine, opts NetworkOptions
 	if err := validateName(name); err != nil {
 		return err
 	}
+	padDictionary(opts)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if _, dup := f.networks[name]; dup {
@@ -234,6 +312,17 @@ func (f *Federation) Detach(name string) error {
 	}
 	n.eng.Release()
 	return nil
+}
+
+// ApplyDelta routes a network delta to the named tenant (see
+// Network.ApplyDelta): only that tenant's shards are rebuilt and only its
+// cache namespace is purged.
+func (f *Federation) ApplyDelta(name string, d *delta.Delta) (*engine.DeltaResult, error) {
+	n, ok := f.Network(name)
+	if !ok {
+		return nil, fmt.Errorf("federation: no network %q", name)
+	}
+	return n.ApplyDelta(d)
 }
 
 // Network returns the named network.

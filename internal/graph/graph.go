@@ -110,6 +110,43 @@ func (g *Graph) MustAddEdge(a, b VertexID) {
 	}
 }
 
+// RemoveEdge deletes the undirected edge (a, b), reporting whether it was
+// present. Removing an absent edge (or one with an out-of-range endpoint) is
+// a harmless no-op.
+func (g *Graph) RemoveEdge(a, b VertexID) bool {
+	if a == b || g.checkVertex(a) != nil || g.checkVertex(b) != nil {
+		return false
+	}
+	if !g.hasEdgeSlow(a, b) {
+		return false
+	}
+	g.adj[a] = removeNeighbor(g.adj[a], b)
+	g.adj[b] = removeNeighbor(g.adj[b], a)
+	g.m--
+	return true
+}
+
+// removeNeighbor deletes the first occurrence of w from l, preserving order so
+// a sorted list stays sorted.
+func removeNeighbor(l []VertexID, w VertexID) []VertexID {
+	for i, x := range l {
+		if x == w {
+			return append(l[:i], l[i+1:]...)
+		}
+	}
+	return l
+}
+
+// AddVertices grows the graph by n isolated vertices, returning the new
+// vertex count. A growing database network gains vertices this way before
+// edges and transactions reference them.
+func (g *Graph) AddVertices(n int) int {
+	if n > 0 {
+		g.adj = append(g.adj, make([][]VertexID, n)...)
+	}
+	return len(g.adj)
+}
+
 func (g *Graph) checkVertex(v VertexID) error {
 	if v < 0 || int(v) >= len(g.adj) {
 		return fmt.Errorf("graph: vertex %d out of range [0,%d)", v, len(g.adj))

@@ -3,12 +3,16 @@ package itemset
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Dictionary maps human-readable item names (keywords, locations, product
 // names, ...) to compact Item identifiers and back. The zero value is not
-// usable; construct one with NewDictionary.
+// usable; construct one with NewDictionary. A Dictionary is safe for
+// concurrent use: serving layers resolve names while incremental updates
+// intern items the network has never seen.
 type Dictionary struct {
+	mu     sync.RWMutex
 	byName map[string]Item
 	byID   []string
 }
@@ -22,6 +26,8 @@ func NewDictionary() *Dictionary {
 // the name has not been seen before. Identifiers are assigned densely starting
 // at 0 in interning order.
 func (d *Dictionary) Intern(name string) Item {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.byName[name]; ok {
 		return id
 	}
@@ -29,6 +35,24 @@ func (d *Dictionary) Intern(name string) Item {
 	d.byName[name] = id
 	d.byID = append(d.byID, name)
 	return id
+}
+
+// PadTo interns placeholder names ("item-<id>") until the dictionary covers
+// every identifier in [0, n). Callers resolving delta items by name pad the
+// dictionary to the network's item universe first, so a fresh name can never
+// be assigned the identifier of an existing unnamed item. Already-covered
+// dictionaries are untouched.
+func (d *Dictionary) PadTo(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.byID) < n {
+		name := fmt.Sprintf("item-%d", len(d.byID))
+		for _, taken := d.byName[name]; taken; _, taken = d.byName[name] {
+			name += "'"
+		}
+		d.byName[name] = Item(len(d.byID))
+		d.byID = append(d.byID, name)
+	}
 }
 
 // InternAll interns every name and returns the resulting itemset.
@@ -43,6 +67,8 @@ func (d *Dictionary) InternAll(names []string) Itemset {
 // Lookup returns the Item for name and whether it is present, without
 // interning it.
 func (d *Dictionary) Lookup(name string) (Item, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	id, ok := d.byName[name]
 	return id, ok
 }
@@ -50,6 +76,8 @@ func (d *Dictionary) Lookup(name string) (Item, bool) {
 // Name returns the name of item id. It returns an error if the identifier was
 // never interned.
 func (d *Dictionary) Name(id Item) (string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(id) < 0 || int(id) >= len(d.byID) {
 		return "", fmt.Errorf("itemset: unknown item id %d", id)
 	}
@@ -76,7 +104,11 @@ func (d *Dictionary) Names(s Itemset) []string {
 }
 
 // Len returns the number of distinct interned names.
-func (d *Dictionary) Len() int { return len(d.byID) }
+func (d *Dictionary) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byID)
+}
 
 // Universe returns the itemset containing every interned item.
 func (d *Dictionary) Universe() Itemset {
@@ -90,6 +122,8 @@ func (d *Dictionary) Universe() Itemset {
 // SortedNames returns all interned names in lexicographic order. It is mainly
 // useful for deterministic serialization and tests.
 func (d *Dictionary) SortedNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make([]string, len(d.byID))
 	copy(out, d.byID)
 	sort.Strings(out)

@@ -38,6 +38,7 @@ func (s *Server) registerFederationRoutes() {
 	s.mux.HandleFunc("/api/v1/{network}/stats", s.forNetwork(s.serveStats))
 	s.mux.HandleFunc("/api/v1/{network}/patterns", s.forNetwork(s.servePatterns))
 	s.mux.HandleFunc("/api/v1/{network}/vertex", s.forNetwork(s.serveVertex))
+	s.mux.HandleFunc("/api/v1/{network}/update", s.forNetwork(s.serveUpdate))
 }
 
 // forNetwork adapts a tenant-scoped handler to the /api/v1/{network}/...

@@ -23,6 +23,8 @@ import (
 	"strconv"
 	"strings"
 
+	"themecomm/internal/dbnet"
+	"themecomm/internal/delta"
 	"themecomm/internal/engine"
 	"themecomm/internal/federation"
 	"themecomm/internal/graph"
@@ -50,6 +52,11 @@ type tenant struct {
 	// vertexNames optionally maps vertex identifiers to display names
 	// (e.g. author names); it may be nil.
 	vertexNames []string
+	// update applies one network delta to the tenant (index rebuild + swap
+	// + optional network write-back), serialized per tenant; nil when the
+	// server does not hold the tenant's database network, in which case
+	// POST .../update is rejected.
+	update func(*delta.Delta) (*engine.DeltaResult, error)
 }
 
 // Server answers theme-community queries from one TC-Tree or a federation
@@ -86,6 +93,13 @@ type Options struct {
 	// routes; empty means the lexically first attached network. Ignored when
 	// an Engine or tree is given (those take the single-network routes).
 	DefaultNetwork string
+	// Network is the database network the single-network engine's index was
+	// built from. Setting it enables POST /api/v1/update (incremental index
+	// maintenance); without it update requests are rejected.
+	Network *dbnet.Network
+	// NetworkPath, when non-empty, is the file the updated network is
+	// written back to after every applied delta.
+	NetworkPath string
 }
 
 // New returns a Server for the given tree. tree may be nil when opts.Engine
@@ -106,7 +120,22 @@ func New(tree *tctree.Tree, opts Options) (*Server, error) {
 	s := &Server{defName: opts.DefaultNetwork, fed: opts.Federation, mux: http.NewServeMux()}
 	if eng != nil {
 		s.def = &tenant{engine: eng, dict: opts.Dictionary, vertexNames: opts.VertexNames}
+		if opts.Network != nil {
+			// Reuse the tenant update path (per-tenant serialization,
+			// engine.ApplyDelta, atomic network write-back) via a standalone
+			// federation network.
+			standalone := federation.Standalone("", eng, federation.NetworkOptions{
+				Dictionary:  opts.Dictionary,
+				VertexNames: opts.VertexNames,
+				Network:     opts.Network,
+				NetworkPath: opts.NetworkPath,
+			})
+			s.def.update = standalone.ApplyDelta
+		}
 	}
+	// Unmatched paths answer a JSON 404 instead of the mux's plain-text
+	// default, so every error the API returns is machine-readable.
+	s.mux.HandleFunc("/", s.handleNotFound)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/api/v1/stats", s.forDefault(s.serveStats))
 	s.mux.HandleFunc("/api/v1/query", s.forDefault(s.serveQuery))
@@ -115,8 +144,14 @@ func New(tree *tctree.Tree, opts Options) (*Server, error) {
 	s.mux.HandleFunc("/api/v1/enginestats", s.forDefault(s.serveEngineStats))
 	s.mux.HandleFunc("/api/v1/patterns", s.forDefault(s.servePatterns))
 	s.mux.HandleFunc("/api/v1/vertex", s.forDefault(s.serveVertex))
+	s.mux.HandleFunc("/api/v1/update", s.forDefault(s.serveUpdate))
 	s.registerFederationRoutes()
 	return s, nil
+}
+
+// handleNotFound is the catch-all for paths no route matches.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, fmt.Sprintf("no such route %s", r.URL.Path))
 }
 
 // ServeHTTP implements http.Handler.
@@ -152,7 +187,11 @@ func (s *Server) defaultTenant() (*tenant, string) {
 
 // tenantOf adapts a federation network to the handler-facing tenant.
 func tenantOf(n *federation.Network) *tenant {
-	return &tenant{name: n.Name(), engine: n.Engine(), dict: n.Dictionary(), vertexNames: n.VertexNames()}
+	t := &tenant{name: n.Name(), engine: n.Engine(), dict: n.Dictionary(), vertexNames: n.VertexNames()}
+	if n.DatabaseNetwork() != nil {
+		t.update = n.ApplyDelta
+	}
+	return t
 }
 
 // forDefault adapts a tenant-scoped handler to the single-network routes.

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+
+	"themecomm/internal/delta"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+)
+
+// This file implements incremental index maintenance over HTTP:
+//
+//	POST /api/v1/update             apply a network delta to the default network
+//	POST /api/v1/{network}/update   apply a network delta to one tenant
+//
+// The request body is a JSON delta; the affected shards are rebuilt and
+// swapped in place while queries keep flowing (see engine.ApplyDelta), and
+// only the updated network's cache namespace is purged. Updating requires the
+// server to hold the tenant's database network (tcserver -net, or a sibling
+// <name>.dbnet in the federation's networks directory); without it the route
+// answers 409.
+
+// UpdateTransaction is one transaction of an update request. Items are names
+// resolved through the network's dictionary (unknown names are interned, so
+// updates may introduce new items) or numeric identifiers.
+type UpdateTransaction struct {
+	Vertex int      `json:"vertex"`
+	Items  []string `json:"items"`
+}
+
+// UpdateRequest is the payload of POST /api/v1/update: a network delta.
+// Edges are [u, v] vertex pairs. Changes apply in declaration order:
+// vertices are added first, then edges removed, then edges added, then
+// transactions appended.
+type UpdateRequest struct {
+	AddVertices     int                 `json:"addVertices,omitempty"`
+	AddEdges        [][2]int            `json:"addEdges,omitempty"`
+	RemoveEdges     [][2]int            `json:"removeEdges,omitempty"`
+	AddTransactions []UpdateTransaction `json:"addTransactions,omitempty"`
+}
+
+// UpdateResponse reports an applied delta: which top-level items were
+// affected, what happened to their shards, and the index epoch the update
+// installed.
+type UpdateResponse struct {
+	// Network is the updated network; empty on the single-network route.
+	Network string `json:"network,omitempty"`
+	// AffectedItems lists the top-level items whose shards were rebuilt,
+	// rendered through the dictionary.
+	AffectedItems []string `json:"affectedItems"`
+	// ReplacedShards, AddedShards and RemovedShards count the shard swaps
+	// the delta caused; shards outside the affected set were untouched.
+	ReplacedShards int `json:"replacedShards"`
+	AddedShards    int `json:"addedShards"`
+	RemovedShards  int `json:"removedShards"`
+	// IndexEpoch is the engine's index epoch after the swap.
+	IndexEpoch uint64 `json:"indexEpoch"`
+	// UpdateMicros is the wall time of the whole update.
+	UpdateMicros int64 `json:"updateMicros"`
+	// Warning is set when the index swap succeeded but a follow-up step
+	// (the network-file write-back) failed. The delta IS applied — clients
+	// must not retry it — but the operator should look at the persistence
+	// problem before restarting the server.
+	Warning string `json:"warning,omitempty"`
+}
+
+// parseUpdate converts the JSON request into a delta, resolving item names
+// through the tenant's dictionary.
+func (t *tenant) parseUpdate(req *UpdateRequest) (*delta.Delta, error) {
+	d := &delta.Delta{AddVertices: req.AddVertices}
+	if d.AddVertices < 0 {
+		return nil, fmt.Errorf("negative addVertices %d", d.AddVertices)
+	}
+	parseEdge := func(e [2]int, what string) (graph.Edge, error) {
+		if e[0] == e[1] {
+			return graph.Edge{}, fmt.Errorf("%s edge (%d,%d) is a self-loop", what, e[0], e[1])
+		}
+		if e[0] < 0 || e[1] < 0 || e[0] > math.MaxInt32 || e[1] > math.MaxInt32 {
+			return graph.Edge{}, fmt.Errorf("%s edge (%d,%d) has an endpoint outside [0, %d]", what, e[0], e[1], math.MaxInt32)
+		}
+		return graph.EdgeOf(graph.VertexID(e[0]), graph.VertexID(e[1])), nil
+	}
+	for _, e := range req.AddEdges {
+		edge, err := parseEdge(e, "added")
+		if err != nil {
+			return nil, err
+		}
+		d.AddEdges = append(d.AddEdges, edge)
+	}
+	for _, e := range req.RemoveEdges {
+		edge, err := parseEdge(e, "removed")
+		if err != nil {
+			return nil, err
+		}
+		d.RemoveEdges = append(d.RemoveEdges, edge)
+	}
+	// Structural checks first; the emptiness check counts the raw request
+	// so that item names are only resolved — and new names only interned
+	// into the dictionary — once the request is known to be well-formed.
+	for i, tx := range req.AddTransactions {
+		if tx.Vertex < 0 || tx.Vertex > math.MaxInt32 {
+			return nil, fmt.Errorf("transaction %d: vertex %d outside [0, %d]", i, tx.Vertex, math.MaxInt32)
+		}
+		if len(tx.Items) == 0 {
+			return nil, fmt.Errorf("transaction %d: empty item list", i)
+		}
+	}
+	if d.AddVertices == 0 && len(d.AddEdges) == 0 && len(d.RemoveEdges) == 0 && len(req.AddTransactions) == 0 {
+		return nil, fmt.Errorf("empty delta: nothing to apply")
+	}
+	for i, tx := range req.AddTransactions {
+		items := make([]itemset.Item, 0, len(tx.Items))
+		for _, field := range tx.Items {
+			it, err := delta.ResolveItem(field, t.dict)
+			if err != nil {
+				return nil, fmt.Errorf("transaction %d: %w", i, err)
+			}
+			items = append(items, it)
+		}
+		d.AddTransactions = append(d.AddTransactions, delta.VertexTransaction{
+			Vertex: graph.VertexID(tx.Vertex),
+			Tx:     itemset.New(items...),
+		})
+	}
+	return d, nil
+}
+
+func (s *Server) serveUpdate(t *tenant, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if t.update == nil {
+		writeError(w, http.StatusConflict,
+			"updates are disabled: the server does not hold this network's database network (start tcserver with -net, or put a sibling <name>.dbnet next to the index)")
+		return
+	}
+	var req UpdateRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid update request: %v", err))
+		return
+	}
+	d, err := t.parseUpdate(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := t.update(d)
+	if err != nil && res == nil {
+		// Nothing was applied. Validation happens inside the tenant's
+		// update lock (validating here would race a concurrent update
+		// mutating the network); the sentinel distinguishes a malformed
+		// delta from a server failure.
+		if errors.Is(err, delta.ErrInvalid) {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := UpdateResponse{
+		Network:       t.name,
+		AffectedItems: t.itemNames(res.Affected),
+		IndexEpoch:    res.Epoch,
+		UpdateMicros:  res.Duration.Microseconds(),
+	}
+	if res.Report != nil {
+		resp.ReplacedShards = len(res.Report.Replaced)
+		resp.AddedShards = len(res.Report.Added)
+		resp.RemovedShards = len(res.Report.Removed)
+	}
+	if err != nil {
+		// The index swap succeeded but a follow-up step failed (network
+		// write-back). A 5xx would invite clients to retry a delta that IS
+		// applied — report success with a warning instead.
+		resp.Warning = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

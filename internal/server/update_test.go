@@ -1,0 +1,299 @@
+package server
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/federation"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+)
+
+// buildUpdatableNetwork generates a network like the federation tests do,
+// returning the network itself so updates can be applied to it.
+func buildUpdatableNetwork(t *testing.T, seed int64) *dbnet.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	nw := dbnet.New(16)
+	for i := 0; i < 40; i++ {
+		a, b := graph.VertexID(rng.Intn(16)), graph.VertexID(rng.Intn(16))
+		if a != b {
+			nw.MustAddEdge(a, b)
+		}
+	}
+	for v := 0; v < 16; v++ {
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			tx := make([]itemset.Item, 1+rng.Intn(3))
+			for j := range tx {
+				tx[j] = itemset.Item(rng.Intn(5))
+			}
+			if err := nw.AddTransaction(graph.VertexID(v), itemset.New(tx...)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return nw
+}
+
+// newUpdatableServer builds a single-network server holding its database
+// network, so POST /api/v1/update is enabled. The network file path is
+// returned for write-back assertions.
+func newUpdatableServer(t *testing.T, seed int64) (*Server, *dbnet.Network, string) {
+	t.Helper()
+	nw := buildUpdatableNetwork(t, seed)
+	tree := tctree.Build(nw, tctree.BuildOptions{})
+	if tree.NumNodes() == 0 {
+		t.Fatalf("seed %d built an empty tree", seed)
+	}
+	netPath := filepath.Join(t.TempDir(), "net.dbnet")
+	if err := dbnet.WriteFile(netPath, nw, nil); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	s, err := New(tree, Options{Network: nw, NetworkPath: netPath})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s, nw, netPath
+}
+
+func TestUpdateEndpoint(t *testing.T) {
+	s, nw, netPath := newUpdatableServer(t, 11)
+
+	body := `{"addVertices": 1, "addEdges": [[0,16],[1,16]], "addTransactions": [{"vertex": 16, "items": ["1","2"]}]}`
+	rec := post(t, s, "/api/v1/update", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("update status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var resp UpdateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(resp.AffectedItems) == 0 {
+		t.Fatalf("update affected no items: %s", rec.Body.String())
+	}
+	if resp.IndexEpoch == 0 {
+		t.Fatalf("update did not bump the index epoch: %s", rec.Body.String())
+	}
+
+	// The served index now answers like a from-scratch rebuild of the
+	// updated network.
+	freshTree := tctree.Build(nw, tctree.BuildOptions{})
+	fresh, err := New(freshTree, Options{})
+	if err != nil {
+		t.Fatalf("fresh server: %v", err)
+	}
+	for _, url := range []string{"/api/v1/query?alpha=0", "/api/v1/query?alpha=0.2", "/api/v1/query?pattern=1,2&alpha=0"} {
+		got := get(t, s, url)
+		want := get(t, fresh, url)
+		if got.Code != http.StatusOK || want.Code != http.StatusOK {
+			t.Fatalf("%s: status %d vs %d", url, got.Code, want.Code)
+		}
+		if normalize(got.Body.String()) != normalize(want.Body.String()) {
+			t.Fatalf("%s diverges from fresh rebuild:\n got %s\nwant %s", url, got.Body.String(), want.Body.String())
+		}
+	}
+	// The updated network was written back.
+	reread, _, err := dbnet.ReadFile(netPath)
+	if err != nil {
+		t.Fatalf("ReadFile after write-back: %v", err)
+	}
+	if reread.NumVertices() != nw.NumVertices() || reread.NumEdges() != nw.NumEdges() {
+		t.Fatalf("written-back network |V|=%d,|E|=%d, want |V|=%d,|E|=%d",
+			reread.NumVertices(), reread.NumEdges(), nw.NumVertices(), nw.NumEdges())
+	}
+
+	// Engine stats surface the epoch and the delta count.
+	var stats map[string]any
+	if err := json.Unmarshal(get(t, s, "/api/v1/enginestats").Body.Bytes(), &stats); err != nil {
+		t.Fatalf("enginestats: %v", err)
+	}
+	if stats["indexEpoch"].(float64) != float64(resp.IndexEpoch) {
+		t.Fatalf("enginestats indexEpoch = %v, want %d", stats["indexEpoch"], resp.IndexEpoch)
+	}
+	if stats["deltasApplied"].(float64) != 1 {
+		t.Fatalf("enginestats deltasApplied = %v, want 1", stats["deltasApplied"])
+	}
+}
+
+func TestUpdateDisabledWithoutNetwork(t *testing.T) {
+	s, _ := newTestServer(t) // no Options.Network
+	rec := post(t, s, "/api/v1/update", `{"addVertices": 1}`)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("update without a network: status = %d, want 409", rec.Code)
+	}
+	assertJSONError(t, rec)
+}
+
+func TestUpdateBadRequests(t *testing.T) {
+	s, _, _ := newUpdatableServer(t, 11)
+	cases := []struct {
+		name, body string
+	}{
+		{"invalid json", `{"addEdges": nope}`},
+		{"empty delta", `{}`},
+		{"self-loop", `{"addEdges": [[3,3]]}`},
+		{"vertex out of range", `{"addEdges": [[0,99]]}`},
+		{"negative vertex", `{"addTransactions": [{"vertex": -1, "items": ["1"]}]}`},
+		{"empty transaction", `{"addTransactions": [{"vertex": 0, "items": []}]}`},
+		{"named item without dictionary", `{"addTransactions": [{"vertex": 0, "items": ["coffee"]}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := post(t, s, "/api/v1/update", tc.body)
+			if rec.Code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body %s)", rec.Code, rec.Body.String())
+			}
+			assertJSONError(t, rec)
+		})
+	}
+	// Wrong method.
+	rec := get(t, s, "/api/v1/update")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET update: status = %d, want 405", rec.Code)
+	}
+	assertJSONError(t, rec)
+}
+
+// TestFederationUpdateRoute updates one tenant through the {network} route
+// and asserts the other tenants' answers and cache entries survive.
+func TestFederationUpdateRoute(t *testing.T) {
+	fed := federation.New(federation.Options{CacheSize: 64})
+	nws := make(map[string]*dbnet.Network)
+	for name, seed := range fedSeeds {
+		nw := buildUpdatableNetwork(t, seed)
+		nws[name] = nw
+		tree := tctree.Build(nw, tctree.BuildOptions{})
+		dir := t.TempDir()
+		if _, err := tree.WriteSharded(dir); err != nil {
+			t.Fatal(err)
+		}
+		idx, err := tctree.OpenSharded(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fed.AttachIndex(name, idx, federation.NetworkOptions{Network: nw}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(nil, Options{Federation: fed})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm every tenant's cache, snapshot an untouched tenant's answer.
+	for name := range fedSeeds {
+		if rec := get(t, s, "/api/v1/"+name+"/query?alpha=0.1"); rec.Code != http.StatusOK {
+			t.Fatalf("%s warm query: %d", name, rec.Code)
+		}
+	}
+	bkBefore := get(t, s, "/api/v1/bk/query?alpha=0.1").Body.String()
+
+	rec := post(t, s, "/api/v1/aminer/update", `{"addTransactions": [{"vertex": 0, "items": ["1"]}]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("federated update: status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var resp UpdateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if resp.Network != "aminer" {
+		t.Fatalf("update response network = %q, want aminer", resp.Network)
+	}
+
+	// The untouched tenant answers identically (and from its intact cache).
+	if after := get(t, s, "/api/v1/bk/query?alpha=0.1").Body.String(); normalize(after) != normalize(bkBefore) {
+		t.Fatalf("untouched tenant's answer changed:\n before %s\n after %s", bkBefore, after)
+	}
+	// The updated tenant matches a from-scratch rebuild.
+	freshTree := tctree.Build(nws["aminer"], tctree.BuildOptions{})
+	fresh, err := New(freshTree, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := get(t, s, "/api/v1/aminer/query?alpha=0")
+	want := get(t, fresh, "/api/v1/query?alpha=0")
+	if normalize(got.Body.String()) != normalize(want.Body.String()) {
+		t.Fatalf("updated tenant diverges from fresh rebuild:\n got %s\nwant %s", got.Body.String(), want.Body.String())
+	}
+
+	// A tenant attached without its network rejects updates with 409.
+	tree := buildFedTree(t, 17)
+	if err := fed.AttachTree("frozen", tree, federation.NetworkOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	rec = post(t, s, "/api/v1/frozen/update", `{"addVertices": 1}`)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("update without network: status = %d, want 409", rec.Code)
+	}
+	assertJSONError(t, rec)
+
+	// Unknown networks 404 identically to the other {network} routes.
+	rec = post(t, s, "/api/v1/nosuch/update", `{"addVertices": 1}`)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown network update: status = %d, want 404", rec.Code)
+	}
+	assertJSONError(t, rec)
+}
+
+// assertJSONError asserts an error response carries the JSON content type
+// and an "error" field — the contract every API error follows.
+func assertJSONError(t *testing.T, rec *httptest.ResponseRecorder) {
+	t.Helper()
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("error response Content-Type = %q, want application/json", ct)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || strings.TrimSpace(e.Error) == "" {
+		t.Fatalf("error body is not a JSON error object: %s", rec.Body.String())
+	}
+}
+
+// TestErrorResponsesAreJSON audits the API error paths: every error —
+// including unknown routes, which the stock mux would answer in plain text —
+// must be a JSON object with an "error" field and the JSON content type.
+func TestErrorResponsesAreJSON(t *testing.T) {
+	s, _ := newTestServer(t)
+	cases := []struct {
+		name, method, url string
+		wantStatus        int
+	}{
+		{"bad alpha", http.MethodGet, "/api/v1/query?alpha=minus", http.StatusBadRequest},
+		{"bad k", http.MethodGet, "/api/v1/query?alpha=0&k=0", http.StatusBadRequest},
+		{"bad vertex", http.MethodGet, "/api/v1/vertex?id=x", http.StatusBadRequest},
+		{"method not allowed", http.MethodPost, "/api/v1/query", http.StatusMethodNotAllowed},
+		{"batch via GET", http.MethodGet, "/api/v1/batch", http.StatusMethodNotAllowed},
+		{"unknown api route", http.MethodGet, "/api/v1/nosuchroute", http.StatusNotFound},
+		{"unknown root route", http.MethodGet, "/nosuch", http.StatusNotFound},
+		{"federation route without federation", http.MethodGet, "/api/v1/somewhere/query?alpha=0", http.StatusNotFound},
+		{"queryall without federation", http.MethodGet, "/api/v1/queryall?alpha=0", http.StatusNotFound},
+		{"update disabled", http.MethodPost, "/api/v1/update", http.StatusConflict},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec := get(t, s, tc.url)
+			if tc.method == http.MethodPost {
+				rec = post(t, s, tc.url, `{}`)
+			}
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", rec.Code, tc.wantStatus, rec.Body.String())
+			}
+			if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("Content-Type = %q, want application/json (body %s)", ct, rec.Body.String())
+			}
+			var e errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+				t.Fatalf("error body is not JSON: %v (%s)", err, rec.Body.String())
+			}
+			if strings.TrimSpace(e.Error) == "" {
+				t.Fatalf("error body has no message: %s", rec.Body.String())
+			}
+		})
+	}
+}

@@ -38,6 +38,9 @@ func Build(nw *dbnet.Network, opts BuildOptions) *Tree {
 	}
 
 	tree := &Tree{root: &Node{Pattern: itemset.New()}}
+	if opts.MaxDepth > 0 {
+		tree.builtMaxDepth = opts.MaxDepth
+	}
 	// base holds, for every materialized node, the edge set of its maximal
 	// pattern truss at α = 0. It is only needed during the build.
 	base := make(map[*Node]graph.EdgeSet)

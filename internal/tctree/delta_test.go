@@ -1,0 +1,390 @@
+package tctree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"themecomm/internal/itemset"
+)
+
+// collectTempFiles lists the *.tmp files inside dir.
+func collectTempFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// TestCommitShardsCrashSafety injects a write failure mid-commit (the temp
+// file is written but never renamed, as a crash would leave it) and asserts
+// the index still opens clean on the old manifest, answers queries
+// identically, and that reopening sweeps the orphaned temp files.
+func TestCommitShardsCrashSafety(t *testing.T) {
+	tree := buildShardedTestTree(t, 19)
+	other := buildShardedTestTree(t, 31)
+	var replacement *Node
+	for _, c := range other.Root().Children {
+		if tree.Root().Descendant(c.Pattern) != nil {
+			replacement = c
+			break
+		}
+	}
+	if replacement == nil {
+		t.Fatalf("trees share no root item; pick other seeds")
+	}
+
+	for _, failOn := range []string{"shard", "manifest"} {
+		t.Run("fail-on-"+failOn, func(t *testing.T) {
+			dir := t.TempDir()
+			before, err := tree.WriteSharded(dir)
+			if err != nil {
+				t.Fatalf("WriteSharded: %v", err)
+			}
+			idx, err := OpenSharded(dir)
+			if err != nil {
+				t.Fatalf("OpenSharded: %v", err)
+			}
+			testInjectWriteErr = func(name string) error {
+				if failOn == "manifest" && name == ManifestName {
+					return fmt.Errorf("injected manifest write failure")
+				}
+				if failOn == "shard" && name != ManifestName {
+					return fmt.Errorf("injected shard write failure")
+				}
+				return nil
+			}
+			defer func() { testInjectWriteErr = nil }()
+			if _, err := idx.CommitShards(map[itemset.Item]*Node{replacement.Item: replacement}); err == nil {
+				t.Fatalf("CommitShards should surface the injected failure")
+			}
+			testInjectWriteErr = nil
+
+			// The in-memory handle must still serve the old manifest...
+			if got := idx.Manifest(); len(got.Shards) != len(before.Shards) {
+				t.Fatalf("in-memory manifest lost shards: %d, want %d", len(got.Shards), len(before.Shards))
+			}
+			// ...and a fresh open must see the untouched old index.
+			reopened, err := OpenSharded(dir)
+			if err != nil {
+				t.Fatalf("OpenSharded after failed commit: %v", err)
+			}
+			if tmp := collectTempFiles(t, dir); len(tmp) != 0 {
+				t.Fatalf("orphaned temp files survived reopen: %v", tmp)
+			}
+			m := reopened.Manifest()
+			for i, e := range m.Shards {
+				if e != before.Shards[i] {
+					t.Fatalf("shard entry %d changed across failed commit: %+v -> %+v", i, before.Shards[i], e)
+				}
+			}
+			loaded, err := reopened.LoadTree()
+			if err != nil {
+				t.Fatalf("LoadTree after failed commit: %v", err)
+			}
+			assertIdenticalAnswer(t, loaded.Query(nil, 0), tree.Query(nil, 0))
+		})
+	}
+}
+
+// TestFailedCommitPreservesReusedFiles covers the case where a rebuilt shard
+// is byte-identical to the current one: its checksum-versioned file name is
+// reused, and a failure later in the same commit must not delete that file —
+// the old manifest still references it.
+func TestFailedCommitPreservesReusedFiles(t *testing.T) {
+	tree := buildShardedTestTree(t, 19)
+	dir := t.TempDir()
+	if _, err := tree.WriteSharded(dir); err != nil {
+		t.Fatalf("WriteSharded: %v", err)
+	}
+	idx, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	a := tree.Root().Children[0]
+	b := tree.Root().Children[1]
+	// First commit moves shard a onto its checksum-versioned file name.
+	if _, err := idx.CommitShards(map[itemset.Item]*Node{a.Item: a}); err != nil {
+		t.Fatalf("first commit: %v", err)
+	}
+	entryA, _ := idx.Entry(a.Item)
+	// Second commit resubmits a unchanged (same name) and fails on b's file.
+	testInjectWriteErr = func(name string) error {
+		if name != entryA.File && name != ManifestName {
+			return fmt.Errorf("injected failure on %s", name)
+		}
+		return nil
+	}
+	defer func() { testInjectWriteErr = nil }()
+	if _, err := idx.CommitShards(map[itemset.Item]*Node{a.Item: a, b.Item: b}); err == nil {
+		t.Fatalf("commit should surface the injected failure")
+	}
+	testInjectWriteErr = nil
+	// Shard a's file must have survived the failed commit's cleanup.
+	if _, err := idx.LoadShard(a.Item); err != nil {
+		t.Fatalf("LoadShard(%d) after failed commit: %v", a.Item, err)
+	}
+	if _, err := idx.LoadTree(); err != nil {
+		t.Fatalf("LoadTree after failed commit: %v", err)
+	}
+}
+
+// TestOpenShardedSweepsOrphanTempFiles plants stray temp files (as a crashed
+// writer would) and asserts OpenSharded removes them without touching
+// committed data.
+func TestOpenShardedSweepsOrphanTempFiles(t *testing.T) {
+	tree := buildShardedTestTree(t, 19)
+	dir := t.TempDir()
+	if _, err := tree.WriteSharded(dir); err != nil {
+		t.Fatalf("WriteSharded: %v", err)
+	}
+	for _, name := range []string{"shard-9999.gob.tmp", ManifestName + ".tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("garbage"), 0o644); err != nil {
+			t.Fatalf("plant %s: %v", name, err)
+		}
+	}
+	idx, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	if tmp := collectTempFiles(t, dir); len(tmp) != 0 {
+		t.Fatalf("orphan temp files survived OpenSharded: %v", tmp)
+	}
+	if _, err := idx.LoadTree(); err != nil {
+		t.Fatalf("LoadTree after sweep: %v", err)
+	}
+}
+
+// TestCommitShardsAddRemove exercises the membership half of a commit: a new
+// shard joins the manifest, a removed shard leaves it, and the files follow.
+func TestCommitShardsAddRemove(t *testing.T) {
+	tree := buildShardedTestTree(t, 19)
+	dir := t.TempDir()
+	if _, err := tree.WriteSharded(dir); err != nil {
+		t.Fatalf("WriteSharded: %v", err)
+	}
+	idx, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+
+	// Remove the first shard, add a brand-new item by grafting a copy of the
+	// last shard onto an unseen item identifier.
+	victim := itemset.Item(idx.Manifest().Shards[0].Item)
+	last := tree.Root().Children[len(tree.Root().Children)-1]
+	graft := &Node{Item: 4096, Pattern: itemset.New(4096), Decomp: last.Decomp}
+	report, err := idx.CommitShards(map[itemset.Item]*Node{
+		victim: nil,
+		4096:   graft,
+		4097:   nil, // absent item: removing it is a no-op
+	})
+	if err != nil {
+		t.Fatalf("CommitShards: %v", err)
+	}
+	if len(report.Removed) != 1 || report.Removed[0] != victim {
+		t.Fatalf("Removed = %v, want [%d]", report.Removed, victim)
+	}
+	if len(report.Added) != 1 || report.Added[0] != 4096 {
+		t.Fatalf("Added = %v, want [4096]", report.Added)
+	}
+	if len(report.Replaced) != 0 {
+		t.Fatalf("Replaced = %v, want none", report.Replaced)
+	}
+	if got := report.Touched(); !got.Equal(itemset.New(victim, 4096)) {
+		t.Fatalf("Touched = %v", got)
+	}
+
+	reopened, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded after commit: %v", err)
+	}
+	if _, ok := reopened.Entry(victim); ok {
+		t.Fatalf("removed shard %d still in manifest", victim)
+	}
+	sub, err := reopened.LoadShard(4096)
+	if err != nil {
+		t.Fatalf("LoadShard(4096): %v", err)
+	}
+	if sub.Item != 4096 || len(sub.Children) != len(graft.Children) {
+		t.Fatalf("added shard loads wrong subtree")
+	}
+	// The removed shard's file is gone.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), fmt.Sprintf("shard-%d-", victim)) || e.Name() == fmt.Sprintf("shard-%d.gob", victim) {
+			t.Fatalf("removed shard's file %s survived", e.Name())
+		}
+	}
+}
+
+// TestRebuildSubtreeMatchesBuild asserts that re-decomposing one top-level
+// item from the network reproduces the corresponding first-level subtree of
+// a from-scratch Build, query for query.
+func TestRebuildSubtreeMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	nw := randomNetwork(rng, 16, 40, 5, 4)
+	tree := Build(nw, BuildOptions{})
+	if len(tree.Root().Children) == 0 {
+		t.Fatalf("empty tree; pick another seed")
+	}
+	for _, c := range tree.Root().Children {
+		rebuilt := RebuildSubtree(nw, c.Item)
+		if rebuilt == nil {
+			t.Fatalf("RebuildSubtree(%d) = nil for an indexed item", c.Item)
+		}
+		assertSameSubtree(t, c, rebuilt)
+	}
+	// An item absent from every transaction rebuilds to nothing.
+	if sub := RebuildSubtree(nw, 4096); sub != nil {
+		t.Fatalf("RebuildSubtree of an unknown item = %v, want nil", sub.Pattern)
+	}
+}
+
+// assertSameSubtree compares two subtrees structurally: same patterns, same
+// decompositions level by level.
+func assertSameSubtree(t *testing.T, want, got *Node) {
+	t.Helper()
+	if !want.Pattern.Equal(got.Pattern) {
+		t.Fatalf("pattern %v != %v", got.Pattern, want.Pattern)
+	}
+	if wn, gn := want.Decomp.NumEdges(), got.Decomp.NumEdges(); wn != gn {
+		t.Fatalf("pattern %v: %d edges, want %d", want.Pattern, gn, wn)
+	}
+	if wl, gl := len(want.Decomp.Levels), len(got.Decomp.Levels); wl != gl {
+		t.Fatalf("pattern %v: %d levels, want %d", want.Pattern, gl, wl)
+	}
+	for i := range want.Decomp.Levels {
+		wl, gl := want.Decomp.Levels[i], got.Decomp.Levels[i]
+		if wl.Alpha != gl.Alpha || len(wl.Removed) != len(gl.Removed) {
+			t.Fatalf("pattern %v level %d: (α=%v,%d edges), want (α=%v,%d edges)",
+				want.Pattern, i, gl.Alpha, len(gl.Removed), wl.Alpha, len(wl.Removed))
+		}
+		for j := range wl.Removed {
+			if wl.Removed[j] != gl.Removed[j] {
+				t.Fatalf("pattern %v level %d edge %d: %v, want %v", want.Pattern, i, j, gl.Removed[j], wl.Removed[j])
+			}
+		}
+	}
+	if len(want.Children) != len(got.Children) {
+		gotItems := make([]itemset.Item, 0, len(got.Children))
+		for _, c := range got.Children {
+			gotItems = append(gotItems, c.Item)
+		}
+		wantItems := make([]itemset.Item, 0, len(want.Children))
+		for _, c := range want.Children {
+			wantItems = append(wantItems, c.Item)
+		}
+		t.Fatalf("pattern %v: children %v, want %v", want.Pattern, gotItems, wantItems)
+	}
+	for i := range want.Children {
+		assertSameSubtree(t, want.Children[i], got.Children[i])
+	}
+}
+
+// TestBuiltMaxDepthRoundTrips pins that the MaxDepth build bound survives
+// both on-disk formats — the ApplyDelta depth guard depends on it.
+func TestBuiltMaxDepthRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	nw := randomNetwork(rng, 16, 40, 5, 4)
+	tree := Build(nw, BuildOptions{MaxDepth: 2})
+	if got := tree.BuiltMaxDepth(); got != 2 {
+		t.Fatalf("BuiltMaxDepth = %d, want 2", got)
+	}
+
+	var buf bytes.Buffer
+	if err := tree.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	mono, err := ReadFrom(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrom: %v", err)
+	}
+	if got := mono.BuiltMaxDepth(); got != 2 {
+		t.Fatalf("monolithic round trip lost the bound: %d", got)
+	}
+
+	dir := t.TempDir()
+	if _, err := tree.WriteSharded(dir); err != nil {
+		t.Fatalf("WriteSharded: %v", err)
+	}
+	idx, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	if got := idx.Manifest().BuiltMaxDepth; got != 2 {
+		t.Fatalf("manifest lost the bound: %d", got)
+	}
+	loaded, err := idx.LoadTree()
+	if err != nil {
+		t.Fatalf("LoadTree: %v", err)
+	}
+	if got := loaded.BuiltMaxDepth(); got != 2 {
+		t.Fatalf("sharded round trip lost the bound: %d", got)
+	}
+	if _, err := idx.ApplyDelta(nw, itemset.New(0)); err == nil {
+		t.Fatalf("ApplyDelta accepted a depth-bounded index")
+	}
+
+	// Unbounded trees round-trip a zero bound and stay updatable.
+	free := Build(nw, BuildOptions{})
+	if got := free.BuiltMaxDepth(); got != 0 {
+		t.Fatalf("unbounded tree reports bound %d", got)
+	}
+}
+
+// TestSetSubtree checks the eager-tree counterpart of CommitShards: node
+// counts stay consistent across replace, add and remove.
+func TestSetSubtree(t *testing.T) {
+	tree := buildShardedTestTree(t, 19)
+	other := buildShardedTestTree(t, 31)
+	var shared *Node
+	for _, c := range other.Root().Children {
+		if tree.Root().Descendant(itemset.New(c.Item)) != nil {
+			shared = c
+			break
+		}
+	}
+	if shared == nil {
+		t.Fatalf("trees share no root item; pick other seeds")
+	}
+	recount := func() int {
+		n := 0
+		tree.Walk(func(*Node) { n++ })
+		return n
+	}
+	tree.SetSubtree(shared.Item, shared) // replace
+	if got, want := tree.NumNodes(), recount(); got != want {
+		t.Fatalf("NumNodes after replace = %d, want %d", got, want)
+	}
+	graft := &Node{Item: 4096, Pattern: itemset.New(4096), Decomp: shared.Decomp}
+	tree.SetSubtree(4096, graft) // add
+	if got, want := tree.NumNodes(), recount(); got != want {
+		t.Fatalf("NumNodes after add = %d, want %d", got, want)
+	}
+	tree.SetSubtree(shared.Item, nil) // remove
+	if got, want := tree.NumNodes(), recount(); got != want {
+		t.Fatalf("NumNodes after remove = %d, want %d", got, want)
+	}
+	if tree.Root().Descendant(itemset.New(shared.Item)) != nil {
+		t.Fatalf("removed subtree still reachable")
+	}
+	tree.SetSubtree(8192, nil) // removing an absent item is a no-op
+	if got, want := tree.NumNodes(), recount(); got != want {
+		t.Fatalf("NumNodes after no-op remove = %d, want %d", got, want)
+	}
+}

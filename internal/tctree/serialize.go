@@ -20,7 +20,12 @@ import (
 
 type treeFile struct {
 	Version int
-	Nodes   []nodeRecord
+	// MaxDepth is the BuildOptions.MaxDepth bound the tree was built with
+	// (0 = unbounded); gob tolerates the field's absence in old files.
+	// Incremental maintenance refuses depth-bounded trees, so the bound
+	// must survive a round trip through either on-disk format.
+	MaxDepth int
+	Nodes    []nodeRecord
 }
 
 type nodeRecord struct {
@@ -93,6 +98,7 @@ func (t *Tree) Write(w io.Writer) error {
 	}
 	var file treeFile
 	file.Version = fileVersion
+	file.MaxDepth = t.builtMaxDepth
 
 	index := make(map[*Node]int)
 	queue := []*Node{t.root}
@@ -118,7 +124,7 @@ func ReadFrom(r io.Reader) (*Tree, error) {
 	if file.Version != fileVersion {
 		return nil, fmt.Errorf("tctree: unsupported file version %d", file.Version)
 	}
-	tree := &Tree{root: &Node{Pattern: itemset.New()}}
+	tree := &Tree{root: &Node{Pattern: itemset.New()}, builtMaxDepth: file.MaxDepth}
 	nodes := make([]*Node, len(file.Nodes))
 	for i, rec := range file.Nodes {
 		var parent *Node

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"themecomm/internal/dbnet"
 	"themecomm/internal/itemset"
 )
 
@@ -70,8 +71,13 @@ type ShardEntry struct {
 // Manifest is the content of index.manifest: the shard catalogue of a sharded
 // index directory, ordered by ascending root item.
 type Manifest struct {
-	Version int          `json:"version"`
-	Shards  []ShardEntry `json:"shards"`
+	Version int `json:"version"`
+	// BuiltMaxDepth records the BuildOptions.MaxDepth bound the index was
+	// built with (0 or absent = unbounded). Incremental maintenance refuses
+	// depth-bounded indexes — re-decomposing one shard without the bound
+	// would make it deeper than its untouched siblings.
+	BuiltMaxDepth int          `json:"builtMaxDepth,omitempty"`
+	Shards        []ShardEntry `json:"shards"`
 }
 
 // TotalNodes returns the number of indexed nodes across all shards.
@@ -224,6 +230,71 @@ func decodeShard(data []byte, entry ShardEntry) (*Node, error) {
 	return nodes[0], nil
 }
 
+// testInjectWriteErr, when non-nil, simulates a crash inside writeFileAtomic:
+// the temp file has been written but the rename never happens. Tests use it
+// to prove that a failed commit leaves the index openable and that orphaned
+// temp files are cleaned up.
+var testInjectWriteErr func(name string) error
+
+// writeFileAtomic durably writes name inside dir: the data goes to a temp
+// file first, the temp file is fsynced, and only then renamed into place —
+// a crash at any moment leaves either the complete new file or no file at
+// all, never a torn one. (The rename itself becomes durable once the
+// directory is fsynced; callers batch that with syncDir.) A failure after
+// the temp file was created removes it, so errors do not strand *.tmp files.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, err = f.Write(data)
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil && testInjectWriteErr != nil {
+		if err = testInjectWriteErr(name); err != nil {
+			return err // simulated crash: leave the temp file behind
+		}
+	}
+	if err == nil {
+		err = os.Rename(tmp, filepath.Join(dir, name))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs the directory so preceding renames survive a crash. Errors
+// are ignored: directory fsync is unsupported on some platforms, and the
+// rename has already made the change visible and consistent.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// removeOrphanTempFiles deletes *.tmp files a crashed or failed write left in
+// the index directory. Temp files are invisible to the manifest, so removing
+// them can never lose committed data.
+func removeOrphanTempFiles(dir string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
 // WriteSharded writes the tree in the sharded on-disk format: one gob file
 // per first-level subtree plus index.manifest, all inside dir (created if
 // missing). It returns the written manifest. A tree saved this way is read
@@ -236,13 +307,13 @@ func (t *Tree) WriteSharded(dir string) (*Manifest, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	m := &Manifest{Version: manifestVersion}
+	m := &Manifest{Version: manifestVersion, BuiltMaxDepth: t.builtMaxDepth}
 	for _, c := range t.root.Children {
 		data, entry, err := encodeShard(c)
 		if err != nil {
 			return nil, err
 		}
-		if err := os.WriteFile(filepath.Join(dir, entry.File), data, 0o644); err != nil {
+		if err := writeFileAtomic(dir, entry.File, data); err != nil {
 			return nil, err
 		}
 		m.Shards = append(m.Shards, entry)
@@ -253,18 +324,20 @@ func (t *Tree) WriteSharded(dir string) (*Manifest, error) {
 	return m, nil
 }
 
-// writeManifest atomically replaces dir's manifest (write-to-temp + rename),
-// so a reader never observes a torn manifest.
+// writeManifest durably replaces dir's manifest: write-to-temp, fsync,
+// rename, then fsync the directory — a reader never observes a torn
+// manifest, and the swap survives a crash (rename alone only orders the
+// change, it does not persist the directory entry).
 func writeManifest(dir string, m *Manifest) error {
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(dir, ManifestName+".tmp")
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := writeFileAtomic(dir, ManifestName, append(data, '\n')); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, ManifestName))
+	syncDir(dir)
+	return nil
 }
 
 // ReadManifest reads and validates dir's index.manifest. Entries are returned
@@ -318,12 +391,15 @@ type ShardedIndex struct {
 }
 
 // OpenSharded opens a sharded index directory written by WriteSharded. Only
-// the manifest is read; shard files are opened on demand.
+// the manifest is read; shard files are opened on demand. Orphaned *.tmp
+// files left behind by a crashed or failed write are removed — they are
+// invisible to the manifest, so the cleanup can never lose committed data.
 func OpenSharded(dir string) (*ShardedIndex, error) {
 	m, err := ReadManifest(dir)
 	if err != nil {
 		return nil, err
 	}
+	removeOrphanTempFiles(dir)
 	x := &ShardedIndex{dir: dir, manifest: m, byItem: make(map[itemset.Item]int, len(m.Shards))}
 	for i, e := range m.Shards {
 		x.byItem[itemset.Item(e.Item)] = i
@@ -345,7 +421,11 @@ func (x *ShardedIndex) NumShards() int {
 func (x *ShardedIndex) Manifest() Manifest {
 	x.mu.RLock()
 	defer x.mu.RUnlock()
-	m := Manifest{Version: x.manifest.Version, Shards: make([]ShardEntry, len(x.manifest.Shards))}
+	m := Manifest{
+		Version:       x.manifest.Version,
+		BuiltMaxDepth: x.manifest.BuiltMaxDepth,
+		Shards:        make([]ShardEntry, len(x.manifest.Shards)),
+	}
 	copy(m.Shards, x.manifest.Shards)
 	return m
 }
@@ -387,7 +467,7 @@ func (x *ShardedIndex) LoadShard(item itemset.Item) (*Node, error) {
 // counterpart of per-shard lazy loading.
 func (x *ShardedIndex) LoadTree() (*Tree, error) {
 	m := x.Manifest()
-	tree := &Tree{root: &Node{Pattern: itemset.New()}}
+	tree := &Tree{root: &Node{Pattern: itemset.New()}, builtMaxDepth: m.BuiltMaxDepth}
 	for _, e := range m.Shards {
 		root, err := x.LoadShard(itemset.Item(e.Item))
 		if err != nil {
@@ -401,7 +481,7 @@ func (x *ShardedIndex) LoadTree() (*Tree, error) {
 
 // ReplaceShard atomically swaps the shard of subtree's root item: the new
 // payload is written under a checksum-versioned file name, and the manifest
-// rename is the single switch point — a crash at any moment leaves the index
+// swap is the single switch point — a crash at any moment leaves the index
 // consistent (either the old manifest pointing at the untouched old file, or
 // the new manifest pointing at the fully written new file). No other shard
 // is touched; the superseded file is removed best-effort afterwards. The
@@ -411,29 +491,209 @@ func (x *ShardedIndex) LoadTree() (*Tree, error) {
 // to reload it (e.g. engine.ReloadShard), which also invalidates their
 // cached answers for queries containing the item.
 func (x *ShardedIndex) ReplaceShard(subtree *Node) error {
-	data, entry, err := encodeShard(subtree)
-	if err != nil {
-		return err
+	if subtree == nil {
+		return fmt.Errorf("tctree: cannot encode a nil shard")
 	}
-	x.mu.Lock()
-	defer x.mu.Unlock()
-	i, ok := x.byItem[subtree.Item]
-	if !ok {
+	if _, ok := x.Entry(subtree.Item); !ok {
 		return fmt.Errorf("tctree: no shard for item %d: ReplaceShard only swaps existing shards", subtree.Item)
 	}
-	old := x.manifest.Shards[i]
-	entry.File = fmt.Sprintf("shard-%d-%s.gob", subtree.Item, strings.TrimPrefix(entry.Checksum, "crc32c:"))
-	if err := os.WriteFile(filepath.Join(x.dir, entry.File), data, 0o644); err != nil {
-		return err
+	_, err := x.CommitShards(map[itemset.Item]*Node{subtree.Item: subtree})
+	return err
+}
+
+// CommitReport summarises one CommitShards (or ApplyDelta) transaction.
+type CommitReport struct {
+	// Replaced, Added and Removed list the items whose shards were swapped
+	// for a rebuilt subtree, newly created, and deleted, each in ascending
+	// item order. Items whose subtree was nil and had no shard are absent —
+	// the commit did not touch them.
+	Replaced []itemset.Item `json:"replaced,omitempty"`
+	Added    []itemset.Item `json:"added,omitempty"`
+	Removed  []itemset.Item `json:"removed,omitempty"`
+}
+
+// Touched returns every item the commit changed, in ascending order.
+func (r *CommitReport) Touched() itemset.Itemset {
+	items := make([]itemset.Item, 0, len(r.Replaced)+len(r.Added)+len(r.Removed))
+	items = append(items, r.Replaced...)
+	items = append(items, r.Added...)
+	items = append(items, r.Removed...)
+	return itemset.New(items...)
+}
+
+// StagedShards is a batch of shard swaps whose payloads are already durably
+// on disk under checksum-versioned names the current manifest does not
+// reference: invisible to readers until Commit performs the single manifest
+// write. Staging is the expensive half (gob encoding, file writes, fsyncs)
+// and takes no index lock, so a serving layer can stage while queries run
+// and hold its own update lock only across Commit.
+type StagedShards struct {
+	x *ShardedIndex
+	// items are the staged items in ascending order; entries maps each to
+	// its new manifest entry, or nil for a removal.
+	items   []itemset.Item
+	entries map[itemset.Item]*ShardEntry
+	written []string
+}
+
+// StageShards encodes and durably writes the payload of every non-nil
+// subtree (a nil subtree stages the item's removal). On error the files
+// written so far are removed — except any whose name the live manifest
+// still references (a rebuilt shard with identical content reuses its
+// current file name).
+func (x *ShardedIndex) StageShards(subtrees map[itemset.Item]*Node) (*StagedShards, error) {
+	st := &StagedShards{x: x, entries: make(map[itemset.Item]*ShardEntry, len(subtrees))}
+	for it := range subtrees {
+		st.items = append(st.items, it)
 	}
-	x.manifest.Shards[i] = entry
+	sort.Slice(st.items, func(i, j int) bool { return st.items[i] < st.items[j] })
+	for _, it := range st.items {
+		sub := subtrees[it]
+		if sub == nil {
+			st.entries[it] = nil
+			continue
+		}
+		if sub.Item != it {
+			st.discard()
+			return nil, fmt.Errorf("tctree: subtree for item %d is rooted at item %d", it, sub.Item)
+		}
+		data, entry, err := encodeShard(sub)
+		if err != nil {
+			st.discard()
+			return nil, err
+		}
+		entry.File = fmt.Sprintf("shard-%d-%s.gob", it, strings.TrimPrefix(entry.Checksum, "crc32c:"))
+		if err := writeFileAtomic(x.dir, entry.File, data); err != nil {
+			st.discard()
+			return nil, fmt.Errorf("tctree: shard %d: %w", it, err)
+		}
+		st.written = append(st.written, entry.File)
+		st.entries[it] = &entry
+	}
+	// Make the staged files durable before any manifest can point at them.
+	syncDir(x.dir)
+	return st, nil
+}
+
+// discard removes the staged files, sparing any the live manifest
+// references.
+func (st *StagedShards) discard() {
+	live := make(map[string]bool)
+	for _, e := range st.x.Manifest().Shards {
+		live[e.File] = true
+	}
+	for _, f := range st.written {
+		if !live[f] {
+			os.Remove(filepath.Join(st.x.dir, f))
+		}
+	}
+}
+
+// Commit applies the staged batch as one transaction: the manifest is
+// rewritten exactly once, which is the single switch point — a crash before
+// it leaves the old index intact (plus unreferenced staged files the next
+// OpenSharded ignores), a crash after it leaves the new index complete.
+// Superseded files are removed best-effort afterwards. A failed Commit
+// discards the staged files and leaves the old index live.
+func (st *StagedShards) Commit() (*CommitReport, error) {
+	x := st.x
+	x.mu.Lock()
+	defer x.mu.Unlock()
+
+	report := &CommitReport{}
+	oldShards := x.manifest.Shards
+	newShards := make([]ShardEntry, 0, len(oldShards)+len(st.entries))
+	newShards = append(newShards, oldShards...)
+	byItem := make(map[itemset.Item]int, len(newShards))
+	for i, e := range newShards {
+		byItem[itemset.Item(e.Item)] = i
+	}
+	oldFiles := make(map[string]bool, len(oldShards))
+	for _, e := range oldShards {
+		oldFiles[e.File] = true
+	}
+	var obsolete []string
+	cleanupWritten := func() {
+		for _, f := range st.written {
+			if !oldFiles[f] {
+				os.Remove(filepath.Join(x.dir, f))
+			}
+		}
+	}
+	for _, it := range st.items {
+		entry := st.entries[it]
+		i, exists := byItem[it]
+		if entry == nil { // removal
+			if !exists {
+				continue
+			}
+			obsolete = append(obsolete, newShards[i].File)
+			newShards = append(newShards[:i], newShards[i+1:]...)
+			delete(byItem, it)
+			for j := i; j < len(newShards); j++ {
+				byItem[itemset.Item(newShards[j].Item)] = j
+			}
+			report.Removed = append(report.Removed, it)
+			continue
+		}
+		if exists {
+			if old := newShards[i].File; old != entry.File {
+				obsolete = append(obsolete, old)
+			}
+			newShards[i] = *entry
+			report.Replaced = append(report.Replaced, it)
+		} else {
+			newShards = append(newShards, *entry)
+			byItem[it] = len(newShards) - 1
+			report.Added = append(report.Added, it)
+		}
+	}
+	sort.Slice(newShards, func(i, j int) bool { return newShards[i].Item < newShards[j].Item })
+
+	x.manifest.Shards = newShards
 	if err := writeManifest(x.dir, x.manifest); err != nil {
-		x.manifest.Shards[i] = old
-		return err
+		x.manifest.Shards = oldShards
+		cleanupWritten()
+		return nil, err
 	}
-	if old.File != entry.File {
+	x.byItem = make(map[itemset.Item]int, len(newShards))
+	for i, e := range newShards {
+		x.byItem[itemset.Item(e.Item)] = i
+	}
+	for _, f := range obsolete {
 		// Best-effort cleanup; a leftover superseded file is harmless.
-		os.Remove(filepath.Join(x.dir, old.File))
+		os.Remove(filepath.Join(x.dir, f))
 	}
-	return nil
+	return report, nil
+}
+
+// CommitShards applies one batch of shard swaps as a single transaction:
+// each map entry installs a rebuilt subtree for its item (replacing the
+// existing shard or adding a new one), and a nil subtree removes the item's
+// shard (a no-op when none exists). It is StageShards followed by Commit;
+// serving layers that must exclude queries during the swap stage first and
+// lock only around Commit (engine.ApplyDelta). Serving layers holding
+// affected shards in memory must reload them afterwards.
+func (x *ShardedIndex) CommitShards(subtrees map[itemset.Item]*Node) (*CommitReport, error) {
+	st, err := x.StageShards(subtrees)
+	if err != nil {
+		return nil, err
+	}
+	return st.Commit()
+}
+
+// ApplyDelta incrementally maintains the on-disk index after the network
+// changed: the shard of every affected item is rebuilt from the updated
+// network (RebuildSubtree) and the whole batch is committed with one
+// manifest write (CommitShards) — shards of unaffected items are neither
+// rebuilt nor rewritten nor even read. affected is typically
+// delta.AffectedItems computed before the delta was applied to nw; nw must
+// already be the post-delta network. Depth-bounded indexes (built with
+// BuildOptions.MaxDepth) are refused: rebuilding one shard without the
+// bound would make it deeper than its untouched siblings.
+func (x *ShardedIndex) ApplyDelta(nw *dbnet.Network, affected itemset.Itemset) (*CommitReport, error) {
+	if d := x.Manifest().BuiltMaxDepth; d > 0 {
+		return nil, fmt.Errorf("tctree: index was built with MaxDepth %d; incremental maintenance needs an unbounded index (rebuild with tcindex without -maxdepth)", d)
+	}
+	return x.CommitShards(RebuildSubtrees(nw, affected))
 }

@@ -42,7 +42,17 @@ func (n *Node) addChild(c *Node) {
 type Tree struct {
 	root     *Node
 	numNodes int // number of non-root nodes, i.e. indexed maximal pattern trusses
+	// builtMaxDepth is the BuildOptions.MaxDepth bound the tree was built
+	// with (0 = unbounded). Incremental maintenance refuses depth-bounded
+	// trees: RebuildSubtree re-decomposes without a bound, which would make
+	// rebuilt shards deeper than untouched ones.
+	builtMaxDepth int
 }
+
+// BuiltMaxDepth returns the MaxDepth bound the tree was built with
+// (0 = unbounded). Trees assembled from a sharded index inherit the bound
+// recorded in the manifest.
+func (t *Tree) BuiltMaxDepth() int { return t.builtMaxDepth }
 
 // Root returns the root node (pattern ∅). It is never nil on a built tree.
 func (t *Tree) Root() *Node { return t.root }

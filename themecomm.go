@@ -38,6 +38,7 @@ import (
 
 	"themecomm/internal/core"
 	"themecomm/internal/dbnet"
+	"themecomm/internal/delta"
 	"themecomm/internal/edgenet"
 	"themecomm/internal/engine"
 	"themecomm/internal/federation"
@@ -221,6 +222,50 @@ func OpenEngine(path string, opts EngineOptions) (*Engine, error) {
 	return engine.New(tree, opts)
 }
 
+// Incremental maintenance types: apply network deltas to a live index
+// instead of rebuilding it from scratch.
+type (
+	// NetworkDelta is one batch of changes to a database network: added
+	// vertices, added/removed edges, added transactions.
+	NetworkDelta = delta.Delta
+	// DeltaTransaction is one transaction of a delta, bound to its vertex.
+	DeltaTransaction = delta.VertexTransaction
+	// DeltaResult summarises an Engine.ApplyDelta call (affected items,
+	// per-shard outcomes, the new index epoch).
+	DeltaResult = engine.DeltaResult
+	// IndexCommitReport details one sharded-index commit: which shards were
+	// replaced, added and removed.
+	IndexCommitReport = tctree.CommitReport
+)
+
+// AffectedItems bounds the set of top-level items whose index shards can
+// change when the delta is applied — call it BEFORE ApplyNetworkDelta.
+func AffectedItems(nw *Network, d *NetworkDelta) Itemset { return delta.AffectedItems(nw, d) }
+
+// ApplyNetworkDelta validates the delta and mutates the network in place.
+// Serving layers update index and network together instead: see
+// Engine.ApplyDelta (in-memory or lazy engine), ShardedIndex.ApplyDelta
+// (on-disk index without an engine), Federation.ApplyDelta (one tenant of a
+// federation), or POST /api/v1/update on a running tcserver.
+func ApplyNetworkDelta(nw *Network, d *NetworkDelta) error { return delta.Apply(nw, d) }
+
+// ReadDelta parses a delta from its TCDELTA text serialization; dict, when
+// non-nil, resolves (and interns) item names.
+func ReadDelta(r io.Reader, dict *Dictionary) (*NetworkDelta, error) { return delta.Read(r, dict) }
+
+// ReadDeltaFile reads a delta from a file.
+func ReadDeltaFile(path string, dict *Dictionary) (*NetworkDelta, error) {
+	return delta.ReadFile(path, dict)
+}
+
+// WriteDelta serializes a delta to w.
+func WriteDelta(w io.Writer, d *NetworkDelta) error { return delta.Write(w, d) }
+
+// RebuildSubtree re-decomposes the first-level TC-Tree subtree of one
+// top-level item from the current network state; nil means the item indexes
+// nothing any more.
+func RebuildSubtree(nw *Network, item Item) *TreeNode { return tctree.RebuildSubtree(nw, item) }
+
 // NewNetwork returns a database network with n vertices, no edges and empty
 // vertex databases.
 func NewNetwork(n int) *Network { return dbnet.New(n) }
@@ -249,6 +294,13 @@ func WriteNetwork(w io.Writer, nw *Network, dict *Dictionary) error { return dbn
 // WriteNetworkFile writes a database network to a file.
 func WriteNetworkFile(path string, nw *Network, dict *Dictionary) error {
 	return dbnet.WriteFile(path, nw, dict)
+}
+
+// WriteNetworkFileAtomic durably replaces a network file (write-to-temp +
+// fsync + rename), so a crash mid-write can never tear it. Incremental
+// maintenance uses it for the post-update network write-back.
+func WriteNetworkFileAtomic(path string, nw *Network, dict *Dictionary) error {
+	return dbnet.WriteFileAtomic(path, nw, dict)
 }
 
 // MineTCS runs the Theme Community Scanner baseline: it pre-filters candidate
