@@ -14,6 +14,13 @@
 // query; the network's sibling <name>.dbnet file, when present, resolves
 // item names automatically.
 //
+// With -server the query is answered by a running tcserver over HTTP instead
+// of opening an index locally: -network picks the federation tenant,
+// -requestid injects an X-Request-ID the server echoes and stamps on its
+// access/slow-query logs, and on a server error the server-assigned request
+// ID is printed with the message so the failure can be grepped out of the
+// server's logs.
+//
 // Usage:
 //
 //	tcquery -tree bk.dbnet.tctree -alpha 0.5
@@ -21,6 +28,8 @@
 //	tcquery -tree bk.dbnet.tctree -alpha 0.2 -topk 10 -workers 8
 //	tcquery -tree bk.index -alpha 0.4 -explain
 //	tcquery -tree warehouse/ -network bk -alpha 0.2
+//	tcquery -server http://localhost:8080 -alpha 0.2 -topk 5
+//	tcquery -server http://localhost:8080 -network bk -alpha 0.2 -requestid probe-1
 package main
 
 import (
@@ -49,8 +58,14 @@ func main() {
 	cacheSize := flag.Int("cache", 0, "result-cache entries (0 disables caching)")
 	explain := flag.Bool("explain", false, "print the query plan and execution counters instead of the communities")
 	noPlanner := flag.Bool("noplanner", false, "disable the cost-based planner (no α* shard skipping, no cost ordering, no prefetch)")
+	serverURL := flag.String("server", "", "query a running tcserver at this base URL (e.g. http://localhost:8080) instead of opening an index")
+	requestID := flag.String("requestid", "", "X-Request-ID to send with -server; the server echoes it and stamps it on its logs")
 	flag.Parse()
 
+	if *serverURL != "" {
+		runRemote(*serverURL, *network, *pattern, *alphaQ, *topK, *top, *explain, *requestID)
+		return
+	}
 	if *treePath == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -184,6 +199,12 @@ func printExplain(eng *themecomm.Engine, q themecomm.Itemset, alphaQ float64) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	printExplainReport(rep)
+}
+
+// printExplainReport renders one plan + execution report (local or fetched
+// from a server with -server -explain).
+func printExplainReport(rep *themecomm.EngineExplain) {
 	pattern := "every item (query by alpha)"
 	if !rep.Full {
 		pattern = rep.Pattern.String()

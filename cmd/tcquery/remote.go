@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"themecomm"
+	"themecomm/internal/server"
+)
+
+// runRemote answers the query against a running tcserver over HTTP instead of
+// opening an index locally: -server gives the base URL, -network scopes the
+// query to one federation tenant, and -requestid injects a correlation ID
+// that the server echoes and stamps on its access/slow-query logs. On a
+// server error the server-assigned request ID is printed with the message, so
+// the failure can be found in the server's logs with one grep.
+func runRemote(base, network, pattern string, alphaQ float64, topK, top int, explain bool, requestID string) {
+	route := "query"
+	if explain {
+		route = "explain"
+	}
+	path := "/api/v1/" + route
+	if network != "" {
+		path = "/api/v1/" + url.PathEscape(network) + "/" + route
+	}
+	params := url.Values{}
+	params.Set("alpha", strconv.FormatFloat(alphaQ, 'g', -1, 64))
+	if pattern != "" {
+		params.Set("pattern", pattern)
+	}
+	if topK > 0 && !explain {
+		params.Set("k", strconv.Itoa(topK))
+	}
+	full := strings.TrimSuffix(base, "/") + path + "?" + params.Encode()
+
+	req, err := http.NewRequest(http.MethodGet, full, nil)
+	if err != nil {
+		log.Fatalf("invalid -server URL: %v", err)
+	}
+	if requestID != "" {
+		req.Header.Set(themecomm.RequestIDHeader, requestID)
+	}
+	client := &http.Client{Timeout: 60 * time.Second}
+	resp, err := client.Do(req)
+	if err != nil {
+		log.Fatalf("GET %s: %v", full, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		log.Fatalf("reading response: %v", err)
+	}
+
+	// The server assigns (or echoes) the request ID on every response; on
+	// failure it is the handle into the server-side access and slow-query
+	// logs.
+	serverID := resp.Header.Get(themecomm.RequestIDHeader)
+	if resp.StatusCode != http.StatusOK {
+		msg := strings.TrimSpace(string(body))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		log.Fatalf("server error (HTTP %d, request id %s): %s", resp.StatusCode, serverID, msg)
+	}
+
+	if explain {
+		var rep server.ExplainResponse
+		if err := json.Unmarshal(body, &rep); err != nil {
+			log.Fatalf("decoding explain response: %v", err)
+		}
+		if rep.Network != "" {
+			fmt.Printf("network %s\n", rep.Network)
+		}
+		printExplainReport(rep.ExplainReport)
+		return
+	}
+
+	var qr server.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		log.Fatalf("decoding query response: %v", err)
+	}
+	fmt.Printf("query answered in %dµs by %s (request id %s): %d maximal pattern trusses (visited %d nodes)\n",
+		qr.QueryMicros, base, serverID, qr.RetrievedNodes, qr.VisitedNodes)
+	if qr.TopK > 0 {
+		fmt.Printf("top %d theme communities by cohesion\n", len(qr.Communities))
+		for i, c := range qr.Communities {
+			fmt.Printf("  [%d] cohesion=%.4g theme={%s} vertices=%v\n",
+				i+1, c.Cohesion, strings.Join(c.Theme, ", "), c.Vertices)
+		}
+		return
+	}
+	fmt.Printf("%d theme communities\n", len(qr.Communities))
+	limit := top
+	if limit <= 0 || limit > len(qr.Communities) {
+		limit = len(qr.Communities)
+	}
+	for i := 0; i < limit; i++ {
+		c := qr.Communities[i]
+		fmt.Printf("  [%d] theme={%s} vertices=%v\n", i+1, strings.Join(c.Theme, ", "), c.Vertices)
+	}
+	if limit < len(qr.Communities) {
+		fmt.Printf("  ... %d more (raise -top to see them)\n", len(qr.Communities)-limit)
+	}
+}

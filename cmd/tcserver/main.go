@@ -22,9 +22,20 @@
 //	tcserver -networks warehouse/ -maxresident 64  # federation: every index in warehouse/
 //	tcserver -networks warehouse/ -default bk      # single-network routes serve "bk"
 //
+// Every request is traced: the server accepts a client X-Request-ID header
+// (or assigns one), echoes it on the response, and stamps it on the JSON
+// access log and the slow-query log, so one grep connects a client-reported
+// query to its server-side trace. Prometheus metrics (HTTP, per-query
+// latency/stage histograms, engine/cache/federation counters) are exposed at
+// GET /metrics; queries slower than -slowquery are captured with their full
+// plan at GET /api/v1/slowlog; -pprof serves net/http/pprof on a separate
+// listener. See docs/OBSERVABILITY.md.
+//
 // Endpoints (see docs/API.md for request/response schemas):
 //
-//	GET  /healthz                           liveness probe
+//	GET  /healthz                           health: version, uptime, per-network readiness
+//	GET  /metrics                           Prometheus text-format metrics
+//	GET  /api/v1/slowlog                    slow-query ring buffer (-slowquery)
 //	GET  /api/v1/stats                      index statistics
 //	GET  /api/v1/query?alpha=0.5            query by cohesion threshold
 //	GET  /api/v1/query?pattern=a,b&alpha=0  query by pattern
@@ -45,7 +56,9 @@ package main
 import (
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
 	"strings"
 	"time"
@@ -68,6 +81,10 @@ func main() {
 	maxResident := flag.Int("maxresident", 0, "sharded indexes only: max shards kept in memory, across all networks with -networks (0 = unlimited)")
 	prefetch := flag.Int("prefetch", 0, "sharded indexes only: background shard-prefetch workers (0 = default, negative disables)")
 	noPlanner := flag.Bool("noplanner", false, "disable the cost-based planner (no α* shard skipping, no cost ordering, no prefetch)")
+	slowQuery := flag.Duration("slowquery", 0, "slow-query threshold: queries at least this slow are captured with their full plan into GET /api/v1/slowlog (0 disables)")
+	slowlogSize := flag.Int("slowlogsize", 128, "slow-query ring-buffer capacity")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this SEPARATE address (e.g. localhost:6060); empty disables")
+	quiet := flag.Bool("quiet", false, "suppress structured JSON logging (access log, slow-query warnings); metrics and the slow-query ring stay on")
 	flag.Parse()
 
 	if *treePath == "" && *networksDir == "" {
@@ -75,7 +92,20 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := server.Options{DefaultNetwork: *defaultNetwork}
+	// One observer is shared by every layer: the engines record per-query
+	// observations into it, the server layers HTTP metrics and request-ID
+	// propagation over it, and GET /metrics renders its registry.
+	var logger *slog.Logger
+	if !*quiet {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	observer := themecomm.NewObserver(themecomm.ObserverOptions{
+		SlowThreshold: *slowQuery,
+		SlowLogSize:   *slowlogSize,
+		Logger:        logger,
+	})
+
+	opts := server.Options{DefaultNetwork: *defaultNetwork, Obs: observer}
 	if *networksDir != "" {
 		fed, err := themecomm.OpenFederation(*networksDir, themecomm.FederationOptions{
 			Workers:           *workers,
@@ -83,6 +113,7 @@ func main() {
 			MaxResidentShards: *maxResident,
 			PrefetchWorkers:   *prefetch,
 			DisablePlanner:    *noPlanner,
+			Recorder:          observer,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -96,6 +127,7 @@ func main() {
 			MaxResidentShards: *maxResident,
 			PrefetchWorkers:   *prefetch,
 			DisablePlanner:    *noPlanner,
+			Recorder:          observer,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -136,6 +168,18 @@ func main() {
 	srv, err := server.New(nil, opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// pprof gets its OWN listener (http.DefaultServeMux, where the blank
+	// net/http/pprof import registered /debug/pprof/...), so profiling is
+	// never exposed on the query-serving address.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
 	}
 
 	httpServer := &http.Server{

@@ -26,6 +26,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -38,6 +39,7 @@ import (
 	"themecomm/internal/dbnet"
 	"themecomm/internal/delta"
 	"themecomm/internal/itemset"
+	"themecomm/internal/obs"
 	"themecomm/internal/tctree"
 )
 
@@ -73,9 +75,10 @@ type Options struct {
 	// are prefixed with CacheNamespace so tenants never collide, while
 	// capacity, LRU order and counters are global. CacheSize is ignored.
 	SharedCache *ResultCache
-	// CacheNamespace is the engine's key prefix in a shared cache; it must be
-	// unique per engine sharing the cache (a federation uses the network
-	// name). Ignored without SharedCache.
+	// CacheNamespace is the engine's tenant name: its key prefix in a shared
+	// cache — it must be unique per engine sharing the cache (a federation
+	// uses the network name) — and the network label of every observation the
+	// Recorder receives. Without SharedCache it only labels observations.
 	CacheNamespace string
 	// SharedResidency, when non-nil, enrolls a lazy engine in a residency
 	// group shared between engines: the group's budget bounds the resident
@@ -83,6 +86,13 @@ type Options struct {
 	// least-recently-used. MaxResidentShards is ignored. Eager engines
 	// ignore it.
 	SharedResidency *ResidencyGroup
+	// Recorder, when non-nil, receives one obs.QueryObservation per query —
+	// outcome, plan→execute→merge stage timings and a lazy plan-detail hook.
+	// The engine never imports a metrics implementation; whatever observes it
+	// is injected here (the server wires in an obs.Observer, tests record
+	// into slices, and a learned-cost planner could tap the same stream).
+	// Nil costs the hot path nothing.
+	Recorder obs.Recorder
 }
 
 // defaultPrefetchWorkers is the prefetch-pool bound when Options leaves
@@ -171,14 +181,21 @@ type Engine struct {
 	// planCfg is the planner configuration (zero value = planning off).
 	planCfg PlanConfig
 	// prefetchSem bounds concurrent background prefetch loads; nil when
-	// prefetching is disabled or the engine is eager.
+	// prefetching is disabled or the engine is eager. prefetchWG counts the
+	// in-flight prefetch goroutines so Release can drain them: they outlive
+	// the query that spawned them, so they are the one piece of query work a
+	// caller cannot serialize against a detach.
 	prefetchSem chan struct{}
+	prefetchWG  sync.WaitGroup
 
 	// res is the engine's residency accounting — budget, LRU clock and
 	// eviction — either private to this engine or shared with other engines
 	// of a federation; sharedRes marks the shared case.
 	res       *ResidencyGroup
 	sharedRes bool
+
+	// recorder receives per-query observations; nil when unobserved.
+	recorder obs.Recorder
 
 	queries    atomic.Uint64
 	batches    atomic.Uint64
@@ -278,6 +295,7 @@ func newEngine(opts Options) *Engine {
 		workers:  workers,
 		sem:      make(chan struct{}, workers),
 		batchSem: make(chan struct{}, workers),
+		recorder: opts.Recorder,
 		// res is the private default; NewLazy swaps in a shared group when
 		// Options.SharedResidency is set. Eager engines never evict, so the
 		// zero budget is inert for them.
@@ -287,10 +305,13 @@ func newEngine(opts Options) *Engine {
 	if !opts.DisablePlanner {
 		e.planCfg = DefaultPlanConfig()
 	}
+	// The namespace doubles as the tenant name on observations, so it is
+	// kept even without a shared cache; a private cache prefixes its keys
+	// with it consistently, which is harmless.
+	e.cacheNS = opts.CacheNamespace
 	switch {
 	case opts.SharedCache != nil:
 		e.cache = opts.SharedCache.c
-		e.cacheNS = opts.CacheNamespace
 		e.sharedCache = true
 	case opts.CacheSize > 0:
 		e.cache = newLRUCache(opts.CacheSize)
@@ -421,6 +442,16 @@ func (e *Engine) ReloadShard(item itemset.Item) error {
 	return nil
 }
 
+// Quiesce blocks until every background shard prefetch spawned by queries
+// that have already returned has finished. A query's prefetch goroutines
+// outlive the query call, so residency counters can keep moving after the
+// last Query returns; callers that need them exact — tests, orderly
+// detach/shutdown bookkeeping — quiesce first. Quiesce does not wait for
+// concurrent queries, only for the background work of completed ones.
+func (e *Engine) Quiesce() {
+	e.prefetchWG.Wait()
+}
+
 // Release withdraws the engine from the federation resources it shares:
 // every resident lazy shard is evicted (returning its budget share to the
 // residency group) and every cached answer of the engine's namespace is
@@ -434,6 +465,10 @@ func (e *Engine) ReloadShard(item itemset.Item) error {
 // count one high. Solo engines may call it too; it simply empties their
 // cache and resident set.
 func (e *Engine) Release() {
+	// Background prefetches spawned by an already-returned query are still
+	// loading through the old residency group; the caller cannot join them,
+	// so drain the pool here before swapping e.res out from under them.
+	e.Quiesce()
 	e.res.remove(e)
 	if e.cache != nil {
 		e.cache.invalidate(e.cacheNS, func(itemset.Itemset, bool) bool { return true })
@@ -495,14 +530,22 @@ func (e *Engine) key(q itemset.Itemset, full bool, alphaQ float64) string {
 // is always nil on eager engines; on lazy engines it surfaces shard-load
 // failures (missing file, checksum mismatch, corrupt payload).
 func (e *Engine) Query(q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, error) {
+	return e.QueryContext(context.Background(), q, alphaQ)
+}
+
+// QueryContext is Query carrying a context. The context is not a cancellation
+// signal — a started traversal always finishes — it carries the request
+// correlation ID (obs.WithRequestID) through to the injected Recorder, so a
+// slow query captured server-side names the HTTP request that caused it.
+func (e *Engine) QueryContext(ctx context.Context, q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, error) {
 	e.updateMu.RLock()
 	defer e.updateMu.RUnlock()
-	return e.queryLocked(q, alphaQ)
+	return e.queryLocked(ctx, q, alphaQ)
 }
 
 // queryLocked is Query's body; callers hold updateMu for reading, so the
 // shard table and the index epoch are stable for the whole execution.
-func (e *Engine) queryLocked(q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, error) {
+func (e *Engine) queryLocked(ctx context.Context, q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, error) {
 	e.queries.Add(1)
 	start := time.Now()
 	t := e.table.Load()
@@ -515,6 +558,15 @@ func (e *Engine) queryLocked(q itemset.Itemset, alphaQ float64) (*tctree.QueryRe
 			// Share the immutable payload, stamp the observed latency.
 			res := *cached
 			res.Duration = time.Since(start)
+			if e.recorder != nil {
+				e.recorder.RecordQuery(ctx, obs.QueryObservation{
+					Network:  e.cacheNS,
+					Pattern:  patternLabel(eff, full),
+					Alpha:    alphaQ,
+					CacheHit: true,
+					Total:    res.Duration,
+				})
+			}
 			return &res, nil
 		}
 		// Capture the invalidation generation before executing: if a
@@ -522,8 +574,22 @@ func (e *Engine) queryLocked(q itemset.Itemset, alphaQ float64) (*tctree.QueryRe
 		// result may predate the swap and put will discard it.
 		gen = e.cache.generation(e.cacheNS)
 	}
-	res, _, _, err := e.executePlan(t, e.planRelevant(t, eff, alphaQ))
+	planStart := time.Now()
+	plan := e.planRelevant(t, eff, alphaQ)
+	planDur := time.Since(planStart)
+	res, exec, err := e.executePlan(t, plan)
 	if err != nil {
+		if e.recorder != nil {
+			e.recorder.RecordQuery(ctx, obs.QueryObservation{
+				Network: e.cacheNS,
+				Pattern: patternLabel(eff, full),
+				Alpha:   alphaQ,
+				Err:     true,
+				Shards:  len(plan.Tasks),
+				Plan:    planDur,
+				Total:   time.Since(start),
+			})
+		}
 		return nil, err
 	}
 	res.Duration = time.Since(start)
@@ -533,7 +599,40 @@ func (e *Engine) queryLocked(q itemset.Itemset, alphaQ float64) (*tctree.QueryRe
 	if e.cache != nil && e.epoch.Load() == epoch {
 		e.cache.put(key, e.cacheNS, eff, full, res, gen)
 	}
+	if e.recorder != nil {
+		loaded := 0
+		for _, x := range exec.execs {
+			if x.loaded {
+				loaded++
+			}
+		}
+		e.recorder.RecordQuery(ctx, obs.QueryObservation{
+			Network:       e.cacheNS,
+			Pattern:       patternLabel(eff, full),
+			Alpha:         alphaQ,
+			Shards:        len(plan.Tasks),
+			SkippedShards: plan.SkippedAlpha,
+			LoadedShards:  loaded,
+			Plan:          planDur,
+			Execute:       exec.execute,
+			Merge:         exec.merge,
+			Total:         res.Duration,
+			// Materialized only when the recorder keeps the observation
+			// (slow-query capture): fast queries never pay for the report.
+			Detail: func() any { return e.planReport(plan, exec, eff, full, res) },
+		})
+	}
 	return res, nil
+}
+
+// patternLabel renders a canonicalized pattern for observations and the
+// slow-query log: "*" for a full pattern (query by alpha), the item list
+// otherwise.
+func patternLabel(eff itemset.Itemset, full bool) string {
+	if full {
+		return "*"
+	}
+	return eff.String()
 }
 
 // QueryByAlpha answers the query-by-alpha workload (q = every item). Its
@@ -541,6 +640,11 @@ func (e *Engine) queryLocked(q itemset.Itemset, alphaQ float64) (*tctree.QueryRe
 // key shared with explicit patterns that cover every indexed item.
 func (e *Engine) QueryByAlpha(alphaQ float64) (*tctree.QueryResult, error) {
 	return e.Query(nil, alphaQ)
+}
+
+// QueryByAlphaContext is QueryByAlpha carrying a context; see QueryContext.
+func (e *Engine) QueryByAlphaContext(ctx context.Context, alphaQ float64) (*tctree.QueryResult, error) {
+	return e.QueryContext(ctx, nil, alphaQ)
 }
 
 // planRelevant plans an already-canonicalized query over the shards its
@@ -574,6 +678,19 @@ type taskExec struct {
 	trusses int
 }
 
+// planExec is the execution record of one executePlan call: per-task records,
+// prefetch attribution, and the execute/merge wall-time split the recorder
+// reports.
+type planExec struct {
+	execs      []taskExec
+	prefetched uint64
+	// execute is the parallel shard-traversal stage (acquire + walk across
+	// the worker pool); merge is the deterministic combination of per-shard
+	// answers afterwards.
+	execute time.Duration
+	merge   time.Duration
+}
+
 // executePlan is the execution half of the plan→execute split: it runs the
 // plan's schedule on the worker pool (most expensive task first, so a
 // straggler overlaps the cheap tail), hands the schedule tail to the
@@ -582,7 +699,8 @@ type taskExec struct {
 // answer is byte-identical to a planner-off execution: an α*-skipped shard
 // contributes exactly the one root visit the traversal would have made
 // before finding the root truss empty.
-func (e *Engine) executePlan(t *shardTable, plan *QueryPlan) (*tctree.QueryResult, []taskExec, uint64, error) {
+func (e *Engine) executePlan(t *shardTable, plan *QueryPlan) (*tctree.QueryResult, planExec, error) {
+	execStart := time.Now()
 	pattern := plan.Pattern
 	if pattern == nil {
 		pattern = t.items
@@ -635,6 +753,7 @@ func (e *Engine) executePlan(t *shardTable, plan *QueryPlan) (*tctree.QueryResul
 		}
 		wg.Wait()
 	}
+	mergeStart := time.Now()
 	res := &tctree.QueryResult{}
 	var errs []error
 	for _, sr := range results {
@@ -645,11 +764,17 @@ func (e *Engine) executePlan(t *shardTable, plan *QueryPlan) (*tctree.QueryResul
 		res.Trusses = append(res.Trusses, sr.trusses...)
 		res.VisitedNodes += sr.visited
 	}
+	exec := planExec{
+		execs:      execs,
+		prefetched: prefetched.Load(),
+		execute:    mergeStart.Sub(execStart),
+		merge:      time.Since(mergeStart),
+	}
 	if len(errs) > 0 {
-		return nil, nil, 0, errors.Join(errs...)
+		return nil, exec, errors.Join(errs...)
 	}
 	res.RetrievedNodes = len(res.Trusses)
-	return res, execs, prefetched.Load(), nil
+	return res, exec, nil
 }
 
 // prefetchPlan warms the top-cost non-resident shards of the plan's schedule
@@ -698,7 +823,9 @@ func (e *Engine) prefetchPlan(tbl *shardTable, plan *QueryPlan, prefetched *atom
 			return
 		}
 		budget--
+		e.prefetchWG.Add(1)
 		go func(s *shard) {
+			defer e.prefetchWG.Done()
 			defer func() { <-e.prefetchSem }()
 			// A load error is not the prefetcher's to report: it is sticky
 			// on the shard and surfaces on the query that traverses it.
@@ -961,6 +1088,13 @@ type Request struct {
 // fails (lazy shard-load error) leaves a nil slot in the answers; the error
 // joins every per-query failure, annotated with its request index.
 func (e *Engine) QueryBatch(reqs []Request) ([]*tctree.QueryResult, error) {
+	return e.QueryBatchContext(context.Background(), reqs)
+}
+
+// QueryBatchContext is QueryBatch carrying a context; every query of the
+// batch reports to the Recorder under the batch's request ID. See
+// QueryContext.
+func (e *Engine) QueryBatchContext(ctx context.Context, reqs []Request) ([]*tctree.QueryResult, error) {
 	e.batches.Add(1)
 	out := make([]*tctree.QueryResult, len(reqs))
 	errs := make([]error, len(reqs))
@@ -971,7 +1105,7 @@ func (e *Engine) QueryBatch(reqs []Request) ([]*tctree.QueryResult, error) {
 			defer wg.Done()
 			e.batchSem <- struct{}{}
 			defer func() { <-e.batchSem }()
-			res, err := e.Query(r.Pattern, r.Alpha)
+			res, err := e.QueryContext(ctx, r.Pattern, r.Alpha)
 			if err != nil {
 				errs[i] = fmt.Errorf("query %d: %w", i, err)
 				return

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
 )
 
 // TaskReport is one shard of an Explain answer: the planned task annotated
@@ -85,14 +86,25 @@ func (e *Engine) Explain(q itemset.Itemset, alphaQ float64) (*ExplainReport, err
 		infos[i] = s.info()
 	}
 	plan := PlanQuery(infos, eff, alphaQ, e.planCfg)
-	res, execs, prefetched, err := e.executePlan(t, plan)
+	res, exec, err := e.executePlan(t, plan)
 	if err != nil {
 		return nil, err
 	}
+	report := e.planReport(plan, exec, eff, full, res)
+	report.Micros = time.Since(start).Microseconds()
+	return report, nil
+}
+
+// planReport assembles the per-shard plan/execution report of one executed
+// plan. Explain returns it directly; queryLocked hands it to the injected
+// Recorder as the lazy Detail payload, so a slow query's log entry carries
+// the same per-shard breakdown an Explain of the query would have shown —
+// for the execution that actually was slow, not a rerun.
+func (e *Engine) planReport(plan *QueryPlan, exec planExec, eff itemset.Itemset, full bool, res *tctree.QueryResult) *ExplainReport {
 	report := &ExplainReport{
 		Pattern:        eff,
 		Full:           full,
-		Alpha:          alphaQ,
+		Alpha:          plan.Alpha,
 		Planner:        e.Planner(),
 		Lazy:           e.Lazy(),
 		Workers:        e.workers,
@@ -101,7 +113,7 @@ func (e *Engine) Explain(q itemset.Itemset, alphaQ float64) (*ExplainReport, err
 		SkippedAbsent:  plan.SkippedAbsent,
 		ResidentTasks:  plan.Resident,
 		LoadTasks:      plan.Loads,
-		Prefetched:     int(prefetched),
+		Prefetched:     int(exec.prefetched),
 		TotalCost:      plan.TotalCost,
 		RetrievedNodes: res.RetrievedNodes,
 		VisitedNodes:   res.VisitedNodes,
@@ -113,15 +125,14 @@ func (e *Engine) Explain(q itemset.Itemset, alphaQ float64) (*ExplainReport, err
 	for i, t := range plan.Tasks {
 		report.Tasks[i] = TaskReport{
 			ShardTask: t,
-			Micros:    execs[i].micros,
-			Loaded:    execs[i].loaded,
-			Visited:   execs[i].visited,
-			Trusses:   execs[i].trusses,
+			Micros:    exec.execs[i].micros,
+			Loaded:    exec.execs[i].loaded,
+			Visited:   exec.execs[i].visited,
+			Trusses:   exec.execs[i].trusses,
 		}
-		if execs[i].loaded {
+		if exec.execs[i].loaded {
 			report.Loaded++
 		}
 	}
-	report.Micros = time.Since(start).Microseconds()
-	return report, nil
+	return report
 }

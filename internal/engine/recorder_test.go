@@ -1,0 +1,218 @@
+package engine
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"themecomm/internal/delta"
+	"themecomm/internal/itemset"
+	"themecomm/internal/obs"
+	"themecomm/internal/tctree"
+)
+
+// captureRecorder records observations into a slice — the injection seam
+// exercised the way a test (or a learned-cost planner) would use it.
+type captureRecorder struct {
+	mu  sync.Mutex
+	obs []obs.QueryObservation
+}
+
+func (r *captureRecorder) RecordQuery(_ context.Context, o obs.QueryObservation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.obs = append(r.obs, o)
+}
+
+func (r *captureRecorder) all() []obs.QueryObservation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]obs.QueryObservation(nil), r.obs...)
+}
+
+func TestRecorderObservations(t *testing.T) {
+	tree := buildTestTree(t, 7)
+	rec := &captureRecorder{}
+	eng, err := New(tree, Options{CacheSize: 8, Recorder: rec})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	res := mustQueryByAlpha(t, eng, 0.2) // miss
+	mustQueryByAlpha(t, eng, 0.2)        // hit
+
+	got := rec.all()
+	if len(got) != 2 {
+		t.Fatalf("observations = %d, want 2", len(got))
+	}
+	miss, hit := got[0], got[1]
+	if miss.CacheHit || miss.Err {
+		t.Fatalf("first query observed as hit/err: %+v", miss)
+	}
+	if miss.Pattern != "*" {
+		t.Fatalf("full query pattern label = %q, want *", miss.Pattern)
+	}
+	if miss.Alpha != 0.2 || miss.Shards != eng.NumShards() {
+		t.Fatalf("miss identity = %+v", miss)
+	}
+	if miss.Total <= 0 || miss.Execute <= 0 || miss.Merge < 0 || miss.Plan < 0 {
+		t.Fatalf("miss stage timings not populated: %+v", miss)
+	}
+	if miss.Total < miss.Plan+miss.Execute+miss.Merge {
+		t.Fatalf("stages exceed total: %+v", miss)
+	}
+	if miss.Detail == nil {
+		t.Fatalf("miss carries no Detail hook")
+	}
+	report, ok := miss.Detail().(*ExplainReport)
+	if !ok {
+		t.Fatalf("Detail() = %T, want *ExplainReport", miss.Detail())
+	}
+	if report.RetrievedNodes != res.RetrievedNodes || len(report.Tasks) != miss.Shards {
+		t.Fatalf("Detail report does not describe the execution: %+v", report)
+	}
+
+	if !hit.CacheHit {
+		t.Fatalf("second query not observed as cache hit: %+v", hit)
+	}
+	if hit.Detail != nil {
+		t.Fatalf("cache hit carries a Detail hook")
+	}
+
+	// A pattern query renders its canonicalized itemset, not "*".
+	mustQuery(t, eng, itemset.New(eng.table.Load().items[0]), 0.2)
+	got = rec.all()
+	if p := got[len(got)-1].Pattern; p == "*" || p == "" {
+		t.Fatalf("pattern label = %q, want rendered itemset", p)
+	}
+}
+
+func TestRecorderObservesLoadError(t *testing.T) {
+	tree := buildTestTree(t, 11)
+	idx, dir := writeShardedTestTree(t, tree)
+	victim := tree.Root().Children[0].Item
+	entry, ok := idx.Entry(victim)
+	if !ok {
+		t.Fatalf("no manifest entry for %d", victim)
+	}
+	path := filepath.Join(dir, entry.File)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+
+	rec := &captureRecorder{}
+	eng, err := NewLazy(idx, Options{Recorder: rec})
+	if err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+	if _, err := eng.Query(itemset.New(victim), 0.1); err == nil {
+		t.Fatalf("query over corrupt shard should fail")
+	}
+	got := rec.all()
+	if len(got) != 1 || !got[0].Err {
+		t.Fatalf("failed query not observed as error: %+v", got)
+	}
+}
+
+// TestStatsRace hammers Stats against concurrent queries and deltas; run
+// under -race it checks the documented guarantee that Stats never tears the
+// shard table and needs no locks.
+func TestStatsRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	nw := randomNetwork(rng, 16, 40, 5, 4)
+	tree := tctree.Build(nw, tctree.BuildOptions{})
+	eng, err := New(tree, Options{CacheSize: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // queries
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			_, _ = eng.Query(nil, 0.1+float64(i%5)/10)
+		}
+	}()
+	go func() { // deltas
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			d := &delta.Delta{AddTransactions: []delta.VertexTransaction{
+				{Vertex: 0, Tx: itemset.New(itemset.Item(i % 5))},
+			}}
+			if _, err := eng.ApplyDelta(nw, d); err != nil {
+				t.Errorf("ApplyDelta: %v", err)
+				return
+			}
+		}
+	}()
+	go func() { // stats
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			s := eng.Stats()
+			if s.Shards != len(s.ShardResidency) {
+				t.Errorf("torn snapshot: Shards=%d but %d residency entries", s.Shards, len(s.ShardResidency))
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		eng.Stats()
+	}
+	close(done)
+	wg.Wait()
+}
+
+// BenchmarkQueryRecorded measures the recorder's hot-path overhead against
+// BenchmarkQueryUnrecorded (acceptance: <5%). The observer is a full
+// obs.Observer with a slow-query threshold no benchmark query reaches, so
+// the measured cost is the real production path: observation build + two
+// histogram observes + counter.
+func BenchmarkQueryRecorded(b *testing.B)   { benchmarkQuery(b, true) }
+func BenchmarkQueryUnrecorded(b *testing.B) { benchmarkQuery(b, false) }
+
+func benchmarkQuery(b *testing.B, recorded bool) {
+	rng := rand.New(rand.NewSource(3))
+	nw := randomNetwork(rng, 48, 160, 8, 4)
+	tree := tctree.Build(nw, tctree.BuildOptions{})
+	opts := Options{} // no cache: every query executes
+	if recorded {
+		opts.Recorder = obs.NewObserver(obs.ObserverOptions{SlowThreshold: time.Hour})
+	}
+	eng, err := New(tree, opts)
+	if err != nil {
+		b.Fatalf("New: %v", err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Query(nil, 0.3); err != nil {
+			b.Fatalf("Query: %v", err)
+		}
+	}
+}

@@ -86,7 +86,24 @@ type Stats struct {
 	ShardResidency []ShardStat `json:"shardResidency,omitempty"`
 }
 
-// Stats returns a consistent snapshot of the engine counters.
+// Stats returns a snapshot of the engine counters. It is safe to call
+// concurrently with Query, ApplyDelta, ReloadShard and every other engine
+// method, and it never blocks them: the shard table is read through one
+// atomic pointer load and each counter through one atomic load.
+//
+// Snapshot semantics: the shard table (Shards, ShardResidency) is one
+// consistent table — never a mix of pre- and post-delta shard sets — because
+// updates install a whole new table in a single atomic store. The scalar
+// counters, however, are each read atomically but at slightly different
+// instants, so cross-counter identities need not hold exactly under
+// concurrent load: a snapshot may observe a query whose cache miss is counted
+// but whose execution counters have not landed yet (e.g. Cache.Hits +
+// Cache.Misses may transiently exceed Queries, or LazyLoads may trail a
+// ShardResidency entry already marked resident). Every counter is
+// monotonically non-decreasing (except Cache.Length, ResidentShards and
+// GroupResidentShards, which are gauges), so rates computed between two
+// snapshots are meaningful; exact cross-counter equalities are only
+// guaranteed on a quiescent engine.
 func (e *Engine) Stats() Stats {
 	t := e.table.Load()
 	s := Stats{

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"sort"
 
 	"themecomm/internal/core"
@@ -38,13 +39,19 @@ func (e *Engine) TopK(q itemset.Itemset, alphaQ float64, k int) ([]RankedCommuni
 // callers (the HTTP server) can report retrieval statistics without running
 // the query twice.
 func (e *Engine) TopKWithResult(q itemset.Itemset, alphaQ float64, k int) (*tctree.QueryResult, []RankedCommunity, error) {
+	return e.TopKWithResultContext(context.Background(), q, alphaQ, k)
+}
+
+// TopKWithResultContext is TopKWithResult carrying a context; see
+// QueryContext.
+func (e *Engine) TopKWithResultContext(ctx context.Context, q itemset.Itemset, alphaQ float64, k int) (*tctree.QueryResult, []RankedCommunity, error) {
 	e.topKs.Add(1)
 	// Hold the update lock across both the query and the per-pattern node
 	// resolution, so the cohesion annotations always come from the same
 	// index state the trusses were retrieved from.
 	e.updateMu.RLock()
 	defer e.updateMu.RUnlock()
-	res, err := e.queryLocked(q, alphaQ)
+	res, err := e.queryLocked(ctx, q, alphaQ)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -30,6 +30,7 @@
 package federation
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -42,6 +43,7 @@ import (
 	"themecomm/internal/delta"
 	"themecomm/internal/engine"
 	"themecomm/internal/itemset"
+	"themecomm/internal/obs"
 	"themecomm/internal/tctree"
 )
 
@@ -68,6 +70,11 @@ type Options struct {
 	// engine (see engine.Options).
 	PrefetchWorkers int
 	DisablePlanner  bool
+	// Recorder is passed through to every member engine
+	// (engine.Options.Recorder): each tenant's queries report to the one
+	// injected recorder under the tenant's name, so a single observer serves
+	// per-network metrics for the whole federation. Nil disables observation.
+	Recorder obs.Recorder
 }
 
 // NetworkOptions carries the per-network presentation metadata a serving
@@ -249,6 +256,7 @@ func (f *Federation) engineOptions(name string) engine.Options {
 		SharedCache:     f.cache,
 		CacheNamespace:  name,
 		SharedResidency: f.res,
+		Recorder:        f.opts.Recorder,
 	}
 }
 
@@ -443,7 +451,14 @@ type NetworkResult struct {
 // engines. Results are returned in ascending network-name order; the error
 // joins every per-network failure, annotated with its network.
 func (f *Federation) QueryAll(q itemset.Itemset, alphaQ float64) ([]NetworkResult, error) {
-	return f.QueryAllFunc(constant(q), alphaQ)
+	return f.QueryAllFuncContext(context.Background(), constant(q), alphaQ)
+}
+
+// QueryAllContext is QueryAll carrying a context: the request correlation ID
+// it carries (obs.WithRequestID) reaches every member engine's recorder, so
+// one federated query's per-network observations share one ID.
+func (f *Federation) QueryAllContext(ctx context.Context, q itemset.Itemset, alphaQ float64) ([]NetworkResult, error) {
+	return f.QueryAllFuncContext(ctx, constant(q), alphaQ)
 }
 
 // QueryAllFunc is QueryAll with a per-network pattern: resolve maps the
@@ -451,12 +466,18 @@ func (f *Federation) QueryAll(q itemset.Itemset, alphaQ float64) ([]NetworkResul
 // independently, so the same theme has different item identifiers per
 // network).
 func (f *Federation) QueryAllFunc(resolve PatternResolver, alphaQ float64) ([]NetworkResult, error) {
+	return f.QueryAllFuncContext(context.Background(), resolve, alphaQ)
+}
+
+// QueryAllFuncContext is QueryAllFunc carrying a context; see
+// QueryAllContext.
+func (f *Federation) QueryAllFuncContext(ctx context.Context, resolve PatternResolver, alphaQ float64) ([]NetworkResult, error) {
 	f.queryAlls.Add(1)
 	out := make([]NetworkResult, 0, f.NumNetworks())
 	results := make(map[*Network]NetworkResult)
 	var mu sync.Mutex
 	tasks := f.forEach(resolve, alphaQ, func(t networkTask) {
-		res, err := t.net.eng.Query(t.q, alphaQ)
+		res, err := t.net.eng.QueryContext(ctx, t.q, alphaQ)
 		mu.Lock()
 		results[t.net] = NetworkResult{Network: t.net.name, Pattern: t.q, Result: res, Err: err}
 		mu.Unlock()
@@ -491,18 +512,28 @@ type NetworkRanked struct {
 // which is what each tenant computes. Networks that fail contribute nothing;
 // the error joins their failures.
 func (f *Federation) TopKAll(q itemset.Itemset, alphaQ float64, k int) ([]NetworkRanked, error) {
-	return f.TopKAllFunc(constant(q), alphaQ, k)
+	return f.TopKAllFuncContext(context.Background(), constant(q), alphaQ, k)
+}
+
+// TopKAllContext is TopKAll carrying a context; see QueryAllContext.
+func (f *Federation) TopKAllContext(ctx context.Context, q itemset.Itemset, alphaQ float64, k int) ([]NetworkRanked, error) {
+	return f.TopKAllFuncContext(ctx, constant(q), alphaQ, k)
 }
 
 // TopKAllFunc is TopKAll with a per-network pattern resolver, like
 // QueryAllFunc.
 func (f *Federation) TopKAllFunc(resolve PatternResolver, alphaQ float64, k int) ([]NetworkRanked, error) {
+	return f.TopKAllFuncContext(context.Background(), resolve, alphaQ, k)
+}
+
+// TopKAllFuncContext is TopKAllFunc carrying a context; see QueryAllContext.
+func (f *Federation) TopKAllFuncContext(ctx context.Context, resolve PatternResolver, alphaQ float64, k int) ([]NetworkRanked, error) {
 	f.topKAlls.Add(1)
 	var mu sync.Mutex
 	var merged []NetworkRanked
 	var errs []error
 	f.forEach(resolve, alphaQ, func(t networkTask) {
-		ranked, err := t.net.eng.TopK(t.q, alphaQ, k)
+		_, ranked, err := t.net.eng.TopKWithResultContext(ctx, t.q, alphaQ, k)
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {

@@ -287,6 +287,10 @@ func TestDetachReleasesSharedResources(t *testing.T) {
 		if _, err := n.Engine().QueryByAlpha(0); err != nil {
 			t.Fatalf("warm-up query(%s): %v", name, err)
 		}
+		// Join the warm-up's background prefetches: they keep loading after
+		// the query returns, and the residency arithmetic below needs the
+		// counters to stand still.
+		n.Engine().Quiesce()
 	}
 	if got := f.Cache().Len(); got != 3 {
 		t.Fatalf("cache holds %d entries after warm-up, want 3", got)

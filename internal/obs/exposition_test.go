@@ -1,0 +1,60 @@
+package obs_test
+
+import (
+	"testing"
+
+	"themecomm/internal/obs"
+	"themecomm/internal/obs/promtest"
+)
+
+// TestRenderRoundTrip renders a registry exercising every family kind and
+// validates the full payload against the exposition grammar.
+func TestRenderRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := reg.Counter("tc_rt_queries_total", "Queries.", "network", "result")
+	c.With("alpha", "hit").Add(3)
+	c.With("alpha", "miss").Inc()
+	c.With("", "miss").Inc() // empty label value must render validly
+	reg.Gauge("tc_rt_resident", "Resident shards.", "network").With("alpha").Set(7)
+	h := reg.Histogram("tc_rt_latency_seconds", "Latency.", nil, "network")
+	for _, v := range []float64{0.0001, 0.004, 0.2, 30} {
+		h.With("alpha").Observe(v)
+	}
+	reg.CollectFunc("tc_rt_epoch", "Index epoch.", "counter", []string{"network"}, func() []obs.Sample {
+		return []obs.Sample{{Labels: []string{"alpha"}, Value: 12}}
+	})
+	reg.Counter("tc_rt_escapes_total", "Help with \\ and\nnewline.", "q").With("a\"b\\c").Inc()
+
+	fams, err := promtest.Parse(reg.Render())
+	if err != nil {
+		t.Fatalf("rendered output fails exposition grammar: %v\n%s", err, reg.Render())
+	}
+	for _, name := range []string{
+		"tc_rt_queries_total", "tc_rt_resident", "tc_rt_latency_seconds", "tc_rt_epoch", "tc_rt_escapes_total",
+	} {
+		if fams[name] == nil {
+			t.Errorf("family %s missing from parsed output", name)
+		}
+	}
+	if got := fams["tc_rt_latency_seconds"].Type; got != "histogram" {
+		t.Errorf("latency family type = %q", got)
+	}
+	// The out-of-range observation (30s > every bound) lands only in +Inf.
+	var inf, count float64
+	for _, s := range fams["tc_rt_latency_seconds"].Samples {
+		if s.Name == "tc_rt_latency_seconds_bucket" && s.Labels["le"] == "+Inf" {
+			inf = s.Value
+		}
+		if s.Name == "tc_rt_latency_seconds_count" {
+			count = s.Value
+		}
+	}
+	if inf != 4 || count != 4 {
+		t.Errorf("+Inf bucket/count = %v/%v, want 4/4", inf, count)
+	}
+	// Label-value escaping survives the roundtrip.
+	esc := fams["tc_rt_escapes_total"].Samples
+	if len(esc) != 1 || esc[0].Labels["q"] != "a\"b\\c" {
+		t.Errorf("escaped label roundtrip = %+v", esc)
+	}
+}

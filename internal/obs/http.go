@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// HTTPMetrics instruments HTTP handlers: per-route/per-status request
+// counters and per-route latency histograms, request-ID assignment and
+// propagation (HeaderRequestID in, context + response header out), and one
+// structured JSON access-log line per request. It is safe for concurrent use.
+type HTTPMetrics struct {
+	requests *CounterVec   // route, method, code
+	duration *HistogramVec // route
+	inflight *Gauge
+	logger   *slog.Logger
+}
+
+// NewHTTPMetrics registers the HTTP metric families on reg. logger receives
+// the access log; nil disables access logging (metrics still move).
+func NewHTTPMetrics(reg *Registry, logger *slog.Logger) *HTTPMetrics {
+	return &HTTPMetrics{
+		requests: reg.Counter("tc_http_requests_total",
+			"HTTP requests by route pattern, method and status code.",
+			"route", "method", "code"),
+		duration: reg.Histogram("tc_http_request_duration_seconds",
+			"HTTP request latency by route pattern.",
+			nil, "route"),
+		inflight: reg.Gauge("tc_http_requests_in_flight",
+			"HTTP requests currently being served.").With(),
+		logger: logger,
+	}
+}
+
+// statusWriter captures the response status and size for metrics and the
+// access log. WriteHeader-less handlers count as 200 once they write.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// Wrap instruments one route. route is the label value — the registered
+// pattern (e.g. "/api/v1/{network}/query"), never the raw request path, so
+// metric cardinality is bounded by the route table. The wrapper:
+//
+//   - accepts the client's X-Request-ID (sanitized) or generates one, puts it
+//     in the request context and echoes it on the response;
+//   - counts the request under (route, method, code) and observes its latency
+//     under route;
+//   - emits one structured access-log line carrying the request ID, so a
+//     client-reported ID finds its server-side trace with one grep.
+func (m *HTTPMetrics) Wrap(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := SanitizeRequestID(r.Header.Get(HeaderRequestID))
+		if id == "" {
+			id = NewRequestID()
+		}
+		w.Header().Set(HeaderRequestID, id)
+		sw := &statusWriter{ResponseWriter: w}
+		m.inflight.Add(1)
+		defer m.inflight.Add(-1)
+		next.ServeHTTP(sw, r.WithContext(WithRequestID(r.Context(), id)))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		m.requests.With(route, r.Method, statusText(sw.status)).Inc()
+		m.duration.With(route).Observe(elapsed.Seconds())
+		if m.logger != nil {
+			m.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("requestId", id),
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Int("bytes", sw.bytes),
+				slog.Int64("durationMicros", elapsed.Microseconds()),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}
+
+// statusText renders a status code as its label value without allocating for
+// the common codes.
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "200"
+	case 400:
+		return "400"
+	case 404:
+		return "404"
+	case 405:
+		return "405"
+	case 409:
+		return "409"
+	case 500:
+		return "500"
+	}
+	return itoa(code)
+}
+
+func itoa(n int) string {
+	if n < 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+		if n == 0 {
+			return string(buf[i:])
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package promtest validates Prometheus text exposition output against the
+// format grammar, for tests that scrape /metrics and want the whole payload
+// checked — not just the one counter they care about. It is a test helper,
+// not a full client: it parses the version 0.0.4 text format and enforces
+// the invariants a real scraper relies on.
+//
+// Checked invariants:
+//
+//   - every sample line parses (name, optional labels, float value);
+//   - every sample belongs to a family announced by # HELP and # TYPE lines
+//     that precede it, and each family is announced exactly once;
+//   - family and label names match the Prometheus naming grammar;
+//   - histogram families expose _bucket/_sum/_count series, bucket counts
+//     are monotonically non-decreasing in le order, an le="+Inf" bucket is
+//     present, and its count equals the _count sample;
+//   - no two sample lines repeat the same name+label set.
+package promtest
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Sample is one parsed sample line.
+type Sample struct {
+	// Name is the full sample name (histogram samples keep their _bucket,
+	// _sum and _count suffixes).
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	helpRe       = regexp.MustCompile(`^# HELP ([^ ]+) (.*)$`)
+	typeRe       = regexp.MustCompile(`^# TYPE ([^ ]+) (counter|gauge|histogram|summary|untyped)$`)
+	// The label block matches greedily to the last "}": a "}" inside a quoted
+	// label value (e.g. a route pattern "/api/v1/{network}/query") is legal.
+	sampleRe    = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{(.*)\})? (\S+)( [0-9]+)?$`)
+	labelPairRe = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// Parse parses and validates a text exposition payload, returning the
+// families by name. Any grammar or invariant violation is an error naming
+// the offending line.
+func Parse(text string) (map[string]*Family, error) {
+	families := make(map[string]*Family)
+	helpSeen := make(map[string]bool)
+	typeSeen := make(map[string]bool)
+	seriesSeen := make(map[string]bool)
+
+	for lineNo, line := range strings.Split(text, "\n") {
+		where := fmt.Sprintf("line %d: %q", lineNo+1, line)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if m := helpRe.FindStringSubmatch(line); m != nil {
+			name := m[1]
+			if !metricNameRe.MatchString(name) {
+				return nil, fmt.Errorf("%s: invalid family name", where)
+			}
+			if helpSeen[name] {
+				return nil, fmt.Errorf("%s: duplicate HELP for family %q", where, name)
+			}
+			helpSeen[name] = true
+			fam := familyOf(families, name)
+			fam.Help = m[2]
+			continue
+		}
+		if m := typeRe.FindStringSubmatch(line); m != nil {
+			name := m[1]
+			if typeSeen[name] {
+				return nil, fmt.Errorf("%s: duplicate TYPE for family %q", where, name)
+			}
+			typeSeen[name] = true
+			familyOf(families, name).Type = m[2]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("%s: unparsable sample line", where)
+		}
+		name, rawLabels, rawValue := m[1], m[3], m[4]
+		labels, err := parseLabels(rawLabels)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", where, err)
+		}
+		value, err := parseValue(rawValue)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", where, err)
+		}
+		famName := baseFamily(name, families)
+		if famName == "" {
+			return nil, fmt.Errorf("%s: sample %q has no preceding HELP/TYPE family", where, name)
+		}
+		key := seriesKey(name, labels)
+		if seriesSeen[key] {
+			return nil, fmt.Errorf("%s: duplicate series %s", where, key)
+		}
+		seriesSeen[key] = true
+		fam := families[famName]
+		fam.Samples = append(fam.Samples, Sample{Name: name, Labels: labels, Value: value})
+	}
+
+	for name, fam := range families {
+		if fam.Help == "" && !helpSeen[name] {
+			return nil, fmt.Errorf("family %q: missing HELP", name)
+		}
+		if fam.Type == "" {
+			return nil, fmt.Errorf("family %q: missing TYPE", name)
+		}
+		if fam.Type == "histogram" {
+			if err := checkHistogram(fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+func familyOf(families map[string]*Family, name string) *Family {
+	if f, ok := families[name]; ok {
+		return f
+	}
+	f := &Family{Name: name}
+	families[name] = f
+	return f
+}
+
+// baseFamily resolves the family a sample name belongs to: exact match, or
+// the histogram base of a _bucket/_sum/_count suffix.
+func baseFamily(name string, families map[string]*Family) string {
+	if f, ok := families[name]; ok && f.Type != "" {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name {
+			if f, ok := families[base]; ok && (f.Type == "histogram" || f.Type == "summary") {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+func parseLabels(raw string) (map[string]string, error) {
+	labels := make(map[string]string)
+	if raw == "" {
+		return labels, nil
+	}
+	for _, pair := range splitLabelPairs(raw) {
+		m := labelPairRe.FindStringSubmatch(pair)
+		if m == nil {
+			return nil, fmt.Errorf("invalid label pair %q", pair)
+		}
+		if !labelNameRe.MatchString(m[1]) {
+			return nil, fmt.Errorf("invalid label name %q", m[1])
+		}
+		if _, dup := labels[m[1]]; dup {
+			return nil, fmt.Errorf("duplicate label %q", m[1])
+		}
+		labels[m[1]] = unescapeLabel(m[2])
+	}
+	return labels, nil
+}
+
+// splitLabelPairs splits a{…} body on commas outside quoted values.
+func splitLabelPairs(raw string) []string {
+	var pairs []string
+	var b strings.Builder
+	inQuotes, escaped := false, false
+	for _, r := range raw {
+		switch {
+		case escaped:
+			escaped = false
+			b.WriteRune(r)
+		case r == '\\' && inQuotes:
+			escaped = true
+			b.WriteRune(r)
+		case r == '"':
+			inQuotes = !inQuotes
+			b.WriteRune(r)
+		case r == ',' && !inQuotes:
+			pairs = append(pairs, b.String())
+			b.Reset()
+		default:
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() > 0 {
+		pairs = append(pairs, b.String())
+	}
+	return pairs
+}
+
+func unescapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\"`, `"`)
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+func parseValue(raw string) (float64, error) {
+	switch raw {
+	case "+Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid sample value %q", raw)
+	}
+	return v, nil
+}
+
+func seriesKey(name string, labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%s", k, labels[k])
+	}
+	return b.String()
+}
+
+// checkHistogram validates one histogram family: per label set (excluding
+// le), buckets are cumulative and non-decreasing, le="+Inf" is present and
+// equals _count, and _sum/_count exist.
+func checkHistogram(fam *Family) error {
+	type buckets struct {
+		byLE     map[float64]float64
+		inf      float64
+		hasInf   bool
+		count    float64
+		hasCount bool
+		hasSum   bool
+	}
+	groups := make(map[string]*buckets)
+	groupOf := func(labels map[string]string) *buckets {
+		trimmed := make(map[string]string, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				trimmed[k] = v
+			}
+		}
+		key := seriesKey("", trimmed)
+		g, ok := groups[key]
+		if !ok {
+			g = &buckets{byLE: make(map[float64]float64)}
+			groups[key] = g
+		}
+		return g
+	}
+	for _, s := range fam.Samples {
+		g := groupOf(s.Labels)
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("family %q: bucket sample without le label", fam.Name)
+			}
+			if le == "+Inf" {
+				g.inf, g.hasInf = s.Value, true
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("family %q: invalid le %q", fam.Name, le)
+			}
+			g.byLE[bound] = s.Value
+		case strings.HasSuffix(s.Name, "_count"):
+			g.count, g.hasCount = s.Value, true
+		case strings.HasSuffix(s.Name, "_sum"):
+			g.hasSum = true
+		default:
+			return fmt.Errorf("family %q: unexpected histogram sample %q", fam.Name, s.Name)
+		}
+	}
+	for key, g := range groups {
+		if !g.hasInf {
+			return fmt.Errorf("family %q%s: missing le=\"+Inf\" bucket", fam.Name, key)
+		}
+		if !g.hasCount || !g.hasSum {
+			return fmt.Errorf("family %q%s: missing _count or _sum", fam.Name, key)
+		}
+		if g.inf != g.count {
+			return fmt.Errorf("family %q%s: +Inf bucket %v != count %v", fam.Name, key, g.inf, g.count)
+		}
+		bounds := make([]float64, 0, len(g.byLE))
+		for b := range g.byLE {
+			bounds = append(bounds, b)
+		}
+		sort.Float64s(bounds)
+		prev := 0.0
+		for _, b := range bounds {
+			if g.byLE[b] < prev {
+				return fmt.Errorf("family %q%s: bucket le=%v count %v below preceding bucket %v (not cumulative)",
+					fam.Name, key, b, g.byLE[b], prev)
+			}
+			prev = g.byLE[b]
+		}
+		if g.inf < prev {
+			return fmt.Errorf("family %q%s: +Inf bucket %v below last finite bucket %v", fam.Name, key, g.inf, prev)
+		}
+	}
+	return nil
+}

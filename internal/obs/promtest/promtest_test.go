@@ -1,0 +1,87 @@
+package promtest
+
+import (
+	"strings"
+	"testing"
+)
+
+const valid = `# HELP tc_q_total Queries.
+# TYPE tc_q_total counter
+tc_q_total{network="a"} 3
+tc_q_total{network="b"} 1
+# HELP tc_lat_seconds Latency.
+# TYPE tc_lat_seconds histogram
+tc_lat_seconds_bucket{le="0.1"} 2
+tc_lat_seconds_bucket{le="1"} 3
+tc_lat_seconds_bucket{le="+Inf"} 4
+tc_lat_seconds_sum 5.5
+tc_lat_seconds_count 4
+`
+
+func TestParseValid(t *testing.T) {
+	fams, err := Parse(valid)
+	if err != nil {
+		t.Fatalf("Parse(valid) = %v", err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("families = %d, want 2", len(fams))
+	}
+	if fams["tc_q_total"].Type != "counter" || len(fams["tc_q_total"].Samples) != 2 {
+		t.Fatalf("counter family = %+v", fams["tc_q_total"])
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for name, tc := range map[string]struct{ text, wantErr string }{
+		"orphan sample": {
+			"tc_orphan_total 1\n", "no preceding HELP/TYPE",
+		},
+		"duplicate help": {
+			"# HELP tc_a_total x\n# HELP tc_a_total y\n# TYPE tc_a_total counter\n", "duplicate HELP",
+		},
+		"duplicate series": {
+			"# HELP tc_a_total x\n# TYPE tc_a_total counter\ntc_a_total 1\ntc_a_total 2\n", "duplicate series",
+		},
+		"missing type": {
+			"# HELP tc_a_total x\ntc_a_total 1\n", "no preceding HELP/TYPE",
+		},
+		"bad value": {
+			"# HELP tc_a_total x\n# TYPE tc_a_total counter\ntc_a_total pear\n", "invalid sample value",
+		},
+		"non-monotonic buckets": {
+			"# HELP tc_h x\n# TYPE tc_h histogram\n" +
+				"tc_h_bucket{le=\"0.1\"} 5\ntc_h_bucket{le=\"1\"} 3\ntc_h_bucket{le=\"+Inf\"} 5\n" +
+				"tc_h_sum 1\ntc_h_count 5\n", "not cumulative",
+		},
+		"missing inf": {
+			"# HELP tc_h x\n# TYPE tc_h histogram\n" +
+				"tc_h_bucket{le=\"0.1\"} 1\ntc_h_sum 1\ntc_h_count 1\n", "+Inf",
+		},
+		"inf count mismatch": {
+			"# HELP tc_h x\n# TYPE tc_h histogram\n" +
+				"tc_h_bucket{le=\"+Inf\"} 3\ntc_h_sum 1\ntc_h_count 5\n", "!= count",
+		},
+	} {
+		_, err := Parse(tc.text)
+		if err == nil {
+			t.Errorf("%s: Parse accepted invalid input", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestParseEscapedLabels(t *testing.T) {
+	text := "# HELP tc_e_total x\n# TYPE tc_e_total counter\n" +
+		`tc_e_total{q="a\"b\\c",r="x,y"} 1` + "\n"
+	fams, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse = %v", err)
+	}
+	s := fams["tc_e_total"].Samples[0]
+	if s.Labels["q"] != `a"b\c` || s.Labels["r"] != "x,y" {
+		t.Fatalf("labels = %+v", s.Labels)
+	}
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// QueryObservation is one engine query as seen by a Recorder: identity,
+// outcome, plan→execute→merge stage timings, and a lazy hook for the full
+// plan detail. The engine fills it on every query (cache hits included) and
+// hands it to the injected Recorder; building it costs a few field stores, so
+// the hot path stays unobserved-speed when no recorder is configured.
+type QueryObservation struct {
+	// Network is the serving tenant (the engine's cache namespace in a
+	// federation); empty for a standalone engine.
+	Network string
+	// Pattern renders the canonicalized query pattern ("*" = every indexed
+	// item, the query-by-alpha workload); Alpha is the cohesion threshold.
+	Pattern string
+	Alpha   float64
+	// CacheHit marks an answer served from the result cache — the stage
+	// timings are then zero and Detail is nil.
+	CacheHit bool
+	// Err marks a failed query (lazy shard-load error).
+	Err bool
+	// Shards, SkippedShards and LoadedShards summarise the executed plan:
+	// scheduled+skipped tasks, α*-skipped tasks, and disk loads this
+	// execution performed.
+	Shards        int
+	SkippedShards int
+	LoadedShards  int
+	// Plan, Execute and Merge split Total by stage: planning (pure,
+	// catalogue-only), shard traversal (acquire + walk, the parallel part),
+	// and the deterministic merge of per-shard answers.
+	Plan    time.Duration
+	Execute time.Duration
+	Merge   time.Duration
+	Total   time.Duration
+	// Detail lazily builds the full per-shard plan/execution report of this
+	// very execution (the engine's Explain-shaped payload). Recorders call it
+	// only for queries they keep (slow-query capture), so fast queries never
+	// pay for it. It may be nil (cache hits, errors).
+	Detail func() any
+}
+
+// Recorder receives one QueryObservation per engine query. It is the seam
+// between the engine and the observability layer: the engine is handed a
+// Recorder at construction (engine.Options.Recorder) instead of importing a
+// metrics implementation, so tests can record into plain slices and a future
+// learned-cost planner can tap the same stream of per-stage latencies.
+// Implementations must be safe for concurrent use and must not retain the
+// observation's Detail closure past the call.
+type Recorder interface {
+	RecordQuery(ctx context.Context, o QueryObservation)
+}
+
+// ObserverOptions configures NewObserver.
+type ObserverOptions struct {
+	// Registry receives the observer's metric families; nil means a fresh
+	// registry (reachable via Observer.Registry).
+	Registry *Registry
+	// SlowThreshold is the slow-query capture threshold: a query at least
+	// this slow (cache hits excluded) is captured into the slow log and
+	// logged. Zero or negative disables capture.
+	SlowThreshold time.Duration
+	// SlowLogSize is the slow-log ring capacity; zero means 128.
+	SlowLogSize int
+	// Logger receives the structured slow-query log lines; nil disables
+	// logging (the ring buffer still fills).
+	Logger *slog.Logger
+}
+
+// defaultSlowLogSize is the slow-log ring capacity when ObserverOptions
+// leaves SlowLogSize at zero.
+const defaultSlowLogSize = 128
+
+// Observer is the production Recorder: per-query latency and stage-timing
+// histograms (per tenant) in a Registry, plus a slow-query ring buffer with
+// structured logging. It is safe for concurrent use.
+type Observer struct {
+	reg     *Registry
+	slowLog *SlowLog
+	logger  *slog.Logger
+
+	queries   *CounterVec   // network, result (hit|miss|error)
+	duration  *HistogramVec // network
+	stages    *HistogramVec // network, stage (plan|execute|merge)
+	slowTotal *CounterVec   // network
+
+	// nets caches the resolved per-network series (netSeries), so the hot
+	// path pays one lock-free map read instead of label-key joins per family.
+	// Keys are tenant names — bounded cardinality by construction.
+	nets sync.Map
+}
+
+// netSeries is one network's resolved series set.
+type netSeries struct {
+	hit, miss, errs *Counter
+	duration        *Histogram
+	plan, exec      *Histogram
+	merge           *Histogram
+	slow            *Counter
+}
+
+// seriesFor returns the network's resolved series, creating them on first use.
+func (o *Observer) seriesFor(network string) *netSeries {
+	if s, ok := o.nets.Load(network); ok {
+		return s.(*netSeries)
+	}
+	s := &netSeries{
+		hit:      o.queries.With(network, "hit"),
+		miss:     o.queries.With(network, "miss"),
+		errs:     o.queries.With(network, "error"),
+		duration: o.duration.With(network),
+		plan:     o.stages.With(network, "plan"),
+		exec:     o.stages.With(network, "execute"),
+		merge:    o.stages.With(network, "merge"),
+		slow:     o.slowTotal.With(network),
+	}
+	actual, _ := o.nets.LoadOrStore(network, s)
+	return actual.(*netSeries)
+}
+
+// NewObserver returns an Observer recording into opts.Registry.
+func NewObserver(opts ObserverOptions) *Observer {
+	reg := opts.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	size := opts.SlowLogSize
+	if size <= 0 {
+		size = defaultSlowLogSize
+	}
+	threshold := opts.SlowThreshold
+	if threshold < 0 {
+		threshold = 0
+	}
+	return &Observer{
+		reg:     reg,
+		slowLog: NewSlowLog(size, threshold),
+		logger:  opts.Logger,
+		queries: reg.Counter("tc_queries_total",
+			"Engine queries by outcome: hit (result cache), miss (executed) or error.",
+			"network", "result"),
+		duration: reg.Histogram("tc_query_duration_seconds",
+			"End-to-end engine query latency, cache hits included.",
+			nil, "network"),
+		stages: reg.Histogram("tc_query_stage_duration_seconds",
+			"Executed-query latency split by stage: plan, execute (parallel shard traversal), merge.",
+			nil, "network", "stage"),
+		slowTotal: reg.Counter("tc_slow_queries_total",
+			"Queries captured by the slow-query log (duration >= threshold, cache hits excluded).",
+			"network"),
+	}
+}
+
+// Registry returns the registry the observer records into.
+func (o *Observer) Registry() *Registry { return o.reg }
+
+// Logger returns the structured logger the observer logs to; nil when
+// logging is disabled.
+func (o *Observer) Logger() *slog.Logger { return o.logger }
+
+// SlowLog returns the slow-query ring buffer.
+func (o *Observer) SlowLog() *SlowLog { return o.slowLog }
+
+// RecordQuery implements Recorder: the latency histograms move on every
+// query; a query at least SlowThreshold slow (and not a cache hit) is
+// additionally captured into the slow log — materializing its plan detail —
+// and logged with its request ID.
+func (o *Observer) RecordQuery(ctx context.Context, q QueryObservation) {
+	ns := o.seriesFor(q.Network)
+	switch {
+	case q.Err:
+		ns.errs.Inc()
+	case q.CacheHit:
+		ns.hit.Inc()
+	default:
+		ns.miss.Inc()
+	}
+	ns.duration.Observe(q.Total.Seconds())
+	if !q.CacheHit && !q.Err {
+		ns.plan.Observe(q.Plan.Seconds())
+		ns.exec.Observe(q.Execute.Seconds())
+		ns.merge.Observe(q.Merge.Seconds())
+	}
+	threshold := o.slowLog.Threshold()
+	if threshold <= 0 || q.CacheHit || q.Total < threshold {
+		return
+	}
+	ns.slow.Inc()
+	entry := SlowQuery{
+		Time:           time.Now(),
+		RequestID:      RequestIDFrom(ctx),
+		Network:        q.Network,
+		Pattern:        q.Pattern,
+		Alpha:          q.Alpha,
+		DurationMicros: q.Total.Microseconds(),
+		PlanMicros:     q.Plan.Microseconds(),
+		ExecMicros:     q.Execute.Microseconds(),
+		MergeMicros:    q.Merge.Microseconds(),
+		Shards:         q.Shards,
+		SkippedShards:  q.SkippedShards,
+		LoadedShards:   q.LoadedShards,
+	}
+	if q.Detail != nil {
+		entry.Plan = q.Detail()
+	}
+	o.slowLog.Add(entry)
+	if o.logger != nil {
+		o.logger.LogAttrs(ctx, slog.LevelWarn, "slow query",
+			slog.String("requestId", entry.RequestID),
+			slog.String("network", q.Network),
+			slog.String("pattern", q.Pattern),
+			slog.Float64("alpha", q.Alpha),
+			slog.Int64("durationMicros", entry.DurationMicros),
+			slog.Int64("planMicros", entry.PlanMicros),
+			slog.Int64("execMicros", entry.ExecMicros),
+			slog.Int64("mergeMicros", entry.MergeMicros),
+			slog.Int("shards", q.Shards),
+			slog.Int("loadedShards", q.LoadedShards),
+		)
+	}
+}

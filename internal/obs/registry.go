@@ -1,0 +1,416 @@
+// Package obs is the serving stack's observability substrate: a
+// dependency-free metrics registry rendered in the Prometheus text exposition
+// format, request-ID tracing propagated through context.Context, a slow-query
+// ring buffer, and HTTP middleware tying the three together. Only the
+// standard library is used — the package exists precisely so the serving
+// layers never grow a third-party telemetry dependency.
+//
+// The registry supports two kinds of metric families:
+//
+//   - live instruments (Counter, Gauge, Histogram, each with label
+//     dimensions), updated on the hot path with a few atomic operations;
+//   - scrape-time collectors (CollectFunc), which sample an existing counter
+//     surface — engine.Stats, federation.Stats — the moment /metrics is
+//     scraped, so the serving code keeps its own atomic counters and the
+//     registry never duplicates them.
+//
+// Families render sorted by name, series sorted by label values, so the
+// exposition output is deterministic and diffable.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricType is the TYPE line of a family.
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// DefBuckets are the default latency histogram buckets, in seconds. They
+// stretch from 50µs (a warm cache hit) to 10s (a pathological cold scan), so
+// both the cache-hit spike and the shard-load tail resolve.
+var DefBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Sample is one scrape-time sample of a collector family: label values
+// aligned with the family's label names, plus the value.
+type Sample struct {
+	Labels []string
+	Value  float64
+}
+
+// labelSep joins label values into series map keys; label values containing
+// it are rejected at observation time by escaping (it is not a printable
+// byte, so real values never collide).
+const labelSep = "\xff"
+
+// family is one metric family: fixed name/help/type/label-names, plus either
+// live series or a scrape-time collector.
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	labels  []string
+	buckets []float64 // histograms only
+
+	mu     sync.RWMutex
+	series map[string]*series
+
+	collect func() []Sample // scrape-time families; nil for live ones
+}
+
+// series is one labeled time series of a live family. Counters and gauges
+// use val (counters as integer counts, gauges as float64 bits); histograms
+// use buckets/sum/count, with bounds aliasing the family's bucket bounds.
+type series struct {
+	labelVals []string
+
+	val atomic.Uint64
+
+	bounds  []float64       // upper bucket bounds (shared with the family)
+	buckets []atomic.Uint64 // non-cumulative per-bucket counts
+	sum     atomic.Uint64   // float64 bits, CAS-updated
+	count   atomic.Uint64
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. It is safe for concurrent use; registration panics on a
+// duplicate or invalid name (programmer error, like http.ServeMux).
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	return validMetricName(s) && !strings.Contains(s, ":")
+}
+
+// register installs a family, panicking on duplicates and invalid names.
+func (r *Registry) register(f *family) *family {
+	if !validMetricName(f.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
+	}
+	for _, l := range f.labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: metric %q: invalid label name %q", f.name, l))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[f.name]; dup {
+		panic(fmt.Sprintf("obs: duplicate metric family %q", f.name))
+	}
+	if f.series == nil {
+		f.series = make(map[string]*series)
+	}
+	r.families[f.name] = f
+	return f
+}
+
+// CounterVec is a counter family with label dimensions.
+type CounterVec struct{ f *family }
+
+// Counter registers a counter family. Use no label names for a plain
+// (single-series) counter.
+func (r *Registry) Counter(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.register(&family{name: name, help: help, typ: typeCounter, labels: labelNames})}
+}
+
+// With returns the series of the given label values, creating it on first
+// use. The number of values must match the registered label names.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	return &Counter{v.f.seriesOf(labelValues)}
+}
+
+// Counter is one series of a counter family.
+type Counter struct{ s *series }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.s.val.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.s.val.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.s.val.Load() }
+
+// GaugeVec is a gauge family with label dimensions.
+type GaugeVec struct{ f *family }
+
+// Gauge registers a gauge family.
+func (r *Registry) Gauge(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.register(&family{name: name, help: help, typ: typeGauge, labels: labelNames})}
+}
+
+// With returns the series of the given label values, creating it on first use.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	return &Gauge{v.f.seriesOf(labelValues)}
+}
+
+// Gauge is one series of a gauge family.
+type Gauge struct{ s *series }
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.s.val.Store(math.Float64bits(v)) }
+
+// Add atomically adds delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.s.val.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.s.val.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.s.val.Load()) }
+
+// HistogramVec is a histogram family with label dimensions.
+type HistogramVec struct{ f *family }
+
+// Histogram registers a histogram family with the given upper bucket bounds
+// (ascending; +Inf is implicit). Nil buckets means DefBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: metric %q: buckets not strictly ascending", name))
+		}
+	}
+	return &HistogramVec{r.register(&family{name: name, help: help, typ: typeHistogram, labels: labelNames, buckets: buckets})}
+}
+
+// With returns the series of the given label values, creating it on first use.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	return &Histogram{v.f.seriesOf(labelValues)}
+}
+
+// Histogram is one series of a histogram family.
+type Histogram struct{ s *series }
+
+// Observe records one value: the count is bumped, the first bucket whose
+// bound holds the value incremented (a linear scan — bucket lists are short),
+// and the sum CAS-added. Count moves before the bucket so a concurrent scrape
+// renders +Inf (taken from count) at or above every finite cumulative bucket.
+func (h *Histogram) Observe(v float64) {
+	s := h.s
+	s.count.Add(1)
+	for i, bound := range s.bounds {
+		if v <= bound {
+			s.buckets[i].Add(1)
+			break
+		}
+	}
+	for {
+		old := s.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// seriesOf returns the series of the given label values, creating it on
+// first use.
+func (f *family) seriesOf(labelValues []string) *series {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q: got %d label values, want %d", f.name, len(labelValues), len(f.labels)))
+	}
+	key := strings.Join(labelValues, labelSep)
+	f.mu.RLock()
+	s, ok := f.series[key]
+	f.mu.RUnlock()
+	if ok {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s = &series{labelVals: append([]string(nil), labelValues...)}
+	if f.typ == typeHistogram {
+		s.bounds = f.buckets
+		s.buckets = make([]atomic.Uint64, len(f.buckets))
+	}
+	f.series[key] = s
+	return s
+}
+
+// CollectFunc registers a scrape-time family: fn runs on every render and
+// returns the family's samples. typ must be "counter" or "gauge" — live
+// instruments cover histograms. Use it to expose an existing counter surface
+// (engine.Stats, federation.Stats) without double-counting.
+func (r *Registry) CollectFunc(name, help, typ string, labelNames []string, fn func() []Sample) {
+	mt := metricType(typ)
+	if mt != typeCounter && mt != typeGauge {
+		panic(fmt.Sprintf("obs: collector %q: type must be counter or gauge, got %q", name, typ))
+	}
+	r.register(&family{name: name, help: help, typ: mt, labels: labelNames, collect: fn})
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// formatValue renders a sample value; integral values render without a
+// mantissa so counters read naturally.
+func formatValue(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// renderLabels renders {a="x",b="y"}; empty label sets render as nothing.
+// extra appends one additional pair (histogram "le").
+func renderLabels(names, values []string, extraName, extraValue string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraValue)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Render writes the whole registry in the Prometheus text exposition format:
+// families sorted by name, HELP and TYPE once per family, series sorted by
+// label values, histograms with cumulative buckets, +Inf, _sum and _count.
+func (r *Registry) Render() string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		if f.collect != nil {
+			samples := f.collect()
+			sort.Slice(samples, func(i, j int) bool {
+				return strings.Join(samples[i].Labels, labelSep) < strings.Join(samples[j].Labels, labelSep)
+			})
+			for _, s := range samples {
+				if len(s.Labels) != len(f.labels) {
+					continue // malformed collector sample; drop rather than emit bad grammar
+				}
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(f.labels, s.Labels, "", ""), formatValue(s.Value))
+			}
+			continue
+		}
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			switch f.typ {
+			case typeCounter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, renderLabels(f.labels, s.labelVals, "", ""), s.val.Load())
+			case typeGauge:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(f.labels, s.labelVals, "", ""), formatValue(math.Float64frombits(s.val.Load())))
+			case typeHistogram:
+				var cum uint64
+				for i, bound := range f.buckets {
+					cum += s.buckets[i].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, renderLabels(f.labels, s.labelVals, "le", formatValue(bound)), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, renderLabels(f.labels, s.labelVals, "le", "+Inf"), s.count.Load())
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, renderLabels(f.labels, s.labelVals, "", ""), formatValue(math.Float64frombits(s.sum.Load())))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, renderLabels(f.labels, s.labelVals, "", ""), s.count.Load())
+			}
+		}
+		f.mu.RUnlock()
+	}
+	return b.String()
+}
+
+// Handler returns the GET /metrics handler: the registry rendered in the
+// text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "use GET", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(r.Render()))
+	})
+}

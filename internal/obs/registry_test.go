@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestCounterVec(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.Counter("tc_test_total", "help", "op")
+	v.With("read").Inc()
+	v.With("read").Add(2)
+	v.With("write").Inc()
+	if got := v.With("read").Value(); got != 3 {
+		t.Fatalf("read = %d, want 3", got)
+	}
+	if got := v.With("write").Value(); got != 1 {
+		t.Fatalf("write = %d, want 1", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("tc_test_gauge", "help").With()
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("value = %v, want 2.5", got)
+	}
+	g.Add(1)
+	g.Add(-0.5)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("value = %v, want 3", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("tc_test_seconds", "help", []float64{0.1, 1, 10}).With()
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	out := reg.Render()
+	for _, want := range []string{
+		`tc_test_seconds_bucket{le="0.1"} 1`,
+		`tc_test_seconds_bucket{le="1"} 3`,
+		`tc_test_seconds_bucket{le="10"} 4`,
+		`tc_test_seconds_bucket{le="+Inf"} 5`,
+		`tc_test_seconds_sum 56.05`,
+		`tc_test_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectFunc(t *testing.T) {
+	reg := NewRegistry()
+	reg.CollectFunc("tc_test_items", "help", "gauge", []string{"network"}, func() []Sample {
+		return []Sample{
+			{Labels: []string{"b"}, Value: 2},
+			{Labels: []string{"a"}, Value: 1},
+		}
+	})
+	out := reg.Render()
+	ia := strings.Index(out, `tc_test_items{network="a"} 1`)
+	ib := strings.Index(out, `tc_test_items{network="b"} 2`)
+	if ia < 0 || ib < 0 {
+		t.Fatalf("collector samples missing:\n%s", out)
+	}
+	if ia > ib {
+		t.Fatalf("collector samples not sorted by label value:\n%s", out)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tc_dup_total", "help")
+	for name, fn := range map[string]func(){
+		"duplicate":     func() { reg.Counter("tc_dup_total", "again") },
+		"bad name":      func() { reg.Counter("0bad", "help") },
+		"bad label":     func() { reg.Counter("tc_ok_total", "help", "le:le") },
+		"bad buckets":   func() { reg.Histogram("tc_h_seconds", "help", []float64{1, 1}) },
+		"bad collector": func() { reg.CollectFunc("tc_c", "help", "histogram", nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: registration did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tc_esc_total", "line one\nline two", "q").With("a\"b\\c\nd").Inc()
+	out := reg.Render()
+	if !strings.Contains(out, `# HELP tc_esc_total line one\nline two`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `tc_esc_total{q="a\"b\\c\nd"} 1`) {
+		t.Errorf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"},
+		{0.25, "0.25"},
+		{math.Inf(1), "+Inf"},
+		{math.Inf(-1), "-Inf"},
+	} {
+		if got := formatValue(tc.in); got != tc.want {
+			t.Errorf("formatValue(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("tc_h_total", "help").With().Inc()
+	rec := httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "tc_h_total 1") {
+		t.Fatalf("body missing counter:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/metrics", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST status = %d, want 405", rec.Code)
+	}
+}

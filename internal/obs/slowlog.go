@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowQuery is one captured slow query: identity (request ID, network,
+// query), the stage timings, and the full plan/execution detail the engine
+// recorded — everything needed to understand the query after the fact without
+// re-running it.
+type SlowQuery struct {
+	// Time is when the query finished.
+	Time time.Time `json:"time"`
+	// RequestID correlates the entry with the access log and the client.
+	RequestID string `json:"requestId,omitempty"`
+	// Network is the serving tenant; empty for a standalone engine.
+	Network string `json:"network,omitempty"`
+	// Pattern renders the canonicalized query pattern ("*" = every item);
+	// Alpha is the cohesion threshold.
+	Pattern string  `json:"pattern"`
+	Alpha   float64 `json:"alpha"`
+	// DurationMicros is the query's total wall time; PlanMicros, ExecMicros
+	// and MergeMicros split it by stage.
+	DurationMicros int64 `json:"durationMicros"`
+	PlanMicros     int64 `json:"planMicros"`
+	ExecMicros     int64 `json:"execMicros"`
+	MergeMicros    int64 `json:"mergeMicros"`
+	// Shards, SkippedShards and LoadedShards summarise the executed plan.
+	Shards        int `json:"shards"`
+	SkippedShards int `json:"skippedShards"`
+	LoadedShards  int `json:"loadedShards"`
+	// Plan is the full per-shard plan and execution report (the Explain
+	// payload the engine captured for this very execution); its concrete type
+	// belongs to the recording layer and it marshals to JSON.
+	Plan any `json:"plan,omitempty"`
+}
+
+// SlowLog is a bounded ring buffer of the most recent slow queries. It is
+// safe for concurrent use; Add is O(1) and never allocates beyond the entry.
+type SlowLog struct {
+	threshold time.Duration
+
+	mu    sync.Mutex
+	buf   []SlowQuery
+	next  int // buf[next] is overwritten by the next Add
+	n     int // valid entries in buf
+	total uint64
+}
+
+// NewSlowLog returns a slow-query log keeping the most recent capacity
+// entries (minimum 1) for queries at least threshold slow.
+func NewSlowLog(capacity int, threshold time.Duration) *SlowLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SlowLog{threshold: threshold, buf: make([]SlowQuery, capacity)}
+}
+
+// Threshold returns the capture threshold.
+func (l *SlowLog) Threshold() time.Duration { return l.threshold }
+
+// Capacity returns the ring size.
+func (l *SlowLog) Capacity() int { return len(l.buf) }
+
+// Total returns how many slow queries were ever captured, including entries
+// the ring has since overwritten.
+func (l *SlowLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Add records one slow query, overwriting the oldest entry when full.
+func (l *SlowLog) Add(e SlowQuery) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+	l.total++
+}
+
+// Entries returns the captured queries, newest first.
+func (l *SlowLog) Entries() []SlowQuery {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowQuery, 0, l.n)
+	for i := 1; i <= l.n; i++ {
+		out = append(out, l.buf[(l.next-i+len(l.buf))%len(l.buf)])
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// HeaderRequestID is the HTTP header carrying the request correlation ID:
+// accepted from the client, echoed on every response, stamped into the
+// structured access log and the slow-query log.
+const HeaderRequestID = "X-Request-ID"
+
+// maxRequestIDLen bounds accepted client-supplied request IDs so a hostile
+// header cannot bloat logs or metrics.
+const maxRequestIDLen = 128
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom returns the request ID carried by the context, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// idCounter disambiguates fallback IDs generated within one nanosecond.
+var idCounter atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-digit request ID. Randomness comes from
+// crypto/rand; if that fails (it practically cannot), a timestamp+counter
+// fallback keeps IDs unique within the process.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:], uint64(time.Now().UnixNano())^idCounter.Add(1)<<40)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SanitizeRequestID clamps a client-supplied request ID to something safe to
+// log and echo: control characters are dropped and over-long IDs truncated.
+// An empty result means the caller should generate a fresh ID.
+func SanitizeRequestID(id string) string {
+	id = strings.Map(func(r rune) rune {
+		if r < 0x20 || r == 0x7f {
+			return -1
+		}
+		return r
+	}, id)
+	if len(id) > maxRequestIDLen {
+		id = id[:maxRequestIDLen]
+	}
+	return id
+}

@@ -28,17 +28,17 @@ import (
 // registered — route resolution reports the missing federation — so the API
 // surface (and its 404s) is uniform across deployments.
 func (s *Server) registerFederationRoutes() {
-	s.mux.HandleFunc("/api/v1/networks", s.handleNetworks)
-	s.mux.HandleFunc("/api/v1/federationstats", s.handleFederationStats)
-	s.mux.HandleFunc("/api/v1/queryall", s.handleQueryAll)
-	s.mux.HandleFunc("/api/v1/{network}/query", s.forNetwork(s.serveQuery))
-	s.mux.HandleFunc("/api/v1/{network}/explain", s.forNetwork(s.serveExplain))
-	s.mux.HandleFunc("/api/v1/{network}/batch", s.forNetwork(s.serveBatch))
-	s.mux.HandleFunc("/api/v1/{network}/enginestats", s.forNetwork(s.serveEngineStats))
-	s.mux.HandleFunc("/api/v1/{network}/stats", s.forNetwork(s.serveStats))
-	s.mux.HandleFunc("/api/v1/{network}/patterns", s.forNetwork(s.servePatterns))
-	s.mux.HandleFunc("/api/v1/{network}/vertex", s.forNetwork(s.serveVertex))
-	s.mux.HandleFunc("/api/v1/{network}/update", s.forNetwork(s.serveUpdate))
+	s.handle("/api/v1/networks", s.handleNetworks)
+	s.handle("/api/v1/federationstats", s.handleFederationStats)
+	s.handle("/api/v1/queryall", s.handleQueryAll)
+	s.handle("/api/v1/{network}/query", s.forNetwork(s.serveQuery))
+	s.handle("/api/v1/{network}/explain", s.forNetwork(s.serveExplain))
+	s.handle("/api/v1/{network}/batch", s.forNetwork(s.serveBatch))
+	s.handle("/api/v1/{network}/enginestats", s.forNetwork(s.serveEngineStats))
+	s.handle("/api/v1/{network}/stats", s.forNetwork(s.serveStats))
+	s.handle("/api/v1/{network}/patterns", s.forNetwork(s.servePatterns))
+	s.handle("/api/v1/{network}/vertex", s.forNetwork(s.serveVertex))
+	s.handle("/api/v1/{network}/update", s.forNetwork(s.serveUpdate))
 }
 
 // forNetwork adapts a tenant-scoped handler to the /api/v1/{network}/...
@@ -234,7 +234,7 @@ func (s *Server) handleQueryAll(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if k > 0 {
-		merged, err := s.fed.TopKAllFunc(resolve, alpha, k)
+		merged, err := s.fed.TopKAllFuncContext(r.Context(), resolve, alpha, k)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -253,7 +253,7 @@ func (s *Server) handleQueryAll(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	results, err := s.fed.QueryAllFunc(resolve, alpha)
+	results, err := s.fed.QueryAllFuncContext(r.Context(), resolve, alpha)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"themecomm/internal/dbnet"
 	"themecomm/internal/delta"
@@ -29,6 +30,7 @@ import (
 	"themecomm/internal/federation"
 	"themecomm/internal/graph"
 	"themecomm/internal/itemset"
+	"themecomm/internal/obs"
 	"themecomm/internal/tctree"
 )
 
@@ -69,6 +71,11 @@ type Server struct {
 	defName string
 	fed     *federation.Federation
 	mux     *http.ServeMux
+	// obsv is the observability layer (nil disables it); metrics is its HTTP
+	// middleware; start anchors the /healthz uptime.
+	obsv    *obs.Observer
+	metrics *obs.HTTPMetrics
+	start   time.Time
 }
 
 // Options configures a Server.
@@ -100,6 +107,13 @@ type Options struct {
 	// NetworkPath, when non-empty, is the file the updated network is
 	// written back to after every applied delta.
 	NetworkPath string
+	// Obs enables the observability layer: request-ID propagation, HTTP
+	// metrics and access logging on every route, GET /metrics over the
+	// observer's registry (plus engine/cache/federation collectors), and
+	// GET /api/v1/slowlog over its slow-query ring. Build the engine (or
+	// federation) with the same observer as its Recorder so query latency
+	// histograms land in the same registry. Nil disables all of it.
+	Obs *obs.Observer
 }
 
 // New returns a Server for the given tree. tree may be nil when opts.Engine
@@ -117,7 +131,12 @@ func New(tree *tctree.Tree, opts Options) (*Server, error) {
 	if eng == nil && opts.Federation == nil {
 		return nil, fmt.Errorf("server: nil tree and no engine or federation")
 	}
-	s := &Server{defName: opts.DefaultNetwork, fed: opts.Federation, mux: http.NewServeMux()}
+	s := &Server{defName: opts.DefaultNetwork, fed: opts.Federation, mux: http.NewServeMux(),
+		obsv: opts.Obs, start: time.Now()}
+	if s.obsv != nil {
+		s.metrics = obs.NewHTTPMetrics(s.obsv.Registry(), s.obsv.Logger())
+		s.registerCollectors()
+	}
 	if eng != nil {
 		s.def = &tenant{engine: eng, dict: opts.Dictionary, vertexNames: opts.VertexNames}
 		if opts.Network != nil {
@@ -134,17 +153,21 @@ func New(tree *tctree.Tree, opts Options) (*Server, error) {
 		}
 	}
 	// Unmatched paths answer a JSON 404 instead of the mux's plain-text
-	// default, so every error the API returns is machine-readable.
-	s.mux.HandleFunc("/", s.handleNotFound)
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/api/v1/stats", s.forDefault(s.serveStats))
-	s.mux.HandleFunc("/api/v1/query", s.forDefault(s.serveQuery))
-	s.mux.HandleFunc("/api/v1/explain", s.forDefault(s.serveExplain))
-	s.mux.HandleFunc("/api/v1/batch", s.forDefault(s.serveBatch))
-	s.mux.HandleFunc("/api/v1/enginestats", s.forDefault(s.serveEngineStats))
-	s.mux.HandleFunc("/api/v1/patterns", s.forDefault(s.servePatterns))
-	s.mux.HandleFunc("/api/v1/vertex", s.forDefault(s.serveVertex))
-	s.mux.HandleFunc("/api/v1/update", s.forDefault(s.serveUpdate))
+	// default, so every error the API returns is machine-readable. Routes are
+	// registered through handle, which layers the HTTP observability
+	// middleware over every handler when an observer is configured.
+	s.handle("/", s.handleNotFound)
+	s.handle("/healthz", s.handleHealth)
+	s.handle("/metrics", s.handleMetrics)
+	s.handle("/api/v1/slowlog", s.handleSlowLog)
+	s.handle("/api/v1/stats", s.forDefault(s.serveStats))
+	s.handle("/api/v1/query", s.forDefault(s.serveQuery))
+	s.handle("/api/v1/explain", s.forDefault(s.serveExplain))
+	s.handle("/api/v1/batch", s.forDefault(s.serveBatch))
+	s.handle("/api/v1/enginestats", s.forDefault(s.serveEngineStats))
+	s.handle("/api/v1/patterns", s.forDefault(s.servePatterns))
+	s.handle("/api/v1/vertex", s.forDefault(s.serveVertex))
+	s.handle("/api/v1/update", s.forDefault(s.serveUpdate))
 	s.registerFederationRoutes()
 	return s, nil
 }
@@ -245,14 +268,6 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
-		return
-	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-}
-
 func (s *Server) serveStats(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
@@ -325,7 +340,7 @@ func (s *Server) serveQuery(t *tenant, w http.ResponseWriter, r *http.Request) {
 	}
 
 	if k > 0 {
-		qr, ranked, err := t.engine.TopKWithResult(q, alpha, k)
+		qr, ranked, err := t.engine.TopKWithResultContext(r.Context(), q, alpha, k)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -345,7 +360,7 @@ func (s *Server) serveQuery(t *tenant, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	qr, err := t.engine.Query(q, alpha)
+	qr, err := t.engine.QueryContext(r.Context(), q, alpha)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -465,7 +480,7 @@ func (s *Server) serveBatch(t *tenant, w http.ResponseWriter, r *http.Request) {
 			reqs[i] = engine.Request{Alpha: bq.Alpha}
 		}
 	}
-	answers, err := t.engine.QueryBatch(reqs)
+	answers, err := t.engine.QueryBatchContext(r.Context(), reqs)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return

@@ -1,0 +1,115 @@
+#!/usr/bin/env bash
+# End-to-end observability smoke test: generate a dataset, build a sharded
+# index, start tcserver with the full observability stack (slow-query log,
+# pprof sidecar, JSON access log), drive a query with an injected
+# X-Request-ID, and assert the whole pipeline:
+#
+#   - the response echoes the injected request ID;
+#   - the JSON access log carries the same ID;
+#   - /metrics is valid enough to grep and its engine/query/HTTP counters
+#     moved;
+#   - /api/v1/slowlog captured the query (threshold 1ns) with its plan;
+#   - /healthz reports the network ready;
+#   - the pprof sidecar answers on its own listener;
+#   - tcquery -server round-trips against the running server.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+  [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building tools"
+go build -o "$workdir/tcgen" ./cmd/tcgen
+go build -o "$workdir/tcindex" ./cmd/tcindex
+go build -o "$workdir/tcserver" ./cmd/tcserver
+go build -o "$workdir/tcquery" ./cmd/tcquery
+
+echo "== generating and indexing a dataset"
+"$workdir/tcgen" -dataset BK -scale 0.1 -out "$workdir/bk.dbnet"
+"$workdir/tcindex" -in "$workdir/bk.dbnet" -sharded "$workdir/bk.index"
+
+addr="127.0.0.1:18080"
+pprof_addr="127.0.0.1:18081"
+echo "== starting tcserver on $addr (pprof on $pprof_addr)"
+"$workdir/tcserver" -tree "$workdir/bk.index" -net "$workdir/bk.dbnet" \
+  -addr "$addr" -pprof "$pprof_addr" -slowquery 1ns \
+  >"$workdir/server.out" 2>"$workdir/server.log" &
+server_pid=$!
+
+for i in $(seq 1 50); do
+  if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "tcserver died:" >&2; cat "$workdir/server.log" >&2; exit 1
+  fi
+  sleep 0.2
+done
+
+fail() { echo "FAIL: $1" >&2; cat "$workdir/server.log" >&2; exit 1; }
+
+echo "== health"
+health=$(curl -sf "http://$addr/healthz")
+echo "$health" | grep -q '"status":"ok"' || fail "/healthz not ok: $health"
+echo "$health" | grep -q '"ready":true' || fail "/healthz reports no ready network: $health"
+
+echo "== query with injected X-Request-ID"
+reqid="smoke-req-42"
+headers=$(curl -sf -D - -o "$workdir/query.json" \
+  -H "X-Request-ID: $reqid" "http://$addr/api/v1/query?alpha=0.2")
+echo "$headers" | grep -qi "x-request-id: $reqid" \
+  || fail "response does not echo X-Request-ID: $headers"
+grep -q '"communities"' "$workdir/query.json" || fail "query answered nothing"
+
+# A second identical query exercises the cache-hit path.
+curl -sf "http://$addr/api/v1/query?alpha=0.2" >/dev/null
+
+echo "== access log carries the request ID"
+grep -q "$reqid" "$workdir/server.log" \
+  || fail "request ID $reqid not in the access log"
+
+echo "== scrape /metrics and assert counters moved"
+curl -sf "http://$addr/metrics" >"$workdir/metrics.txt"
+for family in tc_queries_total tc_query_duration_seconds \
+  tc_query_stage_duration_seconds tc_http_requests_total \
+  tc_http_request_duration_seconds tc_engine_queries_total \
+  tc_engine_shards tc_cache_hits_total tc_slow_queries_total; do
+  grep -q "^# TYPE $family " "$workdir/metrics.txt" \
+    || fail "family $family missing from /metrics"
+done
+grep -Eq 'tc_queries_total\{network="",result="miss"\} [1-9]' "$workdir/metrics.txt" \
+  || fail "tc_queries_total miss did not move"
+grep -Eq 'tc_queries_total\{network="",result="hit"\} [1-9]' "$workdir/metrics.txt" \
+  || fail "tc_queries_total hit did not move (cache-hit path)"
+grep -Eq 'tc_http_requests_total\{route="/api/v1/query",method="GET",code="200"\} [1-9]' "$workdir/metrics.txt" \
+  || fail "tc_http_requests_total did not move"
+grep -Eq 'tc_engine_queries_total\{network=""\} [1-9]' "$workdir/metrics.txt" \
+  || fail "tc_engine_queries_total did not move"
+
+echo "== slow-query log captured the query"
+slowlog=$(curl -sf "http://$addr/api/v1/slowlog")
+echo "$slowlog" | grep -q "\"requestId\":\"$reqid\"" \
+  || fail "slow log does not carry request ID $reqid: $slowlog"
+echo "$slowlog" | grep -q '"plan"' || fail "slow log entry has no plan: $slowlog"
+
+echo "== pprof sidecar"
+curl -sf "http://$pprof_addr/debug/pprof/cmdline" >/dev/null \
+  || fail "pprof listener not answering on $pprof_addr"
+
+echo "== tcquery -server round trip"
+out=$("$workdir/tcquery" -server "http://$addr" -alpha 0.2 -requestid smoke-cli-1)
+echo "$out" | grep -q "request id smoke-cli-1" \
+  || fail "tcquery -server did not report the request ID: $out"
+echo "$out" | grep -q "theme communities" || fail "tcquery -server answered nothing: $out"
+
+echo "== tcquery -server error path reports the server-assigned request ID"
+if err=$("$workdir/tcquery" -server "http://$addr" -network nosuch -alpha 0.2 2>&1); then
+  fail "query against unknown network should fail: $err"
+fi
+echo "$err" | grep -Eq "request id [a-z0-9]+" \
+  || fail "error does not carry a server-assigned request ID: $err"
+
+echo "PASS: observability smoke"

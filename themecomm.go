@@ -46,6 +46,7 @@ import (
 	"themecomm/internal/graph"
 	"themecomm/internal/itemset"
 	"themecomm/internal/loaders"
+	"themecomm/internal/obs"
 	"themecomm/internal/server"
 	"themecomm/internal/tctree"
 	"themecomm/internal/truss"
@@ -395,6 +396,35 @@ func LoadCheckIns(edges, checkins io.Reader, opts CheckInLoadOptions) (*Network,
 func LoadCitationArchive(r io.Reader, opts CoAuthorLoadOptions) (*CoAuthorNetwork, error) {
 	return loaders.LoadAMiner(r, opts)
 }
+
+// Observability types: the dependency-free metrics/tracing layer. An
+// Observer records per-query latency and stage-timing histograms into a
+// Prometheus-text-format registry and captures slow queries (with their full
+// plan) into a ring buffer; inject it as EngineOptions.Recorder /
+// FederationOptions.Recorder and hand it to the query server
+// (QueryServerOptions.Obs) to expose GET /metrics and GET /api/v1/slowlog.
+type (
+	// Observer is the production QueryRecorder: metrics + slow-query log.
+	Observer = obs.Observer
+	// ObserverOptions configures NewObserver (registry, slow-query threshold
+	// and ring size, structured logger).
+	ObserverOptions = obs.ObserverOptions
+	// QueryRecorder receives one QueryObservation per engine query.
+	QueryRecorder = obs.Recorder
+	// QueryObservation is one engine query as seen by a QueryRecorder.
+	QueryObservation = obs.QueryObservation
+	// MetricsRegistry holds metric families and renders them in the
+	// Prometheus text exposition format.
+	MetricsRegistry = obs.Registry
+)
+
+// RequestIDHeader is the HTTP header carrying a query's correlation ID
+// through the server ("X-Request-ID"): accepted from clients, echoed on
+// responses, attached to access-log and slow-query-log lines.
+const RequestIDHeader = obs.HeaderRequestID
+
+// NewObserver returns an Observer; see ObserverOptions.
+func NewObserver(opts ObserverOptions) *Observer { return obs.NewObserver(opts) }
 
 // QueryServerOptions configures NewQueryServer.
 type QueryServerOptions = server.Options
