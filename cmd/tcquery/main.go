@@ -60,11 +60,18 @@ func main() {
 	noPlanner := flag.Bool("noplanner", false, "disable the cost-based planner (no α* shard skipping, no cost ordering, no prefetch)")
 	serverURL := flag.String("server", "", "query a running tcserver at this base URL (e.g. http://localhost:8080) instead of opening an index")
 	requestID := flag.String("requestid", "", "X-Request-ID to send with -server; the server echoes it and stamps it on its logs")
+	stream := flag.Bool("stream", false, "with -server: stream the answer as it is produced (NDJSON) instead of waiting for the full response")
+	cursor := flag.String("cursor", "", "with -server: resume a paginated answer from this cursor (printed by a previous -limit run)")
+	limitFlag := flag.Int("limit", 0, "with -server: page size; the response carries a cursor when more communities remain (0 = no limit)")
 	flag.Parse()
 
 	if *serverURL != "" {
-		runRemote(*serverURL, *network, *pattern, *alphaQ, *topK, *top, *explain, *requestID)
+		runRemote(*serverURL, *network, *pattern, *alphaQ, *topK, *top, *explain, *requestID,
+			*stream, *cursor, *limitFlag)
 		return
+	}
+	if *stream || *cursor != "" || *limitFlag > 0 {
+		log.Fatal("-stream, -cursor and -limit need -server (streaming is an HTTP API feature)")
 	}
 	if *treePath == "" {
 		flag.Usage()

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -21,7 +22,10 @@ import (
 // that the server echoes and stamps on its access/slow-query logs. On a
 // server error the server-assigned request ID is printed with the message, so
 // the failure can be found in the server's logs with one grep.
-func runRemote(base, network, pattern string, alphaQ float64, topK, top int, explain bool, requestID string) {
+func runRemote(base, network, pattern string, alphaQ float64, topK, top int, explain bool, requestID string, stream bool, cursor string, limit int) {
+	if explain && (stream || cursor != "" || limit > 0) {
+		log.Fatal("-explain cannot be combined with -stream, -cursor or -limit")
+	}
 	route := "query"
 	if explain {
 		route = "explain"
@@ -31,12 +35,24 @@ func runRemote(base, network, pattern string, alphaQ float64, topK, top int, exp
 		path = "/api/v1/" + url.PathEscape(network) + "/" + route
 	}
 	params := url.Values{}
-	params.Set("alpha", strconv.FormatFloat(alphaQ, 'g', -1, 64))
-	if pattern != "" {
-		params.Set("pattern", pattern)
+	if cursor != "" {
+		// The cursor carries the query (pattern, alpha, k); sending it alone
+		// avoids any ambiguity with conflicting parameters.
+		params.Set("cursor", cursor)
+	} else {
+		params.Set("alpha", strconv.FormatFloat(alphaQ, 'g', -1, 64))
+		if pattern != "" {
+			params.Set("pattern", pattern)
+		}
+		if topK > 0 && !explain {
+			params.Set("k", strconv.Itoa(topK))
+		}
 	}
-	if topK > 0 && !explain {
-		params.Set("k", strconv.Itoa(topK))
+	if stream {
+		params.Set("stream", "1")
+	}
+	if limit > 0 {
+		params.Set("limit", strconv.Itoa(limit))
 	}
 	full := strings.TrimSuffix(base, "/") + path + "?" + params.Encode()
 
@@ -47,12 +63,22 @@ func runRemote(base, network, pattern string, alphaQ float64, topK, top int, exp
 	if requestID != "" {
 		req.Header.Set(themecomm.RequestIDHeader, requestID)
 	}
+	// No client timeout when streaming: the body arrives as long as the
+	// server produces it.
 	client := &http.Client{Timeout: 60 * time.Second}
+	if stream {
+		client.Timeout = 0
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		log.Fatalf("GET %s: %v", full, err)
 	}
 	defer resp.Body.Close()
+
+	if stream && resp.StatusCode == http.StatusOK {
+		runRemoteStream(resp, base)
+		return
+	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		log.Fatalf("reading response: %v", err)
@@ -97,18 +123,105 @@ func runRemote(base, network, pattern string, alphaQ float64, topK, top int, exp
 			fmt.Printf("  [%d] cohesion=%.4g theme={%s} vertices=%v\n",
 				i+1, c.Cohesion, strings.Join(c.Theme, ", "), c.Vertices)
 		}
+		printNextCursor(qr.NextCursor)
 		return
 	}
 	fmt.Printf("%d theme communities\n", len(qr.Communities))
-	limit := top
-	if limit <= 0 || limit > len(qr.Communities) {
-		limit = len(qr.Communities)
+	show := top
+	if show <= 0 || show > len(qr.Communities) {
+		show = len(qr.Communities)
 	}
-	for i := 0; i < limit; i++ {
+	for i := 0; i < show; i++ {
 		c := qr.Communities[i]
 		fmt.Printf("  [%d] theme={%s} vertices=%v\n", i+1, strings.Join(c.Theme, ", "), c.Vertices)
 	}
-	if limit < len(qr.Communities) {
-		fmt.Printf("  ... %d more (raise -top to see them)\n", len(qr.Communities)-limit)
+	if show < len(qr.Communities) {
+		fmt.Printf("  ... %d more (raise -top to see them)\n", len(qr.Communities)-show)
 	}
+	printNextCursor(qr.NextCursor)
+}
+
+// printNextCursor tells the user how to fetch the next page of a paginated
+// answer.
+func printNextCursor(cursor string) {
+	if cursor != "" {
+		fmt.Printf("more communities remain; next page: -cursor %s\n", cursor)
+	}
+}
+
+// runRemoteStream consumes an NDJSON streaming response line by line,
+// printing each community as the server produces it. A trailer line carries
+// the execution counters (and the next-page cursor under -limit); an error
+// line aborts with the in-band status — 410 means the index moved mid-stream
+// and the query should simply be re-issued.
+func runRemoteStream(resp *http.Response, base string) {
+	serverID := resp.Header.Get(themecomm.RequestIDHeader)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	i := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var kind struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &kind); err != nil {
+			log.Fatalf("invalid stream line: %v", err)
+		}
+		switch kind.Type {
+		case "header":
+			var h server.StreamHeader
+			if err := json.Unmarshal(line, &h); err != nil {
+				log.Fatalf("invalid stream header: %v", err)
+			}
+			label := "streaming communities"
+			if h.TopK > 0 {
+				label = fmt.Sprintf("streaming top %d communities by cohesion", h.TopK)
+			}
+			fmt.Printf("%s from %s (request id %s)\n", label, base, serverID)
+		case "community":
+			var c server.StreamCommunity
+			if err := json.Unmarshal(line, &c); err != nil {
+				log.Fatalf("invalid stream community: %v", err)
+			}
+			i++
+			line := fmt.Sprintf("  [%d]", i)
+			if c.Network != "" {
+				line += fmt.Sprintf(" network=%s", c.Network)
+			}
+			if c.Cohesion > 0 {
+				line += fmt.Sprintf(" cohesion=%.4g", c.Cohesion)
+			}
+			fmt.Printf("%s theme={%s} vertices=%v\n", line, strings.Join(c.Theme, ", "), c.Vertices)
+		case "trailer":
+			var tr server.StreamTrailer
+			if err := json.Unmarshal(line, &tr); err != nil {
+				log.Fatalf("invalid stream trailer: %v", err)
+			}
+			fmt.Printf("stream complete in %dµs: %d communities", tr.QueryMicros, tr.Emitted)
+			if tr.RetrievedNodes > 0 || tr.VisitedNodes > 0 {
+				fmt.Printf(" (%d trusses retrieved, %d nodes visited)", tr.RetrievedNodes, tr.VisitedNodes)
+			}
+			if tr.ShardsShortCircuited > 0 {
+				fmt.Printf("; %d shards short-circuited by top-k early termination", tr.ShardsShortCircuited)
+			}
+			fmt.Println()
+			printNextCursor(tr.NextCursor)
+			return
+		case "error":
+			var se server.StreamError
+			if err := json.Unmarshal(line, &se); err != nil {
+				log.Fatalf("invalid stream error: %v", err)
+			}
+			log.Fatalf("stream failed (HTTP %d, request id %s): %s", se.Status, serverID, se.Error)
+		default:
+			log.Fatalf("unknown stream line type %q", kind.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("reading stream: %v", err)
+	}
+	log.Fatal("stream ended without a trailer")
 }

@@ -57,6 +57,7 @@ import (
 	"flag"
 	"log"
 	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof
 	"os"
@@ -174,21 +175,33 @@ func main() {
 	// net/http/pprof import registered /debug/pprof/...), so profiling is
 	// never exposed on the query-serving address.
 	if *pprofAddr != "" {
+		pprofLn, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof listener: %v", err)
+		}
 		go func() {
-			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			log.Printf("pprof listening on http://%s/debug/pprof/", pprofLn.Addr())
+			if err := http.Serve(pprofLn, nil); err != nil {
 				log.Printf("pprof listener: %v", err)
 			}
 		}()
 	}
 
+	// Listen explicitly before serving so the bound address — the actual one,
+	// not the requested one — is logged once the server is accepting. With
+	// -addr :0 the kernel picks a free port, and scripts (e.g. the e2e smoke
+	// harness) parse it from the "listening on" line instead of guessing
+	// fixed ports.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
 	httpServer := &http.Server{
-		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("listening on %s", *addr)
-	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+	log.Printf("listening on %s", ln.Addr())
+	if err := httpServer.Serve(ln); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
 }

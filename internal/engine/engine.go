@@ -197,15 +197,17 @@ type Engine struct {
 	// recorder receives per-query observations; nil when unobserved.
 	recorder obs.Recorder
 
-	queries    atomic.Uint64
-	batches    atomic.Uint64
-	topKs      atomic.Uint64
-	explains   atomic.Uint64
-	deltas     atomic.Uint64
-	lazyLoads  atomic.Uint64
-	evictions  atomic.Uint64
-	skipped    atomic.Uint64
-	prefetched atomic.Uint64
+	queries        atomic.Uint64
+	batches        atomic.Uint64
+	topKs          atomic.Uint64
+	explains       atomic.Uint64
+	deltas         atomic.Uint64
+	lazyLoads      atomic.Uint64
+	evictions      atomic.Uint64
+	skipped        atomic.Uint64
+	prefetched     atomic.Uint64
+	streams        atomic.Uint64
+	shortCircuited atomic.Uint64
 }
 
 // New returns an eager Engine over a fully resident tree.

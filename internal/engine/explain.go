@@ -51,6 +51,11 @@ type ExplainReport struct {
 	// is not attributed).
 	Loaded     int `json:"loaded"`
 	Prefetched int `json:"prefetched"`
+	// ShortCircuited counts scheduled shards a stream never opened: top-k
+	// early termination proved their α* bound could not improve the emitted
+	// answer. Always zero for materializing executions, which traverse every
+	// scheduled shard.
+	ShortCircuited int `json:"shortCircuited,omitempty"`
 	// TotalCost is the planner's summed cost estimate of the scheduled
 	// tasks.
 	TotalCost float64 `json:"totalCost"`

@@ -74,6 +74,13 @@ type Stats struct {
 	Batches     uint64 `json:"batches"`
 	TopKQueries uint64 `json:"topKQueries"`
 	Explains    uint64 `json:"explains,omitempty"`
+	// Streams counts StreamQuery/StreamTopK calls; ShardsShortCircuited
+	// counts scheduled shard tasks streams never opened because top-k early
+	// termination proved their α* bound could not improve the answer —
+	// relevant, non-α*-skipped shards that were nonetheless neither traversed
+	// nor (on a lazy engine) read from disk.
+	Streams              uint64 `json:"streams,omitempty"`
+	ShardsShortCircuited uint64 `json:"shardsShortCircuited,omitempty"`
 	// IndexEpoch counts index swaps (shard reloads and applied deltas);
 	// DeltasApplied counts ApplyDelta calls. A query result always reflects
 	// one single epoch.
@@ -107,23 +114,25 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	t := e.table.Load()
 	s := Stats{
-		Shards:            len(t.shards),
-		Workers:           e.workers,
-		Lazy:              e.Lazy(),
-		MaxResidentShards: e.res.max,
-		SharedResidency:   e.sharedRes,
-		Planner:           e.Planner(),
-		PrefetchWorkers:   cap(e.prefetchSem),
-		LazyLoads:         e.lazyLoads.Load(),
-		ShardEvictions:    e.evictions.Load(),
-		ShardsSkipped:     e.skipped.Load(),
-		ShardsPrefetched:  e.prefetched.Load(),
-		Queries:           e.queries.Load(),
-		Batches:           e.batches.Load(),
-		TopKQueries:       e.topKs.Load(),
-		Explains:          e.explains.Load(),
-		IndexEpoch:        e.epoch.Load(),
-		DeltasApplied:     e.deltas.Load(),
+		Shards:               len(t.shards),
+		Workers:              e.workers,
+		Lazy:                 e.Lazy(),
+		MaxResidentShards:    e.res.max,
+		SharedResidency:      e.sharedRes,
+		Planner:              e.Planner(),
+		PrefetchWorkers:      cap(e.prefetchSem),
+		LazyLoads:            e.lazyLoads.Load(),
+		ShardEvictions:       e.evictions.Load(),
+		ShardsSkipped:        e.skipped.Load(),
+		ShardsPrefetched:     e.prefetched.Load(),
+		Queries:              e.queries.Load(),
+		Batches:              e.batches.Load(),
+		TopKQueries:          e.topKs.Load(),
+		Explains:             e.explains.Load(),
+		Streams:              e.streams.Load(),
+		ShardsShortCircuited: e.shortCircuited.Load(),
+		IndexEpoch:           e.epoch.Load(),
+		DeltasApplied:        e.deltas.Load(),
 	}
 	for _, sh := range t.shards {
 		nodes, _, maxAlpha := sh.meta()

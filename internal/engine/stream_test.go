@@ -1,0 +1,457 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+)
+
+// This file proves the streaming executor against the materializing one.
+// TestStreamPropertyParity is the central property harness: across hundreds
+// of generated (network, pattern, α, k, engine-mode) cases, the streamed
+// answer must be byte-identical — order included — to the materialized one.
+// The remaining tests pin the claims parity alone cannot: top-k early
+// termination provably skips shard loads (ShardsShortCircuited > 0), and a
+// stream crossed by ApplyDelta either fails cleanly (lazy) or completes from
+// its pre-delta snapshot (eager) — never mixing epochs.
+
+// drainStream pulls the stream to exhaustion.
+func drainStream(t *testing.T, st *Stream) []RankedCommunity {
+	t.Helper()
+	var out []RankedCommunity
+	for {
+		rc, err := st.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if rc == nil {
+			return out
+		}
+		out = append(out, *rc)
+	}
+}
+
+// assertPlainParity compares a drained StreamQuery answer against the
+// materializing Query answer: same communities, same order, same traversal
+// counters.
+func assertPlainParity(t *testing.T, got []RankedCommunity, stats StreamStats, want *tctree.QueryResult) {
+	t.Helper()
+	wantComms := want.Communities()
+	if len(got) != len(wantComms) {
+		t.Fatalf("streamed %d communities, materialized %d", len(got), len(wantComms))
+	}
+	for i := range got {
+		if !got[i].Community.Pattern.Equal(wantComms[i].Pattern) {
+			t.Fatalf("community %d: streamed pattern %v, materialized %v",
+				i, got[i].Community.Pattern, wantComms[i].Pattern)
+		}
+		if !got[i].Community.Edges.Equal(wantComms[i].Edges) {
+			t.Fatalf("community %d (%v): edge sets differ", i, got[i].Community.Pattern)
+		}
+	}
+	if stats.RetrievedNodes != want.RetrievedNodes || stats.VisitedNodes != want.VisitedNodes {
+		t.Fatalf("stream counters retrieved=%d visited=%d, materialized retrieved=%d visited=%d",
+			stats.RetrievedNodes, stats.VisitedNodes, want.RetrievedNodes, want.VisitedNodes)
+	}
+}
+
+// assertRankedParity compares a drained StreamTopK answer against the
+// materializing TopK answer position by position: pattern, edge set, and
+// every ranking annotation.
+func assertRankedParity(t *testing.T, got, want []RankedCommunity) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d ranked communities, materialized %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if !g.Community.Pattern.Equal(w.Community.Pattern) {
+			t.Fatalf("rank %d: streamed pattern %v, materialized %v", i, g.Community.Pattern, w.Community.Pattern)
+		}
+		if !g.Community.Edges.Equal(w.Community.Edges) {
+			t.Fatalf("rank %d (%v): edge sets differ", i, g.Community.Pattern)
+		}
+		if g.Cohesion != w.Cohesion || g.Vertices != w.Vertices || g.Edges != w.Edges {
+			t.Fatalf("rank %d: streamed (cohesion=%g v=%d e=%d), materialized (cohesion=%g v=%d e=%d)",
+				i, g.Cohesion, g.Vertices, g.Edges, w.Cohesion, w.Vertices, w.Edges)
+		}
+	}
+}
+
+// TestStreamPropertyParity is the property-based parity harness: random
+// networks, random patterns, random thresholds and ks, eager and lazy
+// engines — the streamed answer must equal the materialized answer byte for
+// byte, order included, in well over 100 generated cases.
+func TestStreamPropertyParity(t *testing.T) {
+	cases := 0
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed * 101))
+		nw := randomNetwork(rng, 14, 36, 5, 3)
+		tree := tctree.Build(nw, tctree.BuildOptions{})
+		if tree.NumNodes() == 0 {
+			continue
+		}
+		full := make(itemset.Itemset, 0, len(tree.Root().Children))
+		for _, c := range tree.Root().Children {
+			full = append(full, c.Item)
+		}
+
+		// Random query mix: every item, single shards, random subsets, and a
+		// pattern with an unindexed item.
+		queries := []itemset.Itemset{nil, itemset.New(full[rng.Intn(len(full))], 999)}
+		for trial := 0; trial < 3; trial++ {
+			var q itemset.Itemset
+			for _, it := range full {
+				if rng.Intn(2) == 0 {
+					q = q.Add(it)
+				}
+			}
+			queries = append(queries, q)
+		}
+		alphas := []float64{0, rng.Float64() * tree.MaxAlpha(), tree.MaxAlpha() + 1}
+		ks := []int{0, 1, 1 + rng.Intn(6)}
+
+		idx, _ := writeShardedTestTree(t, tree)
+		eager, err := New(tree, Options{Workers: 2})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		lazy, err := NewLazy(idx, Options{Workers: 2, MaxResidentShards: 2})
+		if err != nil {
+			t.Fatalf("NewLazy: %v", err)
+		}
+
+		for _, eng := range []*Engine{eager, lazy} {
+			for _, q := range queries {
+				for _, alpha := range alphas {
+					// Plain: stream order must equal Query order.
+					want := mustQuery(t, eng, q, alpha)
+					st, err := eng.StreamQuery(context.Background(), q, alpha)
+					if err != nil {
+						t.Fatalf("StreamQuery: %v", err)
+					}
+					got := drainStream(t, st)
+					stats := st.Stats()
+					st.Close()
+					assertPlainParity(t, got, stats, want)
+					cases++
+
+					// Ranked: stream order must equal TopK order for every k.
+					for _, k := range ks {
+						_, wantRanked, err := eng.TopKWithResult(q, alpha, k)
+						if err != nil {
+							t.Fatalf("TopKWithResult: %v", err)
+						}
+						rst, err := eng.StreamTopK(context.Background(), q, alpha, k)
+						if err != nil {
+							t.Fatalf("StreamTopK: %v", err)
+						}
+						gotRanked := drainStream(t, rst)
+						rst.Close()
+						assertRankedParity(t, gotRanked, wantRanked)
+						cases++
+					}
+				}
+			}
+		}
+	}
+	if cases < 100 {
+		t.Fatalf("property harness exercised only %d cases, want at least 100", cases)
+	}
+	t.Logf("streaming/materializing parity held across %d generated cases", cases)
+}
+
+// TestStreamTopKShortCircuits is the early-termination proof: a selective
+// top-k stream must leave shards unopened — never loaded from disk on a lazy
+// engine — and account for them in ShardsShortCircuited, both on the stream
+// and on the engine's counters.
+func TestStreamTopKShortCircuits(t *testing.T) {
+	// Scan a few generated networks for one whose shard α* bounds actually
+	// spread (all-equal bounds force a k=1 stream to open everything).
+	for seed := int64(1); seed <= 20; seed++ {
+		tree := buildTestTree(t, seed)
+		idx, _ := writeShardedTestTree(t, tree)
+		eng, err := NewLazy(idx, Options{})
+		if err != nil {
+			t.Fatalf("NewLazy: %v", err)
+		}
+		st, err := eng.StreamTopK(context.Background(), nil, 0, 1)
+		if err != nil {
+			t.Fatalf("StreamTopK: %v", err)
+		}
+		got := drainStream(t, st)
+		st.Close()
+		stats := st.Stats()
+		if stats.ShardsShortCircuited == 0 {
+			continue
+		}
+
+		// Found a selective case: pin every accounting consequence.
+		if len(got) != 1 {
+			t.Fatalf("k=1 stream emitted %d communities", len(got))
+		}
+		if stats.ShardsOpened+stats.ShardsShortCircuited != stats.ShardsPlanned {
+			t.Fatalf("opened %d + short-circuited %d != planned %d",
+				stats.ShardsOpened, stats.ShardsShortCircuited, stats.ShardsPlanned)
+		}
+		if stats.Loads != stats.ShardsOpened {
+			t.Fatalf("cold lazy engine loaded %d shards but opened %d", stats.Loads, stats.ShardsOpened)
+		}
+		if stats.Loads >= stats.ShardsPlanned {
+			t.Fatalf("every planned shard was loaded; early termination saved nothing")
+		}
+		es := eng.Stats()
+		if es.ShardsShortCircuited != uint64(stats.ShardsShortCircuited) {
+			t.Fatalf("engine ShardsShortCircuited = %d, stream says %d",
+				es.ShardsShortCircuited, stats.ShardsShortCircuited)
+		}
+		if es.Streams != 1 {
+			t.Fatalf("engine Streams = %d, want 1", es.Streams)
+		}
+		if es.LazyLoads != uint64(stats.Loads) {
+			t.Fatalf("engine LazyLoads = %d, stream loaded %d", es.LazyLoads, stats.Loads)
+		}
+
+		// The full ranking must still agree with the materializing path on
+		// what the single best community is.
+		ranked, err := eng.TopK(nil, 0, 1)
+		if err != nil {
+			t.Fatalf("TopK: %v", err)
+		}
+		if len(ranked) != 1 || ranked[0].Cohesion != got[0].Cohesion ||
+			!ranked[0].Community.Pattern.Equal(got[0].Community.Pattern) {
+			t.Fatalf("short-circuited answer differs from materialized top-1")
+		}
+		return
+	}
+	t.Fatalf("no seed in 1..20 produced a short-circuiting top-k stream")
+}
+
+// TestStreamMidDeltaLazy: a lazy stream crossed by ApplyDelta must fail with
+// ErrEpochChanged at its next shard open — post-delta shard files must never
+// leak into a pre-delta answer.
+func TestStreamMidDeltaLazy(t *testing.T) {
+	const items = 5
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nw := randomNetwork(rng, 14, 34, items, 3)
+		tree := tctree.Build(nw, tctree.BuildOptions{})
+		if tree.NumNodes() == 0 || len(tree.Root().Children) < 2 {
+			continue
+		}
+		idx, _ := writeShardedTestTree(t, tree)
+		eng, err := NewLazy(idx, Options{})
+		if err != nil {
+			t.Fatalf("NewLazy: %v", err)
+		}
+
+		st, err := eng.StreamQuery(context.Background(), nil, 0)
+		if err != nil {
+			t.Fatalf("StreamQuery: %v", err)
+		}
+		defer st.Close()
+		if st.Stats().ShardsPlanned < 2 {
+			continue // one open answers everything; no mid-stream open to poison
+		}
+		// First pull opens the first shard; later shards are still pending.
+		if _, err := st.Next(); err != nil {
+			t.Fatalf("first Next: %v", err)
+		}
+
+		// The swap must not block on the open stream (streams do not hold the
+		// update lock between pulls).
+		if _, err := eng.ApplyDelta(nw, randomDeltaFor(rng, nw, items)); err != nil {
+			t.Fatalf("ApplyDelta: %v", err)
+		}
+
+		for {
+			rc, err := st.Next()
+			if err != nil {
+				if !errors.Is(err, ErrEpochChanged) {
+					t.Fatalf("mid-delta stream failed with %v, want ErrEpochChanged", err)
+				}
+				// Poisoned: every later pull repeats the failure.
+				if _, again := st.Next(); !errors.Is(again, ErrEpochChanged) {
+					t.Fatalf("poisoned stream returned %v on re-pull", again)
+				}
+				return
+			}
+			if rc == nil {
+				t.Fatalf("lazy stream drained to completion across an epoch swap")
+			}
+		}
+	}
+	t.Fatalf("no seed in 1..8 produced a multi-shard lazy stream")
+}
+
+// TestStreamMidDeltaEager: an eager stream crossed by ApplyDelta completes
+// from its pre-delta snapshot — the captured subtrees are immutable — and
+// the drained answer equals the answer materialized before the delta.
+func TestStreamMidDeltaEager(t *testing.T) {
+	const items = 5
+	rng := rand.New(rand.NewSource(3))
+	nw := randomNetwork(rng, 14, 34, items, 3)
+	tree := tctree.Build(nw, tctree.BuildOptions{})
+	if tree.NumNodes() == 0 {
+		t.Fatal("empty tree; pick another seed")
+	}
+	eng, err := New(tree, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+
+	preDelta := mustQueryByAlpha(t, eng, 0)
+	st, err := eng.StreamQuery(context.Background(), nil, 0)
+	if err != nil {
+		t.Fatalf("StreamQuery: %v", err)
+	}
+	defer st.Close()
+	first, err := st.Next()
+	if err != nil || first == nil {
+		t.Fatalf("first Next = (%v, %v), want a community", first, err)
+	}
+
+	if _, err := eng.ApplyDelta(nw, randomDeltaFor(rng, nw, items)); err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+
+	rest := drainStream(t, st)
+	got := append([]RankedCommunity{*first}, rest...)
+	stats := st.Stats()
+	assertPlainParity(t, got, stats, preDelta)
+	if stats.Epoch == eng.IndexEpoch() {
+		t.Fatalf("delta did not move the epoch; the test proved nothing")
+	}
+
+	// A stream opened after the swap serves the new index.
+	post, err := eng.StreamQuery(context.Background(), nil, 0)
+	if err != nil {
+		t.Fatalf("post-delta StreamQuery: %v", err)
+	}
+	defer post.Close()
+	assertPlainParity(t, drainStream(t, post), post.Stats(), mustQueryByAlpha(t, eng, 0))
+}
+
+// TestStreamRecorderObservation: closing an observed stream emits one
+// QueryObservation with the stream stage filled and the short-circuit tally.
+func TestStreamRecorderObservation(t *testing.T) {
+	tree := buildTestTree(t, 7)
+	rec := &captureRecorder{}
+	eng, err := New(tree, Options{Recorder: rec})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	st, err := eng.StreamTopK(context.Background(), nil, 0, 1)
+	if err != nil {
+		t.Fatalf("StreamTopK: %v", err)
+	}
+	drainStream(t, st)
+	st.Close()
+	st.Close() // idempotent: must not double-record
+
+	got := rec.all()
+	if len(got) != 1 {
+		t.Fatalf("observations = %d, want 1", len(got))
+	}
+	o := got[0]
+	if o.Pattern != "*" || o.Err {
+		t.Fatalf("observation identity = %+v", o)
+	}
+	if o.Stream <= 0 || o.Total < o.Stream {
+		t.Fatalf("stream stage = %v (total %v), want positive and within total", o.Stream, o.Total)
+	}
+	if o.ShortCircuited != st.Stats().ShardsShortCircuited {
+		t.Fatalf("observed ShortCircuited = %d, stream says %d", o.ShortCircuited, st.Stats().ShardsShortCircuited)
+	}
+}
+
+// TestStreamResultCacheBypass: streams neither read nor write the result
+// cache.
+func TestStreamResultCacheBypass(t *testing.T) {
+	tree := buildTestTree(t, 7)
+	eng, err := New(tree, Options{CacheSize: 8})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	mustQueryByAlpha(t, eng, 0) // populate the cache
+	st, err := eng.StreamQuery(context.Background(), nil, 0)
+	if err != nil {
+		t.Fatalf("StreamQuery: %v", err)
+	}
+	drainStream(t, st)
+	st.Close()
+	stats := eng.Stats()
+	if stats.Cache.Hits != 0 || stats.Cache.Misses != 1 || stats.Cache.Length != 1 {
+		t.Fatalf("stream touched the result cache: %+v", stats.Cache)
+	}
+}
+
+// BenchmarkStreamTopK compares the streaming top-k path against the
+// materializing one on a cold lazy engine: the streaming arm must load fewer
+// shards (early termination) and allocate less (no global materialize+sort).
+// Each iteration opens a fresh engine over one shared on-disk index so every
+// run starts cold; shard-loads/op is reported alongside the allocator
+// counters.
+func BenchmarkStreamTopK(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	nw := randomNetwork(rng, 40, 160, 8, 4)
+	tree := tctree.Build(nw, tctree.BuildOptions{})
+	if tree.NumNodes() == 0 {
+		b.Fatal("empty benchmark tree")
+	}
+	dir := b.TempDir()
+	if _, err := tree.WriteSharded(dir); err != nil {
+		b.Fatalf("WriteSharded: %v", err)
+	}
+	idx, err := tctree.OpenSharded(dir)
+	if err != nil {
+		b.Fatalf("OpenSharded: %v", err)
+	}
+	const k = 3
+
+	b.Run("materializing", func(b *testing.B) {
+		b.ReportAllocs()
+		loads := 0
+		for i := 0; i < b.N; i++ {
+			eng, err := NewLazy(idx, Options{})
+			if err != nil {
+				b.Fatalf("NewLazy: %v", err)
+			}
+			if _, err := eng.TopK(nil, 0, k); err != nil {
+				b.Fatalf("TopK: %v", err)
+			}
+			loads += int(eng.Stats().LazyLoads)
+		}
+		b.ReportMetric(float64(loads)/float64(b.N), "shard-loads/op")
+	})
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		loads := 0
+		for i := 0; i < b.N; i++ {
+			eng, err := NewLazy(idx, Options{})
+			if err != nil {
+				b.Fatalf("NewLazy: %v", err)
+			}
+			st, err := eng.StreamTopK(context.Background(), nil, 0, k)
+			if err != nil {
+				b.Fatalf("StreamTopK: %v", err)
+			}
+			for {
+				rc, err := st.Next()
+				if err != nil {
+					b.Fatalf("Next: %v", err)
+				}
+				if rc == nil {
+					break
+				}
+			}
+			st.Close()
+			loads += st.Stats().Loads
+		}
+		b.ReportMetric(float64(loads)/float64(b.N), "shard-loads/op")
+	})
+}

@@ -195,8 +195,9 @@ type Federation struct {
 	mu       sync.RWMutex
 	networks map[string]*Network
 
-	queryAlls atomic.Uint64
-	topKAlls  atomic.Uint64
+	queryAlls  atomic.Uint64
+	topKAlls   atomic.Uint64
+	streamAlls atomic.Uint64
 }
 
 // New returns an empty Federation. Attach networks with AttachTree /

@@ -31,9 +31,17 @@ type Stats struct {
 	LazyLoads      uint64 `json:"lazyLoads,omitempty"`
 	ShardEvictions uint64 `json:"shardEvictions,omitempty"`
 	ShardsSkipped  uint64 `json:"shardsSkipped"`
-	// QueryAlls and TopKAlls count the federation's cross-network calls.
-	QueryAlls uint64 `json:"queryAlls"`
-	TopKAlls  uint64 `json:"topKAlls"`
+	// Streams and ShardsShortCircuited aggregate the members' streaming
+	// counters: pull-based streams opened, and scheduled shards top-k early
+	// termination never opened.
+	Streams              uint64 `json:"streams,omitempty"`
+	ShardsShortCircuited uint64 `json:"shardsShortCircuited,omitempty"`
+	// QueryAlls and TopKAlls count the federation's cross-network calls;
+	// StreamAlls counts the streaming variants (StreamQueryAll,
+	// StreamTopKAll).
+	QueryAlls  uint64 `json:"queryAlls"`
+	TopKAlls   uint64 `json:"topKAlls"`
+	StreamAlls uint64 `json:"streamAlls,omitempty"`
 	// Cache is the shared result cache's global state.
 	Cache engine.CacheStats `json:"cache"`
 	// PerNetwork lists every attached network in ascending name order with
@@ -49,6 +57,7 @@ func (f *Federation) Stats() Stats {
 		ResidentShards:    f.res.Resident(),
 		QueryAlls:         f.queryAlls.Load(),
 		TopKAlls:          f.topKAlls.Load(),
+		StreamAlls:        f.streamAlls.Load(),
 	}
 	for _, name := range f.Names() {
 		n, ok := f.Network(name)
@@ -65,6 +74,8 @@ func (f *Federation) Stats() Stats {
 		s.LazyLoads += es.LazyLoads
 		s.ShardEvictions += es.ShardEvictions
 		s.ShardsSkipped += es.ShardsSkipped
+		s.Streams += es.Streams
+		s.ShardsShortCircuited += es.ShardsShortCircuited
 		s.PerNetwork = append(s.PerNetwork, NetworkStats{Network: name, Stats: es})
 	}
 	if f.cache != nil {

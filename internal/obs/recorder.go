@@ -27,16 +27,24 @@ type QueryObservation struct {
 	Err bool
 	// Shards, SkippedShards and LoadedShards summarise the executed plan:
 	// scheduled+skipped tasks, α*-skipped tasks, and disk loads this
-	// execution performed.
-	Shards        int
-	SkippedShards int
-	LoadedShards  int
+	// execution performed. ShortCircuited counts scheduled shards a
+	// streaming execution never opened (top-k early termination); zero for
+	// materializing executions.
+	Shards         int
+	SkippedShards  int
+	LoadedShards   int
+	ShortCircuited int
 	// Plan, Execute and Merge split Total by stage: planning (pure,
 	// catalogue-only), shard traversal (acquire + walk, the parallel part),
-	// and the deterministic merge of per-shard answers.
+	// and the deterministic merge of per-shard answers. Stream is the
+	// pull-driven delivery stage of a streaming execution — the wall time
+	// from the first pull to Close, shard opens included (so Execute nests
+	// inside it); zero for materializing executions, whose delivery is
+	// Merge.
 	Plan    time.Duration
 	Execute time.Duration
 	Merge   time.Duration
+	Stream  time.Duration
 	Total   time.Duration
 	// Detail lazily builds the full per-shard plan/execution report of this
 	// very execution (the engine's Explain-shaped payload). Recorders call it
@@ -100,7 +108,7 @@ type netSeries struct {
 	hit, miss, errs *Counter
 	duration        *Histogram
 	plan, exec      *Histogram
-	merge           *Histogram
+	merge, stream   *Histogram
 	slow            *Counter
 }
 
@@ -117,6 +125,7 @@ func (o *Observer) seriesFor(network string) *netSeries {
 		plan:     o.stages.With(network, "plan"),
 		exec:     o.stages.With(network, "execute"),
 		merge:    o.stages.With(network, "merge"),
+		stream:   o.stages.With(network, "stream"),
 		slow:     o.slowTotal.With(network),
 	}
 	actual, _ := o.nets.LoadOrStore(network, s)
@@ -148,7 +157,7 @@ func NewObserver(opts ObserverOptions) *Observer {
 			"End-to-end engine query latency, cache hits included.",
 			nil, "network"),
 		stages: reg.Histogram("tc_query_stage_duration_seconds",
-			"Executed-query latency split by stage: plan, execute (parallel shard traversal), merge.",
+			"Executed-query latency split by stage: plan, execute (parallel shard traversal), merge, stream (pull-driven delivery of a streaming execution).",
 			nil, "network", "stage"),
 		slowTotal: reg.Counter("tc_slow_queries_total",
 			"Queries captured by the slow-query log (duration >= threshold, cache hits excluded).",
@@ -185,6 +194,11 @@ func (o *Observer) RecordQuery(ctx context.Context, q QueryObservation) {
 		ns.plan.Observe(q.Plan.Seconds())
 		ns.exec.Observe(q.Execute.Seconds())
 		ns.merge.Observe(q.Merge.Seconds())
+		if q.Stream > 0 {
+			// Only streaming executions carry the stage; observing zeros for
+			// every materializing query would drown the series in noise.
+			ns.stream.Observe(q.Stream.Seconds())
+		}
 	}
 	threshold := o.slowLog.Threshold()
 	if threshold <= 0 || q.CacheHit || q.Total < threshold {
@@ -201,9 +215,11 @@ func (o *Observer) RecordQuery(ctx context.Context, q QueryObservation) {
 		PlanMicros:     q.Plan.Microseconds(),
 		ExecMicros:     q.Execute.Microseconds(),
 		MergeMicros:    q.Merge.Microseconds(),
+		StreamMicros:   q.Stream.Microseconds(),
 		Shards:         q.Shards,
 		SkippedShards:  q.SkippedShards,
 		LoadedShards:   q.LoadedShards,
+		ShortCircuited: q.ShortCircuited,
 	}
 	if q.Detail != nil {
 		entry.Plan = q.Detail()

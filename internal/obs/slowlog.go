@@ -21,15 +21,20 @@ type SlowQuery struct {
 	Pattern string  `json:"pattern"`
 	Alpha   float64 `json:"alpha"`
 	// DurationMicros is the query's total wall time; PlanMicros, ExecMicros
-	// and MergeMicros split it by stage.
+	// and MergeMicros split it by stage. StreamMicros is the pull-driven
+	// delivery stage of a streaming execution (zero for materializing ones).
 	DurationMicros int64 `json:"durationMicros"`
 	PlanMicros     int64 `json:"planMicros"`
 	ExecMicros     int64 `json:"execMicros"`
 	MergeMicros    int64 `json:"mergeMicros"`
-	// Shards, SkippedShards and LoadedShards summarise the executed plan.
-	Shards        int `json:"shards"`
-	SkippedShards int `json:"skippedShards"`
-	LoadedShards  int `json:"loadedShards"`
+	StreamMicros   int64 `json:"streamMicros,omitempty"`
+	// Shards, SkippedShards and LoadedShards summarise the executed plan;
+	// ShortCircuited counts scheduled shards a streaming execution never
+	// opened.
+	Shards         int `json:"shards"`
+	SkippedShards  int `json:"skippedShards"`
+	LoadedShards   int `json:"loadedShards"`
+	ShortCircuited int `json:"shortCircuited,omitempty"`
 	// Plan is the full per-shard plan and execution report (the Explain
 	// payload the engine captured for this very execution); its concrete type
 	// belongs to the recording layer and it marshals to JSON.

@@ -215,6 +215,20 @@ func (s *Server) handleQueryAll(w http.ResponseWriter, r *http.Request) {
 		}
 		k = parsed
 	}
+	// Cursors never apply to queryall — members move epochs independently,
+	// so no single epoch could validate a resume. Reject even without
+	// stream=1 rather than silently ignoring the parameter.
+	if r.URL.Query().Get("cursor") != "" {
+		writeError(w, http.StatusBadRequest, "cursor pagination is not supported on queryall; use limit with fresh requests")
+		return
+	}
+	if stream, okStream := wantsStream(r); !okStream {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid stream %q (use 1 or true)", r.URL.Query().Get("stream")))
+		return
+	} else if stream {
+		s.serveQueryAllStream(w, r, resolve, fields, alpha, k)
+		return
+	}
 	resp := QueryAllResponse{Alpha: alpha, Pattern: fields, TopK: k}
 
 	// One tenant per network, not per community: the merge below may carry

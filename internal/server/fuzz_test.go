@@ -1,0 +1,52 @@
+package server
+
+import (
+	"testing"
+)
+
+// FuzzCursorDecode throws arbitrary strings at the pagination-cursor decoder:
+// malformed, truncated, oversized or type-confused tokens must error — never
+// panic — and any token the decoder accepts must round-trip through
+// encodeCursor to an identical cursor.
+func FuzzCursorDecode(f *testing.F) {
+	// A well-formed cursor, and mutations a hostile or stale client could send.
+	valid := encodeCursor(cursor{V: cursorVersion, Network: "bk", Pattern: "1,2", Alpha: 0.25, K: 5, Epoch: 3, Pos: 7})
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated
+	f.Add("")
+	f.Add("not base64!!")
+	f.Add("aGVsbG8") // base64 of non-JSON
+	f.Add(encodeCursor(cursor{V: 99, Epoch: 1}))
+	f.Add(encodeCursor(cursor{V: cursorVersion, Pos: -1}))
+	f.Add(encodeCursor(cursor{V: cursorVersion, K: -3}))
+	f.Add(encodeCursor(cursor{V: cursorVersion, Alpha: -0.5}))
+	// Epoch-skewed: decodes fine; the handler rejects it with 410 later.
+	f.Add(encodeCursor(cursor{V: cursorVersion, Epoch: 1 << 60, Pos: 1}))
+	f.Add("eyJ2IjoxLCJwb3MiOjF9")   // raw JSON-ish base64
+	f.Add(`{"v":1,"pos":1}`)        // unencoded JSON
+	f.Add("AAAAAAAAAAAAAAAAAAAAAA") // binary noise
+
+	f.Fuzz(func(t *testing.T, raw string) {
+		c, err := decodeCursor(raw)
+		if err != nil {
+			return
+		}
+		// Accepted tokens must satisfy the invariants every handler relies on.
+		if c.V != cursorVersion {
+			t.Fatalf("accepted cursor with version %d", c.V)
+		}
+		if c.Pos < 0 || c.K < 0 || c.Alpha < 0 {
+			t.Fatalf("accepted out-of-range cursor %+v", c)
+		}
+		// And round-trip: re-encoding the decoded cursor must decode back to
+		// the same value (the token itself need not match — JSON field order
+		// and unknown fields are not canonical).
+		again, err := decodeCursor(encodeCursor(c))
+		if err != nil {
+			t.Fatalf("re-encoded cursor failed to decode: %v", err)
+		}
+		if again != c {
+			t.Fatalf("round trip changed the cursor: %+v vs %+v", c, again)
+		}
+	})
+}

@@ -198,6 +198,12 @@ func (s *Server) registerCollectors() {
 	engineCounter("tc_engine_shards_prefetched_total",
 		"Shard loads performed by the background prefetcher.",
 		func(st engine.Stats) float64 { return float64(st.ShardsPrefetched) })
+	engineCounter("tc_engine_streams_total",
+		"Pull-based streams opened (StreamQuery and StreamTopK).",
+		func(st engine.Stats) float64 { return float64(st.Streams) })
+	engineCounter("tc_engine_shards_short_circuited_total",
+		"Scheduled shards top-k early termination never opened.",
+		func(st engine.Stats) float64 { return float64(st.ShardsShortCircuited) })
 	engineGauge("tc_engine_index_epoch",
 		"Index epoch: swaps installed by shard reloads and applied deltas.",
 		func(st engine.Stats) float64 { return float64(st.IndexEpoch) })
@@ -251,6 +257,9 @@ func (s *Server) registerCollectors() {
 	fedCollect("tc_federation_topkalls_total",
 		"Cross-network top-k calls.", "counter",
 		func(fs federation.Stats) float64 { return float64(fs.TopKAlls) })
+	fedCollect("tc_federation_streamalls_total",
+		"Cross-network streaming calls (StreamQueryAll, StreamTopKAll).", "counter",
+		func(fs federation.Stats) float64 { return float64(fs.StreamAlls) })
 	fedCollect("tc_federation_resident_shards",
 		"Lazily loaded shards resident across every network.", "gauge",
 		func(fs federation.Stats) float64 { return float64(fs.ResidentShards) })

@@ -245,6 +245,9 @@ type QueryResponse struct {
 	VisitedNodes   int                 `json:"visitedNodes"`
 	QueryMicros    int64               `json:"queryMicros"`
 	Communities    []CommunityResponse `json:"communities"`
+	// NextCursor resumes a paginated answer (?limit=N) where this page
+	// stopped; present only when more communities remain.
+	NextCursor string `json:"nextCursor,omitempty"`
 }
 
 // CommunityResponse describes one theme community in a query answer.
@@ -317,6 +320,13 @@ func (t *tenant) parseQueryParams(w http.ResponseWriter, r *http.Request) (alpha
 func (s *Server) serveQuery(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	// Streaming and pagination parameters divert to the pull-based executor;
+	// without them the materializing path below answers byte-for-byte as
+	// before.
+	if qp := r.URL.Query(); qp.Get("stream") != "" || qp.Get("cursor") != "" || qp.Get("limit") != "" {
+		s.serveQueryStream(t, w, r)
 		return
 	}
 	alpha, q, ok := t.parseQueryParams(w, r)

@@ -1,0 +1,471 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"themecomm/internal/engine"
+	"themecomm/internal/federation"
+	"themecomm/internal/itemset"
+)
+
+// This file is the HTTP surface of the streaming executor: chunked NDJSON
+// responses (?stream=1) that deliver communities as the engine's pull-based
+// cursor yields them, and cursor pagination (?limit=N, ?cursor=...) that
+// resumes a query answer across requests.
+//
+// NDJSON framing: one JSON object per line — a StreamHeader line, then one
+// StreamCommunity line per community, then a StreamTrailer line with the
+// execution counters and, when a limit cut the answer short, the cursor of
+// the next page. A mid-stream failure replaces the trailer with a
+// StreamError line (the HTTP status is already committed by then, so the
+// error travels in-band).
+//
+// Cursors are opaque base64url-encoded JSON carrying the query (network,
+// pattern, alpha, k), the index epoch it executed against, and the resume
+// position. A cursor is only valid against the epoch it was minted at:
+// after an ApplyDelta or shard reload the remaining pages could mix pre-
+// and post-delta shards, so a stale cursor is rejected with 410 Gone and
+// the client re-issues the query from the start.
+
+// cursorVersion is the version stamped into minted cursors; decodeCursor
+// rejects every other version.
+const cursorVersion = 1
+
+// maxCursorLen bounds the accepted cursor parameter, keeping hostile inputs
+// from forcing large base64/JSON work.
+const maxCursorLen = 4096
+
+// cursor is the decoded pagination state. The pattern is kept in its raw
+// request form (comma-separated names or ids) and re-resolved on resume, so
+// a cursor round-trips exactly what the client originally asked.
+type cursor struct {
+	V       int     `json:"v"`
+	Network string  `json:"net,omitempty"`
+	Pattern string  `json:"pattern,omitempty"`
+	Alpha   float64 `json:"alpha"`
+	K       int     `json:"k,omitempty"`
+	Epoch   uint64  `json:"epoch"`
+	Pos     int     `json:"pos"`
+}
+
+// encodeCursor renders a cursor as an opaque URL-safe token.
+func encodeCursor(c cursor) string {
+	b, _ := json.Marshal(c)
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+// decodeCursor parses and validates a cursor token. Malformed, truncated,
+// oversized or out-of-range inputs error; they never panic (FuzzCursorDecode
+// holds it to that).
+func decodeCursor(raw string) (cursor, error) {
+	var c cursor
+	if raw == "" {
+		return c, errors.New("empty cursor")
+	}
+	if len(raw) > maxCursorLen {
+		return c, fmt.Errorf("cursor exceeds %d bytes", maxCursorLen)
+	}
+	b, err := base64.RawURLEncoding.DecodeString(raw)
+	if err != nil {
+		return c, fmt.Errorf("cursor is not base64url: %v", err)
+	}
+	if err := json.Unmarshal(b, &c); err != nil {
+		return cursor{}, fmt.Errorf("cursor is not valid JSON: %v", err)
+	}
+	if c.V != cursorVersion {
+		return cursor{}, fmt.Errorf("unsupported cursor version %d", c.V)
+	}
+	if c.Pos < 0 {
+		return cursor{}, fmt.Errorf("negative cursor position %d", c.Pos)
+	}
+	if c.K < 0 {
+		return cursor{}, fmt.Errorf("negative cursor k %d", c.K)
+	}
+	if c.Alpha < 0 {
+		return cursor{}, fmt.Errorf("negative cursor alpha %g", c.Alpha)
+	}
+	return c, nil
+}
+
+// StreamHeader is the first line of an NDJSON streaming response.
+type StreamHeader struct {
+	Type    string   `json:"type"` // "header"
+	Network string   `json:"network,omitempty"`
+	Alpha   float64  `json:"alpha"`
+	Pattern []string `json:"pattern,omitempty"`
+	TopK    int      `json:"topK,omitempty"`
+	// Epoch is the index epoch the stream executes against; cursors minted
+	// by this stream carry it. Omitted on queryall streams, whose members
+	// each have their own epoch.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// StreamCommunity is one community line of an NDJSON streaming response.
+// Network is set on queryall streams.
+type StreamCommunity struct {
+	Type    string `json:"type"` // "community"
+	Network string `json:"network,omitempty"`
+	CommunityResponse
+}
+
+// StreamTrailer is the last line of a successful NDJSON streaming response.
+type StreamTrailer struct {
+	Type    string `json:"type"` // "trailer"
+	Emitted int    `json:"emitted"`
+	// RetrievedNodes and VisitedNodes mirror QueryResponse; zero on queryall
+	// streams (the counters are per member engine).
+	RetrievedNodes int `json:"retrievedNodes,omitempty"`
+	VisitedNodes   int `json:"visitedNodes,omitempty"`
+	// ShardsShortCircuited counts scheduled shards top-k early termination
+	// never opened (single-network streams only).
+	ShardsShortCircuited int   `json:"shardsShortCircuited,omitempty"`
+	QueryMicros          int64 `json:"queryMicros"`
+	// NextCursor resumes the answer where this page stopped; present only
+	// when a limit cut the stream short of its end.
+	NextCursor string `json:"nextCursor,omitempty"`
+}
+
+// StreamError is the terminal line of a failed NDJSON streaming response;
+// Status is the HTTP status the failure would have carried had it happened
+// before the response was committed (410 for a mid-stream index swap).
+type StreamError struct {
+	Type   string `json:"type"` // "error"
+	Status int    `json:"status"`
+	Error  string `json:"error"`
+}
+
+// streamStatusOf maps a stream failure to its HTTP status.
+func streamStatusOf(err error) int {
+	if errors.Is(err, engine.ErrEpochChanged) {
+		return http.StatusGone
+	}
+	return http.StatusInternalServerError
+}
+
+// wantsStream reports whether the request asked for NDJSON delivery; the
+// second value is false when the parameter was present but not a boolean.
+func wantsStream(r *http.Request) (stream, ok bool) {
+	switch r.URL.Query().Get("stream") {
+	case "":
+		return false, true
+	case "1", "true":
+		return true, true
+	case "0", "false":
+		return false, true
+	}
+	return false, false
+}
+
+// parseLimit parses the limit parameter (0 = no limit). ok is false when an
+// error response has been written.
+func parseLimit(w http.ResponseWriter, r *http.Request) (limit int, ok bool) {
+	v := r.URL.Query().Get("limit")
+	if v == "" {
+		return 0, true
+	}
+	parsed, err := strconv.Atoi(v)
+	if err != nil || parsed < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid limit %q", v))
+		return 0, false
+	}
+	return parsed, true
+}
+
+// serveQueryStream handles GET .../query when streaming or pagination
+// parameters are present: ?stream=1 switches the response to NDJSON,
+// ?limit=N bounds the page, and ?cursor=... resumes a previous page's
+// position (the cursor carries the query; conflicting pattern/alpha/k
+// parameters are ignored). The answer is delivered through the engine's
+// pull-based stream, so only the shards the page needs are opened, and a
+// top-k stream short-circuits the shards its α* bounds rule out.
+func (s *Server) serveQueryStream(t *tenant, w http.ResponseWriter, r *http.Request) {
+	ndjson, okStream := wantsStream(r)
+	if !okStream {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid stream %q (use 1 or true)", r.URL.Query().Get("stream")))
+		return
+	}
+	limit, ok := parseLimit(w, r)
+	if !ok {
+		return
+	}
+
+	var alpha float64
+	var q itemset.Itemset
+	var k, pos int
+	var rawPattern string
+	if rawCursor := r.URL.Query().Get("cursor"); rawCursor != "" {
+		c, err := decodeCursor(rawCursor)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid cursor: %v", err))
+			return
+		}
+		if c.Network != t.name {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("cursor was minted for network %q", c.Network))
+			return
+		}
+		if epoch := t.engine.IndexEpoch(); epoch != c.Epoch {
+			writeError(w, http.StatusGone, fmt.Sprintf("cursor epoch %d expired: the index moved to epoch %d; re-issue the query", c.Epoch, epoch))
+			return
+		}
+		alpha, k, pos, rawPattern = c.Alpha, c.K, c.Pos, c.Pattern
+		if rawPattern != "" {
+			parsed, err := t.parsePattern(rawPattern)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid cursor pattern: %v", err))
+				return
+			}
+			q = parsed
+		}
+	} else {
+		alpha, q, ok = t.parseQueryParams(w, r)
+		if !ok {
+			return
+		}
+		rawPattern = r.URL.Query().Get("pattern")
+		if v := r.URL.Query().Get("k"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil || parsed < 1 {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid k %q", v))
+				return
+			}
+			k = parsed
+		}
+	}
+
+	start := time.Now()
+	var st *engine.Stream
+	var err error
+	if k > 0 {
+		st, err = t.engine.StreamTopK(r.Context(), q, alpha, k)
+	} else {
+		st, err = t.engine.StreamQuery(r.Context(), q, alpha)
+	}
+	if err != nil {
+		writeError(w, streamStatusOf(err), err.Error())
+		return
+	}
+	defer st.Close()
+	if pos > 0 && st.Stats().Epoch != t.engine.IndexEpoch() {
+		// The index moved between the cursor check above and the stream
+		// capture; the authoritative epoch is the stream's own.
+		writeError(w, http.StatusGone, "cursor epoch expired: the index moved; re-issue the query")
+		return
+	}
+
+	// Skip the communities previous pages already delivered. On a lazy
+	// engine the early shards are typically still resident, so a resume
+	// costs traversal, not disk.
+	for skipped := 0; skipped < pos; skipped++ {
+		rc, err := st.Next()
+		if err != nil {
+			writeError(w, streamStatusOf(err), err.Error())
+			return
+		}
+		if rc == nil {
+			break // the page starts beyond the end: empty page, no next cursor
+		}
+	}
+
+	var patternNames []string
+	if q != nil {
+		patternNames = t.itemNames(q)
+	}
+	nextCursor := func(emitted int) string {
+		return encodeCursor(cursor{
+			V: cursorVersion, Network: t.name, Pattern: rawPattern,
+			Alpha: alpha, K: k, Epoch: st.Stats().Epoch, Pos: pos + emitted,
+		})
+	}
+
+	if ndjson {
+		s.writeStreamNDJSON(t, w, st, StreamHeader{
+			Type: "header", Network: t.name, Alpha: alpha, Pattern: patternNames,
+			TopK: k, Epoch: st.Stats().Epoch,
+		}, k > 0, limit, start, nextCursor)
+		return
+	}
+
+	// Plain JSON page: the materializing response shape plus nextCursor.
+	resp := QueryResponse{Alpha: alpha, Pattern: patternNames, TopK: k}
+	emitted := 0
+	for limit <= 0 || emitted < limit {
+		rc, err := st.Next()
+		if err != nil {
+			writeError(w, streamStatusOf(err), err.Error())
+			return
+		}
+		if rc == nil {
+			break
+		}
+		resp.Communities = append(resp.Communities, t.streamCommunity(rc, k > 0))
+		emitted++
+	}
+	more, err := streamHasMore(st, limit, emitted)
+	if err != nil {
+		writeError(w, streamStatusOf(err), err.Error())
+		return
+	}
+	if more {
+		resp.NextCursor = nextCursor(emitted)
+	}
+	st.Close()
+	stats := st.Stats()
+	resp.RetrievedNodes = stats.RetrievedNodes
+	resp.VisitedNodes = stats.VisitedNodes
+	resp.QueryMicros = time.Since(start).Microseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// streamHasMore peeks one community past the page to decide whether a next
+// cursor is due. The peeked community is discarded — the next page
+// recomputes it — which costs one community, not one shard.
+func streamHasMore(st *engine.Stream, limit, emitted int) (bool, error) {
+	if limit <= 0 || emitted < limit {
+		return false, nil
+	}
+	rc, err := st.Next()
+	if err != nil {
+		return false, err
+	}
+	return rc != nil, nil
+}
+
+// streamCommunity renders one streamed community: ranked answers carry the
+// cohesion annotations, plain answers the community alone — matching the
+// materializing renderings of the same query.
+func (t *tenant) streamCommunity(rc *engine.RankedCommunity, ranked bool) CommunityResponse {
+	if ranked {
+		return t.rankedResponse(*rc)
+	}
+	return CommunityResponse{
+		Theme:    t.itemNames(rc.Community.Pattern),
+		Vertices: t.names(rc.Community.Vertices()),
+		Edges:    rc.Community.Edges.Len(),
+	}
+}
+
+// writeStreamNDJSON drives a single-network stream to an NDJSON response:
+// header, one line per community (flushed as produced, so clients see
+// results while later shards are still unopened), then the trailer with the
+// final counters — the stream is closed first, so ShardsShortCircuited is
+// the final tally.
+func (s *Server) writeStreamNDJSON(t *tenant, w http.ResponseWriter, st *engine.Stream, header StreamHeader, ranked bool, limit int, start time.Time, nextCursor func(int) string) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	writeLine := func(v any) {
+		_ = enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	writeLine(header)
+	emitted := 0
+	for limit <= 0 || emitted < limit {
+		rc, err := st.Next()
+		if err != nil {
+			writeLine(StreamError{Type: "error", Status: streamStatusOf(err), Error: err.Error()})
+			return
+		}
+		if rc == nil {
+			break
+		}
+		writeLine(StreamCommunity{Type: "community", CommunityResponse: t.streamCommunity(rc, ranked)})
+		emitted++
+	}
+	more, err := streamHasMore(st, limit, emitted)
+	if err != nil {
+		writeLine(StreamError{Type: "error", Status: streamStatusOf(err), Error: err.Error()})
+		return
+	}
+	trailer := StreamTrailer{Type: "trailer", Emitted: emitted}
+	if more {
+		trailer.NextCursor = nextCursor(emitted)
+	}
+	st.Close()
+	stats := st.Stats()
+	trailer.RetrievedNodes = stats.RetrievedNodes
+	trailer.VisitedNodes = stats.VisitedNodes
+	trailer.ShardsShortCircuited = stats.ShardsShortCircuited
+	trailer.QueryMicros = time.Since(start).Microseconds()
+	writeLine(trailer)
+}
+
+// serveQueryAllStream handles GET /api/v1/queryall?stream=1: the federated
+// answer as one NDJSON stream — the cross-network cohesion merge when k is
+// given, the per-network concatenation in name order otherwise. Cursors are
+// not supported on queryall (members move epochs independently); pages come
+// from re-issuing with a narrower limit.
+func (s *Server) serveQueryAllStream(w http.ResponseWriter, r *http.Request, resolve federation.PatternResolver, fields []string, alpha float64, k int) {
+	limit, ok := parseLimit(w, r)
+	if !ok {
+		return
+	}
+	start := time.Now()
+	var ms *federation.MergedStream
+	var err error
+	if k > 0 {
+		ms, err = s.fed.StreamTopKAllFuncContext(r.Context(), resolve, alpha, k)
+	} else {
+		ms, err = s.fed.StreamQueryAllFuncContext(r.Context(), resolve, alpha)
+	}
+	if err != nil {
+		writeError(w, streamStatusOf(err), err.Error())
+		return
+	}
+	defer ms.Close()
+
+	tenants := make(map[string]*tenant)
+	tenantFor := func(name string) *tenant {
+		if t, ok := tenants[name]; ok {
+			return t
+		}
+		n, ok := s.fed.Network(name)
+		if !ok {
+			return nil
+		}
+		t := tenantOf(n)
+		tenants[name] = t
+		return t
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	writeLine := func(v any) {
+		_ = enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	writeLine(StreamHeader{Type: "header", Alpha: alpha, Pattern: fields, TopK: k})
+	emitted := 0
+	for limit <= 0 || emitted < limit {
+		nr, err := ms.Next()
+		if err != nil {
+			writeLine(StreamError{Type: "error", Status: streamStatusOf(err), Error: err.Error()})
+			return
+		}
+		if nr == nil {
+			break
+		}
+		t := tenantFor(nr.Network)
+		if t == nil {
+			continue // detached mid-stream; its remaining communities are gone
+		}
+		writeLine(StreamCommunity{
+			Type: "community", Network: nr.Network,
+			CommunityResponse: t.streamCommunity(&nr.RankedCommunity, k > 0),
+		})
+		emitted++
+	}
+	writeLine(StreamTrailer{Type: "trailer", Emitted: emitted, QueryMicros: time.Since(start).Microseconds()})
+}

@@ -1,28 +1,44 @@
 #!/bin/sh
 # check-coverage.sh runs the internal packages with -coverprofile, prints the
-# per-package coverage table, and fails if themecomm/internal/engine — the
-# concurrency-critical serving layer — drops below the pinned floor.
-# Override the floor with ENGINE_COVERAGE_FLOOR=NN.N (a bare percentage).
+# per-package coverage table, and fails if any package in the FLOORS table
+# drops below its pinned floor:
+#
+#   internal/engine      — the concurrency-critical serving layer
+#   internal/delta       — the incremental-maintenance format and apply path
+#   internal/federation  — the cross-network merge and shared-resource layer
+#
+# Override a floor with <PKG>_COVERAGE_FLOOR=NN.N (bare percentage), e.g.
+# ENGINE_COVERAGE_FLOOR=90 or FEDERATION_COVERAGE_FLOOR=75.
 set -eu
 
-FLOOR="${ENGINE_COVERAGE_FLOOR:-85.0}"
 PROFILE="${COVERAGE_PROFILE:-coverage.out}"
+
+FLOORS="
+themecomm/internal/engine ${ENGINE_COVERAGE_FLOOR:-85.0}
+themecomm/internal/delta ${DELTA_COVERAGE_FLOOR:-80.0}
+themecomm/internal/federation ${FEDERATION_COVERAGE_FLOOR:-80.0}
+"
 
 out=$(go test -coverprofile="$PROFILE" ./internal/...)
 echo "$out"
 echo
 echo "per-package coverage:"
 echo "$out" | awk '/coverage:/ { for (i = 1; i <= NF; i++) if ($i ~ /%/) printf "  %-40s %s\n", $2, $i }'
-
-engine=$(echo "$out" | awk '$2 == "themecomm/internal/engine" { for (i = 1; i <= NF; i++) if ($i ~ /%/) { gsub("%", "", $i); print $i } }')
-if [ -z "$engine" ]; then
-	echo "error: no coverage reported for themecomm/internal/engine" >&2
-	exit 1
-fi
-
 echo
-if awk -v got="$engine" -v floor="$FLOOR" 'BEGIN { exit !(got + 0 < floor + 0) }'; then
-	echo "FAIL: internal/engine coverage ${engine}% is below the ${FLOOR}% floor" >&2
-	exit 1
-fi
-echo "internal/engine coverage ${engine}% meets the ${FLOOR}% floor"
+
+failed=0
+echo "$FLOORS" | while read -r pkg floor; do
+	[ -n "$pkg" ] || continue
+	got=$(echo "$out" | awk -v pkg="$pkg" '$2 == pkg { for (i = 1; i <= NF; i++) if ($i ~ /%/) { gsub("%", "", $i); print $i } }')
+	if [ -z "$got" ]; then
+		echo "FAIL: no coverage reported for $pkg" >&2
+		exit 1
+	fi
+	if awk -v got="$got" -v floor="$floor" 'BEGIN { exit !(got + 0 < floor + 0) }'; then
+		echo "FAIL: $pkg coverage ${got}% is below the ${floor}% floor" >&2
+		exit 1
+	fi
+	echo "$pkg coverage ${got}% meets the ${floor}% floor"
+done || failed=1
+
+exit "$failed"

@@ -33,21 +33,31 @@ echo "== generating and indexing a dataset"
 "$workdir/tcgen" -dataset BK -scale 0.1 -out "$workdir/bk.dbnet"
 "$workdir/tcindex" -in "$workdir/bk.dbnet" -sharded "$workdir/bk.index"
 
-addr="127.0.0.1:18080"
-pprof_addr="127.0.0.1:18081"
-echo "== starting tcserver on $addr (pprof on $pprof_addr)"
+# Bind both listeners to :0 — the kernel picks free ports, so the smoke test
+# never collides with whatever else runs on the CI host. tcserver listens
+# before logging "listening on <actual address>", so the log line doubles as
+# the readiness signal: once it appears the port is accepting.
+echo "== starting tcserver on 127.0.0.1:0 (pprof on 127.0.0.1:0)"
 "$workdir/tcserver" -tree "$workdir/bk.index" -net "$workdir/bk.dbnet" \
-  -addr "$addr" -pprof "$pprof_addr" -slowquery 1ns \
+  -addr "127.0.0.1:0" -pprof "127.0.0.1:0" -slowquery 1ns \
   >"$workdir/server.out" 2>"$workdir/server.log" &
 server_pid=$!
 
+addr=""
+pprof_addr=""
 for i in $(seq 1 50); do
-  if curl -sf "http://$addr/healthz" >/dev/null 2>&1; then break; fi
+  addr=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\)$/\1/p' "$workdir/server.log" | head -1)
+  pprof_addr=$(sed -n 's|.*pprof listening on http://\(127\.0\.0\.1:[0-9]*\)/.*|\1|p' "$workdir/server.log" | head -1)
+  if [ -n "$addr" ] && [ -n "$pprof_addr" ]; then break; fi
   if ! kill -0 "$server_pid" 2>/dev/null; then
     echo "tcserver died:" >&2; cat "$workdir/server.log" >&2; exit 1
   fi
   sleep 0.2
 done
+if [ -z "$addr" ] || [ -z "$pprof_addr" ]; then
+  echo "tcserver never logged its listeners:" >&2; cat "$workdir/server.log" >&2; exit 1
+fi
+echo "== bound: api $addr, pprof $pprof_addr"
 
 fail() { echo "FAIL: $1" >&2; cat "$workdir/server.log" >&2; exit 1; }
 
@@ -98,6 +108,27 @@ echo "$slowlog" | grep -q '"plan"' || fail "slow log entry has no plan: $slowlog
 echo "== pprof sidecar"
 curl -sf "http://$pprof_addr/debug/pprof/cmdline" >/dev/null \
   || fail "pprof listener not answering on $pprof_addr"
+
+echo "== NDJSON streaming (?stream=1)"
+curl -sf "http://$addr/api/v1/query?alpha=0.2&stream=1" >"$workdir/stream.ndjson"
+head -1 "$workdir/stream.ndjson" | grep -q '"type":"header"' \
+  || fail "stream does not open with a header line: $(head -1 "$workdir/stream.ndjson")"
+tail -1 "$workdir/stream.ndjson" | grep -q '"type":"trailer"' \
+  || fail "stream does not close with a trailer line: $(tail -1 "$workdir/stream.ndjson")"
+grep -q '"type":"community"' "$workdir/stream.ndjson" || fail "stream carried no communities"
+
+echo "== cursor pagination walks the answer"
+page=$(curl -sf "http://$addr/api/v1/query?alpha=0.2&limit=1")
+echo "$page" | grep -q '"nextCursor"' || fail "limited page minted no cursor: $page"
+cur=$(echo "$page" | sed -n 's/.*"nextCursor":"\([^"]*\)".*/\1/p')
+curl -sf "http://$addr/api/v1/query?limit=1&cursor=$cur" | grep -q '"communities"' \
+  || fail "cursor resume returned no page"
+
+echo "== tcquery -server -stream round trip"
+out=$("$workdir/tcquery" -server "http://$addr" -alpha 0.2 -stream)
+echo "$out" | grep -q "streaming communities" || fail "tcquery -stream printed no header: $out"
+echo "$out" | grep -Eq "stream complete in [0-9]+µs: [1-9][0-9]* communities" \
+  || fail "tcquery -stream did not complete: $out"
 
 echo "== tcquery -server round trip"
 out=$("$workdir/tcquery" -server "http://$addr" -alpha 0.2 -requestid smoke-cli-1)
