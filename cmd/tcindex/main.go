@@ -1,15 +1,21 @@
 // Command tcindex builds the TC-Tree index of a database network and writes
 // it to disk, reporting the Table 3 metrics (indexing time, memory, #nodes).
 //
-// The index is written in one (or both) of two formats: a single monolithic
-// gob file (-out), or a sharded directory (-sharded) holding one gob file per
+// The index is written in one (or both) of two layouts: a single monolithic
+// gob file (-out), or a sharded directory (-sharded) holding one file per
 // top-level item plus an index.manifest, which tcserver and tcquery can serve
-// lazily — loading only the shards a workload touches.
+// lazily — loading only the shards a workload touches. Sharded shards are
+// encoded either as gob (the default; decoded whole into memory on load) or
+// as TCBIN (-format tcbin; a flat binary layout served zero-copy from a
+// memory-mapped file). An existing sharded index converts between the two
+// encodings in place with -migrate.
 //
 // Usage:
 //
 //	tcindex -in bk.dbnet -out bk.tctree
 //	tcindex -in bk.dbnet -sharded bk.index
+//	tcindex -in bk.dbnet -sharded bk.index -format tcbin
+//	tcindex -migrate bk.index -format tcbin
 package main
 
 import (
@@ -27,12 +33,32 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("tcindex: ")
 
-	in := flag.String("in", "", "input database network file (required)")
+	in := flag.String("in", "", "input database network file (required unless -migrate)")
 	out := flag.String("out", "", "output TC-Tree file (defaults to <in>.tctree when -sharded is not given)")
 	sharded := flag.String("sharded", "", "output directory for the sharded index format (per-shard files + manifest)")
+	format := flag.String("format", "", "shard encoding of the sharded format: gob or tcbin (default gob, or $TC_INDEX_FORMAT)")
+	migrate := flag.String("migrate", "", "re-encode an existing sharded index directory into -format in place, then exit")
 	workers := flag.Int("workers", 0, "parallelism of the first tree level (0 = GOMAXPROCS)")
 	maxDepth := flag.Int("maxdepth", 0, "maximum indexed pattern length (0 = unbounded)")
 	flag.Parse()
+
+	if *migrate != "" {
+		if *format == "" {
+			log.Fatal("-migrate needs -format (gob or tcbin)")
+		}
+		idx, err := themecomm.OpenShardedIndex(*migrate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		from := idx.Format()
+		start := time.Now()
+		if err := themecomm.MigrateIndexFormat(idx, *format); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("migrated %s: %s -> %s (%d shards, %v)\n",
+			*migrate, from, idx.Format(), idx.NumShards(), time.Since(start))
+		return
+	}
 
 	if *in == "" {
 		flag.Usage()
@@ -60,11 +86,17 @@ func main() {
 		fmt.Printf("indexed %s -> %s\n", *in, path)
 	}
 	if *sharded != "" {
-		manifest, err := themecomm.WriteShardedTree(tree, *sharded)
+		var manifest *themecomm.IndexManifest
+		if *format != "" {
+			manifest, err = themecomm.WriteShardedTreeAs(tree, *sharded, *format)
+		} else {
+			manifest, err = themecomm.WriteShardedTree(tree, *sharded)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("indexed %s -> %s (sharded: %d shards + manifest)\n", *in, *sharded, len(manifest.Shards))
+		fmt.Printf("indexed %s -> %s (sharded: %d %s shards + manifest)\n",
+			*in, *sharded, len(manifest.Shards), manifest.FormatName())
 	}
 	fmt.Printf("  indexing time: %v\n", elapsed)
 	fmt.Printf("  heap in use:   %.1f MB\n", float64(ms.HeapAlloc)/(1<<20))

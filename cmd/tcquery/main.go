@@ -2,10 +2,13 @@
 // tcindex: query by cohesion threshold (QBA), by pattern (QBP), or both.
 // Queries run through the engine's cost-based planner: shards whose α* bound
 // proves an empty answer at α_q are skipped from catalogue metadata alone,
-// and -topk ranks the answer by cohesion. Both index formats load
-// transparently; against a sharded index directory (tcindex -sharded) only
-// the shards the query touches — and the planner cannot skip — are read from
-// disk. -explain prints the per-shard plan (skip/resident/load decisions,
+// and -topk ranks the answer by cohesion. -contains flips the query to
+// containment semantics — retrieve the indexed patterns that contain the
+// query pattern — where the catalogue's per-shard bloom filters and α-depth
+// histograms skip shards that cannot hold a superset. All index layouts load
+// transparently (monolithic gob, sharded gob, sharded TCBIN); against a
+// sharded index directory (tcindex -sharded) only the shards the query
+// touches — and the planner cannot skip — are read from disk. -explain prints the per-shard plan (skip/resident/load decisions,
 // cost-ordered schedule) and the observed execution counters instead of the
 // communities; -noplanner disables the planner for comparison.
 //
@@ -27,6 +30,7 @@
 //	tcquery -tree bk.index -net bk.dbnet -pattern "hangout-c3-0,hangout-c3-1" -alpha 0.2
 //	tcquery -tree bk.dbnet.tctree -alpha 0.2 -topk 10 -workers 8
 //	tcquery -tree bk.index -alpha 0.4 -explain
+//	tcquery -tree bk.index -pattern "hangout-c3-0" -alpha 0.2 -contains
 //	tcquery -tree warehouse/ -network bk -alpha 0.2
 //	tcquery -server http://localhost:8080 -alpha 0.2 -topk 5
 //	tcquery -server http://localhost:8080 -network bk -alpha 0.2 -requestid probe-1
@@ -56,6 +60,7 @@ func main() {
 	topK := flag.Int("topk", 0, "rank communities by cohesion then size and keep the k best (0 = plain query)")
 	workers := flag.Int("workers", 0, "shard-traversal parallelism (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 0, "result-cache entries (0 disables caching)")
+	contains := flag.Bool("contains", false, "containment query: answer with the indexed patterns that CONTAIN -pattern (supersets) instead of the sub-patterns it contains")
 	explain := flag.Bool("explain", false, "print the query plan and execution counters instead of the communities")
 	noPlanner := flag.Bool("noplanner", false, "disable the cost-based planner (no α* shard skipping, no cost ordering, no prefetch)")
 	serverURL := flag.String("server", "", "query a running tcserver at this base URL (e.g. http://localhost:8080) instead of opening an index")
@@ -65,8 +70,11 @@ func main() {
 	limitFlag := flag.Int("limit", 0, "with -server: page size; the response carries a cursor when more communities remain (0 = no limit)")
 	flag.Parse()
 
+	if *contains && (*topK > 0 || *stream || *cursor != "" || *limitFlag > 0) {
+		log.Fatal("-contains answers are not rankable or pageable; drop -topk, -stream, -cursor and -limit")
+	}
 	if *serverURL != "" {
-		runRemote(*serverURL, *network, *pattern, *alphaQ, *topK, *top, *explain, *requestID,
+		runRemote(*serverURL, *network, *pattern, *alphaQ, *topK, *top, *explain, *contains, *requestID,
 			*stream, *cursor, *limitFlag)
 		return
 	}
@@ -113,7 +121,7 @@ func main() {
 	}
 
 	if *explain {
-		printExplain(eng, q, *alphaQ)
+		printExplain(eng, q, *alphaQ, *contains)
 		return
 	}
 
@@ -132,7 +140,12 @@ func main() {
 		return
 	}
 
-	qr, err := eng.Query(q, *alphaQ)
+	var qr *themecomm.QueryResult
+	if *contains {
+		qr, err = eng.QueryContaining(q, *alphaQ)
+	} else {
+		qr, err = eng.Query(q, *alphaQ)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -198,11 +211,17 @@ func resolveNetwork(treePath, network string, netPath *string) string {
 	return pick.IndexPath
 }
 
-// printExplain runs the query through Engine.Explain and prints the
-// per-shard decisions, the cost-ordered schedule and the post-execution
-// counters.
-func printExplain(eng *themecomm.Engine, q themecomm.Itemset, alphaQ float64) {
-	rep, err := eng.Explain(q, alphaQ)
+// printExplain runs the query through Engine.Explain (or ExplainContaining
+// with -contains) and prints the per-shard decisions, the cost-ordered
+// schedule and the post-execution counters.
+func printExplain(eng *themecomm.Engine, q themecomm.Itemset, alphaQ float64, contains bool) {
+	var rep *themecomm.EngineExplain
+	var err error
+	if contains {
+		rep, err = eng.ExplainContaining(q, alphaQ)
+	} else {
+		rep, err = eng.Explain(q, alphaQ)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -220,10 +239,17 @@ func printExplainReport(rep *themecomm.EngineExplain) {
 	if !rep.Planner {
 		mode = "planner off"
 	}
+	if rep.Mode != "" {
+		mode = string(rep.Mode) + ", " + mode
+	}
 	fmt.Printf("plan for pattern %s at α_q=%g (%s, %d workers, lazy=%v)\n",
 		pattern, rep.Alpha, mode, rep.Workers, rep.Lazy)
 	fmt.Printf("%d shards: %d load, %d resident, %d skipped by α*, %d not in query; est. cost %.0f\n",
 		rep.Shards, rep.LoadTasks, rep.ResidentTasks, rep.SkippedAlpha, rep.SkippedAbsent, rep.TotalCost)
+	if rep.SkippedBloom > 0 || rep.SkippedHist > 0 {
+		fmt.Printf("catalogue skips: %d by item bloom filter, %d by α-depth histogram\n",
+			rep.SkippedBloom, rep.SkippedHist)
+	}
 	if len(rep.ScheduleOrder) > 0 {
 		order := make([]string, len(rep.ScheduleOrder))
 		for i, it := range rep.ScheduleOrder {

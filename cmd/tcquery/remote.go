@@ -22,7 +22,7 @@ import (
 // that the server echoes and stamps on its access/slow-query logs. On a
 // server error the server-assigned request ID is printed with the message, so
 // the failure can be found in the server's logs with one grep.
-func runRemote(base, network, pattern string, alphaQ float64, topK, top int, explain bool, requestID string, stream bool, cursor string, limit int) {
+func runRemote(base, network, pattern string, alphaQ float64, topK, top int, explain, contains bool, requestID string, stream bool, cursor string, limit int) {
 	if explain && (stream || cursor != "" || limit > 0) {
 		log.Fatal("-explain cannot be combined with -stream, -cursor or -limit")
 	}
@@ -46,6 +46,9 @@ func runRemote(base, network, pattern string, alphaQ float64, topK, top int, exp
 		}
 		if topK > 0 && !explain {
 			params.Set("k", strconv.Itoa(topK))
+		}
+		if contains {
+			params.Set("contains", "true")
 		}
 	}
 	if stream {

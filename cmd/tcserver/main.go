@@ -80,6 +80,7 @@ func main() {
 	workers := flag.Int("workers", 0, "shard-traversal parallelism (0 = GOMAXPROCS)")
 	cacheSize := flag.Int("cache", 1024, "result-cache entries, shared across networks with -networks (0 disables caching)")
 	maxResident := flag.Int("maxresident", 0, "sharded indexes only: max shards kept in memory, across all networks with -networks (0 = unlimited)")
+	maxResidentBytes := flag.Int64("maxresidentbytes", 0, "sharded indexes only: byte budget of resident shards, across all networks with -networks (0 = unlimited)")
 	prefetch := flag.Int("prefetch", 0, "sharded indexes only: background shard-prefetch workers (0 = default, negative disables)")
 	noPlanner := flag.Bool("noplanner", false, "disable the cost-based planner (no α* shard skipping, no cost ordering, no prefetch)")
 	slowQuery := flag.Duration("slowquery", 0, "slow-query threshold: queries at least this slow are captured with their full plan into GET /api/v1/slowlog (0 disables)")
@@ -112,6 +113,7 @@ func main() {
 			Workers:           *workers,
 			CacheSize:         *cacheSize,
 			MaxResidentShards: *maxResident,
+			MaxResidentBytes:  *maxResidentBytes,
 			PrefetchWorkers:   *prefetch,
 			DisablePlanner:    *noPlanner,
 			Recorder:          observer,
@@ -126,6 +128,7 @@ func main() {
 			Workers:           *workers,
 			CacheSize:         *cacheSize,
 			MaxResidentShards: *maxResident,
+			MaxResidentBytes:  *maxResidentBytes,
 			PrefetchWorkers:   *prefetch,
 			DisablePlanner:    *noPlanner,
 			Recorder:          observer,
@@ -157,8 +160,8 @@ func main() {
 		if eng.Lazy() {
 			mode = "lazy"
 		}
-		log.Printf("serving %d indexed maximal pattern trusses (%s, %d shards, %d workers, cache %d)",
-			eng.NumNodes(), mode, eng.NumShards(), eng.Workers(), *cacheSize)
+		log.Printf("serving %d indexed maximal pattern trusses (%s, format %s, %d shards, %d workers, cache %d)",
+			eng.NumNodes(), mode, eng.Format(), eng.NumShards(), eng.Workers(), *cacheSize)
 	}
 	if opts.Federation != nil {
 		names := opts.Federation.Names()

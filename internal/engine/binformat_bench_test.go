@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+)
+
+// benchIndexDirs writes one tree as two sharded indexes — gob and TCBIN —
+// and returns the directories plus the root item of the largest shard (the
+// target of the selective cold query) and the largest root item (whose
+// containment query makes every shard a candidate). The network parameters
+// are per-benchmark: the cold-start contrast wants one huge shard whose gob
+// decode dominates, the planner contrast wants many sparse shards whose
+// bloom filters can actually exclude.
+func benchIndexDirs(b *testing.B, n, m, items, maxTx int) (gobDir, binDir string, hot, last itemset.Item, hotAlpha float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(23))
+	nw := randomNetwork(rng, n, m, items, maxTx)
+	tree := tctree.Build(nw, tctree.BuildOptions{})
+	if tree.NumNodes() == 0 {
+		b.Fatal("empty benchmark tree")
+	}
+	gobDir, binDir = b.TempDir(), b.TempDir()
+	mGob, err := tree.WriteShardedAs(gobDir, tctree.FormatGob)
+	if err != nil {
+		b.Fatalf("WriteShardedAs(gob): %v", err)
+	}
+	if _, err := tree.WriteShardedAs(binDir, tctree.FormatTCBIN); err != nil {
+		b.Fatalf("WriteShardedAs(tcbin): %v", err)
+	}
+	nodes := -1
+	for _, e := range mGob.Shards {
+		if e.Nodes > nodes {
+			nodes, hot, hotAlpha = e.Nodes, itemset.Item(e.Item), e.MaxAlpha
+		}
+		if itemset.Item(e.Item) > last {
+			last = itemset.Item(e.Item)
+		}
+	}
+	return gobDir, binDir, hot, last, hotAlpha
+}
+
+// BenchmarkColdStartBinary measures the cold query path arm against arm:
+// build a lazy engine over an already-opened sharded index and answer one
+// selective single-shard query, so every iteration pays a cold shard load.
+// The gob arm decodes the touched shard whole into heap nodes; the TCBIN
+// arm maps the file and traverses it in place, so the cold query should
+// run a multiple faster with a fraction of the allocations.
+func BenchmarkColdStartBinary(b *testing.B) {
+	gobDir, binDir, hot, _, hotAlpha := benchIndexDirs(b, 160, 3200, 8, 12)
+	q := itemset.New(hot)
+	// Query just under the shard's α* so the answer set is tiny: the cost
+	// that remains is loading the cold shard and walking it, which is the
+	// gob-decode vs mmap contrast under measurement.
+	alphaQ := hotAlpha * 0.9
+	arm := func(dir string) func(b *testing.B) {
+		return func(b *testing.B) {
+			idx, err := tctree.OpenSharded(dir)
+			if err != nil {
+				b.Fatalf("OpenSharded: %v", err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := NewLazy(idx, Options{})
+				if err != nil {
+					b.Fatalf("NewLazy: %v", err)
+				}
+				res, err := eng.Query(q, alphaQ)
+				if err != nil {
+					b.Fatalf("Query: %v", err)
+				}
+				if res.RetrievedNodes == 0 {
+					b.Fatal("selective query retrieved nothing")
+				}
+			}
+		}
+	}
+	b.Run("gob", arm(gobDir))
+	b.Run("tcbin", arm(binDir))
+}
+
+// BenchmarkPlannerSkip pins what the containment catalogue buys. The query
+// is the largest top-level item, so every shard is a candidate to hold a
+// superset; the catalogue arm prunes from the manifest alone every shard
+// whose bloom filter proves the item appears in none of its patterns,
+// while the planner-off arm must load and traverse each one. Both arms
+// return identical trusses.
+func BenchmarkPlannerSkip(b *testing.B) {
+	_, binDir, _, last, _ := benchIndexDirs(b, 64, 320, 24, 4)
+	q := itemset.New(last)
+	idx, err := tctree.OpenSharded(binDir)
+	if err != nil {
+		b.Fatalf("OpenSharded: %v", err)
+	}
+	want := -1
+	arm := func(opts Options) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			loads := 0
+			for i := 0; i < b.N; i++ {
+				eng, err := NewLazy(idx, opts)
+				if err != nil {
+					b.Fatalf("NewLazy: %v", err)
+				}
+				res, err := eng.QueryContaining(q, 0)
+				if err != nil {
+					b.Fatalf("QueryContaining: %v", err)
+				}
+				if want == -1 {
+					want = res.RetrievedNodes
+				} else if res.RetrievedNodes != want {
+					b.Fatalf("arms disagree: retrieved %d trusses, want %d", res.RetrievedNodes, want)
+				}
+				loads += int(eng.Stats().LazyLoads)
+			}
+			b.ReportMetric(float64(loads)/float64(b.N), "shard-loads/op")
+		}
+	}
+	b.Run("catalogue", arm(Options{}))
+	b.Run("noplanner", arm(Options{DisablePlanner: true}))
+}

@@ -1,0 +1,379 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"themecomm/internal/delta"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+	"themecomm/internal/truss"
+)
+
+// bruteContaining computes the containment answer by exhaustive scan: every
+// indexed pattern p ⊇ q whose truss is non-empty at alpha, as a pattern →
+// edge-set map. This is the ground truth QueryContaining must reproduce.
+func bruteContaining(t *testing.T, tree *tctree.Tree, q itemset.Itemset, alpha float64) map[itemset.Key]graph.EdgeSet {
+	t.Helper()
+	out := make(map[itemset.Key]graph.EdgeSet)
+	var walk func(n *tctree.Node)
+	walk = func(n *tctree.Node) {
+		superset := true
+		for _, it := range q {
+			if !n.Pattern.Contains(it) {
+				superset = false
+				break
+			}
+		}
+		if superset && truss.LevelLive(n.Decomp.MaxAlpha(), alpha) {
+			out[n.Pattern.Key()] = n.Decomp.TrussAt(alpha).Edges
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, c := range tree.Root().Children {
+		walk(c)
+	}
+	return out
+}
+
+// containmentQueries is the query mix the containment tests sweep: empty,
+// singletons, cross-shard pairs, full indexed patterns, and patterns with
+// an item the tree does not index.
+func containmentQueries(tree *tctree.Tree) []itemset.Itemset {
+	items := tree.Root().Children
+	qs := []itemset.Itemset{nil, {}}
+	for _, c := range items {
+		qs = append(qs, itemset.New(c.Item))
+	}
+	if len(items) >= 2 {
+		qs = append(qs, itemset.New(items[0].Item, items[len(items)-1].Item))
+	}
+	for _, p := range tree.Patterns() {
+		qs = append(qs, p)
+		if p.Len() > 1 {
+			qs = append(qs, p[1:]) // drop the shard root item
+		}
+	}
+	qs = append(qs, itemset.New(997), itemset.New(items[0].Item, 997))
+	return qs
+}
+
+// assertContainmentAnswer compares a QueryContaining result with the brute
+// force map: same distinct patterns, same edge sets. Visited counts are
+// plan-dependent in containment mode and deliberately not compared.
+func assertContainmentAnswer(t *testing.T, got *tctree.QueryResult, want map[itemset.Key]graph.EdgeSet) {
+	t.Helper()
+	gotSet := trussSet(t, got.Trusses)
+	if len(gotSet) != len(want) {
+		t.Fatalf("retrieved %d distinct patterns, want %d", len(gotSet), len(want))
+	}
+	for key, wantEdges := range want {
+		gotEdges, ok := gotSet[key]
+		if !ok {
+			t.Fatalf("pattern %v missing from containment answer", key.Itemset())
+		}
+		if !gotEdges.Equal(wantEdges) {
+			t.Fatalf("pattern %v: containment truss has %d edges, brute force has %d",
+				key.Itemset(), gotEdges.Len(), wantEdges.Len())
+		}
+	}
+	if got.RetrievedNodes != len(want) {
+		t.Fatalf("RetrievedNodes = %d, want %d", got.RetrievedNodes, len(want))
+	}
+}
+
+// TestQueryContainingMatchesBruteForce is the containment correctness test:
+// eager and lazy engines, planner on and off, must reproduce the exhaustive
+// scan for every query/threshold combination.
+func TestQueryContainingMatchesBruteForce(t *testing.T) {
+	tree := buildTestTree(t, 11)
+	idx, _ := writeShardedTestTree(t, tree)
+	alphas := []float64{0, 0.1, 0.25, tree.MaxAlpha() / 2, tree.MaxAlpha(), tree.MaxAlpha() + 1}
+
+	engines := map[string]*Engine{}
+	var err error
+	if engines["eager"], err = New(tree, Options{}); err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if engines["lazy"], err = NewLazy(idx, Options{CacheSize: 32}); err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+	if engines["lazy-noplan"], err = NewLazy(idx, Options{DisablePlanner: true}); err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+	for name, eng := range engines {
+		for _, q := range containmentQueries(tree) {
+			for _, alpha := range alphas {
+				want := bruteContaining(t, tree, q, alpha)
+				got, err := eng.QueryContaining(q, alpha)
+				if err != nil {
+					t.Fatalf("%s: QueryContaining(%v, %v): %v", name, q, alpha, err)
+				}
+				assertContainmentAnswer(t, got, want)
+			}
+		}
+	}
+
+	// An empty containment query is the query-by-alpha workload and shares
+	// its cache entry and counters with it.
+	byAlpha := mustQueryByAlpha(t, engines["eager"], 0.1)
+	empty, err := engines["eager"].QueryContaining(nil, 0.1)
+	if err != nil {
+		t.Fatalf("QueryContaining(nil): %v", err)
+	}
+	assertSameAnswer(t, empty, byAlpha)
+}
+
+// TestQueryContainingCacheAndDelta checks the containment cache path: a
+// repeat hits the cache with an identical answer, and an applied delta
+// invalidates containment entries (they are stored as full-coverage, since
+// the answer depends on shards the pattern does not name).
+func TestQueryContainingCacheAndDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	nw := randomNetwork(rng, 14, 34, 5, 3)
+	tree := tctree.Build(nw, tctree.BuildOptions{})
+	if tree.NumNodes() == 0 {
+		t.Skip("empty tree for this seed")
+	}
+	idx, _ := writeShardedTestTree(t, tree)
+	eng, err := NewLazy(idx, Options{CacheSize: 32})
+	if err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+
+	q := itemset.New(tree.Root().Children[0].Item)
+	first, err := eng.QueryContaining(q, 0.1)
+	if err != nil {
+		t.Fatalf("QueryContaining: %v", err)
+	}
+	misses := eng.Stats().Cache.Misses
+	again, err := eng.QueryContaining(q, 0.1)
+	if err != nil {
+		t.Fatalf("QueryContaining repeat: %v", err)
+	}
+	if eng.Stats().Cache.Hits == 0 || eng.Stats().Cache.Misses != misses {
+		t.Fatalf("repeat containment query missed the cache: %+v", eng.Stats().Cache)
+	}
+	assertSameAnswer(t, again, first)
+
+	// The cache key is namespaced by mode: the sub-pattern query of the same
+	// (q, α) must not be served the containment entry.
+	sub := mustQuery(t, eng, q, 0.1)
+	if want := tree.Query(q, 0.1); len(sub.Trusses) != len(want.Trusses) {
+		t.Fatalf("sub-pattern query after containment query returned %d trusses, want %d",
+			len(sub.Trusses), len(want.Trusses))
+	}
+
+	d := &delta.Delta{AddTransactions: []delta.VertexTransaction{
+		{Vertex: 0, Tx: itemset.New(0, 1)}, {Vertex: 1, Tx: itemset.New(0, 1)},
+	}}
+	if _, err := eng.ApplyDelta(nw, d); err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	fresh := tctree.Build(nw, tctree.BuildOptions{})
+	for _, alpha := range []float64{0, 0.1, 0.3} {
+		got, err := eng.QueryContaining(q, alpha)
+		if err != nil {
+			t.Fatalf("post-delta QueryContaining: %v", err)
+		}
+		assertContainmentAnswer(t, got, bruteContaining(t, fresh, q, alpha))
+	}
+}
+
+// TestPlanContainingDecisions drives the pure planner in containment mode
+// with a catalogue taken from a real index: out-of-range shards are absent,
+// bloom misses and histogram bounds skip, and catalogue skips vanish when
+// CatalogueSkip is off.
+func TestPlanContainingDecisions(t *testing.T) {
+	tree := buildTestTree(t, 11)
+	idx, _ := writeShardedTestTree(t, tree)
+	m := idx.Manifest()
+
+	infos := make([]ShardInfo, len(m.Shards))
+	for i, e := range m.Shards {
+		bloom, err := e.DecodeBloom()
+		if err != nil {
+			t.Fatalf("DecodeBloom: %v", err)
+		}
+		depths, err := e.DecodeAlphaDepths()
+		if err != nil {
+			t.Fatalf("DecodeAlphaDepths: %v", err)
+		}
+		if bloom == nil || depths == nil {
+			t.Fatalf("manifest entry %d has no catalogue (%q, %q)", e.Item, e.Bloom, e.AlphaDepths)
+		}
+		infos[i] = ShardInfo{
+			Item: itemset.Item(e.Item), Nodes: e.Nodes, Depth: e.Depth,
+			MaxAlpha: e.MaxAlpha, Bloom: bloom, AlphaDepths: depths,
+		}
+	}
+
+	// Shards with a root item greater than min(q) cannot hold a superset of
+	// q: every pattern there starts above q's smallest item.
+	last := infos[len(infos)-1].Item
+	plan := PlanQueryMode(infos, itemset.New(last), 0, ModeContaining, DefaultPlanConfig())
+	for _, task := range plan.Tasks {
+		if task.Item > last && task.Decision != DecisionSkipAbsent {
+			t.Fatalf("shard %d > q[0]=%d: decision %q, want %q", task.Item, last, task.Decision, DecisionSkipAbsent)
+		}
+	}
+
+	// An item no shard indexes: on shards whose range admits it, the bloom
+	// filter must prove its absence (no false negatives ⇒ the planner may
+	// only skip; with items 0..4 indexed, 997 is certainly absent).
+	foreign := itemset.New(infos[0].Item, 997)
+	plan = PlanQueryMode(infos, foreign, 0, ModeContaining, DefaultPlanConfig())
+	if plan.SkippedBloom == 0 {
+		t.Fatalf("no bloom skip planning for unindexed item 997: %+v", plan)
+	}
+	for _, task := range plan.Tasks {
+		if task.Decision == DecisionLoad || task.Decision == DecisionResident {
+			t.Fatalf("shard %d scheduled for a query containing an unindexed item", task.Item)
+		}
+	}
+
+	// Histogram skip: a query needing depth beyond a shard's deepest level
+	// is provably unanswerable there even at α_q = 0. Build one deeper than
+	// the whole index from indexed items only (so the bloom cannot fire
+	// first on an absent item... it still may, on a shard missing one of
+	// them — accept either catalogue skip, but require no traversals).
+	maxDepth := 0
+	for _, inf := range infos {
+		if inf.Depth > maxDepth {
+			maxDepth = inf.Depth
+		}
+	}
+	var deep itemset.Itemset
+	for i := 0; deep.Len() < maxDepth+1; i++ {
+		deep = deep.Add(itemset.Item(i))
+	}
+	plan = PlanQueryMode(infos, deep, 0, ModeContaining, DefaultPlanConfig())
+	if plan.SkippedHist+plan.SkippedBloom == 0 {
+		t.Fatalf("no catalogue skip planning an over-deep query: %+v", plan)
+	}
+	if len(plan.Order) != 0 {
+		t.Fatalf("over-deep query scheduled %d traversals, want 0", len(plan.Order))
+	}
+
+	// With CatalogueSkip off the same plans fall back to loads.
+	cfg := DefaultPlanConfig()
+	cfg.CatalogueSkip = false
+	off := PlanQueryMode(infos, deep, 0, ModeContaining, cfg)
+	if off.SkippedBloom != 0 || off.SkippedHist != 0 {
+		t.Fatalf("catalogue-off plan still skipped: %+v", off)
+	}
+	if len(off.Order) == 0 {
+		t.Fatalf("catalogue-off plan scheduled nothing")
+	}
+}
+
+// TestExplainContaining checks the containment Explain surface: mode tag,
+// catalogue-skip tallies, and a truss count matching QueryContaining.
+func TestExplainContaining(t *testing.T) {
+	tree := buildTestTree(t, 11)
+	idx, _ := writeShardedTestTree(t, tree)
+	eng, err := NewLazy(idx, Options{})
+	if err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+	q := itemset.New(tree.Root().Children[0].Item, 997)
+	report, err := eng.ExplainContaining(q, 0)
+	if err != nil {
+		t.Fatalf("ExplainContaining: %v", err)
+	}
+	if report.Mode != ModeContaining {
+		t.Fatalf("report mode %q, want %q", report.Mode, ModeContaining)
+	}
+	if report.SkippedBloom == 0 {
+		t.Fatalf("explain of a query with an unindexed item shows no bloom skips: %+v", report)
+	}
+	if report.RetrievedNodes != 0 {
+		t.Fatalf("query containing an unindexed item retrieved %d nodes", report.RetrievedNodes)
+	}
+	// The catalogue skips surface in the engine counters too.
+	if eng.Stats().ShardsSkippedCatalogue == 0 {
+		t.Fatalf("ShardsSkippedCatalogue stayed 0 after a bloom-skipped explain")
+	}
+
+	// A sub-pattern Explain carries no mode tag and no catalogue tallies.
+	subReport, err := eng.Explain(q, 0)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if subReport.Mode != "" || subReport.SkippedBloom != 0 || subReport.SkippedHist != 0 {
+		t.Fatalf("sub-pattern report carries containment fields: %+v", subReport)
+	}
+}
+
+// TestLazyByteResidencyBudget checks MaxResidentBytes: loading past the byte
+// budget evicts least-recently-used shards, the stats report byte residency,
+// and answers are unaffected.
+func TestLazyByteResidencyBudget(t *testing.T) {
+	tree := buildTestTree(t, 11)
+	idx, _ := writeShardedTestTree(t, tree)
+
+	// Measure every shard's resident charge with an unbounded engine.
+	probe, err := NewLazy(idx, Options{})
+	if err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+	full := mustQueryByAlpha(t, probe, 0)
+	var total int64
+	for _, st := range probe.Stats().ShardResidency {
+		if st.Bytes <= 0 {
+			t.Fatalf("resident shard %d reports %d bytes", st.Item, st.Bytes)
+		}
+		total += st.Bytes
+	}
+	if got := probe.Stats().ResidentBytes; got != total {
+		t.Fatalf("ResidentBytes = %d, want %d", got, total)
+	}
+
+	eng, err := NewLazy(idx, Options{MaxResidentBytes: total - 1})
+	if err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+	if eng.Stats().MaxResidentBytes != total-1 {
+		t.Fatalf("MaxResidentBytes = %d, want %d", eng.Stats().MaxResidentBytes, total-1)
+	}
+	assertSameAnswer(t, mustQueryByAlpha(t, eng, 0), full)
+	stats := eng.Stats()
+	if stats.ShardEvictions == 0 {
+		t.Fatalf("no evictions under a byte budget smaller than the working set")
+	}
+	if stats.ResidentBytes > total-1 {
+		t.Fatalf("resident bytes %d exceed the budget %d at quiescence", stats.ResidentBytes, total-1)
+	}
+	// The budget only bounds residency; repeated queries still answer
+	// identically while reloading evicted shards.
+	for i := 0; i < 3; i++ {
+		assertSameAnswer(t, mustQueryByAlpha(t, eng, 0), full)
+	}
+	if eng.Stats().LazyLoads <= stats.LazyLoads {
+		t.Fatalf("evicted shards were not reloaded (loads %d → %d)", stats.LazyLoads, eng.Stats().LazyLoads)
+	}
+}
+
+// TestFormatStat pins Stats().Format: "memory" for eager engines, the
+// index's format for lazy ones.
+func TestFormatStat(t *testing.T) {
+	tree := buildTestTree(t, 11)
+	eager, err := New(tree, Options{})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := eager.Stats().Format; got != "memory" {
+		t.Fatalf("eager Format = %q, want memory", got)
+	}
+	idx, _ := writeShardedTestTree(t, tree)
+	lazy, err := NewLazy(idx, Options{})
+	if err != nil {
+		t.Fatalf("NewLazy: %v", err)
+	}
+	if got := lazy.Stats().Format; got != idx.Format() {
+		t.Fatalf("lazy Format = %q, want %q", got, idx.Format())
+	}
+}

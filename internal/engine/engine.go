@@ -58,6 +58,12 @@ type Options struct {
 	// their snapshot; the next touch reloads it from disk). Zero or negative
 	// means unlimited. Eager engines ignore it.
 	MaxResidentShards int
+	// MaxResidentBytes is the byte-based residency budget of a lazy engine,
+	// enforced alongside MaxResidentShards (either bound triggers LRU
+	// eviction): the summed size of resident shards — mapped file size for
+	// TCBIN shards, serialized payload size for gob shards. Zero or negative
+	// means unlimited. Eager engines ignore it.
+	MaxResidentBytes int64
 	// DisablePlanner turns the cost-based planner off: every relevant shard
 	// is traversed in ascending root-item order with no α* skipping, no
 	// cost ordering and no prefetch — the behaviour of the pre-planner
@@ -197,17 +203,18 @@ type Engine struct {
 	// recorder receives per-query observations; nil when unobserved.
 	recorder obs.Recorder
 
-	queries        atomic.Uint64
-	batches        atomic.Uint64
-	topKs          atomic.Uint64
-	explains       atomic.Uint64
-	deltas         atomic.Uint64
-	lazyLoads      atomic.Uint64
-	evictions      atomic.Uint64
-	skipped        atomic.Uint64
-	prefetched     atomic.Uint64
-	streams        atomic.Uint64
-	shortCircuited atomic.Uint64
+	queries          atomic.Uint64
+	batches          atomic.Uint64
+	topKs            atomic.Uint64
+	explains         atomic.Uint64
+	deltas           atomic.Uint64
+	lazyLoads        atomic.Uint64
+	evictions        atomic.Uint64
+	skipped          atomic.Uint64
+	skippedCatalogue atomic.Uint64
+	prefetched       atomic.Uint64
+	streams          atomic.Uint64
+	shortCircuited   atomic.Uint64
 }
 
 // New returns an eager Engine over a fully resident tree.
@@ -224,19 +231,23 @@ func New(tree *tctree.Tree, opts Options) (*Engine, error) {
 }
 
 // eagerShardOf builds the shard of a resident first-level subtree, computing
-// its catalogue statistics with one walk.
+// its catalogue — statistics, bloom filter and α*-by-depth histogram — with
+// one walk, so an eager engine plans with exactly the catalogue a sharded
+// index would persist.
 func eagerShardOf(c *tctree.Node) *shard {
-	s := &shard{item: c.Item, root: c, once: new(sync.Once)}
-	c.Walk(func(n *tctree.Node) {
-		s.nodes++
-		if l := n.Pattern.Len(); l > s.depth {
-			s.depth = l
-		}
-		if a := n.Decomp.MaxAlpha(); a > s.maxAlpha {
-			s.maxAlpha = a
-		}
-	})
-	return s
+	st, bloomStr, alphaStr := tctree.ShardCatalogue(c)
+	bloom, _ := tctree.DecodeItemBloom(bloomStr)
+	depths, _ := tctree.DecodeAlphaDepths(alphaStr)
+	return &shard{
+		item:        c.Item,
+		view:        tctree.NewNodeView(c),
+		once:        new(sync.Once),
+		nodes:       st.Nodes,
+		depth:       st.Depth,
+		maxAlpha:    st.MaxAlpha,
+		bloom:       bloom,
+		alphaDepths: depths,
+	}
 }
 
 // NewLazy returns a lazy Engine serving straight from a sharded on-disk
@@ -254,7 +265,7 @@ func NewLazy(idx *tctree.ShardedIndex, opts Options) (*Engine, error) {
 		e.res = opts.SharedResidency
 		e.sharedRes = true
 	} else {
-		e.res = NewResidencyGroup(opts.MaxResidentShards)
+		e.res = NewResidencyGroupBytes(opts.MaxResidentShards, opts.MaxResidentBytes)
 	}
 	if !opts.DisablePlanner && opts.PrefetchWorkers >= 0 {
 		workers := opts.PrefetchWorkers
@@ -265,7 +276,7 @@ func NewLazy(idx *tctree.ShardedIndex, opts Options) (*Engine, error) {
 	}
 	m := idx.Manifest()
 	for _, entry := range m.Shards {
-		e.addShard(e.lazyShard(entry.Stats()))
+		e.addShard(e.lazyShard(entry))
 	}
 	// Enroll in the residency group only once the shard table is fully
 	// built: a shared group's evictor may scan members from other tenants'
@@ -274,17 +285,23 @@ func NewLazy(idx *tctree.ShardedIndex, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// lazyShard builds a shard that loads its subtree from the engine's on-disk
-// index on first touch, carrying the given catalogue statistics.
-func (e *Engine) lazyShard(st tctree.ShardStats) *shard {
-	idx, item := e.idx, st.Item
+// lazyShard builds a shard that opens its view from the engine's on-disk
+// index on first touch — in the index's native representation (decoded
+// pointer tree for gob, memory-mapped BinShard for TCBIN) — carrying the
+// manifest entry's catalogue, decoded once here rather than per plan.
+func (e *Engine) lazyShard(entry tctree.ShardEntry) *shard {
+	idx, item := e.idx, itemset.Item(entry.Item)
+	bloom, _ := entry.DecodeBloom()
+	depths, _ := entry.DecodeAlphaDepths()
 	return &shard{
-		item:     item,
-		load:     func() (*tctree.Node, error) { return idx.LoadShard(item) },
-		once:     new(sync.Once),
-		nodes:    st.Nodes,
-		depth:    st.Depth,
-		maxAlpha: st.MaxAlpha,
+		item:        item,
+		load:        func() (tctree.ShardView, error) { return idx.LoadShardView(item) },
+		once:        new(sync.Once),
+		nodes:       entry.Nodes,
+		depth:       entry.Depth,
+		maxAlpha:    entry.MaxAlpha,
+		bloom:       bloom,
+		alphaDepths: depths,
 	}
 }
 
@@ -347,6 +364,16 @@ func (e *Engine) Workers() int { return e.workers }
 // Lazy reports whether the engine loads shards from disk on demand.
 func (e *Engine) Lazy() bool { return e.idx != nil }
 
+// Format returns the shard encoding the engine serves from: the on-disk
+// index's format (tctree.FormatGob or tctree.FormatTCBIN) for lazy engines,
+// "memory" for eager engines built from a resident tree.
+func (e *Engine) Format() string {
+	if e.idx != nil {
+		return e.idx.Format()
+	}
+	return "memory"
+}
+
 // Planner reports whether cost-based planning (α* shard skipping, cost
 // ordering and background prefetch) is enabled.
 func (e *Engine) Planner() bool { return e.planCfg.AlphaSkip || e.planCfg.CostOrder }
@@ -355,30 +382,30 @@ func (e *Engine) Planner() bool { return e.planCfg.AlphaSkip || e.planCfg.CostOr
 // engines, which never hold the whole tree.
 func (e *Engine) Tree() *tctree.Tree { return e.tree }
 
-// acquire returns the shard's subtree, stamping its recency, and loading it
+// acquire returns the shard's view, stamping its recency, and opening it
 // from disk first when the engine is lazy and the shard is not resident.
 // loaded reports whether this call performed the disk load — the executor
 // and the prefetcher use it to attribute loads. Concurrent first touches
 // share a single load through the shard's sync.Once; a load failure is
 // sticky until ReloadShard. The loop handles the race with eviction: if the
-// subtree vanishes between the load and the re-check, the fresh sync.Once
+// view vanishes between the load and the re-check, the fresh sync.Once
 // installed by the evictor triggers another load. The identity check on
-// s.once before installing the loaded subtree handles the race with
+// s.once before installing the loaded view handles the race with
 // ReloadShard: a load that was in flight when the shard was reset would
 // otherwise re-install pre-swap data (or a pre-swap error) after the reset;
 // such stale results are discarded and the loop loads again from the
 // current file.
-func (e *Engine) acquire(s *shard) (root *tctree.Node, loaded bool, err error) {
+func (e *Engine) acquire(s *shard) (view tctree.ShardView, loaded bool, err error) {
 	if s.load == nil {
-		return s.root, false, nil
+		return s.view, false, nil
 	}
 	for {
 		s.mu.Lock()
-		if s.root != nil {
-			root := s.root
+		if s.view != nil {
+			view := s.view
 			s.lastUsed.Store(e.res.clock.Add(1))
 			s.mu.Unlock()
-			return root, loaded, nil
+			return view, loaded, nil
 		}
 		if s.err != nil {
 			err := s.err
@@ -388,7 +415,7 @@ func (e *Engine) acquire(s *shard) (root *tctree.Node, loaded bool, err error) {
 		once := s.once
 		s.mu.Unlock()
 		once.Do(func() {
-			root, err := s.load()
+			view, err := s.load()
 			s.mu.Lock()
 			if s.once != once {
 				// ReloadShard reset the shard while this load was in
@@ -399,11 +426,12 @@ func (e *Engine) acquire(s *shard) (root *tctree.Node, loaded bool, err error) {
 			if err != nil {
 				s.err = err
 			} else {
-				s.root = root
+				s.view = view
 				s.lastUsed.Store(e.res.clock.Add(1))
 				s.loads.Add(1)
 				e.lazyLoads.Add(1)
 				e.res.resident.Add(1)
+				e.res.bytes.Add(view.SizeBytes())
 				loaded = true
 			}
 			s.mu.Unlock()
@@ -476,7 +504,7 @@ func (e *Engine) Release() {
 		e.cache.invalidate(e.cacheNS, func(itemset.Itemset, bool) bool { return true })
 	}
 	if e.sharedRes {
-		g := NewResidencyGroup(e.res.max)
+		g := NewResidencyGroupBytes(e.res.max, e.res.maxBytes)
 		g.add(e)
 		e.res = g
 		e.sharedRes = false
@@ -524,6 +552,18 @@ func (e *Engine) key(q itemset.Itemset, full bool, alphaQ float64) string {
 	return e.cacheNS + "\x1f" + cacheKey(q, full, alphaQ)
 }
 
+// keyMode is key with the query mode folded in: containment entries carry a
+// "#" marker so a containment answer can never be served to a sub-pattern
+// query for the same pattern and threshold (or vice versa). "#" cannot
+// collide with the "*" sentinel or a real pattern key (those are 4-byte
+// aligned).
+func (e *Engine) keyMode(mode QueryMode, q itemset.Itemset, full bool, alphaQ float64) string {
+	if mode == ModeContaining {
+		return e.cacheNS + "\x1f#" + cacheKey(q, false, alphaQ)
+	}
+	return e.key(q, full, alphaQ)
+}
+
 // Query answers (q, α_q) like tctree.Query, but traverses only the shards
 // whose root item is in q, in parallel across the worker pool. A nil q means
 // "every item" (the query-by-alpha workload). The answer lists the retrieved
@@ -542,17 +582,63 @@ func (e *Engine) Query(q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, 
 func (e *Engine) QueryContext(ctx context.Context, q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, error) {
 	e.updateMu.RLock()
 	defer e.updateMu.RUnlock()
-	return e.queryLocked(ctx, q, alphaQ)
+	return e.queryLocked(ctx, q, alphaQ, ModeSub)
 }
 
-// queryLocked is Query's body; callers hold updateMu for reading, so the
-// shard table and the index epoch are stable for the whole execution.
-func (e *Engine) queryLocked(ctx context.Context, q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, error) {
+// QueryContaining answers the containment workload: the trusses of every
+// indexed pattern p ⊇ q at α_q, grouped by shard in ascending root-item
+// order. Only shards whose root item is at most min(q) are considered, and
+// the per-shard catalogue (item bloom filter, α*-by-depth histogram) rules
+// shards out without opening them. An empty or nil q degenerates to
+// QueryByAlpha — every indexed pattern contains the empty pattern. Unlike
+// sub-pattern queries, VisitedNodes depends on the planner configuration
+// (catalogue skips drop provably fruitless traversals); the truss set does
+// not.
+func (e *Engine) QueryContaining(q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, error) {
+	return e.QueryContainingContext(context.Background(), q, alphaQ)
+}
+
+// QueryContainingContext is QueryContaining carrying a context; see
+// QueryContext.
+func (e *Engine) QueryContainingContext(ctx context.Context, q itemset.Itemset, alphaQ float64) (*tctree.QueryResult, error) {
+	e.updateMu.RLock()
+	defer e.updateMu.RUnlock()
+	return e.queryLocked(ctx, q, alphaQ, ModeContaining)
+}
+
+// queryLocked is the body of Query and QueryContaining; callers hold
+// updateMu for reading, so the shard table and the index epoch are stable
+// for the whole execution.
+func (e *Engine) queryLocked(ctx context.Context, q itemset.Itemset, alphaQ float64, mode QueryMode) (*tctree.QueryResult, error) {
+	if mode == ModeContaining && q.Len() == 0 {
+		mode = ModeSub
+		q = nil
+	}
 	e.queries.Add(1)
 	start := time.Now()
 	t := e.table.Load()
-	eff, full := canonical(t, q)
-	key := e.key(eff, full, alphaQ)
+	var (
+		eff  itemset.Itemset
+		full bool
+	)
+	if mode == ModeContaining {
+		eff = itemset.New(q...)
+		for _, it := range eff {
+			if !t.items.Contains(it) {
+				// Every item of every indexed pattern appears at level 1, so
+				// an item outside the level-1 set appears in no pattern at
+				// all: nothing can contain q.
+				return &tctree.QueryResult{Duration: time.Since(start)}, nil
+			}
+		}
+	} else {
+		eff, full = canonical(t, q)
+	}
+	key := e.keyMode(mode, eff, full, alphaQ)
+	label := patternLabel(eff, full)
+	if mode == ModeContaining {
+		label = "⊇" + label
+	}
 	var gen uint64
 	epoch := e.epoch.Load()
 	if e.cache != nil {
@@ -563,7 +649,7 @@ func (e *Engine) queryLocked(ctx context.Context, q itemset.Itemset, alphaQ floa
 			if e.recorder != nil {
 				e.recorder.RecordQuery(ctx, obs.QueryObservation{
 					Network:  e.cacheNS,
-					Pattern:  patternLabel(eff, full),
+					Pattern:  label,
 					Alpha:    alphaQ,
 					CacheHit: true,
 					Total:    res.Duration,
@@ -577,14 +663,19 @@ func (e *Engine) queryLocked(ctx context.Context, q itemset.Itemset, alphaQ floa
 		gen = e.cache.generation(e.cacheNS)
 	}
 	planStart := time.Now()
-	plan := e.planRelevant(t, eff, alphaQ)
+	var plan *QueryPlan
+	if mode == ModeContaining {
+		plan = e.planContaining(t, eff, alphaQ)
+	} else {
+		plan = e.planRelevant(t, eff, alphaQ)
+	}
 	planDur := time.Since(planStart)
 	res, exec, err := e.executePlan(t, plan)
 	if err != nil {
 		if e.recorder != nil {
 			e.recorder.RecordQuery(ctx, obs.QueryObservation{
 				Network: e.cacheNS,
-				Pattern: patternLabel(eff, full),
+				Pattern: label,
 				Alpha:   alphaQ,
 				Err:     true,
 				Shards:  len(plan.Tasks),
@@ -598,8 +689,11 @@ func (e *Engine) queryLocked(ctx context.Context, q itemset.Itemset, alphaQ floa
 	// Insert only if no index swap happened since the epoch was captured
 	// (it cannot while updateMu is held for reading; the gate is the
 	// second line of defense) and no invalidation of this namespace ran.
+	// Containment answers depend on shards q does not name (every shard
+	// rooted at or below min(q)), so they are stored as full entries: any
+	// invalidation of the namespace purges them.
 	if e.cache != nil && e.epoch.Load() == epoch {
-		e.cache.put(key, e.cacheNS, eff, full, res, gen)
+		e.cache.put(key, e.cacheNS, eff, full || mode == ModeContaining, res, gen)
 	}
 	if e.recorder != nil {
 		loaded := 0
@@ -610,10 +704,10 @@ func (e *Engine) queryLocked(ctx context.Context, q itemset.Itemset, alphaQ floa
 		}
 		e.recorder.RecordQuery(ctx, obs.QueryObservation{
 			Network:       e.cacheNS,
-			Pattern:       patternLabel(eff, full),
+			Pattern:       label,
 			Alpha:         alphaQ,
 			Shards:        len(plan.Tasks),
-			SkippedShards: plan.SkippedAlpha,
+			SkippedShards: plan.SkippedAlpha + plan.SkippedBloom + plan.SkippedHist,
 			LoadedShards:  loaded,
 			Plan:          planDur,
 			Execute:       exec.execute,
@@ -660,6 +754,22 @@ func (e *Engine) planRelevant(t *shardTable, eff itemset.Itemset, alphaQ float64
 		}
 	}
 	return PlanQuery(infos, eff, alphaQ, e.planCfg)
+}
+
+// planContaining plans a containment query over the shards that can index a
+// superset of q: those rooted at or below min(q) (the root item is the
+// smallest item of every pattern a shard indexes). eff is canonical
+// (sorted, deduplicated, non-empty), so the plan's tasks stay in ascending
+// root-item order and the merge stays deterministic.
+func (e *Engine) planContaining(t *shardTable, eff itemset.Itemset, alphaQ float64) *QueryPlan {
+	infos := make([]ShardInfo, 0, len(t.shards))
+	for _, s := range t.shards {
+		if s.item > eff[0] {
+			break
+		}
+		infos = append(infos, s.info())
+	}
+	return PlanQueryMode(infos, eff, alphaQ, ModeContaining, e.planCfg)
 }
 
 // EstimateCost returns the planner's total cost estimate of answering
@@ -710,10 +820,21 @@ func (e *Engine) executePlan(t *shardTable, plan *QueryPlan) (*tctree.QueryResul
 	results := make([]shardResult, len(plan.Tasks))
 	execs := make([]taskExec, len(plan.Tasks))
 	for i, task := range plan.Tasks {
-		if task.Decision == DecisionSkipAlpha {
+		switch task.Decision {
+		case DecisionSkipAlpha:
 			results[i] = shardResult{visited: 1}
 			execs[i].visited = 1
 			e.skipped.Add(1)
+		case DecisionSkipBloom:
+			// The filter proves no pattern of the shard contains q; the
+			// traversal is dropped wholesale, root visit included.
+			e.skippedCatalogue.Add(1)
+		case DecisionSkipHist:
+			// The histogram proves emptiness the way the α* skip does; the
+			// containment walk always inspects the root, so synthesize it.
+			results[i] = shardResult{visited: 1}
+			execs[i].visited = 1
+			e.skippedCatalogue.Add(1)
 		}
 	}
 	var prefetched atomic.Uint64
@@ -723,13 +844,19 @@ func (e *Engine) executePlan(t *shardTable, plan *QueryPlan) (*tctree.QueryResul
 		e.sem <- struct{}{}
 		defer func() { <-e.sem }()
 		start := time.Now()
-		root, loaded, err := e.acquire(s)
+		view, loaded, err := e.acquire(s)
 		if err != nil {
 			results[i] = shardResult{err: fmt.Errorf("engine: shard %d: %w", s.item, err)}
 			execs[i] = taskExec{micros: time.Since(start).Microseconds()}
 			return
 		}
-		sr := querySubtree(root, pattern, plan.Alpha)
+		var a tctree.ShardAnswer
+		if plan.Mode == ModeContaining {
+			a = view.QueryContaining(pattern, plan.Alpha)
+		} else {
+			a = view.QuerySub(pattern, plan.Alpha)
+		}
+		sr := answerResult(a)
 		results[i] = sr
 		execs[i] = taskExec{
 			micros:  time.Since(start).Microseconds(),
@@ -956,8 +1083,9 @@ func (e *Engine) swapLazyLocked(report *tctree.CommitReport) {
 	shards := make([]*shard, 0, len(t.shards)+len(report.Added))
 	for _, s := range t.shards {
 		if removed[s.item] {
-			if evictShard(s) {
+			if freed, ok := evictShard(s); ok {
 				e.res.resident.Add(-1)
+				e.res.bytes.Add(-freed)
 				e.evictions.Add(1)
 			}
 			// Poison the detached struct: a prefetch load still in flight
@@ -975,7 +1103,7 @@ func (e *Engine) swapLazyLocked(report *tctree.CommitReport) {
 	}
 	for _, it := range report.Added {
 		if entry, ok := e.idx.Entry(it); ok {
-			shards = append(shards, e.lazyShard(entry.Stats()))
+			shards = append(shards, e.lazyShard(entry))
 		}
 	}
 	e.table.Store(newShardTable(shards))
@@ -1057,20 +1185,22 @@ func newShardTable(shards []*shard) *shardTable {
 	return t
 }
 
-// resetShard drops a lazy shard's resident subtree and sticky error and
-// refreshes its catalogue statistics from the manifest, so the next touch
-// loads the current file.
+// resetShard drops a lazy shard's resident view and sticky error and
+// refreshes its catalogue (statistics, bloom filter, α* histogram) from the
+// manifest, so the next touch loads the current file.
 func (e *Engine) resetShard(s *shard) {
 	entry, haveEntry := e.idx.Entry(s.item)
 	s.mu.Lock()
-	if s.root != nil {
+	if s.view != nil {
 		e.res.resident.Add(-1)
+		e.res.bytes.Add(-s.view.SizeBytes())
 	}
-	s.root, s.err = nil, nil
+	s.view, s.err = nil, nil
 	s.once = new(sync.Once)
 	if haveEntry {
-		st := entry.Stats()
-		s.nodes, s.depth, s.maxAlpha = st.Nodes, st.Depth, st.MaxAlpha
+		s.nodes, s.depth, s.maxAlpha = entry.Nodes, entry.Depth, entry.MaxAlpha
+		s.bloom, _ = entry.DecodeBloom()
+		s.alphaDepths, _ = entry.DecodeAlphaDepths()
 	}
 	s.mu.Unlock()
 }

@@ -32,6 +32,8 @@ type ExplainReport struct {
 	// covering every indexed item (the query-by-alpha workload).
 	Pattern itemset.Itemset `json:"pattern"`
 	Full    bool            `json:"full"`
+	// Mode is the query semantics the plan served; empty means sub-pattern.
+	Mode QueryMode `json:"mode,omitempty"`
 	// Alpha is the cohesion threshold α_q.
 	Alpha float64 `json:"alpha"`
 	// Planner, Lazy and Workers describe the engine the plan ran on.
@@ -43,6 +45,11 @@ type ExplainReport struct {
 	Shards        int `json:"shards"`
 	SkippedAlpha  int `json:"skippedAlpha"`
 	SkippedAbsent int `json:"skippedAbsent"`
+	// SkippedBloom and SkippedHist tally the containment-only catalogue
+	// skips: shards ruled out by the item bloom filter and by the
+	// α*-by-depth histogram. Always zero for sub-pattern plans.
+	SkippedBloom  int `json:"skippedBloom,omitempty"`
+	SkippedHist   int `json:"skippedHist,omitempty"`
 	ResidentTasks int `json:"residentTasks"`
 	LoadTasks     int `json:"loadTasks"`
 	// Loaded counts the disk loads this execution performed itself;
@@ -100,15 +107,49 @@ func (e *Engine) Explain(q itemset.Itemset, alphaQ float64) (*ExplainReport, err
 	return report, nil
 }
 
+// ExplainContaining is Explain for the containment workload (every indexed
+// p ⊇ q at alphaQ): it plans every shard under ModeContaining — so the
+// report shows the catalogue at work, bloom and histogram skips included —
+// executes the plan, and discards nothing from the decision breakdown. An
+// empty q degenerates to Explain(nil, alphaQ), matching QueryContaining.
+func (e *Engine) ExplainContaining(q itemset.Itemset, alphaQ float64) (*ExplainReport, error) {
+	if q.Len() == 0 {
+		return e.Explain(nil, alphaQ)
+	}
+	e.explains.Add(1)
+	start := time.Now()
+	e.updateMu.RLock()
+	defer e.updateMu.RUnlock()
+	t := e.table.Load()
+	eff := itemset.New(q...)
+	infos := make([]ShardInfo, len(t.shards))
+	for i, s := range t.shards {
+		infos[i] = s.info()
+	}
+	plan := PlanQueryMode(infos, eff, alphaQ, ModeContaining, e.planCfg)
+	res, exec, err := e.executePlan(t, plan)
+	if err != nil {
+		return nil, err
+	}
+	report := e.planReport(plan, exec, eff, false, res)
+	report.Micros = time.Since(start).Microseconds()
+	return report, nil
+}
+
 // planReport assembles the per-shard plan/execution report of one executed
 // plan. Explain returns it directly; queryLocked hands it to the injected
 // Recorder as the lazy Detail payload, so a slow query's log entry carries
 // the same per-shard breakdown an Explain of the query would have shown —
 // for the execution that actually was slow, not a rerun.
 func (e *Engine) planReport(plan *QueryPlan, exec planExec, eff itemset.Itemset, full bool, res *tctree.QueryResult) *ExplainReport {
+	mode := plan.Mode
+	if mode == ModeSub {
+		mode = "" // the default; keep sub-pattern reports unchanged
+	}
 	report := &ExplainReport{
 		Pattern:        eff,
 		Full:           full,
+		Mode:           mode,
 		Alpha:          plan.Alpha,
 		Planner:        e.Planner(),
 		Lazy:           e.Lazy(),
@@ -116,6 +157,8 @@ func (e *Engine) planReport(plan *QueryPlan, exec planExec, eff itemset.Itemset,
 		Shards:         len(plan.Tasks),
 		SkippedAlpha:   plan.SkippedAlpha,
 		SkippedAbsent:  plan.SkippedAbsent,
+		SkippedBloom:   plan.SkippedBloom,
+		SkippedHist:    plan.SkippedHist,
 		ResidentTasks:  plan.Resident,
 		LoadTasks:      plan.Loads,
 		Prefetched:     int(exec.prefetched),

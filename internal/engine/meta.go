@@ -73,13 +73,13 @@ func (e *Engine) PatternsAtDepth(depth int) ([]itemset.Itemset, error) {
 		if shardDepth < depth {
 			continue
 		}
-		root, _, err := e.acquire(s)
+		view, _, err := e.acquire(s)
 		if err != nil {
 			return nil, err
 		}
-		root.Walk(func(n *tctree.Node) {
-			if n.Pattern.Len() == depth {
-				out = append(out, n.Pattern)
+		view.WalkPatterns(func(p itemset.Itemset) {
+			if p.Len() == depth {
+				out = append(out, p)
 			}
 		})
 	}
@@ -102,20 +102,22 @@ func (e *Engine) SearchVertex(v graph.VertexID, q itemset.Itemset, alphaQ float6
 	return tctree.CommunitiesOfVertex(qr, v), nil
 }
 
-// nodeOf resolves the TC-Tree node of an indexed pattern, loading the
-// pattern's shard when necessary. A nil node (pattern not indexed) is not an
-// error. Callers hold updateMu for reading.
-func (e *Engine) nodeOf(t *shardTable, p itemset.Itemset) (*tctree.Node, error) {
+// removalAlphas resolves an indexed pattern's per-edge removal thresholds —
+// the α at which each edge of C*_p(0) leaves the truss — loading the
+// pattern's shard when necessary. ok is false when the pattern is not
+// indexed, which is not an error. Callers hold updateMu for reading.
+func (e *Engine) removalAlphas(t *shardTable, p itemset.Itemset) (map[uint64]float64, bool, error) {
 	if p.Len() == 0 {
-		return nil, nil
+		return nil, false, nil
 	}
 	s, ok := t.lookup(p[0])
 	if !ok {
-		return nil, nil
+		return nil, false, nil
 	}
-	root, _, err := e.acquire(s)
+	view, _, err := e.acquire(s)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return root.Descendant(p), nil
+	ra, ok := view.RemovalAlphas(p)
+	return ra, ok, nil
 }

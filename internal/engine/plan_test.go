@@ -263,7 +263,7 @@ func TestPrefetch(t *testing.T) {
 	}
 	for _, s := range eng.table.Load().shards {
 		load := s.load
-		s.load = func() (*tctree.Node, error) {
+		s.load = func() (tctree.ShardView, error) {
 			time.Sleep(2 * time.Millisecond)
 			return load()
 		}

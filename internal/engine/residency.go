@@ -6,23 +6,29 @@ import (
 )
 
 // ResidencyGroup is the residency accounting of one or more lazy engines: a
-// global budget of resident shards, the logical clock that stamps shard use
-// for LRU eviction, and the membership list the evictor scans. Every engine
-// owns a private group by default; a federation passes one group to many
-// engines (Options.SharedResidency) so the budget is enforced across every
-// member's shards — a hot tenant loading shard after shard evicts the
-// globally least-recently-used shard, whichever engine it belongs to, and can
-// never hold more than the shared budget by itself.
+// global budget of resident shards (by count and by bytes), the logical clock
+// that stamps shard use for LRU eviction, and the membership list the evictor
+// scans. Every engine owns a private group by default; a federation passes one
+// group to many engines (Options.SharedResidency) so the budget is enforced
+// across every member's shards — a hot tenant loading shard after shard evicts
+// the globally least-recently-used shard, whichever engine it belongs to, and
+// can never hold more than the shared budget by itself.
 type ResidencyGroup struct {
-	// max is the budget: the number of lazily loaded shards the group's
-	// members may keep resident at once. Zero or negative means unlimited.
-	max int
+	// max is the count budget: the number of lazily loaded shards the group's
+	// members may keep resident at once. maxBytes is the byte budget: the
+	// summed size of resident shard views — mapped file size for TCBIN
+	// shards, serialized payload size for gob shards. Either bound being
+	// exceeded triggers eviction; zero or negative means unlimited.
+	max      int
+	maxBytes int64
 
 	// clock stamps shard use; because every member shares it, recency is
 	// comparable across engines and eviction is globally least-recent-first.
 	clock atomic.Int64
-	// resident counts resident lazy shards across all members.
+	// resident counts resident lazy shards across all members; bytes sums
+	// their view sizes.
 	resident atomic.Int64
+	bytes    atomic.Int64
 
 	// evictMu serializes eviction scans; mu guards members.
 	evictMu sync.Mutex
@@ -31,20 +37,38 @@ type ResidencyGroup struct {
 }
 
 // NewResidencyGroup returns a residency group with the given budget of
-// resident shards across every member engine (0 or negative = unlimited).
-// Pass it to many engines via Options.SharedResidency to share the budget.
+// resident shards across every member engine (0 or negative = unlimited) and
+// no byte budget. Pass it to many engines via Options.SharedResidency to
+// share the budget.
 func NewResidencyGroup(maxResident int) *ResidencyGroup {
+	return NewResidencyGroupBytes(maxResident, 0)
+}
+
+// NewResidencyGroupBytes returns a residency group bounded by both a shard
+// count and a byte budget; either may be 0 (or negative) for unlimited.
+// Eviction runs while either bound is exceeded.
+func NewResidencyGroupBytes(maxResident int, maxBytes int64) *ResidencyGroup {
 	if maxResident < 0 {
 		maxResident = 0
 	}
-	return &ResidencyGroup{max: maxResident}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	return &ResidencyGroup{max: maxResident, maxBytes: maxBytes}
 }
 
-// MaxResident returns the group's budget (0 = unlimited).
+// MaxResident returns the group's count budget (0 = unlimited).
 func (g *ResidencyGroup) MaxResident() int { return g.max }
+
+// MaxResidentBytes returns the group's byte budget (0 = unlimited).
+func (g *ResidencyGroup) MaxResidentBytes() int64 { return g.maxBytes }
 
 // Resident returns the number of resident lazy shards across all members.
 func (g *ResidencyGroup) Resident() int { return int(g.resident.Load()) }
+
+// ResidentBytes returns the summed view size of resident lazy shards across
+// all members.
+func (g *ResidencyGroup) ResidentBytes() int64 { return g.bytes.Load() }
 
 // add enrolls an engine; its shards become candidates for eviction.
 func (g *ResidencyGroup) add(e *Engine) {
@@ -65,25 +89,35 @@ func (g *ResidencyGroup) remove(e *Engine) {
 	}
 	g.mu.Unlock()
 	for _, s := range e.table.Load().shards {
-		if evictShard(s) {
+		if freed, ok := evictShard(s); ok {
 			g.resident.Add(-1)
+			g.bytes.Add(-freed)
 			e.evictions.Add(1)
 		}
 	}
 }
 
-// enforce evicts globally least-recently-used resident shards until the
-// budget holds again. just, when non-nil, is exempt: evicting the shard that
+// over reports whether either residency bound is currently exceeded.
+func (g *ResidencyGroup) over() bool {
+	if g.max > 0 && int(g.resident.Load()) > g.max {
+		return true
+	}
+	return g.maxBytes > 0 && g.bytes.Load() > g.maxBytes
+}
+
+// enforce evicts globally least-recently-used resident shards until both
+// budgets hold again. just, when non-nil, is exempt: evicting the shard that
 // was loaded for the in-flight query would only thrash. Evicting a shard a
 // concurrent query is still traversing is safe — the query keeps its
-// immutable subtree snapshot; only the engine's reference is dropped.
+// immutable view snapshot; only the engine's reference is dropped (a
+// memory-mapped view stays mapped until its last holder lets go).
 func (g *ResidencyGroup) enforce(just *shard) {
-	if g.max <= 0 {
+	if g.max <= 0 && g.maxBytes <= 0 {
 		return
 	}
 	g.evictMu.Lock()
 	defer g.evictMu.Unlock()
-	for int(g.resident.Load()) > g.max {
+	for g.over() {
 		var victim *shard
 		var owner *Engine
 		var oldest int64
@@ -102,25 +136,28 @@ func (g *ResidencyGroup) enforce(just *shard) {
 		if victim == nil {
 			return
 		}
-		if evictShard(victim) {
+		if freed, ok := evictShard(victim); ok {
 			g.resident.Add(-1)
+			g.bytes.Add(-freed)
 			owner.evictions.Add(1)
 		}
 	}
 }
 
-// evictShard drops the shard's resident subtree, reporting whether anything
-// was dropped. A fresh sync.Once is installed so the next touch reloads.
-func evictShard(s *shard) bool {
+// evictShard drops the shard's resident view, reporting the bytes it charged
+// and whether anything was dropped. A fresh sync.Once is installed so the
+// next touch reloads.
+func evictShard(s *shard) (freed int64, ok bool) {
 	if s.load == nil {
-		return false
+		return 0, false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.root == nil {
-		return false
+	if s.view == nil {
+		return 0, false
 	}
-	s.root = nil
+	freed = s.view.SizeBytes()
+	s.view = nil
 	s.once = new(sync.Once)
-	return true
+	return freed, true
 }

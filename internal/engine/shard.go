@@ -18,27 +18,34 @@ type shard struct {
 	// item is the shard's root item.
 	item itemset.Item
 
-	// load reads the shard subtree from its file, nil for eager shards
-	// (whose root is fixed at engine construction and never evicted).
-	load func() (*tctree.Node, error)
+	// load opens the shard in its on-disk index's native representation —
+	// a decoded pointer tree for gob, a memory-mapped in-place view for
+	// TCBIN — nil for eager shards (whose view is fixed at engine
+	// construction and never evicted).
+	load func() (tctree.ShardView, error)
 
-	// mu guards root, err, once and the catalogue statistics below. root is
-	// the resident subtree (nil while not loaded); err is the sticky load
-	// error, cleared by Engine.ReloadShard; once serializes the in-flight
-	// load and is replaced on every evict/reload so the shard can be loaded
-	// again later.
+	// mu guards view, err, once and the catalogue statistics below. view is
+	// the resident query surface (nil while not loaded); err is the sticky
+	// load error, cleared by Engine.ReloadShard; once serializes the
+	// in-flight load and is replaced on every evict/reload so the shard can
+	// be loaded again later.
 	mu   sync.Mutex
-	root *tctree.Node
+	view tctree.ShardView
 	err  error
 	once *sync.Once
 
 	// nodes, depth and maxAlpha are the shard's catalogue statistics: node
 	// count, longest indexed pattern, and α* bound. Lazy shards take them
 	// from the manifest (so they are known without loading the shard); eager
-	// shards compute them at engine construction.
-	nodes    int
-	depth    int
-	maxAlpha float64
+	// shards compute them at engine construction. bloom and alphaDepths are
+	// the skipping catalogue (decoded once from the manifest entry): the
+	// item filter and the best-α*-per-depth histogram the planner consults
+	// for containment queries.
+	nodes       int
+	depth       int
+	maxAlpha    float64
+	bloom       *tctree.ItemBloom
+	alphaDepths []float64
 
 	// lastUsed is the engine's logical clock value at the shard's most
 	// recent traversal; the eviction policy drops the resident shard with
@@ -47,14 +54,14 @@ type shard struct {
 	loads    atomic.Uint64
 }
 
-// resident reports whether the shard's subtree is in memory.
+// resident reports whether the shard's view is in memory.
 func (s *shard) resident() bool {
 	if s.load == nil {
 		return true
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.root != nil
+	return s.view != nil
 }
 
 // meta returns the shard's catalogue statistics.
@@ -64,17 +71,30 @@ func (s *shard) meta() (nodes, depth int, maxAlpha float64) {
 	return s.nodes, s.depth, s.maxAlpha
 }
 
+// sizeBytes returns the resident view's memory charge (0 when not resident
+// or unknown).
+func (s *shard) sizeBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.view == nil {
+		return 0
+	}
+	return s.view.SizeBytes()
+}
+
 // info snapshots the shard for the planner: catalogue statistics plus
 // residency, taken under one lock acquisition.
 func (s *shard) info() ShardInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return ShardInfo{
-		Item:     s.item,
-		Nodes:    s.nodes,
-		Depth:    s.depth,
-		MaxAlpha: s.maxAlpha,
-		Resident: s.load == nil || s.root != nil,
+		Item:        s.item,
+		Nodes:       s.nodes,
+		Depth:       s.depth,
+		MaxAlpha:    s.maxAlpha,
+		Resident:    s.load == nil || s.view != nil,
+		Bloom:       s.bloom,
+		AlphaDepths: s.alphaDepths,
 	}
 }
 
@@ -91,35 +111,14 @@ type shardResult struct {
 	err error
 }
 
-// querySubtree runs Algorithm 5 restricted to the subtree rooted at root:
-// breadth-first traversal, skipping children whose item is not in q and
-// pruning subtrees whose reconstructed truss is empty at α_q
-// (Proposition 5.2). The root itself is only inspected when its item is in q,
-// which the engine guarantees by shard selection.
+// answerResult converts a view's answer to the executor's per-shard record.
+func answerResult(a tctree.ShardAnswer) shardResult {
+	return shardResult{trusses: a.Trusses, visited: a.Visited}
+}
+
+// querySubtree runs Algorithm 5 restricted to the subtree rooted at root —
+// the pointer-tree spelling of tctree.ShardView.QuerySub, kept for call
+// sites and tests that hold a bare *Node.
 func querySubtree(root *tctree.Node, q itemset.Itemset, alphaQ float64) shardResult {
-	var res shardResult
-	res.visited++
-	tr := root.Decomp.TrussAt(alphaQ)
-	if tr.Empty() {
-		return res
-	}
-	res.trusses = append(res.trusses, tr)
-	queue := []*tctree.Node{root}
-	for len(queue) > 0 {
-		nf := queue[0]
-		queue = queue[1:]
-		for _, nc := range nf.Children {
-			if !q.Contains(nc.Item) {
-				continue
-			}
-			res.visited++
-			tr := nc.Decomp.TrussAt(alphaQ)
-			if tr.Empty() {
-				continue
-			}
-			res.trusses = append(res.trusses, tr)
-			queue = append(queue, nc)
-		}
-	}
-	return res
+	return answerResult(tctree.NewNodeView(root).QuerySub(q, alphaQ))
 }

@@ -29,6 +29,10 @@ type ShardStat struct {
 	// engines keep every shard resident; lazy engines load on first touch
 	// and may evict under the residency budget.
 	Resident bool `json:"resident"`
+	// Bytes is the resident view's memory charge — mapped file size for
+	// TCBIN shards, serialized payload size for gob shards — 0 when the
+	// shard is not resident or the size is unknown (eager shards).
+	Bytes int64 `json:"bytes,omitempty"`
 	// Loads counts the shard's completed disk loads (lazy engines only).
 	Loads uint64 `json:"loads,omitempty"`
 }
@@ -41,16 +45,27 @@ type Stats struct {
 	Workers int `json:"workers"`
 	// Lazy reports whether shards are loaded from disk on demand.
 	Lazy bool `json:"lazy"`
+	// Format is the shard encoding the engine serves from: "gob" or "tcbin"
+	// for lazy engines (the on-disk index's format), "memory" for eager
+	// engines built from a resident tree.
+	Format string `json:"format"`
 	// ResidentShards is the number of shards currently in memory; for eager
-	// engines it always equals Shards.
-	ResidentShards int `json:"residentShards"`
-	// MaxResidentShards is the lazy residency budget (0 = unlimited). When
-	// SharedResidency is set the budget is a federation-wide bound across
-	// every member engine's shards, and GroupResidentShards reports the
-	// group-wide resident total this engine contributes to.
-	MaxResidentShards   int  `json:"maxResidentShards,omitempty"`
-	SharedResidency     bool `json:"sharedResidency,omitempty"`
-	GroupResidentShards int  `json:"groupResidentShards,omitempty"`
+	// engines it always equals Shards. ResidentBytes sums the resident
+	// views' memory charges (mapped file size for TCBIN, payload size for
+	// gob; always 0 on eager engines, whose views report no size).
+	ResidentShards int   `json:"residentShards"`
+	ResidentBytes  int64 `json:"residentBytes,omitempty"`
+	// MaxResidentShards and MaxResidentBytes are the lazy residency budgets
+	// (0 = unlimited); either bound being exceeded triggers LRU eviction.
+	// When SharedResidency is set the budgets are federation-wide bounds
+	// across every member engine's shards, and GroupResidentShards /
+	// GroupResidentBytes report the group-wide resident totals this engine
+	// contributes to.
+	MaxResidentShards   int   `json:"maxResidentShards,omitempty"`
+	MaxResidentBytes    int64 `json:"maxResidentBytes,omitempty"`
+	SharedResidency     bool  `json:"sharedResidency,omitempty"`
+	GroupResidentShards int   `json:"groupResidentShards,omitempty"`
+	GroupResidentBytes  int64 `json:"groupResidentBytes,omitempty"`
 	// Planner reports whether cost-based planning (α* shard skipping, cost
 	// ordering, prefetch) is enabled; PrefetchWorkers is the background
 	// prefetch-pool bound (0 = prefetch disabled).
@@ -62,11 +77,14 @@ type Stats struct {
 	ShardEvictions uint64 `json:"shardEvictions,omitempty"`
 	// ShardsSkipped counts shard tasks the planner answered from the α*
 	// bound alone — relevant shards that were neither traversed nor (on a
-	// lazy engine) read from disk. ShardsPrefetched counts disk loads
+	// lazy engine) read from disk. ShardsSkippedCatalogue counts containment
+	// shard tasks the per-shard catalogue pruned instead (item bloom filter
+	// or α*-by-depth histogram). ShardsPrefetched counts disk loads
 	// performed by the background prefetcher rather than by a traversal
 	// (also included in LazyLoads).
-	ShardsSkipped    uint64 `json:"shardsSkipped"`
-	ShardsPrefetched uint64 `json:"shardsPrefetched,omitempty"`
+	ShardsSkipped          uint64 `json:"shardsSkipped"`
+	ShardsSkippedCatalogue uint64 `json:"shardsSkippedCatalogue,omitempty"`
+	ShardsPrefetched       uint64 `json:"shardsPrefetched,omitempty"`
 	// Queries counts Query calls (including those issued by QueryBatch and
 	// TopK); Batches, TopKQueries and Explains count QueryBatch, TopK and
 	// Explain calls.
@@ -114,25 +132,28 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	t := e.table.Load()
 	s := Stats{
-		Shards:               len(t.shards),
-		Workers:              e.workers,
-		Lazy:                 e.Lazy(),
-		MaxResidentShards:    e.res.max,
-		SharedResidency:      e.sharedRes,
-		Planner:              e.Planner(),
-		PrefetchWorkers:      cap(e.prefetchSem),
-		LazyLoads:            e.lazyLoads.Load(),
-		ShardEvictions:       e.evictions.Load(),
-		ShardsSkipped:        e.skipped.Load(),
-		ShardsPrefetched:     e.prefetched.Load(),
-		Queries:              e.queries.Load(),
-		Batches:              e.batches.Load(),
-		TopKQueries:          e.topKs.Load(),
-		Explains:             e.explains.Load(),
-		Streams:              e.streams.Load(),
-		ShardsShortCircuited: e.shortCircuited.Load(),
-		IndexEpoch:           e.epoch.Load(),
-		DeltasApplied:        e.deltas.Load(),
+		Shards:                 len(t.shards),
+		Workers:                e.workers,
+		Lazy:                   e.Lazy(),
+		Format:                 e.Format(),
+		MaxResidentShards:      e.res.max,
+		MaxResidentBytes:       e.res.maxBytes,
+		SharedResidency:        e.sharedRes,
+		Planner:                e.Planner(),
+		PrefetchWorkers:        cap(e.prefetchSem),
+		LazyLoads:              e.lazyLoads.Load(),
+		ShardEvictions:         e.evictions.Load(),
+		ShardsSkipped:          e.skipped.Load(),
+		ShardsSkippedCatalogue: e.skippedCatalogue.Load(),
+		ShardsPrefetched:       e.prefetched.Load(),
+		Queries:                e.queries.Load(),
+		Batches:                e.batches.Load(),
+		TopKQueries:            e.topKs.Load(),
+		Explains:               e.explains.Load(),
+		Streams:                e.streams.Load(),
+		ShardsShortCircuited:   e.shortCircuited.Load(),
+		IndexEpoch:             e.epoch.Load(),
+		DeltasApplied:          e.deltas.Load(),
 	}
 	for _, sh := range t.shards {
 		nodes, _, maxAlpha := sh.meta()
@@ -141,15 +162,18 @@ func (e *Engine) Stats() Stats {
 			Nodes:    nodes,
 			MaxAlpha: maxAlpha,
 			Resident: sh.resident(),
+			Bytes:    sh.sizeBytes(),
 			Loads:    sh.loads.Load(),
 		}
 		if stat.Resident {
 			s.ResidentShards++
 		}
+		s.ResidentBytes += stat.Bytes
 		s.ShardResidency = append(s.ShardResidency, stat)
 	}
 	if e.sharedRes {
 		s.GroupResidentShards = e.res.Resident()
+		s.GroupResidentBytes = e.res.ResidentBytes()
 	}
 	if e.cache != nil {
 		s.Cache.Enabled = true

@@ -311,14 +311,14 @@ func (st *Stream) openNext() error {
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
 	start := time.Now()
-	root, loaded, err := e.acquire(s)
+	view, loaded, err := e.acquire(s)
 	if err != nil {
 		return fmt.Errorf("engine: shard %d: %w", s.item, err)
 	}
-	sr := querySubtree(root, st.pattern, st.alpha)
+	sr := answerResult(view.QuerySub(st.pattern, st.alpha))
 	cur := &shardCursor{item: s.item}
 	if st.ranked {
-		cur.ranked = st.rankShard(root, sr)
+		cur.ranked = st.rankShard(view, sr)
 		if len(cur.ranked) > 0 {
 			st.heap = append(st.heap, cur)
 			st.siftUp(len(st.heap) - 1)
@@ -347,20 +347,14 @@ func (st *Stream) openNext() error {
 // shard's list is sorted by lessRanked. Patterns of distinct shards start
 // with distinct root items, so merging per-shard sorted lists under the same
 // comparator reproduces the global sorted order byte for byte.
-func (st *Stream) rankShard(root *tctree.Node, sr shardResult) []RankedCommunity {
+func (st *Stream) rankShard(view tctree.ShardView, sr shardResult) []RankedCommunity {
 	ranked := make([]RankedCommunity, 0, len(sr.trusses))
 	for _, tr := range sr.trusses {
-		node := root.Descendant(tr.Pattern)
-		if node == nil {
+		removalAlpha, ok := view.RemovalAlphas(tr.Pattern)
+		if !ok {
 			// Cannot happen on a consistent tree; skip rather than panic,
 			// matching TopKWithResult.
 			continue
-		}
-		removalAlpha := make(map[uint64]float64, node.Decomp.NumEdges())
-		for _, level := range node.Decomp.Levels {
-			for _, edge := range level.Removed {
-				removalAlpha[edge.Key()] = level.Alpha
-			}
 		}
 		for _, comp := range tr.Communities() {
 			cohesion := 0.0

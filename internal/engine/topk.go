@@ -51,28 +51,22 @@ func (e *Engine) TopKWithResultContext(ctx context.Context, q itemset.Itemset, a
 	// index state the trusses were retrieved from.
 	e.updateMu.RLock()
 	defer e.updateMu.RUnlock()
-	res, err := e.queryLocked(ctx, q, alphaQ)
+	res, err := e.queryLocked(ctx, q, alphaQ, ModeSub)
 	if err != nil {
 		return nil, nil, err
 	}
 	t := e.table.Load()
 	ranked := make([]RankedCommunity, 0, len(res.Trusses))
 	for _, tr := range res.Trusses {
-		node, err := e.nodeOf(t, tr.Pattern)
+		// Map each edge of C*_p(0) to the threshold α_k at which it drops
+		// out of the maximal pattern truss (Section 6.1).
+		removalAlpha, ok, err := e.removalAlphas(t, tr.Pattern)
 		if err != nil {
 			return nil, nil, err
 		}
-		if node == nil {
+		if !ok {
 			// Cannot happen on a consistent tree; skip rather than panic.
 			continue
-		}
-		// Map each edge of C*_p(0) to the threshold α_k at which it drops
-		// out of the maximal pattern truss (Section 6.1).
-		removalAlpha := make(map[uint64]float64, node.Decomp.NumEdges())
-		for _, level := range node.Decomp.Levels {
-			for _, edge := range level.Removed {
-				removalAlpha[edge.Key()] = level.Alpha
-			}
 		}
 		for _, comp := range tr.Communities() {
 			cohesion := 0.0

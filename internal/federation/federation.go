@@ -61,6 +61,11 @@ type Options struct {
 	// negative means unlimited. Eager (fully resident) networks are outside
 	// the budget.
 	MaxResidentShards int
+	// MaxResidentBytes is the shared byte-based residency budget, enforced
+	// alongside MaxResidentShards across every network: the summed size of
+	// resident lazy shards — mapped file size for TCBIN shards, serialized
+	// payload size for gob shards. Zero or negative means unlimited.
+	MaxResidentBytes int64
 	// NetworkWorkers bounds how many networks a cross-network call
 	// (QueryAll, TopKAll) queries concurrently. Zero or negative means
 	// GOMAXPROCS. Per-network traversal parallelism is bounded separately by
@@ -205,7 +210,7 @@ type Federation struct {
 func New(opts Options) *Federation {
 	f := &Federation{
 		opts:     opts,
-		res:      engine.NewResidencyGroup(opts.MaxResidentShards),
+		res:      engine.NewResidencyGroupBytes(opts.MaxResidentShards, opts.MaxResidentBytes),
 		networks: make(map[string]*Network),
 	}
 	if opts.CacheSize > 0 {

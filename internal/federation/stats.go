@@ -15,11 +15,15 @@ type NetworkStats struct {
 type Stats struct {
 	// Networks is the number of attached networks.
 	Networks int `json:"networks"`
-	// MaxResidentShards is the shared residency budget (0 = unlimited);
-	// ResidentShards is the number of lazily loaded shards resident across
-	// every network right now.
-	MaxResidentShards int `json:"maxResidentShards,omitempty"`
-	ResidentShards    int `json:"residentShards"`
+	// MaxResidentShards and MaxResidentBytes are the shared residency
+	// budgets (0 = unlimited); ResidentShards is the number of lazily loaded
+	// shards resident across every network right now and ResidentBytes their
+	// summed memory charge (mapped file size for TCBIN shards, serialized
+	// payload size for gob shards).
+	MaxResidentShards int   `json:"maxResidentShards,omitempty"`
+	MaxResidentBytes  int64 `json:"maxResidentBytes,omitempty"`
+	ResidentShards    int   `json:"residentShards"`
+	ResidentBytes     int64 `json:"residentBytes,omitempty"`
 	// Shards, Queries, Batches, TopKQueries, Explains, LazyLoads,
 	// ShardEvictions and ShardsSkipped aggregate the member engines'
 	// counters across every network.
@@ -54,7 +58,9 @@ type Stats struct {
 func (f *Federation) Stats() Stats {
 	s := Stats{
 		MaxResidentShards: f.res.MaxResident(),
+		MaxResidentBytes:  f.res.MaxResidentBytes(),
 		ResidentShards:    f.res.Resident(),
+		ResidentBytes:     f.res.ResidentBytes(),
 		QueryAlls:         f.queryAlls.Load(),
 		TopKAlls:          f.topKAlls.Load(),
 		StreamAlls:        f.streamAlls.Load(),

@@ -100,9 +100,15 @@ type NetworkHealth struct {
 	// on first touch.
 	Ready bool `json:"ready"`
 	Lazy  bool `json:"lazy,omitempty"`
-	// Shards and ResidentShards report how much of the index is in memory.
-	Shards         int `json:"shards"`
-	ResidentShards int `json:"residentShards"`
+	// Format is the shard encoding the network serves from: "gob" or
+	// "tcbin" for lazy networks, "memory" for eager ones.
+	Format string `json:"format,omitempty"`
+	// Shards and ResidentShards report how much of the index is in memory;
+	// ResidentBytes is the resident shards' summed memory charge (mapped
+	// file size for TCBIN shards, serialized payload size for gob shards).
+	Shards         int   `json:"shards"`
+	ResidentShards int   `json:"residentShards"`
+	ResidentBytes  int64 `json:"residentBytes,omitempty"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -124,8 +130,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			Name:           ns.name,
 			Ready:          true,
 			Lazy:           ns.st.Lazy,
+			Format:         ns.st.Format,
 			Shards:         ns.st.Shards,
 			ResidentShards: ns.st.ResidentShards,
+			ResidentBytes:  ns.st.ResidentBytes,
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -213,6 +221,12 @@ func (s *Server) registerCollectors() {
 	engineGauge("tc_engine_resident_shards",
 		"Shards currently resident in memory.",
 		func(st engine.Stats) float64 { return float64(st.ResidentShards) })
+	engineGauge("tc_engine_resident_bytes",
+		"Summed memory charge of resident shards (mapped bytes for TCBIN, payload bytes for gob).",
+		func(st engine.Stats) float64 { return float64(st.ResidentBytes) })
+	engineCounter("tc_engine_shards_skipped_catalogue_total",
+		"Containment shard tasks pruned by the per-shard catalogue (bloom filter or alpha histogram).",
+		func(st engine.Stats) float64 { return float64(st.ShardsSkippedCatalogue) })
 
 	cacheCounter := func(name, help string, v func(engine.CacheStats) float64) {
 		reg.CollectFunc(name, help, "counter", []string{"cache"}, func() []obs.Sample {
@@ -266,6 +280,9 @@ func (s *Server) registerCollectors() {
 	fedCollect("tc_federation_max_resident_shards",
 		"Shared residency budget (0 = unlimited).", "gauge",
 		func(fs federation.Stats) float64 { return float64(fs.MaxResidentShards) })
+	fedCollect("tc_federation_resident_bytes",
+		"Summed memory charge of resident shards across every network.", "gauge",
+		func(fs federation.Stats) float64 { return float64(fs.ResidentBytes) })
 }
 
 // engineSamples renders one per-network sample per served engine.

@@ -238,8 +238,11 @@ type StatsResponse struct {
 
 // QueryResponse is the payload of GET /api/v1/query and of each batch answer.
 type QueryResponse struct {
-	Alpha          float64             `json:"alpha"`
-	Pattern        []string            `json:"pattern,omitempty"`
+	Alpha   float64  `json:"alpha"`
+	Pattern []string `json:"pattern,omitempty"`
+	// Contains marks a containment answer (?contains=true): the communities
+	// are those of every indexed pattern that is a superset of the query.
+	Contains       bool                `json:"contains,omitempty"`
 	TopK           int                 `json:"topK,omitempty"`
 	RetrievedNodes int                 `json:"retrievedNodes"`
 	VisitedNodes   int                 `json:"visitedNodes"`
@@ -297,6 +300,22 @@ func parseAlpha(w http.ResponseWriter, r *http.Request) (alpha float64, ok bool)
 	return alpha, true
 }
 
+// parseContains parses the contains query parameter switching /api/v1/query
+// and /api/v1/explain to containment semantics (every indexed pattern ⊇ q).
+// ok is false when an error response has already been written.
+func parseContains(w http.ResponseWriter, r *http.Request) (contains, ok bool) {
+	v := r.URL.Query().Get("contains")
+	if v == "" {
+		return false, true
+	}
+	parsed, err := strconv.ParseBool(v)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid contains %q", v))
+		return false, false
+	}
+	return parsed, true
+}
+
 // parseQueryParams parses the alpha and pattern query parameters shared by
 // /api/v1/query and /api/v1/explain. A missing pattern yields a nil itemset
 // ("every item" — the query-by-alpha workload). ok is false when an error
@@ -322,10 +341,18 @@ func (s *Server) serveQuery(t *tenant, w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	contains, ok := parseContains(w, r)
+	if !ok {
+		return
+	}
 	// Streaming and pagination parameters divert to the pull-based executor;
 	// without them the materializing path below answers byte-for-byte as
-	// before.
+	// before. Streams execute sub-pattern semantics only.
 	if qp := r.URL.Query(); qp.Get("stream") != "" || qp.Get("cursor") != "" || qp.Get("limit") != "" {
+		if contains {
+			writeError(w, http.StatusBadRequest, "contains cannot be combined with stream, cursor or limit")
+			return
+		}
 		s.serveQueryStream(t, w, r)
 		return
 	}
@@ -342,6 +369,10 @@ func (s *Server) serveQuery(t *tenant, w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		k = parsed
+	}
+	if contains && k > 0 {
+		writeError(w, http.StatusBadRequest, "contains cannot be combined with k (top-k ranks sub-pattern answers)")
+		return
 	}
 
 	var patternNames []string
@@ -370,12 +401,20 @@ func (s *Server) serveQuery(t *tenant, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	qr, err := t.engine.QueryContext(r.Context(), q, alpha)
+	var qr *tctree.QueryResult
+	var err error
+	if contains {
+		qr, err = t.engine.QueryContainingContext(r.Context(), q, alpha)
+	} else {
+		qr, err = t.engine.QueryContext(r.Context(), q, alpha)
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, t.queryResponse(q, patternNames, alpha, qr))
+	resp := t.queryResponse(q, patternNames, alpha, qr)
+	resp.Contains = contains
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // rankedResponse renders one top-k community.
@@ -403,11 +442,21 @@ func (s *Server) serveExplain(t *tenant, w http.ResponseWriter, r *http.Request)
 		writeError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
+	contains, ok := parseContains(w, r)
+	if !ok {
+		return
+	}
 	alpha, q, ok := t.parseQueryParams(w, r)
 	if !ok {
 		return
 	}
-	report, err := t.engine.Explain(q, alpha)
+	var report *engine.ExplainReport
+	var err error
+	if contains {
+		report, err = t.engine.ExplainContaining(q, alpha)
+	} else {
+		report, err = t.engine.Explain(q, alpha)
+	}
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return

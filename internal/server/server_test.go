@@ -591,3 +591,71 @@ func TestLazyServerShardLoadFailure(t *testing.T) {
 		t.Fatalf("query avoiding the corrupted shard = %d, body %s", rec.Code, rec.Body.String())
 	}
 }
+
+// TestContainsQueryEndpoint checks the containment mode of /api/v1/query:
+// every returned theme is a superset of the query pattern, the response is
+// tagged, and invalid combinations are client errors.
+func TestContainsQueryEndpoint(t *testing.T) {
+	s, _ := newTestServer(t)
+	rec := get(t, s, "/api/v1/query?pattern=data+mining&alpha=0&contains=true")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !resp.Contains {
+		t.Fatalf("containment answer is not tagged: %+v", resp)
+	}
+	if len(resp.Communities) == 0 {
+		t.Fatalf("no communities contain %q", "data mining")
+	}
+	for _, c := range resp.Communities {
+		found := false
+		for _, kw := range c.Theme {
+			if kw == "data mining" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("theme %v does not contain the query item", c.Theme)
+		}
+	}
+
+	// The sub-pattern answer for the same singleton is different work: it
+	// retrieves exactly the one node, never supersets.
+	rec = get(t, s, "/api/v1/query?pattern=data+mining&alpha=0")
+	var sub QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sub); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if sub.Contains {
+		t.Fatalf("sub-pattern answer tagged as containment")
+	}
+
+	// Containment explain carries the mode and catalogue tallies.
+	rec = get(t, s, "/api/v1/explain?pattern=data+mining&alpha=0&contains=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("explain status = %d, body %s", rec.Code, rec.Body.String())
+	}
+	var rep ExplainResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("decode explain: %v", err)
+	}
+	if rep.Mode != engine.ModeContaining {
+		t.Fatalf("explain mode %q, want %q", rep.Mode, engine.ModeContaining)
+	}
+
+	// Invalid parameter values and combinations are client errors.
+	for _, url := range []string{
+		"/api/v1/query?contains=maybe",
+		"/api/v1/query?contains=true&k=3",
+		"/api/v1/query?contains=true&limit=2",
+		"/api/v1/query?contains=true&stream=1",
+	} {
+		if rec := get(t, s, url); rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s = %d, want 400", url, rec.Code)
+		}
+	}
+}

@@ -1,0 +1,629 @@
+package tctree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"runtime"
+	"sort"
+
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+	"themecomm/internal/truss"
+)
+
+// This file implements TCBIN, the flat binary shard format (see
+// docs/FORMAT.md for the byte-level specification). A TCBIN shard is a
+// single little-endian file of fixed-width tables — item dictionary, node
+// records, child/frequency/level/edge tables — addressed by offsets
+// instead of pointers, so an opened shard is traversed in place over a
+// memory map: no decode step, no per-node allocations, and the OS page
+// cache shares the bytes across processes. Every offset, count and index
+// is validated once at open (after the CRC-32C footer check), so the
+// traversal code reads without bounds anxiety; FuzzTCBINDecode exercises
+// exactly this validation surface.
+
+const (
+	binMagic    = "TCBIN\r\n\x00"
+	binEndMagic = "TCBINEND"
+	binVersion  = 1
+
+	binHeaderSize = 96
+	binNodeSize   = 32
+	binFreqSize   = 12
+	binLevelSize  = 16
+	binEdgeSize   = 8
+	binFooterSize = 12
+
+	// Node record field offsets (within the 32-byte record).
+	binNodeItemIdx    = 0
+	binNodeChildStart = 4
+	binNodeChildCount = 8
+	binNodeFreqStart  = 12
+	binNodeFreqCount  = 16
+	binNodeLevelStart = 20
+	binNodeLevelCount = 24
+)
+
+var binLE = binary.LittleEndian
+
+// BinShard is an opened TCBIN shard: validated once, then traversed in
+// place. The backing bytes are a memory map on linux (released by a
+// finalizer once the shard becomes unreachable — an explicit unmap could
+// pull the bytes out from under a concurrent query) or a plain read of the
+// file elsewhere.
+type BinShard struct {
+	item      itemset.Item
+	data      []byte
+	dict      []byte
+	nodes     []byte
+	child     []byte
+	freq      []byte
+	level     []byte
+	edge      []byte
+	nodeCount uint32
+}
+
+// binShardFileName is the canonical file name for the TCBIN shard of an
+// item.
+func binShardFileName(item itemset.Item) string {
+	return fmt.Sprintf("shard-%d.tcbin", item)
+}
+
+// encodeShardBinary flattens the subtree rooted at root into the TCBIN
+// layout, returning the file payload and its manifest entry (File set to
+// the canonical name).
+func encodeShardBinary(root *Node) ([]byte, ShardEntry, error) {
+	if root == nil || root.Decomp == nil {
+		return nil, ShardEntry{}, fmt.Errorf("tctree: cannot encode a nil shard")
+	}
+	if root.Pattern.Len() != 1 || root.Pattern[0] != root.Item {
+		return nil, ShardEntry{}, fmt.Errorf("tctree: shard root pattern %v is not the single item %d", root.Pattern, root.Item)
+	}
+	// Breadth-first flatten; children keep their ascending-item order, so a
+	// node's children occupy a contiguous, item-sorted run of indexes.
+	order := []*Node{root}
+	for i := 0; i < len(order); i++ {
+		order = append(order, order[i].Children...)
+	}
+	indexOf := make(map[*Node]uint32, len(order))
+	items := make(map[itemset.Item]struct{})
+	var freqTotal, levelTotal, edgeTotal uint64
+	for i, n := range order {
+		indexOf[n] = uint32(i)
+		items[n.Item] = struct{}{}
+		freqTotal += uint64(len(n.Decomp.Freq))
+		levelTotal += uint64(len(n.Decomp.Levels))
+		for _, l := range n.Decomp.Levels {
+			edgeTotal += uint64(len(l.Removed))
+		}
+	}
+	dict := make([]itemset.Item, 0, len(items))
+	for it := range items {
+		dict = append(dict, it)
+	}
+	sort.Slice(dict, func(i, j int) bool { return dict[i] < dict[j] })
+	dictIdx := make(map[itemset.Item]uint32, len(dict))
+	for i, it := range dict {
+		dictIdx[it] = uint32(i)
+	}
+	nodeCount := uint64(len(order))
+	childTotal := nodeCount - 1
+	if nodeCount > math.MaxUint32 || freqTotal > math.MaxUint32 ||
+		levelTotal > math.MaxUint32 || edgeTotal > math.MaxUint32 {
+		return nil, ShardEntry{}, fmt.Errorf("tctree: shard %d exceeds the TCBIN table limits", root.Item)
+	}
+
+	dictOff := uint64(binHeaderSize)
+	nodeOff := dictOff + uint64(len(dict))*4
+	childOff := nodeOff + nodeCount*binNodeSize
+	freqOff := childOff + childTotal*4
+	levelOff := freqOff + freqTotal*binFreqSize
+	edgeOff := levelOff + levelTotal*binLevelSize
+	footerOff := edgeOff + edgeTotal*binEdgeSize
+	buf := make([]byte, footerOff+binFooterSize)
+
+	copy(buf, binMagic)
+	binLE.PutUint32(buf[8:], binVersion)
+	binLE.PutUint32(buf[12:], uint32(int32(root.Item)))
+	binLE.PutUint32(buf[16:], uint32(nodeCount))
+	binLE.PutUint32(buf[20:], uint32(len(dict)))
+	binLE.PutUint32(buf[24:], uint32(childTotal))
+	binLE.PutUint32(buf[28:], uint32(freqTotal))
+	binLE.PutUint32(buf[32:], uint32(levelTotal))
+	binLE.PutUint32(buf[36:], uint32(edgeTotal))
+	binLE.PutUint64(buf[40:], dictOff)
+	binLE.PutUint64(buf[48:], nodeOff)
+	binLE.PutUint64(buf[56:], childOff)
+	binLE.PutUint64(buf[64:], freqOff)
+	binLE.PutUint64(buf[72:], levelOff)
+	binLE.PutUint64(buf[80:], edgeOff)
+	binLE.PutUint64(buf[88:], footerOff)
+
+	for i, it := range dict {
+		binLE.PutUint32(buf[dictOff+uint64(i)*4:], uint32(int32(it)))
+	}
+
+	var childNext, freqNext, levelNext, edgeNext uint32
+	type vf struct {
+		v graph.VertexID
+		f float64
+	}
+	for i, n := range order {
+		rec := buf[nodeOff+uint64(i)*binNodeSize:]
+		binLE.PutUint32(rec[binNodeItemIdx:], dictIdx[n.Item])
+		binLE.PutUint32(rec[binNodeChildStart:], childNext)
+		binLE.PutUint32(rec[binNodeChildCount:], uint32(len(n.Children)))
+		for _, c := range n.Children {
+			binLE.PutUint32(buf[childOff+uint64(childNext)*4:], indexOf[c])
+			childNext++
+		}
+		// Frequencies are stored sorted by vertex: gob's map iteration
+		// order is nondeterministic, the flat table must not be.
+		freqs := make([]vf, 0, len(n.Decomp.Freq))
+		for v, f := range n.Decomp.Freq {
+			freqs = append(freqs, vf{v, f})
+		}
+		sort.Slice(freqs, func(a, b int) bool { return freqs[a].v < freqs[b].v })
+		binLE.PutUint32(rec[binNodeFreqStart:], freqNext)
+		binLE.PutUint32(rec[binNodeFreqCount:], uint32(len(freqs)))
+		for _, e := range freqs {
+			o := freqOff + uint64(freqNext)*binFreqSize
+			binLE.PutUint32(buf[o:], uint32(int32(e.v)))
+			binLE.PutUint64(buf[o+4:], math.Float64bits(e.f))
+			freqNext++
+		}
+		binLE.PutUint32(rec[binNodeLevelStart:], levelNext)
+		binLE.PutUint32(rec[binNodeLevelCount:], uint32(len(n.Decomp.Levels)))
+		for _, l := range n.Decomp.Levels {
+			o := levelOff + uint64(levelNext)*binLevelSize
+			binLE.PutUint64(buf[o:], math.Float64bits(l.Alpha))
+			binLE.PutUint32(buf[o+8:], edgeNext)
+			binLE.PutUint32(buf[o+12:], uint32(len(l.Removed)))
+			levelNext++
+			for _, e := range l.Removed {
+				binLE.PutUint64(buf[edgeOff+uint64(edgeNext)*binEdgeSize:], e.Key())
+				edgeNext++
+			}
+		}
+	}
+
+	bodyCRC := crc32.Checksum(buf[:footerOff], castagnoli)
+	binLE.PutUint32(buf[footerOff:], bodyCRC)
+	copy(buf[footerOff+4:], binEndMagic)
+
+	// The manifest checksum is the BODY CRC — the same value the footer
+	// embeds — not the CRC of the whole file. A file ending in its own CRC
+	// hashes to a constant residue, so a whole-file CRC would be identical
+	// for every TCBIN shard and staged-shard names (which embed the checksum
+	// to stay distinct across shard generations) would collide.
+	stats, bloom, alphaDepths := shardCatalogue(root)
+	entry := ShardEntry{
+		Item:        int32(root.Item),
+		File:        binShardFileName(root.Item),
+		Nodes:       len(order),
+		Depth:       stats.Depth,
+		MaxAlpha:    stats.MaxAlpha,
+		Checksum:    fmt.Sprintf("crc32c:%08x", bodyCRC),
+		Bloom:       bloom,
+		AlphaDepths: alphaDepths,
+	}
+	return buf, entry, nil
+}
+
+// DecodeBinShard validates a TCBIN payload against its manifest entry and
+// returns the in-place accessor. Every section offset, table range, child
+// index and ordering invariant is checked here — hostile bytes must error,
+// never panic or read out of bounds — so the traversal methods run
+// unchecked afterwards. The payload is retained, not copied.
+func DecodeBinShard(data []byte, entry ShardEntry) (*BinShard, error) {
+	fail := func(format string, args ...any) (*BinShard, error) {
+		return nil, fmt.Errorf("tctree: shard %s: "+format, append([]any{entry.File}, args...)...)
+	}
+	if len(data) < binHeaderSize+binFooterSize {
+		return fail("file too small for a TCBIN shard (%d bytes)", len(data))
+	}
+	if string(data[:8]) != binMagic {
+		return fail("bad magic")
+	}
+	if v := binLE.Uint32(data[8:]); v != binVersion {
+		return fail("unsupported TCBIN version %d", v)
+	}
+	footerOff := binLE.Uint64(data[88:])
+	if footerOff != uint64(len(data)-binFooterSize) {
+		return fail("footer offset %d does not match file size %d", footerOff, len(data))
+	}
+	if string(data[footerOff+4:footerOff+12]) != binEndMagic {
+		return fail("bad end magic")
+	}
+	if want, got := binLE.Uint32(data[footerOff:]), crc32.Checksum(data[:footerOff], castagnoli); want != got {
+		return fail("checksum mismatch: file records crc32c:%08x, content is crc32c:%08x", want, got)
+	}
+
+	rootItem := int32(binLE.Uint32(data[12:]))
+	nodeCount := binLE.Uint32(data[16:])
+	dictCount := binLE.Uint32(data[20:])
+	childTotal := binLE.Uint32(data[24:])
+	freqTotal := binLE.Uint32(data[28:])
+	levelTotal := binLE.Uint32(data[32:])
+	edgeTotal := binLE.Uint32(data[36:])
+	if nodeCount < 1 {
+		return fail("empty shard")
+	}
+	if childTotal != nodeCount-1 {
+		return fail("%d child entries for %d nodes", childTotal, nodeCount)
+	}
+	dictOff := uint64(binHeaderSize)
+	nodeOff := dictOff + uint64(dictCount)*4
+	childOff := nodeOff + uint64(nodeCount)*binNodeSize
+	freqOff := childOff + uint64(childTotal)*4
+	levelOff := freqOff + uint64(freqTotal)*binFreqSize
+	edgeOff := levelOff + uint64(levelTotal)*binLevelSize
+	expFooter := edgeOff + uint64(edgeTotal)*binEdgeSize
+	stored := [7]uint64{
+		binLE.Uint64(data[40:]), binLE.Uint64(data[48:]), binLE.Uint64(data[56:]),
+		binLE.Uint64(data[64:]), binLE.Uint64(data[72:]), binLE.Uint64(data[80:]), footerOff,
+	}
+	expect := [7]uint64{dictOff, nodeOff, childOff, freqOff, levelOff, edgeOff, expFooter}
+	if stored != expect {
+		return fail("section offsets do not match table counts")
+	}
+	if rootItem != entry.Item {
+		return fail("stores item %d, manifest records item %d", rootItem, entry.Item)
+	}
+	if uint64(nodeCount) != uint64(entry.Nodes) {
+		return fail("stores %d nodes, manifest records %d", nodeCount, entry.Nodes)
+	}
+
+	b := &BinShard{
+		item:      itemset.Item(rootItem),
+		data:      data,
+		dict:      data[dictOff:nodeOff],
+		nodes:     data[nodeOff:childOff],
+		child:     data[childOff:freqOff],
+		freq:      data[freqOff:levelOff],
+		level:     data[levelOff:edgeOff],
+		edge:      data[edgeOff:footerOff],
+		nodeCount: nodeCount,
+	}
+
+	for i := uint32(1); i < dictCount; i++ {
+		if int32(binLE.Uint32(b.dict[i*4:])) <= int32(binLE.Uint32(b.dict[(i-1)*4:])) {
+			return fail("item dictionary not strictly ascending")
+		}
+	}
+
+	seenChild := make([]bool, nodeCount)
+	for i := uint32(0); i < nodeCount; i++ {
+		itemIdx := b.nodeU32(i, binNodeItemIdx)
+		if itemIdx >= dictCount {
+			return fail("node %d: item index %d out of dictionary range %d", i, itemIdx, dictCount)
+		}
+		cs, cc := b.nodeU32(i, binNodeChildStart), b.nodeU32(i, binNodeChildCount)
+		if uint64(cs)+uint64(cc) > uint64(childTotal) {
+			return fail("node %d: child range [%d,+%d) exceeds table size %d", i, cs, cc, childTotal)
+		}
+		fs, fc := b.nodeU32(i, binNodeFreqStart), b.nodeU32(i, binNodeFreqCount)
+		if fc < 1 || uint64(fs)+uint64(fc) > uint64(freqTotal) {
+			return fail("node %d: frequency range [%d,+%d) invalid for table size %d", i, fs, fc, freqTotal)
+		}
+		for f := fs + 1; f < fs+fc; f++ {
+			if int32(binLE.Uint32(b.freq[uint64(f)*binFreqSize:])) <= int32(binLE.Uint32(b.freq[uint64(f-1)*binFreqSize:])) {
+				return fail("node %d: frequency vertices not strictly ascending", i)
+			}
+		}
+		ls, lc := b.nodeU32(i, binNodeLevelStart), b.nodeU32(i, binNodeLevelCount)
+		if lc < 1 || uint64(ls)+uint64(lc) > uint64(levelTotal) {
+			return fail("node %d: level range [%d,+%d) invalid for table size %d", i, ls, lc, levelTotal)
+		}
+		prevAlpha := math.Inf(-1)
+		for l := ls; l < ls+lc; l++ {
+			alpha, es, ec := b.levelAt(l)
+			if math.IsNaN(alpha) || alpha <= prevAlpha {
+				return fail("node %d: level thresholds not strictly ascending", i)
+			}
+			prevAlpha = alpha
+			if ec < 1 || uint64(es)+uint64(ec) > uint64(edgeTotal) {
+				return fail("node %d: edge range [%d,+%d) invalid for table size %d", i, es, ec, edgeTotal)
+			}
+		}
+		item := b.itemOf(i)
+		for c := cs; c < cs+cc; c++ {
+			ci := binLE.Uint32(b.child[c*4:])
+			if ci <= i || ci >= nodeCount {
+				return fail("node %d: child index %d breaks breadth-first order", i, ci)
+			}
+			if seenChild[ci] {
+				return fail("node %d appears as a child twice", ci)
+			}
+			seenChild[ci] = true
+			cItem := b.itemOf(ci)
+			if cItem <= item {
+				return fail("node %d: child item %d breaks set-enumeration order", i, cItem)
+			}
+			if c > cs {
+				if prev := b.itemOf(binLE.Uint32(b.child[(c-1)*4:])); cItem <= prev {
+					return fail("node %d: children not ordered by item", i)
+				}
+			}
+		}
+	}
+	if b.item != b.itemOf(0) {
+		return fail("root item %d does not match header item %d", b.itemOf(0), rootItem)
+	}
+	return b, nil
+}
+
+// OpenBinShard memory-maps (or, off linux, reads) a TCBIN shard file and
+// validates it against its manifest entry. The map is released by a
+// finalizer once the shard becomes unreachable rather than on eviction:
+// an eviction only drops the engine's reference, and an in-flight query
+// may still be traversing the mapped bytes.
+func OpenBinShard(path string, entry ShardEntry) (*BinShard, error) {
+	data, unmap, err := mapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tctree: shard %s: %w", entry.File, err)
+	}
+	b, err := DecodeBinShard(data, entry)
+	if err != nil {
+		if unmap != nil {
+			unmap()
+		}
+		return nil, err
+	}
+	if unmap != nil {
+		runtime.SetFinalizer(b, func(*BinShard) { unmap() })
+	}
+	return b, nil
+}
+
+// --- in-place accessors (all inputs validated at decode time) ---
+
+func (b *BinShard) nodeU32(i uint32, field int) uint32 {
+	return binLE.Uint32(b.nodes[int(i)*binNodeSize+field:])
+}
+
+func (b *BinShard) itemOf(i uint32) itemset.Item {
+	return itemset.Item(int32(binLE.Uint32(b.dict[b.nodeU32(i, binNodeItemIdx)*4:])))
+}
+
+func (b *BinShard) levelAt(l uint32) (alpha float64, edgeStart, edgeCount uint32) {
+	o := uint64(l) * binLevelSize
+	return math.Float64frombits(binLE.Uint64(b.level[o:])), binLE.Uint32(b.level[o+8:]), binLE.Uint32(b.level[o+12:])
+}
+
+// nodeMaxAlpha is the node's α* bound: levels are stored ascending, so it
+// is the last level's threshold.
+func (b *BinShard) nodeMaxAlpha(i uint32) float64 {
+	ls, lc := b.nodeU32(i, binNodeLevelStart), b.nodeU32(i, binNodeLevelCount)
+	a, _, _ := b.levelAt(ls + lc - 1)
+	return a
+}
+
+// freqOf looks up f_v(p) for one vertex of node i's decomposition by
+// binary search over the vertex-sorted frequency run.
+func (b *BinShard) freqOf(i uint32, v graph.VertexID) float64 {
+	fs, fc := b.nodeU32(i, binNodeFreqStart), b.nodeU32(i, binNodeFreqCount)
+	lo, hi := fs, fs+fc
+	for lo < hi {
+		mid := (lo + hi) / 2
+		o := uint64(mid) * binFreqSize
+		mv := graph.VertexID(int32(binLE.Uint32(b.freq[o:])))
+		switch {
+		case mv == v:
+			return math.Float64frombits(binLE.Uint64(b.freq[o+4:]))
+		case mv < v:
+			lo = mid + 1
+		default:
+			hi = mid
+		}
+	}
+	return 0
+}
+
+// trussAt reconstructs C*_p(α) for node i, mirroring Decomposition.TrussAt:
+// the union of the removal sets of every level still live at α, with
+// frequencies for exactly the vertices of that edge set.
+func (b *BinShard) trussAt(i uint32, pattern itemset.Itemset, alphaQ float64) *truss.Truss {
+	edges := make(graph.EdgeSet)
+	ls, lc := b.nodeU32(i, binNodeLevelStart), b.nodeU32(i, binNodeLevelCount)
+	for l := ls; l < ls+lc; l++ {
+		alpha, es, ec := b.levelAt(l)
+		if !truss.LevelLive(alpha, alphaQ) {
+			continue
+		}
+		for e := es; e < es+ec; e++ {
+			edges.Add(graph.EdgeFromKey(binLE.Uint64(b.edge[uint64(e)*binEdgeSize:])))
+		}
+	}
+	t := &truss.Truss{Pattern: pattern.Clone(), Alpha: alphaQ, Edges: edges, Freq: make(map[graph.VertexID]float64)}
+	for _, v := range edges.Vertices() {
+		t.Freq[v] = b.freqOf(i, v)
+	}
+	return t
+}
+
+func (b *BinShard) RootItem() itemset.Item { return b.item }
+
+func (b *BinShard) SizeBytes() int64 { return int64(len(b.data)) }
+
+func (b *BinShard) QuerySub(q itemset.Itemset, alphaQ float64) ShardAnswer {
+	var res ShardAnswer
+	res.Visited++
+	if !truss.LevelLive(b.nodeMaxAlpha(0), alphaQ) {
+		return res
+	}
+	type frame struct {
+		idx uint32
+		pat itemset.Itemset
+	}
+	rootPat := itemset.New(b.item)
+	res.Trusses = append(res.Trusses, b.trussAt(0, rootPat, alphaQ))
+	queue := []frame{{0, rootPat}}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		cs, cc := b.nodeU32(f.idx, binNodeChildStart), b.nodeU32(f.idx, binNodeChildCount)
+		for c := cs; c < cs+cc; c++ {
+			ci := binLE.Uint32(b.child[c*4:])
+			it := b.itemOf(ci)
+			if !q.Contains(it) {
+				continue
+			}
+			res.Visited++
+			if !truss.LevelLive(b.nodeMaxAlpha(ci), alphaQ) {
+				continue
+			}
+			pat := f.pat.Add(it)
+			res.Trusses = append(res.Trusses, b.trussAt(ci, pat, alphaQ))
+			queue = append(queue, frame{ci, pat})
+		}
+	}
+	return res
+}
+
+func (b *BinShard) QueryContaining(q itemset.Itemset, alphaQ float64) ShardAnswer {
+	var res ShardAnswer
+	need0 := 0
+	if need0 < q.Len() && q[need0] == b.item {
+		need0++
+	}
+	res.Visited++
+	if !truss.LevelLive(b.nodeMaxAlpha(0), alphaQ) {
+		return res
+	}
+	type frame struct {
+		idx  uint32
+		pat  itemset.Itemset
+		need int
+	}
+	rootPat := itemset.New(b.item)
+	if need0 == q.Len() {
+		res.Trusses = append(res.Trusses, b.trussAt(0, rootPat, alphaQ))
+	}
+	queue := []frame{{0, rootPat, need0}}
+	for len(queue) > 0 {
+		f := queue[0]
+		queue = queue[1:]
+		cs, cc := b.nodeU32(f.idx, binNodeChildStart), b.nodeU32(f.idx, binNodeChildCount)
+		for c := cs; c < cs+cc; c++ {
+			ci := binLE.Uint32(b.child[c*4:])
+			it := b.itemOf(ci)
+			need := f.need
+			if need < q.Len() {
+				if it > q[need] {
+					continue
+				}
+				if it == q[need] {
+					need++
+				}
+			}
+			res.Visited++
+			if !truss.LevelLive(b.nodeMaxAlpha(ci), alphaQ) {
+				continue
+			}
+			pat := f.pat.Add(it)
+			if need == q.Len() {
+				res.Trusses = append(res.Trusses, b.trussAt(ci, pat, alphaQ))
+			}
+			queue = append(queue, frame{ci, pat, need})
+		}
+	}
+	return res
+}
+
+func (b *BinShard) RemovalAlphas(p itemset.Itemset) (map[uint64]float64, bool) {
+	if p.Len() < 1 || p[0] != b.item {
+		return nil, false
+	}
+	idx := uint32(0)
+	for _, it := range p[1:] {
+		cs, cc := b.nodeU32(idx, binNodeChildStart), b.nodeU32(idx, binNodeChildCount)
+		found := false
+		for c := cs; c < cs+cc; c++ {
+			ci := binLE.Uint32(b.child[c*4:])
+			if b.itemOf(ci) == it {
+				idx, found = ci, true
+				break
+			}
+		}
+		if !found {
+			return nil, false
+		}
+	}
+	ls, lc := b.nodeU32(idx, binNodeLevelStart), b.nodeU32(idx, binNodeLevelCount)
+	out := make(map[uint64]float64)
+	for l := ls; l < ls+lc; l++ {
+		alpha, es, ec := b.levelAt(l)
+		for e := es; e < es+ec; e++ {
+			out[binLE.Uint64(b.edge[uint64(e)*binEdgeSize:])] = alpha
+		}
+	}
+	return out, true
+}
+
+func (b *BinShard) WalkPatterns(visit func(p itemset.Itemset)) {
+	var dfs func(idx uint32, pat itemset.Itemset)
+	dfs = func(idx uint32, pat itemset.Itemset) {
+		visit(pat)
+		cs, cc := b.nodeU32(idx, binNodeChildStart), b.nodeU32(idx, binNodeChildCount)
+		for c := cs; c < cs+cc; c++ {
+			ci := binLE.Uint32(b.child[c*4:])
+			dfs(ci, pat.Add(b.itemOf(ci)))
+		}
+	}
+	dfs(0, itemset.New(b.item))
+}
+
+// Materialize rebuilds the pointer-tree form of the shard — the bridge
+// from TCBIN back to code that needs *Node (LoadTree, subtree rebuilds).
+// Each node runs through the same constructor and validation as a gob
+// decode.
+func (b *BinShard) Materialize() (*Node, error) {
+	nodes := make([]*Node, b.nodeCount)
+	root, err := nodeOf(b.record(0), itemset.New())
+	if err != nil {
+		return nil, fmt.Errorf("tctree: shard %d: node 0: %w", b.item, err)
+	}
+	nodes[0] = root
+	for i := uint32(0); i < b.nodeCount; i++ {
+		parent := nodes[i]
+		cs, cc := b.nodeU32(i, binNodeChildStart), b.nodeU32(i, binNodeChildCount)
+		for c := cs; c < cs+cc; c++ {
+			ci := binLE.Uint32(b.child[c*4:])
+			n, err := nodeOf(b.record(ci), parent.Pattern)
+			if err != nil {
+				return nil, fmt.Errorf("tctree: shard %d: node %d: %w", b.item, ci, err)
+			}
+			parent.addChild(n)
+			nodes[ci] = n
+		}
+	}
+	return root, nil
+}
+
+// record reconstructs the serialization-form node record of node i.
+func (b *BinShard) record(i uint32) nodeRecord {
+	rec := nodeRecord{Item: int32(b.itemOf(i))}
+	fs, fc := b.nodeU32(i, binNodeFreqStart), b.nodeU32(i, binNodeFreqCount)
+	rec.Freq = make([]vertexFreqRecord, 0, fc)
+	for f := fs; f < fs+fc; f++ {
+		o := uint64(f) * binFreqSize
+		rec.Freq = append(rec.Freq, vertexFreqRecord{
+			Vertex: int32(binLE.Uint32(b.freq[o:])),
+			Freq:   math.Float64frombits(binLE.Uint64(b.freq[o+4:])),
+		})
+	}
+	ls, lc := b.nodeU32(i, binNodeLevelStart), b.nodeU32(i, binNodeLevelCount)
+	rec.Levels = make([]levelRecord, 0, lc)
+	for l := ls; l < ls+lc; l++ {
+		alpha, es, ec := b.levelAt(l)
+		lv := levelRecord{Alpha: alpha, Edges: make([]uint64, 0, ec)}
+		for e := es; e < es+ec; e++ {
+			lv.Edges = append(lv.Edges, binLE.Uint64(b.edge[uint64(e)*binEdgeSize:]))
+		}
+		rec.Levels = append(rec.Levels, lv)
+	}
+	return rec
+}

@@ -1,0 +1,622 @@
+package tctree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/itemset"
+)
+
+// binShardFixtures encodes every first-level subtree of a generated tree and
+// returns the shard roots alongside their TCBIN payloads and manifest entries.
+func binShardFixtures(t *testing.T, seed int64) (*Tree, []*Node, [][]byte, []ShardEntry) {
+	t.Helper()
+	tree := buildShardedTestTree(t, seed)
+	var roots []*Node
+	var bufs [][]byte
+	var entries []ShardEntry
+	for _, c := range tree.Root().Children {
+		buf, entry, err := encodeShardBinary(c)
+		if err != nil {
+			t.Fatalf("encodeShardBinary(%d): %v", c.Item, err)
+		}
+		roots = append(roots, c)
+		bufs = append(bufs, buf)
+		entries = append(entries, entry)
+	}
+	return tree, roots, bufs, entries
+}
+
+// assertSameShardAnswer requires two shard answers to agree on the visited
+// counter and on every truss: pattern, threshold, edge set and vertex
+// frequencies.
+func assertSameShardAnswer(t *testing.T, label string, got, want ShardAnswer) {
+	t.Helper()
+	if got.Visited != want.Visited {
+		t.Fatalf("%s: visited %d nodes, want %d", label, got.Visited, want.Visited)
+	}
+	if len(got.Trusses) != len(want.Trusses) {
+		t.Fatalf("%s: %d trusses, want %d", label, len(got.Trusses), len(want.Trusses))
+	}
+	for i := range want.Trusses {
+		g, w := got.Trusses[i], want.Trusses[i]
+		if !g.Pattern.Equal(w.Pattern) {
+			t.Fatalf("%s: truss %d pattern %v, want %v", label, i, g.Pattern, w.Pattern)
+		}
+		if g.Alpha != w.Alpha {
+			t.Fatalf("%s: truss %d (%v) alpha %v, want %v", label, i, w.Pattern, g.Alpha, w.Alpha)
+		}
+		if !g.Edges.Equal(w.Edges) {
+			t.Fatalf("%s: truss %d (%v) edge sets differ", label, i, w.Pattern)
+		}
+		if len(g.Freq) != len(w.Freq) {
+			t.Fatalf("%s: truss %d (%v) has %d vertices, want %d", label, i, w.Pattern, len(g.Freq), len(w.Freq))
+		}
+		for v, f := range w.Freq {
+			if gf, ok := g.Freq[v]; !ok || !approx(gf, f) {
+				t.Fatalf("%s: truss %d (%v) vertex %d frequency %v, want %v", label, i, w.Pattern, v, g.Freq[v], f)
+			}
+		}
+	}
+}
+
+// shardQueryPatterns builds a query mix for one shard: every indexed pattern
+// and prefix of one, patterns with foreign items mixed in, and nil.
+func shardQueryPatterns(root *Node) []itemset.Itemset {
+	var qs []itemset.Itemset
+	qs = append(qs, nil, itemset.New(root.Item), itemset.New(997))
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		qs = append(qs, n.Pattern, n.Pattern.Add(999))
+		if n.Pattern.Len() > 1 {
+			qs = append(qs, n.Pattern[1:])
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return qs
+}
+
+// TestBinShardRoundTrip checks encodeShardBinary → DecodeBinShard →
+// Materialize reproduces the source subtree exactly, and that the returned
+// manifest entry carries the same statistics and catalogue the gob encoder
+// computes.
+func TestBinShardRoundTrip(t *testing.T) {
+	_, roots, bufs, entries := binShardFixtures(t, 19)
+	for i, root := range roots {
+		b, err := DecodeBinShard(bufs[i], entries[i])
+		if err != nil {
+			t.Fatalf("DecodeBinShard(%d): %v", root.Item, err)
+		}
+		if b.RootItem() != root.Item {
+			t.Fatalf("RootItem = %d, want %d", b.RootItem(), root.Item)
+		}
+		if b.SizeBytes() != int64(len(bufs[i])) {
+			t.Fatalf("SizeBytes = %d, want %d", b.SizeBytes(), len(bufs[i]))
+		}
+		back, err := b.Materialize()
+		if err != nil {
+			t.Fatalf("Materialize(%d): %v", root.Item, err)
+		}
+		assertSameSubtree(t, root, back)
+
+		stats, bloom, alphaDepths := ShardCatalogue(root)
+		e := entries[i]
+		if e.Nodes != stats.Nodes || e.Depth != stats.Depth || !approx(e.MaxAlpha, stats.MaxAlpha) {
+			t.Fatalf("entry stats %+v disagree with ShardCatalogue %+v", e, stats)
+		}
+		if e.Bloom != bloom || e.AlphaDepths != alphaDepths {
+			t.Fatalf("entry catalogue (%q, %q) disagrees with ShardCatalogue (%q, %q)",
+				e.Bloom, e.AlphaDepths, bloom, alphaDepths)
+		}
+		if e.File != binShardFileName(root.Item) {
+			t.Fatalf("entry file %q, want %q", e.File, binShardFileName(root.Item))
+		}
+	}
+}
+
+// TestBinShardViewParity drives the BinShard and NodeView implementations of
+// every ShardView method over the same query mix and requires identical
+// answers — the zero-copy traversal must be observationally equal to the
+// pointer-tree traversal, counters included.
+func TestBinShardViewParity(t *testing.T) {
+	tree, roots, bufs, entries := binShardFixtures(t, 19)
+	alphas := []float64{0, 0.1, 0.25, tree.MaxAlpha() / 2, tree.MaxAlpha(), tree.MaxAlpha() + 1}
+	for i, root := range roots {
+		bin, err := DecodeBinShard(bufs[i], entries[i])
+		if err != nil {
+			t.Fatalf("DecodeBinShard(%d): %v", root.Item, err)
+		}
+		view := NewNodeView(root)
+		for _, q := range shardQueryPatterns(root) {
+			for _, alpha := range alphas {
+				assertSameShardAnswer(t, "QuerySub", bin.QuerySub(q, alpha), view.QuerySub(q, alpha))
+				if q != nil {
+					assertSameShardAnswer(t, "QueryContaining",
+						bin.QueryContaining(q, alpha), view.QueryContaining(q, alpha))
+				}
+			}
+		}
+
+		// RemovalAlphas must agree edge for edge on every indexed pattern,
+		// and agree that unindexed patterns are absent.
+		var pats []itemset.Itemset
+		bin.WalkPatterns(func(p itemset.Itemset) { pats = append(pats, p) })
+		var viewPats []itemset.Itemset
+		view.WalkPatterns(func(p itemset.Itemset) { viewPats = append(viewPats, p) })
+		if len(pats) != len(viewPats) {
+			t.Fatalf("WalkPatterns yields %d patterns, NodeView %d", len(pats), len(viewPats))
+		}
+		for j := range pats {
+			if !pats[j].Equal(viewPats[j]) {
+				t.Fatalf("WalkPatterns order diverges at %d: %v vs %v", j, pats[j], viewPats[j])
+			}
+		}
+		for _, p := range pats {
+			ba, bok := bin.RemovalAlphas(p)
+			va, vok := view.RemovalAlphas(p)
+			if bok != vok || len(ba) != len(va) {
+				t.Fatalf("RemovalAlphas(%v): bin (%d, %v) vs view (%d, %v)", p, len(ba), bok, len(va), vok)
+			}
+			for e, a := range va {
+				if !approx(ba[e], a) {
+					t.Fatalf("RemovalAlphas(%v): edge %d alpha %v, want %v", p, e, ba[e], a)
+				}
+			}
+		}
+		if _, ok := bin.RemovalAlphas(itemset.New(root.Item, 999)); ok {
+			t.Fatalf("RemovalAlphas of an unindexed pattern reported ok")
+		}
+	}
+}
+
+// corruptCase is one hostile mutation of a valid TCBIN payload.
+type corruptCase struct {
+	name    string
+	mutate  func(data []byte) []byte
+	wantSub string
+}
+
+func binCorruptions() []corruptCase {
+	return []corruptCase{
+		{"empty", func(d []byte) []byte { return nil }, "too small"},
+		{"truncated header", func(d []byte) []byte { return d[:binHeaderSize-1] }, "too small"},
+		{"truncated tail", func(d []byte) []byte { return d[:len(d)-1] }, "footer offset"},
+		{"bad magic", func(d []byte) []byte { d[0] ^= 0xff; return d }, "bad magic"},
+		{"bad version", func(d []byte) []byte { binary.LittleEndian.PutUint32(d[8:], 2); return d }, "version"},
+		{"bad end magic", func(d []byte) []byte { d[len(d)-1] ^= 0xff; return d }, "end magic"},
+		{"payload bit flip", func(d []byte) []byte { d[len(d)/2] ^= 0x01; return d }, "checksum"},
+		{"crc flip", func(d []byte) []byte { d[len(d)-binFooterSize] ^= 0xff; return d }, "checksum"},
+	}
+}
+
+// TestBinShardChecksumsDistinct pins the manifest checksum of a TCBIN shard
+// to the body CRC its footer embeds. The whole-file CRC is useless here: a
+// file ending in its own CRC hashes to one constant residue, so every TCBIN
+// shard would share one checksum and the checksum-versioned staged-shard
+// names (StageShards) would collide across generations of the same shard —
+// a freshly staged file could silently overwrite one the live manifest
+// still references.
+func TestBinShardChecksumsDistinct(t *testing.T) {
+	_, _, bufs, entries := binShardFixtures(t, 3)
+	if len(entries) < 2 {
+		t.Fatal("need at least two shards")
+	}
+	seen := make(map[string]int32)
+	for i, entry := range entries {
+		data := bufs[i]
+		footerOff := len(data) - binFooterSize
+		stored := binary.LittleEndian.Uint32(data[footerOff:])
+		if want := fmt.Sprintf("crc32c:%08x", stored); entry.Checksum != want {
+			t.Fatalf("shard %d: manifest checksum %s, footer holds %s", entry.Item, entry.Checksum, want)
+		}
+		if prev, dup := seen[entry.Checksum]; dup {
+			t.Fatalf("shards %d and %d share checksum %s", prev, entry.Item, entry.Checksum)
+		}
+		seen[entry.Checksum] = entry.Item
+	}
+}
+
+// reseal recomputes the footer CRC so a structural mutation survives the
+// checksum gate and exercises the deep validators.
+func reseal(d []byte) []byte {
+	footerOff := len(d) - binFooterSize
+	binary.LittleEndian.PutUint32(d[footerOff:], crc32.Checksum(d[:footerOff], castagnoli))
+	return d
+}
+
+func binStructuralCorruptions() []corruptCase {
+	return []corruptCase{
+		{"node count zero", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[16:], 0)
+			return reseal(d)
+		}, ""},
+		{"child total mismatch", func(d []byte) []byte {
+			binary.LittleEndian.PutUint32(d[24:], binary.LittleEndian.Uint32(d[24:])+1)
+			return reseal(d)
+		}, ""},
+		{"section offset skew", func(d []byte) []byte {
+			binary.LittleEndian.PutUint64(d[48:], binary.LittleEndian.Uint64(d[48:])+4)
+			return reseal(d)
+		}, "section offsets"},
+		{"item index out of range", func(d []byte) []byte {
+			nodeOff := binary.LittleEndian.Uint64(d[48:])
+			binary.LittleEndian.PutUint32(d[nodeOff:], ^uint32(0))
+			return reseal(d)
+		}, ""},
+		{"child range overflow", func(d []byte) []byte {
+			nodeOff := binary.LittleEndian.Uint64(d[48:])
+			binary.LittleEndian.PutUint32(d[nodeOff+binNodeChildCount:], ^uint32(0))
+			return reseal(d)
+		}, ""},
+		{"freq count zero", func(d []byte) []byte {
+			nodeOff := binary.LittleEndian.Uint64(d[48:])
+			binary.LittleEndian.PutUint32(d[nodeOff+binNodeFreqCount:], 0)
+			return reseal(d)
+		}, ""},
+		{"level range overflow", func(d []byte) []byte {
+			nodeOff := binary.LittleEndian.Uint64(d[48:])
+			binary.LittleEndian.PutUint32(d[nodeOff+binNodeLevelCount:], ^uint32(0))
+			return reseal(d)
+		}, ""},
+		{"self child", func(d []byte) []byte {
+			// Point the root's first child entry back at the root.
+			childOff := binary.LittleEndian.Uint64(d[56:])
+			binary.LittleEndian.PutUint32(d[childOff:], 0)
+			return reseal(d)
+		}, "breadth-first"},
+	}
+}
+
+// TestDecodeBinShardRejectsCorruption runs every mutation over a valid shard
+// and requires a descriptive error — and no panic — from DecodeBinShard.
+func TestDecodeBinShardRejectsCorruption(t *testing.T) {
+	_, roots, bufs, entries := binShardFixtures(t, 19)
+	// Pick the largest shard so structural mutations hit real tables.
+	best := 0
+	for i := range bufs {
+		if len(bufs[i]) > len(bufs[best]) {
+			best = i
+		}
+	}
+	valid, entry := bufs[best], entries[best]
+	if _, err := DecodeBinShard(append([]byte(nil), valid...), entry); err != nil {
+		t.Fatalf("valid shard rejected: %v", err)
+	}
+	cases := binCorruptions()
+	if roots[best].Children != nil {
+		cases = append(cases, binStructuralCorruptions()...)
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data := c.mutate(append([]byte(nil), valid...))
+			sh, err := DecodeBinShard(data, entry)
+			if err == nil {
+				t.Fatalf("corruption %q decoded successfully", c.name)
+			}
+			if sh != nil {
+				t.Fatalf("corruption %q returned a non-nil shard with an error", c.name)
+			}
+			if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("corruption %q error %q does not mention %q", c.name, err, c.wantSub)
+			}
+		})
+	}
+
+	// Manifest cross-checks: the payload may be pristine but disagree with
+	// the entry it is opened under.
+	badItem := entry
+	badItem.Item++
+	if _, err := DecodeBinShard(append([]byte(nil), valid...), badItem); err == nil {
+		t.Fatalf("shard decoded under a manifest entry for another item")
+	}
+	badNodes := entry
+	badNodes.Nodes++
+	if _, err := DecodeBinShard(append([]byte(nil), valid...), badNodes); err == nil {
+		t.Fatalf("shard decoded under a manifest entry with the wrong node count")
+	}
+}
+
+// TestWriteShardedBinaryRoundTrip writes an index in TCBIN format and
+// requires byte-identical query answers from the reassembled tree, shards
+// opened zero-copy, and a manifest that records the format.
+func TestWriteShardedBinaryRoundTrip(t *testing.T) {
+	tree := buildShardedTestTree(t, 19)
+	dir := t.TempDir()
+	m, err := tree.WriteShardedBinary(dir)
+	if err != nil {
+		t.Fatalf("WriteShardedBinary: %v", err)
+	}
+	if m.FormatName() != FormatTCBIN {
+		t.Fatalf("manifest format %q, want %q", m.FormatName(), FormatTCBIN)
+	}
+	if m.TotalNodes() != tree.NumNodes() || m.Depth() != tree.Depth() || !approx(m.MaxAlpha(), tree.MaxAlpha()) {
+		t.Fatalf("manifest totals (%d, %d, %v) disagree with tree (%d, %d, %v)",
+			m.TotalNodes(), m.Depth(), m.MaxAlpha(), tree.NumNodes(), tree.Depth(), tree.MaxAlpha())
+	}
+	for _, e := range m.Shards {
+		if !strings.HasSuffix(e.File, ".tcbin") {
+			t.Fatalf("shard file %q does not use the .tcbin extension", e.File)
+		}
+	}
+
+	idx, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	if idx.Format() != FormatTCBIN {
+		t.Fatalf("index format %q, want %q", idx.Format(), FormatTCBIN)
+	}
+	view, err := idx.LoadShardView(itemset.Item(m.Shards[0].Item))
+	if err != nil {
+		t.Fatalf("LoadShardView: %v", err)
+	}
+	if _, ok := view.(*BinShard); !ok {
+		t.Fatalf("LoadShardView on a TCBIN index returned %T, want *BinShard", view)
+	}
+	if view.SizeBytes() <= 0 {
+		t.Fatalf("BinShard view reports %d bytes", view.SizeBytes())
+	}
+
+	reloaded, err := idx.LoadTree()
+	if err != nil {
+		t.Fatalf("LoadTree: %v", err)
+	}
+	if err := reloaded.Validate(); err != nil {
+		t.Fatalf("Validate after LoadTree: %v", err)
+	}
+	queries := tree.Patterns()
+	alphas := []float64{0, 0.1, tree.MaxAlpha() / 2, tree.MaxAlpha(), tree.MaxAlpha() + 1}
+	for _, q := range queries {
+		for _, alpha := range alphas {
+			assertIdenticalAnswer(t, reloaded.Query(q, alpha), tree.Query(q, alpha))
+		}
+	}
+	for _, alpha := range alphas {
+		assertIdenticalAnswer(t, reloaded.QueryByAlpha(alpha), tree.QueryByAlpha(alpha))
+	}
+}
+
+// TestLoadShardVerifiesChecksumTCBIN is the TCBIN twin of the gob corruption
+// test: a flipped byte must surface as a checksum mismatch on load.
+func TestLoadShardVerifiesChecksumTCBIN(t *testing.T) {
+	tree := buildShardedTestTree(t, 19)
+	dir := t.TempDir()
+	m, err := tree.WriteShardedBinary(dir)
+	if err != nil {
+		t.Fatalf("WriteShardedBinary: %v", err)
+	}
+	entry := m.Shards[0]
+	path := filepath.Join(dir, entry.File)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	idx, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+	if _, err := idx.LoadShard(itemset.Item(entry.Item)); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("LoadShard on a corrupted TCBIN file returned %v, want checksum mismatch", err)
+	}
+}
+
+// TestMigrateFormat converts an index gob → TCBIN → gob in place, checking
+// after each hop that the manifest, file extensions and query answers match
+// the original and that files of the abandoned format are gone.
+func TestMigrateFormat(t *testing.T) {
+	tree := buildShardedTestTree(t, 19)
+	dir := t.TempDir()
+	if _, err := tree.WriteShardedAs(dir, FormatGob); err != nil {
+		t.Fatalf("WriteShardedAs(gob): %v", err)
+	}
+	idx, err := OpenSharded(dir)
+	if err != nil {
+		t.Fatalf("OpenSharded: %v", err)
+	}
+
+	check := func(format, ext, goneExt string) {
+		t.Helper()
+		if idx.Format() != format {
+			t.Fatalf("index format %q, want %q", idx.Format(), format)
+		}
+		m, err := ReadManifest(dir)
+		if err != nil {
+			t.Fatalf("ReadManifest: %v", err)
+		}
+		if m.FormatName() != format {
+			t.Fatalf("on-disk manifest format %q, want %q", m.FormatName(), format)
+		}
+		if m.TotalNodes() != tree.NumNodes() {
+			t.Fatalf("manifest TotalNodes = %d, want %d", m.TotalNodes(), tree.NumNodes())
+		}
+		files, err := filepath.Glob(filepath.Join(dir, "shard-*"))
+		if err != nil {
+			t.Fatalf("Glob: %v", err)
+		}
+		for _, f := range files {
+			if strings.HasSuffix(f, goneExt) {
+				t.Fatalf("file %s of the abandoned format survived the migration", f)
+			}
+			if !strings.HasSuffix(f, ext) {
+				t.Fatalf("unexpected shard file %s after migrating to %s", f, format)
+			}
+		}
+		reloaded, err := idx.LoadTree()
+		if err != nil {
+			t.Fatalf("LoadTree: %v", err)
+		}
+		for _, q := range tree.Patterns() {
+			assertIdenticalAnswer(t, reloaded.Query(q, 0.1), tree.Query(q, 0.1))
+		}
+	}
+
+	if err := idx.MigrateFormat(FormatTCBIN); err != nil {
+		t.Fatalf("MigrateFormat(tcbin): %v", err)
+	}
+	check(FormatTCBIN, ".tcbin", ".gob")
+
+	// Migrating to the format the index is already in is a no-op.
+	if err := idx.MigrateFormat(FormatTCBIN); err != nil {
+		t.Fatalf("MigrateFormat to the current format: %v", err)
+	}
+	check(FormatTCBIN, ".tcbin", ".gob")
+
+	if err := idx.MigrateFormat(FormatGob); err != nil {
+		t.Fatalf("MigrateFormat(gob): %v", err)
+	}
+	check(FormatGob, ".gob", ".tcbin")
+
+	if err := idx.MigrateFormat("tsv"); err == nil {
+		t.Fatalf("MigrateFormat to an unknown format should fail")
+	}
+}
+
+// TestContainmentAlphaBound pins the histogram pruning rule: the bound at
+// needDepth is the maximum α* over buckets ≥ needDepth−1, 0 past the end,
+// and the whole-shard maximum at depth ≤ 1.
+func TestContainmentAlphaBound(t *testing.T) {
+	depths := []float64{0.9, 0.5, 0.3}
+	cases := []struct {
+		need int
+		want float64
+	}{{0, 0.9}, {1, 0.9}, {2, 0.5}, {3, 0.3}, {4, 0}, {99, 0}}
+	for _, c := range cases {
+		if got := ContainmentAlphaBound(depths, c.need); !approx(got, c.want) {
+			t.Fatalf("ContainmentAlphaBound(%v, %d) = %v, want %v", depths, c.need, got, c.want)
+		}
+	}
+	// A truncated histogram proves the shard is too shallow: the bound is 0.
+	if got := ContainmentAlphaBound(depths, 17); got != 0 {
+		t.Fatalf("ContainmentAlphaBound past the last bucket = %v, want 0", got)
+	}
+	full := make([]float64, 16)
+	for i := range full {
+		full[i] = 1 - float64(i)/16
+	}
+	// A full histogram folds deeper targets into the last bucket.
+	if got := ContainmentAlphaBound(full, 40); !approx(got, full[15]) {
+		t.Fatalf("ContainmentAlphaBound(full, 40) = %v, want %v", got, full[15])
+	}
+}
+
+// TestCatalogueCodecs round-trips the bloom and histogram string encodings
+// and rejects malformed inputs.
+func TestCatalogueCodecs(t *testing.T) {
+	tree := buildShardedTestTree(t, 19)
+	root := tree.Root().Children[0]
+	_, bloomStr, histStr := ShardCatalogue(root)
+
+	bloom, err := DecodeItemBloom(bloomStr)
+	if err != nil {
+		t.Fatalf("DecodeItemBloom(%q): %v", bloomStr, err)
+	}
+	var items []itemset.Item
+	seen := map[itemset.Item]bool{}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if !seen[n.Item] {
+			seen[n.Item] = true
+			items = append(items, n.Item)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	for _, it := range items {
+		if !bloom.MayContain(it) {
+			t.Fatalf("bloom filter rejects indexed item %d (false negative)", it)
+		}
+	}
+	if bloom.Encode() != bloomStr {
+		t.Fatalf("bloom re-encode %q, want %q", bloom.Encode(), bloomStr)
+	}
+	var nilBloom *ItemBloom
+	if !nilBloom.MayContain(1) {
+		t.Fatalf("a nil bloom must admit every item")
+	}
+
+	hist, err := DecodeAlphaDepths(histStr)
+	if err != nil {
+		t.Fatalf("DecodeAlphaDepths(%q): %v", histStr, err)
+	}
+	if len(hist) == 0 || len(hist) > 16 {
+		t.Fatalf("histogram has %d buckets", len(hist))
+	}
+	if !sort.SliceIsSorted(hist, func(i, j int) bool { return hist[i] >= hist[j] }) {
+		t.Fatalf("α*-by-depth histogram %v is not non-increasing", hist)
+	}
+	if !approx(hist[0], root.Decomp.MaxAlpha()) {
+		t.Fatalf("histogram bucket 0 = %v, want the shard root α* %v", hist[0], root.Decomp.MaxAlpha())
+	}
+
+	for _, bad := range []string{"", "b2:7:AAAA", "b1:0:AAAA", "b1:7:!!!", "h1:", "hx:1", "h1:abc", "h1:-1"} {
+		if _, err := DecodeItemBloom(bad); err == nil && strings.HasPrefix(bad, "b") {
+			t.Fatalf("DecodeItemBloom(%q) accepted malformed input", bad)
+		}
+		if _, err := DecodeAlphaDepths(bad); err == nil && strings.HasPrefix(bad, "h") {
+			t.Fatalf("DecodeAlphaDepths(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+// FuzzTCBINDecode feeds arbitrary bytes to DecodeBinShard under a manifest
+// entry synthesized from the payload's own header, so fuzzing reaches the
+// structural validators behind the entry cross-checks. The decoder must
+// either error or return a shard whose every traversal runs without panics
+// or out-of-range reads.
+func FuzzTCBINDecode(f *testing.F) {
+	nw := dbnet.PaperExample()
+	tree := Build(nw, BuildOptions{})
+	for _, c := range tree.Root().Children {
+		buf, _, err := encodeShardBinary(c)
+		if err != nil {
+			f.Fatalf("encodeShardBinary: %v", err)
+		}
+		f.Add(buf)
+		truncated := append([]byte(nil), buf[:len(buf)/2]...)
+		f.Add(truncated)
+		flipped := append([]byte(nil), buf...)
+		flipped[len(flipped)/3] ^= 0x40
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("TCBIN\r\n\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entry := ShardEntry{File: "fuzz.tcbin"}
+		if len(data) >= 20 {
+			entry.Item = int32(binary.LittleEndian.Uint32(data[12:]))
+			entry.Nodes = int(binary.LittleEndian.Uint32(data[16:]))
+		}
+		sh, err := DecodeBinShard(data, entry)
+		if err != nil {
+			return
+		}
+		// A payload that passed validation must be fully traversable.
+		sh.WalkPatterns(func(itemset.Itemset) {})
+		root := sh.RootItem()
+		for _, alpha := range []float64{0, 0.5} {
+			sh.QuerySub(nil, alpha)
+			sh.QuerySub(itemset.New(root), alpha)
+			sh.QueryContaining(itemset.New(root), alpha)
+		}
+		sh.RemovalAlphas(itemset.New(root))
+		if _, err := sh.Materialize(); err != nil {
+			t.Fatalf("validated shard failed to materialize: %v", err)
+		}
+	})
+}

@@ -1,0 +1,241 @@
+package tctree
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"themecomm/internal/itemset"
+)
+
+// This file implements the per-shard skipping catalogue persisted in the
+// manifest alongside the basic shard statistics: an item bloom filter over
+// the distinct items of the shard's patterns, and a fixed-bucket histogram
+// of the best α* per pattern length. Both are computed at encode time (for
+// either on-disk format) and consulted by the engine's planner to rule
+// shards out of containment queries without touching payload bytes.
+//
+// Neither structure can improve SUB-pattern queries: by anti-monotonicity
+// the shard root's α* equals the shard's MaxAlpha, so whenever α_q <
+// MaxAlpha the root's truss is non-empty and the shard must be opened —
+// the existing α* skip is already exact there. For containment queries
+// (all indexed patterns ⊇ q) the catalogue is decisive: a query item the
+// bloom filter rules out proves the shard contributes nothing, and the
+// histogram bounds the best α* reachable at the depth a superset of q
+// needs.
+
+const (
+	// bloomBitsPerItem sizes the filter at ~10 bits per distinct item,
+	// which with 7 hash functions gives a false-positive rate under 1%.
+	bloomBitsPerItem = 10
+	bloomHashes      = 7
+	// alphaHistBuckets is the fixed bucket count of the per-depth α*
+	// histogram: bucket d (0-based) holds the best α* over nodes whose
+	// pattern length is d+1; the last bucket also absorbs every greater
+	// length so the histogram stays fixed-width on arbitrarily deep shards.
+	alphaHistBuckets = 16
+)
+
+// ItemBloom is a bloom filter over the distinct items appearing in a
+// shard's indexed patterns. It answers "might item i appear anywhere in
+// this shard?" with no false negatives.
+type ItemBloom struct {
+	bits []byte
+	k    int
+}
+
+// newItemBloom sizes a filter for n distinct items.
+func newItemBloom(n int) *ItemBloom {
+	if n < 1 {
+		n = 1
+	}
+	bytes := (n*bloomBitsPerItem + 7) / 8
+	if bytes < 8 {
+		bytes = 8
+	}
+	return &ItemBloom{bits: make([]byte, bytes), k: bloomHashes}
+}
+
+// bloomMix derives two independent 32-bit hashes from an item via a
+// splitmix64 finalizer; the k probe positions are double-hashed from them.
+func bloomMix(it itemset.Item) (uint32, uint32) {
+	x := uint64(uint32(it)) + 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	h2 := uint32(x>>32) | 1 // odd, so probes cycle through all positions
+	return uint32(x), h2
+}
+
+func (b *ItemBloom) add(it itemset.Item) {
+	h1, h2 := bloomMix(it)
+	m := uint32(len(b.bits) * 8)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint32(i)*h2) % m
+		b.bits[pos/8] |= 1 << (pos % 8)
+	}
+}
+
+// MayContain reports whether the item might appear in the shard. A false
+// result is definitive: the item appears in no indexed pattern.
+func (b *ItemBloom) MayContain(it itemset.Item) bool {
+	if b == nil || len(b.bits) == 0 {
+		return true
+	}
+	h1, h2 := bloomMix(it)
+	m := uint32(len(b.bits) * 8)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint32(i)*h2) % m
+		if b.bits[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bloomVersion prefixes the manifest encoding so the probe scheme can
+// change without misreading old catalogues.
+const bloomVersion = "b1"
+
+// Encode renders the filter for the manifest: "b1:<k>:<base64 bits>".
+func (b *ItemBloom) Encode() string {
+	return bloomVersion + ":" + strconv.Itoa(b.k) + ":" + base64.RawStdEncoding.EncodeToString(b.bits)
+}
+
+// DecodeItemBloom parses a filter encoded by Encode. An empty string is a
+// valid absent filter (nil, which MayContain treats as "maybe").
+func DecodeItemBloom(s string) (*ItemBloom, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.SplitN(s, ":", 3)
+	if len(parts) != 3 || parts[0] != bloomVersion {
+		return nil, fmt.Errorf("tctree: unrecognized bloom encoding %q", s)
+	}
+	k, err := strconv.Atoi(parts[1])
+	if err != nil || k < 1 || k > 32 {
+		return nil, fmt.Errorf("tctree: bad bloom hash count %q", parts[1])
+	}
+	bits, err := base64.RawStdEncoding.DecodeString(parts[2])
+	if err != nil || len(bits) == 0 {
+		return nil, fmt.Errorf("tctree: bad bloom bits: %v", err)
+	}
+	return &ItemBloom{bits: bits, k: k}, nil
+}
+
+// alphaHistVersion prefixes the manifest encoding of the depth histogram.
+const alphaHistVersion = "h1"
+
+// encodeAlphaDepths renders the per-depth α* histogram for the manifest:
+// "h1:<α₁>,<α₂>,..." with exact float round-tripping.
+func encodeAlphaDepths(depths []float64) string {
+	if len(depths) == 0 {
+		return ""
+	}
+	parts := make([]string, len(depths))
+	for i, a := range depths {
+		parts[i] = strconv.FormatFloat(a, 'g', -1, 64)
+	}
+	return alphaHistVersion + ":" + strings.Join(parts, ",")
+}
+
+// DecodeAlphaDepths parses a histogram encoded by encodeAlphaDepths; an
+// empty string is a valid absent histogram.
+func DecodeAlphaDepths(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	body, ok := strings.CutPrefix(s, alphaHistVersion+":")
+	if !ok {
+		return nil, fmt.Errorf("tctree: unrecognized alpha histogram encoding %q", s)
+	}
+	fields := strings.Split(body, ",")
+	if len(fields) > alphaHistBuckets {
+		return nil, fmt.Errorf("tctree: alpha histogram has %d buckets, max %d", len(fields), alphaHistBuckets)
+	}
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		a, err := strconv.ParseFloat(f, 64)
+		if err != nil || a < 0 {
+			return nil, fmt.Errorf("tctree: bad alpha histogram bucket %q", f)
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// shardCatalogue computes one shard's manifest metadata — the basic
+// statistics plus the skipping catalogue — in a single walk of the subtree.
+func shardCatalogue(root *Node) (st ShardStats, bloom string, alphaDepths string) {
+	st = ShardStats{Item: root.Item}
+	items := make(map[itemset.Item]struct{})
+	var hist [alphaHistBuckets]float64
+	root.Walk(func(n *Node) {
+		st.Nodes++
+		l := n.Pattern.Len()
+		if l > st.Depth {
+			st.Depth = l
+		}
+		a := n.Decomp.MaxAlpha()
+		if a > st.MaxAlpha {
+			st.MaxAlpha = a
+		}
+		items[n.Item] = struct{}{}
+		bucket := l - 1
+		if bucket >= alphaHistBuckets {
+			bucket = alphaHistBuckets - 1
+		}
+		if a > hist[bucket] {
+			hist[bucket] = a
+		}
+	})
+	b := newItemBloom(len(items))
+	for it := range items {
+		b.add(it)
+	}
+	n := st.Depth
+	if n > alphaHistBuckets {
+		n = alphaHistBuckets
+	}
+	return st, b.Encode(), encodeAlphaDepths(hist[:n])
+}
+
+// ShardCatalogue computes the manifest metadata of an in-memory shard
+// subtree: its basic statistics plus the encoded bloom filter and α*-by-
+// depth histogram. Serving layers that build eager engines straight from a
+// Tree use it to plan with the same catalogue a sharded index would
+// persist.
+func ShardCatalogue(root *Node) (st ShardStats, bloom string, alphaDepths string) {
+	return shardCatalogue(root)
+}
+
+// ContainmentAlphaBound returns the best α* any node of pattern length ≥
+// needDepth can reach according to the histogram, or 0 when the shard is
+// too shallow to hold one. A containment query needs nodes at least
+// |q| deep (one deeper when the shard's root item is not in q), so a
+// query threshold at or above this bound proves the shard contributes
+// nothing.
+func ContainmentAlphaBound(alphaByDepth []float64, needDepth int) float64 {
+	if needDepth < 1 {
+		needDepth = 1
+	}
+	start := needDepth - 1
+	if start >= alphaHistBuckets {
+		// Deep targets fold into the last bucket of a full histogram; a
+		// truncated one proves the shard is too shallow.
+		start = alphaHistBuckets - 1
+	}
+	if start >= len(alphaByDepth) {
+		return 0
+	}
+	bound := 0.0
+	for _, a := range alphaByDepth[start:] {
+		if a > bound {
+			bound = a
+		}
+	}
+	return bound
+}

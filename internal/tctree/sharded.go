@@ -16,9 +16,9 @@ import (
 	"themecomm/internal/itemset"
 )
 
-// This file implements the sharded on-disk index format: instead of one gob
-// file holding the whole TC-Tree, the index is a directory containing one gob
-// file per first-level subtree (shard) plus a JSON manifest, index.manifest,
+// This file implements the sharded on-disk index format: instead of one file
+// holding the whole TC-Tree, the index is a directory containing one shard
+// file per first-level subtree plus a JSON manifest, index.manifest,
 // recording per-shard metadata. Because every pattern indexed inside a shard
 // contains the shard's root item, a server can answer a query (q, α_q) after
 // loading only the shards whose root item is in q — the storage layout is
@@ -26,6 +26,12 @@ import (
 // verifiable (per-file CRC-32C checksum) and individually replaceable
 // (ReplaceShard swaps one shard file and its manifest entry without touching
 // the others).
+//
+// Two shard payload encodings exist, recorded per index in the manifest's
+// format field: "gob" (the legacy pointer-tree encoding, decoded into *Node)
+// and "tcbin" (the flat binary layout of binformat.go, memory-mapped and
+// traversed in place). A whole index uses one format; MigrateFormat converts
+// in place with the usual single-manifest-write switch point.
 
 const (
 	// ManifestName is the name of the manifest file inside a sharded index
@@ -34,7 +40,41 @@ const (
 
 	manifestVersion  = 1
 	shardFileVersion = 1
+
+	// FormatGob identifies the legacy gob shard encoding. Manifests written
+	// before formats existed carry no format field and mean gob.
+	FormatGob = "gob"
+	// FormatTCBIN identifies the flat binary shard encoding opened via mmap.
+	FormatTCBIN = "tcbin"
+
+	// FormatEnvVar selects the format Tree.WriteSharded emits, so an entire
+	// test suite (or CI job) runs against either encoding without code
+	// changes. Unset or unrecognized values mean gob.
+	FormatEnvVar = "TC_INDEX_FORMAT"
 )
+
+// normalizeFormat maps a manifest or user-supplied format string to a
+// canonical constant. The empty string is the legacy spelling of gob.
+func normalizeFormat(s string) (string, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", FormatGob:
+		return FormatGob, nil
+	case FormatTCBIN:
+		return FormatTCBIN, nil
+	default:
+		return "", fmt.Errorf("tctree: unknown index format %q (want %q or %q)", s, FormatGob, FormatTCBIN)
+	}
+}
+
+// FormatFromEnv returns the shard format selected by TC_INDEX_FORMAT,
+// defaulting to gob.
+func FormatFromEnv() string {
+	f, err := normalizeFormat(os.Getenv(FormatEnvVar))
+	if err != nil {
+		return FormatGob
+	}
+	return f
+}
 
 // castagnoli is the CRC-32C polynomial table used for shard checksums.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -63,25 +103,87 @@ type ShardEntry struct {
 	// decomposition. Queries with α_q ≥ MaxAlpha retrieve nothing from the
 	// shard, so a serving layer may skip loading it entirely.
 	MaxAlpha float64 `json:"maxAlpha"`
-	// Checksum is the CRC-32C of the shard file, "crc32c:" followed by eight
-	// lowercase hex digits. It is verified on every load.
+	// Checksum is "crc32c:" followed by eight lowercase hex digits of the
+	// shard's CRC-32C: for gob shards the CRC of the whole file, verified on
+	// every load; for TCBIN shards the body CRC the file's own footer embeds
+	// and verifies (a whole-file CRC would be the same constant residue for
+	// every TCBIN file). Distinct content yields distinct checksums either
+	// way, which staged-shard file names rely on.
 	Checksum string `json:"checksum"`
+	// Bloom is the encoded item bloom filter over the distinct items of the
+	// shard's patterns (catalogue.go), empty on indexes written before the
+	// catalogue existed. A query item the filter rules out cannot appear in
+	// any pattern of the shard.
+	Bloom string `json:"bloom,omitempty"`
+	// AlphaDepths is the encoded per-depth α* histogram: bucket d holds the
+	// best α* over patterns of length d+1 (the last bucket absorbs deeper
+	// ones). Empty on indexes written before the catalogue existed.
+	AlphaDepths string `json:"alphaDepths,omitempty"`
 }
+
+// DecodeBloom parses the entry's item bloom filter; nil (with nil error)
+// when the entry predates the catalogue.
+func (e ShardEntry) DecodeBloom() (*ItemBloom, error) { return DecodeItemBloom(e.Bloom) }
+
+// DecodeAlphaDepths parses the entry's per-depth α* histogram; nil (with
+// nil error) when the entry predates the catalogue.
+func (e ShardEntry) DecodeAlphaDepths() ([]float64, error) { return DecodeAlphaDepths(e.AlphaDepths) }
 
 // Manifest is the content of index.manifest: the shard catalogue of a sharded
 // index directory, ordered by ascending root item.
 type Manifest struct {
 	Version int `json:"version"`
+	// Format names the shard payload encoding of every shard in the index:
+	// "tcbin" for the flat binary layout, "gob" or absent for the legacy gob
+	// encoding. Use FormatName to read it with the default applied.
+	Format string `json:"format,omitempty"`
 	// BuiltMaxDepth records the BuildOptions.MaxDepth bound the index was
 	// built with (0 or absent = unbounded). Incremental maintenance refuses
 	// depth-bounded indexes — re-decomposing one shard without the bound
 	// would make it deeper than its untouched siblings.
 	BuiltMaxDepth int          `json:"builtMaxDepth,omitempty"`
 	Shards        []ShardEntry `json:"shards"`
+
+	// Aggregate statistics, computed once when the manifest is read or
+	// written (seal) rather than re-scanning every entry per call: federation
+	// discovery and stats endpoints call TotalNodes/Depth/MaxAlpha on every
+	// request, which used to cost O(shards) each time.
+	sealed        bool
+	sumNodes      int
+	maxEntryDepth int
+	maxEntryAlpha float64
+}
+
+// FormatName returns the index's shard format with the legacy default
+// applied: manifests without a format field are gob.
+func (m *Manifest) FormatName() string {
+	if m.Format == "" {
+		return FormatGob
+	}
+	return m.Format
+}
+
+// seal computes the aggregate statistics once; callers that mutate Shards
+// must reseal.
+func (m *Manifest) seal() {
+	m.sumNodes, m.maxEntryDepth, m.maxEntryAlpha = 0, 0, 0
+	for _, e := range m.Shards {
+		m.sumNodes += e.Nodes
+		if e.Depth > m.maxEntryDepth {
+			m.maxEntryDepth = e.Depth
+		}
+		if e.MaxAlpha > m.maxEntryAlpha {
+			m.maxEntryAlpha = e.MaxAlpha
+		}
+	}
+	m.sealed = true
 }
 
 // TotalNodes returns the number of indexed nodes across all shards.
 func (m *Manifest) TotalNodes() int {
+	if m.sealed {
+		return m.sumNodes
+	}
 	total := 0
 	for _, e := range m.Shards {
 		total += e.Nodes
@@ -91,6 +193,9 @@ func (m *Manifest) TotalNodes() int {
 
 // Depth returns the longest indexed pattern length across all shards.
 func (m *Manifest) Depth() int {
+	if m.sealed {
+		return m.maxEntryDepth
+	}
 	depth := 0
 	for _, e := range m.Shards {
 		if e.Depth > depth {
@@ -102,6 +207,9 @@ func (m *Manifest) Depth() int {
 
 // MaxAlpha returns the largest α* bound across all shards.
 func (m *Manifest) MaxAlpha() float64 {
+	if m.sealed {
+		return m.maxEntryAlpha
+	}
 	maxAlpha := 0.0
 	for _, e := range m.Shards {
 		if e.MaxAlpha > maxAlpha {
@@ -161,16 +269,26 @@ func encodeShard(root *Node) ([]byte, ShardEntry, error) {
 	if err := gob.NewEncoder(&buf).Encode(&shardFile{Version: shardFileVersion, Item: int32(root.Item), Nodes: recs}); err != nil {
 		return nil, ShardEntry{}, fmt.Errorf("tctree: encode shard %d: %w", root.Item, err)
 	}
-	stats := statsOf(root)
+	stats, bloom, alphaDepths := shardCatalogue(root)
 	entry := ShardEntry{
-		Item:     int32(root.Item),
-		File:     shardFileName(root.Item),
-		Nodes:    len(recs),
-		Depth:    stats.Depth,
-		MaxAlpha: stats.MaxAlpha,
-		Checksum: checksumOf(buf.Bytes()),
+		Item:        int32(root.Item),
+		File:        shardFileName(root.Item),
+		Nodes:       len(recs),
+		Depth:       stats.Depth,
+		MaxAlpha:    stats.MaxAlpha,
+		Checksum:    checksumOf(buf.Bytes()),
+		Bloom:       bloom,
+		AlphaDepths: alphaDepths,
 	}
 	return buf.Bytes(), entry, nil
+}
+
+// encodeShardAs encodes the subtree in the given (normalized) format.
+func encodeShardAs(root *Node, format string) ([]byte, ShardEntry, error) {
+	if format == FormatTCBIN {
+		return encodeShardBinary(root)
+	}
+	return encodeShard(root)
 }
 
 // decodeShard rebuilds a shard subtree from a file payload, verifying it
@@ -295,12 +413,29 @@ func removeOrphanTempFiles(dir string) {
 	}
 }
 
-// WriteSharded writes the tree in the sharded on-disk format: one gob file
+// WriteSharded writes the tree in the sharded on-disk format: one shard file
 // per first-level subtree plus index.manifest, all inside dir (created if
-// missing). It returns the written manifest. A tree saved this way is read
-// back with OpenSharded — either eagerly via LoadTree or shard by shard via
-// LoadShard.
+// missing). The shard encoding is selected by TC_INDEX_FORMAT (gob when
+// unset); use WriteShardedAs or WriteShardedBinary to pick explicitly. It
+// returns the written manifest. A tree saved this way is read back with
+// OpenSharded — either eagerly via LoadTree or shard by shard via LoadShard.
 func (t *Tree) WriteSharded(dir string) (*Manifest, error) {
+	return t.WriteShardedAs(dir, FormatFromEnv())
+}
+
+// WriteShardedBinary writes the tree as a sharded index in the TCBIN flat
+// binary format, the zero-copy layout opened via mmap.
+func (t *Tree) WriteShardedBinary(dir string) (*Manifest, error) {
+	return t.WriteShardedAs(dir, FormatTCBIN)
+}
+
+// WriteShardedAs writes the tree as a sharded index in the given format
+// ("gob" or "tcbin").
+func (t *Tree) WriteShardedAs(dir, format string) (*Manifest, error) {
+	format, err := normalizeFormat(format)
+	if err != nil {
+		return nil, err
+	}
 	if t == nil || t.root == nil {
 		return nil, fmt.Errorf("tctree: cannot serialize a nil tree")
 	}
@@ -308,8 +443,11 @@ func (t *Tree) WriteSharded(dir string) (*Manifest, error) {
 		return nil, err
 	}
 	m := &Manifest{Version: manifestVersion, BuiltMaxDepth: t.builtMaxDepth}
+	if format != FormatGob {
+		m.Format = format
+	}
 	for _, c := range t.root.Children {
-		data, entry, err := encodeShard(c)
+		data, entry, err := encodeShardAs(c, format)
 		if err != nil {
 			return nil, err
 		}
@@ -329,6 +467,7 @@ func (t *Tree) WriteSharded(dir string) (*Manifest, error) {
 // manifest, and the swap survives a crash (rename alone only orders the
 // change, it does not persist the directory entry).
 func writeManifest(dir string, m *Manifest) error {
+	m.seal()
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
@@ -354,6 +493,13 @@ func ReadManifest(dir string) (*Manifest, error) {
 	if m.Version != manifestVersion {
 		return nil, fmt.Errorf("tctree: %s: unsupported manifest version %d", ManifestName, m.Version)
 	}
+	format, err := normalizeFormat(m.Format)
+	if err != nil {
+		return nil, fmt.Errorf("tctree: %s: %w", ManifestName, err)
+	}
+	if m.Format != "" {
+		m.Format = format
+	}
 	seen := make(map[int32]bool, len(m.Shards))
 	for _, e := range m.Shards {
 		if e.File == "" || e.File != filepath.Base(e.File) || e.File == ManifestName {
@@ -366,8 +512,15 @@ func ReadManifest(dir string) (*Manifest, error) {
 			return nil, fmt.Errorf("tctree: %s: duplicate shard for item %d", ManifestName, e.Item)
 		}
 		seen[e.Item] = true
+		if _, err := e.DecodeBloom(); err != nil {
+			return nil, fmt.Errorf("tctree: %s: shard %d: %w", ManifestName, e.Item, err)
+		}
+		if _, err := e.DecodeAlphaDepths(); err != nil {
+			return nil, fmt.Errorf("tctree: %s: shard %d: %w", ManifestName, e.Item, err)
+		}
 	}
 	sort.Slice(m.Shards, func(i, j int) bool { return m.Shards[i].Item < m.Shards[j].Item })
+	m.seal()
 	return &m, nil
 }
 
@@ -388,6 +541,7 @@ type ShardedIndex struct {
 	mu       sync.RWMutex
 	manifest *Manifest
 	byItem   map[itemset.Item]int
+	format   string
 }
 
 // OpenSharded opens a sharded index directory written by WriteSharded. Only
@@ -400,7 +554,7 @@ func OpenSharded(dir string) (*ShardedIndex, error) {
 		return nil, err
 	}
 	removeOrphanTempFiles(dir)
-	x := &ShardedIndex{dir: dir, manifest: m, byItem: make(map[itemset.Item]int, len(m.Shards))}
+	x := &ShardedIndex{dir: dir, manifest: m, byItem: make(map[itemset.Item]int, len(m.Shards)), format: m.FormatName()}
 	for i, e := range m.Shards {
 		x.byItem[itemset.Item(e.Item)] = i
 	}
@@ -409,6 +563,13 @@ func OpenSharded(dir string) (*ShardedIndex, error) {
 
 // Dir returns the index directory.
 func (x *ShardedIndex) Dir() string { return x.dir }
+
+// Format returns the index's shard encoding, FormatGob or FormatTCBIN.
+func (x *ShardedIndex) Format() string {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.format
+}
 
 // NumShards returns the number of shards in the manifest.
 func (x *ShardedIndex) NumShards() int {
@@ -423,10 +584,12 @@ func (x *ShardedIndex) Manifest() Manifest {
 	defer x.mu.RUnlock()
 	m := Manifest{
 		Version:       x.manifest.Version,
+		Format:        x.manifest.Format,
 		BuiltMaxDepth: x.manifest.BuiltMaxDepth,
 		Shards:        make([]ShardEntry, len(x.manifest.Shards)),
 	}
 	copy(m.Shards, x.manifest.Shards)
+	m.seal()
 	return m
 }
 
@@ -450,8 +613,21 @@ func (x *ShardedIndex) Entry(item itemset.Item) (ShardEntry, bool) {
 
 // LoadShard reads, checksum-verifies and decodes the shard rooted at item,
 // returning its subtree. The returned subtree shares no state with the index
-// and is immutable as far as the index is concerned.
+// and is immutable as far as the index is concerned. TCBIN shards are
+// materialized into pointer form; callers that only query should prefer
+// LoadShardView, which keeps them zero-copy.
 func (x *ShardedIndex) LoadShard(item itemset.Item) (*Node, error) {
+	if x.Format() == FormatTCBIN {
+		entry, ok := x.Entry(item)
+		if !ok {
+			return nil, fmt.Errorf("tctree: no shard for item %d", item)
+		}
+		b, err := OpenBinShard(filepath.Join(x.dir, entry.File), entry)
+		if err != nil {
+			return nil, err
+		}
+		return b.Materialize()
+	}
 	entry, ok := x.Entry(item)
 	if !ok {
 		return nil, fmt.Errorf("tctree: no shard for item %d", item)
@@ -461,6 +637,30 @@ func (x *ShardedIndex) LoadShard(item itemset.Item) (*Node, error) {
 		return nil, fmt.Errorf("tctree: shard %d: %w", item, err)
 	}
 	return decodeShard(data, entry)
+}
+
+// LoadShardView opens the shard rooted at item as a query surface in its
+// native representation: a memory-mapped in-place BinShard for TCBIN
+// indexes, a decoded pointer tree for gob indexes. This is the read path
+// serving layers should use — for TCBIN it performs no payload decode and
+// no per-node allocation.
+func (x *ShardedIndex) LoadShardView(item itemset.Item) (ShardView, error) {
+	entry, ok := x.Entry(item)
+	if !ok {
+		return nil, fmt.Errorf("tctree: no shard for item %d", item)
+	}
+	if x.Format() == FormatTCBIN {
+		return OpenBinShard(filepath.Join(x.dir, entry.File), entry)
+	}
+	data, err := os.ReadFile(filepath.Join(x.dir, entry.File))
+	if err != nil {
+		return nil, fmt.Errorf("tctree: shard %d: %w", item, err)
+	}
+	root, err := decodeShard(data, entry)
+	if err != nil {
+		return nil, err
+	}
+	return NewNodeViewSized(root, int64(len(data))), nil
 }
 
 // LoadTree loads every shard and assembles the full in-memory tree, the eager
@@ -557,12 +757,12 @@ func (x *ShardedIndex) StageShards(subtrees map[itemset.Item]*Node) (*StagedShar
 			st.discard()
 			return nil, fmt.Errorf("tctree: subtree for item %d is rooted at item %d", it, sub.Item)
 		}
-		data, entry, err := encodeShard(sub)
+		data, entry, err := encodeShardAs(sub, x.Format())
 		if err != nil {
 			st.discard()
 			return nil, err
 		}
-		entry.File = fmt.Sprintf("shard-%d-%s.gob", it, strings.TrimPrefix(entry.Checksum, "crc32c:"))
+		entry.File = fmt.Sprintf("shard-%d-%s.%s", it, strings.TrimPrefix(entry.Checksum, "crc32c:"), x.Format())
 		if err := writeFileAtomic(x.dir, entry.File, data); err != nil {
 			st.discard()
 			return nil, fmt.Errorf("tctree: shard %d: %w", it, err)
@@ -653,6 +853,7 @@ func (st *StagedShards) Commit() (*CommitReport, error) {
 	x.manifest.Shards = newShards
 	if err := writeManifest(x.dir, x.manifest); err != nil {
 		x.manifest.Shards = oldShards
+		x.manifest.seal()
 		cleanupWritten()
 		return nil, err
 	}
@@ -696,4 +897,86 @@ func (x *ShardedIndex) ApplyDelta(nw *dbnet.Network, affected itemset.Itemset) (
 		return nil, fmt.Errorf("tctree: index was built with MaxDepth %d; incremental maintenance needs an unbounded index (rebuild with tcindex without -maxdepth)", d)
 	}
 	return x.CommitShards(RebuildSubtrees(nw, affected))
+}
+
+// MigrateFormat converts the index to the target shard encoding in place.
+// Shards are re-encoded one at a time (bounding memory by the largest
+// shard) and written under their canonical names — the two formats use
+// different file extensions, so nothing is overwritten — then one manifest
+// write switches the index over: a crash before it leaves the old index
+// fully live plus unreferenced new files, a crash after it leaves the new
+// index complete plus old files that are removed best-effort on the next
+// successful open... here, immediately. A same-format migration is a no-op.
+func (x *ShardedIndex) MigrateFormat(target string) error {
+	target, err := normalizeFormat(target)
+	if err != nil {
+		return err
+	}
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if x.format == target {
+		return nil
+	}
+	oldShards := x.manifest.Shards
+	newShards := make([]ShardEntry, 0, len(oldShards))
+	var written []string
+	fail := func(err error) error {
+		for _, f := range written {
+			os.Remove(filepath.Join(x.dir, f))
+		}
+		return err
+	}
+	for _, e := range oldShards {
+		root, err := x.loadShardLocked(e)
+		if err != nil {
+			return fail(err)
+		}
+		data, entry, err := encodeShardAs(root, target)
+		if err != nil {
+			return fail(err)
+		}
+		if err := writeFileAtomic(x.dir, entry.File, data); err != nil {
+			return fail(fmt.Errorf("tctree: shard %d: %w", e.Item, err))
+		}
+		written = append(written, entry.File)
+		newShards = append(newShards, entry)
+	}
+	// Make the new shard files durable before the manifest can reference
+	// them, then swap with the single manifest write.
+	syncDir(x.dir)
+	m := &Manifest{Version: manifestVersion, BuiltMaxDepth: x.manifest.BuiltMaxDepth, Shards: newShards}
+	if target != FormatGob {
+		m.Format = target
+	}
+	if err := writeManifest(x.dir, m); err != nil {
+		return fail(err)
+	}
+	x.manifest = m
+	x.format = target
+	x.byItem = make(map[itemset.Item]int, len(newShards))
+	for i, e := range newShards {
+		x.byItem[itemset.Item(e.Item)] = i
+	}
+	for _, e := range oldShards {
+		// Best-effort cleanup; a leftover superseded file is harmless.
+		os.Remove(filepath.Join(x.dir, e.File))
+	}
+	return nil
+}
+
+// loadShardLocked decodes one shard into pointer form from an entry the
+// caller already holds, without taking the index lock.
+func (x *ShardedIndex) loadShardLocked(entry ShardEntry) (*Node, error) {
+	if x.format == FormatTCBIN {
+		b, err := OpenBinShard(filepath.Join(x.dir, entry.File), entry)
+		if err != nil {
+			return nil, err
+		}
+		return b.Materialize()
+	}
+	data, err := os.ReadFile(filepath.Join(x.dir, entry.File))
+	if err != nil {
+		return nil, fmt.Errorf("tctree: shard %d: %w", entry.Item, err)
+	}
+	return decodeShard(data, entry)
 }

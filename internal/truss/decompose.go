@@ -103,7 +103,7 @@ func (d *Decomposition) EdgesAt(alpha float64) graph.EdgeSet {
 		return out
 	}
 	for _, l := range d.Levels {
-		if l.Alpha > alpha+cohesionTolerance {
+		if LevelLive(l.Alpha, alpha) {
 			for _, e := range l.Removed {
 				out.Add(e)
 			}

@@ -20,6 +20,13 @@ import (
 // the tolerance makes the "eco ≤ α" test of Algorithm 1 stable.
 const cohesionTolerance = 1e-9
 
+// LevelLive reports whether a decomposition level with threshold levelAlpha
+// still belongs to C*_p(alpha) — the "α_k > α" comparison of Theorem 6.1
+// under the cohesion tolerance. It is exported so storage layers that
+// reconstruct trusses from flat level tables (the TCBIN shard format) apply
+// exactly the comparison Decomposition.EdgesAt applies.
+func LevelLive(levelAlpha, alpha float64) bool { return levelAlpha > alpha+cohesionTolerance }
+
 // Truss is a maximal pattern truss C*_p(α): the union of all pattern trusses
 // of the theme network G_p with respect to the cohesion threshold Alpha.
 // A Truss is not necessarily connected; its maximal connected subgraphs are

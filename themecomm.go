@@ -187,9 +187,33 @@ type (
 	IndexShardEntry = tctree.ShardEntry
 )
 
+// Shard encodings of the sharded on-disk format. FormatGob is the legacy
+// per-shard gob encoding, decoded whole into memory on load; FormatTCBIN is
+// the flat binary layout served zero-copy from a memory-mapped file.
+const (
+	FormatGob   = tctree.FormatGob
+	FormatTCBIN = tctree.FormatTCBIN
+)
+
 // WriteShardedTree writes a built TC-Tree in the sharded on-disk format: one
-// shard file per top-level item plus an index.manifest, all inside dir.
+// shard file per top-level item plus an index.manifest, all inside dir. The
+// shard encoding defaults to gob and can be overridden with the
+// TC_INDEX_FORMAT environment variable; use WriteShardedTreeAs to pick it
+// explicitly.
 func WriteShardedTree(tree *Tree, dir string) (*IndexManifest, error) { return tree.WriteSharded(dir) }
+
+// WriteShardedTreeAs writes a sharded index in the given shard encoding
+// (FormatGob or FormatTCBIN).
+func WriteShardedTreeAs(tree *Tree, dir, format string) (*IndexManifest, error) {
+	return tree.WriteShardedAs(dir, format)
+}
+
+// MigrateIndexFormat re-encodes every shard of an opened index into the
+// target format (FormatGob or FormatTCBIN) in place: new shard files are
+// written and synced first, one manifest write commits the switch, and the
+// old format's files are removed afterwards. A crash mid-migration leaves
+// the index serving its original format.
+func MigrateIndexFormat(idx *ShardedIndex, target string) error { return idx.MigrateFormat(target) }
 
 // OpenShardedIndex opens a sharded index directory written by
 // WriteShardedTree (or tcindex -sharded). Only the manifest is read; shards
