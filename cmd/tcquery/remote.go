@@ -1,111 +1,45 @@
 package main
 
 import (
-	"bufio"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"log"
-	"net/http"
-	"net/url"
-	"strconv"
 	"strings"
-	"time"
 
-	"themecomm"
+	"themecomm/internal/client"
 	"themecomm/internal/server"
 )
 
 // runRemote answers the query against a running tcserver over HTTP instead of
 // opening an index locally: -server gives the base URL, -network scopes the
 // query to one federation tenant, and -requestid injects a correlation ID
-// that the server echoes and stamps on its access/slow-query logs. On a
-// server error the server-assigned request ID is printed with the message, so
-// the failure can be found in the server's logs with one grep.
+// that the server echoes and stamps on its access/slow-query logs. The typed
+// API client (internal/client) does the wire work — request-ID plumbing,
+// retry-on-5xx for these idempotent reads, and the JSON error envelope — so
+// a failure prints the server-assigned request ID and can be found in the
+// server's logs with one grep.
 func runRemote(base, network, pattern string, alphaQ float64, topK, top int, explain, contains bool, requestID string, stream bool, cursor string, limit int) {
 	if explain && (stream || cursor != "" || limit > 0) {
 		log.Fatal("-explain cannot be combined with -stream, -cursor or -limit")
 	}
-	route := "query"
-	if explain {
-		route = "explain"
+	c := client.New(base, client.Options{RequestID: requestID})
+	q := client.Query{
+		Network:  network,
+		Pattern:  pattern,
+		Alpha:    alphaQ,
+		Contains: contains,
+		Cursor:   cursor,
+		Limit:    limit,
 	}
-	path := "/api/v1/" + route
-	if network != "" {
-		path = "/api/v1/" + url.PathEscape(network) + "/" + route
+	if topK > 0 && !explain {
+		q.K = topK
 	}
-	params := url.Values{}
-	if cursor != "" {
-		// The cursor carries the query (pattern, alpha, k); sending it alone
-		// avoids any ambiguity with conflicting parameters.
-		params.Set("cursor", cursor)
-	} else {
-		params.Set("alpha", strconv.FormatFloat(alphaQ, 'g', -1, 64))
-		if pattern != "" {
-			params.Set("pattern", pattern)
-		}
-		if topK > 0 && !explain {
-			params.Set("k", strconv.Itoa(topK))
-		}
-		if contains {
-			params.Set("contains", "true")
-		}
-	}
-	if stream {
-		params.Set("stream", "1")
-	}
-	if limit > 0 {
-		params.Set("limit", strconv.Itoa(limit))
-	}
-	full := strings.TrimSuffix(base, "/") + path + "?" + params.Encode()
-
-	req, err := http.NewRequest(http.MethodGet, full, nil)
-	if err != nil {
-		log.Fatalf("invalid -server URL: %v", err)
-	}
-	if requestID != "" {
-		req.Header.Set(themecomm.RequestIDHeader, requestID)
-	}
-	// No client timeout when streaming: the body arrives as long as the
-	// server produces it.
-	client := &http.Client{Timeout: 60 * time.Second}
-	if stream {
-		client.Timeout = 0
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		log.Fatalf("GET %s: %v", full, err)
-	}
-	defer resp.Body.Close()
-
-	if stream && resp.StatusCode == http.StatusOK {
-		runRemoteStream(resp, base)
-		return
-	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
-	if err != nil {
-		log.Fatalf("reading response: %v", err)
-	}
-
-	// The server assigns (or echoes) the request ID on every response; on
-	// failure it is the handle into the server-side access and slow-query
-	// logs.
-	serverID := resp.Header.Get(themecomm.RequestIDHeader)
-	if resp.StatusCode != http.StatusOK {
-		msg := strings.TrimSpace(string(body))
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(body, &e) == nil && e.Error != "" {
-			msg = e.Error
-		}
-		log.Fatalf("server error (HTTP %d, request id %s): %s", resp.StatusCode, serverID, msg)
-	}
+	ctx := context.Background()
 
 	if explain {
-		var rep server.ExplainResponse
-		if err := json.Unmarshal(body, &rep); err != nil {
-			log.Fatalf("decoding explain response: %v", err)
+		rep, _, err := c.Explain(ctx, q)
+		if err != nil {
+			log.Fatal(err)
 		}
 		if rep.Network != "" {
 			fmt.Printf("network %s\n", rep.Network)
@@ -114,9 +48,14 @@ func runRemote(base, network, pattern string, alphaQ float64, topK, top int, exp
 		return
 	}
 
-	var qr server.QueryResponse
-	if err := json.Unmarshal(body, &qr); err != nil {
-		log.Fatalf("decoding query response: %v", err)
+	if stream {
+		runRemoteStream(ctx, c, q, base)
+		return
+	}
+
+	qr, serverID, err := c.Do(ctx, q)
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("query answered in %dµs by %s (request id %s): %d maximal pattern trusses (visited %d nodes)\n",
 		qr.QueryMicros, base, serverID, qr.RetrievedNodes, qr.VisitedNodes)
@@ -152,57 +91,34 @@ func printNextCursor(cursor string) {
 	}
 }
 
-// runRemoteStream consumes an NDJSON streaming response line by line,
-// printing each community as the server produces it. A trailer line carries
-// the execution counters (and the next-page cursor under -limit); an error
-// line aborts with the in-band status — 410 means the index moved mid-stream
-// and the query should simply be re-issued.
-func runRemoteStream(resp *http.Response, base string) {
-	serverID := resp.Header.Get(themecomm.RequestIDHeader)
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+// runRemoteStream consumes the NDJSON streaming answer through the client,
+// printing each community as the server produces it. The trailer carries the
+// execution counters (and the next-page cursor under -limit); an in-band
+// error aborts with its status — 410 means the index moved mid-stream and
+// the query should simply be re-issued.
+func runRemoteStream(ctx context.Context, c *client.Client, q client.Query, base string) {
 	i := 0
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
-		}
-		var kind struct {
-			Type string `json:"type"`
-		}
-		if err := json.Unmarshal(line, &kind); err != nil {
-			log.Fatalf("invalid stream line: %v", err)
-		}
-		switch kind.Type {
-		case "header":
-			var h server.StreamHeader
-			if err := json.Unmarshal(line, &h); err != nil {
-				log.Fatalf("invalid stream header: %v", err)
-			}
+	_, err := c.Stream(ctx, q, client.StreamHandler{
+		Header: func(h server.StreamHeader) {
 			label := "streaming communities"
 			if h.TopK > 0 {
 				label = fmt.Sprintf("streaming top %d communities by cohesion", h.TopK)
 			}
-			fmt.Printf("%s from %s (request id %s)\n", label, base, serverID)
-		case "community":
-			var c server.StreamCommunity
-			if err := json.Unmarshal(line, &c); err != nil {
-				log.Fatalf("invalid stream community: %v", err)
-			}
+			fmt.Printf("%s from %s\n", label, base)
+		},
+		Community: func(sc server.StreamCommunity) error {
 			i++
 			line := fmt.Sprintf("  [%d]", i)
-			if c.Network != "" {
-				line += fmt.Sprintf(" network=%s", c.Network)
+			if sc.Network != "" {
+				line += fmt.Sprintf(" network=%s", sc.Network)
 			}
-			if c.Cohesion > 0 {
-				line += fmt.Sprintf(" cohesion=%.4g", c.Cohesion)
+			if sc.Cohesion > 0 {
+				line += fmt.Sprintf(" cohesion=%.4g", sc.Cohesion)
 			}
-			fmt.Printf("%s theme={%s} vertices=%v\n", line, strings.Join(c.Theme, ", "), c.Vertices)
-		case "trailer":
-			var tr server.StreamTrailer
-			if err := json.Unmarshal(line, &tr); err != nil {
-				log.Fatalf("invalid stream trailer: %v", err)
-			}
+			fmt.Printf("%s theme={%s} vertices=%v\n", line, strings.Join(sc.Theme, ", "), sc.Vertices)
+			return nil
+		},
+		Trailer: func(tr server.StreamTrailer) {
 			fmt.Printf("stream complete in %dµs: %d communities", tr.QueryMicros, tr.Emitted)
 			if tr.RetrievedNodes > 0 || tr.VisitedNodes > 0 {
 				fmt.Printf(" (%d trusses retrieved, %d nodes visited)", tr.RetrievedNodes, tr.VisitedNodes)
@@ -212,19 +128,9 @@ func runRemoteStream(resp *http.Response, base string) {
 			}
 			fmt.Println()
 			printNextCursor(tr.NextCursor)
-			return
-		case "error":
-			var se server.StreamError
-			if err := json.Unmarshal(line, &se); err != nil {
-				log.Fatalf("invalid stream error: %v", err)
-			}
-			log.Fatalf("stream failed (HTTP %d, request id %s): %s", se.Status, serverID, se.Error)
-		default:
-			log.Fatalf("unknown stream line type %q", kind.Type)
-		}
+		},
+	})
+	if err != nil {
+		log.Fatalf("stream failed: %v", err)
 	}
-	if err := sc.Err(); err != nil {
-		log.Fatalf("reading stream: %v", err)
-	}
-	log.Fatal("stream ended without a trailer")
 }

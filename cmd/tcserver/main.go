@@ -21,6 +21,16 @@
 //	tcserver -tree bk.index -maxresident 16        # lazy, sharded index dir
 //	tcserver -networks warehouse/ -maxresident 64  # federation: every index in warehouse/
 //	tcserver -networks warehouse/ -default bk      # single-network routes serve "bk"
+//	tcserver -networks warehouse/ -journal wal/    # replication primary: journaled updates
+//	tcserver -networks replica/ -replicaof http://primary:8080   # read-only replica
+//
+// With -journal the server is a replication primary: every update to a
+// network with a database network is appended to a durable delta journal and
+// applied in memory before the response; shard rebuilds fold in via a
+// background checkpoint (-checkpoint). Replicas bootstrap from a file copy of
+// the primary's networks directory, tail GET /api/v1/journal, replay each
+// record through the same apply path, and serve reads; their writes answer
+// 403 with a Location header naming the primary. See docs/ARCHITECTURE.md.
 //
 // Every request is traced: the server accepts a client X-Request-ID header
 // (or assigns one), echoes it on the response, and stamps it on the JSON
@@ -51,9 +61,11 @@
 //	GET  /api/v1/{network}/query|explain|batch|enginestats|stats|patterns|vertex|update
 //	GET  /api/v1/queryall?alpha=0.2&k=10    one query across every network, merged by cohesion
 //	GET  /api/v1/federationstats            shared cache/budget state + per-network counters
+//	GET  /api/v1/journal?from=0&wait=30     replication feed: journal records as NDJSON (-journal)
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"log/slog"
@@ -65,6 +77,10 @@ import (
 	"time"
 
 	"themecomm"
+	"themecomm/internal/client"
+	"themecomm/internal/federation"
+	"themecomm/internal/journal"
+	"themecomm/internal/replication"
 	"themecomm/internal/server"
 )
 
@@ -86,6 +102,9 @@ func main() {
 	slowQuery := flag.Duration("slowquery", 0, "slow-query threshold: queries at least this slow are captured with their full plan into GET /api/v1/slowlog (0 disables)")
 	slowlogSize := flag.Int("slowlogsize", 128, "slow-query ring-buffer capacity")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this SEPARATE address (e.g. localhost:6060); empty disables")
+	journalDir := flag.String("journal", "", "replication primary: append every update to the delta journal in this directory (requires -networks)")
+	replicaOf := flag.String("replicaof", "", "replica mode: serve read-only and tail the journal of the primary at this base URL (requires -networks)")
+	checkpointEvery := flag.Duration("checkpoint", 0, "replication checkpoint cadence: how often journaled state is folded into the on-disk index (0 = 5s, negative disables)")
 	quiet := flag.Bool("quiet", false, "suppress structured JSON logging (access log, slow-query warnings); metrics and the slow-query ring stay on")
 	flag.Parse()
 
@@ -169,6 +188,16 @@ func main() {
 			len(names), *networksDir, strings.Join(names, ", "), *cacheSize, *maxResident)
 	}
 
+	if *journalDir != "" && *replicaOf != "" {
+		log.Fatal("-journal and -replicaof are mutually exclusive: a server is a primary or a replica, not both")
+	}
+	if *journalDir != "" {
+		startPrimary(&opts, *journalDir, *checkpointEvery, logger)
+	}
+	if *replicaOf != "" {
+		startReplica(&opts, *replicaOf, *checkpointEvery)
+	}
+
 	srv, err := server.New(nil, opts)
 	if err != nil {
 		log.Fatal(err)
@@ -207,4 +236,96 @@ func main() {
 	if err := httpServer.Serve(ln); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+}
+
+// addMembers registers every federation network holding a database network
+// with the replication role (primary or replica); networks without one are
+// served but not replicated.
+func addMembers(opts *server.Options, add func(*federation.Network) error, role string) int {
+	added := 0
+	for _, name := range opts.Federation.Names() {
+		n, ok := opts.Federation.Network(name)
+		if !ok {
+			continue
+		}
+		if n.DatabaseNetwork() == nil {
+			log.Printf("network %s has no database network (.dbnet); served but not replicated", name)
+			continue
+		}
+		if err := add(n); err != nil {
+			log.Fatalf("%s member %s: %v", role, name, err)
+		}
+		added++
+	}
+	if added == 0 {
+		log.Fatalf("no replicable networks: %s mode needs a sibling <name>.dbnet next to each index", role)
+	}
+	return added
+}
+
+// startPrimary opens the delta journal, recovers any updates a crash left
+// journaled-but-unflushed, and starts the background checkpoint loop. Updates
+// to member networks then take the write-ahead fast path and the server
+// serves the replication feed on GET /api/v1/journal.
+func startPrimary(opts *server.Options, dir string, checkpointEvery time.Duration, logger *slog.Logger) {
+	if opts.Federation == nil {
+		log.Fatal("-journal requires -networks (the journal replicates a federation's networks)")
+	}
+	j, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := replication.NewPrimary(j, replication.PrimaryOptions{
+		CheckpointInterval: checkpointEvery,
+		Logger:             logger,
+	})
+	added := addMembers(opts, p.Add, "primary")
+	stats, err := p.Recover()
+	if err != nil {
+		log.Fatalf("journal recovery: %v", err)
+	}
+	p.Start()
+	opts.Primary = p
+	log.Printf("replication primary: %d journaled networks, journal %s at seq %d (recovery replayed %d, skipped %d, resynced %d)",
+		added, dir, stats.Head, stats.Replayed, stats.Skipped, len(stats.Resynced))
+}
+
+// startReplica marks the server read-only, registers the members, and starts
+// the two replica loops: the journal tailer (long-polling the primary's feed
+// and replaying each record) and the local checkpoint ticker. Replay failures
+// are fail-stop — a replica that cannot follow the journal must not keep
+// serving silently stale answers.
+func startReplica(opts *server.Options, primaryURL string, checkpointEvery time.Duration) {
+	if opts.Federation == nil {
+		log.Fatal("-replicaof requires -networks (the replica serves a snapshot of the primary's networks)")
+	}
+	rep := replication.NewReplica()
+	addMembers(opts, rep.Add, "replica")
+	opts.ReadOnly = true
+	opts.PrimaryURL = strings.TrimRight(primaryURL, "/")
+	opts.ReplicationStatus = rep.Status
+
+	from := rep.From()
+	c := client.New(primaryURL, client.Options{})
+	go func() {
+		err := c.TailJournal(context.Background(), client.TailOptions{
+			From:     from,
+			OnRecord: func(rec journal.Record) error { return rep.ApplyRecord(&rec) },
+			OnHead:   rep.ObserveHead,
+		})
+		log.Fatalf("journal tail stopped: %v", err)
+	}()
+	if checkpointEvery == 0 {
+		checkpointEvery = replication.DefaultCheckpointInterval
+	}
+	if checkpointEvery > 0 {
+		go func() {
+			for range time.Tick(checkpointEvery) {
+				if err := rep.Checkpoint(); err != nil {
+					log.Printf("replica checkpoint: %v", err)
+				}
+			}
+		}()
+	}
+	log.Printf("replica of %s: tailing the journal from seq %d (checkpoint every %v)", primaryURL, from, checkpointEvery)
 }

@@ -1,0 +1,281 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"themecomm/internal/journal"
+	"themecomm/internal/obs"
+	"themecomm/internal/server"
+)
+
+// fastOptions keeps retry backoff out of test wall-clock.
+func fastOptions() Options { return Options{Backoff: time.Millisecond} }
+
+func TestGETRetriesOn5xx(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(obs.HeaderRequestID) == "" {
+			t.Error("request without a request ID")
+		}
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"warming up","status":503}`)
+			return
+		}
+		fmt.Fprint(w, `{"alpha":0.1,"retrievedNodes":7}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, fastOptions())
+	resp, _, err := c.Do(context.Background(), Query{Alpha: 0.1})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.RetrievedNodes != 7 {
+		t.Fatalf("RetrievedNodes = %d", resp.RetrievedNodes)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two 503s then success)", got)
+	}
+}
+
+func TestGETDoesNotRetry4xx(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set(obs.HeaderRequestID, "req-123")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"invalid alpha","status":400,"requestId":"req-123"}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, fastOptions())
+	_, _, err := c.Do(context.Background(), Query{Alpha: -1})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %T, want *APIError: %v", err, err)
+	}
+	if apiErr.Status != http.StatusBadRequest || apiErr.Message != "invalid alpha" || apiErr.RequestID != "req-123" {
+		t.Fatalf("APIError = %+v", apiErr)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (4xx is not retried)", got)
+	}
+}
+
+func TestGETRetriesExhaust(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, fastOptions())
+	_, _, err := c.Do(context.Background(), Query{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("error = %v, want a 500 APIError", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (initial + 2 retries)", got)
+	}
+}
+
+func TestUpdateIsNeverRetried(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if r.Method != http.MethodPost {
+			t.Errorf("update used %s", r.Method)
+		}
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprint(w, `{"error":"mid-apply crash","status":500}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, fastOptions())
+	_, err := c.Update(context.Background(), "", &server.UpdateRequest{AddVertices: 1})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("error = %v, want a 500 APIError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (updates must not be retried)", got)
+	}
+}
+
+func TestUpdateReadOnlyLocation(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Location", "http://primary:9000/api/v1/update")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusForbidden)
+		fmt.Fprint(w, `{"error":"this server is a read-only replica; send updates to the primary","status":403}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, fastOptions())
+	_, err := c.Update(context.Background(), "", &server.UpdateRequest{AddVertices: 1})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusForbidden {
+		t.Fatalf("error = %v, want a 403 APIError", err)
+	}
+	if apiErr.Location != "http://primary:9000/api/v1/update" {
+		t.Fatalf("Location = %q", apiErr.Location)
+	}
+}
+
+func TestStreamFrames(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("stream") != "1" {
+			t.Errorf("stream request missing stream=1: %s", r.URL.RawQuery)
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"type":"header","alpha":0.1,"topK":2}`)
+		fmt.Fprintln(w, `{"type":"community","theme":["a"],"vertices":["1","2"],"edges":1}`)
+		fmt.Fprintln(w, `{"type":"community","theme":["b"],"vertices":["3"],"edges":0}`)
+		fmt.Fprintln(w, `{"type":"trailer","emitted":2,"queryMicros":12}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, fastOptions())
+	var themes []string
+	var trailer *server.StreamTrailer
+	_, err := c.Stream(context.Background(), Query{Alpha: 0.1, K: 2}, StreamHandler{
+		Community: func(f server.StreamCommunity) error {
+			themes = append(themes, f.Theme...)
+			return nil
+		},
+		Trailer: func(f server.StreamTrailer) { trailer = &f },
+	})
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	if len(themes) != 2 || themes[0] != "a" || themes[1] != "b" {
+		t.Fatalf("themes = %v", themes)
+	}
+	if trailer == nil || trailer.Emitted != 2 {
+		t.Fatalf("trailer = %+v", trailer)
+	}
+}
+
+func TestStreamInBandError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, `{"type":"header","alpha":0}`)
+		fmt.Fprintln(w, `{"type":"error","status":410,"error":"index moved","requestId":"req-9"}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, fastOptions())
+	_, err := c.Stream(context.Background(), Query{}, StreamHandler{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusGone || apiErr.RequestID != "req-9" {
+		t.Fatalf("error = %v, want a 410 APIError with the in-band request id", err)
+	}
+}
+
+// TestTailJournal drives the tail across long-poll rounds: records arrive in
+// order exactly once, the cursor advances, and the head callback reports the
+// durable head.
+func TestTailJournal(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		from := r.URL.Query().Get("from")
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		switch from {
+		case "0":
+			enc.Encode(server.JournalRecordFrame{Type: "record", Seq: 1, Network: "alpha", Payload: []byte("d1")})
+			enc.Encode(server.JournalRecordFrame{Type: "record", Seq: 2, Network: "alpha", Payload: []byte("d2")})
+			enc.Encode(server.JournalHeadFrame{Type: "head", Seq: 2})
+		case "2":
+			enc.Encode(server.JournalRecordFrame{Type: "record", Seq: 3, Network: "alpha", Payload: []byte("d3")})
+			enc.Encode(server.JournalHeadFrame{Type: "head", Seq: 3})
+		default:
+			t.Errorf("unexpected from=%s", from)
+			enc.Encode(server.JournalHeadFrame{Type: "head", Seq: 3})
+		}
+	}))
+	defer srv.Close()
+
+	var seqs []uint64
+	var heads []uint64
+	c := New(srv.URL, fastOptions())
+	err := c.TailJournal(ctx, TailOptions{
+		Wait: time.Millisecond,
+		OnRecord: func(rec journal.Record) error {
+			seqs = append(seqs, rec.Seq)
+			if string(rec.Payload) != fmt.Sprintf("d%d", rec.Seq) {
+				t.Errorf("record %d payload %q", rec.Seq, rec.Payload)
+			}
+			return nil
+		},
+		OnHead: func(seq uint64) {
+			heads = append(heads, seq)
+			if seq == 3 {
+				cancel() // caught up: stop the tail
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("TailJournal = %v, want context.Canceled", err)
+	}
+	if len(seqs) != 3 || seqs[0] != 1 || seqs[1] != 2 || seqs[2] != 3 {
+		t.Fatalf("seqs = %v (records must arrive in order exactly once)", seqs)
+	}
+	if len(heads) == 0 || heads[len(heads)-1] != 3 {
+		t.Fatalf("heads = %v", heads)
+	}
+}
+
+// TestTailJournalStopsOnCallbackError: an apply failure on the replica must
+// surface, not be absorbed as a transient feed problem.
+func TestTailJournalStopsOnCallbackError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		enc := json.NewEncoder(w)
+		enc.Encode(server.JournalRecordFrame{Type: "record", Seq: 1, Network: "alpha", Payload: []byte("d1")})
+		enc.Encode(server.JournalHeadFrame{Type: "head", Seq: 1})
+	}))
+	defer srv.Close()
+
+	sentinel := errors.New("apply failed")
+	c := New(srv.URL, fastOptions())
+	err := c.TailJournal(context.Background(), TailOptions{
+		Wait:     time.Millisecond,
+		OnRecord: func(journal.Record) error { return sentinel },
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("TailJournal = %v, want the callback's error", err)
+	}
+}
+
+// TestTailJournalNotAPrimary: the 404 of a non-primary server is terminal.
+func TestTailJournalNotAPrimary(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		fmt.Fprint(w, `{"error":"this server does not serve a journal (only a replication primary does)","status":404}`)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, fastOptions())
+	err := c.TailJournal(context.Background(), TailOptions{
+		OnRecord: func(journal.Record) error { return nil },
+	})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("TailJournal = %v, want a 404 APIError", err)
+	}
+}

@@ -1,0 +1,170 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"themecomm/internal/journal"
+	"themecomm/internal/server"
+)
+
+// TailOptions configures a journal tail.
+type TailOptions struct {
+	// From is the tail's start cursor: the highest journal sequence number
+	// already applied; the feed delivers records strictly after it.
+	From uint64
+	// Wait is the long-poll window sent to the server per round (the server
+	// caps it); zero defaults to 30s.
+	Wait time.Duration
+	// OnRecord receives every journal record in sequence order. A returned
+	// error stops the tail and is returned by TailJournal.
+	OnRecord func(journal.Record) error
+	// OnHead, when non-nil, receives the primary's durable head each time
+	// the feed reports it — the replica's lag gauge.
+	OnHead func(seq uint64)
+}
+
+// TailJournal follows the primary's journal feed until the context is
+// cancelled or a callback fails: each round is one long-poll GET of
+// /api/v1/journal from the current cursor, and transient failures
+// (transport errors, 5xx) are absorbed by reconnecting with backoff — a
+// replica outlives its primary's restarts. Non-retryable server answers
+// (e.g. the 404 of a server that is not a primary) are returned.
+func (c *Client) TailJournal(ctx context.Context, opts TailOptions) error {
+	if opts.OnRecord == nil {
+		return fmt.Errorf("TailJournal needs an OnRecord callback")
+	}
+	wait := opts.Wait
+	if wait <= 0 {
+		wait = 30 * time.Second
+	}
+	from := opts.From
+	backoff := c.backoff
+	for ctx.Err() == nil {
+		advanced, err := c.tailOnce(ctx, &from, wait, opts)
+		switch {
+		case err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			// A clean round (the server closed its long poll) tails again
+			// immediately.
+			backoff = c.backoff
+			continue
+		default:
+			var apiErr *APIError
+			if errors.As(err, &apiErr) && !apiErr.IsRetryable() {
+				return err
+			}
+			if cbErr := (*callbackError)(nil); errors.As(err, &cbErr) {
+				return cbErr.err
+			}
+			// Transport trouble or a 5xx: reconnect from the cursor. The
+			// cursor only moves on applied records, so nothing is lost or
+			// doubled across reconnects.
+			_ = advanced
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			if backoff < 8*time.Second {
+				backoff *= 2
+			}
+		}
+	}
+	return ctx.Err()
+}
+
+// callbackError marks an error raised by the caller's OnRecord, which must
+// stop the tail instead of being absorbed as transient.
+type callbackError struct{ err error }
+
+func (e *callbackError) Error() string { return e.err.Error() }
+
+// tailOnce runs one long-poll round, advancing *from past every delivered
+// record.
+func (c *Client) tailOnce(ctx context.Context, from *uint64, wait time.Duration, opts TailOptions) (bool, error) {
+	params := url.Values{}
+	params.Set("from", strconv.FormatUint(*from, 10))
+	params.Set("wait", strconv.FormatFloat(wait.Seconds(), 'g', -1, 64))
+	resp, err := c.getJournal(ctx, "/api/v1/journal?"+params.Encode())
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+
+	advanced := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var kind struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &kind); err != nil {
+			return advanced, fmt.Errorf("invalid journal line: %w", err)
+		}
+		switch kind.Type {
+		case "record":
+			var f server.JournalRecordFrame
+			if err := json.Unmarshal(line, &f); err != nil {
+				return advanced, fmt.Errorf("invalid journal record: %w", err)
+			}
+			rec := journal.Record{
+				Seq: f.Seq, Epoch: f.Epoch, UnixMicros: f.UnixMicros,
+				Network: f.Network, Payload: f.Payload,
+			}
+			if err := opts.OnRecord(rec); err != nil {
+				return advanced, &callbackError{err}
+			}
+			*from = f.Seq
+			advanced = true
+		case "head":
+			var f server.JournalHeadFrame
+			if err := json.Unmarshal(line, &f); err != nil {
+				return advanced, fmt.Errorf("invalid journal head: %w", err)
+			}
+			if opts.OnHead != nil {
+				opts.OnHead(f.Seq)
+			}
+		case "error":
+			var f server.StreamError
+			if err := json.Unmarshal(line, &f); err != nil {
+				return advanced, fmt.Errorf("invalid journal error: %w", err)
+			}
+			return advanced, &APIError{Status: f.Status, Message: f.Error, RequestID: f.RequestID}
+		default:
+			return advanced, fmt.Errorf("unknown journal line type %q", kind.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return advanced, fmt.Errorf("reading journal feed: %w", err)
+	}
+	return advanced, nil
+}
+
+// getJournal issues one feed GET without the doGET retry loop — the tail
+// has its own reconnect policy and cursor.
+func (c *Client) getJournal(ctx context.Context, path string) (*http.Response, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.streaming.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("GET %s: %w", c.base+path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, apiError(resp)
+	}
+	return resp, nil
+}

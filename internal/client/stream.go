@@ -1,0 +1,109 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"themecomm/internal/obs"
+	"themecomm/internal/server"
+)
+
+// maxLineBytes bounds one NDJSON line of a streaming response.
+const maxLineBytes = 16 << 20
+
+// StreamHandler receives the frames of one NDJSON streaming answer in
+// order: the header, each community as the server produces it, and the
+// trailer. Any nil callback skips its frame kind; a Community callback
+// returning an error aborts the stream with that error.
+type StreamHandler struct {
+	Header    func(server.StreamHeader)
+	Community func(server.StreamCommunity) error
+	Trailer   func(server.StreamTrailer)
+}
+
+// Stream answers the query as an NDJSON stream, delivering each community
+// to the handler as it arrives. The returned request ID correlates the
+// stream with the server's logs. An in-band error line becomes an
+// *APIError; a 410 means the index moved mid-stream and the query should be
+// re-issued.
+func (c *Client) Stream(ctx context.Context, q Query, h StreamHandler) (string, error) {
+	params := q.params()
+	params.Set("stream", "1")
+	resp, err := c.getWithRetry(ctx, c.streaming, q.route("query")+"?"+params.Encode())
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	serverID := resp.Header.Get(obs.HeaderRequestID)
+	return serverID, readStream(resp, serverID, h)
+}
+
+// readStream walks an NDJSON streaming body frame by frame.
+func readStream(resp *http.Response, serverID string, h StreamHandler) error {
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	sawTrailer := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var kind struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &kind); err != nil {
+			return fmt.Errorf("invalid stream line: %w", err)
+		}
+		switch kind.Type {
+		case "header":
+			var f server.StreamHeader
+			if err := json.Unmarshal(line, &f); err != nil {
+				return fmt.Errorf("invalid stream header: %w", err)
+			}
+			if h.Header != nil {
+				h.Header(f)
+			}
+		case "community":
+			var f server.StreamCommunity
+			if err := json.Unmarshal(line, &f); err != nil {
+				return fmt.Errorf("invalid stream community: %w", err)
+			}
+			if h.Community != nil {
+				if err := h.Community(f); err != nil {
+					return err
+				}
+			}
+		case "trailer":
+			var f server.StreamTrailer
+			if err := json.Unmarshal(line, &f); err != nil {
+				return fmt.Errorf("invalid stream trailer: %w", err)
+			}
+			if h.Trailer != nil {
+				h.Trailer(f)
+			}
+			sawTrailer = true
+		case "error":
+			var f server.StreamError
+			if err := json.Unmarshal(line, &f); err != nil {
+				return fmt.Errorf("invalid stream error: %w", err)
+			}
+			id := f.RequestID
+			if id == "" {
+				id = serverID
+			}
+			return &APIError{Status: f.Status, Message: f.Error, RequestID: id}
+		default:
+			return fmt.Errorf("unknown stream line type %q", kind.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("reading stream: %w", err)
+	}
+	if !sawTrailer {
+		return fmt.Errorf("stream ended without a trailer")
+	}
+	return nil
+}

@@ -382,3 +382,64 @@ func randomNetwork(rng *rand.Rand, n, m, items int) *Network {
 	}
 	return nw
 }
+
+func TestJournalSeqStamp(t *testing.T) {
+	nw := smallNetwork(t)
+	dir := t.TempDir()
+	path := dir + "/net.dbnet"
+	if err := WriteFileAtomicStamped(path, nw, nil, 99); err != nil {
+		t.Fatalf("WriteFileAtomicStamped: %v", err)
+	}
+	// The stamp is readable...
+	seq, err := ReadJournalSeq(path)
+	if err != nil || seq != 99 {
+		t.Fatalf("ReadJournalSeq = (%d, %v), want (99, nil)", seq, err)
+	}
+	// ...and invisible to the network reader (it is just a comment).
+	got, _, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.NumVertices() != nw.NumVertices() || got.NumEdges() != nw.NumEdges() {
+		t.Fatalf("stamped file parsed to (%d,%d), want (%d,%d)",
+			got.NumVertices(), got.NumEdges(), nw.NumVertices(), nw.NumEdges())
+	}
+	// An unstamped file reads as seq 0.
+	if err := WriteFileAtomic(path, nw, nil); err != nil {
+		t.Fatal(err)
+	}
+	if seq, err := ReadJournalSeq(path); err != nil || seq != 0 {
+		t.Fatalf("ReadJournalSeq on unstamped file = (%d, %v), want (0, nil)", seq, err)
+	}
+}
+
+func TestRemoveTransactionAndClearVertex(t *testing.T) {
+	nw := smallNetwork(t)
+	removed, err := nw.RemoveTransaction(0, itemset.New(1))
+	if err != nil || !removed {
+		t.Fatalf("RemoveTransaction = (%v, %v)", removed, err)
+	}
+	if got := nw.Database(0).Len(); got != 1 {
+		t.Fatalf("vertex 0 has %d transactions, want 1", got)
+	}
+	if removed, _ := nw.RemoveTransaction(0, itemset.New(9)); removed {
+		t.Fatal("removing an absent transaction reported success")
+	}
+	if _, err := nw.RemoveTransaction(99, itemset.New(1)); err == nil {
+		t.Fatal("RemoveTransaction on a bad vertex did not fail")
+	}
+	// Tombstone vertex 2: edges 1-2, 2-3 and 0-2 disappear, item 'a' (1)
+	// survives on other vertices.
+	if err := nw.ClearVertex(2); err != nil {
+		t.Fatalf("ClearVertex: %v", err)
+	}
+	if nw.NumEdges() != 1 {
+		t.Fatalf("edges after tombstone = %d, want 1", nw.NumEdges())
+	}
+	if !nw.Database(2).Empty() {
+		t.Fatal("tombstoned vertex database is not empty")
+	}
+	if err := nw.ClearVertex(99); err == nil {
+		t.Fatal("ClearVertex on a bad vertex did not fail")
+	}
+}

@@ -203,12 +203,33 @@ func WriteFile(path string, nw *Network, dict *itemset.Dictionary) error {
 // recipe for index shard files, with crash-injection test hooks; change the
 // discipline in both places or neither.)
 func WriteFileAtomic(path string, nw *Network, dict *itemset.Dictionary) error {
+	return WriteFileAtomicStamped(path, nw, dict, 0)
+}
+
+// journalSeqComment prefixes the journal-seq stamp comment. The stamp rides
+// inside the network file as a comment line (the reader skips '#' lines), so
+// "network contents" and "journal position those contents include" are
+// replaced by the same single rename — there is no window in which one file
+// is newer than the other.
+const journalSeqComment = "# journal-seq "
+
+// WriteFileAtomicStamped is WriteFileAtomic plus a journal-seq stamp: when
+// seq > 0, a "# journal-seq <n>" comment is written after the header,
+// recording that the file reflects every journal record up to and including
+// seq. Checkpoint recovery compares this stamp against the index manifest's
+// JournalSeq to detect a crash between the two writes.
+func WriteFileAtomicStamped(path string, nw *Network, dict *itemset.Dictionary, seq uint64) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	err = Write(f, nw, dict)
+	if seq > 0 {
+		_, err = fmt.Fprintf(f, "%s%d\n", journalSeqComment, seq)
+	}
+	if err == nil {
+		err = Write(f, nw, dict)
+	}
 	if err == nil {
 		err = f.Sync()
 	}
@@ -239,4 +260,35 @@ func ReadFile(path string) (*Network, *itemset.Dictionary, error) {
 	}
 	defer f.Close()
 	return Read(f)
+}
+
+// ReadJournalSeq returns the journal-seq stamp of the named network file, or
+// 0 when the file carries none (it predates journaling, or journaling is not
+// in use). Only the lines before the first record line are scanned — the
+// stamp, when present, sits right after the header.
+func ReadJournalSeq(path string) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line == formatHeader {
+			continue
+		}
+		if !strings.HasPrefix(line, "#") {
+			return 0, nil // first record line: no stamp present
+		}
+		if rest, ok := strings.CutPrefix(line, journalSeqComment); ok {
+			seq, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("dbnet: malformed journal-seq stamp %q", line)
+			}
+			return seq, nil
+		}
+	}
+	return 0, sc.Err()
 }

@@ -98,6 +98,38 @@ func (nw *Network) AddTransaction(v graph.VertexID, t txdb.Transaction) error {
 	return nil
 }
 
+// RemoveTransaction deletes one occurrence of an exact transaction from the
+// database of vertex v, reporting whether one was found. Removing an absent
+// transaction is a harmless no-op (mirroring RemoveEdge).
+func (nw *Network) RemoveTransaction(v graph.VertexID, t txdb.Transaction) (bool, error) {
+	db := nw.Database(v)
+	if db == nil {
+		return false, fmt.Errorf("dbnet: vertex %d out of range [0,%d)", v, len(nw.dbs))
+	}
+	removed := db.Remove(t)
+	if removed {
+		nw.itemVertices = nil
+	}
+	return removed, nil
+}
+
+// ClearVertex tombstones vertex v: every incident edge is removed and its
+// transaction database is emptied. The vertex identifier stays valid — vertex
+// ids are positional across the index, the journal and every replica, so
+// removal never renumbers — and the cleared vertex may later be reconnected
+// and repopulated by subsequent deltas.
+func (nw *Network) ClearVertex(v graph.VertexID) error {
+	if int(v) < 0 || int(v) >= len(nw.dbs) {
+		return fmt.Errorf("dbnet: vertex %d out of range [0,%d)", v, len(nw.dbs))
+	}
+	for _, w := range append([]graph.VertexID(nil), nw.g.Neighbors(v)...) {
+		nw.g.RemoveEdge(v, w)
+	}
+	nw.dbs[v] = txdb.New()
+	nw.itemVertices = nil
+	return nil
+}
+
 // SetDatabase replaces the database of vertex v.
 func (nw *Network) SetDatabase(v graph.VertexID, db *txdb.Database) error {
 	if int(v) < 0 || int(v) >= len(nw.dbs) {

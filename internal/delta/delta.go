@@ -29,24 +29,38 @@ type VertexTransaction struct {
 
 // Delta is one batch of changes to a database network. The zero value is the
 // empty delta. Changes are applied in declaration order: vertices are added
-// first, then edges are removed, then edges are added, then transactions are
-// appended — so a delta may connect and populate the vertices it introduces.
+// first, then transactions are removed, then vertices are tombstoned, then
+// edges are removed, then edges are added, then transactions are appended —
+// so a delta may connect and populate the vertices it introduces, and may
+// reuse a vertex it tombstones.
 type Delta struct {
 	// AddVertices grows the network by this many vertices with empty
 	// databases before any other change is applied.
 	AddVertices int
+	// RemoveVertices tombstones the listed vertices: every incident edge is
+	// removed and the vertex database is emptied. The vertex identifier
+	// itself stays valid (ids are positional across the index, the journal
+	// and every replica), so removal never renumbers, and a tombstoned
+	// vertex may be reconnected by the same or a later delta. Tombstoning a
+	// vertex twice is a harmless no-op.
+	RemoveVertices []graph.VertexID
 	// AddEdges are the edges to insert. Adding an existing edge is a no-op.
 	AddEdges []graph.Edge
 	// RemoveEdges are the edges to delete. Removing an absent edge is a no-op.
 	RemoveEdges []graph.Edge
 	// AddTransactions are the transactions to append, each on its vertex.
 	AddTransactions []VertexTransaction
+	// RemoveTransactions delete one occurrence each of an exact transaction
+	// (same canonical itemset) from their vertex's database. Removing an
+	// absent transaction is a harmless no-op.
+	RemoveTransactions []VertexTransaction
 }
 
 // Empty reports whether the delta changes nothing.
 func (d *Delta) Empty() bool {
-	return d == nil || (d.AddVertices == 0 && len(d.AddEdges) == 0 &&
-		len(d.RemoveEdges) == 0 && len(d.AddTransactions) == 0)
+	return d == nil || (d.AddVertices == 0 && len(d.RemoveVertices) == 0 &&
+		len(d.AddEdges) == 0 && len(d.RemoveEdges) == 0 &&
+		len(d.AddTransactions) == 0 && len(d.RemoveTransactions) == 0)
 }
 
 // Stats summarises the delta for logs and HTTP responses.
@@ -54,8 +68,12 @@ func (d *Delta) String() string {
 	if d == nil {
 		return "delta{}"
 	}
-	return fmt.Sprintf("delta{+V=%d, +E=%d, -E=%d, +T=%d}",
+	s := fmt.Sprintf("delta{+V=%d, +E=%d, -E=%d, +T=%d",
 		d.AddVertices, len(d.AddEdges), len(d.RemoveEdges), len(d.AddTransactions))
+	if len(d.RemoveVertices) > 0 || len(d.RemoveTransactions) > 0 {
+		s += fmt.Sprintf(", -V=%d, -T=%d", len(d.RemoveVertices), len(d.RemoveTransactions))
+	}
+	return s + "}"
 }
 
 // ErrInvalid marks a delta rejected by Validate. Callers (the HTTP update
@@ -108,20 +126,45 @@ func (d *Delta) Validate(nw *dbnet.Network) error {
 			return fmt.Errorf("delta: empty transaction on vertex %d: %w", vt.Vertex, ErrInvalid)
 		}
 	}
+	for _, v := range d.RemoveVertices {
+		if err := checkVertex(v, "removed vertex"); err != nil {
+			return err
+		}
+	}
+	for _, vt := range d.RemoveTransactions {
+		if err := checkVertex(vt.Vertex, "removed transaction"); err != nil {
+			return err
+		}
+		if vt.Tx.Len() == 0 {
+			return fmt.Errorf("delta: empty transaction on vertex %d: %w", vt.Vertex, ErrInvalid)
+		}
+	}
 	return nil
 }
 
-// Apply mutates the network in place: vertices are added, removed edges
-// deleted, added edges inserted, and transactions appended, in that order.
-// The network's lazily built read structures are invalidated and re-frozen,
-// so it is safe to read concurrently again once Apply returns. Apply
-// validates the delta first and changes nothing when validation fails.
+// Apply mutates the network in place: vertices are added, removed
+// transactions deleted, removed vertices tombstoned, removed edges deleted,
+// added edges inserted, and transactions appended, in that order — removals
+// precede additions so a delta may tombstone a vertex and immediately
+// repopulate it. The network's lazily built read structures are invalidated
+// and re-frozen, so it is safe to read concurrently again once Apply returns.
+// Apply validates the delta first and changes nothing when validation fails.
 func Apply(nw *dbnet.Network, d *Delta) error {
 	if err := d.Validate(nw); err != nil {
 		return err
 	}
 	if d.AddVertices > 0 {
 		nw.AddVertices(d.AddVertices)
+	}
+	for _, vt := range d.RemoveTransactions {
+		if _, err := nw.RemoveTransaction(vt.Vertex, vt.Tx); err != nil {
+			return err
+		}
+	}
+	for _, v := range d.RemoveVertices {
+		if err := nw.ClearVertex(v); err != nil {
+			return err
+		}
 	}
 	for _, e := range d.RemoveEdges {
 		nw.RemoveEdge(e.U, e.V)
@@ -146,13 +189,13 @@ func Apply(nw *dbnet.Network, d *Delta) error {
 // bound needs the pre-delta vertex databases.
 //
 // The bound is the union, over every vertex the delta touches, of the items
-// that vertex carries, plus every item of every added transaction. A vertex
-// is touched when it gains a transaction or when an added or removed edge is
-// incident to it. This covers strictly more than "items contained in a
-// touched transaction": appending any transaction to a vertex changes the
-// denominator of f_v(p) for every pattern p on that vertex, so every item the
-// vertex already carries is affected, not just the items of the new
-// transaction.
+// that vertex carries, plus every item of every added or removed transaction.
+// A vertex is touched when it gains or loses a transaction, when it is
+// tombstoned, or when an added or removed edge is incident to it. This covers
+// strictly more than "items contained in a touched transaction": appending or
+// deleting any transaction on a vertex changes the denominator of f_v(p) for
+// every pattern p on that vertex, so every item the vertex already carries is
+// affected, not just the items of the changed transaction.
 //
 // Soundness: a pattern p's decomposition can only change when its theme
 // network G_p changes, which requires a touched vertex v with f_v(p) > 0 —
@@ -173,8 +216,17 @@ func AffectedItems(nw *dbnet.Network, d *Delta) itemset.Itemset {
 		touched[e.U] = true
 		touched[e.V] = true
 	}
+	for _, v := range d.RemoveVertices {
+		touched[v] = true
+	}
 	affected := make(map[itemset.Item]bool)
 	for _, vt := range d.AddTransactions {
+		touched[vt.Vertex] = true
+		for _, it := range vt.Tx {
+			affected[it] = true
+		}
+	}
+	for _, vt := range d.RemoveTransactions {
 		touched[vt.Vertex] = true
 		for _, it := range vt.Tx {
 			affected[it] = true

@@ -73,6 +73,18 @@ func randomDelta(rng *rand.Rand, nw *dbnet.Network, items int) *Delta {
 			Tx:     itemset.New(it, itemset.Item(rng.Intn(items))),
 		})
 	}
+	if rng.Intn(2) == 0 { // remove an existing transaction from a random vertex
+		v := graph.VertexID(rng.Intn(n))
+		if txs := nw.Database(v).Transactions(); len(txs) > 0 {
+			d.RemoveTransactions = append(d.RemoveTransactions, VertexTransaction{
+				Vertex: v,
+				Tx:     txs[rng.Intn(len(txs))].Clone(),
+			})
+		}
+	}
+	if rng.Intn(4) == 0 { // tombstone a vertex
+		d.RemoveVertices = append(d.RemoveVertices, graph.VertexID(rng.Intn(n)))
+	}
 	return d
 }
 
@@ -142,6 +154,9 @@ func TestValidateRejectsBadDeltas(t *testing.T) {
 		{"removed edge out of range", &Delta{RemoveEdges: []graph.Edge{graph.EdgeOf(0, 7)}}},
 		{"transaction out of range", &Delta{AddTransactions: []VertexTransaction{{Vertex: 9, Tx: itemset.New(1)}}}},
 		{"empty transaction", &Delta{AddTransactions: []VertexTransaction{{Vertex: 0}}}},
+		{"removed vertex out of range", &Delta{RemoveVertices: []graph.VertexID{7}}},
+		{"removed transaction out of range", &Delta{RemoveTransactions: []VertexTransaction{{Vertex: 9, Tx: itemset.New(1)}}}},
+		{"empty removed transaction", &Delta{RemoveTransactions: []VertexTransaction{{Vertex: 0}}}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -186,15 +201,69 @@ func TestApplyMutatesNetwork(t *testing.T) {
 	}
 }
 
+// TestApplyRemovals exercises the removal half of the delta vocabulary:
+// removing a transaction undoes exactly one addition, and tombstoning a
+// vertex drops its incident edges and database while keeping the id valid.
+func TestApplyRemovals(t *testing.T) {
+	nw := dbnet.New(3)
+	nw.MustAddEdge(0, 1)
+	nw.MustAddEdge(1, 2)
+	for i := 0; i < 2; i++ {
+		if err := nw.AddTransaction(1, itemset.New(5, 6)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := nw.AddTransaction(2, itemset.New(7)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Removing one occurrence leaves the duplicate in place; removing an
+	// absent transaction is a no-op.
+	d := &Delta{RemoveTransactions: []VertexTransaction{
+		{Vertex: 1, Tx: itemset.New(5, 6)},
+		{Vertex: 0, Tx: itemset.New(99)},
+	}}
+	if err := Apply(nw, d); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got := nw.Database(1).Len(); got != 1 {
+		t.Fatalf("vertex 1 has %d transactions after removal, want 1", got)
+	}
+
+	// Tombstoning vertex 1 drops both incident edges and empties the
+	// database; the same delta may immediately repopulate the vertex.
+	d = &Delta{
+		RemoveVertices:  []graph.VertexID{1},
+		AddEdges:        []graph.Edge{graph.EdgeOf(0, 1)},
+		AddTransactions: []VertexTransaction{{Vertex: 1, Tx: itemset.New(8)}},
+	}
+	if err := Apply(nw, d); err != nil {
+		t.Fatalf("Apply tombstone: %v", err)
+	}
+	if nw.NumEdges() != 1 {
+		t.Fatalf("edges = %d after tombstone+re-add, want 1", nw.NumEdges())
+	}
+	if got := nw.Database(1).Transactions(); len(got) != 1 || !got[0].Equal(itemset.New(8)) {
+		t.Fatalf("vertex 1 database = %v, want just {8}", got)
+	}
+	if nw.Items().Contains(5) {
+		t.Fatalf("item 5 survived the tombstone")
+	}
+}
+
 func TestDeltaIORoundTrip(t *testing.T) {
 	dict := itemset.NewDictionary()
 	dict.Intern("coffee")
 	d := &Delta{
-		AddVertices: 2,
-		AddEdges:    []graph.Edge{graph.EdgeOf(0, 5), graph.EdgeOf(1, 2)},
-		RemoveEdges: []graph.Edge{graph.EdgeOf(3, 4)},
+		AddVertices:    2,
+		RemoveVertices: []graph.VertexID{4},
+		AddEdges:       []graph.Edge{graph.EdgeOf(0, 5), graph.EdgeOf(1, 2)},
+		RemoveEdges:    []graph.Edge{graph.EdgeOf(3, 4)},
 		AddTransactions: []VertexTransaction{
 			{Vertex: 5, Tx: itemset.New(0, 7)},
+		},
+		RemoveTransactions: []VertexTransaction{
+			{Vertex: 3, Tx: itemset.New(2)},
 		},
 	}
 	var buf bytes.Buffer
@@ -206,7 +275,8 @@ func TestDeltaIORoundTrip(t *testing.T) {
 		t.Fatalf("Read: %v", err)
 	}
 	if got.AddVertices != d.AddVertices || len(got.AddEdges) != len(d.AddEdges) ||
-		len(got.RemoveEdges) != len(d.RemoveEdges) || len(got.AddTransactions) != len(d.AddTransactions) {
+		len(got.RemoveEdges) != len(d.RemoveEdges) || len(got.AddTransactions) != len(d.AddTransactions) ||
+		len(got.RemoveVertices) != len(d.RemoveVertices) || len(got.RemoveTransactions) != len(d.RemoveTransactions) {
 		t.Fatalf("round trip mismatch: %s != %s", got, d)
 	}
 	for i, e := range d.AddEdges {
@@ -216,6 +286,12 @@ func TestDeltaIORoundTrip(t *testing.T) {
 	}
 	if !got.AddTransactions[0].Tx.Equal(d.AddTransactions[0].Tx) {
 		t.Fatalf("transaction mismatch")
+	}
+	if got.RemoveVertices[0] != 4 {
+		t.Fatalf("removed vertex = %d, want 4", got.RemoveVertices[0])
+	}
+	if !got.RemoveTransactions[0].Tx.Equal(d.RemoveTransactions[0].Tx) {
+		t.Fatalf("removed transaction mismatch")
 	}
 
 	// Named items intern through the dictionary, including unseen names.

@@ -17,6 +17,10 @@ func FuzzTCDeltaParse(f *testing.F) {
 	f.Add([]byte("TCDELTA 1\nAV 2\nE+ 0 1\nE- 2 3\nT 0 1 2 3\n"))
 	f.Add([]byte("TCDELTA 1\n# comment\n\nT 4 alice bob\n"))
 	f.Add([]byte("TCDELTA 1\n"))
+	f.Add([]byte("TCDELTA 1\nV- 3\nT- 0 1 2\n"))
+	f.Add([]byte("TCDELTA 1\nV-\n"))
+	f.Add([]byte("TCDELTA 1\nV- -1\n"))
+	f.Add([]byte("TCDELTA 1\nT- 0\n"))
 	// Malformed: wrong header, truncated records, bad numbers, self-loops,
 	// out-of-range identifiers, unknown record types.
 	f.Add([]byte(""))

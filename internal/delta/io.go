@@ -17,9 +17,11 @@ import (
 //
 //	TCDELTA 1
 //	AV <n>                            (optional: add n vertices)
+//	V- <v>                            (one per tombstoned vertex)
 //	E+ <u> <v>                        (one per added edge)
 //	E- <u> <v>                        (one per removed edge)
 //	T <vertex> <item> <item> ...      (one per added transaction)
+//	T- <vertex> <item> <item> ...     (one per removed transaction)
 //
 // Lines starting with '#' and blank lines are ignored. Items are numeric
 // identifiers, or names when the reader is given a dictionary (unknown names
@@ -36,19 +38,33 @@ func Write(w io.Writer, d *Delta) error {
 	if d.AddVertices > 0 {
 		fmt.Fprintf(bw, "AV %d\n", d.AddVertices)
 	}
+	for _, v := range d.RemoveVertices {
+		fmt.Fprintf(bw, "V- %d\n", v)
+	}
 	for _, e := range d.AddEdges {
 		fmt.Fprintf(bw, "E+ %d %d\n", e.U, e.V)
 	}
 	for _, e := range d.RemoveEdges {
 		fmt.Fprintf(bw, "E- %d %d\n", e.U, e.V)
 	}
-	for _, vt := range d.AddTransactions {
+	writeTx := func(record string, vt VertexTransaction) error {
 		sb := make([]string, 0, vt.Tx.Len()+2)
-		sb = append(sb, "T", strconv.Itoa(int(vt.Vertex)))
+		sb = append(sb, record, strconv.Itoa(int(vt.Vertex)))
 		for _, it := range vt.Tx {
 			sb = append(sb, strconv.Itoa(int(it)))
 		}
-		fmt.Fprintln(bw, strings.Join(sb, " "))
+		_, err := fmt.Fprintln(bw, strings.Join(sb, " "))
+		return err
+	}
+	for _, vt := range d.AddTransactions {
+		if err := writeTx("T", vt); err != nil {
+			return err
+		}
+	}
+	for _, vt := range d.RemoveTransactions {
+		if err := writeTx("T-", vt); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
@@ -121,9 +137,18 @@ func Read(r io.Reader, dict *itemset.Dictionary) (*Delta, error) {
 				return nil, err
 			}
 			d.RemoveEdges = append(d.RemoveEdges, e)
-		case "T":
+		case "V-":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("delta: line %d: malformed V- line", lineNo)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 || v > math.MaxInt32 {
+				return nil, fmt.Errorf("delta: line %d: invalid vertex %q", lineNo, fields[1])
+			}
+			d.RemoveVertices = append(d.RemoveVertices, graph.VertexID(v))
+		case "T", "T-":
 			if len(fields) < 3 {
-				return nil, fmt.Errorf("delta: line %d: malformed T line", lineNo)
+				return nil, fmt.Errorf("delta: line %d: malformed %s line", lineNo, fields[0])
 			}
 			v, err := strconv.Atoi(fields[1])
 			if err != nil || v < 0 || v > math.MaxInt32 {
@@ -137,10 +162,12 @@ func Read(r io.Reader, dict *itemset.Dictionary) (*Delta, error) {
 				}
 				items = append(items, it)
 			}
-			d.AddTransactions = append(d.AddTransactions, VertexTransaction{
-				Vertex: graph.VertexID(v),
-				Tx:     itemset.New(items...),
-			})
+			vt := VertexTransaction{Vertex: graph.VertexID(v), Tx: itemset.New(items...)}
+			if fields[0] == "T" {
+				d.AddTransactions = append(d.AddTransactions, vt)
+			} else {
+				d.RemoveTransactions = append(d.RemoveTransactions, vt)
+			}
 		default:
 			return nil, fmt.Errorf("delta: line %d: unknown record type %q", lineNo, fields[0])
 		}

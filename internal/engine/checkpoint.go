@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/delta"
+	"themecomm/internal/itemset"
+	"themecomm/internal/tctree"
+)
+
+// This file implements the journaled update fast path. The classic
+// ApplyDelta pays a full staged shard commit — encode, fsync and manifest
+// write — inside every update. With a durable delta journal in front, that
+// synchronous disk work is redundant: the journal append already made the
+// delta durable, so the update only needs to become visible to queries.
+//
+//	ApplyDeltaInMemory: journal-backed apply — rebuild the affected
+//	  subtrees and swap them into the live table as resident shards,
+//	  touching no index file. The affected items accumulate in the
+//	  engine's dirty set.
+//	Checkpoint: background flush — stage the dirty subtrees, stamp the
+//	  journal seq into the manifest, commit once, and swap the dirty
+//	  resident shards back to lazy ones. Queries see identical content
+//	  before and after, so no epoch bump and no cache purge.
+//
+// Crash recovery replays journal records after the manifest's JournalSeq
+// through ApplyDeltaInMemory, converging on exactly the pre-crash state.
+
+// ApplyDeltaInMemory applies a delta to the serving state without writing
+// the index: the delta is applied to nw, the affected shards are rebuilt and
+// swapped into the live table as fully resident shards, the epoch is bumped
+// and dependent cache entries are purged — everything ApplyDelta does except
+// the staged disk commit. The caller owns durability (typically a journal
+// append before this call); Checkpoint later folds the accumulated dirty
+// shards into the on-disk index in one commit.
+//
+// Dirty resident shards sit outside the lazy engine's residency budget until
+// the next Checkpoint — they cannot be evicted, because the index on disk
+// does not have their content yet.
+func (e *Engine) ApplyDeltaInMemory(nw *dbnet.Network, d *delta.Delta) (*DeltaResult, error) {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	start := time.Now()
+	if depth := e.builtMaxDepth(); depth > 0 {
+		return nil, fmt.Errorf("engine: index was built with MaxDepth %d; incremental maintenance needs an unbounded index", depth)
+	}
+	affected := delta.AffectedItems(nw, d).Union(e.pendingAffected)
+	if err := delta.Apply(nw, d); err != nil {
+		return nil, err
+	}
+	// Rebuild outside updateMu — queries keep flowing; only the table swap
+	// below excludes them.
+	subtrees := tctree.RebuildSubtrees(nw, affected)
+
+	e.updateMu.Lock()
+	var report *tctree.CommitReport
+	if e.idx != nil {
+		report = e.swapDirtyLocked(subtrees)
+		if e.dirty == nil {
+			e.dirty = make(map[itemset.Item]*tctree.Node, len(subtrees))
+		}
+		for it, sub := range subtrees {
+			e.dirty[it] = sub
+		}
+	} else {
+		report = e.swapEagerLocked(subtrees)
+	}
+	e.pendingAffected = nil
+	e.deltas.Add(1)
+	e.epoch.Add(1)
+	epoch := e.epoch.Load()
+	if e.cache != nil {
+		e.cache.invalidate(e.cacheNS, func(q itemset.Itemset, full bool) bool {
+			return full || q.Intersect(affected).Len() > 0
+		})
+	}
+	e.updateMu.Unlock()
+	return &DeltaResult{Affected: affected, Report: report, Epoch: epoch, Duration: time.Since(start)}, nil
+}
+
+// swapDirtyLocked installs rebuilt subtrees into a lazy engine's table as
+// resident eager shards (load == nil): the on-disk index does not have this
+// content, so the shards must not be evictable or reloadable. Structs
+// leaving the table return their residency charge and are poisoned against
+// in-flight prefetch loads, exactly like swapLazyLocked. Callers hold
+// updateMu for writing.
+func (e *Engine) swapDirtyLocked(subtrees map[itemset.Item]*tctree.Node) *tctree.CommitReport {
+	report := &tctree.CommitReport{}
+	items := make([]itemset.Item, 0, len(subtrees))
+	for it := range subtrees {
+		items = append(items, it)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	t := e.table.Load()
+	replacement := make(map[itemset.Item]*shard, len(items))
+	for _, it := range items {
+		sub := subtrees[it]
+		_, exists := t.lookup(it)
+		switch {
+		case sub == nil && !exists:
+			continue
+		case sub == nil:
+			report.Removed = append(report.Removed, it)
+			replacement[it] = nil
+		case exists:
+			report.Replaced = append(report.Replaced, it)
+			replacement[it] = eagerShardOf(sub)
+		default:
+			report.Added = append(report.Added, it)
+			replacement[it] = eagerShardOf(sub)
+		}
+	}
+	shards := make([]*shard, 0, len(t.shards)+len(report.Added))
+	for _, s := range t.shards {
+		repl, touched := replacement[s.item]
+		if !touched {
+			shards = append(shards, s)
+			continue
+		}
+		if freed, ok := evictShard(s); ok {
+			e.res.resident.Add(-1)
+			e.res.bytes.Add(-freed)
+			e.evictions.Add(1)
+		}
+		s.mu.Lock()
+		s.err = errShardRemoved
+		s.once = new(sync.Once)
+		s.mu.Unlock()
+		if repl != nil {
+			shards = append(shards, repl)
+		}
+		delete(replacement, s.item)
+	}
+	for _, it := range items { // the added shards, in stable order
+		if s, ok := replacement[it]; ok && s != nil {
+			shards = append(shards, s)
+		}
+	}
+	e.table.Store(newShardTable(shards))
+	return report
+}
+
+// DirtyShards returns how many in-memory shards have run ahead of the
+// on-disk index and await the next Checkpoint.
+func (e *Engine) DirtyShards() int {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	return len(e.dirty)
+}
+
+// IndexJournalSeq returns the journal sequence number stamped into the
+// on-disk index manifest — the checkpoint marker crash recovery replays
+// from. It is 0 for an eager engine, or for an index that has never been
+// checkpointed.
+func (e *Engine) IndexJournalSeq() uint64 {
+	if e.idx == nil {
+		return 0
+	}
+	return e.idx.JournalSeq()
+}
+
+// ResyncInMemory rebuilds the engine's whole serving state from nw,
+// installing every shard as a dirty resident one — as if a single delta had
+// touched every item. It is the recovery fix-up for the checkpoint crash
+// window: when the stamped network file (written by the pre-commit hook) is
+// ahead of the index manifest, the network file is authoritative and the
+// index content must be rebuilt to match before journal replay continues; a
+// following Checkpoint persists the rebuilt shards. Unlike a checkpoint, a
+// resync may change answers, so the epoch is bumped and the engine's cache
+// namespace fully purged.
+func (e *Engine) ResyncInMemory(nw *dbnet.Network) error {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	if e.idx == nil {
+		return fmt.Errorf("engine: resync requires a lazy engine over a sharded index")
+	}
+	t := e.table.Load()
+	existing := make([]itemset.Item, 0, len(t.shards))
+	for _, s := range t.shards {
+		existing = append(existing, s.item)
+	}
+	// The union covers items to add or replace (in nw) and items to remove
+	// (in the table but decomposing to nothing in nw).
+	affected := nw.Items().Union(itemset.New(existing...)).Union(e.pendingAffected)
+	subtrees := tctree.RebuildSubtrees(nw, affected)
+
+	e.updateMu.Lock()
+	e.swapDirtyLocked(subtrees)
+	if e.dirty == nil {
+		e.dirty = make(map[itemset.Item]*tctree.Node, len(subtrees))
+	}
+	for it, sub := range subtrees {
+		e.dirty[it] = sub
+	}
+	e.pendingAffected = nil
+	e.epoch.Add(1)
+	if e.cache != nil {
+		e.cache.invalidate(e.cacheNS, func(itemset.Itemset, bool) bool { return true })
+	}
+	e.updateMu.Unlock()
+	return nil
+}
+
+// Checkpoint folds every dirty shard into the on-disk index with one staged
+// commit, stamping journalSeq into the manifest (see
+// tctree.Manifest.JournalSeq) so recovery knows which journal records the
+// index already includes. Between staging and the commit it runs preCommit
+// (nil to skip) — the hook the serving layer uses to persist the updated
+// network file, stamped with the same seq; if the hook fails the staged
+// files are discarded and the index is untouched.
+//
+// After the manifest commit the dirty resident shards are swapped back to
+// plain lazy shards under the residency budget. Their content is identical
+// to what was just committed, so the epoch is NOT bumped and no cache entry
+// is purged: queries cannot observe a checkpoint. Updates serialize behind
+// it (applyMu), queries do not (updateMu is held only for the swap-back).
+//
+// Checkpoint with no dirty shards and journalSeq already stamped is a no-op
+// returning (nil, nil). It requires a lazy engine: an eager engine has no
+// on-disk index to checkpoint into.
+func (e *Engine) Checkpoint(journalSeq uint64, preCommit func() error) (*tctree.CommitReport, error) {
+	e.applyMu.Lock()
+	defer e.applyMu.Unlock()
+	if e.idx == nil {
+		return nil, fmt.Errorf("engine: checkpoint requires a lazy engine over a sharded index")
+	}
+	if len(e.dirty) == 0 && e.idx.JournalSeq() >= journalSeq {
+		return nil, nil
+	}
+	subtrees := e.dirty
+	staged, err := e.idx.StageShards(subtrees)
+	if err != nil {
+		return nil, err
+	}
+	staged.SetJournalSeq(journalSeq)
+	if preCommit != nil {
+		if err := preCommit(); err != nil {
+			staged.Discard()
+			return nil, err
+		}
+	}
+	e.updateMu.Lock()
+	report, err := staged.Commit()
+	if err != nil {
+		e.updateMu.Unlock()
+		return nil, err
+	}
+	// Swap the dirty resident shards back to lazy ones: identical content,
+	// now loadable (and evictable) from the committed files.
+	t := e.table.Load()
+	changed := false
+	shards := make([]*shard, 0, len(t.shards))
+	for _, s := range t.shards {
+		if _, dirty := subtrees[s.item]; !dirty {
+			shards = append(shards, s)
+			continue
+		}
+		changed = true
+		if entry, ok := e.idx.Entry(s.item); ok {
+			shards = append(shards, e.lazyShard(entry))
+		}
+	}
+	if changed {
+		e.table.Store(newShardTable(shards))
+	}
+	e.dirty = nil
+	e.updateMu.Unlock()
+	return report, nil
+}

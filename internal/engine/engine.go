@@ -162,6 +162,11 @@ type Engine struct {
 	// next ApplyDelta must rebuild those shards too or the index would
 	// silently diverge from the network forever.
 	pendingAffected itemset.Itemset
+	// dirty (guarded by applyMu) maps each item whose in-memory shard has
+	// run ahead of the on-disk index — installed by ApplyDeltaInMemory, not
+	// yet checkpointed — to its rebuilt subtree (nil = shard removed). See
+	// Checkpoint.
+	dirty map[itemset.Item]*tctree.Node
 	// epoch counts index swaps (ReloadShard, ApplyDelta). Queries capture it
 	// before executing and the result cache refuses inserts whose epoch is
 	// stale, so an answer computed against a replaced shard can never be

@@ -154,6 +154,10 @@ func (n *Network) VertexNames() []string { return n.opts.VertexNames }
 // rejects deltas).
 func (n *Network) DatabaseNetwork() *dbnet.Network { return n.opts.Network }
 
+// NetworkPath returns the file the updated network is written back to after
+// deltas; empty when the tenant was attached without one.
+func (n *Network) NetworkPath() string { return n.opts.NetworkPath }
+
 // ApplyDelta incrementally updates the tenant: the delta is applied to its
 // database network and the affected index shards are rebuilt and swapped
 // (engine.ApplyDelta), purging only this tenant's cache namespace — every

@@ -1,0 +1,48 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestSeedCorpusPresent regenerates (when missing) and verifies the
+// checked-in seed corpus for FuzzJournalDecode, so the fuzz-smoke CI job
+// always starts from the canonical interesting inputs.
+func TestSeedCorpusPresent(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzJournalDecode")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	one := AppendRecord(nil, &Record{Seq: 1, Epoch: 7, UnixMicros: 1722000000000000, Network: "default", Payload: []byte("TCDELTA 1\nAV 1\n")})
+	two := AppendRecord(append([]byte(nil), one...), &Record{Seq: 2, Epoch: 8})
+	flipped := append([]byte(nil), one...)
+	flipped[10] ^= 0x40
+	skew := append([]byte(nil), one...)
+	skew[30] = 0xff
+	seeds := map[string][]byte{
+		"valid-record": one,
+		"two-records":  two,
+		"torn-tail":    one[:len(one)-3],
+		"bit-flip":     flipped,
+		"length-skew":  skew,
+	}
+	for name, b := range seeds {
+		path := filepath.Join(dir, name)
+		want := "go test fuzz v1\n[]byte(" + strconv.Quote(string(b)) + ")\n"
+		got, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != want {
+			t.Errorf("seed corpus entry %s is stale", name)
+		}
+	}
+}

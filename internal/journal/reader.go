@@ -1,0 +1,165 @@
+package journal
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Reader iterates journal records in sequence order. It only surfaces
+// durable records: Next returns io.EOF once the next expected record is
+// beyond the journal's durable seq, so a reader racing live appends never
+// observes an unacknowledged (possibly torn) tail. After io.EOF the reader
+// stays usable — call Next again (typically after WaitFor) to continue.
+type Reader struct {
+	j    *Journal
+	next uint64 // seq the next call should return
+
+	segIdx int // index into segs of the open segment, -1 before first open
+	segs   []segment
+	f      *os.File
+	buf    []byte // read buffer holding undecoded bytes
+	off    int    // decode position within buf
+}
+
+// Range returns a reader positioned after seq `from`: the first Next returns
+// record from+1. Use from=0 to read the whole journal. Records appended
+// after the Range call are picked up as they become durable.
+func (j *Journal) Range(from uint64) *Reader {
+	j.mu.Lock()
+	segs := append([]segment(nil), j.segments...)
+	j.mu.Unlock()
+	return &Reader{j: j, next: from + 1, segIdx: -1, segs: segs}
+}
+
+// Next returns the next durable record, or io.EOF when the reader has caught
+// up with the journal's durable tail. Any other error is real corruption or
+// an I/O failure.
+func (r *Reader) Next() (Record, error) {
+	for {
+		if r.next > r.j.DurableSeq() {
+			return Record{}, io.EOF
+		}
+		if r.f == nil {
+			if err := r.openSegmentFor(r.next); err != nil {
+				return Record{}, err
+			}
+		}
+		rec, n, err := r.decodeOne()
+		if err == ErrShort {
+			// The durable seq says more records exist, so the rest of this
+			// segment's bytes must live in the next segment (rotation) or
+			// still be landing in the page cache; refill and retry.
+			if refillErr := r.refill(); refillErr != nil {
+				return Record{}, refillErr
+			}
+			continue
+		}
+		if err != nil {
+			return Record{}, fmt.Errorf("journal: read seq %d: %w", r.next, err)
+		}
+		r.off += n
+		if rec.Seq < r.next {
+			continue // positioning: skip records at or before `from`
+		}
+		if rec.Seq != r.next {
+			return Record{}, fmt.Errorf("%w: got seq %d, want %d", ErrCorrupt, rec.Seq, r.next)
+		}
+		r.next++
+		return rec, nil
+	}
+}
+
+// decodeOne decodes the record at the buffer position, refilling from the
+// file as needed. It returns ErrShort only when the file itself has no more
+// complete record.
+func (r *Reader) decodeOne() (Record, int, error) {
+	for {
+		rec, n, err := DecodeRecord(r.buf[r.off:])
+		if err != ErrShort {
+			return rec, n, err
+		}
+		got, readErr := r.fill()
+		if readErr != nil && readErr != io.EOF {
+			return Record{}, 0, readErr
+		}
+		if got == 0 {
+			return Record{}, 0, ErrShort
+		}
+	}
+}
+
+// fill reads more bytes from the open segment into the buffer.
+func (r *Reader) fill() (int, error) {
+	if r.off > 0 {
+		r.buf = append(r.buf[:0], r.buf[r.off:]...)
+		r.off = 0
+	}
+	const chunk = 256 << 10
+	start := len(r.buf)
+	r.buf = append(r.buf, make([]byte, chunk)...)
+	n, err := r.f.Read(r.buf[start:])
+	r.buf = r.buf[:start+n]
+	return n, err
+}
+
+// refill advances to the next segment when the current one is exhausted, or
+// waits for the current segment to grow (the bytes are durable, so they are
+// visible after at most one re-read).
+func (r *Reader) refill() error {
+	// A newer segment may exist that this reader has not seen yet.
+	r.j.mu.Lock()
+	if len(r.j.segments) > len(r.segs) {
+		r.segs = append([]segment(nil), r.j.segments...)
+	}
+	r.j.mu.Unlock()
+	if r.segIdx+1 < len(r.segs) && r.next >= r.segs[r.segIdx+1].firstSeq {
+		return r.openSegmentFor(r.next)
+	}
+	// Same segment: the durable bytes just have not been read yet.
+	if got, err := r.fill(); err != nil && err != io.EOF {
+		return err
+	} else if got == 0 {
+		return fmt.Errorf("%w: seq %d is durable but missing from %s", ErrCorrupt, r.next, r.segs[r.segIdx].path)
+	}
+	return nil
+}
+
+// openSegmentFor opens the segment holding seq and positions the buffer at
+// its first record.
+func (r *Reader) openSegmentFor(seq uint64) error {
+	idx := 0
+	for i := range r.segs {
+		if r.segs[i].firstSeq <= seq {
+			idx = i
+		}
+	}
+	if r.f != nil {
+		r.f.Close()
+		r.f = nil
+	}
+	f, err := os.Open(r.segs[idx].path)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	magic := make([]byte, len(segmentMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != segmentMagic {
+		f.Close()
+		return fmt.Errorf("%w: %s: bad segment magic", ErrCorrupt, r.segs[idx].path)
+	}
+	r.f = f
+	r.segIdx = idx
+	r.buf = r.buf[:0]
+	r.off = 0
+	return nil
+}
+
+// Close releases the reader's file handle. The journal itself is unaffected.
+func (r *Reader) Close() error {
+	if r.f != nil {
+		err := r.f.Close()
+		r.f = nil
+		return err
+	}
+	return nil
+}

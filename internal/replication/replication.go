@@ -1,0 +1,250 @@
+// Package replication implements the primary/replica serving roles on top of
+// the TCJRNL delta journal (internal/journal).
+//
+// A Primary fronts a set of federation networks with a write-ahead path:
+// every delta is validated, appended to the journal (one group-committed
+// fsync covers a whole batch of concurrent updates), and applied to the
+// serving state purely in memory (engine.ApplyDeltaInMemory). The staged
+// shard commit that used to run synchronously inside every update becomes a
+// background Checkpoint that folds the accumulated dirty shards into the
+// on-disk index in one commit, stamping the journal position into both the
+// index manifest (tctree.Manifest.JournalSeq) and the network file
+// (dbnet.WriteFileAtomicStamped). Crash recovery compares the two stamps per
+// member and replays the journal tail through the same apply path, so a
+// restart converges on exactly the pre-crash state:
+//
+//	network stamp == manifest stamp: the common case — both files describe
+//	  the same checkpoint; replay the journal records after it.
+//	network stamp >  manifest stamp: the crash hit between the network
+//	  write-back (the pre-commit hook) and the manifest commit. The network
+//	  file is authoritative — it is the only rebuild source — so the index
+//	  is resynced from it in memory, checkpointed, and replay continues
+//	  from the network stamp.
+//	network stamp <  manifest stamp: impossible under the checkpoint
+//	  ordering (the network file is always written first); it means the
+//	  rebuild source was lost or replaced, and recovery refuses.
+//
+// A Replica holds the same members, bootstrapped from a snapshot of the
+// primary's index and network files, and replays journal records tailed from
+// the primary through the identical path, tracking how far behind the
+// primary's durable head it is. Replicas reuse Checkpoint to persist their
+// progress locally, so a restarted replica resumes tailing from its own
+// stamps instead of re-fetching the whole journal.
+//
+// Journal replay is NOT idempotent (re-applying an AddVertices or
+// AddTransactions record duplicates state), so ordering discipline is strict:
+// per member, the journal append order equals the in-memory apply order
+// (both happen under the member's update lock), and a checkpoint stamps
+// exactly the highest sequence number whose delta is included in the state
+// being persisted.
+package replication
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sync"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/delta"
+	"themecomm/internal/federation"
+	"themecomm/internal/journal"
+)
+
+// member is one replicated tenant: a federation network plus its replication
+// watermarks.
+type member struct {
+	name string
+	net  *federation.Network
+	path string // network file written back by checkpoints; "" = never persisted
+
+	// mu serializes this member's journal appends, in-memory applies and
+	// checkpoints, keeping journal order equal to apply order. It plays the
+	// role federation.Network.updMu plays on the classic synchronous path: a
+	// journaled tenant must be updated only through its Primary.
+	mu      sync.Mutex
+	applied uint64 // highest journal seq applied to the in-memory state
+	flushed uint64 // highest journal seq persisted by a checkpoint
+	broken  error  // sticky: the in-memory state diverged from the journal
+}
+
+func newMember(n *federation.Network) (*member, error) {
+	if n.DatabaseNetwork() == nil {
+		return nil, fmt.Errorf("replication: network %q has no database network attached", n.Name())
+	}
+	return &member{name: n.Name(), net: n, path: n.NetworkPath()}, nil
+}
+
+// stamps returns (W, M): the journal seq stamped into the network file and
+// into the index manifest. A missing or unstamped network file reads as
+// W = 0; an eager engine reads as M = 0.
+func (m *member) stamps() (uint64, uint64, error) {
+	mStamp := m.net.Engine().IndexJournalSeq()
+	var w uint64
+	if m.path != "" {
+		seq, err := dbnet.ReadJournalSeq(m.path)
+		if err != nil && !os.IsNotExist(err) {
+			return 0, 0, fmt.Errorf("replication: network %q: %w", m.name, err)
+		}
+		w = seq
+	}
+	return w, mStamp, nil
+}
+
+// recoverFloor establishes the member's replay floor from its on-disk stamps
+// and fixes up the crash window (see the package comment). It returns the
+// floor and whether the member's index had to be resynced from the network
+// file.
+func (m *member) recoverFloor() (floor uint64, resynced bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, mStamp, err := m.stamps()
+	if err != nil {
+		return 0, false, err
+	}
+	eng := m.net.Engine()
+	switch {
+	case w == mStamp:
+		m.applied = mStamp
+	case w > mStamp && !eng.Lazy():
+		// An eager engine is built fresh from the network file, so the
+		// in-memory state already includes everything up to W; there is no
+		// on-disk index to lag behind it.
+		m.applied = w
+	case w > mStamp:
+		// Crash window: the network file is ahead of the index manifest.
+		// Rebuild the index content from the network file and persist it, so
+		// the stamps agree again before replay continues.
+		if err := eng.ResyncInMemory(m.net.DatabaseNetwork()); err != nil {
+			return 0, false, fmt.Errorf("replication: network %q: resync: %w", m.name, err)
+		}
+		m.applied = w
+		if err := m.checkpointLocked(); err != nil {
+			return 0, true, err
+		}
+		resynced = true
+	default: // w < mStamp
+		return 0, false, fmt.Errorf("replication: network %q: network file stamp %d is behind index manifest %d; the network file is the rebuild source and must never lag the index — restore it from a backup or rebuild the index", m.name, w, mStamp)
+	}
+	m.flushed = m.applied
+	return m.applied, resynced, nil
+}
+
+// replay decodes and applies one journal record to the member. Records at or
+// below the member's applied seq are already part of the state and are
+// skipped. Replay is fail-stop: a record that cannot be decoded or applied
+// breaks the member, because skipping it would silently diverge from the
+// journal every other role replays.
+func (m *member) replay(rec *journal.Record) (applied bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.broken != nil {
+		return false, m.broken
+	}
+	if rec.Seq <= m.applied {
+		return false, nil
+	}
+	d, err := delta.Read(bytes.NewReader(rec.Payload), nil)
+	if err != nil {
+		m.broken = fmt.Errorf("replication: network %q: decode journal seq %d: %w", m.name, rec.Seq, err)
+		return false, m.broken
+	}
+	if _, err := m.net.Engine().ApplyDeltaInMemory(m.net.DatabaseNetwork(), d); err != nil {
+		m.broken = fmt.Errorf("replication: network %q: replay journal seq %d: %w", m.name, rec.Seq, err)
+		return false, m.broken
+	}
+	m.applied = rec.Seq
+	return true, nil
+}
+
+// checkpoint persists the member's in-memory progress: the dirty shards are
+// folded into the on-disk index and the network file is rewritten, both
+// stamped with the highest applied seq. No-op when nothing advanced since the
+// last checkpoint.
+func (m *member) checkpoint() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.checkpointLocked()
+}
+
+func (m *member) checkpointLocked() error {
+	if m.broken != nil {
+		return m.broken
+	}
+	seq := m.applied
+	eng := m.net.Engine()
+	if !eng.Lazy() {
+		// Eager member: there is no on-disk index; the stamped network file
+		// alone carries the state (a restart rebuilds the tree from it).
+		if m.path == "" || seq == m.flushed {
+			return nil
+		}
+		if err := dbnet.WriteFileAtomicStamped(m.path, m.net.DatabaseNetwork(), m.net.Dictionary(), seq); err != nil {
+			return fmt.Errorf("replication: network %q: %w", m.name, err)
+		}
+		m.flushed = seq
+		return nil
+	}
+	var pre func() error
+	if m.path != "" {
+		pre = func() error {
+			return dbnet.WriteFileAtomicStamped(m.path, m.net.DatabaseNetwork(), m.net.Dictionary(), seq)
+		}
+	}
+	if _, err := eng.Checkpoint(seq, pre); err != nil {
+		return fmt.Errorf("replication: network %q: checkpoint: %w", m.name, err)
+	}
+	m.flushed = seq
+	return nil
+}
+
+// status snapshots the member's watermarks.
+func (m *member) status() NetworkStatus {
+	m.mu.Lock()
+	st := NetworkStatus{AppliedSeq: m.applied, FlushedSeq: m.flushed}
+	if m.broken != nil {
+		st.Broken = m.broken.Error()
+	}
+	m.mu.Unlock()
+	st.DirtyShards = m.net.Engine().DirtyShards()
+	return st
+}
+
+// NetworkStatus is one member's replication watermarks, as reported by
+// Status on both roles.
+type NetworkStatus struct {
+	// AppliedSeq is the highest journal sequence number applied to the
+	// member's in-memory serving state.
+	AppliedSeq uint64 `json:"appliedSeq"`
+	// FlushedSeq is the highest journal sequence number made durable by a
+	// checkpoint (index manifest + stamped network file).
+	FlushedSeq uint64 `json:"flushedSeq"`
+	// DirtyShards counts in-memory shards awaiting the next checkpoint.
+	DirtyShards int `json:"dirtyShards"`
+	// Broken carries the member's sticky failure, if any: the member's state
+	// diverged from the journal and it no longer accepts updates.
+	Broken string `json:"broken,omitempty"`
+}
+
+// Status is a point-in-time view of a replication role, shaped for /healthz
+// and the federation stats endpoint.
+type Status struct {
+	// Role is "primary" or "replica".
+	Role string `json:"role"`
+	// JournalSeq is the durable journal head on a primary, and the highest
+	// processed sequence number on a replica.
+	JournalSeq uint64 `json:"journalSeq"`
+	// HeadSeq is the primary's durable head as last observed by a replica;
+	// 0 on a primary (its own head is JournalSeq).
+	HeadSeq uint64 `json:"headSeq,omitempty"`
+	// LagRecords is how many journal records the replica still has to apply
+	// to reach HeadSeq; always 0 on a primary.
+	LagRecords uint64 `json:"lagRecords"`
+	// LagSeconds is the age of the replication lag: how long ago the primary
+	// appended the newest record this replica has applied, 0 when caught up.
+	LagSeconds float64 `json:"lagSeconds"`
+	// Journal carries the journal activity counters; primary only.
+	Journal *journal.Stats `json:"journal,omitempty"`
+	// Networks maps member names to their watermarks.
+	Networks map[string]NetworkStatus `json:"networks"`
+}

@@ -1,0 +1,615 @@
+package replication
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"themecomm/internal/dbnet"
+	"themecomm/internal/delta"
+	"themecomm/internal/engine"
+	"themecomm/internal/federation"
+	"themecomm/internal/graph"
+	"themecomm/internal/itemset"
+	"themecomm/internal/journal"
+	"themecomm/internal/tctree"
+)
+
+const testItems = 5
+
+func randomNetwork(rng *rand.Rand, n, m, items, maxTx int) *dbnet.Network {
+	nw := dbnet.New(n)
+	for i := 0; i < m; i++ {
+		a, b := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		if a != b {
+			nw.MustAddEdge(a, b)
+		}
+	}
+	for v := 0; v < n; v++ {
+		ntx := 1 + rng.Intn(maxTx)
+		for i := 0; i < ntx; i++ {
+			l := 1 + rng.Intn(3)
+			tx := make([]itemset.Item, l)
+			for j := range tx {
+				tx[j] = itemset.Item(rng.Intn(items))
+			}
+			if err := nw.AddTransaction(graph.VertexID(v), itemset.New(tx...)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return nw
+}
+
+// randomDeltaFor builds a random valid delta against nw, covering additions
+// and removals (edges, transactions, tombstoned vertices).
+func randomDeltaFor(rng *rand.Rand, nw *dbnet.Network, items int) *delta.Delta {
+	d := &delta.Delta{}
+	n := nw.NumVertices()
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		a, b := graph.VertexID(rng.Intn(n)), graph.VertexID(rng.Intn(n))
+		if a != b {
+			d.AddEdges = append(d.AddEdges, graph.EdgeOf(a, b))
+		}
+	}
+	if edges := nw.Graph().Edges(); len(edges) > 0 {
+		d.RemoveEdges = append(d.RemoveEdges, edges[rng.Intn(len(edges))])
+	}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		d.AddTransactions = append(d.AddTransactions, delta.VertexTransaction{
+			Vertex: graph.VertexID(rng.Intn(n)),
+			Tx:     itemset.New(itemset.Item(rng.Intn(items)), itemset.Item(rng.Intn(items))),
+		})
+	}
+	if rng.Intn(2) == 0 {
+		v := graph.VertexID(rng.Intn(n))
+		if txs := nw.Database(v).Transactions(); len(txs) > 0 {
+			d.RemoveTransactions = append(d.RemoveTransactions, delta.VertexTransaction{
+				Vertex: v, Tx: txs[rng.Intn(len(txs))].Clone(),
+			})
+		}
+	}
+	if rng.Intn(4) == 0 {
+		d.RemoveVertices = append(d.RemoveVertices, graph.VertexID(rng.Intn(n)))
+	}
+	return d
+}
+
+type query struct {
+	pattern itemset.Itemset
+	alpha   float64
+}
+
+func testQueries() []query {
+	return []query{
+		{nil, 0},
+		{nil, 0.15},
+		{itemset.New(0), 0},
+		{itemset.New(1, 2), 0.1},
+		{itemset.New(0, 1, 2, 3, 4), 0},
+		{itemset.New(3), 0.3},
+	}
+}
+
+// assertEngineParity checks that two engines answer the test query mix with
+// byte-identical trusses.
+func assertEngineParity(t *testing.T, label string, got, want *engine.Engine) {
+	t.Helper()
+	for _, q := range testQueries() {
+		g, err := got.Query(q.pattern, q.alpha)
+		if err != nil {
+			t.Fatalf("%s: query %v@%v: %v", label, q.pattern, q.alpha, err)
+		}
+		w, err := want.Query(q.pattern, q.alpha)
+		if err != nil {
+			t.Fatalf("%s: reference query %v@%v: %v", label, q.pattern, q.alpha, err)
+		}
+		if len(g.Trusses) != len(w.Trusses) {
+			t.Fatalf("%s: query %v@%v: %d trusses, want %d", label, q.pattern, q.alpha, len(g.Trusses), len(w.Trusses))
+		}
+		for i := range w.Trusses {
+			gt, wt := g.Trusses[i], w.Trusses[i]
+			if !gt.Pattern.Equal(wt.Pattern) {
+				t.Fatalf("%s: truss %d pattern %v, want %v", label, i, gt.Pattern, wt.Pattern)
+			}
+			if gt.Edges.Len() != wt.Edges.Len() {
+				t.Fatalf("%s: truss %v: %d edges, want %d", label, gt.Pattern, gt.Edges.Len(), wt.Edges.Len())
+			}
+			for _, e := range wt.Edges {
+				if !gt.Edges.Contains(e) {
+					t.Fatalf("%s: truss %v misses edge %v", label, gt.Pattern, e)
+				}
+			}
+		}
+	}
+}
+
+// freshEngine builds the reference: an eager engine over a from-scratch tree.
+func freshEngine(t *testing.T, nw *dbnet.Network) *engine.Engine {
+	t.Helper()
+	eng, err := engine.New(tctree.Build(nw, tctree.BuildOptions{}), engine.Options{})
+	if err != nil {
+		t.Fatalf("fresh engine: %v", err)
+	}
+	return eng
+}
+
+// seedState writes one tenant's initial on-disk state under dir: the network
+// file and the sharded index it was built into.
+func seedState(t *testing.T, dir string, nw *dbnet.Network) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Join(dir, "index"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	tree := tctree.Build(nw, tctree.BuildOptions{})
+	if tree.NumNodes() == 0 {
+		t.Skip("empty tree for this seed")
+	}
+	if _, err := tree.WriteSharded(filepath.Join(dir, "index")); err != nil {
+		t.Fatalf("WriteSharded: %v", err)
+	}
+	if err := dbnet.WriteFileAtomic(filepath.Join(dir, "network.dbnet"), nw, nil); err != nil {
+		t.Fatalf("write network: %v", err)
+	}
+}
+
+// openPrimary loads every named tenant from dir/<name>/{network.dbnet,index}
+// and wires a Primary (background loop disabled) over dir/journal. The
+// journal is closed via t.Cleanup.
+func openPrimary(t *testing.T, dir string, names ...string) (*Primary, *federation.Federation) {
+	t.Helper()
+	fed := federation.New(federation.Options{CacheSize: 64})
+	j, err := journal.Open(filepath.Join(dir, "journal"), journal.Options{})
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	t.Cleanup(func() { j.Close() })
+	p := NewPrimary(j, PrimaryOptions{CheckpointInterval: -1})
+	for _, name := range names {
+		sub := filepath.Join(dir, name)
+		nw, dict, err := dbnet.ReadFile(filepath.Join(sub, "network.dbnet"))
+		if err != nil {
+			t.Fatalf("read network %s: %v", name, err)
+		}
+		idx, err := tctree.OpenSharded(filepath.Join(sub, "index"))
+		if err != nil {
+			t.Fatalf("open index %s: %v", name, err)
+		}
+		if err := fed.AttachIndex(name, idx, federation.NetworkOptions{
+			Network:     nw,
+			Dictionary:  dict,
+			NetworkPath: filepath.Join(sub, "network.dbnet"),
+		}); err != nil {
+			t.Fatalf("attach %s: %v", name, err)
+		}
+		n, _ := fed.Network(name)
+		if err := p.Add(n); err != nil {
+			t.Fatalf("add %s: %v", name, err)
+		}
+	}
+	return p, fed
+}
+
+// TestPrimaryApplyRecoverParity is the crash-injection test for the journaled
+// fast path: updates applied after the last checkpoint live only in the
+// journal; a restart must replay them and answer every query exactly like a
+// process that never crashed.
+func TestPrimaryApplyRecoverParity(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) { testApplyRecoverParity(t, seed) })
+	}
+}
+
+func testApplyRecoverParity(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	nw := randomNetwork(rng, 14, 34, testItems, 3)
+	twin := randomNetwork(rand.New(rand.NewSource(seed)), 14, 34, testItems, 3)
+	dir := t.TempDir()
+	seedState(t, filepath.Join(dir, "a"), nw)
+
+	p, fed := openPrimary(t, dir, "a")
+	if _, err := p.Recover(); err != nil {
+		t.Fatalf("seed %d: recover: %v", seed, err)
+	}
+	live, _ := fed.Network("a")
+
+	var applied []*delta.Delta
+	apply := func(k int) {
+		for i := 0; i < k; i++ {
+			d := randomDeltaFor(rng, live.DatabaseNetwork(), testItems)
+			res, err := p.Apply("a", d)
+			if err != nil {
+				t.Fatalf("seed %d: apply: %v", seed, err)
+			}
+			if want := uint64(len(applied) + 1); res.Seq != want {
+				t.Fatalf("seed %d: seq %d, want %d", seed, res.Seq, want)
+			}
+			applied = append(applied, d)
+		}
+	}
+	apply(3)
+	if err := p.Checkpoint(); err != nil {
+		t.Fatalf("seed %d: checkpoint: %v", seed, err)
+	}
+	apply(2) // these two live only in the journal
+
+	// Crash: drop the whole process state. The journal was already
+	// fsynced by each Apply; nothing else was persisted.
+	st := p.Status()
+	if st.Role != "primary" || st.JournalSeq != 5 {
+		t.Fatalf("seed %d: status %+v", seed, st)
+	}
+
+	p2, fed2 := openPrimary(t, dir, "a")
+	stats, err := p2.Recover()
+	if err != nil {
+		t.Fatalf("seed %d: recover after crash: %v", seed, err)
+	}
+	if stats.Replayed != 2 || stats.Head != 5 {
+		t.Fatalf("seed %d: recover stats %+v, want 2 replayed of head 5", seed, stats)
+	}
+
+	for _, d := range applied {
+		if err := delta.Apply(twin, d); err != nil {
+			t.Fatalf("seed %d: twin apply: %v", seed, err)
+		}
+	}
+	live2, _ := fed2.Network("a")
+	assertEngineParity(t, "post-recovery", live2.Engine(), freshEngine(t, twin))
+
+	// The recovered primary keeps going: one more update, then a clean
+	// shutdown checkpoint, then a cold reopen with nothing to replay.
+	d := randomDeltaFor(rng, live2.DatabaseNetwork(), testItems)
+	res, err := p2.Apply("a", d)
+	if err != nil || res.Seq != 6 {
+		t.Fatalf("seed %d: post-recovery apply: seq %v err %v", seed, res, err)
+	}
+	if err := delta.Apply(twin, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Stop(); err != nil {
+		t.Fatalf("seed %d: stop: %v", seed, err)
+	}
+	if got := live2.Engine().IndexJournalSeq(); got != 6 {
+		t.Fatalf("seed %d: manifest seq %d after Stop, want 6", seed, got)
+	}
+
+	p3, fed3 := openPrimary(t, dir, "a")
+	stats, err = p3.Recover()
+	if err != nil {
+		t.Fatalf("seed %d: cold recover: %v", seed, err)
+	}
+	if stats.Replayed != 0 {
+		t.Fatalf("seed %d: clean shutdown still replayed %d records", seed, stats.Replayed)
+	}
+	live3, _ := fed3.Network("a")
+	assertEngineParity(t, "cold-reopen", live3.Engine(), freshEngine(t, twin))
+}
+
+// TestRecoverCrashWindowResync pins the W > M window: the crash hit after the
+// network file write-back but before the manifest commit. Recovery must
+// rebuild the index from the network file and carry on.
+func TestRecoverCrashWindowResync(t *testing.T) {
+	seed := int64(2)
+	rng := rand.New(rand.NewSource(seed))
+	nw := randomNetwork(rng, 14, 34, testItems, 3)
+	twin := randomNetwork(rand.New(rand.NewSource(seed)), 14, 34, testItems, 3)
+	dir := t.TempDir()
+	seedState(t, filepath.Join(dir, "a"), nw)
+
+	p, fed := openPrimary(t, dir, "a")
+	if _, err := p.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	live, _ := fed.Network("a")
+	var applied []*delta.Delta
+	for i := 0; i < 2; i++ {
+		d := randomDeltaFor(rng, live.DatabaseNetwork(), testItems)
+		if _, err := p.Apply("a", d); err != nil {
+			t.Fatal(err)
+		}
+		applied = append(applied, d)
+	}
+	// Simulate the torn checkpoint: the pre-commit hook's stamped network
+	// write landed (W=2), the manifest commit did not (M=0).
+	netPath := filepath.Join(dir, "a", "network.dbnet")
+	if err := dbnet.WriteFileAtomicStamped(netPath, live.DatabaseNetwork(), live.Dictionary(), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, fed2 := openPrimary(t, dir, "a")
+	stats, err := p2.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if len(stats.Resynced) != 1 || stats.Resynced[0] != "a" {
+		t.Fatalf("resynced %v, want [a]", stats.Resynced)
+	}
+	if stats.Replayed != 0 {
+		t.Fatalf("replayed %d records that the network file already includes", stats.Replayed)
+	}
+	live2, _ := fed2.Network("a")
+	if got := live2.Engine().IndexJournalSeq(); got != 2 {
+		t.Fatalf("manifest seq %d after resync, want 2", got)
+	}
+	for _, d := range applied {
+		if err := delta.Apply(twin, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertEngineParity(t, "resync", live2.Engine(), freshEngine(t, twin))
+
+	// And the repaired primary keeps accepting updates at the right seq.
+	d := randomDeltaFor(rng, live2.DatabaseNetwork(), testItems)
+	res, err := p2.Apply("a", d)
+	if err != nil || res.Seq != 3 {
+		t.Fatalf("apply after resync: %v %v", res, err)
+	}
+	if err := delta.Apply(twin, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	p3, fed3 := openPrimary(t, dir, "a")
+	if _, err := p3.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	live3, _ := fed3.Network("a")
+	assertEngineParity(t, "resync-cold", live3.Engine(), freshEngine(t, twin))
+}
+
+// TestRecoverRefusesLostNetworkFile pins the W < M guard: an index manifest
+// ahead of the network file means the rebuild source was lost or replaced,
+// which recovery must refuse instead of silently diverging.
+func TestRecoverRefusesLostNetworkFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nw := randomNetwork(rng, 14, 34, testItems, 3)
+	dir := t.TempDir()
+	seedState(t, filepath.Join(dir, "a"), nw)
+
+	p, fed := openPrimary(t, dir, "a")
+	if _, err := p.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	live, _ := fed.Network("a")
+	if _, err := p.Apply("a", randomDeltaFor(rng, live.DatabaseNetwork(), testItems)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// "Lose" the stamp: rewrite the network file without one, as if an old
+	// backup were restored over it.
+	if err := dbnet.WriteFileAtomic(filepath.Join(dir, "a", "network.dbnet"), live.DatabaseNetwork(), nil); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := openPrimary(t, dir, "a")
+	if _, err := p2.Recover(); err == nil {
+		t.Fatal("recovery accepted a network file behind the index manifest")
+	}
+}
+
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copy %s -> %s: %v", src, dst, err)
+	}
+}
+
+// openReplica loads every named tenant from dir/<name> into its own
+// federation and registers them with a fresh Replica.
+func openReplica(t *testing.T, dir string, names ...string) (*Replica, *federation.Federation) {
+	t.Helper()
+	fed := federation.New(federation.Options{CacheSize: 64})
+	rep := NewReplica()
+	for _, name := range names {
+		sub := filepath.Join(dir, name)
+		nw, dict, err := dbnet.ReadFile(filepath.Join(sub, "network.dbnet"))
+		if err != nil {
+			t.Fatalf("read network %s: %v", name, err)
+		}
+		idx, err := tctree.OpenSharded(filepath.Join(sub, "index"))
+		if err != nil {
+			t.Fatalf("open index %s: %v", name, err)
+		}
+		if err := fed.AttachIndex(name, idx, federation.NetworkOptions{
+			Network:     nw,
+			Dictionary:  dict,
+			NetworkPath: filepath.Join(sub, "network.dbnet"),
+		}); err != nil {
+			t.Fatalf("attach %s: %v", name, err)
+		}
+		n, _ := fed.Network(name)
+		if err := rep.Add(n); err != nil {
+			t.Fatalf("replica add %s: %v", name, err)
+		}
+	}
+	return rep, fed
+}
+
+// tailInto drains the primary's journal into the replica, the in-process
+// equivalent of the HTTP tailer.
+func tailInto(t *testing.T, p *Primary, rep *Replica) {
+	t.Helper()
+	rd := p.Journal().Range(rep.From())
+	defer rd.Close()
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("tail: %v", err)
+		}
+		if err := rep.ApplyRecord(&rec); err != nil {
+			t.Fatalf("replay seq %d: %v", rec.Seq, err)
+		}
+	}
+	rep.ObserveHead(p.Journal().DurableSeq())
+}
+
+// TestReplicaFollowsPrimary is the end-to-end in-process replication test:
+// bootstrap a replica from a checkpoint snapshot, tail the journal, and
+// converge on byte-identical answers — then restart the replica from its own
+// local checkpoint and converge again.
+func TestReplicaFollowsPrimary(t *testing.T) {
+	dir := t.TempDir()
+	networks := map[string]*dbnet.Network{}
+	for i, name := range []string{"a", "b"} {
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		networks[name] = randomNetwork(rng, 14, 34, testItems, 3)
+		seedState(t, filepath.Join(dir, name), networks[name])
+	}
+	rng := rand.New(rand.NewSource(9))
+
+	p, fed := openPrimary(t, dir, "a", "b")
+	if _, err := p.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	applyBurst := func(k int) {
+		for i := 0; i < k; i++ {
+			for _, name := range []string{"a", "b"} {
+				live, _ := fed.Network(name)
+				if _, err := p.Apply(name, randomDeltaFor(rng, live.DatabaseNetwork(), testItems)); err != nil {
+					t.Fatalf("apply %s: %v", name, err)
+				}
+			}
+		}
+	}
+	applyBurst(2)
+	if err := p.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bootstrap the replica from the checkpointed snapshot (index + stamped
+	// network file), like scp'ing the data directory.
+	rdir := t.TempDir()
+	for _, name := range []string{"a", "b"} {
+		copyTree(t, filepath.Join(dir, name), filepath.Join(rdir, name))
+	}
+
+	// The primary moves on; these records exist only in its journal.
+	applyBurst(2)
+
+	rep, rfed := openReplica(t, rdir, "a", "b")
+	// The snapshot floors differ per member ("a" checkpointed at seq 3, "b"
+	// at 4); tailing starts at the slowest and the faster member skips.
+	if from := rep.From(); from != 3 {
+		t.Fatalf("From() = %d, want 3", from)
+	}
+	tailInto(t, p, rep)
+
+	st := rep.Status()
+	if st.Role != "replica" || st.LagRecords != 0 || st.LagSeconds != 0 {
+		t.Fatalf("replica status %+v, want caught up", st)
+	}
+	if st.JournalSeq != p.Journal().DurableSeq() {
+		t.Fatalf("replica at %d, primary head %d", st.JournalSeq, p.Journal().DurableSeq())
+	}
+	for _, name := range []string{"a", "b"} {
+		pn, _ := fed.Network(name)
+		rn, _ := rfed.Network(name)
+		assertEngineParity(t, "replica:"+name, rn.Engine(), pn.Engine())
+	}
+
+	// A record for a network this replica does not serve is skipped, not
+	// fatal — and the cursor still advances past it.
+	var buf bytes.Buffer
+	if err := delta.Write(&buf, &delta.Delta{AddVertices: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Journal().Append("ghost", 1, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	tailInto(t, p, rep)
+	if rep.SkippedUnknown() != 1 {
+		t.Fatalf("SkippedUnknown = %d, want 1", rep.SkippedUnknown())
+	}
+	if rep.From() != p.Journal().DurableSeq() {
+		t.Fatalf("cursor %d did not advance past the foreign record (head %d)", rep.From(), p.Journal().DurableSeq())
+	}
+
+	// Replica checkpoints locally; a restarted replica resumes from its own
+	// stamps (nothing to re-tail) and still matches the primary.
+	if err := rep.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	rep2, rfed2 := openReplica(t, rdir, "a", "b")
+	if from := rep2.From(); from != 7 {
+		t.Fatalf("restarted From() = %d, want 7 (the slower member's checkpoint)", from)
+	}
+	tailInto(t, p, rep2)
+	for _, name := range []string{"a", "b"} {
+		pn, _ := fed.Network(name)
+		rn, _ := rfed2.Network(name)
+		assertEngineParity(t, "replica-restart:"+name, rn.Engine(), pn.Engine())
+	}
+
+	// Lag accounting: new primary records the replica has not applied yet.
+	applyBurst(1)
+	rep2.ObserveHead(p.Journal().DurableSeq())
+	if st := rep2.Status(); st.LagRecords != 2 {
+		t.Fatalf("LagRecords = %d, want 2", st.LagRecords)
+	}
+	tailInto(t, p, rep2)
+	if st := rep2.Status(); st.LagRecords != 0 {
+		t.Fatalf("LagRecords = %d after catch-up, want 0", st.LagRecords)
+	}
+}
+
+// TestPrimaryApplyGuards covers the refusal paths: unknown networks, invalid
+// deltas (which must never reach the journal), and applying before recovery.
+func TestPrimaryApplyGuards(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nw := randomNetwork(rng, 14, 34, testItems, 3)
+	dir := t.TempDir()
+	seedState(t, filepath.Join(dir, "a"), nw)
+
+	p, fed := openPrimary(t, dir, "a")
+	live, _ := fed.Network("a")
+	if _, err := p.Apply("a", &delta.Delta{AddVertices: 1}); err == nil {
+		t.Fatal("apply before Recover succeeded")
+	}
+	if _, err := p.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply("nope", &delta.Delta{AddVertices: 1}); err == nil {
+		t.Fatal("apply to unknown network succeeded")
+	}
+	bad := &delta.Delta{RemoveVertices: []graph.VertexID{9999}}
+	if _, err := p.Apply("a", bad); err == nil {
+		t.Fatal("invalid delta accepted")
+	}
+	if head := p.Journal().DurableSeq(); head != 0 {
+		t.Fatalf("invalid delta reached the journal (head %d)", head)
+	}
+	if _, err := p.Apply("a", randomDeltaFor(rng, live.DatabaseNetwork(), testItems)); err != nil {
+		t.Fatalf("valid delta refused: %v", err)
+	}
+	if _, err := p.Recover(); err == nil {
+		t.Fatal("second Recover succeeded")
+	}
+}

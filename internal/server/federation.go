@@ -8,6 +8,7 @@ import (
 
 	"themecomm/internal/federation"
 	"themecomm/internal/itemset"
+	"themecomm/internal/replication"
 )
 
 // This file holds the multi-network routes a federated server adds alongside
@@ -47,16 +48,16 @@ func (s *Server) registerFederationRoutes() {
 func (s *Server) forNetwork(h func(*tenant, http.ResponseWriter, *http.Request)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if s.fed == nil {
-			writeError(w, http.StatusNotFound, "this server does not serve a federation of networks")
+			writeError(w, r, http.StatusNotFound, "this server does not serve a federation of networks")
 			return
 		}
 		name := r.PathValue("network")
 		n, ok := s.fed.Network(name)
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown network %q", name))
+			writeError(w, r, http.StatusNotFound, fmt.Sprintf("unknown network %q", name))
 			return
 		}
-		h(tenantOf(n), w, r)
+		h(s.tenantOf(n), w, r)
 	}
 }
 
@@ -83,11 +84,11 @@ type NetworksResponse struct {
 
 func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, r, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	if s.fed == nil {
-		writeError(w, http.StatusNotFound, "this server does not serve a federation of networks")
+		writeError(w, r, http.StatusNotFound, "this server does not serve a federation of networks")
 		return
 	}
 	resp := NetworksResponse{Networks: []NetworkSummary{}}
@@ -113,16 +114,29 @@ func (s *Server) handleNetworks(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// FederationStatsResponse is the payload of GET /api/v1/federationstats: the
+// federation's shared-resource counters, plus the replication role state when
+// the server is a primary or replica.
+type FederationStatsResponse struct {
+	federation.Stats
+	Replication *replication.Status `json:"replication,omitempty"`
+}
+
 func (s *Server) handleFederationStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, r, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	if s.fed == nil {
-		writeError(w, http.StatusNotFound, "this server does not serve a federation of networks")
+		writeError(w, r, http.StatusNotFound, "this server does not serve a federation of networks")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.fed.Stats())
+	resp := FederationStatsResponse{Stats: s.fed.Stats()}
+	if s.replStatus != nil {
+		st := s.replStatus()
+		resp.Replication = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // NetworkQueryResponse is one network's answer within GET /api/v1/queryall.
@@ -193,40 +207,25 @@ func patternFields(raw string) []string {
 
 func (s *Server) handleQueryAll(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, r, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	if s.fed == nil {
-		writeError(w, http.StatusNotFound, "this server does not serve a federation of networks")
+		writeError(w, r, http.StatusNotFound, "this server does not serve a federation of networks")
 		return
-	}
-	alpha, ok := parseAlpha(w, r)
-	if !ok {
-		return
-	}
-	fields := patternFields(r.URL.Query().Get("pattern"))
-	resolve := resolverFor(fields)
-	k := 0
-	if v := r.URL.Query().Get("k"); v != "" {
-		parsed, err := strconv.Atoi(v)
-		if err != nil || parsed < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid k %q", v))
-			return
-		}
-		k = parsed
 	}
 	// Cursors never apply to queryall — members move epochs independently,
-	// so no single epoch could validate a resume. Reject even without
-	// stream=1 rather than silently ignoring the parameter.
-	if r.URL.Query().Get("cursor") != "" {
-		writeError(w, http.StatusBadRequest, "cursor pagination is not supported on queryall; use limit with fresh requests")
+	// so no single epoch could validate a resume; the request layer rejects
+	// them even without stream=1 rather than silently ignoring the parameter.
+	req, rerr := parseQueryRequest(nil, r, capTopK|capStream)
+	if rerr != nil {
+		rerr.write(w, r)
 		return
 	}
-	if stream, okStream := wantsStream(r); !okStream {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid stream %q (use 1 or true)", r.URL.Query().Get("stream")))
-		return
-	} else if stream {
-		s.serveQueryAllStream(w, r, resolve, fields, alpha, k)
+	alpha, k, fields := req.Alpha, req.K, req.Fields
+	resolve := resolverFor(fields)
+	if req.Stream {
+		s.serveQueryAllStream(w, r, resolve, fields, alpha, k, req.Limit)
 		return
 	}
 	resp := QueryAllResponse{Alpha: alpha, Pattern: fields, TopK: k}
@@ -242,7 +241,7 @@ func (s *Server) handleQueryAll(w http.ResponseWriter, r *http.Request) {
 		if !ok {
 			return nil // detached mid-flight; its communities are gone anyway
 		}
-		t := tenantOf(n)
+		t := s.tenantOf(n)
 		tenants[name] = t
 		return t
 	}
@@ -250,7 +249,7 @@ func (s *Server) handleQueryAll(w http.ResponseWriter, r *http.Request) {
 	if k > 0 {
 		merged, err := s.fed.TopKAllFuncContext(r.Context(), resolve, alpha, k)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
+			writeError(w, r, http.StatusInternalServerError, err.Error())
 			return
 		}
 		for _, rc := range merged {
@@ -269,7 +268,7 @@ func (s *Server) handleQueryAll(w http.ResponseWriter, r *http.Request) {
 
 	results, err := s.fed.QueryAllFuncContext(r.Context(), resolve, alpha)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	for _, nr := range results {

@@ -9,6 +9,7 @@ import (
 	"themecomm/internal/engine"
 	"themecomm/internal/federation"
 	"themecomm/internal/obs"
+	"themecomm/internal/replication"
 )
 
 // This file wires the observability layer into the HTTP surface: every route
@@ -36,7 +37,7 @@ func (s *Server) handle(route string, h http.HandlerFunc) {
 // API surface is uniform; without an observer it answers 404.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.obsv == nil {
-		writeError(w, http.StatusNotFound, "metrics are not enabled on this server")
+		writeError(w, r, http.StatusNotFound, "metrics are not enabled on this server")
 		return
 	}
 	s.obsv.Registry().Handler().ServeHTTP(w, r)
@@ -58,11 +59,11 @@ type SlowLogResponse struct {
 
 func (s *Server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, r, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	if s.obsv == nil {
-		writeError(w, http.StatusNotFound, "the slow-query log is not enabled on this server")
+		writeError(w, r, http.StatusNotFound, "the slow-query log is not enabled on this server")
 		return
 	}
 	sl := s.obsv.SlowLog()
@@ -90,6 +91,9 @@ type HealthResponse struct {
 	// Networks lists every served network with its readiness state; the
 	// anonymous single-network tenant has an empty name.
 	Networks []NetworkHealth `json:"networks"`
+	// Replication reports the replication role (primary or replica), journal
+	// position and replica lag; absent on a standalone server.
+	Replication *replication.Status `json:"replication,omitempty"`
 }
 
 // NetworkHealth is one served network's readiness within GET /healthz.
@@ -113,7 +117,7 @@ type NetworkHealth struct {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, r, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	resp := HealthResponse{
@@ -124,6 +128,10 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		resp.Version = bi.Main.Version
+	}
+	if s.replStatus != nil {
+		st := s.replStatus()
+		resp.Replication = &st
 	}
 	for _, ns := range s.statsByNetwork() {
 		resp.Networks = append(resp.Networks, NetworkHealth{

@@ -31,6 +31,7 @@ import (
 	"themecomm/internal/graph"
 	"themecomm/internal/itemset"
 	"themecomm/internal/obs"
+	"themecomm/internal/replication"
 	"themecomm/internal/tctree"
 )
 
@@ -54,11 +55,13 @@ type tenant struct {
 	// vertexNames optionally maps vertex identifiers to display names
 	// (e.g. author names); it may be nil.
 	vertexNames []string
-	// update applies one network delta to the tenant (index rebuild + swap
-	// + optional network write-back), serialized per tenant; nil when the
-	// server does not hold the tenant's database network, in which case
-	// POST .../update is rejected.
-	update func(*delta.Delta) (*engine.DeltaResult, error)
+	// update applies one network delta to the tenant, serialized per tenant;
+	// nil when the server does not hold the tenant's database network, in
+	// which case POST .../update is rejected. On a journaled tenant (a
+	// replication primary member) the returned seq is the journal sequence
+	// number durably assigned to the delta; 0 on the classic synchronous
+	// path (index rebuild + swap + optional network write-back).
+	update func(*delta.Delta) (res *engine.DeltaResult, seq uint64, err error)
 }
 
 // Server answers theme-community queries from one TC-Tree or a federation
@@ -76,6 +79,15 @@ type Server struct {
 	obsv    *obs.Observer
 	metrics *obs.HTTPMetrics
 	start   time.Time
+	// primary, when non-nil, journals updates to its member networks and
+	// serves the replication feed on GET /api/v1/journal. replStatus reports
+	// the replication role into /healthz, federationstats and the metrics
+	// collectors. readOnly rejects every update with a 403 pointing at
+	// primaryURL (replica mode).
+	primary    *replication.Primary
+	replStatus func() replication.Status
+	readOnly   bool
+	primaryURL string
 }
 
 // Options configures a Server.
@@ -107,6 +119,24 @@ type Options struct {
 	// NetworkPath, when non-empty, is the file the updated network is
 	// written back to after every applied delta.
 	NetworkPath string
+	// Primary, when non-nil, is the replication primary fronting the served
+	// federation networks: updates to member networks take the write-ahead
+	// fast path (journal append + in-memory apply; the staged shard commit
+	// becomes a background checkpoint), and GET /api/v1/journal serves the
+	// replication feed replicas tail. The caller owns the primary's
+	// lifecycle: Recover before serving, Start/Stop around it.
+	Primary *replication.Primary
+	// ReadOnly marks the server a read-only replica: every update request is
+	// answered 403, with a Location header pointing at the primary when
+	// PrimaryURL is set.
+	ReadOnly bool
+	// PrimaryURL is the primary's base URL, advertised to rejected writers.
+	PrimaryURL string
+	// ReplicationStatus, when non-nil, feeds the replication role state into
+	// /healthz, /api/v1/federationstats and the tc_journal_*/tc_replica_*
+	// metrics; use Primary.Status or Replica.Status. Defaults to
+	// Primary.Status when Primary is set.
+	ReplicationStatus func() replication.Status
 	// Obs enables the observability layer: request-ID propagation, HTTP
 	// metrics and access logging on every route, GET /metrics over the
 	// observer's registry (plus engine/cache/federation collectors), and
@@ -132,10 +162,16 @@ func New(tree *tctree.Tree, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("server: nil tree and no engine or federation")
 	}
 	s := &Server{defName: opts.DefaultNetwork, fed: opts.Federation, mux: http.NewServeMux(),
-		obsv: opts.Obs, start: time.Now()}
+		obsv: opts.Obs, start: time.Now(),
+		primary: opts.Primary, replStatus: opts.ReplicationStatus,
+		readOnly: opts.ReadOnly, primaryURL: strings.TrimRight(opts.PrimaryURL, "/")}
+	if s.replStatus == nil && s.primary != nil {
+		s.replStatus = s.primary.Status
+	}
 	if s.obsv != nil {
 		s.metrics = obs.NewHTTPMetrics(s.obsv.Registry(), s.obsv.Logger())
 		s.registerCollectors()
+		s.registerReplicationCollectors()
 	}
 	if eng != nil {
 		s.def = &tenant{engine: eng, dict: opts.Dictionary, vertexNames: opts.VertexNames}
@@ -149,7 +185,7 @@ func New(tree *tctree.Tree, opts Options) (*Server, error) {
 				Network:     opts.Network,
 				NetworkPath: opts.NetworkPath,
 			})
-			s.def.update = standalone.ApplyDelta
+			s.def.update = classicUpdate(standalone)
 		}
 	}
 	// Unmatched paths answer a JSON 404 instead of the mux's plain-text
@@ -168,13 +204,14 @@ func New(tree *tctree.Tree, opts Options) (*Server, error) {
 	s.handle("/api/v1/patterns", s.forDefault(s.servePatterns))
 	s.handle("/api/v1/vertex", s.forDefault(s.serveVertex))
 	s.handle("/api/v1/update", s.forDefault(s.serveUpdate))
+	s.handle("/api/v1/journal", s.handleJournal)
 	s.registerFederationRoutes()
 	return s, nil
 }
 
 // handleNotFound is the catch-all for paths no route matches.
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
-	writeError(w, http.StatusNotFound, fmt.Sprintf("no such route %s", r.URL.Path))
+	writeError(w, r, http.StatusNotFound, fmt.Sprintf("no such route %s", r.URL.Path))
 }
 
 // ServeHTTP implements http.Handler.
@@ -205,16 +242,36 @@ func (s *Server) defaultTenant() (*tenant, string) {
 	if !ok {
 		return nil, fmt.Sprintf("no default network: %q is not attached", name)
 	}
-	return tenantOf(n), ""
+	return s.tenantOf(n), ""
 }
 
-// tenantOf adapts a federation network to the handler-facing tenant.
-func tenantOf(n *federation.Network) *tenant {
+// tenantOf adapts a federation network to the handler-facing tenant. A
+// member of the replication primary updates through the journaled fast path
+// (Primary.Apply); any other network with a database network attached keeps
+// the classic synchronous path.
+func (s *Server) tenantOf(n *federation.Network) *tenant {
 	t := &tenant{name: n.Name(), engine: n.Engine(), dict: n.Dictionary(), vertexNames: n.VertexNames()}
-	if n.DatabaseNetwork() != nil {
-		t.update = n.ApplyDelta
+	if name := n.Name(); s.primary != nil && s.primary.Member(name) {
+		t.update = func(d *delta.Delta) (*engine.DeltaResult, uint64, error) {
+			ar, err := s.primary.Apply(name, d)
+			if err != nil {
+				return nil, 0, err
+			}
+			return ar.Result, ar.Seq, nil
+		}
+	} else if n.DatabaseNetwork() != nil {
+		t.update = classicUpdate(n)
 	}
 	return t
+}
+
+// classicUpdate adapts a federation network's synchronous ApplyDelta to the
+// tenant update signature (no journal, so seq is always 0).
+func classicUpdate(n *federation.Network) func(*delta.Delta) (*engine.DeltaResult, uint64, error) {
+	return func(d *delta.Delta) (*engine.DeltaResult, uint64, error) {
+		res, err := n.ApplyDelta(d)
+		return res, 0, err
+	}
 }
 
 // forDefault adapts a tenant-scoped handler to the single-network routes.
@@ -222,7 +279,7 @@ func (s *Server) forDefault(h func(*tenant, http.ResponseWriter, *http.Request))
 	return func(w http.ResponseWriter, r *http.Request) {
 		t, why := s.defaultTenant()
 		if t == nil {
-			writeError(w, http.StatusNotFound, why)
+			writeError(w, r, http.StatusNotFound, why)
 			return
 		}
 		h(t, w, r)
@@ -270,13 +327,20 @@ type PatternsResponse struct {
 	Patterns [][]string `json:"patterns"`
 }
 
+// errorResponse is the JSON error envelope every route answers failures
+// with: the message, the HTTP status repeated in the body (so a client that
+// only kept the body can still branch on it), and the request ID when the
+// observability layer is enabled — quote it when reporting a failure and the
+// operator can find the request in the access log and slow-query ring.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	Status    int    `json:"status"`
+	RequestID string `json:"requestId,omitempty"`
 }
 
 func (s *Server) serveStats(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, r, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{
@@ -286,94 +350,24 @@ func (s *Server) serveStats(t *tenant, w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// parseAlpha parses the alpha query parameter shared by most routes. ok is
-// false when an error response has already been written.
-func parseAlpha(w http.ResponseWriter, r *http.Request) (alpha float64, ok bool) {
-	if v := r.URL.Query().Get("alpha"); v != "" {
-		parsed, err := strconv.ParseFloat(v, 64)
-		if err != nil || parsed < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid alpha %q", v))
-			return 0, false
-		}
-		alpha = parsed
-	}
-	return alpha, true
-}
-
-// parseContains parses the contains query parameter switching /api/v1/query
-// and /api/v1/explain to containment semantics (every indexed pattern ⊇ q).
-// ok is false when an error response has already been written.
-func parseContains(w http.ResponseWriter, r *http.Request) (contains, ok bool) {
-	v := r.URL.Query().Get("contains")
-	if v == "" {
-		return false, true
-	}
-	parsed, err := strconv.ParseBool(v)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid contains %q", v))
-		return false, false
-	}
-	return parsed, true
-}
-
-// parseQueryParams parses the alpha and pattern query parameters shared by
-// /api/v1/query and /api/v1/explain. A missing pattern yields a nil itemset
-// ("every item" — the query-by-alpha workload). ok is false when an error
-// response has already been written.
-func (t *tenant) parseQueryParams(w http.ResponseWriter, r *http.Request) (alpha float64, q itemset.Itemset, ok bool) {
-	alpha, ok = parseAlpha(w, r)
-	if !ok {
-		return 0, nil, false
-	}
-	if raw := r.URL.Query().Get("pattern"); raw != "" {
-		parsed, err := t.parsePattern(raw)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return 0, nil, false
-		}
-		q = parsed
-	}
-	return alpha, q, true
-}
-
 func (s *Server) serveQuery(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, r, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	contains, ok := parseContains(w, r)
-	if !ok {
+	req, rerr := parseQueryRequest(t, r, capTopK|capContains|capStream|capCursor)
+	if rerr != nil {
+		rerr.write(w, r)
 		return
 	}
 	// Streaming and pagination parameters divert to the pull-based executor;
 	// without them the materializing path below answers byte-for-byte as
 	// before. Streams execute sub-pattern semantics only.
-	if qp := r.URL.Query(); qp.Get("stream") != "" || qp.Get("cursor") != "" || qp.Get("limit") != "" {
-		if contains {
-			writeError(w, http.StatusBadRequest, "contains cannot be combined with stream, cursor or limit")
-			return
-		}
-		s.serveQueryStream(t, w, r)
+	if req.paged() {
+		s.serveQueryStream(t, w, r, req)
 		return
 	}
-	alpha, q, ok := t.parseQueryParams(w, r)
-	if !ok {
-		return
-	}
-
-	k := 0
-	if v := r.URL.Query().Get("k"); v != "" {
-		parsed, err := strconv.Atoi(v)
-		if err != nil || parsed < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid k %q", v))
-			return
-		}
-		k = parsed
-	}
-	if contains && k > 0 {
-		writeError(w, http.StatusBadRequest, "contains cannot be combined with k (top-k ranks sub-pattern answers)")
-		return
-	}
+	alpha, q, k := req.Alpha, req.Pattern, req.K
 
 	var patternNames []string
 	if q != nil {
@@ -383,7 +377,7 @@ func (s *Server) serveQuery(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if k > 0 {
 		qr, ranked, err := t.engine.TopKWithResultContext(r.Context(), q, alpha, k)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err.Error())
+			writeError(w, r, http.StatusInternalServerError, err.Error())
 			return
 		}
 		resp := QueryResponse{
@@ -403,17 +397,17 @@ func (s *Server) serveQuery(t *tenant, w http.ResponseWriter, r *http.Request) {
 
 	var qr *tctree.QueryResult
 	var err error
-	if contains {
+	if req.Contains {
 		qr, err = t.engine.QueryContainingContext(r.Context(), q, alpha)
 	} else {
 		qr, err = t.engine.QueryContext(r.Context(), q, alpha)
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	resp := t.queryResponse(q, patternNames, alpha, qr)
-	resp.Contains = contains
+	resp.Contains = req.Contains
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -439,26 +433,23 @@ type ExplainResponse struct {
 
 func (s *Server) serveExplain(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, r, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	contains, ok := parseContains(w, r)
-	if !ok {
-		return
-	}
-	alpha, q, ok := t.parseQueryParams(w, r)
-	if !ok {
+	req, rerr := parseQueryRequest(t, r, capContains)
+	if rerr != nil {
+		rerr.write(w, r)
 		return
 	}
 	var report *engine.ExplainReport
 	var err error
-	if contains {
-		report, err = t.engine.ExplainContaining(q, alpha)
+	if req.Contains {
+		report, err = t.engine.ExplainContaining(req.Pattern, req.Alpha)
 	} else {
-		report, err = t.engine.Explain(q, alpha)
+		report, err = t.engine.Explain(req.Pattern, req.Alpha)
 	}
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, ExplainResponse{Network: t.name, Pattern: t.itemNames(report.Pattern), ExplainReport: report})
@@ -503,34 +494,34 @@ type BatchResponse struct {
 
 func (s *Server) serveBatch(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		writeError(w, r, http.StatusMethodNotAllowed, "use POST")
 		return
 	}
 	var req BatchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid batch request: %v", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("invalid batch request: %v", err))
 		return
 	}
 	if len(req.Queries) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch")
+		writeError(w, r, http.StatusBadRequest, "empty batch")
 		return
 	}
 	if len(req.Queries) > maxBatchQueries {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("batch of %d queries exceeds the limit of %d", len(req.Queries), maxBatchQueries))
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("batch of %d queries exceeds the limit of %d", len(req.Queries), maxBatchQueries))
 		return
 	}
 	reqs := make([]engine.Request, len(req.Queries))
 	names := make([][]string, len(req.Queries))
 	for i, bq := range req.Queries {
 		if bq.Alpha < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: negative alpha", i))
+			writeError(w, r, http.StatusBadRequest, fmt.Sprintf("query %d: negative alpha", i))
 			return
 		}
 		if len(bq.Pattern) > 0 {
 			q, err := t.parsePatternList(bq.Pattern)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
+				writeError(w, r, http.StatusBadRequest, fmt.Sprintf("query %d: %v", i, err))
 				return
 			}
 			reqs[i] = engine.Request{Pattern: q, Alpha: bq.Alpha}
@@ -541,7 +532,7 @@ func (s *Server) serveBatch(t *tenant, w http.ResponseWriter, r *http.Request) {
 	}
 	answers, err := t.engine.QueryBatchContext(r.Context(), reqs)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	resp := BatchResponse{Results: make([]QueryResponse, len(answers))}
@@ -553,7 +544,7 @@ func (s *Server) serveBatch(t *tenant, w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) serveEngineStats(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, r, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	writeJSON(w, http.StatusOK, t.engine.Stats())
@@ -561,14 +552,14 @@ func (s *Server) serveEngineStats(t *tenant, w http.ResponseWriter, r *http.Requ
 
 func (s *Server) servePatterns(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, r, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	length := 1
 	if v := r.URL.Query().Get("length"); v != "" {
 		parsed, err := strconv.Atoi(v)
 		if err != nil || parsed < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid length %q", v))
+			writeError(w, r, http.StatusBadRequest, fmt.Sprintf("invalid length %q", v))
 			return
 		}
 		length = parsed
@@ -577,14 +568,14 @@ func (s *Server) servePatterns(t *tenant, w http.ResponseWriter, r *http.Request
 	if v := r.URL.Query().Get("limit"); v != "" {
 		parsed, err := strconv.Atoi(v)
 		if err != nil || parsed < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid limit %q", v))
+			writeError(w, r, http.StatusBadRequest, fmt.Sprintf("invalid limit %q", v))
 			return
 		}
 		limit = parsed
 	}
 	patterns, err := t.engine.PatternsAtDepth(length)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	resp := PatternsResponse{Length: length, Count: len(patterns)}
@@ -608,25 +599,26 @@ type VertexResponse struct {
 
 func (s *Server) serveVertex(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, r, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
 	rawID := r.URL.Query().Get("id")
 	id, err := strconv.Atoi(rawID)
 	if err != nil || id < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid vertex id %q", rawID))
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("invalid vertex id %q", rawID))
 		return
 	}
-	alpha, ok := parseAlpha(w, r)
-	if !ok {
+	req, rerr := parseQueryRequest(t, r, 0)
+	if rerr != nil {
+		rerr.write(w, r)
 		return
 	}
-	communities, err := t.engine.SearchVertex(graph.VertexID(id), nil, alpha)
+	communities, err := t.engine.SearchVertex(graph.VertexID(id), req.Pattern, req.Alpha)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
-	resp := VertexResponse{Vertex: t.names([]graph.VertexID{graph.VertexID(id)})[0], Alpha: alpha}
+	resp := VertexResponse{Vertex: t.names([]graph.VertexID{graph.VertexID(id)})[0], Alpha: req.Alpha}
 	for _, c := range communities {
 		resp.Communities = append(resp.Communities, CommunityResponse{
 			Theme:    t.itemNames(c.Pattern),
@@ -706,6 +698,12 @@ func writeJSON(w http.ResponseWriter, status int, payload any) {
 	_ = json.NewEncoder(w).Encode(payload)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+// writeError is the single choke point every error answer goes through; the
+// request supplies the ID the envelope echoes back.
+func writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	var id string
+	if r != nil {
+		id = obs.RequestIDFrom(r.Context())
+	}
+	writeJSON(w, status, errorResponse{Error: msg, Status: status, RequestID: id})
 }

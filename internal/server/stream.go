@@ -6,12 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
 	"time"
 
 	"themecomm/internal/engine"
 	"themecomm/internal/federation"
 	"themecomm/internal/itemset"
+	"themecomm/internal/obs"
 )
 
 // This file is the HTTP surface of the streaming executor: chunked NDJSON
@@ -133,11 +133,20 @@ type StreamTrailer struct {
 
 // StreamError is the terminal line of a failed NDJSON streaming response;
 // Status is the HTTP status the failure would have carried had it happened
-// before the response was committed (410 for a mid-stream index swap).
+// before the response was committed (410 for a mid-stream index swap). It
+// mirrors the JSON error envelope of the non-streaming routes, request ID
+// included.
 type StreamError struct {
-	Type   string `json:"type"` // "error"
-	Status int    `json:"status"`
-	Error  string `json:"error"`
+	Type      string `json:"type"` // "error"
+	Status    int    `json:"status"`
+	Error     string `json:"error"`
+	RequestID string `json:"requestId,omitempty"`
+}
+
+// streamError builds the in-band error line for one request.
+func streamError(r *http.Request, err error) StreamError {
+	return StreamError{Type: "error", Status: streamStatusOf(err), Error: err.Error(),
+		RequestID: obs.RequestIDFrom(r.Context())}
 }
 
 // streamStatusOf maps a stream failure to its HTTP status.
@@ -148,35 +157,6 @@ func streamStatusOf(err error) int {
 	return http.StatusInternalServerError
 }
 
-// wantsStream reports whether the request asked for NDJSON delivery; the
-// second value is false when the parameter was present but not a boolean.
-func wantsStream(r *http.Request) (stream, ok bool) {
-	switch r.URL.Query().Get("stream") {
-	case "":
-		return false, true
-	case "1", "true":
-		return true, true
-	case "0", "false":
-		return false, true
-	}
-	return false, false
-}
-
-// parseLimit parses the limit parameter (0 = no limit). ok is false when an
-// error response has been written.
-func parseLimit(w http.ResponseWriter, r *http.Request) (limit int, ok bool) {
-	v := r.URL.Query().Get("limit")
-	if v == "" {
-		return 0, true
-	}
-	parsed, err := strconv.Atoi(v)
-	if err != nil || parsed < 1 {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid limit %q", v))
-		return 0, false
-	}
-	return parsed, true
-}
-
 // serveQueryStream handles GET .../query when streaming or pagination
 // parameters are present: ?stream=1 switches the response to NDJSON,
 // ?limit=N bounds the page, and ?cursor=... resumes a previous page's
@@ -184,58 +164,38 @@ func parseLimit(w http.ResponseWriter, r *http.Request) (limit int, ok bool) {
 // parameters are ignored). The answer is delivered through the engine's
 // pull-based stream, so only the shards the page needs are opened, and a
 // top-k stream short-circuits the shards its α* bounds rule out.
-func (s *Server) serveQueryStream(t *tenant, w http.ResponseWriter, r *http.Request) {
-	ndjson, okStream := wantsStream(r)
-	if !okStream {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid stream %q (use 1 or true)", r.URL.Query().Get("stream")))
-		return
-	}
-	limit, ok := parseLimit(w, r)
-	if !ok {
-		return
-	}
+func (s *Server) serveQueryStream(t *tenant, w http.ResponseWriter, r *http.Request, req *queryRequest) {
+	ndjson, limit := req.Stream, req.Limit
 
 	var alpha float64
 	var q itemset.Itemset
 	var k, pos int
 	var rawPattern string
-	if rawCursor := r.URL.Query().Get("cursor"); rawCursor != "" {
-		c, err := decodeCursor(rawCursor)
+	if req.Cursor != "" {
+		c, err := decodeCursor(req.Cursor)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid cursor: %v", err))
+			writeError(w, r, http.StatusBadRequest, fmt.Sprintf("invalid cursor: %v", err))
 			return
 		}
 		if c.Network != t.name {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("cursor was minted for network %q", c.Network))
+			writeError(w, r, http.StatusBadRequest, fmt.Sprintf("cursor was minted for network %q", c.Network))
 			return
 		}
 		if epoch := t.engine.IndexEpoch(); epoch != c.Epoch {
-			writeError(w, http.StatusGone, fmt.Sprintf("cursor epoch %d expired: the index moved to epoch %d; re-issue the query", c.Epoch, epoch))
+			writeError(w, r, http.StatusGone, fmt.Sprintf("cursor epoch %d expired: the index moved to epoch %d; re-issue the query", c.Epoch, epoch))
 			return
 		}
 		alpha, k, pos, rawPattern = c.Alpha, c.K, c.Pos, c.Pattern
 		if rawPattern != "" {
 			parsed, err := t.parsePattern(rawPattern)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid cursor pattern: %v", err))
+				writeError(w, r, http.StatusBadRequest, fmt.Sprintf("invalid cursor pattern: %v", err))
 				return
 			}
 			q = parsed
 		}
 	} else {
-		alpha, q, ok = t.parseQueryParams(w, r)
-		if !ok {
-			return
-		}
-		rawPattern = r.URL.Query().Get("pattern")
-		if v := r.URL.Query().Get("k"); v != "" {
-			parsed, err := strconv.Atoi(v)
-			if err != nil || parsed < 1 {
-				writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid k %q", v))
-				return
-			}
-			k = parsed
-		}
+		alpha, q, k, rawPattern = req.Alpha, req.Pattern, req.K, req.RawPattern
 	}
 
 	start := time.Now()
@@ -247,14 +207,14 @@ func (s *Server) serveQueryStream(t *tenant, w http.ResponseWriter, r *http.Requ
 		st, err = t.engine.StreamQuery(r.Context(), q, alpha)
 	}
 	if err != nil {
-		writeError(w, streamStatusOf(err), err.Error())
+		writeError(w, r, streamStatusOf(err), err.Error())
 		return
 	}
 	defer st.Close()
 	if pos > 0 && st.Stats().Epoch != t.engine.IndexEpoch() {
 		// The index moved between the cursor check above and the stream
 		// capture; the authoritative epoch is the stream's own.
-		writeError(w, http.StatusGone, "cursor epoch expired: the index moved; re-issue the query")
+		writeError(w, r, http.StatusGone, "cursor epoch expired: the index moved; re-issue the query")
 		return
 	}
 
@@ -264,7 +224,7 @@ func (s *Server) serveQueryStream(t *tenant, w http.ResponseWriter, r *http.Requ
 	for skipped := 0; skipped < pos; skipped++ {
 		rc, err := st.Next()
 		if err != nil {
-			writeError(w, streamStatusOf(err), err.Error())
+			writeError(w, r, streamStatusOf(err), err.Error())
 			return
 		}
 		if rc == nil {
@@ -284,7 +244,7 @@ func (s *Server) serveQueryStream(t *tenant, w http.ResponseWriter, r *http.Requ
 	}
 
 	if ndjson {
-		s.writeStreamNDJSON(t, w, st, StreamHeader{
+		s.writeStreamNDJSON(t, w, r, st, StreamHeader{
 			Type: "header", Network: t.name, Alpha: alpha, Pattern: patternNames,
 			TopK: k, Epoch: st.Stats().Epoch,
 		}, k > 0, limit, start, nextCursor)
@@ -297,7 +257,7 @@ func (s *Server) serveQueryStream(t *tenant, w http.ResponseWriter, r *http.Requ
 	for limit <= 0 || emitted < limit {
 		rc, err := st.Next()
 		if err != nil {
-			writeError(w, streamStatusOf(err), err.Error())
+			writeError(w, r, streamStatusOf(err), err.Error())
 			return
 		}
 		if rc == nil {
@@ -308,7 +268,7 @@ func (s *Server) serveQueryStream(t *tenant, w http.ResponseWriter, r *http.Requ
 	}
 	more, err := streamHasMore(st, limit, emitted)
 	if err != nil {
-		writeError(w, streamStatusOf(err), err.Error())
+		writeError(w, r, streamStatusOf(err), err.Error())
 		return
 	}
 	if more {
@@ -355,7 +315,7 @@ func (t *tenant) streamCommunity(rc *engine.RankedCommunity, ranked bool) Commun
 // results while later shards are still unopened), then the trailer with the
 // final counters — the stream is closed first, so ShardsShortCircuited is
 // the final tally.
-func (s *Server) writeStreamNDJSON(t *tenant, w http.ResponseWriter, st *engine.Stream, header StreamHeader, ranked bool, limit int, start time.Time, nextCursor func(int) string) {
+func (s *Server) writeStreamNDJSON(t *tenant, w http.ResponseWriter, r *http.Request, st *engine.Stream, header StreamHeader, ranked bool, limit int, start time.Time, nextCursor func(int) string) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -371,7 +331,7 @@ func (s *Server) writeStreamNDJSON(t *tenant, w http.ResponseWriter, st *engine.
 	for limit <= 0 || emitted < limit {
 		rc, err := st.Next()
 		if err != nil {
-			writeLine(StreamError{Type: "error", Status: streamStatusOf(err), Error: err.Error()})
+			writeLine(streamError(r, err))
 			return
 		}
 		if rc == nil {
@@ -382,7 +342,7 @@ func (s *Server) writeStreamNDJSON(t *tenant, w http.ResponseWriter, st *engine.
 	}
 	more, err := streamHasMore(st, limit, emitted)
 	if err != nil {
-		writeLine(StreamError{Type: "error", Status: streamStatusOf(err), Error: err.Error()})
+		writeLine(streamError(r, err))
 		return
 	}
 	trailer := StreamTrailer{Type: "trailer", Emitted: emitted}
@@ -403,11 +363,7 @@ func (s *Server) writeStreamNDJSON(t *tenant, w http.ResponseWriter, st *engine.
 // given, the per-network concatenation in name order otherwise. Cursors are
 // not supported on queryall (members move epochs independently); pages come
 // from re-issuing with a narrower limit.
-func (s *Server) serveQueryAllStream(w http.ResponseWriter, r *http.Request, resolve federation.PatternResolver, fields []string, alpha float64, k int) {
-	limit, ok := parseLimit(w, r)
-	if !ok {
-		return
-	}
+func (s *Server) serveQueryAllStream(w http.ResponseWriter, r *http.Request, resolve federation.PatternResolver, fields []string, alpha float64, k, limit int) {
 	start := time.Now()
 	var ms *federation.MergedStream
 	var err error
@@ -417,7 +373,7 @@ func (s *Server) serveQueryAllStream(w http.ResponseWriter, r *http.Request, res
 		ms, err = s.fed.StreamQueryAllFuncContext(r.Context(), resolve, alpha)
 	}
 	if err != nil {
-		writeError(w, streamStatusOf(err), err.Error())
+		writeError(w, r, streamStatusOf(err), err.Error())
 		return
 	}
 	defer ms.Close()
@@ -431,7 +387,7 @@ func (s *Server) serveQueryAllStream(w http.ResponseWriter, r *http.Request, res
 		if !ok {
 			return nil
 		}
-		t := tenantOf(n)
+		t := s.tenantOf(n)
 		tenants[name] = t
 		return t
 	}
@@ -451,7 +407,7 @@ func (s *Server) serveQueryAllStream(w http.ResponseWriter, r *http.Request, res
 	for limit <= 0 || emitted < limit {
 		nr, err := ms.Next()
 		if err != nil {
-			writeLine(StreamError{Type: "error", Status: streamStatusOf(err), Error: err.Error()})
+			writeLine(streamError(r, err))
 			return
 		}
 		if nr == nil {

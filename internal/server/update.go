@@ -34,13 +34,19 @@ type UpdateTransaction struct {
 
 // UpdateRequest is the payload of POST /api/v1/update: a network delta.
 // Edges are [u, v] vertex pairs. Changes apply in declaration order:
-// vertices are added first, then edges removed, then edges added, then
-// transactions appended.
+// vertices are added first, then transactions removed, then vertices
+// tombstoned, then edges removed, then edges added, then transactions
+// appended — so one request can tombstone a vertex and repopulate it.
 type UpdateRequest struct {
-	AddVertices     int                 `json:"addVertices,omitempty"`
-	AddEdges        [][2]int            `json:"addEdges,omitempty"`
-	RemoveEdges     [][2]int            `json:"removeEdges,omitempty"`
-	AddTransactions []UpdateTransaction `json:"addTransactions,omitempty"`
+	AddVertices int `json:"addVertices,omitempty"`
+	// RemoveVertices tombstones vertices: incident edges are dropped and the
+	// vertex database emptied, but the id stays valid (ids are positional and
+	// never renumber).
+	RemoveVertices     []int               `json:"removeVertices,omitempty"`
+	AddEdges           [][2]int            `json:"addEdges,omitempty"`
+	RemoveEdges        [][2]int            `json:"removeEdges,omitempty"`
+	AddTransactions    []UpdateTransaction `json:"addTransactions,omitempty"`
+	RemoveTransactions []UpdateTransaction `json:"removeTransactions,omitempty"`
 }
 
 // UpdateResponse reports an applied delta: which top-level items were
@@ -59,6 +65,10 @@ type UpdateResponse struct {
 	RemovedShards  int `json:"removedShards"`
 	// IndexEpoch is the engine's index epoch after the swap.
 	IndexEpoch uint64 `json:"indexEpoch"`
+	// JournalSeq is the journal sequence number durably assigned to the
+	// delta; only set on a replication primary, whose updates are journaled
+	// and checkpointed in the background instead of staged synchronously.
+	JournalSeq uint64 `json:"journalSeq,omitempty"`
 	// UpdateMicros is the wall time of the whole update.
 	UpdateMicros int64 `json:"updateMicros"`
 	// Warning is set when the index swap succeeded but a follow-up step
@@ -98,75 +108,119 @@ func (t *tenant) parseUpdate(req *UpdateRequest) (*delta.Delta, error) {
 		}
 		d.RemoveEdges = append(d.RemoveEdges, edge)
 	}
+	for i, v := range req.RemoveVertices {
+		if v < 0 || v > math.MaxInt32 {
+			return nil, fmt.Errorf("removed vertex %d: %d outside [0, %d]", i, v, math.MaxInt32)
+		}
+		d.RemoveVertices = append(d.RemoveVertices, graph.VertexID(v))
+	}
 	// Structural checks first; the emptiness check counts the raw request
 	// so that item names are only resolved — and new names only interned
 	// into the dictionary — once the request is known to be well-formed.
-	for i, tx := range req.AddTransactions {
-		if tx.Vertex < 0 || tx.Vertex > math.MaxInt32 {
-			return nil, fmt.Errorf("transaction %d: vertex %d outside [0, %d]", i, tx.Vertex, math.MaxInt32)
+	checkTxs := func(txs []UpdateTransaction, what string) error {
+		for i, tx := range txs {
+			if tx.Vertex < 0 || tx.Vertex > math.MaxInt32 {
+				return fmt.Errorf("%s %d: vertex %d outside [0, %d]", what, i, tx.Vertex, math.MaxInt32)
+			}
+			if len(tx.Items) == 0 {
+				return fmt.Errorf("%s %d: empty item list", what, i)
+			}
 		}
-		if len(tx.Items) == 0 {
-			return nil, fmt.Errorf("transaction %d: empty item list", i)
-		}
+		return nil
 	}
-	if d.AddVertices == 0 && len(d.AddEdges) == 0 && len(d.RemoveEdges) == 0 && len(req.AddTransactions) == 0 {
+	if err := checkTxs(req.AddTransactions, "transaction"); err != nil {
+		return nil, err
+	}
+	if err := checkTxs(req.RemoveTransactions, "removed transaction"); err != nil {
+		return nil, err
+	}
+	if d.AddVertices == 0 && len(d.RemoveVertices) == 0 && len(d.AddEdges) == 0 &&
+		len(d.RemoveEdges) == 0 && len(req.AddTransactions) == 0 && len(req.RemoveTransactions) == 0 {
 		return nil, fmt.Errorf("empty delta: nothing to apply")
 	}
-	for i, tx := range req.AddTransactions {
-		items := make([]itemset.Item, 0, len(tx.Items))
-		for _, field := range tx.Items {
-			it, err := delta.ResolveItem(field, t.dict)
-			if err != nil {
-				return nil, fmt.Errorf("transaction %d: %w", i, err)
+	resolveTxs := func(txs []UpdateTransaction, what string) ([]delta.VertexTransaction, error) {
+		out := make([]delta.VertexTransaction, 0, len(txs))
+		for i, tx := range txs {
+			items := make([]itemset.Item, 0, len(tx.Items))
+			for _, field := range tx.Items {
+				it, err := delta.ResolveItem(field, t.dict)
+				if err != nil {
+					return nil, fmt.Errorf("%s %d: %w", what, i, err)
+				}
+				items = append(items, it)
 			}
-			items = append(items, it)
+			out = append(out, delta.VertexTransaction{
+				Vertex: graph.VertexID(tx.Vertex),
+				Tx:     itemset.New(items...),
+			})
 		}
-		d.AddTransactions = append(d.AddTransactions, delta.VertexTransaction{
-			Vertex: graph.VertexID(tx.Vertex),
-			Tx:     itemset.New(items...),
-		})
+		return out, nil
+	}
+	var err error
+	if d.AddTransactions, err = resolveTxs(req.AddTransactions, "transaction"); err != nil {
+		return nil, err
+	}
+	if d.RemoveTransactions, err = resolveTxs(req.RemoveTransactions, "removed transaction"); err != nil {
+		return nil, err
+	}
+	if len(d.AddTransactions) == 0 {
+		d.AddTransactions = nil
+	}
+	if len(d.RemoveTransactions) == 0 {
+		d.RemoveTransactions = nil
 	}
 	return d, nil
 }
 
 func (s *Server) serveUpdate(t *tenant, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		writeError(w, r, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.readOnly {
+		// Replica mode: this server replays the primary's journal and must
+		// not accept writes of its own. The Location header names where the
+		// same request would succeed.
+		if s.primaryURL != "" {
+			w.Header().Set("Location", s.primaryURL+r.URL.Path)
+		}
+		writeError(w, r, http.StatusForbidden, "this server is a read-only replica; send updates to the primary")
 		return
 	}
 	if t.update == nil {
-		writeError(w, http.StatusConflict,
+		writeError(w, r, http.StatusConflict,
 			"updates are disabled: the server does not hold this network's database network (start tcserver with -net, or put a sibling <name>.dbnet next to the index)")
 		return
 	}
 	var req UpdateRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid update request: %v", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Sprintf("invalid update request: %v", err))
 		return
 	}
 	d, err := t.parseUpdate(&req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := t.update(d)
+	res, seq, err := t.update(d)
 	if err != nil && res == nil {
 		// Nothing was applied. Validation happens inside the tenant's
 		// update lock (validating here would race a concurrent update
 		// mutating the network); the sentinel distinguishes a malformed
 		// delta from a server failure.
 		if errors.Is(err, delta.ErrInvalid) {
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeError(w, r, http.StatusBadRequest, err.Error())
 			return
 		}
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, r, http.StatusInternalServerError, err.Error())
 		return
 	}
 	resp := UpdateResponse{
 		Network:       t.name,
 		AffectedItems: t.itemNames(res.Affected),
 		IndexEpoch:    res.Epoch,
+		JournalSeq:    seq,
 		UpdateMicros:  res.Duration.Microseconds(),
 	}
 	if res.Report != nil {

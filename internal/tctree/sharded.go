@@ -141,8 +141,13 @@ type Manifest struct {
 	// built with (0 or absent = unbounded). Incremental maintenance refuses
 	// depth-bounded indexes — re-decomposing one shard without the bound
 	// would make it deeper than its untouched siblings.
-	BuiltMaxDepth int          `json:"builtMaxDepth,omitempty"`
-	Shards        []ShardEntry `json:"shards"`
+	BuiltMaxDepth int `json:"builtMaxDepth,omitempty"`
+	// JournalSeq is the sequence number of the last journaled delta whose
+	// effects this index includes (0 or absent: no journal in use). It is the
+	// checkpoint marker of the durable delta journal: on recovery, records
+	// after JournalSeq are replayed from the journal onto this index.
+	JournalSeq uint64       `json:"journalSeq,omitempty"`
+	Shards     []ShardEntry `json:"shards"`
 
 	// Aggregate statistics, computed once when the manifest is read or
 	// written (seal) rather than re-scanning every entry per call: federation
@@ -586,11 +591,20 @@ func (x *ShardedIndex) Manifest() Manifest {
 		Version:       x.manifest.Version,
 		Format:        x.manifest.Format,
 		BuiltMaxDepth: x.manifest.BuiltMaxDepth,
+		JournalSeq:    x.manifest.JournalSeq,
 		Shards:        make([]ShardEntry, len(x.manifest.Shards)),
 	}
 	copy(m.Shards, x.manifest.Shards)
 	m.seal()
 	return m
+}
+
+// JournalSeq returns the manifest's checkpoint marker: the sequence number
+// of the last journaled delta this index includes (0 = no journal in use).
+func (x *ShardedIndex) JournalSeq() uint64 {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return x.manifest.JournalSeq
 }
 
 // Items returns the shard root items in ascending order.
@@ -734,7 +748,16 @@ type StagedShards struct {
 	items   []itemset.Item
 	entries map[itemset.Item]*ShardEntry
 	written []string
+	// journalSeq, when set, is stamped into the manifest's JournalSeq by
+	// Commit — atomically with the shard swap, since the manifest write IS
+	// the commit point.
+	journalSeq *uint64
 }
+
+// SetJournalSeq arranges for Commit to stamp seq into the manifest's
+// JournalSeq field. Checkpointers call it so "which journal records does
+// this index include" advances atomically with the shard swap.
+func (st *StagedShards) SetJournalSeq(seq uint64) { st.journalSeq = &seq }
 
 // StageShards encodes and durably writes the payload of every non-nil
 // subtree (a nil subtree stages the item's removal). On error the files
@@ -774,6 +797,11 @@ func (x *ShardedIndex) StageShards(subtrees map[itemset.Item]*Node) (*StagedShar
 	syncDir(x.dir)
 	return st, nil
 }
+
+// Discard abandons the staged batch without committing it: the staged files
+// are removed (sparing any the live manifest still references) and the index
+// is untouched. Use it when a step between staging and commit fails.
+func (st *StagedShards) Discard() { st.discard() }
 
 // discard removes the staged files, sparing any the live manifest
 // references.
@@ -851,8 +879,13 @@ func (st *StagedShards) Commit() (*CommitReport, error) {
 	sort.Slice(newShards, func(i, j int) bool { return newShards[i].Item < newShards[j].Item })
 
 	x.manifest.Shards = newShards
+	oldSeq := x.manifest.JournalSeq
+	if st.journalSeq != nil {
+		x.manifest.JournalSeq = *st.journalSeq
+	}
 	if err := writeManifest(x.dir, x.manifest); err != nil {
 		x.manifest.Shards = oldShards
+		x.manifest.JournalSeq = oldSeq
 		x.manifest.seal()
 		cleanupWritten()
 		return nil, err

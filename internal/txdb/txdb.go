@@ -44,6 +44,21 @@ func (d *Database) Add(t Transaction) {
 	d.itemTxCount = nil
 }
 
+// Remove deletes one occurrence of an exact transaction — the same canonical
+// itemset — from the multiset, reporting whether one was found. When the
+// transaction occurs several times only the first occurrence is removed, so
+// removing it n times undoes n additions.
+func (d *Database) Remove(t Transaction) bool {
+	for i, tx := range d.transactions {
+		if tx.Equal(t) {
+			d.transactions = append(d.transactions[:i], d.transactions[i+1:]...)
+			d.itemTxCount = nil
+			return true
+		}
+	}
+	return false
+}
+
 // Len returns the number of transactions in the database.
 func (d *Database) Len() int { return len(d.transactions) }
 
