@@ -1,0 +1,74 @@
+// Command tclint runs themecomm's project-specific static-analysis suite
+// (internal/lint): stdlib-only analyzers that machine-check the repository's
+// architectural invariants — import layering, the fsync+rename atomic-write
+// idiom, the writeError response envelope, I/O-free update-lock critical
+// sections, and context propagation. See docs/STATIC_ANALYSIS.md.
+//
+// Usage:
+//
+//	tclint [-list] [packages]
+//
+// Packages follow go-tool patterns ("./...", "internal/engine", "cmd/...");
+// the default is "./..." from the enclosing module root. Findings print as
+// "file:line:col: [analyzer] message" and make the exit status nonzero.
+// Suppress a deliberate exception with a `//lint:ignore <analyzer> <reason>`
+// comment on the flagged line or the line above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"themecomm/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: tclint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	root, modulePath, err := lint.FindModule(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(root, modulePath, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, analyzers)
+	for _, f := range findings {
+		f.Pos.Filename = relTo(root, f.Pos.Filename)
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tclint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// relTo shortens a filename to be root-relative when possible.
+func relTo(root, name string) string {
+	if rel, err := filepath.Rel(root, name); err == nil && !filepath.IsAbs(rel) && rel != "" && rel[0] != '.' {
+		return rel
+	}
+	return name
+}

@@ -39,8 +39,8 @@ import (
 	"themecomm/internal/dbnet"
 	"themecomm/internal/delta"
 	"themecomm/internal/itemset"
-	"themecomm/internal/obs"
 	"themecomm/internal/tctree"
+	"themecomm/internal/trace"
 )
 
 // Options configures an Engine.
@@ -92,13 +92,13 @@ type Options struct {
 	// least-recently-used. MaxResidentShards is ignored. Eager engines
 	// ignore it.
 	SharedResidency *ResidencyGroup
-	// Recorder, when non-nil, receives one obs.QueryObservation per query —
+	// Recorder, when non-nil, receives one trace.QueryObservation per query —
 	// outcome, plan→execute→merge stage timings and a lazy plan-detail hook.
 	// The engine never imports a metrics implementation; whatever observes it
 	// is injected here (the server wires in an obs.Observer, tests record
 	// into slices, and a learned-cost planner could tap the same stream).
 	// Nil costs the hot path nothing.
-	Recorder obs.Recorder
+	Recorder trace.Recorder
 }
 
 // defaultPrefetchWorkers is the prefetch-pool bound when Options leaves
@@ -206,7 +206,7 @@ type Engine struct {
 	sharedRes bool
 
 	// recorder receives per-query observations; nil when unobserved.
-	recorder obs.Recorder
+	recorder trace.Recorder
 
 	queries          atomic.Uint64
 	batches          atomic.Uint64
@@ -652,7 +652,7 @@ func (e *Engine) queryLocked(ctx context.Context, q itemset.Itemset, alphaQ floa
 			res := *cached
 			res.Duration = time.Since(start)
 			if e.recorder != nil {
-				e.recorder.RecordQuery(ctx, obs.QueryObservation{
+				e.recorder.RecordQuery(ctx, trace.QueryObservation{
 					Network:  e.cacheNS,
 					Pattern:  label,
 					Alpha:    alphaQ,
@@ -678,7 +678,7 @@ func (e *Engine) queryLocked(ctx context.Context, q itemset.Itemset, alphaQ floa
 	res, exec, err := e.executePlan(t, plan)
 	if err != nil {
 		if e.recorder != nil {
-			e.recorder.RecordQuery(ctx, obs.QueryObservation{
+			e.recorder.RecordQuery(ctx, trace.QueryObservation{
 				Network: e.cacheNS,
 				Pattern: label,
 				Alpha:   alphaQ,
@@ -707,7 +707,7 @@ func (e *Engine) queryLocked(ctx context.Context, q itemset.Itemset, alphaQ floa
 				loaded++
 			}
 		}
-		e.recorder.RecordQuery(ctx, obs.QueryObservation{
+		e.recorder.RecordQuery(ctx, trace.QueryObservation{
 			Network:       e.cacheNS,
 			Pattern:       label,
 			Alpha:         alphaQ,

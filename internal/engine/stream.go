@@ -9,8 +9,8 @@ import (
 
 	"themecomm/internal/core"
 	"themecomm/internal/itemset"
-	"themecomm/internal/obs"
 	"themecomm/internal/tctree"
+	"themecomm/internal/trace"
 )
 
 // This file is the streaming half of the executor: instead of materializing
@@ -154,6 +154,7 @@ func (e *Engine) StreamTopK(ctx context.Context, q itemset.Itemset, alphaQ float
 
 func (e *Engine) newStream(ctx context.Context, q itemset.Itemset, alphaQ float64, ranked bool, k int) (*Stream, error) {
 	if ctx == nil {
+		//lint:ignore ctxflow nil-ctx hardening for direct embedders of the engine; every serving path passes the request context
 		ctx = context.Background()
 	}
 	start := time.Now()
@@ -445,7 +446,7 @@ func (st *Stream) Close() {
 	}
 	stats := st.stats
 	total := time.Since(st.start)
-	e.recorder.RecordQuery(st.ctx, obs.QueryObservation{
+	e.recorder.RecordQuery(st.ctx, trace.QueryObservation{
 		Network:        e.cacheNS,
 		Pattern:        patternLabel(st.eff, st.full),
 		Alpha:          st.alpha,

@@ -43,8 +43,8 @@ import (
 	"themecomm/internal/delta"
 	"themecomm/internal/engine"
 	"themecomm/internal/itemset"
-	"themecomm/internal/obs"
 	"themecomm/internal/tctree"
+	"themecomm/internal/trace"
 )
 
 // Options configures a Federation and the engines it builds for attached
@@ -79,7 +79,7 @@ type Options struct {
 	// (engine.Options.Recorder): each tenant's queries report to the one
 	// injected recorder under the tenant's name, so a single observer serves
 	// per-network metrics for the whole federation. Nil disables observation.
-	Recorder obs.Recorder
+	Recorder trace.Recorder
 }
 
 // NetworkOptions carries the per-network presentation metadata a serving

@@ -322,11 +322,15 @@ func truncateSegment(path string, size int64) error {
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	defer f.Close()
 	if err := f.Truncate(size); err != nil {
+		f.Close()
 		return fmt.Errorf("journal: truncate torn tail: %w", err)
 	}
 	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
 	return nil

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strconv"
+)
+
+// ErrEnvelope enforces PR 9's uniform error contract: every error response
+// internal/server produces is the {error,status,requestId} JSON envelope,
+// emitted by the single writeError choke point. It flags, anywhere else in
+// that package, calls to http.Error (plain-text body, no envelope, no
+// request ID echo) and direct WriteHeader with a 4xx/5xx status (an error
+// status with whatever body happens to follow). Success-path WriteHeader
+// calls and variable statuses are out of scope — the envelope audit test
+// covers those dynamically.
+type ErrEnvelope struct{}
+
+// Name implements Analyzer.
+func (ErrEnvelope) Name() string { return "errenvelope" }
+
+// Doc implements Analyzer.
+func (ErrEnvelope) Doc() string {
+	return "route every error response in internal/server through the writeError envelope choke point"
+}
+
+// errorStatusNames maps net/http 4xx/5xx status constants to their codes.
+var errorStatusNames = map[string]int{
+	"StatusBadRequest": 400, "StatusUnauthorized": 401, "StatusPaymentRequired": 402,
+	"StatusForbidden": 403, "StatusNotFound": 404, "StatusMethodNotAllowed": 405,
+	"StatusNotAcceptable": 406, "StatusProxyAuthRequired": 407, "StatusRequestTimeout": 408,
+	"StatusConflict": 409, "StatusGone": 410, "StatusLengthRequired": 411,
+	"StatusPreconditionFailed": 412, "StatusRequestEntityTooLarge": 413,
+	"StatusRequestURITooLong": 414, "StatusUnsupportedMediaType": 415,
+	"StatusRequestedRangeNotSatisfiable": 416, "StatusExpectationFailed": 417,
+	"StatusTeapot": 418, "StatusMisdirectedRequest": 421, "StatusUnprocessableEntity": 422,
+	"StatusLocked": 423, "StatusFailedDependency": 424, "StatusTooEarly": 425,
+	"StatusUpgradeRequired": 426, "StatusPreconditionRequired": 428,
+	"StatusTooManyRequests": 429, "StatusRequestHeaderFieldsTooLarge": 431,
+	"StatusUnavailableForLegalReasons": 451, "StatusInternalServerError": 500,
+	"StatusNotImplemented": 501, "StatusBadGateway": 502, "StatusServiceUnavailable": 503,
+	"StatusGatewayTimeout": 504, "StatusHTTPVersionNotSupported": 505,
+	"StatusVariantAlsoNegotiates": 506, "StatusInsufficientStorage": 507,
+	"StatusLoopDetected": 508, "StatusNotExtended": 510,
+	"StatusNetworkAuthenticationRequired": 511,
+}
+
+// Check implements Analyzer.
+func (ErrEnvelope) Check(pkg *Package) []Finding {
+	if !matchPkg(pkg.Rel, ErrEnvelopePackage) {
+		return nil
+	}
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Name.Name == ErrEnvelopeFunc {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if p, name, ok := pkg.qualifiedCall(call); ok && p == "net/http" && name == "Error" {
+					out = append(out, Finding{
+						Pos:      pkg.Fset.Position(call.Pos()),
+						Analyzer: "errenvelope",
+						Message:  fmt.Sprintf("http.Error bypasses the %s envelope: the client gets plain text without status/requestId fields", ErrEnvelopeFunc),
+					})
+					return true
+				}
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "WriteHeader" && len(call.Args) == 1 {
+					if code, lit, ok := errorStatusArg(pkg, call.Args[0]); ok {
+						out = append(out, Finding{
+							Pos:      pkg.Fset.Position(call.Pos()),
+							Analyzer: "errenvelope",
+							Message:  fmt.Sprintf("WriteHeader(%s) emits a %d outside %s: error statuses must carry the JSON error envelope", lit, code, ErrEnvelopeFunc),
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// errorStatusArg recognizes a 4xx/5xx status argument: an integer literal or
+// a net/http Status* constant.
+func errorStatusArg(pkg *Package, arg ast.Expr) (code int, lit string, ok bool) {
+	switch a := arg.(type) {
+	case *ast.BasicLit:
+		n, err := strconv.Atoi(a.Value)
+		if err == nil && n >= 400 {
+			return n, a.Value, true
+		}
+	case *ast.SelectorExpr:
+		if id, isIdent := a.X.(*ast.Ident); isIdent && pkg.pkgOf(id) == "net/http" {
+			if n, known := errorStatusNames[a.Sel.Name]; known {
+				return n, "http." + a.Sel.Name, true
+			}
+		}
+	}
+	return 0, "", false
+}

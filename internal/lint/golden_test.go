@@ -1,0 +1,177 @@
+package lint_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"themecomm/internal/lint"
+)
+
+// goldenCases maps each fixture package to the module-relative path it
+// impersonates and the analyzer under test. Expectations live in the
+// fixtures as `// want "regexp"` comments on the offending line; suppression
+// and false-positive regression cases are fixture lines with no want
+// comment.
+var goldenCases = []struct {
+	dir      string
+	rel      string
+	analyzer string
+}{
+	{"importdag/engine", "internal/engine", "importdag"},
+	{"importdag/tctree", "internal/tctree", "importdag"},
+	{"importdag/worker", "internal/worker", "importdag"},
+	{"importdag/server", "internal/server", "importdag"},
+	{"atomicwrite/store", "internal/tctree", "atomicwrite"},
+	{"errenvelope/server", "internal/server", "errenvelope"},
+	{"lockhold/engine", "internal/engine", "lockhold"},
+	{"ctxflow/lib", "internal/lib", "ctxflow"},
+	{"ctxflow/mainpkg", "cmd/mainpkg", "ctxflow"},
+}
+
+// analyzerByName resolves one analyzer from the suite.
+func analyzerByName(t *testing.T, name string) lint.Analyzer {
+	t.Helper()
+	for _, a := range lint.All() {
+		if a.Name() == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+// wantRe extracts the quoted expectations of a `// want` comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// quotedRe matches one Go-quoted string.
+var quotedRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one want entry: a line plus a regexp findings there must
+// match.
+type expectation struct {
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// expectationsOf parses the want comments of a loaded package.
+func expectationsOf(t *testing.T, pkg *lint.Package) map[string][]*expectation {
+	t.Helper()
+	out := make(map[string][]*expectation)
+	for _, f := range pkg.Files {
+		var file *ast.File = f
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range quotedRe.FindAllString(m[1], -1) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, s, err)
+					}
+					out[pos.Filename] = append(out[pos.Filename], &expectation{line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestGolden(t *testing.T) {
+	for _, tc := range goldenCases {
+		t.Run(tc.dir, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", filepath.FromSlash(tc.dir))
+			pkg, err := lint.LoadDir(dir, tc.rel, "themecomm")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pkg == nil {
+				t.Fatalf("no Go files in %s", dir)
+			}
+			findings := lint.Run([]*lint.Package{pkg}, []lint.Analyzer{analyzerByName(t, tc.analyzer)})
+			wants := expectationsOf(t, pkg)
+			for _, f := range findings {
+				matched := false
+				for _, w := range wants[f.Pos.Filename] {
+					if w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+						w.hit = true
+						matched = true
+					}
+				}
+				if !matched {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for file, ws := range wants {
+				for _, w := range ws {
+					if !w.hit {
+						t.Errorf("%s:%d: expected a finding matching %q, got none", file, w.line, w.re)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMalformedIgnore proves a reason-less suppression is itself reported —
+// asserted here rather than via want comments, since the malformed comment
+// line cannot carry one.
+func TestMalformedIgnore(t *testing.T) {
+	pkg, err := lint.LoadDir(filepath.Join("testdata", "src", "ignores"), "internal/ignores", "themecomm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := lint.Run([]*lint.Package{pkg}, lint.All())
+	if len(findings) != 1 {
+		t.Fatalf("want exactly the malformed-suppression finding, got %d: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "ignore" || !strings.Contains(f.Message, "reason is mandatory") {
+		t.Fatalf("unexpected finding: %s", f)
+	}
+}
+
+// TestSuppressionScope proves an ignore comment two lines above the finding
+// does not suppress it: only the same line and the line directly above do.
+func TestSuppressionScope(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+import "os"
+
+func far(path string, data []byte) error {
+	//lint:ignore atomicwrite too far away to apply
+
+	return os.WriteFile(path, data, 0o644)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "far.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := lint.LoadDir(dir, "internal/tctree", "themecomm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := lint.Run([]*lint.Package{pkg}, lint.All())
+	var atomic []lint.Finding
+	for _, f := range findings {
+		if f.Analyzer == "atomicwrite" {
+			atomic = append(atomic, f)
+		}
+	}
+	if len(atomic) != 1 {
+		t.Fatalf("want the os.WriteFile finding to survive a distant suppression, got %v", findings)
+	}
+}

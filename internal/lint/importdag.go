@@ -1,0 +1,77 @@
+package lint
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ImportDAG enforces the declared layering policy (LayerRules and
+// RestrictedImports in policy.go): which package may import what. It is the
+// machine check for the architecture diagram in docs/ARCHITECTURE.md — the
+// seam that once let internal/engine silently grow an import of
+// internal/obs is now a build failure.
+type ImportDAG struct{}
+
+// Name implements Analyzer.
+func (ImportDAG) Name() string { return "importdag" }
+
+// Doc implements Analyzer.
+func (ImportDAG) Doc() string {
+	return "enforce the declared import layering: storage below execution below serving, obs reachable only via the trace seam, net/http confined to the serving edge"
+}
+
+// Check implements Analyzer.
+func (ImportDAG) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, imp := range file.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			rel := pkg.relImport(p)
+			for _, rule := range LayerRules {
+				if !matchPkg(pkg.Rel, rule.Pkg) {
+					continue
+				}
+				for _, deny := range rule.Deny {
+					if matchImport(rel, deny) {
+						out = append(out, Finding{
+							Pos:      pkg.Fset.Position(imp.Path.Pos()),
+							Analyzer: "importdag",
+							Message:  fmt.Sprintf("%s must not import %s: %s", pkg.Rel, rel, rule.Why),
+						})
+					}
+				}
+			}
+			for _, restricted := range RestrictedImports {
+				if !matchImport(p, restricted.Path) {
+					continue
+				}
+				allowed := false
+				for _, a := range restricted.Allowed {
+					if matchPkg(pkg.Rel, a) {
+						allowed = true
+						break
+					}
+				}
+				if !allowed {
+					out = append(out, Finding{
+						Pos:      pkg.Fset.Position(imp.Path.Pos()),
+						Analyzer: "importdag",
+						Message:  fmt.Sprintf("%s may only be imported by %v, not %s: %s", restricted.Path, restricted.Allowed, pkgLabel(pkg.Rel), restricted.Why),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// pkgLabel renders a module-relative package path for messages.
+func pkgLabel(rel string) string {
+	if rel == "" {
+		return "the module root package"
+	}
+	return rel
+}

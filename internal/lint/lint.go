@@ -1,0 +1,161 @@
+// Package lint is themecomm's project-specific static-analysis suite: a set
+// of analyzers, written only against the standard library's go/ast, go/parser
+// and go/types, that machine-check architectural invariants this repository
+// used to enforce by convention alone — the engine↔obs layering seam, the
+// fsync+rename atomic-write idiom behind crash safety, the single writeError
+// response envelope, the no-I/O-under-the-update-lock rule, and context
+// propagation discipline. The declared policy (which package may import what,
+// which packages are persistence packages, which mutexes are query-blocking)
+// lives in policy.go; each analyzer encodes one invariant and reports
+// findings as "file:line:col: [name] message".
+//
+// Deliberate exceptions are annotated in the source with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. The reason is
+// mandatory; a suppression without one is itself reported. See
+// docs/STATIC_ANALYSIS.md for the catalogue of analyzers and how to add one.
+//
+// The suite runs as `go run ./cmd/tclint ./...` (CI job "lint") and as a
+// self-check inside `go test ./internal/lint` so invariant regressions fail
+// plain `go test ./...` too.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer hit: a position, the analyzer that produced it and
+// a human-readable message stating the violated invariant.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the canonical "file:line:col: [name] msg"
+// form every consumer (CLI, CI log, golden tests) parses.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one invariant checker. Check receives a loaded package and
+// returns raw findings; the runner applies suppressions and ordering.
+type Analyzer interface {
+	// Name is the short identifier used in reports and //lint:ignore
+	// comments.
+	Name() string
+	// Doc is a one-paragraph description of the invariant the analyzer
+	// encodes.
+	Doc() string
+	// Check analyzes one package.
+	Check(pkg *Package) []Finding
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []Analyzer {
+	return []Analyzer{
+		ImportDAG{},
+		AtomicWrite{},
+		ErrEnvelope{},
+		LockHold{},
+		CtxFlow{},
+	}
+}
+
+// ignoreRe matches a well-formed suppression comment. The analyzer name and
+// a non-empty reason are both mandatory — "zero unexplained suppressions" is
+// itself an enforced invariant.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+([a-z]+)\s+(\S.*)$`)
+
+// ignorePrefix detects any attempt at a suppression comment, well-formed or
+// not, so malformed ones can be reported rather than silently ignored.
+const ignorePrefix = "//lint:ignore"
+
+// suppression is one parsed //lint:ignore comment.
+type suppression struct {
+	pos      token.Position
+	analyzer string
+}
+
+// suppressions collects the well-formed //lint:ignore comments of a file and
+// reports malformed ones as findings of the pseudo-analyzer "ignore".
+func suppressionsOf(fset *token.FileSet, file *ast.File) ([]suppression, []Finding) {
+	var sups []suppression
+	var bad []Finding
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, ignorePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			m := ignoreRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				bad = append(bad, Finding{
+					Pos:      pos,
+					Analyzer: "ignore",
+					Message:  "malformed suppression; the form is //lint:ignore <analyzer> <reason> and the reason is mandatory",
+				})
+				continue
+			}
+			sups = append(sups, suppression{pos: pos, analyzer: m[1]})
+		}
+	}
+	return sups, bad
+}
+
+// Run executes the analyzers over the packages, applies //lint:ignore
+// suppressions (same line or the line directly above the finding), appends
+// malformed-suppression findings, and returns everything sorted by position.
+func Run(pkgs []*Package, analyzers []Analyzer) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		// Suppression table: file -> line -> analyzer names suppressed there.
+		type key struct {
+			file string
+			line int
+		}
+		suppressed := make(map[key]map[string]bool)
+		for _, f := range pkg.Files {
+			sups, bad := suppressionsOf(pkg.Fset, f)
+			all = append(all, bad...)
+			for _, s := range sups {
+				k := key{s.pos.Filename, s.pos.Line}
+				if suppressed[k] == nil {
+					suppressed[k] = make(map[string]bool)
+				}
+				suppressed[k][s.analyzer] = true
+			}
+		}
+		for _, a := range analyzers {
+			for _, f := range a.Check(pkg) {
+				k := key{f.Pos.Filename, f.Pos.Line}
+				above := key{f.Pos.Filename, f.Pos.Line - 1}
+				if suppressed[k][a.Name()] || suppressed[above][a.Name()] {
+					continue
+				}
+				all = append(all, f)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return all
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed and leniently type-checked package. Test
+// files (_test.go) are excluded: the invariants below guard production code
+// paths, and tests legitimately reach across layers (httptest servers,
+// context.Background, direct file writes).
+type Package struct {
+	// Rel is the module-relative directory: "" for the module root package,
+	// "internal/engine", "cmd/tcserver", ... Policy rules match on it.
+	Rel string
+	// ModulePath is the module path from go.mod ("themecomm"); imports with
+	// this prefix are module-internal.
+	ModulePath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	// Info carries lenient go/types resolution results. Imported packages
+	// are placeholders (no export data is needed), but qualified identifiers
+	// like os.Rename still resolve their package operand to a *types.PkgName
+	// — which is exactly what the analyzers need, with local shadowing of
+	// package names handled correctly.
+	Info *types.Info
+}
+
+// PkgPath returns the full import path of the package.
+func (p *Package) PkgPath() string {
+	if p.Rel == "" {
+		return p.ModulePath
+	}
+	return p.ModulePath + "/" + p.Rel
+}
+
+// relImport strips the module prefix from a module-internal import path:
+// "themecomm/internal/obs" -> "internal/obs". Non-internal paths ("net/http")
+// are returned unchanged, and the module root import maps to "".
+func (p *Package) relImport(importPath string) string {
+	if importPath == p.ModulePath {
+		return ""
+	}
+	if rest, ok := strings.CutPrefix(importPath, p.ModulePath+"/"); ok {
+		return rest
+	}
+	return importPath
+}
+
+// placeholderImporter satisfies go/types without export data: every import
+// resolves to an empty, complete package whose name is the last path
+// element. Member lookups on it fail (silenced by the lenient error
+// handler), but the import's PkgName object is still recorded in
+// types.Info.Uses — the only resolution the analyzers rely on.
+type placeholderImporter struct {
+	pkgs map[string]*types.Package
+}
+
+func (pi placeholderImporter) Import(importPath string) (*types.Package, error) {
+	if p, ok := pi.pkgs[importPath]; ok {
+		return p, nil
+	}
+	p := types.NewPackage(importPath, path.Base(importPath))
+	p.MarkComplete()
+	pi.pkgs[importPath] = p
+	return p, nil
+}
+
+// check runs the lenient go/types pass over the parsed files.
+func (p *Package) check() {
+	p.Info = &types.Info{
+		Uses: make(map[*ast.Ident]types.Object),
+		Defs: make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{
+		Error:    func(error) {}, // placeholder imports make errors expected
+		Importer: placeholderImporter{pkgs: make(map[string]*types.Package)},
+	}
+	// The returned error only repeats what the Error handler swallowed.
+	conf.Check(p.PkgPath(), p.Fset, p.Files, p.Info) //nolint:errcheck
+}
+
+// pkgOf resolves the package operand of a qualified identifier: for the `os`
+// in os.Rename it returns "os" (the imported path). It returns "" when the
+// identifier is not an imported-package reference — including when a local
+// variable shadows the package name.
+func (p *Package) pkgOf(id *ast.Ident) string {
+	if obj, ok := p.Info.Uses[id].(*types.PkgName); ok {
+		return obj.Imported().Path()
+	}
+	return ""
+}
+
+// qualifiedCall matches a call of the form pkg.Func(...) and returns the
+// imported package path and function name.
+func (p *Package) qualifiedCall(call *ast.CallExpr) (pkgPath, fn string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pkgPath = p.pkgOf(id)
+	if pkgPath == "" {
+		return "", "", false
+	}
+	return pkgPath, sel.Sel.Name, true
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func FindModule(dir string) (root, modulePath string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, rerr := os.ReadFile(filepath.Join(d, "go.mod"))
+		if rerr == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// skipDir names directories the loader never descends into.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		(strings.HasPrefix(name, ".") && name != ".") || strings.HasPrefix(name, "_")
+}
+
+// Load resolves package patterns against the module rooted at root and
+// returns parsed packages. Supported patterns are Go-tool-like: "./..."
+// (the whole module), "dir/..." (a subtree) and plain directories.
+func Load(root, modulePath string, patterns []string) ([]*Package, error) {
+	dirs := make(map[string]bool)
+	for _, pat := range patterns {
+		pat = filepath.ToSlash(pat)
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			recursive = true
+			pat = strings.TrimSuffix(rest, "/")
+		}
+		if pat == "" || pat == "." || pat == "./" {
+			pat = "."
+		}
+		base := filepath.Join(root, filepath.FromSlash(strings.TrimPrefix(pat, "./")))
+		info, err := os.Stat(base)
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q: not a directory under %s", pat, root)
+		}
+		if !recursive {
+			dirs[base] = true
+			continue
+		}
+		err = filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			if p != base && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			dirs[p] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sorted := make([]string, 0, len(dirs))
+	for d := range dirs {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+
+	var pkgs []*Package
+	for _, dir := range sorted {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		pkg, err := LoadDir(dir, rel, modulePath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses the non-test Go files of one directory as a package with
+// the given module-relative path. It returns (nil, nil) for directories
+// without Go files.
+func LoadDir(dir, rel, modulePath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Rel: rel, ModulePath: modulePath, Fset: token.NewFileSet()}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(pkg.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	pkg.check()
+	return pkg, nil
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// LockHold enforces the rule behind PR 5's staged commits: no file or
+// network I/O under a query-blocking update lock. Holding such a lock for
+// writing excludes every in-flight query, so a disk write inside the
+// critical section turns storage latency into serving latency for the whole
+// tenant. The analyzer finds write-side critical sections of the declared
+// mutexes (QueryBlockingMutexes in policy.go — Lock() through the matching
+// Unlock(), or to the end of the function when the unlock is deferred) and
+// flags, lexically inside them, calls into the declared I/O packages
+// (IOPackages) and Sync() method calls.
+//
+// Read-side sections (RLock) are exempt on purpose: queries holding the read
+// lock perform lazy shard loads by design. The analysis is lexical — I/O
+// hidden behind a method call in another package is out of reach; the one
+// sanctioned case is the staged-commit Commit() manifest rename, which is
+// the single durable write the swap is built around.
+type LockHold struct{}
+
+// Name implements Analyzer.
+func (LockHold) Name() string { return "lockhold" }
+
+// Doc implements Analyzer.
+func (LockHold) Doc() string {
+	return "forbid file/network I/O lexically inside write-side critical sections of declared query-blocking mutexes"
+}
+
+// Check implements Analyzer.
+func (LockHold) Check(pkg *Package) []Finding {
+	var out []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			out = append(out, checkLockSections(pkg, fn)...)
+		}
+	}
+	return out
+}
+
+// mutexEvent is a Lock or Unlock statement on a declared mutex.
+type mutexEvent struct {
+	pos    token.Pos
+	name   string // terminal receiver name, e.g. "updateMu"
+	unlock bool
+}
+
+// checkLockSections scans one function for critical sections and I/O inside.
+func checkLockSections(pkg *Package, fn *ast.FuncDecl) []Finding {
+	var events []mutexEvent
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		// Only non-deferred statement-level calls delimit sections: a
+		// deferred Unlock keeps the section open to the end of the function.
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "Unlock") {
+			return true
+		}
+		name, ok := terminalName(sel.X)
+		if !ok || !isQueryBlocking(name) {
+			return true
+		}
+		events = append(events, mutexEvent{pos: call.Pos(), name: name, unlock: sel.Sel.Name == "Unlock"})
+		return true
+	})
+	if len(events) == 0 {
+		return nil
+	}
+
+	// Build [lock, unlock) windows per mutex name, in lexical order.
+	type window struct {
+		name       string
+		start, end token.Pos
+	}
+	var windows []window
+	open := make(map[string]int) // name -> index into windows
+	for _, ev := range events {
+		if ev.unlock {
+			if i, ok := open[ev.name]; ok {
+				windows[i].end = ev.pos
+				delete(open, ev.name)
+			}
+			continue
+		}
+		if _, dup := open[ev.name]; dup {
+			continue // re-lock without unlock: keep the outer window
+		}
+		open[ev.name] = len(windows)
+		windows = append(windows, window{name: ev.name, start: ev.pos, end: fn.Body.End()})
+	}
+
+	var out []Finding
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		inside := ""
+		for _, w := range windows {
+			if call.Pos() > w.start && call.Pos() < w.end {
+				inside = w.name
+				break
+			}
+		}
+		if inside == "" {
+			return true
+		}
+		if p, name, ok := pkg.qualifiedCall(call); ok {
+			rel := pkg.relImport(p)
+			for _, io := range IOPackages {
+				if matchImport(rel, io) {
+					out = append(out, Finding{
+						Pos:      pkg.Fset.Position(call.Pos()),
+						Analyzer: "lockhold",
+						Message:  fmt.Sprintf("%s.%s inside the %s critical section: I/O under a query-blocking lock stalls every in-flight query — stage it outside the lock", rel, name, inside),
+					})
+					return true
+				}
+			}
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Sync" && len(call.Args) == 0 {
+			if name, _ := terminalName(sel.X); !isQueryBlocking(name) {
+				out = append(out, Finding{
+					Pos:      pkg.Fset.Position(call.Pos()),
+					Analyzer: "lockhold",
+					Message:  fmt.Sprintf("Sync() inside the %s critical section: an fsync under a query-blocking lock stalls every in-flight query — sync before taking the lock", inside),
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// terminalName returns the last identifier of a receiver chain: e.updateMu
+// -> "updateMu", updateMu -> "updateMu".
+func terminalName(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		return e.Sel.Name, true
+	}
+	return "", false
+}
+
+// isQueryBlocking reports whether the name is a declared query-blocking
+// mutex.
+func isQueryBlocking(name string) bool {
+	for _, m := range QueryBlockingMutexes {
+		if name == m {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,61 @@
+package lint_test
+
+import (
+	"testing"
+
+	"themecomm/internal/lint"
+)
+
+// TestSuiteCleanOnRepository runs the full analyzer suite over the real
+// repository, exactly like `go run ./cmd/tclint ./...` and the CI lint job.
+// Living inside `go test` means plain `go test ./...` catches an invariant
+// regression even on machines that never run the CI job: break the layering,
+// skip an fsync, bypass writeError — and this test names the line.
+func TestSuiteCleanOnRepository(t *testing.T) {
+	root, modulePath, err := lint.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modulePath != "themecomm" {
+		t.Fatalf("unexpected module %q for self-check", modulePath)
+	}
+	pkgs, err := lint.Load(root, modulePath, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("self-check loaded only %d packages; the loader is missing the tree", len(pkgs))
+	}
+	for _, f := range lint.Run(pkgs, lint.All()) {
+		t.Errorf("invariant violation: %s", f)
+	}
+}
+
+// TestPolicyNamesRealPackages guards the policy file against bit-rot: every
+// module-internal package a rule constrains must still exist, so a rename
+// cannot silently turn a rule into a no-op.
+func TestPolicyNamesRealPackages(t *testing.T) {
+	root, modulePath, err := lint.FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := lint.Load(root, modulePath, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	have := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		have[p.Rel] = true
+	}
+	var constrained []string
+	for _, r := range lint.LayerRules {
+		constrained = append(constrained, r.Pkg)
+	}
+	constrained = append(constrained, lint.PersistencePackages...)
+	constrained = append(constrained, lint.ErrEnvelopePackage)
+	for _, pkg := range constrained {
+		if !have[pkg] {
+			t.Errorf("policy constrains %q, but no such package exists — update policy.go", pkg)
+		}
+	}
+}

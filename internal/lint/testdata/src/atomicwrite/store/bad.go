@@ -1,0 +1,39 @@
+// Package store is a fixture analyzed as internal/tctree (a persistence
+// package): writes must follow the write-temp → fsync → rename discipline.
+package store
+
+import "os"
+
+// saveQuick bypasses the atomic-write helpers entirely.
+func saveQuick(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want "never fsyncs"
+}
+
+// replaceTorn renames a freshly written file without fsyncing it first: a
+// crash after the rename can publish an empty or torn file.
+func replaceTorn(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path) // want "no Sync before it"
+}
+
+// leakyClose defers Close on a writable file, dropping the write-back error.
+func leakyClose(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "deferred Close on a writable file"
+	_, err = f.Write(data)
+	return err
+}

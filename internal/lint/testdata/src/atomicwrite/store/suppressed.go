@@ -1,0 +1,10 @@
+package store
+
+import "os"
+
+// scratchNote writes a throwaway advisory file; durability is explicitly
+// not wanted, and the suppression says so.
+func scratchNote(path string, data []byte) error {
+	//lint:ignore atomicwrite advisory scratch file, rebuilt on startup; durability explicitly not required
+	return os.WriteFile(path, data, 0o600)
+}

@@ -1,0 +1,28 @@
+// Package lib is a fixture analyzed as internal/lib — library code, where
+// ambient contexts sever request tracing and dropped ctx parameters lie to
+// callers.
+package lib
+
+import "context"
+
+// mintAmbient manufactures its own context instead of accepting one.
+func mintAmbient() error {
+	ctx := context.Background() // want "context.Background\\(\\) in library code"
+	return work(ctx, 1)
+}
+
+// mintTODO is no better.
+func mintTODO() error {
+	return work(context.TODO(), 1) // want "context.TODO\\(\\) in library code"
+}
+
+// Run drops the ctx it promises to honor.
+func Run(ctx context.Context, n int) error { // want "exported Run accepts ctx"
+	return work(context.TODO(), n) // want "context.TODO\\(\\) in library code"
+}
+
+func work(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}

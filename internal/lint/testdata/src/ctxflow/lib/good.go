@@ -1,0 +1,19 @@
+package lib
+
+import "context"
+
+// Query is the stdlib convenience-wrapper idiom: the fresh Background goes
+// straight into the Context-suffixed variant — allowed.
+func Query(n int) error {
+	return QueryContext(context.Background(), n)
+}
+
+// QueryContext threads the ctx through — the shape wrappers delegate to.
+func QueryContext(ctx context.Context, n int) error {
+	return work(ctx, n)
+}
+
+// Detach discards the context explicitly with a blank name: not flagged.
+func Detach(_ context.Context, n int) error {
+	return work(context.Background(), n) //lint:ignore ctxflow fixture: detached background work, documented at the call site
+}

@@ -1,0 +1,14 @@
+// Package main is a fixture proving ctxflow leaves binaries alone: main
+// packages are where ambient root contexts legitimately begin.
+package main
+
+import "context"
+
+func main() {
+	_ = run(context.Background())
+}
+
+func run(ctx context.Context) error {
+	<-ctx.Done()
+	return nil
+}

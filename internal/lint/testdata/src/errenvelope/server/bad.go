@@ -1,0 +1,17 @@
+// Package server is a fixture analyzed as internal/server: every error
+// response must flow through the writeError envelope choke point.
+package server
+
+import "net/http"
+
+func badHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "use GET", http.StatusMethodNotAllowed) // want "bypasses the writeError envelope"
+		return
+	}
+	w.WriteHeader(http.StatusInternalServerError) // want "WriteHeader\\(http.StatusInternalServerError\\)"
+}
+
+func badLiteral(w http.ResponseWriter) {
+	w.WriteHeader(503) // want "WriteHeader\\(503\\)"
+}

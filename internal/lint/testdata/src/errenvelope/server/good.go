@@ -1,0 +1,25 @@
+package server
+
+import "net/http"
+
+// writeError is the choke point itself: it may write error statuses (and in
+// this fixture even calls http.Error) without findings.
+func writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	http.Error(w, msg, status)
+}
+
+// goodHandler routes errors through writeError, writes success statuses
+// directly, and passes variable statuses (covered by the dynamic envelope
+// audit test, not this analyzer).
+func goodHandler(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, r, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	status := pick()
+	w.WriteHeader(status)
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func pick() int { return 200 }

@@ -1,0 +1,11 @@
+// Package ignores is a fixture for suppression-comment hygiene: a
+// suppression without a reason is itself a finding (asserted by a unit test
+// rather than want comments, since the malformed comment cannot carry one).
+package ignores
+
+import "os"
+
+func unreasoned(path string, data []byte) error {
+	//lint:ignore atomicwrite
+	return os.WriteFile(path, data, 0o644)
+}

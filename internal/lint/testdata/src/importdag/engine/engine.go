@@ -1,0 +1,16 @@
+// Package engine is a fixture analyzed as internal/engine: the execution
+// layer must not import the observability layer or HTTP. net/http earns two
+// findings — the engine deny rule and the serving-edge restriction.
+package engine
+
+import (
+	"net/http"                 // want "must not import net/http" "may only be imported"
+	"themecomm/internal/obs"   // want "must not import internal/obs"
+	"themecomm/internal/trace" // fine: trace is the sanctioned seam
+)
+
+var (
+	_ = http.StatusOK
+	_ = obs.X
+	_ = trace.X
+)

@@ -1,0 +1,7 @@
+// Package server is a fixture analyzed as internal/server: the serving edge
+// may import net/http — a false-positive regression case.
+package server
+
+import "net/http"
+
+var _ = http.StatusOK

@@ -1,0 +1,15 @@
+// Package tctree is a fixture analyzed as internal/tctree: storage sits
+// below execution, so importing the engine inverts the DAG. A suppression
+// naming the wrong analyzer does not silence importdag.
+package tctree
+
+import (
+	"themecomm/internal/engine" // want "must not import internal/engine"
+	//lint:ignore atomicwrite wrong analyzer name, so the next import is still reported
+	"themecomm/internal/federation" // want "must not import internal/federation"
+)
+
+var (
+	_ = engine.X
+	_ = federation.X
+)

@@ -1,0 +1,15 @@
+// Package worker is a fixture analyzed as internal/worker — a package with
+// no layer rule of its own. The serving-edge restriction still applies, and
+// a correctly named suppression silences it.
+package worker
+
+import (
+	"net/http" // want "may only be imported"
+	//lint:ignore importdag fixture-sanctioned exception to prove suppressions work
+	"net/http/pprof"
+)
+
+var (
+	_ = http.StatusOK
+	_ = pprof.X
+)

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"os"
+	"sync"
+)
+
+type store struct {
+	updateMu sync.RWMutex
+	mu       sync.Mutex
+}
+
+// swapStaged is the blessed shape: stage the I/O outside, lock only for the
+// in-memory swap.
+func (s *store) swapStaged(path string, apply func()) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	s.updateMu.Lock()
+	apply()
+	s.updateMu.Unlock()
+	return os.Rename(path+".tmp", path)
+}
+
+// readSection holds the read side: lazy loads under RLock are by design.
+func (s *store) readSection(path string) ([]byte, error) {
+	s.updateMu.RLock()
+	defer s.updateMu.RUnlock()
+	return os.ReadFile(path)
+}
+
+// otherMutex is not a declared query-blocking mutex; I/O inside is fine.
+func (s *store) otherMutex(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.Remove(path)
+}

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"themecomm/internal/trace"
 )
 
 // HeaderRequestID is the HTTP header carrying the request correlation ID:
@@ -19,19 +21,16 @@ const HeaderRequestID = "X-Request-ID"
 // header cannot bloat logs or metrics.
 const maxRequestIDLen = 128
 
-type ctxKey int
-
-const requestIDKey ctxKey = iota
-
-// WithRequestID returns a context carrying the request ID.
+// WithRequestID returns a context carrying the request ID. The key lives in
+// internal/trace (the engine↔obs seam package), so IDs stamped here are
+// visible to recorders below the layering boundary.
 func WithRequestID(ctx context.Context, id string) context.Context {
-	return context.WithValue(ctx, requestIDKey, id)
+	return trace.WithRequestID(ctx, id)
 }
 
 // RequestIDFrom returns the request ID carried by the context, or "".
 func RequestIDFrom(ctx context.Context) string {
-	id, _ := ctx.Value(requestIDKey).(string)
-	return id
+	return trace.RequestIDFrom(ctx)
 }
 
 // idCounter disambiguates fallback IDs generated within one nanosecond.

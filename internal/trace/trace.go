@@ -1,0 +1,34 @@
+// Package trace is the dependency-free seam between the query-serving
+// layers (internal/engine, internal/federation) and the observability layer
+// (internal/obs). It owns the two types both sides must agree on — the
+// request-correlation context key and the per-query observation record —
+// so that the engine can emit observations without importing a metrics
+// implementation and the observability layer can consume them without the
+// engine depending on it. The layering policy (internal/lint, analyzer
+// importdag) enforces that internal/engine and internal/federation never
+// import internal/obs or net/http; this package is what makes that
+// enforceable without losing observability.
+//
+// internal/obs re-exports these types under their historical names
+// (obs.Recorder, obs.QueryObservation, obs.WithRequestID), so callers that
+// already sit above the seam never see the split.
+package trace
+
+import "context"
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// WithRequestID returns a context carrying the request correlation ID. The
+// HTTP layer stamps it per request; the engine propagates the context through
+// plan/execute/merge so recorders can correlate observations with responses.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom returns the request ID carried by the context, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}

@@ -65,6 +65,26 @@ for f in README.md docs/*.md; do
 	done
 done
 
+# Required docs: the documentation set core workflows point at. A rename or
+# deletion must update this list (and every inbound link) deliberately.
+for required in docs/ARCHITECTURE.md docs/API.md docs/FORMAT.md \
+	docs/OBSERVABILITY.md docs/STATIC_ANALYSIS.md; do
+	if [ ! -e "$required" ]; then
+		echo "missing required doc: $required" >&2
+		echo "missing: $required" >>"$tmp"
+	fi
+done
+
+# Orphan check: every doc must be reachable — linked by name from README.md
+# or from a sibling doc — or nobody will ever find it.
+for f in docs/*.md; do
+	name=$(basename "$f")
+	if ! grep -l "$name" README.md docs/*.md | grep -qv "^$f\$"; then
+		echo "orphaned doc: $f is linked from nowhere" >&2
+		echo "orphan: $f" >>"$tmp"
+	fi
+done
+
 if [ -s "$tmp" ]; then
 	echo "broken documentation links found" >&2
 	exit 1
